@@ -1,0 +1,27 @@
+//! E11: wall-clock co-analysis runtime per (CPU, benchmark) — the paper's
+//! "simulation time" metric. Shapes to expect: omsp16 converges fastest on
+//! flag-driven benchmarks; tea8 is single-path everywhere.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symsim_bench::{run_experiment, CpuKind};
+use symsim_core::CoAnalysisConfig;
+
+fn coanalysis_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coanalysis_runtime");
+    group.sample_size(10);
+    for kind in CpuKind::all() {
+        for bench in ["div", "mult", "tea8"] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), bench),
+                &(kind, bench),
+                |b, &(kind, bench)| {
+                    b.iter(|| run_experiment(kind, bench, CoAnalysisConfig::default()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, coanalysis_runtime);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! E8 (Fig. 3 ablation): conservative-state formation policies. Measures
+//! both raw CSM merge/covers throughput on synthetic states and full
+//! co-analysis under each policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symsim_bench::{run_experiment, CpuKind};
+use symsim_core::{CoAnalysisConfig, ConservativeStateManager, CsmPolicy};
+use symsim_logic::Value;
+use symsim_sim::SimState;
+
+fn synthetic_state(bits: usize, seed: u64) -> SimState {
+    let values = (0..bits)
+        .map(|i| {
+            // deterministic pseudo-random mix of 0/1/X
+            match (seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64)) % 5 {
+                0 | 1 => Value::ZERO,
+                2 | 3 => Value::ONE,
+                _ => Value::X,
+            }
+        })
+        .collect();
+    SimState {
+        values,
+        mems: vec![],
+        cycle: seed,
+    }
+}
+
+fn csm_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csm_observe");
+    for policy in [
+        CsmPolicy::SingleMerge,
+        CsmPolicy::MultiState { max_states: 4 },
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("policy", format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                let states: Vec<SimState> =
+                    (0..64).map(|s| synthetic_state(4096, s)).collect();
+                b.iter(|| {
+                    let mut csm = ConservativeStateManager::new(policy);
+                    for (i, s) in states.iter().enumerate() {
+                        let _ = csm.observe((i % 8) as u64, s);
+                    }
+                    csm.stored_states()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn policy_coanalysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csm_policy_coanalysis");
+    group.sample_size(10);
+    for (label, policy) in [
+        ("single_merge", CsmPolicy::SingleMerge),
+        ("multi_state_2", CsmPolicy::MultiState { max_states: 2 }),
+    ] {
+        group.bench_function(BenchmarkId::new("omsp16_div", label), |b| {
+            b.iter(|| {
+                run_experiment(
+                    CpuKind::Omsp16,
+                    "div",
+                    CoAnalysisConfig {
+                        policy,
+                        ..CoAnalysisConfig::default()
+                    },
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, csm_throughput, policy_coanalysis);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E10 (§3.3): sequential vs parallel path exploration. The paper notes
+//! that "launching these processes in parallel can drastically improve
+//! simulation time"; here workers share the CSM and worklist.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symsim_bench::{run_experiment, CpuKind};
+use symsim_core::CoAnalysisConfig;
+
+fn parallel_exploration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_exploration");
+    group.sample_size(10);
+    let max_workers = std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1);
+    let mut configs = vec![1, 2, max_workers];
+    configs.sort_unstable();
+    configs.dedup();
+    for workers in configs {
+        group.bench_with_input(
+            BenchmarkId::new("omsp16_insort_workers", workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| {
+                    run_experiment(
+                        CpuKind::Omsp16,
+                        "insort",
+                        CoAnalysisConfig {
+                            workers,
+                            ..CoAnalysisConfig::default()
+                        },
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, parallel_exploration);
+criterion_main!(benches);

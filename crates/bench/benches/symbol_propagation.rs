@@ -1,0 +1,88 @@
+//! E9 (Fig. 4 ablation): anonymous vs tagged symbol propagation — raw gate
+//! evaluation throughput and full-netlist settle cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symsim_logic::{ops, PropagationPolicy, Value, Word};
+use symsim_netlist::RtlBuilder;
+use symsim_sim::{SimConfig, Simulator};
+
+fn gate_eval_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_eval");
+    let domain = [
+        Value::ZERO,
+        Value::ONE,
+        Value::X,
+        Value::symbol(1),
+        Value::symbol_inverted(1),
+        Value::symbol(2),
+    ];
+    for policy in [PropagationPolicy::Anonymous, PropagationPolicy::Tagged] {
+        group.bench_with_input(
+            BenchmarkId::new("xor_and_or", format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for &x in &domain {
+                        for &y in &domain {
+                            if ops::xor(x, y, policy).is_known() {
+                                acc += 1;
+                            }
+                            if ops::and(x, y, policy).is_known() {
+                                acc += 1;
+                            }
+                            if ops::or(x, y, policy).is_known() {
+                                acc += 1;
+                            }
+                        }
+                    }
+                    acc
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn netlist_settle(c: &mut Criterion) {
+    // a multiplier fed by one symbolic operand: tagged recombination keeps
+    // more bits known through the XOR-heavy partial-product tree
+    let mut b = RtlBuilder::new("mul16");
+    let x = b.input("x", 16);
+    let y = b.input("y", 16);
+    let p = b.mul_full(&x, &y);
+    b.output("p", &p);
+    let nl = b.finish().expect("valid");
+    let x_nets: Vec<_> = (0..16)
+        .map(|i| nl.find_net(&format!("x[{i}]")).expect("net"))
+        .collect();
+    let y_nets: Vec<_> = (0..16)
+        .map(|i| nl.find_net(&format!("y[{i}]")).expect("net"))
+        .collect();
+
+    let mut group = c.benchmark_group("settle_mul16");
+    for policy in [PropagationPolicy::Anonymous, PropagationPolicy::Tagged] {
+        group.bench_with_input(
+            BenchmarkId::new("policy", format!("{policy:?}")),
+            &policy,
+            |bch, &policy| {
+                let config = SimConfig {
+                    policy,
+                    ..SimConfig::default()
+                };
+                let mut sim = Simulator::new(&nl, config);
+                bch.iter(|| {
+                    sim.poke_bus(&x_nets, &Word::symbols(0, 16));
+                    sim.poke_bus(&y_nets, &Word::from_u64(0xabcd, 16));
+                    let evals = sim.settle();
+                    sim.poke_bus(&x_nets, &Word::from_u64(0x1234, 16));
+                    evals + sim.settle()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, gate_eval_throughput, netlist_settle);
+criterion_main!(benches);

@@ -1,0 +1,150 @@
+use symsim_bespoke::BespokeReport;
+use symsim_core::{CoAnalysis, CoAnalysisConfig, CoAnalysisReport};
+use symsim_cpu::{bm32, dr5, omsp16, Benchmark, Cpu};
+
+/// The three evaluation processors (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuKind {
+    /// openMSP430-style 16-bit microcontroller with peripherals.
+    Omsp16,
+    /// MIPS32-style core with hardware multiplier.
+    Bm32,
+    /// RV32E-style core without multiplier.
+    Dr5,
+}
+
+impl CpuKind {
+    /// All three, in the paper's column order (bm32, omsp430, darkriscv).
+    pub fn all() -> [CpuKind; 3] {
+        [CpuKind::Bm32, CpuKind::Omsp16, CpuKind::Dr5]
+    }
+
+    /// Display name used in the tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            CpuKind::Omsp16 => "omsp16",
+            CpuKind::Bm32 => "bm32",
+            CpuKind::Dr5 => "dr5",
+        }
+    }
+
+    /// Builds the gate-level processor.
+    pub fn build(self) -> Cpu {
+        match self {
+            CpuKind::Omsp16 => omsp16::build(),
+            CpuKind::Bm32 => bm32::build(),
+            CpuKind::Dr5 => dr5::build(),
+        }
+    }
+
+    /// The six Table 1 benchmarks in this CPU's ISA.
+    pub fn benchmarks(self) -> Vec<Benchmark> {
+        match self {
+            CpuKind::Omsp16 => omsp16::benchmarks(),
+            CpuKind::Bm32 => bm32::benchmarks(),
+            CpuKind::Dr5 => dr5::benchmarks(),
+        }
+    }
+
+    /// The benchmark named `name`.
+    pub fn benchmark(self, name: &str) -> Benchmark {
+        match self {
+            CpuKind::Omsp16 => omsp16::benchmark(name),
+            CpuKind::Bm32 => bm32::benchmark(name),
+            CpuKind::Dr5 => dr5::benchmark(name),
+        }
+    }
+
+    /// Assembles `src` for this CPU's ISA.
+    ///
+    /// # Panics
+    ///
+    /// Panics on assembly errors (benchmark sources are known-good).
+    pub fn assemble(self, src: &str) -> Vec<u32> {
+        match self {
+            CpuKind::Omsp16 => omsp16::assemble(src),
+            CpuKind::Bm32 => bm32::assemble(src),
+            CpuKind::Dr5 => dr5::assemble(src),
+        }
+        .expect("benchmark source assembles")
+    }
+
+    /// The ISA label for Table 2.
+    pub fn isa(self) -> &'static str {
+        match self {
+            CpuKind::Omsp16 => "MSP430",
+            CpuKind::Bm32 => "MIPS32",
+            CpuKind::Dr5 => "RV32e",
+        }
+    }
+
+    /// The feature summary for Table 2.
+    pub fn features(self) -> &'static str {
+        match self {
+            CpuKind::Omsp16 => {
+                "16-bit microcontroller with 16x16 hardware multiplier, watchdog, GPIO, timer"
+            }
+            CpuKind::Bm32 => "32-bit MIPS implementation with hardware multiplier",
+            CpuKind::Dr5 => "32-bit RISC-V embedded ISA, 16 integer registers, no multiplier",
+        }
+    }
+}
+
+/// One (processor, benchmark) co-analysis outcome plus the bespoke
+/// generation that consumed it.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Which processor.
+    pub cpu: CpuKind,
+    /// Benchmark name.
+    pub bench: &'static str,
+    /// Algorithm-1 results (paths, cycles, exercisable gates).
+    pub report: CoAnalysisReport,
+    /// Bespoke pruning results (gate counts, area).
+    pub bespoke: BespokeReport,
+}
+
+impl ExperimentResult {
+    /// The paper's Table 3 `GateCount`: exercisable gates.
+    pub fn gate_count(&self) -> usize {
+        self.report.exercisable_gates
+    }
+
+    /// The paper's Table 3 `% reduction`.
+    pub fn reduction(&self) -> f64 {
+        self.report.reduction_percent()
+    }
+}
+
+/// Runs symbolic co-analysis plus bespoke generation for one benchmark on
+/// one processor, with the given configuration (policy, workers, ...).
+pub fn run_experiment(
+    kind: CpuKind,
+    bench_name: &str,
+    mut config: CoAnalysisConfig,
+) -> ExperimentResult {
+    let cpu = kind.build();
+    let bench = kind.benchmark(bench_name);
+    let program = kind.assemble(bench.source);
+    config.max_cycles_per_segment = bench.max_cycles;
+    let analysis = CoAnalysis::new(&cpu.netlist, cpu.interface(), config);
+    let report = analysis.run(|sim| cpu.prepare_symbolic(sim, &program, &bench.data));
+    let bespoke = symsim_bespoke::generate(&cpu.netlist, &report.profile);
+    ExperimentResult {
+        cpu: kind,
+        bench: bench.name,
+        report,
+        bespoke: bespoke.report,
+    }
+}
+
+/// Runs the full 3-CPU × 6-benchmark sweep behind Tables 3-4 and Figs 5-6.
+pub fn sweep(config: &CoAnalysisConfig) -> Vec<ExperimentResult> {
+    let mut out = Vec::with_capacity(18);
+    for kind in CpuKind::all() {
+        for bench in symsim_cpu::BENCHMARK_NAMES {
+            out.push(run_experiment(kind, bench, config.clone()));
+        }
+    }
+    out
+}

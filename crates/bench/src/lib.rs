@@ -1,0 +1,28 @@
+//! # symsim-bench
+//!
+//! The evaluation harness reproducing every table and figure of the DAC'22
+//! paper on the three from-scratch processors:
+//!
+//! * Table 1 — benchmark applications,
+//! * Table 2 — target platform characterization,
+//! * Table 3 / Fig. 5 — exercisable gate counts and % reduction,
+//! * Table 4 / Fig. 6 — simulation paths created/skipped and simulated
+//!   cycles,
+//! * Fig. 3 ablation — conservative-state formation policies,
+//! * Fig. 4 ablation — anonymous vs tagged symbol propagation,
+//! * §5.0.1 validation — bespoke equivalence and activity-subset checks.
+//!
+//! Run `cargo run --release -p symsim-bench --bin tables -- all` to
+//! regenerate everything.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod experiment;
+mod tables;
+
+pub use experiment::{run_experiment, sweep, CpuKind, ExperimentResult};
+pub use tables::{
+    ext_table, scaling_table, fig3_ablation, fig4_ablation, fig5, fig6, power_table, table1, table2, table3, table4,
+    validate,
+};

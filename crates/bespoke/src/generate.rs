@@ -1,0 +1,265 @@
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+use symsim_netlist::{CellKind, Netlist, NetlistStats};
+use symsim_sim::ToggleProfile;
+
+use crate::simplify::{propagate_constants, sweep_dead_gates, tie_off};
+
+/// Metrics of a bespoke generation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BespokeReport {
+    /// Gate count of the original design (comb + seq).
+    pub original_gates: usize,
+    /// Gate count after pruning and re-synthesis.
+    pub bespoke_gates: usize,
+    /// Area before.
+    pub original_area: f64,
+    /// Area after.
+    pub bespoke_area: f64,
+    /// Unexercisable gates tied to their observed constants.
+    pub tied_off: usize,
+    /// Unexercisable gates removed outright (constant unknown / dead).
+    pub pruned: usize,
+    /// Flip-flops replaced by constants.
+    pub dffs_pruned: usize,
+    /// Rewrites performed by constant propagation.
+    pub const_rewrites: usize,
+}
+
+impl BespokeReport {
+    /// Percentage of gates removed relative to the original design.
+    pub fn reduction_percent(&self) -> f64 {
+        if self.original_gates == 0 {
+            return 0.0;
+        }
+        100.0 * (self.original_gates - self.bespoke_gates) as f64 / self.original_gates as f64
+    }
+}
+
+/// A bespoke netlist together with its generation report.
+#[derive(Debug, Clone)]
+pub struct BespokeResult {
+    /// The pruned, re-synthesized netlist.
+    pub netlist: Netlist,
+    /// Generation metrics.
+    pub report: BespokeReport,
+}
+
+/// Generates a bespoke processor from a co-analysis toggle profile:
+/// unexercisable gates are pruned with their fanout tied to the constant
+/// value seen during symbolic simulation, then the netlist is
+/// re-synthesized (constant propagation + dead-logic sweep), as in paper §3.
+///
+/// # Example
+///
+/// ```
+/// use symsim_netlist::RtlBuilder;
+/// use symsim_sim::{SimConfig, Simulator};
+/// use symsim_logic::Value;
+///
+/// // y = a AND 0 never toggles; bespoke generation removes the cone
+/// let mut b = RtlBuilder::new("d");
+/// let a = b.input("a", 1);
+/// let zero = b.zero();
+/// let y = b.and1(a.bit(0), zero);
+/// let yb = symsim_netlist::Bus::from_nets(vec![y]);
+/// b.output("y", &yb);
+/// let nl = b.finish().expect("valid");
+///
+/// let mut sim = Simulator::new(&nl, SimConfig::default());
+/// sim.poke(nl.find_net("a").expect("net"), Value::ZERO);
+/// sim.settle();
+/// sim.arm_toggle_observer();
+/// sim.poke(nl.find_net("a").expect("net"), Value::ONE);
+/// sim.settle();
+/// let profile = sim.take_toggle_profile().expect("armed");
+///
+/// let result = symsim_bespoke::generate(&nl, &profile);
+/// assert!(result.report.bespoke_gates < result.report.original_gates);
+/// ```
+pub fn generate(netlist: &Netlist, profile: &ToggleProfile) -> BespokeResult {
+    let mut out = netlist.clone();
+    out.name = format!("{}_bespoke", netlist.name);
+    let original = NetlistStats::of(netlist);
+
+    // 1) tie off unexercisable combinational gates (Algorithm 1 line 42)
+    let mut tied_off = 0usize;
+    let mut to_remove = HashSet::new();
+    for (id, constant) in profile.unexercisable_constants(netlist) {
+        // keep constant cells as-is; they are already tie-offs
+        let kind = netlist.gate(id).kind;
+        if matches!(kind, CellKind::Const0 | CellKind::Const1) {
+            continue;
+        }
+        if tie_off(&mut out, id, constant) {
+            tied_off += 1;
+        } else {
+            // the gate's output was never driven to a known value: nothing
+            // downstream can depend on it; remove the driver outright
+            to_remove.insert(id);
+        }
+    }
+    let pruned_unknown = to_remove.len();
+    out.retain(|id, _| !to_remove.contains(&id), |_, _| true);
+
+    // 2) replace unexercisable flip-flops with their constant outputs
+    let mut dff_consts = Vec::new();
+    let mut dff_remove = HashSet::new();
+    for (id, d) in netlist.iter_dffs() {
+        if !profile.is_toggled(d.q) {
+            if let Some(b) = profile.constant_of(d.q).to_bool() {
+                dff_consts.push((d.q, b));
+            }
+            dff_remove.insert(id);
+        }
+    }
+    let dffs_pruned = dff_remove.len();
+    out.retain(|_, _| true, |id, _| !dff_remove.contains(&id));
+    for (q, b) in dff_consts {
+        out.add_gate(
+            if b { CellKind::Const1 } else { CellKind::Const0 },
+            &[],
+            q,
+        );
+    }
+
+    // 3) re-synthesis: constant propagation + dead-logic sweep
+    let const_rewrites = propagate_constants(&mut out);
+    let (dead_gates, dead_dffs) = sweep_dead_gates(&mut out);
+
+    debug_assert!(out.validate().is_ok(), "bespoke netlist must stay valid");
+    let bespoke = NetlistStats::of(&out);
+    BespokeResult {
+        report: BespokeReport {
+            original_gates: original.total_gates,
+            bespoke_gates: bespoke.total_gates,
+            original_area: original.area,
+            bespoke_area: bespoke.area,
+            tied_off,
+            pruned: pruned_unknown + dead_gates,
+            dffs_pruned: dffs_pruned + dead_dffs,
+            const_rewrites,
+        },
+        netlist: out,
+    }
+}
+
+/// Convenience predicate: is this gate a tie-off constant?
+#[cfg(test)]
+pub(crate) fn is_const(gate: &symsim_netlist::Gate) -> bool {
+    matches!(gate.kind, CellKind::Const0 | CellKind::Const1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symsim_logic::{Value, Word};
+    use symsim_netlist::RtlBuilder;
+    use symsim_sim::{SimConfig, Simulator};
+
+    /// A design with an obviously-unused half: out = sel ? big_cone : a,
+    /// with sel tied low during "the application".
+    fn split_design() -> Netlist {
+        let mut b = RtlBuilder::new("split");
+        let sel = b.input("sel", 1);
+        let a = b.input("a", 8);
+        let c = b.input("c", 8);
+        // the unused half: an 8x8 multiplier cone
+        let big = b.mul(&a, &c);
+        let out = b.mux(sel.bit(0), &a, &big);
+        b.output("out", &out);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn prunes_unexercised_multiplier_cone() {
+        let nl = split_design();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        let map = nl.net_name_map();
+        // the application never raises sel and never changes c
+        sim.poke(map["sel"], Value::ZERO);
+        let c_nets: Vec<_> = (0..8).map(|i| map[format!("c[{i}]").as_str()]).collect();
+        sim.poke_bus(&c_nets, &Word::from_u64(0, 8));
+        let a_nets: Vec<_> = (0..8).map(|i| map[format!("a[{i}]").as_str()]).collect();
+        sim.poke_bus(&a_nets, &Word::from_u64(0, 8));
+        sim.settle();
+        sim.arm_toggle_observer();
+        // drive various a values (the exercisable half)
+        for v in [1u64, 0x55, 0xff, 3] {
+            sim.poke_bus(&a_nets, &Word::from_u64(v, 8));
+            sim.settle();
+            sim.step_cycle();
+        }
+        let profile = sim.take_toggle_profile().unwrap();
+        let result = generate(&nl, &profile);
+        assert!(
+            result.report.reduction_percent() > 40.0,
+            "multiplier cone should be pruned: {:?}",
+            result.report
+        );
+        assert!(result.netlist.validate().is_ok());
+
+        // bespoke behaves identically on in-contract stimulus
+        let mut orig = Simulator::new(&nl, SimConfig::default());
+        let mut besp = Simulator::new(&result.netlist, SimConfig::default());
+        for sim in [&mut orig, &mut besp] {
+            sim.poke(map["sel"], Value::ZERO);
+            sim.poke_bus(&c_nets, &Word::from_u64(0, 8));
+            sim.poke_bus(&a_nets, &Word::from_u64(0x3c, 8));
+            sim.settle();
+        }
+        let out_nets: Vec<_> = (0..8)
+            .map(|i| nl.find_net(&format!("out[{i}]")).unwrap())
+            .collect();
+        // net ids are stable across pruning, so the same ids index both
+        assert_eq!(orig.read_bus(&out_nets), besp.read_bus(&out_nets));
+    }
+
+    #[test]
+    fn fully_toggled_design_unchanged_in_count() {
+        let mut b = RtlBuilder::new("live");
+        let x = b.input("x", 4);
+        let y = b.not(&x);
+        b.output("y", &y);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        let map = nl.net_name_map();
+        let nets: Vec<_> = (0..4).map(|i| map[format!("x[{i}]").as_str()]).collect();
+        sim.poke_bus(&nets, &Word::from_u64(0, 4));
+        sim.settle();
+        sim.arm_toggle_observer();
+        sim.poke_bus(&nets, &Word::from_u64(0xf, 4));
+        sim.settle();
+        let profile = sim.take_toggle_profile().unwrap();
+        let result = generate(&nl, &profile);
+        assert_eq!(result.report.bespoke_gates, result.report.original_gates);
+        assert_eq!(result.report.reduction_percent(), 0.0);
+    }
+
+    #[test]
+    fn untoggled_dff_becomes_constant() {
+        let mut b = RtlBuilder::new("dffconst");
+        let x = b.input("x", 1);
+        let zero_b = b.const_word(0, 1);
+        let one = b.one();
+        let frozen = b.reg_en("frozen", &zero_b, one, 0);
+        let y = b.or(&frozen, &x);
+        b.output("y", &y);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        sim.poke(nl.find_net("x").unwrap(), Value::ZERO);
+        sim.settle();
+        sim.arm_toggle_observer();
+        for v in [Value::ONE, Value::ZERO, Value::ONE] {
+            sim.poke(nl.find_net("x").unwrap(), v);
+            sim.settle();
+            sim.step_cycle();
+        }
+        let profile = sim.take_toggle_profile().unwrap();
+        let result = generate(&nl, &profile);
+        assert_eq!(result.netlist.dff_count(), 0);
+        assert!(result.report.dffs_pruned >= 1);
+        assert!(result.netlist.gates().iter().any(is_const) || result.netlist.gate_count() > 0);
+    }
+}

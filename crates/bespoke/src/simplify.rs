@@ -1,0 +1,279 @@
+use std::collections::HashSet;
+
+use serde::{Deserialize, Serialize};
+use symsim_logic::Value;
+use symsim_netlist::{CellKind, Gate, GateId, NetId, Netlist};
+
+/// Statistics from a simplification pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimplifyStats {
+    /// Gates rewritten into simpler cells (constants, buffers, inverters).
+    pub rewritten: usize,
+    /// Gates removed because nothing reads their outputs.
+    pub dead_removed: usize,
+    /// Flip-flops removed because nothing reads their outputs.
+    pub dead_dffs_removed: usize,
+}
+
+/// Constant value driven onto each net by `Const0`/`Const1` cells, if any.
+fn net_constants(netlist: &Netlist) -> Vec<Option<bool>> {
+    let mut consts = vec![None; netlist.net_count()];
+    for g in netlist.gates() {
+        match g.kind {
+            CellKind::Const0 => consts[g.output.0 as usize] = Some(false),
+            CellKind::Const1 => consts[g.output.0 as usize] = Some(true),
+            _ => {}
+        }
+    }
+    consts
+}
+
+fn const_gate(value: bool, output: NetId) -> Gate {
+    Gate {
+        kind: if value { CellKind::Const1 } else { CellKind::Const0 },
+        inputs: vec![],
+        output,
+    }
+}
+
+fn buf_gate(input: NetId, output: NetId) -> Gate {
+    Gate {
+        kind: CellKind::Buf,
+        inputs: vec![input],
+        output,
+    }
+}
+
+fn not_gate(input: NetId, output: NetId) -> Gate {
+    Gate {
+        kind: CellKind::Not,
+        inputs: vec![input],
+        output,
+    }
+}
+
+/// One round of constant propagation: gates with constant inputs are
+/// rewritten into constants, buffers, or inverters. Returns the number of
+/// gates rewritten; call repeatedly (or via [`propagate_constants`]) to
+/// reach a fixpoint.
+fn propagate_once(netlist: &mut Netlist) -> usize {
+    let consts = net_constants(netlist);
+    let c = |n: NetId| consts[n.0 as usize];
+    let mut rewrites: Vec<(GateId, Gate)> = Vec::new();
+
+    for (id, g) in netlist.iter_gates() {
+        let out = g.output;
+        let new = match g.kind {
+            CellKind::Const0 | CellKind::Const1 => None,
+            CellKind::Buf => c(g.inputs[0]).map(|v| const_gate(v, out)),
+            CellKind::Not => c(g.inputs[0]).map(|v| const_gate(!v, out)),
+            CellKind::And2 => match (c(g.inputs[0]), c(g.inputs[1])) {
+                (Some(false), _) | (_, Some(false)) => Some(const_gate(false, out)),
+                (Some(true), _) => Some(buf_gate(g.inputs[1], out)),
+                (_, Some(true)) => Some(buf_gate(g.inputs[0], out)),
+                _ => None,
+            },
+            CellKind::Or2 => match (c(g.inputs[0]), c(g.inputs[1])) {
+                (Some(true), _) | (_, Some(true)) => Some(const_gate(true, out)),
+                (Some(false), _) => Some(buf_gate(g.inputs[1], out)),
+                (_, Some(false)) => Some(buf_gate(g.inputs[0], out)),
+                _ => None,
+            },
+            CellKind::Nand2 => match (c(g.inputs[0]), c(g.inputs[1])) {
+                (Some(false), _) | (_, Some(false)) => Some(const_gate(true, out)),
+                (Some(true), _) => Some(not_gate(g.inputs[1], out)),
+                (_, Some(true)) => Some(not_gate(g.inputs[0], out)),
+                _ => None,
+            },
+            CellKind::Nor2 => match (c(g.inputs[0]), c(g.inputs[1])) {
+                (Some(true), _) | (_, Some(true)) => Some(const_gate(false, out)),
+                (Some(false), _) => Some(not_gate(g.inputs[1], out)),
+                (_, Some(false)) => Some(not_gate(g.inputs[0], out)),
+                _ => None,
+            },
+            CellKind::Xor2 => match (c(g.inputs[0]), c(g.inputs[1])) {
+                (Some(a), Some(b)) => Some(const_gate(a ^ b, out)),
+                (Some(false), _) => Some(buf_gate(g.inputs[1], out)),
+                (_, Some(false)) => Some(buf_gate(g.inputs[0], out)),
+                (Some(true), _) => Some(not_gate(g.inputs[1], out)),
+                (_, Some(true)) => Some(not_gate(g.inputs[0], out)),
+                (None, None) => None,
+            },
+            CellKind::Xnor2 => match (c(g.inputs[0]), c(g.inputs[1])) {
+                (Some(a), Some(b)) => Some(const_gate(a == b, out)),
+                (Some(true), _) => Some(buf_gate(g.inputs[1], out)),
+                (_, Some(true)) => Some(buf_gate(g.inputs[0], out)),
+                (Some(false), _) => Some(not_gate(g.inputs[1], out)),
+                (_, Some(false)) => Some(not_gate(g.inputs[0], out)),
+                (None, None) => None,
+            },
+            CellKind::Mux2 => match c(g.inputs[0]) {
+                Some(false) => Some(buf_gate(g.inputs[1], out)),
+                Some(true) => Some(buf_gate(g.inputs[2], out)),
+                None => {
+                    if g.inputs[1] == g.inputs[2] {
+                        Some(buf_gate(g.inputs[1], out))
+                    } else {
+                        match (c(g.inputs[1]), c(g.inputs[2])) {
+                            (Some(a), Some(b)) if a == b => Some(const_gate(a, out)),
+                            _ => None,
+                        }
+                    }
+                }
+            },
+        };
+        if let Some(gate) = new {
+            if gate != *g {
+                rewrites.push((id, gate));
+            }
+        }
+    }
+    let n = rewrites.len();
+    for (id, gate) in rewrites {
+        netlist.replace_gate(id, gate);
+    }
+    n
+}
+
+/// Propagates constants to a fixpoint. Returns total rewrites performed.
+pub fn propagate_constants(netlist: &mut Netlist) -> usize {
+    let mut total = 0;
+    loop {
+        let n = propagate_once(netlist);
+        total += n;
+        if n == 0 {
+            return total;
+        }
+    }
+}
+
+/// Removes gates and flip-flops whose outputs nothing reads (not a gate
+/// input, flip-flop `d`, memory port pin, or primary output). Iterates to a
+/// fixpoint. Returns `(gates_removed, dffs_removed)`.
+pub fn sweep_dead_gates(netlist: &mut Netlist) -> (usize, usize) {
+    let mut total = (0usize, 0usize);
+    loop {
+        let mut live: HashSet<NetId> = HashSet::new();
+        for g in netlist.gates() {
+            live.extend(g.inputs.iter().copied());
+        }
+        for d in netlist.dffs() {
+            live.insert(d.d);
+        }
+        for m in netlist.memories() {
+            for rp in &m.read_ports {
+                live.extend(rp.addr.iter().copied());
+            }
+            for wp in &m.write_ports {
+                live.extend(wp.addr.iter().copied());
+                live.extend(wp.data.iter().copied());
+                live.insert(wp.we);
+            }
+        }
+        live.extend(netlist.outputs().iter().copied());
+        let (rg, rd) = netlist.retain(
+            |_, g| live.contains(&g.output),
+            |_, d| live.contains(&d.q),
+        );
+        total.0 += rg;
+        total.1 += rd;
+        if rg == 0 && rd == 0 {
+            return total;
+        }
+    }
+}
+
+/// Ties net `net` to constant `value` by replacing its driver gate (if any)
+/// with a constant cell. Used by bespoke pruning for untoggled gates whose
+/// observed constant is known.
+pub(crate) fn tie_off(netlist: &mut Netlist, gate: GateId, value: Value) -> bool {
+    match value.to_bool() {
+        Some(b) => {
+            let out = netlist.gate(gate).output;
+            netlist.replace_gate(gate, const_gate(b, out));
+            true
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symsim_netlist::RtlBuilder;
+
+    #[test]
+    fn constants_fold_through_logic() {
+        let mut b = RtlBuilder::new("fold");
+        let x = b.input("x", 1);
+        let zero = b.zero();
+        let a = b.and1(x.bit(0), zero); // = 0
+        let o = b.or1(a, x.bit(0)); // = x
+        let y = symsim_netlist::Bus::from_nets(vec![o]);
+        b.output("y", &y);
+        let mut nl = b.finish().unwrap();
+        let rewrites = propagate_constants(&mut nl);
+        assert!(rewrites >= 2);
+        let (dead, _) = sweep_dead_gates(&mut nl);
+        assert!(dead >= 1);
+        assert!(nl.validate().is_ok());
+        // y is now a buffer chain from x
+        let gates: Vec<_> = nl.gates().iter().map(|g| g.kind).collect();
+        assert!(gates
+            .iter()
+            .all(|k| matches!(k, CellKind::Buf | CellKind::Const0 | CellKind::Const1)));
+    }
+
+    #[test]
+    fn mux_with_constant_select_folds() {
+        let mut b = RtlBuilder::new("m");
+        let x = b.input("x", 1);
+        let yb = b.input("y", 1);
+        let one = b.one();
+        let m = b.mux1(one, x.bit(0), yb.bit(0));
+        let out = symsim_netlist::Bus::from_nets(vec![m]);
+        b.output("o", &out);
+        let mut nl = b.finish().unwrap();
+        propagate_constants(&mut nl);
+        let mux_count = nl
+            .gates()
+            .iter()
+            .filter(|g| g.kind == CellKind::Mux2)
+            .count();
+        assert_eq!(mux_count, 0);
+    }
+
+    #[test]
+    fn dead_sweep_keeps_outputs_and_state() {
+        let mut b = RtlBuilder::new("keep");
+        let x = b.input("x", 2);
+        let r = b.reg("r", 2, 0);
+        let q = r.q.clone();
+        let nxt = b.xor(&q, &x);
+        b.drive_reg(r, &nxt);
+        b.output("q", &q);
+        // a dangling cone
+        let dead1 = b.and1(x.bit(0), x.bit(1));
+        let _dead2 = b.not1(dead1);
+        let mut nl = b.finish().unwrap();
+        let before = nl.gate_count();
+        let (removed, removed_d) = sweep_dead_gates(&mut nl);
+        assert_eq!(removed, 2);
+        assert_eq!(removed_d, 0);
+        assert_eq!(nl.gate_count(), before - 2);
+        assert_eq!(nl.dff_count(), 2);
+    }
+
+    #[test]
+    fn dead_dff_removed() {
+        let mut b = RtlBuilder::new("deaddff");
+        let x = b.input("x", 1);
+        let r = b.reg("r", 1, 0); // q unread
+        b.drive_reg(r, &x);
+        b.output("xo", &x);
+        let mut nl = b.finish().unwrap();
+        let (_, removed_d) = sweep_dead_gates(&mut nl);
+        assert_eq!(removed_d, 1);
+        assert_eq!(nl.dff_count(), 0);
+    }
+}

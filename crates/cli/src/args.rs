@@ -1,0 +1,79 @@
+//! Minimal flag parsing: `--flag value` pairs plus positional operands.
+
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    pub positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut it = argv.iter();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("--{name} expects a value"))?;
+                if out.flags.insert(name.to_string(), value.clone()).is_some() {
+                    return Err(format!("--{name} given twice"));
+                }
+            } else {
+                out.positional.push(arg.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    pub fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required --{name}"))
+    }
+
+    pub fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: bad number \"{v}\"")),
+        }
+    }
+
+    pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name}: bad number \"{v}\"")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = Args::parse(&argv("design.v --pc pc --workers 4 extra")).unwrap();
+        assert_eq!(a.positional, vec!["design.v", "extra"]);
+        assert_eq!(a.get("pc"), Some("pc"));
+        assert_eq!(a.get_usize("workers", 1).unwrap(), 4);
+        assert_eq!(a.get_usize("missing", 7).unwrap(), 7);
+        assert!(a.require("nope").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Args::parse(&argv("--dangling")).is_err());
+        assert!(Args::parse(&argv("--x 1 --x 2")).is_err());
+        let a = Args::parse(&argv("--workers abc")).unwrap();
+        assert!(a.get_usize("workers", 1).is_err());
+    }
+}

@@ -1,0 +1,495 @@
+//! Subcommand implementations.
+
+use std::fs;
+
+use symsim_core::{CoAnalysis, CoAnalysisConfig, CsmPolicy, DesignInterface};
+use symsim_logic::Word;
+use symsim_netlist::{Netlist, NetlistStats};
+use symsim_sim::{HaltReason, MonitorSpec, SimConfig, Simulator, ToggleProfile};
+
+use crate::args::Args;
+use crate::files;
+
+const USAGE: &str = "\
+usage:
+  symsim stats    <design.v>
+  symsim lint     <design.v>
+  symsim dot      <design.v> [--out graph.dot] [--profile profile.txt]
+                  [--max-gates N]
+  symsim analyze  <design.v> --program app.hex --pc <bus> --finish <net>
+                  --monitor control_signals.ini
+                  [--qualifier <net>] [--pmem pmem] [--dmem dmem]
+                  [--inputs a,b,...] [--data a=v,...] [--constraints file]
+                  [--policy single|multi:N] [--workers N] [--max-cycles N]
+                  [--max-paths N] [--profile-out profile.txt] [--power yes]
+                  [--tagged yes]
+  symsim bespoke  <design.v> --profile profile.txt [--out bespoke.v]
+  symsim simulate <design.v> --program app.hex --finish <net>
+                  [--cycles N] [--pmem pmem] [--dmem dmem] [--data a=v,...]
+                  [--watch net,net,...] [--vcd out.vcd]
+  symsim fault    <design.v> --program app.hex [--cycles N]
+                  [--pmem pmem] [--dmem dmem] [--data a=v,...]
+                  [--max-faults N] [--observe net,net,...]
+  symsim convert  <design.{v,blif}> --out <design.{v,blif}>
+
+designs are read as BLIF when the file ends in .blif, else as structural
+Verilog";
+
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(USAGE.into());
+    };
+    match cmd.as_str() {
+        "stats" => stats(&Args::parse(rest)?),
+        "lint" => lint_cmd(&Args::parse(rest)?),
+        "dot" => dot_cmd(&Args::parse(rest)?),
+        "analyze" => analyze(&Args::parse(rest)?),
+        "bespoke" => bespoke(&Args::parse(rest)?),
+        "simulate" => simulate(&Args::parse(rest)?),
+        "fault" => fault_cmd(&Args::parse(rest)?),
+        "convert" => convert(&Args::parse(rest)?),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command \"{other}\"\n{USAGE}")),
+    }
+}
+
+/// Reads a design in either supported format, selected by extension
+/// (`.blif` → BLIF, anything else → structural Verilog).
+fn read_design(path: &str) -> Result<Netlist, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let netlist = if path.ends_with(".blif") {
+        symsim_verilog::parse_blif(&text).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        symsim_verilog::parse_netlist(&text).map_err(|e| format!("{path}: {e}"))?
+    };
+    netlist
+        .validate()
+        .map_err(|e| format!("{path}: invalid netlist: {e}"))?;
+    Ok(netlist)
+}
+
+fn load_netlist(args: &Args) -> Result<Netlist, String> {
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| format!("missing design file\n{USAGE}"))?;
+    read_design(path)
+}
+
+fn stats(args: &Args) -> Result<(), String> {
+    let netlist = load_netlist(args)?;
+    print!("{}", NetlistStats::of(&netlist));
+    Ok(())
+}
+
+fn lint_cmd(args: &Args) -> Result<(), String> {
+    let netlist = load_netlist(args)?;
+    let findings = symsim_netlist::lint::lint(&netlist);
+    if findings.is_empty() {
+        println!("{}: clean", netlist.name);
+        return Ok(());
+    }
+    for finding in &findings {
+        println!("warning: {finding}");
+    }
+    println!("{} finding(s)", findings.len());
+    Ok(())
+}
+
+fn dot_cmd(args: &Args) -> Result<(), String> {
+    let netlist = load_netlist(args)?;
+    let mut options = symsim_netlist::dot::DotOptions {
+        max_gates: args.get_usize("max-gates", 500)?,
+        ..Default::default()
+    };
+    if let Some(path) = args.get("profile") {
+        let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let profile = ToggleProfile::from_text(&text)?;
+        if profile.len() != netlist.net_count() {
+            return Err("profile does not match this design".into());
+        }
+        options
+            .highlight_gates
+            .extend(profile.exercisable_gates(&netlist));
+    }
+    let text = symsim_netlist::dot::to_dot(&netlist, &options);
+    match args.get("out") {
+        Some(path) => {
+            fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+/// Shared design/application setup for `analyze` and `simulate`.
+struct Setup {
+    program: Vec<u32>,
+    pmem: usize,
+    dmem: usize,
+    dmem_width: usize,
+    dmem_depth: usize,
+    data: Vec<(usize, u64)>,
+    inputs: Vec<usize>,
+}
+
+impl Setup {
+    fn from_args(args: &Args, netlist: &Netlist) -> Result<Setup, String> {
+        let program_path = args.require("program")?;
+        let text = fs::read_to_string(program_path)
+            .map_err(|e| format!("cannot read {program_path}: {e}"))?;
+        let program = files::parse_program(&text)?;
+        let pmem = files::resolve_memory(netlist, args.get("pmem").unwrap_or("pmem"))?;
+        let dmem = files::resolve_memory(netlist, args.get("dmem").unwrap_or("dmem"))?;
+        if program.len() > netlist.memories()[pmem].depth {
+            return Err(format!(
+                "program ({} words) exceeds program memory ({} words)",
+                program.len(),
+                netlist.memories()[pmem].depth
+            ));
+        }
+        let dmem_depth = netlist.memories()[dmem].depth;
+        let data = args
+            .get("data")
+            .map(files::parse_data_init)
+            .transpose()?
+            .unwrap_or_default();
+        let inputs = args
+            .get("inputs")
+            .map(files::parse_addr_list)
+            .transpose()?
+            .unwrap_or_default();
+        for &addr in data.iter().map(|(a, _)| a).chain(&inputs) {
+            if addr >= dmem_depth {
+                return Err(format!(
+                    "data address {addr} is outside the {dmem_depth}-word data memory"
+                ));
+            }
+        }
+        Ok(Setup {
+            program,
+            pmem,
+            dmem,
+            dmem_width: netlist.memories()[dmem].width,
+            dmem_depth,
+            data,
+            inputs,
+        })
+    }
+
+    fn apply(&self, sim: &mut Simulator<'_>, symbolic_inputs: bool, tagged: bool) {
+        for (i, &w) in self.program.iter().enumerate() {
+            sim.write_mem_word(self.pmem, i, &Word::from_u64(w as u64, 32));
+        }
+        for a in 0..self.dmem_depth {
+            sim.write_mem_word(self.dmem, a, &Word::from_u64(0, self.dmem_width));
+        }
+        for &(a, v) in &self.data {
+            sim.write_mem_word(self.dmem, a, &Word::from_u64(v, self.dmem_width));
+        }
+        if symbolic_inputs {
+            let mut next_id = 0u32;
+            for &a in &self.inputs {
+                let word = if tagged {
+                    let w = Word::symbols(next_id, self.dmem_width);
+                    next_id += self.dmem_width as u32;
+                    w
+                } else {
+                    Word::xs(self.dmem_width)
+                };
+                sim.write_mem_word(self.dmem, a, &word);
+            }
+        }
+    }
+}
+
+fn parse_policy(spec: Option<&str>) -> Result<CsmPolicy, String> {
+    match spec {
+        None | Some("single") => Ok(CsmPolicy::SingleMerge),
+        Some(multi) => {
+            let n = multi
+                .strip_prefix("multi:")
+                .and_then(|n| n.parse().ok())
+                .ok_or_else(|| format!("--policy: expected single or multi:N, got \"{multi}\""))?;
+            Ok(CsmPolicy::MultiState { max_states: n })
+        }
+    }
+}
+
+fn analyze(args: &Args) -> Result<(), String> {
+    let netlist = load_netlist(args)?;
+    let setup = Setup::from_args(args, &netlist)?;
+
+    let monitor_path = args.require("monitor")?;
+    let monitor_text = fs::read_to_string(monitor_path)
+        .map_err(|e| format!("cannot read {monitor_path}: {e}"))?;
+    let monitor = files::parse_monitor_file(&monitor_text)?;
+    let qualifier = match args.get("qualifier").map(String::from).or(monitor.qualifier.clone()) {
+        Some(name) => Some(files::resolve_net(&netlist, &name)?),
+        None => None,
+    };
+    let signals = monitor
+        .signals
+        .iter()
+        .map(|s| files::resolve_net(&netlist, s))
+        .collect::<Result<Vec<_>, _>>()?;
+    let split_signals = if monitor.split.is_empty() {
+        None
+    } else {
+        Some(
+            monitor
+                .split
+                .iter()
+                .map(|s| files::resolve_net(&netlist, s))
+                .collect::<Result<Vec<_>, _>>()?,
+        )
+    };
+    let iface = DesignInterface {
+        pc: files::resolve_bus(&netlist, args.require("pc")?)?,
+        monitor: MonitorSpec { qualifier, signals },
+        split_signals,
+        finish: files::resolve_net(&netlist, args.require("finish")?)?,
+    };
+
+    let constraints = match args.get("constraints") {
+        None => Vec::new(),
+        Some(path) => {
+            let text =
+                fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            files::parse_constraints(&text, &netlist)?
+        }
+    };
+
+    // --tagged yes: inputs become identified symbols and gates simplify on
+    // recombination (paper Fig. 4 left)
+    let tagged = args.get("tagged").is_some();
+    let config = CoAnalysisConfig {
+        sim: SimConfig {
+            policy: if tagged {
+                symsim_logic::PropagationPolicy::Tagged
+            } else {
+                symsim_logic::PropagationPolicy::Anonymous
+            },
+            ..SimConfig::default()
+        },
+        policy: parse_policy(args.get("policy"))?,
+        constraints,
+        max_cycles_per_segment: args.get_u64("max-cycles", 200_000)?,
+        max_paths: args.get_usize("max-paths", 100_000)?,
+        max_split_signals: args.get_usize("max-split", 6)?,
+        workers: args.get_usize("workers", 1)?,
+        activity_weights: if args.get("power").is_some() {
+            Some(symsim_power::switching_weights(&netlist))
+        } else {
+            None
+        },
+    };
+
+    let analysis = CoAnalysis::new(&netlist, iface, config);
+    let report = analysis.run(|sim| setup.apply(sim, true, tagged));
+    println!("{report}");
+    if !report.converged() {
+        eprintln!(
+            "warning: {} paths exhausted the cycle budget — raise --max-cycles",
+            report.paths_budget_exhausted
+        );
+    }
+    if let Some(power) = symsim_power::PowerReport::from_report(&report) {
+        println!("power: {power}");
+        let slack = symsim_power::timing_slack(&netlist, &report.profile);
+        println!(
+            "timing: exercised depth {} of {} levels ({:.0}% headroom)",
+            slack.exercised_depth,
+            slack.design_depth,
+            slack.headroom() * 100.0
+        );
+    }
+    if let Some(out) = args.get("profile-out") {
+        fs::write(out, report.profile.to_text())
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote activity profile to {out}");
+    }
+    Ok(())
+}
+
+fn bespoke(args: &Args) -> Result<(), String> {
+    let netlist = load_netlist(args)?;
+    let profile_path = args.require("profile")?;
+    let text = fs::read_to_string(profile_path)
+        .map_err(|e| format!("cannot read {profile_path}: {e}"))?;
+    let profile = ToggleProfile::from_text(&text)?;
+    if profile.len() != netlist.net_count() {
+        return Err(format!(
+            "profile covers {} nets but the design has {}",
+            profile.len(),
+            netlist.net_count()
+        ));
+    }
+    let result = symsim_bespoke::generate(&netlist, &profile);
+    println!(
+        "bespoke: {} -> {} gates ({:.2}% reduction), area {:.0} -> {:.0}",
+        result.report.original_gates,
+        result.report.bespoke_gates,
+        result.report.reduction_percent(),
+        result.report.original_area,
+        result.report.bespoke_area
+    );
+    if let Some(out) = args.get("out") {
+        fs::write(out, symsim_verilog::write_netlist(&result.netlist))
+            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("wrote bespoke netlist to {out}");
+    }
+    Ok(())
+}
+
+fn simulate(args: &Args) -> Result<(), String> {
+    let netlist = load_netlist(args)?;
+    let setup = Setup::from_args(args, &netlist)?;
+    let finish = files::resolve_net(&netlist, args.require("finish")?)?;
+    let cycles = args.get_u64("cycles", 100_000)?;
+
+    let mut sim = Simulator::new(&netlist, SimConfig::default());
+    setup.apply(&mut sim, false, false);
+    for &inp in netlist.inputs() {
+        sim.poke(inp, symsim_logic::Value::ZERO);
+    }
+    sim.set_finish_net(finish);
+    sim.settle();
+    let reason = if let Some(vcd_path) = args.get("vcd") {
+        // waveform-enabled run: sample the watched nets every cycle
+        let watch_nets: Vec<_> = match args.get("watch") {
+            Some(watch) => {
+                let mut nets = Vec::new();
+                for name in watch.split(',').filter(|s| !s.trim().is_empty()) {
+                    nets.extend(files::resolve_bus(&netlist, name.trim())?);
+                }
+                nets
+            }
+            None => netlist.outputs().to_vec(),
+        };
+        let file = fs::File::create(vcd_path)
+            .map_err(|e| format!("cannot create {vcd_path}: {e}"))?;
+        let mut writer = std::io::BufWriter::new(file);
+        let mut vcd = symsim_sim::VcdWriter::new(&mut writer, &netlist, &watch_nets)
+            .map_err(|e| format!("vcd: {e}"))?;
+        let mut reason = HaltReason::MaxCycles;
+        for _ in 0..cycles {
+            vcd.sample(&sim).map_err(|e| format!("vcd: {e}"))?;
+            if let Some(r) = sim.step_cycle() {
+                reason = r;
+                break;
+            }
+        }
+        println!("wrote waveform to {vcd_path}");
+        reason
+    } else {
+        sim.run(cycles)
+    };
+    match reason {
+        HaltReason::Finished => println!("finished after {} cycles", sim.cycle()),
+        other => println!("stopped ({other:?}) after {} cycles", sim.cycle()),
+    }
+    if let Some(watch) = args.get("watch") {
+        for name in watch.split(',').filter(|s| !s.trim().is_empty()) {
+            let bus = files::resolve_bus(&netlist, name.trim())?;
+            println!("{name} = {}", sim.read_bus(&bus));
+        }
+    }
+    Ok(())
+}
+
+/// Converts between the supported netlist formats (by output extension).
+fn convert(args: &Args) -> Result<(), String> {
+    let netlist = load_netlist(args)?;
+    let out = args.require("out")?;
+    let text = if out.ends_with(".blif") {
+        symsim_verilog::write_blif(&netlist).map_err(|e| e.to_string())?
+    } else {
+        symsim_verilog::write_netlist(&netlist)
+    };
+    fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {out} ({} gates, {} flip-flops)",
+        netlist.gate_count(),
+        netlist.dff_count()
+    );
+    Ok(())
+}
+
+/// Fault grading: run the application as the test stimulus and measure
+/// which stuck-at faults it detects at the observed nets.
+fn fault_cmd(args: &Args) -> Result<(), String> {
+    let netlist = load_netlist(args)?;
+    let setup = Setup::from_args(args, &netlist)?;
+    let cycles = args.get_u64("cycles", 2_000)?;
+    let max_faults = args.get_usize("max-faults", 2_000)?;
+
+    let mut sim = Simulator::new(&netlist, SimConfig::default());
+    setup.apply(&mut sim, false, false);
+    for &inp in netlist.inputs() {
+        sim.poke(inp, symsim_logic::Value::ZERO);
+    }
+    sim.settle();
+
+    let mut faults = symsim_sim::fault::all_output_faults(&netlist);
+    if faults.len() > max_faults {
+        // deterministic thinning keeps the sample spread across the design
+        let stride = faults.len().div_ceil(max_faults);
+        faults = faults.into_iter().step_by(stride).collect();
+        println!(
+            "grading a deterministic sample of {} faults (--max-faults)",
+            faults.len()
+        );
+    }
+    let report = symsim_sim::fault::grade(&mut sim, &faults, cycles, |_, _| {});
+    println!(
+        "fault coverage: {:.2}% ({} detected / {} graded) over {} cycles; {} simulated cycles total",
+        report.coverage_percent(),
+        report.detected,
+        report.detected + report.undetected.len(),
+        cycles,
+        report.simulated_cycles
+    );
+    if let Some(spec) = args.get("observe") {
+        // informational: show the observed nets' fault-free final values
+        for name in spec.split(',').filter(|s| !s.trim().is_empty()) {
+            let bus = files::resolve_bus(&netlist, name.trim())?;
+            println!("{name} = {}", sim.read_bus(&bus));
+        }
+    }
+    for fault in report.undetected.iter().take(10) {
+        println!(
+            "undetected: {} stuck-at-{}",
+            netlist.net_name(fault.net),
+            u8::from(fault.stuck_at_one)
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_on_no_command() {
+        assert!(dispatch(&[]).is_err());
+        assert!(dispatch(&["frobnicate".into()]).is_err());
+    }
+
+    #[test]
+    fn policy_parsing() {
+        assert_eq!(parse_policy(None).unwrap(), CsmPolicy::SingleMerge);
+        assert_eq!(parse_policy(Some("single")).unwrap(), CsmPolicy::SingleMerge);
+        assert_eq!(
+            parse_policy(Some("multi:3")).unwrap(),
+            CsmPolicy::MultiState { max_states: 3 }
+        );
+        assert!(parse_policy(Some("weird")).is_err());
+    }
+}

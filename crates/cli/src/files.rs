@@ -1,0 +1,203 @@
+//! File formats the CLI consumes: program images, monitor lists
+//! (`control_signals.ini` of paper Listing 1), constraint files, and data
+//! initializers.
+
+use symsim_logic::Value;
+use symsim_netlist::{NetId, Netlist};
+
+/// Parses a program image: one hexadecimal word per line (a `0x` prefix is
+/// optional); `#`/`;`/`//` comments and blank lines ignored. The format is
+/// always hex — an all-digit word like `04000000` would otherwise be
+/// ambiguous.
+pub fn parse_program(text: &str) -> Result<Vec<u32>, String> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let mut line = raw;
+        for marker in ["#", ";", "//"] {
+            if let Some(p) = line.find(marker) {
+                line = &line[..p];
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let digits = line.strip_prefix("0x").unwrap_or(line);
+        let value = u32::from_str_radix(digits, 16)
+            .map_err(|_| format!("program line {}: bad hex word \"{line}\"", i + 1))?;
+        out.push(value);
+    }
+    if out.is_empty() {
+        return Err("program image is empty".into());
+    }
+    Ok(out)
+}
+
+/// The parsed monitor list (the `control_signals.ini` of Listing 1).
+#[derive(Debug, Clone, Default)]
+pub struct MonitorFile {
+    pub qualifier: Option<String>,
+    pub signals: Vec<String>,
+    pub split: Vec<String>,
+}
+
+/// Parses a monitor list: `signal <net>` lines, an optional
+/// `qualifier <net>` line, and optional `split <net>` lines naming the
+/// signals the CSM forces (defaults to the monitored signals).
+pub fn parse_monitor_file(text: &str) -> Result<MonitorFile, String> {
+    let mut out = MonitorFile::default();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (kw, rest) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| format!("monitor line {}: expected \"<kind> <net>\"", i + 1))?;
+        let net = rest.trim().to_string();
+        match kw {
+            "signal" => out.signals.push(net),
+            "split" => out.split.push(net),
+            "qualifier" => {
+                if out.qualifier.replace(net).is_some() {
+                    return Err(format!("monitor line {}: duplicate qualifier", i + 1));
+                }
+            }
+            other => return Err(format!("monitor line {}: unknown kind \"{other}\"", i + 1)),
+        }
+    }
+    if out.signals.is_empty() {
+        return Err("monitor list has no signals".into());
+    }
+    Ok(out)
+}
+
+/// Parses a constraint file: `net = 0|1` per line (paper §3.3's constraint
+/// text file), resolving net names against the design.
+pub fn parse_constraints(
+    text: &str,
+    netlist: &Netlist,
+) -> Result<Vec<symsim_core::StateConstraint>, String> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("constraint line {}: expected \"net = value\"", i + 1))?;
+        let net = resolve_net(netlist, name.trim())?;
+        let value = match value.trim() {
+            "0" => Value::ZERO,
+            "1" => Value::ONE,
+            other => return Err(format!("constraint line {}: bad value \"{other}\"", i + 1)),
+        };
+        out.push(symsim_core::StateConstraint { net, value });
+    }
+    Ok(out)
+}
+
+/// Parses `addr=value` comma-separated data initializers.
+pub fn parse_data_init(spec: &str) -> Result<Vec<(usize, u64)>, String> {
+    spec.split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|pair| {
+            let (a, v) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("bad data initializer \"{pair}\""))?;
+            let addr = a.trim().parse().map_err(|_| format!("bad address \"{a}\""))?;
+            let v = v.trim();
+            let value = if let Some(hex) = v.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                v.parse()
+            }
+            .map_err(|_| format!("bad value \"{v}\""))?;
+            Ok((addr, value))
+        })
+        .collect()
+}
+
+/// Parses a comma-separated address list.
+pub fn parse_addr_list(spec: &str) -> Result<Vec<usize>, String> {
+    spec.split(',')
+        .filter(|s| !s.trim().is_empty())
+        .map(|a| {
+            a.trim()
+                .parse()
+                .map_err(|_| format!("bad address \"{a}\""))
+        })
+        .collect()
+}
+
+/// Resolves a single net by name.
+pub fn resolve_net(netlist: &Netlist, name: &str) -> Result<NetId, String> {
+    netlist
+        .find_net(name)
+        .ok_or_else(|| format!("no net named \"{name}\" in {}", netlist.name))
+}
+
+/// Resolves a bus: either a scalar net `name` or `name[0]..name[n-1]`
+/// (width auto-detected).
+pub fn resolve_bus(netlist: &Netlist, name: &str) -> Result<Vec<NetId>, String> {
+    if let Some(n) = netlist.find_net(name) {
+        return Ok(vec![n]);
+    }
+    let mut out = Vec::new();
+    for i in 0.. {
+        match netlist.find_net(&format!("{name}[{i}]")) {
+            Some(n) => out.push(n),
+            None => break,
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("no net or bus named \"{name}\" in {}", netlist.name));
+    }
+    Ok(out)
+}
+
+/// Finds a memory index by name.
+pub fn resolve_memory(netlist: &Netlist, name: &str) -> Result<usize, String> {
+    netlist
+        .memories()
+        .iter()
+        .position(|m| m.name == name)
+        .ok_or_else(|| format!("no memory named \"{name}\" in {}", netlist.name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_formats() {
+        let p = parse_program("0x10  # comment\n20\ndeadbeef\n\n; note\n").unwrap();
+        assert_eq!(p, vec![0x10, 0x20, 0xdeadbeef]);
+        assert!(parse_program("zzz").is_err());
+        assert!(parse_program("# only comments\n").is_err());
+    }
+
+    #[test]
+    fn monitor_file() {
+        let m = parse_monitor_file(
+            "qualifier is_branch\nsignal flags[0] # Z\nsignal flags[1]\nsplit branch_cond\n",
+        )
+        .unwrap();
+        assert_eq!(m.qualifier.as_deref(), Some("is_branch"));
+        assert_eq!(m.signals.len(), 2);
+        assert_eq!(m.split, vec!["branch_cond"]);
+        assert!(parse_monitor_file("qualifier a\n").is_err());
+        assert!(parse_monitor_file("bogus x\nsignal s\n").is_err());
+    }
+
+    #[test]
+    fn data_and_addresses() {
+        assert_eq!(
+            parse_data_init("0=5, 3=0x10").unwrap(),
+            vec![(0, 5), (3, 16)]
+        );
+        assert_eq!(parse_addr_list("1,2, 9").unwrap(), vec![1, 2, 9]);
+        assert!(parse_data_init("1:2").is_err());
+    }
+}

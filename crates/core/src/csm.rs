@@ -1,0 +1,314 @@
+use std::collections::HashMap;
+
+use symsim_logic::Value;
+use symsim_netlist::NetId;
+use symsim_sim::SimState;
+
+/// How conservative states are formed (paper Fig. 3).
+///
+/// Each policy trades simulation effort against over-approximation:
+///
+/// * [`CsmPolicy::SingleMerge`] — one conservative state per PC, formed by
+///   replacing all differing bits with `X`s ("uber-conservative", Fig. 3
+///   third row). Fastest convergence, most over-approximation. This is the
+///   policy of the prior-work flow and of the paper's evaluation.
+/// * [`CsmPolicy::MultiState`] — up to `max_states` separate conservative
+///   states per PC (Fig. 3 second row). New states open a fresh slot while
+///   one is free; afterwards the closest existing state (fewest newly-
+///   unknown bits) absorbs the newcomer. Less over-approximation, more
+///   simulated paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CsmPolicy {
+    /// One merged superstate per PC.
+    #[default]
+    SingleMerge,
+    /// Up to `max_states` conservative states per PC.
+    MultiState {
+        /// Slots per PC (must be ≥ 1).
+        max_states: usize,
+    },
+}
+
+/// An application constraint pinning a net to a known value in every
+/// conservative state (the constraint-file mechanism of paper §3.3, after
+/// the constrained co-analysis of Hegde et al., ASP-DAC'21). Constraints
+/// reduce over-approximation when the designer knows an input can never
+/// take certain values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateConstraint {
+    /// The net to constrain.
+    pub net: NetId,
+    /// The value it is known to hold whenever a state is formed.
+    pub value: Value,
+}
+
+/// Result of presenting a halted state to the CSM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Observation {
+    /// The state is a subset of an already-simulated conservative state:
+    /// this path requires no further simulation (Algorithm 1 line 25).
+    Covered,
+    /// A new, more conservative superstate was formed; simulation must
+    /// continue from it (Algorithm 1 lines 22-24).
+    NewConservative(SimState),
+}
+
+/// The Conservative State Manager: "a program that maintains a repository of
+/// previously-simulated states", indexed by the PC of the PC-changing
+/// instruction at which each was observed (paper §3).
+///
+/// # Example
+///
+/// ```
+/// use symsim_core::{ConservativeStateManager, CsmPolicy, Observation};
+/// use symsim_logic::Value;
+/// use symsim_sim::SimState;
+///
+/// let mut csm = ConservativeStateManager::new(CsmPolicy::SingleMerge);
+/// let s1 = SimState { values: vec![Value::ZERO, Value::ZERO], mems: vec![], cycle: 1 };
+/// let s2 = SimState { values: vec![Value::ZERO, Value::ONE], mems: vec![], cycle: 2 };
+///
+/// // first observation at PC 4 forms a conservative state
+/// assert!(matches!(csm.observe(4, &s1), Observation::NewConservative(_)));
+/// // a differing state widens it (bit 1 becomes X)
+/// let Observation::NewConservative(merged) = csm.observe(4, &s2) else { panic!() };
+/// assert!(merged.values[1].is_x());
+/// // any covered state is skipped
+/// assert!(matches!(csm.observe(4, &s1), Observation::Covered));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ConservativeStateManager {
+    policy: CsmPolicy,
+    constraints: Vec<StateConstraint>,
+    table: HashMap<String, Vec<SimState>>,
+    observations: usize,
+    covered: usize,
+    widenings: usize,
+}
+
+impl ConservativeStateManager {
+    /// Creates a CSM with the given formation policy.
+    pub fn new(policy: CsmPolicy) -> ConservativeStateManager {
+        if let CsmPolicy::MultiState { max_states } = policy {
+            assert!(max_states >= 1, "MultiState needs at least one slot");
+        }
+        ConservativeStateManager {
+            policy,
+            ..ConservativeStateManager::default()
+        }
+    }
+
+    /// Installs application constraints applied to every formed state.
+    pub fn set_constraints(&mut self, constraints: Vec<StateConstraint>) {
+        self.constraints = constraints;
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> CsmPolicy {
+        self.policy
+    }
+
+    /// Number of distinct PCs with stored conservative states.
+    pub fn distinct_pcs(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Total states currently stored.
+    pub fn stored_states(&self) -> usize {
+        self.table.values().map(Vec::len).sum()
+    }
+
+    /// `(observations, covered, widenings)` counters.
+    pub fn stats(&self) -> (usize, usize, usize) {
+        (self.observations, self.covered, self.widenings)
+    }
+
+    /// Presents a state halted at `pc` to the CSM (Algorithm 1 lines 20-27):
+    /// covered states are skipped; otherwise a widened conservative
+    /// superstate is stored and returned for continued simulation.
+    ///
+    /// `pc` may be any canonical key; co-analysis uses the program counter
+    /// value (or its textual form when the PC itself carries `X`s).
+    pub fn observe(&mut self, pc: u64, state: &SimState) -> Observation {
+        self.observe_keyed(&pc.to_string(), state)
+    }
+
+    /// [`ConservativeStateManager::observe`] with a pre-rendered key.
+    pub fn observe_keyed(&mut self, key: &str, state: &SimState) -> Observation {
+        self.observations += 1;
+        let entry = self.table.entry(key.to_string()).or_default();
+        if entry.iter().any(|c| c.covers(state)) {
+            self.covered += 1;
+            return Observation::Covered;
+        }
+        self.widenings += 1;
+        let formed_index = match self.policy {
+            CsmPolicy::SingleMerge => {
+                if entry.is_empty() {
+                    entry.push(state.clone());
+                } else {
+                    let merged = entry[0].merge(state);
+                    entry[0] = merged;
+                    entry.truncate(1);
+                }
+                0
+            }
+            CsmPolicy::MultiState { max_states } => {
+                if entry.len() < max_states {
+                    entry.push(state.clone());
+                    entry.len() - 1
+                } else {
+                    // absorb into the closest state (fewest newly-unknown bits)
+                    let best = (0..entry.len())
+                        .min_by_key(|&i| widening_cost(&entry[i], state))
+                        .expect("max_states >= 1");
+                    let merged = entry[best].merge(state);
+                    entry[best] = merged;
+                    best
+                }
+            }
+        };
+        let mut result = entry[formed_index].clone();
+        // constraints narrow the formed state before further simulation;
+        // store the constrained state in the slot it was formed in so
+        // coverage checks see it
+        if !self.constraints.is_empty() {
+            for c in &self.constraints {
+                result.values[c.net.0 as usize] = c.value;
+            }
+            let entry = self.table.get_mut(key).expect("entry exists");
+            entry[formed_index] = result.clone();
+        }
+        Observation::NewConservative(result)
+    }
+}
+
+/// Unknown-bit count of the state that merging `incoming` into `existing`
+/// would produce: the absorption heuristic prefers the slot whose widened
+/// result stays least conservative.
+fn widening_cost(existing: &SimState, incoming: &SimState) -> usize {
+    existing
+        .values
+        .iter()
+        .zip(&incoming.values)
+        .filter(|(a, b)| a.merge(**b).is_unknown())
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(bits: &[Value]) -> SimState {
+        SimState {
+            values: bits.to_vec(),
+            mems: vec![],
+            cycle: 0,
+        }
+    }
+
+    #[test]
+    fn single_merge_widens_monotonically() {
+        let mut csm = ConservativeStateManager::new(CsmPolicy::SingleMerge);
+        let s000 = state(&[Value::ZERO, Value::ZERO, Value::ZERO]);
+        let s001 = state(&[Value::ONE, Value::ZERO, Value::ZERO]);
+        let s100 = state(&[Value::ZERO, Value::ZERO, Value::ONE]);
+        assert!(matches!(csm.observe(0, &s000), Observation::NewConservative(_)));
+        let Observation::NewConservative(c1) = csm.observe(0, &s001) else {
+            panic!()
+        };
+        assert!(c1.values[0].is_x());
+        assert!(c1.values[2].is_known());
+        let Observation::NewConservative(c2) = csm.observe(0, &s100) else {
+            panic!()
+        };
+        assert!(c2.values[0].is_x() && c2.values[2].is_x());
+        // everything is now covered
+        assert!(matches!(csm.observe(0, &s000), Observation::Covered));
+        assert!(matches!(csm.observe(0, &s001), Observation::Covered));
+        assert_eq!(csm.stored_states(), 1);
+        let (obs, cov, wid) = csm.stats();
+        assert_eq!((obs, cov, wid), (5, 2, 3));
+    }
+
+    #[test]
+    fn pcs_are_independent() {
+        let mut csm = ConservativeStateManager::new(CsmPolicy::SingleMerge);
+        let s = state(&[Value::ZERO]);
+        csm.observe(0, &s);
+        csm.observe(4, &s);
+        assert_eq!(csm.distinct_pcs(), 2);
+    }
+
+    #[test]
+    fn multi_state_avoids_uber_merge() {
+        // Fig. 3: states 0XX and 100 can coexist instead of becoming XXX
+        let mut csm = ConservativeStateManager::new(CsmPolicy::MultiState { max_states: 2 });
+        let s_0xx = state(&[Value::X, Value::X, Value::ZERO]);
+        let s_100 = state(&[Value::ZERO, Value::ZERO, Value::ONE]);
+        csm.observe(0, &s_0xx);
+        csm.observe(0, &s_100);
+        assert_eq!(csm.stored_states(), 2);
+        // 010 is covered by 0XX without widening
+        let s_010 = state(&[Value::ZERO, Value::ONE, Value::ZERO]);
+        assert!(matches!(csm.observe(0, &s_010), Observation::Covered));
+        // a third distinct state must be absorbed into the closest slot
+        let s_101 = state(&[Value::ONE, Value::ZERO, Value::ONE]);
+        let Observation::NewConservative(c) = csm.observe(0, &s_101) else {
+            panic!()
+        };
+        assert_eq!(csm.stored_states(), 2);
+        assert!(c.values[2] == Value::ONE, "absorbed into the 100 slot");
+    }
+
+    #[test]
+    fn constraints_pin_bits() {
+        let mut csm = ConservativeStateManager::new(CsmPolicy::SingleMerge);
+        csm.set_constraints(vec![StateConstraint {
+            net: NetId(1),
+            value: Value::ZERO,
+        }]);
+        let a = state(&[Value::ZERO, Value::ZERO]);
+        let b = state(&[Value::ONE, Value::ONE]);
+        csm.observe(0, &a);
+        let Observation::NewConservative(c) = csm.observe(0, &b) else {
+            panic!()
+        };
+        assert!(c.values[0].is_x());
+        assert_eq!(c.values[1], Value::ZERO, "constraint keeps bit 1 pinned");
+    }
+
+    #[test]
+    fn constraints_with_multi_state_update_the_formed_slot() {
+        // regression: the constrained state must land in the slot that
+        // absorbed the observation, not blindly in the last slot
+        let mut csm = ConservativeStateManager::new(CsmPolicy::MultiState { max_states: 2 });
+        csm.set_constraints(vec![StateConstraint {
+            net: NetId(2),
+            value: Value::ZERO,
+        }]);
+        let s_a = state(&[Value::ZERO, Value::ZERO, Value::ZERO]);
+        let s_b = state(&[Value::ONE, Value::ONE, Value::ZERO]);
+        csm.observe(0, &s_a); // slot 0
+        csm.observe(0, &s_b); // slot 1
+        // absorbs into slot 0 (closest); slot 1 must remain intact
+        let s_a2 = state(&[Value::ZERO, Value::ONE, Value::ZERO]);
+        let Observation::NewConservative(c) = csm.observe(0, &s_a2) else {
+            panic!("not covered yet")
+        };
+        assert_eq!(c.values[2], Value::ZERO, "constraint applied");
+        assert!(
+            matches!(csm.observe(0, &s_b), Observation::Covered),
+            "slot 1 must not have been clobbered"
+        );
+        assert!(matches!(csm.observe(0, &s_a2), Observation::Covered));
+    }
+
+    #[test]
+    fn widening_cost_counts_resulting_unknowns() {
+        let a = state(&[Value::ZERO, Value::ONE, Value::X]);
+        let b = state(&[Value::ONE, Value::ONE, Value::ZERO]);
+        // merged = [X, 1, X]
+        assert_eq!(widening_cost(&a, &b), 2);
+    }
+}

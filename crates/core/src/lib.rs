@@ -1,0 +1,33 @@
+//! # symsim-core
+//!
+//! The design-agnostic symbolic hardware-software co-analysis of the DAC'22
+//! paper, built on the [`symsim_sim`] event-driven simulator:
+//!
+//! * [`ConservativeStateManager`] — the CSM of paper §3.3: a repository of
+//!   previously-simulated states indexed by PC, with subset checks, merge
+//!   ("superstate") generation, the configurable formation policies of
+//!   Fig. 3 ([`CsmPolicy`]), and text-file-style state constraints
+//!   ([`StateConstraint`]).
+//! * [`CoAnalysis`] — Algorithm 1: run the application with all inputs `X`,
+//!   halt whenever a monitored control-flow signal is unknown, consult the
+//!   CSM, and explore every execution path by forcing each concretization of
+//!   the unknown control signals; sequentially or in parallel
+//!   (paper §3.3's "launching these processes in parallel").
+//! * [`CoAnalysisReport`] — exercisable gate count, paths created/skipped/
+//!   simulated, and simulated cycles: the quantities of the paper's
+//!   Tables 3-4 and Figures 5-6.
+//!
+//! The entry point is [`CoAnalysis::run`]; see the `symsim-cpu` crate for
+//! complete processor setups and the repository examples for end-to-end
+//! flows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod csm;
+mod explore;
+mod report;
+
+pub use csm::{ConservativeStateManager, CsmPolicy, Observation, StateConstraint};
+pub use explore::{CoAnalysis, CoAnalysisConfig, DesignInterface, PathOutcome};
+pub use report::CoAnalysisReport;

@@ -1,0 +1,135 @@
+use std::time::Duration;
+
+use symsim_netlist::Netlist;
+use symsim_sim::{ActivityStats, ToggleProfile};
+
+/// The output of a co-analysis run: the exercisable-gate dichotomy and the
+/// path statistics of the paper's Tables 3-4 / Figures 5-6.
+#[derive(Debug, Clone)]
+pub struct CoAnalysisReport {
+    /// Design name.
+    pub design: String,
+    /// Total gate count of the design (combinational + sequential cells).
+    pub total_gates: usize,
+    /// Gates that could be exercised by some execution of the application.
+    pub exercisable_gates: usize,
+    /// Execution paths created (pushed onto the worklist), root included.
+    pub paths_created: usize,
+    /// Paths skipped because their halted state was covered by a
+    /// conservative state.
+    pub paths_skipped: usize,
+    /// Paths that ran the application to completion.
+    pub paths_finished: usize,
+    /// Paths abandoned on the per-segment cycle budget (should be zero for
+    /// a converged analysis).
+    pub paths_budget_exhausted: usize,
+    /// Path segments actually simulated.
+    pub paths_simulated: usize,
+    /// Total cycles simulated across all paths.
+    pub simulated_cycles: u64,
+    /// Distinct PCs at which conservative states were recorded.
+    pub distinct_pcs: usize,
+    /// Wall-clock time of the analysis.
+    pub wall_time: Duration,
+    /// The merged per-net toggle profile (input to bespoke generation).
+    pub profile: ToggleProfile,
+    /// Merged switching-activity statistics (present when
+    /// `CoAnalysisConfig::activity_weights` was set).
+    pub activity: Option<ActivityStats>,
+}
+
+impl CoAnalysisReport {
+    /// Assembles a report from raw exploration results.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        netlist: &Netlist,
+        profile: ToggleProfile,
+        activity: Option<ActivityStats>,
+        paths_created: usize,
+        paths_skipped: usize,
+        paths_finished: usize,
+        paths_budget_exhausted: usize,
+        paths_simulated: usize,
+        simulated_cycles: u64,
+        distinct_pcs: usize,
+        wall_time: Duration,
+    ) -> CoAnalysisReport {
+        CoAnalysisReport {
+            design: netlist.name.clone(),
+            total_gates: netlist.total_gate_count(),
+            exercisable_gates: profile.exercisable_gate_count(netlist),
+            paths_created,
+            paths_skipped,
+            paths_finished,
+            paths_budget_exhausted,
+            paths_simulated,
+            simulated_cycles,
+            distinct_pcs,
+            wall_time,
+            profile,
+            activity,
+        }
+    }
+
+    /// The paper's "% reduction": the share of gates guaranteed never to be
+    /// exercised, which bespoke generation prunes away.
+    pub fn reduction_percent(&self) -> f64 {
+        if self.total_gates == 0 {
+            return 0.0;
+        }
+        100.0 * (self.total_gates - self.exercisable_gates) as f64 / self.total_gates as f64
+    }
+
+    /// True when every path converged (nothing hit the cycle budget).
+    pub fn converged(&self) -> bool {
+        self.paths_budget_exhausted == 0
+    }
+}
+
+impl std::fmt::Display for CoAnalysisReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} / {} gates exercisable ({:.2}% reduction); paths {} created, \
+             {} skipped, {} finished; {} cycles in {:?}",
+            self.design,
+            self.exercisable_gates,
+            self.total_gates,
+            self.reduction_percent(),
+            self.paths_created,
+            self.paths_skipped,
+            self.paths_finished,
+            self.simulated_cycles,
+            self.wall_time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symsim_logic::Value;
+
+    #[test]
+    fn reduction_math() {
+        let profile = ToggleProfile::baseline(&[Value::ZERO]);
+        let report = CoAnalysisReport {
+            design: "d".into(),
+            total_gates: 200,
+            exercisable_gates: 150,
+            paths_created: 3,
+            paths_skipped: 1,
+            paths_finished: 2,
+            paths_budget_exhausted: 0,
+            paths_simulated: 3,
+            simulated_cycles: 99,
+            distinct_pcs: 2,
+            wall_time: Duration::from_millis(5),
+            profile,
+            activity: None,
+        };
+        assert!((report.reduction_percent() - 25.0).abs() < 1e-9);
+        assert!(report.converged());
+        assert!(report.to_string().contains("25.00% reduction"));
+    }
+}

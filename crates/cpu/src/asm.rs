@@ -1,0 +1,236 @@
+//! Shared two-pass assembler infrastructure for the three ISAs.
+//!
+//! Each processor module defines its mnemonics and encodings; this module
+//! provides tokenization, label collection/resolution, and operand parsing
+//! with line-accurate errors.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembly error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// Source line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: usize, message: impl Into<String>) -> AsmError {
+        AsmError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asm line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// One statement after tokenization: mnemonic plus comma-separated operands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stmt {
+    /// 1-based source line.
+    pub line: usize,
+    /// Lower-cased mnemonic.
+    pub op: String,
+    /// Raw operand strings (trimmed).
+    pub args: Vec<String>,
+}
+
+/// First assembler pass: strips comments (`;` or `#`), collects `label:`
+/// definitions as instruction indices, and returns the statement list.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] on duplicate labels or malformed label syntax.
+pub fn first_pass(src: &str) -> Result<(Vec<Stmt>, HashMap<String, u64>), AsmError> {
+    let mut stmts = Vec::new();
+    let mut labels = HashMap::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let mut line = raw;
+        if let Some(p) = line.find(';') {
+            line = &line[..p];
+        }
+        if let Some(p) = line.find('#') {
+            line = &line[..p];
+        }
+        let mut rest = line.trim();
+        // labels (possibly several) at line start
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+            {
+                return Err(AsmError::new(line_no, format!("bad label \"{label}\"")));
+            }
+            if labels
+                .insert(label.to_string(), stmts.len() as u64)
+                .is_some()
+            {
+                return Err(AsmError::new(line_no, format!("duplicate label \"{label}\"")));
+            }
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let (op, args_str) = match rest.find(char::is_whitespace) {
+            Some(p) => (&rest[..p], rest[p..].trim()),
+            None => (rest, ""),
+        };
+        let args = if args_str.is_empty() {
+            Vec::new()
+        } else {
+            args_str.split(',').map(|a| a.trim().to_string()).collect()
+        };
+        stmts.push(Stmt {
+            line: line_no,
+            op: op.to_ascii_lowercase(),
+            args,
+        });
+    }
+    Ok((stmts, labels))
+}
+
+/// Parses a register operand with the given prefix (`r`, `x`, or `$`),
+/// bounded by `count`.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] for syntax errors or out-of-range registers.
+pub fn parse_reg(arg: &str, prefix: &str, count: u32, line: usize) -> Result<u32, AsmError> {
+    let body = arg
+        .strip_prefix(prefix)
+        .ok_or_else(|| AsmError::new(line, format!("expected register, got \"{arg}\"")))?;
+    let n: u32 = body
+        .parse()
+        .map_err(|_| AsmError::new(line, format!("bad register \"{arg}\"")))?;
+    if n >= count {
+        return Err(AsmError::new(line, format!("register {arg} out of range")));
+    }
+    Ok(n)
+}
+
+/// Parses an immediate: decimal (possibly negative), `0x` hex, or a label.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] if the operand is neither a number nor a known label.
+pub fn parse_imm(
+    arg: &str,
+    labels: &HashMap<String, u64>,
+    line: usize,
+) -> Result<i64, AsmError> {
+    if let Some(&v) = labels.get(arg) {
+        return Ok(v as i64);
+    }
+    let (neg, body) = match arg.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, arg),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x") {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse()
+    }
+    .map_err(|_| AsmError::new(line, format!("bad immediate \"{arg}\"")))?;
+    Ok(if neg { -v } else { v })
+}
+
+/// Parses a `imm(reg)` memory operand, e.g. `4(r2)`; returns `(imm, reg)`.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] on malformed syntax.
+pub fn parse_mem(
+    arg: &str,
+    prefix: &str,
+    reg_count: u32,
+    labels: &HashMap<String, u64>,
+    line: usize,
+) -> Result<(i64, u32), AsmError> {
+    let open = arg
+        .find('(')
+        .ok_or_else(|| AsmError::new(line, format!("expected imm(reg), got \"{arg}\"")))?;
+    if !arg.ends_with(')') {
+        return Err(AsmError::new(line, format!("expected imm(reg), got \"{arg}\"")));
+    }
+    let imm_str = arg[..open].trim();
+    let imm = if imm_str.is_empty() {
+        0
+    } else {
+        parse_imm(imm_str, labels, line)?
+    };
+    let reg = parse_reg(arg[open + 1..arg.len() - 1].trim(), prefix, reg_count, line)?;
+    Ok((imm, reg))
+}
+
+/// Checks operand count.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] when the count differs.
+pub fn expect_args(stmt: &Stmt, n: usize) -> Result<(), AsmError> {
+    if stmt.args.len() != n {
+        return Err(AsmError::new(
+            stmt.line,
+            format!("{} expects {} operands, got {}", stmt.op, n, stmt.args.len()),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_statements() {
+        let src = "
+            start:  li r1, 5   ; comment
+            loop: loop2: add r1, r1, r2  # other comment
+                  jmp loop
+        ";
+        let (stmts, labels) = first_pass(src).unwrap();
+        assert_eq!(stmts.len(), 3);
+        assert_eq!(labels["start"], 0);
+        assert_eq!(labels["loop"], 1);
+        assert_eq!(labels["loop2"], 1);
+        assert_eq!(stmts[0].op, "li");
+        assert_eq!(stmts[0].args, vec!["r1", "5"]);
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        assert!(first_pass("a: nop\na: nop").is_err());
+    }
+
+    #[test]
+    fn imm_forms() {
+        let labels = HashMap::from([("tgt".to_string(), 7u64)]);
+        assert_eq!(parse_imm("42", &labels, 1).unwrap(), 42);
+        assert_eq!(parse_imm("-3", &labels, 1).unwrap(), -3);
+        assert_eq!(parse_imm("0x1f", &labels, 1).unwrap(), 31);
+        assert_eq!(parse_imm("tgt", &labels, 1).unwrap(), 7);
+        assert!(parse_imm("nope", &labels, 1).is_err());
+    }
+
+    #[test]
+    fn reg_and_mem_operands() {
+        let labels = HashMap::new();
+        assert_eq!(parse_reg("r7", "r", 8, 1).unwrap(), 7);
+        assert!(parse_reg("r8", "r", 8, 1).is_err());
+        assert!(parse_reg("x1", "r", 8, 1).is_err());
+        assert_eq!(parse_mem("4(x2)", "x", 16, &labels, 1).unwrap(), (4, 2));
+        assert_eq!(parse_mem("(x3)", "x", 16, &labels, 1).unwrap(), (0, 3));
+        assert!(parse_mem("4[x2]", "x", 16, &labels, 1).is_err());
+    }
+}

@@ -1,0 +1,230 @@
+//! Two-pass assembler for the bm32 ISA (MIPS-flavored, `$0`-`$15`).
+
+use crate::asm::{expect_args, first_pass, parse_imm, parse_mem, parse_reg, AsmError, Stmt};
+
+use super::opcodes as oc;
+
+fn enc(op: u32, a: u32, b: u32, c: u32, imm: u32) -> u32 {
+    op << 26 | a << 22 | b << 18 | c << 14 | (imm & 0x3fff)
+}
+
+fn imm14_range(v: i64, line: usize) -> Result<u32, AsmError> {
+    if !(-8192..=16383).contains(&v) {
+        return Err(AsmError::new(line, format!("immediate {v} out of 14-bit range")));
+    }
+    Ok((v as u32) & 0x3fff)
+}
+
+/// Assembles bm32 source into 32-bit program words.
+///
+/// Registers are `$0`-`$15` (`$0` reads as zero); memory operands are
+/// `imm($rN)`; branch/jump targets are labels or absolute word addresses.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending source line.
+///
+/// # Example
+///
+/// ```
+/// let program = symsim_cpu::bm32::assemble("
+///     li   $1, 2
+///     add  $2, $1, $1
+///     halt
+/// ").expect("assembles");
+/// assert_eq!(program.len(), 3);
+/// ```
+pub fn assemble(src: &str) -> Result<Vec<u32>, AsmError> {
+    let (stmts, labels) = first_pass(src)?;
+    stmts.iter().map(|s| encode(s, &labels)).collect()
+}
+
+fn encode(
+    stmt: &Stmt,
+    labels: &std::collections::HashMap<String, u64>,
+) -> Result<u32, AsmError> {
+    let line = stmt.line;
+    let reg = |i: usize| parse_reg(&stmt.args[i], "$", 16, line);
+    let imm = |i: usize| -> Result<u32, AsmError> {
+        imm14_range(parse_imm(&stmt.args[i], labels, line)?, line)
+    };
+    let rrr = |op: u32, stmt: &Stmt| -> Result<u32, AsmError> {
+        expect_args(stmt, 3)?;
+        Ok(enc(op, reg(0)?, reg(1)?, reg(2)?, 0))
+    };
+    let rri = |op: u32, stmt: &Stmt| -> Result<u32, AsmError> {
+        expect_args(stmt, 3)?;
+        Ok(enc(op, reg(0)?, reg(1)?, 0, imm(2)?))
+    };
+    let memop = |op: u32, stmt: &Stmt| -> Result<u32, AsmError> {
+        expect_args(stmt, 2)?;
+        let a = reg(0)?;
+        let (off, base) = parse_mem(&stmt.args[1], "$", 16, labels, line)?;
+        Ok(enc(op, a, base, 0, imm14_range(off, line)?))
+    };
+    match stmt.op.as_str() {
+        "nop" => {
+            expect_args(stmt, 0)?;
+            Ok(enc(oc::NOP, 0, 0, 0, 0))
+        }
+        "li" => {
+            expect_args(stmt, 2)?;
+            Ok(enc(oc::LI, reg(0)?, 0, 0, imm(1)?))
+        }
+        "add" => rrr(oc::ADD, stmt),
+        "addi" => rri(oc::ADDI, stmt),
+        "sub" => rrr(oc::SUB, stmt),
+        "and" => rrr(oc::AND, stmt),
+        "andi" => rri(oc::ANDI, stmt),
+        "or" => rrr(oc::OR, stmt),
+        "ori" => rri(oc::ORI, stmt),
+        "xor" => rrr(oc::XOR, stmt),
+        "slt" => rrr(oc::SLT, stmt),
+        "sltu" => rrr(oc::SLTU, stmt),
+        "sll" => rri(oc::SLL, stmt),
+        "srl" => rri(oc::SRL, stmt),
+        "sra" => rri(oc::SRA, stmt),
+        "lw" => memop(oc::LW, stmt),
+        "sw" => memop(oc::SW, stmt),
+        "beq" | "bne" => {
+            expect_args(stmt, 3)?;
+            let op = if stmt.op == "beq" { oc::BEQ } else { oc::BNE };
+            let target = imm14_range(parse_imm(&stmt.args[2], labels, line)?, line)?;
+            Ok(enc(op, reg(0)?, reg(1)?, 0, target))
+        }
+        "blez" | "bgtz" => {
+            expect_args(stmt, 2)?;
+            let op = if stmt.op == "blez" { oc::BLEZ } else { oc::BGTZ };
+            let target = imm14_range(parse_imm(&stmt.args[1], labels, line)?, line)?;
+            Ok(enc(op, reg(0)?, 0, 0, target))
+        }
+        "j" => {
+            expect_args(stmt, 1)?;
+            Ok(enc(oc::J, 0, 0, 0, imm(0)?))
+        }
+        "mult" => {
+            expect_args(stmt, 2)?;
+            Ok(enc(oc::MULT, 0, reg(0)?, reg(1)?, 0))
+        }
+        "mflo" => {
+            expect_args(stmt, 1)?;
+            Ok(enc(oc::MFLO, reg(0)?, 0, 0, 0))
+        }
+        "mfhi" => {
+            expect_args(stmt, 1)?;
+            Ok(enc(oc::MFHI, reg(0)?, 0, 0, 0))
+        }
+        "halt" => {
+            expect_args(stmt, 0)?;
+            Ok(enc(oc::HALT, 0, 0, 0, 0))
+        }
+        other => Err(AsmError::new(line, format!("unknown mnemonic \"{other}\""))),
+    }
+}
+
+/// Disassembles one instruction word into the syntax [`assemble`] accepts
+/// (branch/jump targets render as absolute word addresses).
+///
+/// # Example
+///
+/// ```
+/// use symsim_cpu::bm32::{assemble, disassemble};
+///
+/// let program = assemble("sltu $4, $1, $2").expect("assembles");
+/// assert_eq!(disassemble(program[0]), "sltu $4, $1, $2");
+/// ```
+pub fn disassemble(word: u32) -> String {
+    let f = decode(word);
+    let (a, b, c) = (f.a, f.b, f.c);
+    let s = f.simm();
+    match f.op {
+        oc::NOP => "nop".to_string(),
+        oc::LI => format!("li ${a}, {s}"),
+        oc::ADD => format!("add ${a}, ${b}, ${c}"),
+        oc::ADDI => format!("addi ${a}, ${b}, {s}"),
+        oc::SUB => format!("sub ${a}, ${b}, ${c}"),
+        oc::AND => format!("and ${a}, ${b}, ${c}"),
+        oc::ANDI => format!("andi ${a}, ${b}, {s}"),
+        oc::OR => format!("or ${a}, ${b}, ${c}"),
+        oc::ORI => format!("ori ${a}, ${b}, {s}"),
+        oc::XOR => format!("xor ${a}, ${b}, ${c}"),
+        oc::SLT => format!("slt ${a}, ${b}, ${c}"),
+        oc::SLTU => format!("sltu ${a}, ${b}, ${c}"),
+        oc::SLL => format!("sll ${a}, ${b}, {}", f.imm & 31),
+        oc::SRL => format!("srl ${a}, ${b}, {}", f.imm & 31),
+        oc::SRA => format!("sra ${a}, ${b}, {}", f.imm & 31),
+        oc::LW => format!("lw ${a}, {s}(${b})"),
+        oc::SW => format!("sw ${a}, {s}(${b})"),
+        oc::BEQ => format!("beq ${a}, ${b}, {}", f.imm),
+        oc::BNE => format!("bne ${a}, ${b}, {}", f.imm),
+        oc::BLEZ => format!("blez ${a}, {}", f.imm),
+        oc::BGTZ => format!("bgtz ${a}, {}", f.imm),
+        oc::J => format!("j {}", f.imm),
+        oc::MULT => format!("mult ${b}, ${c}"),
+        oc::MFLO => format!("mflo ${a}"),
+        oc::MFHI => format!("mfhi ${a}"),
+        oc::HALT => "halt".to_string(),
+        other => format!("; unknown opcode {other}"),
+    }
+}
+
+/// Decoded fields shared by the ISS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Fields {
+    pub op: u32,
+    pub a: usize,
+    pub b: usize,
+    pub c: usize,
+    pub imm: u32,
+}
+
+impl Fields {
+    /// Sign-extended 14-bit immediate.
+    pub fn simm(&self) -> i32 {
+        (self.imm << 18) as i32 >> 18
+    }
+}
+
+pub(crate) fn decode(word: u32) -> Fields {
+    Fields {
+        op: word >> 26,
+        a: (word >> 22 & 0xf) as usize,
+        b: (word >> 18 & 0xf) as usize,
+        c: (word >> 14 & 0xf) as usize,
+        imm: word & 0x3fff,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_three_operand() {
+        let p = assemble("slt $3, $1, $2").unwrap();
+        let f = decode(p[0]);
+        assert_eq!((f.op, f.a, f.b, f.c), (oc::SLT, 3, 1, 2));
+    }
+
+    #[test]
+    fn sign_extension() {
+        let p = assemble("addi $1, $1, -1").unwrap();
+        assert_eq!(decode(p[0]).simm(), -1);
+        let p = assemble("addi $1, $1, 8191").unwrap();
+        assert_eq!(decode(p[0]).simm(), 8191);
+    }
+
+    #[test]
+    fn branches_take_labels() {
+        let p = assemble("top: beq $1, $0, top\n bgtz $2, top\n j top").unwrap();
+        assert_eq!(decode(p[0]).imm, 0);
+        assert_eq!(decode(p[1]).op, oc::BGTZ);
+        assert_eq!(decode(p[2]).op, oc::J);
+    }
+
+    #[test]
+    fn rejects_bad_registers() {
+        assert!(assemble("add $16, $0, $0").is_err());
+        assert!(assemble("add r1, $0, $0").is_err());
+    }
+}

@@ -1,0 +1,325 @@
+//! The six Table 1 benchmarks for bm32, in the MIPS idiom: compares are
+//! `SLT`/`SLTU` results in general-purpose registers, tested by `BEQ`/`BNE`
+//! — the pattern that drives bm32's larger path counts (paper §5.0.3).
+
+use crate::harness::{Benchmark, DataImage};
+
+/// Unsigned division by repeated subtraction. Inputs @0, @1; quotient @2,
+/// remainder @3.
+pub const DIV: &str = "
+        lw   $1, 0($0)     ; dividend
+        lw   $2, 1($0)     ; divisor
+        li   $3, 0         ; quotient
+loop:   sltu $4, $1, $2    ; compare-as-subtraction into a register
+        bne  $4, $0, done
+        sub  $1, $1, $2
+        addi $3, $3, 1
+        j    loop
+done:   sw   $3, 2($0)
+        sw   $1, 3($0)
+        halt
+";
+
+/// In-place insertion sort of the 8-element array @8..16.
+pub const INSORT: &str = "
+        li   $1, 1         ; i
+        li   $8, 8
+outer:  sltu $4, $1, $8    ; i < 8?
+        beq  $4, $0, done
+        addi $5, $1, 8
+        lw   $3, 0($5)     ; key = a[i]
+        add  $2, $1, $0    ; j = i
+inner:  beq  $2, $0, place
+        addi $5, $2, 8
+        lw   $6, -1($5)    ; a[j-1]
+        sltu $4, $3, $6    ; key < a[j-1]?
+        beq  $4, $0, place
+        sw   $6, 0($5)     ; a[j] = a[j-1]
+        addi $2, $2, -1
+        j    inner
+place:  addi $5, $2, 8
+        sw   $3, 0($5)
+        addi $1, $1, 1
+        j    outer
+done:   halt
+";
+
+/// Binary search for key @0 in the sorted 16-word table @8..24; index @1
+/// (-1 when absent).
+pub const BINSEARCH: &str = "
+        lw   $1, 0($0)     ; key
+        li   $2, 0         ; lo
+        li   $3, 16        ; hi
+loop:   sltu $4, $2, $3
+        beq  $4, $0, nf    ; lo >= hi
+        add  $5, $2, $3
+        srl  $5, $5, 1     ; mid
+        addi $6, $5, 8
+        lw   $7, 0($6)     ; a[mid]
+        beq  $7, $1, found
+        sltu $4, $7, $1    ; a[mid] < key?
+        beq  $4, $0, above
+        addi $2, $5, 1     ; lo = mid+1
+        j    loop
+above:  add  $3, $5, $0    ; hi = mid
+        j    loop
+found:  sw   $5, 1($0)
+        halt
+nf:     li   $4, -1
+        sw   $4, 1($0)
+        halt
+";
+
+/// Threshold detector over 16 samples @8..24; threshold @0; count @1.
+/// Two conditional branches per iteration (vs three on omsp16 — §5.0.3).
+pub const THOLD: &str = "
+        lw   $1, 0($0)     ; threshold
+        li   $2, 8         ; ptr
+        li   $3, 0         ; count
+        li   $6, 24
+loop:   sltu $4, $2, $6
+        beq  $4, $0, done  ; branch 1: end of samples
+        lw   $5, 0($2)
+        sltu $4, $5, $1    ; sample < threshold?
+        bne  $4, $0, skip  ; branch 2
+        addi $3, $3, 1
+skip:   addi $2, $2, 1
+        j    loop
+done:   sw   $3, 1($0)
+        halt
+";
+
+/// Unsigned multiplication via the hardware multiplier (`MULT`/`MFLO`).
+/// Inputs @0, @1; product lo @2, hi @3. No branches: one path.
+pub const MULT: &str = "
+        lw   $1, 0($0)
+        lw   $2, 1($0)
+        mult $1, $2
+        mflo $3
+        mfhi $4
+        sw   $3, 2($0)
+        sw   $4, 3($0)
+        halt
+";
+
+/// 32-bit TEA, 8 rounds ("tea8"). v @0, @1; key @4..8 and delta @9 are
+/// concrete data (32-bit constants do not fit the 14-bit immediate, so they
+/// are loaded from memory). Ciphertext @2, @3. One path.
+pub const TEA8: &str = "
+        lw   $1, 0($0)     ; v0
+        lw   $2, 1($0)     ; v1
+        li   $3, 0         ; sum
+        li   $4, 0         ; round
+round:  lw   $5, 9($0)     ; delta
+        add  $3, $3, $5    ; sum += delta
+        sll  $5, $2, 4
+        lw   $6, 4($0)
+        add  $5, $5, $6    ; (v1<<4)+k0
+        add  $6, $2, $3    ; v1+sum
+        xor  $5, $5, $6
+        srl  $6, $2, 5
+        lw   $7, 5($0)
+        add  $6, $6, $7    ; (v1>>5)+k1
+        xor  $5, $5, $6
+        add  $1, $1, $5    ; v0 += ...
+        sll  $5, $1, 4
+        lw   $6, 6($0)
+        add  $5, $5, $6    ; (v0<<4)+k2
+        add  $6, $1, $3    ; v0+sum
+        xor  $5, $5, $6
+        srl  $6, $1, 5
+        lw   $7, 7($0)
+        add  $6, $6, $7    ; (v0>>5)+k3
+        xor  $5, $5, $6
+        add  $2, $2, $5    ; v1 += ...
+        addi $4, $4, 1
+        li   $8, 8
+        bne  $4, $8, round
+        sw   $1, 2($0)
+        sw   $2, 3($0)
+        halt
+";
+
+/// TEA key and delta constants for [`TEA8`] (@4..8 and @9).
+pub const TEA_KEY: [u64; 4] = [0xa56b_abcd, 0x0000_f00d, 0xdead_beef, 0x0bad_c0de];
+/// TEA delta (@9).
+pub const TEA_DELTA: u64 = 0x9e37_79b9;
+
+/// Sorted lookup table for [`BINSEARCH`] (@8..24).
+pub const SEARCH_TABLE: [u64; 16] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53,
+];
+
+/// The benchmark named `name`.
+///
+/// # Panics
+///
+/// Panics on an unknown name; use [`crate::BENCHMARK_NAMES`].
+pub fn benchmark(name: &str) -> Benchmark {
+    benchmarks()
+        .into_iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| panic!("unknown benchmark \"{name}\""))
+}
+
+/// All six Table 1 benchmarks.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "div",
+            source: DIV,
+            data: DataImage {
+                concrete: vec![],
+                inputs: vec![0, 1],
+            },
+            example_inputs: vec![100, 7],
+            max_cycles: 60_000,
+        },
+        Benchmark {
+            name: "insort",
+            source: INSORT,
+            data: DataImage {
+                concrete: vec![],
+                inputs: (8..16).collect(),
+            },
+            example_inputs: vec![5, 2, 9, 1, 7, 3, 8, 0],
+            max_cycles: 60_000,
+        },
+        Benchmark {
+            name: "binsearch",
+            source: BINSEARCH,
+            data: DataImage {
+                concrete: SEARCH_TABLE
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (8 + i, v))
+                    .collect(),
+                inputs: vec![0],
+            },
+            example_inputs: vec![13],
+            max_cycles: 60_000,
+        },
+        Benchmark {
+            name: "thold",
+            source: THOLD,
+            data: DataImage {
+                concrete: vec![],
+                inputs: std::iter::once(0).chain(8..24).collect(),
+            },
+            example_inputs: vec![
+                50, 10, 60, 70, 20, 80, 30, 90, 40, 55, 45, 65, 35, 75, 25, 85, 15,
+            ],
+            max_cycles: 60_000,
+        },
+        Benchmark {
+            name: "mult",
+            source: MULT,
+            data: DataImage {
+                concrete: vec![],
+                inputs: vec![0, 1],
+            },
+            example_inputs: vec![300, 250],
+            max_cycles: 10_000,
+        },
+        Benchmark {
+            name: "tea8",
+            source: TEA8,
+            data: DataImage {
+                concrete: TEA_KEY
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (4 + i, v))
+                    .chain(std::iter::once((9, TEA_DELTA)))
+                    .collect(),
+                inputs: vec![0, 1],
+            },
+            example_inputs: vec![0x0123_4567, 0x89ab_cdef],
+            max_cycles: 10_000,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bm32::{assemble, Iss};
+
+    fn run_iss(bench: &Benchmark) -> Iss {
+        let program = assemble(bench.source).expect("benchmark assembles");
+        let mut iss = Iss::new(&program);
+        for &(a, v) in &bench.data.concrete {
+            iss.write_mem(a, v as u32);
+        }
+        for (&a, &v) in bench.data.inputs.iter().zip(&bench.example_inputs) {
+            iss.write_mem(a, v as u32);
+        }
+        assert!(iss.run(bench.max_cycles), "benchmark must halt");
+        iss
+    }
+
+    #[test]
+    fn div_works() {
+        let iss = run_iss(&benchmark("div"));
+        assert_eq!(iss.mem[2], 14);
+        assert_eq!(iss.mem[3], 2);
+    }
+
+    #[test]
+    fn insort_sorts() {
+        let iss = run_iss(&benchmark("insort"));
+        let mut expect = [5u32, 2, 9, 1, 7, 3, 8, 0];
+        expect.sort_unstable();
+        assert_eq!(&iss.mem[8..16], &expect[..]);
+    }
+
+    #[test]
+    fn binsearch_finds() {
+        let iss = run_iss(&benchmark("binsearch"));
+        assert_eq!(iss.mem[1], 5);
+    }
+
+    #[test]
+    fn thold_counts_above_threshold() {
+        let iss = run_iss(&benchmark("thold"));
+        let b = benchmark("thold");
+        let thresh = b.example_inputs[0] as u32;
+        let count = b.example_inputs[1..]
+            .iter()
+            .filter(|&&s| s as u32 >= thresh)
+            .count() as u32;
+        assert_eq!(iss.mem[1], count);
+    }
+
+    #[test]
+    fn mult_uses_hw_multiplier() {
+        let iss = run_iss(&benchmark("mult"));
+        assert_eq!(iss.mem[2], 75_000);
+        assert_eq!(iss.mem[3], 0);
+    }
+
+    #[test]
+    fn tea8_matches_reference() {
+        let iss = run_iss(&benchmark("tea8"));
+        let (mut v0, mut v1) = (0x0123_4567u32, 0x89ab_cdefu32);
+        let k: Vec<u32> = TEA_KEY.iter().map(|&v| v as u32).collect();
+        let mut sum = 0u32;
+        for _ in 0..8 {
+            sum = sum.wrapping_add(TEA_DELTA as u32);
+            v0 = v0.wrapping_add(
+                (v1 << 4).wrapping_add(k[0]) ^ v1.wrapping_add(sum) ^ (v1 >> 5).wrapping_add(k[1]),
+            );
+            v1 = v1.wrapping_add(
+                (v0 << 4).wrapping_add(k[2]) ^ v0.wrapping_add(sum) ^ (v0 >> 5).wrapping_add(k[3]),
+            );
+        }
+        assert_eq!(iss.mem[2], v0);
+        assert_eq!(iss.mem[3], v1);
+    }
+
+    #[test]
+    fn all_assemble_and_halt() {
+        for b in benchmarks() {
+            let _ = run_iss(&b);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Extension benchmarks beyond Table 1 for bm32: CRC integrity checking
+//! and FIR filtering through the hardware multiplier.
+
+use crate::harness::{Benchmark, DataImage};
+
+/// CRC-16/CCITT over the 4 input words @8..12 (word-at-a-time variant);
+/// result @1. `0x8000` does not fit the 14-bit immediate, so the bit test
+/// uses a shift, and the CRC is re-masked to 16 bits each round.
+pub const CRC16: &str = "
+        li   $1, 0x3fff     ; build 0xffff = (0x3fff << 2) | 3
+        sll  $1, $1, 2
+        ori  $1, $1, 3      ; crc = 0xffff
+        li   $7, 0x1021     ; polynomial
+        li   $2, 8          ; ptr
+        li   $6, 12
+wloop:  sltu $4, $2, $6
+        beq  $4, $0, done
+        lw   $3, 0($2)
+        xor  $1, $1, $3
+        li   $5, 0          ; bit counter
+bloop:  li   $8, 16
+        sltu $4, $5, $8
+        beq  $4, $0, wnext
+        srl  $9, $1, 15
+        andi $9, $9, 1
+        sll  $1, $1, 1
+        beq  $9, $0, noxor
+        xor  $1, $1, $7
+noxor:  sll  $1, $1, 16     ; mask back to 16 bits
+        srl  $1, $1, 16
+        addi $5, $5, 1
+        j    bloop
+wnext:  addi $2, $2, 1
+        j    wloop
+done:   sw   $1, 1($0)
+        halt
+";
+
+/// 4-tap FIR over samples @8..16 via `MULT`/`MFLO`; output sum @1.
+pub const FIR: &str = "
+        li   $7, 0          ; accumulator
+        li   $1, 3          ; i
+        li   $10, 8
+oloop:  sltu $4, $1, $10
+        beq  $4, $0, done
+        li   $2, 0          ; j
+        li   $11, 4
+iloop:  sltu $4, $2, $11
+        beq  $4, $0, onext
+        sub  $3, $1, $2
+        addi $3, $3, 8
+        lw   $5, 0($3)      ; x[i-j]
+        addi $3, $2, 4
+        lw   $6, 0($3)      ; c[j]
+        mult $5, $6
+        mflo $5
+        add  $7, $7, $5
+        addi $2, $2, 1
+        j    iloop
+onext:  addi $1, $1, 1
+        j    oloop
+done:   sw   $7, 1($0)
+        halt
+";
+
+/// FIR tap coefficients (@4..8).
+pub const FIR_TAPS: [u64; 4] = [3, 5, 7, 2];
+
+/// The extension benchmarks (`crc16`, `fir`).
+pub fn extended_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "crc16",
+            source: CRC16,
+            data: DataImage {
+                concrete: vec![],
+                inputs: (8..12).collect(),
+            },
+            example_inputs: vec![0x1234, 0xabcd, 0x0042, 0xffff],
+            max_cycles: 60_000,
+        },
+        Benchmark {
+            name: "fir",
+            source: FIR,
+            data: DataImage {
+                concrete: FIR_TAPS
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (4 + i, v))
+                    .collect(),
+                inputs: (8..16).collect(),
+            },
+            example_inputs: vec![1, 2, 3, 4, 5, 6, 7, 8],
+            max_cycles: 60_000,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bm32::{assemble, Iss};
+
+    fn run(bench: &Benchmark) -> Iss {
+        let program = assemble(bench.source).expect("assembles");
+        let mut iss = Iss::new(&program);
+        for &(a, v) in &bench.data.concrete {
+            iss.write_mem(a, v as u32);
+        }
+        for (&a, &v) in bench.data.inputs.iter().zip(&bench.example_inputs) {
+            iss.write_mem(a, v as u32);
+        }
+        assert!(iss.run(bench.max_cycles), "{} must halt", bench.name);
+        iss
+    }
+
+    fn crc16_ref(words: &[u16]) -> u16 {
+        let mut crc = 0xffffu16;
+        for &w in words {
+            crc ^= w;
+            for _ in 0..16 {
+                crc = if crc & 0x8000 != 0 {
+                    (crc << 1) ^ 0x1021
+                } else {
+                    crc << 1
+                };
+            }
+        }
+        crc
+    }
+
+    #[test]
+    fn crc16_matches_reference() {
+        let benches = extended_benchmarks();
+        let iss = run(&benches[0]);
+        let words: Vec<u16> = benches[0].example_inputs.iter().map(|&v| v as u16).collect();
+        assert_eq!(iss.mem[1], crc16_ref(&words) as u32);
+    }
+
+    #[test]
+    fn fir_matches_reference() {
+        let benches = extended_benchmarks();
+        let iss = run(&benches[1]);
+        let x = &benches[1].example_inputs;
+        let mut acc = 0u32;
+        for i in 3..8 {
+            for j in 0..4 {
+                acc = acc.wrapping_add((x[i - j] as u32).wrapping_mul(FIR_TAPS[j] as u32));
+            }
+        }
+        assert_eq!(iss.mem[1], acc);
+    }
+}

@@ -1,0 +1,198 @@
+//! Golden instruction-set simulator for bm32.
+
+use super::assemble::decode;
+use super::{opcodes as oc, DMEM_DEPTH};
+
+/// Architectural state of the bm32 golden model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Iss {
+    /// Program counter (word address).
+    pub pc: u32,
+    /// General-purpose registers (`regs[0]` always reads zero).
+    pub regs: [u32; 16],
+    /// Multiplier result registers.
+    pub lo: u32,
+    /// High half of the multiplier result.
+    pub hi: u32,
+    /// Sticky halt.
+    pub halted: bool,
+    /// Data memory (word addressed).
+    pub mem: Vec<u32>,
+    /// Cycles executed.
+    pub cycles: u64,
+    program: Vec<u32>,
+}
+
+impl Iss {
+    /// Creates a golden model with zeroed registers and memory.
+    pub fn new(program: &[u32]) -> Iss {
+        Iss {
+            pc: 0,
+            regs: [0; 16],
+            lo: 0,
+            hi: 0,
+            halted: false,
+            mem: vec![0; DMEM_DEPTH],
+            cycles: 0,
+            program: program.to_vec(),
+        }
+    }
+
+    /// Writes a data-memory word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn write_mem(&mut self, addr: usize, value: u32) {
+        self.mem[addr] = value;
+    }
+
+    fn write_reg(&mut self, r: usize, v: u32) {
+        if r != 0 {
+            self.regs[r] = v;
+        }
+    }
+
+    /// Executes one instruction (one cycle).
+    pub fn step(&mut self) {
+        if self.halted {
+            self.cycles += 1;
+            return;
+        }
+        let word = *self.program.get(self.pc as usize).unwrap_or(&0);
+        let f = decode(word);
+        let (av, bv, cv) = (self.regs[f.a], self.regs[f.b], self.regs[f.c]);
+        let imm = f.simm() as u32;
+        let mut next_pc = (self.pc + 1) & 0x1ff;
+        match f.op {
+            oc::NOP => {}
+            oc::LI => self.write_reg(f.a, imm),
+            oc::ADD => self.write_reg(f.a, bv.wrapping_add(cv)),
+            oc::ADDI => self.write_reg(f.a, bv.wrapping_add(imm)),
+            oc::SUB => self.write_reg(f.a, bv.wrapping_sub(cv)),
+            oc::AND => self.write_reg(f.a, bv & cv),
+            oc::ANDI => self.write_reg(f.a, bv & imm),
+            oc::OR => self.write_reg(f.a, bv | cv),
+            oc::ORI => self.write_reg(f.a, bv | imm),
+            oc::XOR => self.write_reg(f.a, bv ^ cv),
+            oc::SLT => self.write_reg(f.a, ((bv as i32) < cv as i32) as u32),
+            oc::SLTU => self.write_reg(f.a, (bv < cv) as u32),
+            oc::SLL => self.write_reg(f.a, bv << (f.imm & 31)),
+            oc::SRL => self.write_reg(f.a, bv >> (f.imm & 31)),
+            oc::SRA => self.write_reg(f.a, ((bv as i32) >> (f.imm & 31)) as u32),
+            oc::LW => {
+                let addr = bv.wrapping_add(imm);
+                let v = if (addr as usize) < DMEM_DEPTH {
+                    self.mem[addr as usize]
+                } else {
+                    self.mem[(addr & 0xff) as usize] // aliases like the netlist
+                };
+                self.write_reg(f.a, v);
+            }
+            oc::SW => {
+                let addr = bv.wrapping_add(imm);
+                if (addr >> 8) == 0 {
+                    self.mem[addr as usize] = av;
+                }
+            }
+            oc::BEQ
+                if av == bv => {
+                    next_pc = f.imm & 0x1ff;
+                }
+            oc::BNE
+                if av != bv => {
+                    next_pc = f.imm & 0x1ff;
+                }
+            oc::BLEZ
+                if (av as i32) <= 0 => {
+                    next_pc = f.imm & 0x1ff;
+                }
+            oc::BGTZ
+                if (av as i32) > 0 => {
+                    next_pc = f.imm & 0x1ff;
+                }
+            oc::J => next_pc = f.imm & 0x1ff,
+            oc::MULT => {
+                // the hardware multiplier is 32x16: low 16 bits of operand C
+                let product = (bv as u64) * ((cv & 0xffff) as u64);
+                self.lo = product as u32;
+                self.hi = (product >> 32) as u32;
+            }
+            oc::MFLO => self.write_reg(f.a, self.lo),
+            oc::MFHI => self.write_reg(f.a, self.hi),
+            oc::HALT => self.halted = true,
+            _ => {}
+        }
+        if !self.halted {
+            self.pc = next_pc;
+        }
+        self.cycles += 1;
+    }
+
+    /// Runs until halt or `max_cycles`. Returns true if halted.
+    pub fn run(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.halted {
+                return true;
+            }
+            self.step();
+        }
+        self.halted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bm32::assemble;
+
+    #[test]
+    fn zero_register_is_immutable() {
+        let p = assemble("li $0, 5\n add $1, $0, $0\n halt").unwrap();
+        let mut iss = Iss::new(&p);
+        assert!(iss.run(10));
+        assert_eq!(iss.regs[0], 0);
+        assert_eq!(iss.regs[1], 0);
+    }
+
+    #[test]
+    fn slt_and_branch() {
+        let p = assemble(
+            "
+                li   $1, 3
+                li   $2, 5
+                sltu $3, $1, $2
+                beq  $3, $0, no
+                li   $4, 1
+                halt
+            no: li   $4, 2
+                halt
+        ",
+        )
+        .unwrap();
+        let mut iss = Iss::new(&p);
+        assert!(iss.run(20));
+        assert_eq!(iss.regs[4], 1);
+    }
+
+    #[test]
+    fn multiplier() {
+        let p = assemble("li $1, 1000\n li $2, 999\n mult $1, $2\n mflo $3\n mfhi $4\n halt")
+            .unwrap();
+        let mut iss = Iss::new(&p);
+        assert!(iss.run(10));
+        assert_eq!(iss.regs[3], 999_000);
+        assert_eq!(iss.regs[4], 0);
+    }
+
+    #[test]
+    fn shifts() {
+        let p = assemble("li $1, -8\n sra $2, $1, 1\n srl $3, $1, 1\n sll $4, $1, 2\n halt")
+            .unwrap();
+        let mut iss = Iss::new(&p);
+        assert!(iss.run(10));
+        assert_eq!(iss.regs[2] as i32, -4);
+        assert_eq!(iss.regs[3], 0x7ffffffc);
+        assert_eq!(iss.regs[4] as i32, -32);
+    }
+}

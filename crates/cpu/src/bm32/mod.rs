@@ -1,0 +1,303 @@
+//! `bm32` — a bm32/MIPS32-style 32-bit core.
+//!
+//! Matches the bm32 character of the paper's Table 2:
+//!
+//! * 32-bit datapath, 16 general-purpose registers with `$0` hardwired to
+//!   zero;
+//! * **no status flags**: compares are subtractions whose results land in
+//!   general-purpose registers (`SLT`/`SLTU`), and conditional branches test
+//!   registers (`BEQ`/`BNE`/`BLEZ`/`BGTZ`). This is the property the paper
+//!   identifies as the cause of bm32's much larger simulation path counts
+//!   (§5.0.3): the wide compare-result registers accumulate `X`s across
+//!   conservative-state merges.
+//! * a hardware multiplier (`MULT` → `LO`/`HI`, read via `MFLO`/`MFHI`).
+//!   The array multiplier is 32×16 (the low 16 bits of the second operand),
+//!   sized to keep the multiplier's share of total gates near the paper's
+//!   bm32 reduction headroom; see DESIGN.md.
+
+mod assemble;
+mod bench;
+mod ext;
+mod iss;
+
+pub use assemble::{assemble, disassemble};
+pub use bench::{benchmark, benchmarks};
+pub use ext::extended_benchmarks;
+pub use iss::Iss;
+
+use symsim_netlist::{Bus, RtlBuilder};
+
+use crate::harness::{any, mux_tree, select, select1, Cpu};
+
+/// Program memory depth in 32-bit words.
+pub const PMEM_DEPTH: usize = 512;
+/// Data memory depth in 32-bit words.
+pub const DMEM_DEPTH: usize = 256;
+
+pub(crate) mod opcodes {
+    pub const NOP: u32 = 0;
+    pub const LI: u32 = 1;
+    pub const ADD: u32 = 2;
+    pub const ADDI: u32 = 3;
+    pub const SUB: u32 = 4;
+    pub const AND: u32 = 5;
+    pub const ANDI: u32 = 6;
+    pub const OR: u32 = 7;
+    pub const ORI: u32 = 8;
+    pub const XOR: u32 = 9;
+    pub const SLT: u32 = 10;
+    pub const SLTU: u32 = 11;
+    pub const SLL: u32 = 12;
+    pub const SRL: u32 = 13;
+    pub const SRA: u32 = 14;
+    pub const LW: u32 = 15;
+    pub const SW: u32 = 16;
+    pub const BEQ: u32 = 17;
+    pub const BNE: u32 = 18;
+    pub const BLEZ: u32 = 19;
+    pub const BGTZ: u32 = 20;
+    pub const J: u32 = 21;
+    pub const MULT: u32 = 22;
+    pub const MFLO: u32 = 23;
+    pub const MFHI: u32 = 24;
+    pub const HALT: u32 = 25;
+}
+
+/// Builds the bm32 gate-level netlist and its co-analysis interface.
+pub fn build() -> Cpu {
+    const W: usize = 32;
+    let mut b = RtlBuilder::new("bm32");
+
+    // ---- architectural state ----
+    let pc_r = b.reg("pc", 9, 0);
+    let pcq = pc_r.q.clone();
+    let halted_r = b.reg("halted_r", 1, 0);
+    let haltq = halted_r.q.clone();
+    let lo_r = b.reg("lo", W, 0);
+    let loq = lo_r.q.clone();
+    let hi_r = b.reg("hi", W, 0);
+    let hiq = hi_r.q.clone();
+    // $0 is hardwired zero; $1..$15 are X-initialized registers
+    let rf: Vec<_> = (1..16).map(|i| b.reg_x(&format!("rf{i}"), W)).collect();
+    let zero_w = b.const_word(0, W);
+    let mut rfq: Vec<Bus> = vec![zero_w.clone()];
+    rfq.extend(rf.iter().map(|r| r.q.clone()));
+
+    // ---- fetch / fields ----
+    let pmem = b.memory("pmem", PMEM_DEPTH, 32);
+    let instr = b.mem_read(pmem, &pcq);
+    let op = instr.slice(26, 32);
+    let a_f = instr.slice(22, 26);
+    let b_f = instr.slice(18, 22);
+    let c_f = instr.slice(14, 18);
+    let imm14 = instr.slice(0, 14);
+    let imm = b.sext(&imm14, W);
+
+    // ---- decode ----
+    let dec = |b: &mut RtlBuilder, code: u32| {
+        let c = b.const_word(code as u64, 6);
+        b.eq(&op, &c)
+    };
+    use opcodes as oc;
+    let is_li = dec(&mut b, oc::LI);
+    let is_add = dec(&mut b, oc::ADD);
+    let is_addi = dec(&mut b, oc::ADDI);
+    let is_sub = dec(&mut b, oc::SUB);
+    let is_and = dec(&mut b, oc::AND);
+    let is_andi = dec(&mut b, oc::ANDI);
+    let is_or = dec(&mut b, oc::OR);
+    let is_ori = dec(&mut b, oc::ORI);
+    let is_xor = dec(&mut b, oc::XOR);
+    let is_slt = dec(&mut b, oc::SLT);
+    let is_sltu = dec(&mut b, oc::SLTU);
+    let is_sll = dec(&mut b, oc::SLL);
+    let is_srl = dec(&mut b, oc::SRL);
+    let is_sra = dec(&mut b, oc::SRA);
+    let is_lw = dec(&mut b, oc::LW);
+    let is_sw = dec(&mut b, oc::SW);
+    let is_beq = dec(&mut b, oc::BEQ);
+    let is_bne = dec(&mut b, oc::BNE);
+    let is_blez = dec(&mut b, oc::BLEZ);
+    let is_bgtz = dec(&mut b, oc::BGTZ);
+    let is_j = dec(&mut b, oc::J);
+    let is_mult = dec(&mut b, oc::MULT);
+    let is_mflo = dec(&mut b, oc::MFLO);
+    let is_mfhi = dec(&mut b, oc::MFHI);
+    let is_halt = dec(&mut b, oc::HALT);
+
+    let not_halt = b.not1(haltq.bit(0));
+
+    // ---- register read / operand select ----
+    let a_val = mux_tree(&mut b, &a_f, &rfq); // dest-read for SW/branches
+    let b_val = mux_tree(&mut b, &b_f, &rfq);
+    let c_val = mux_tree(&mut b, &c_f, &rfq);
+    let uses_imm = any(&mut b, &[is_li, is_addi, is_andi, is_ori]);
+    let opc = b.mux(uses_imm, &c_val, &imm);
+
+    // ---- ALU ----
+    let zero1 = b.zero();
+    let (add_res, _) = b.add_carry(&b_val, &opc, zero1);
+    let (sub_res, _) = b.sub_carry(&b_val, &opc);
+    let and_res = b.and(&b_val, &opc);
+    let or_res = b.or(&b_val, &opc);
+    let xor_res = b.xor(&b_val, &opc);
+    let lt_s = b.lt_s(&b_val, &opc);
+    let lt_u = b.lt_u(&b_val, &opc);
+    let slt_res = b.zext(&Bus::from_nets(vec![lt_s]), W);
+    let sltu_res = b.zext(&Bus::from_nets(vec![lt_u]), W);
+    let shamt = imm14.slice(0, 5);
+    let sll_res = b.shl_barrel(&b_val, &shamt);
+    let srl_res = b.shr_barrel(&b_val, &shamt);
+    let sra_res = b.sra_barrel(&b_val, &shamt);
+    let is_addish = any(&mut b, &[is_add, is_addi]);
+    let is_andish = any(&mut b, &[is_and, is_andi]);
+    let is_orish = any(&mut b, &[is_or, is_ori]);
+    let alu_res = select(
+        &mut b,
+        &opc, // LI passes the immediate through
+        &[
+            (is_addish, add_res),
+            (is_sub, sub_res),
+            (is_andish, and_res),
+            (is_orish, or_res),
+            (is_xor, xor_res),
+            (is_slt, slt_res),
+            (is_sltu, sltu_res),
+            (is_sll, sll_res),
+            (is_srl, srl_res),
+            (is_sra, sra_res),
+            (is_mflo, loq.clone()),
+            (is_mfhi, hiq.clone()),
+        ],
+    );
+
+    // ---- hardware multiplier (32x16 array) ----
+    let c_lo16 = c_val.slice(0, 16);
+    let product = b.mul_full(&b_val, &c_lo16); // 48 bits
+    let mult_en = b.and1(is_mult, not_halt);
+    let lo_next_val = product.slice(0, W);
+    let hi_next_val = b.zext(&product.slice(W, 48), W);
+    let lo_next = b.mux(mult_en, &loq, &lo_next_val);
+    let hi_next = b.mux(mult_en, &hiq, &hi_next_val);
+    b.drive_reg(lo_r, &lo_next);
+    b.drive_reg(hi_r, &hi_next);
+
+    // ---- data memory ----
+    let addr = b.add(&b_val, &imm);
+    let addr_hi = addr.slice(8, W);
+    let is_dmem = b.is_zero(&addr_hi);
+    let dmem = b.memory("dmem", DMEM_DEPTH, W);
+    let daddr = addr.slice(0, 8);
+    let dmem_rdata = b.mem_read(dmem, &daddr);
+    let st_en = b.and1(is_sw, not_halt);
+    let dmem_we = b.and1(st_en, is_dmem);
+    b.mem_write(dmem, &daddr, &a_val, dmem_we);
+
+    // ---- write-back ----
+    let wdata = b.mux(is_lw, &alu_res, &dmem_rdata);
+    let writes_reg = any(
+        &mut b,
+        &[
+            is_li, is_addish, is_sub, is_andish, is_orish, is_xor, is_slt, is_sltu, is_sll,
+            is_srl, is_sra, is_lw, is_mflo, is_mfhi,
+        ],
+    );
+    let wr_en = b.and1(writes_reg, not_halt);
+    let mut reg_nets: Vec<Vec<symsim_netlist::NetId>> = vec![zero_w.as_nets().to_vec()];
+    for (i, handle) in rf.into_iter().enumerate() {
+        let c = b.const_word(i as u64 + 1, 4);
+        let hit = b.eq(&a_f, &c);
+        let en = b.and1(wr_en, hit);
+        let q = handle.q.clone();
+        let next = b.mux(en, &q, &wdata);
+        reg_nets.push(q.as_nets().to_vec());
+        b.drive_reg(handle, &next);
+    }
+
+    // ---- control flow: register-tested branches (no flags) ----
+    // the comparator outputs derive from the full-width register operands;
+    // any X bit in the compare-result register makes them unknown — the
+    // bm32 effect of paper §5.0.3. Both are monitored and forced.
+    let diff = b.xor(&a_val, &b_val);
+    let eq_raw = b.is_zero(&diff);
+    let eq = b.name_net("cmp_eq", eq_raw);
+    let neq = b.not1(eq);
+    let a_zero = b.is_zero(&a_val);
+    let a_neg = a_val.msb();
+    let lez_raw = b.or1(a_neg, a_zero);
+    let lez = b.name_net("cmp_lez", lez_raw);
+    let gtz = b.not1(lez);
+    let cond_raw = select1(
+        &mut b,
+        zero1,
+        &[(is_beq, eq), (is_bne, neq), (is_blez, lez), (is_bgtz, gtz)],
+    );
+    let is_branch_raw = any(&mut b, &[is_beq, is_bne, is_blez, is_bgtz]);
+    let is_branch_live = b.and1(is_branch_raw, not_halt);
+    let is_branch = b.name_net("is_branch", is_branch_live);
+    let taken = b.and1(is_branch, cond_raw);
+    let one9 = b.const_word(1, 9);
+    let pc_plus = b.add(&pcq, &one9);
+    let target = imm14.slice(0, 9);
+    let next0 = b.mux(taken, &pc_plus, &target);
+    let next1 = b.mux(is_j, &next0, &target);
+    let next_pc = b.mux(haltq.bit(0), &next1, &pcq);
+    b.drive_reg(pc_r, &next_pc);
+
+    // ---- halt / finish ----
+    let halt_set = b.and1(is_halt, not_halt);
+    let halt_next_bit = b.or1(haltq.bit(0), halt_set);
+    let halt_next = Bus::from_nets(vec![halt_next_bit]);
+    b.drive_reg(halted_r, &halt_next);
+    let _finish = b.name_net("finish", haltq.bit(0));
+
+    let netlist = b.finish().expect("bm32 netlist is structurally valid");
+    let pc_nets = (0..9)
+        .map(|i| netlist.find_net(&format!("pc[{i}]")).expect("pc net"))
+        .collect();
+    Cpu {
+        name: "bm32",
+        pc: pc_nets,
+        monitor_qualifier: netlist.find_net("is_branch").expect("is_branch"),
+        monitor_signals: vec![
+            netlist.find_net("cmp_eq").expect("cmp_eq"),
+            netlist.find_net("cmp_lez").expect("cmp_lez"),
+        ],
+        split_signals: None,
+        finish: netlist.find_net("finish").expect("finish"),
+        pmem: netlist
+            .memories()
+            .iter()
+            .position(|m| m.name == "pmem")
+            .expect("pmem"),
+        dmem: netlist
+            .memories()
+            .iter()
+            .position(|m| m.name == "dmem")
+            .expect("dmem"),
+        data_width: W,
+        reg_nets,
+        netlist,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_validates() {
+        let cpu = build();
+        assert!(cpu.netlist.validate().is_ok());
+        // bm32 is the largest design in Table 3
+        let omsp = crate::omsp16::build();
+        assert!(
+            cpu.netlist.total_gate_count() > omsp.netlist.total_gate_count(),
+            "bm32 {} vs omsp16 {}",
+            cpu.netlist.total_gate_count(),
+            omsp.netlist.total_gate_count()
+        );
+        assert_eq!(cpu.monitor_signals.len(), 2);
+        assert_eq!(cpu.reg_nets.len(), 16);
+    }
+}

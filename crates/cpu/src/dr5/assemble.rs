@@ -1,0 +1,235 @@
+//! Two-pass assembler for the dr5 ISA (RISC-V-flavored, `x0`-`x15`).
+
+use crate::asm::{expect_args, first_pass, parse_imm, parse_mem, parse_reg, AsmError, Stmt};
+
+use super::opcodes as oc;
+
+fn enc(op: u32, a: u32, b: u32, c: u32, imm: u32) -> u32 {
+    op << 26 | a << 22 | b << 18 | c << 14 | (imm & 0x3fff)
+}
+
+fn imm14_range(v: i64, line: usize) -> Result<u32, AsmError> {
+    if !(-8192..=16383).contains(&v) {
+        return Err(AsmError::new(line, format!("immediate {v} out of 14-bit range")));
+    }
+    Ok((v as u32) & 0x3fff)
+}
+
+/// Assembles dr5 source into 32-bit program words.
+///
+/// Registers are `x0`-`x15` (`x0` reads as zero); `j label` is a pseudo for
+/// `jal x0, label`; `mv a, b` is a pseudo for `addi a, b, 0`.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending source line.
+///
+/// # Example
+///
+/// ```
+/// let program = symsim_cpu::dr5::assemble("
+///     li   x1, 21
+///     add  x1, x1, x1
+///     halt
+/// ").expect("assembles");
+/// assert_eq!(program.len(), 3);
+/// ```
+pub fn assemble(src: &str) -> Result<Vec<u32>, AsmError> {
+    let (stmts, labels) = first_pass(src)?;
+    stmts.iter().map(|s| encode(s, &labels)).collect()
+}
+
+fn encode(
+    stmt: &Stmt,
+    labels: &std::collections::HashMap<String, u64>,
+) -> Result<u32, AsmError> {
+    let line = stmt.line;
+    let reg = |i: usize| parse_reg(&stmt.args[i], "x", 16, line);
+    let imm = |i: usize| -> Result<u32, AsmError> {
+        imm14_range(parse_imm(&stmt.args[i], labels, line)?, line)
+    };
+    let rrr = |op: u32, stmt: &Stmt| -> Result<u32, AsmError> {
+        expect_args(stmt, 3)?;
+        Ok(enc(op, reg(0)?, reg(1)?, reg(2)?, 0))
+    };
+    let rri = |op: u32, stmt: &Stmt| -> Result<u32, AsmError> {
+        expect_args(stmt, 3)?;
+        Ok(enc(op, reg(0)?, reg(1)?, 0, imm(2)?))
+    };
+    let branch = |op: u32, stmt: &Stmt| -> Result<u32, AsmError> {
+        expect_args(stmt, 3)?;
+        Ok(enc(op, reg(0)?, reg(1)?, 0, imm(2)?))
+    };
+    let memop = |op: u32, stmt: &Stmt| -> Result<u32, AsmError> {
+        expect_args(stmt, 2)?;
+        let a = reg(0)?;
+        let (off, base) = parse_mem(&stmt.args[1], "x", 16, labels, line)?;
+        Ok(enc(op, a, base, 0, imm14_range(off, line)?))
+    };
+    match stmt.op.as_str() {
+        "nop" => {
+            expect_args(stmt, 0)?;
+            Ok(enc(oc::NOP, 0, 0, 0, 0))
+        }
+        "li" => {
+            expect_args(stmt, 2)?;
+            Ok(enc(oc::LI, reg(0)?, 0, 0, imm(1)?))
+        }
+        "mv" => {
+            expect_args(stmt, 2)?;
+            Ok(enc(oc::ADDI, reg(0)?, reg(1)?, 0, 0))
+        }
+        "add" => rrr(oc::ADD, stmt),
+        "sub" => rrr(oc::SUB, stmt),
+        "and" => rrr(oc::AND, stmt),
+        "or" => rrr(oc::OR, stmt),
+        "xor" => rrr(oc::XOR, stmt),
+        "slt" => rrr(oc::SLT, stmt),
+        "sltu" => rrr(oc::SLTU, stmt),
+        "addi" => rri(oc::ADDI, stmt),
+        "andi" => rri(oc::ANDI, stmt),
+        "ori" => rri(oc::ORI, stmt),
+        "xori" => rri(oc::XORI, stmt),
+        "slli" => rri(oc::SLLI, stmt),
+        "srli" => rri(oc::SRLI, stmt),
+        "srai" => rri(oc::SRAI, stmt),
+        "sll" => rrr(oc::SLL, stmt),
+        "srl" => rrr(oc::SRL, stmt),
+        "sra" => rrr(oc::SRA, stmt),
+        "lw" => memop(oc::LW, stmt),
+        "sw" => memop(oc::SW, stmt),
+        "beq" => branch(oc::BEQ, stmt),
+        "bne" => branch(oc::BNE, stmt),
+        "blt" => branch(oc::BLT, stmt),
+        "bge" => branch(oc::BGE, stmt),
+        "bltu" => branch(oc::BLTU, stmt),
+        "bgeu" => branch(oc::BGEU, stmt),
+        "jal" => {
+            expect_args(stmt, 2)?;
+            Ok(enc(oc::JAL, reg(0)?, 0, 0, imm(1)?))
+        }
+        "j" => {
+            expect_args(stmt, 1)?;
+            Ok(enc(oc::JAL, 0, 0, 0, imm(0)?))
+        }
+        "jalr" => {
+            expect_args(stmt, 2)?;
+            Ok(enc(oc::JALR, reg(0)?, reg(1)?, 0, 0))
+        }
+        "csrw" => {
+            // csrw <index>, <source reg>
+            expect_args(stmt, 2)?;
+            let idx = imm(0)?;
+            Ok(enc(oc::CSRW, reg(1)?, 0, 0, idx))
+        }
+        "halt" => {
+            expect_args(stmt, 0)?;
+            Ok(enc(oc::HALT, 0, 0, 0, 0))
+        }
+        other => Err(AsmError::new(line, format!("unknown mnemonic \"{other}\""))),
+    }
+}
+
+/// Disassembles one instruction word into the syntax [`assemble`] accepts
+/// (branch/jump targets render as absolute word addresses).
+///
+/// # Example
+///
+/// ```
+/// use symsim_cpu::dr5::{assemble, disassemble};
+///
+/// let program = assemble("bgeu x2, x3, 5").expect("assembles");
+/// assert_eq!(disassemble(program[0]), "bgeu x2, x3, 5");
+/// ```
+pub fn disassemble(word: u32) -> String {
+    let f = decode(word);
+    let (a, b, c) = (f.a, f.b, f.c);
+    let s = f.simm();
+    match f.op {
+        oc::NOP => "nop".to_string(),
+        oc::LI => format!("li x{a}, {s}"),
+        oc::ADD => format!("add x{a}, x{b}, x{c}"),
+        oc::SUB => format!("sub x{a}, x{b}, x{c}"),
+        oc::AND => format!("and x{a}, x{b}, x{c}"),
+        oc::OR => format!("or x{a}, x{b}, x{c}"),
+        oc::XOR => format!("xor x{a}, x{b}, x{c}"),
+        oc::SLT => format!("slt x{a}, x{b}, x{c}"),
+        oc::SLTU => format!("sltu x{a}, x{b}, x{c}"),
+        oc::ADDI => format!("addi x{a}, x{b}, {s}"),
+        oc::ANDI => format!("andi x{a}, x{b}, {s}"),
+        oc::ORI => format!("ori x{a}, x{b}, {s}"),
+        oc::XORI => format!("xori x{a}, x{b}, {s}"),
+        oc::SLLI => format!("slli x{a}, x{b}, {}", f.imm & 31),
+        oc::SRLI => format!("srli x{a}, x{b}, {}", f.imm & 31),
+        oc::SRAI => format!("srai x{a}, x{b}, {}", f.imm & 31),
+        oc::SLL => format!("sll x{a}, x{b}, x{c}"),
+        oc::SRL => format!("srl x{a}, x{b}, x{c}"),
+        oc::SRA => format!("sra x{a}, x{b}, x{c}"),
+        oc::LW => format!("lw x{a}, {s}(x{b})"),
+        oc::SW => format!("sw x{a}, {s}(x{b})"),
+        oc::BEQ => format!("beq x{a}, x{b}, {}", f.imm),
+        oc::BNE => format!("bne x{a}, x{b}, {}", f.imm),
+        oc::BLT => format!("blt x{a}, x{b}, {}", f.imm),
+        oc::BGE => format!("bge x{a}, x{b}, {}", f.imm),
+        oc::BLTU => format!("bltu x{a}, x{b}, {}", f.imm),
+        oc::BGEU => format!("bgeu x{a}, x{b}, {}", f.imm),
+        oc::JAL => format!("jal x{a}, {}", f.imm),
+        oc::JALR => format!("jalr x{a}, x{b}"),
+        oc::HALT => "halt".to_string(),
+        oc::CSRW => format!("csrw {}, x{a}", f.imm & 3),
+        other => format!("; unknown opcode {other}"),
+    }
+}
+
+/// Decoded fields shared by the ISS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Fields {
+    pub op: u32,
+    pub a: usize,
+    pub b: usize,
+    pub c: usize,
+    pub imm: u32,
+}
+
+impl Fields {
+    pub fn simm(&self) -> i32 {
+        (self.imm << 18) as i32 >> 18
+    }
+}
+
+pub(crate) fn decode(word: u32) -> Fields {
+    Fields {
+        op: word >> 26,
+        a: (word >> 22 & 0xf) as usize,
+        b: (word >> 18 & 0xf) as usize,
+        c: (word >> 14 & 0xf) as usize,
+        imm: word & 0x3fff,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pseudo_instructions() {
+        let p = assemble("j 3\n mv x2, x3").unwrap();
+        let j = decode(p[0]);
+        assert_eq!((j.op, j.a, j.imm), (oc::JAL, 0, 3));
+        let m = decode(p[1]);
+        assert_eq!((m.op, m.a, m.b, m.imm), (oc::ADDI, 2, 3, 0));
+    }
+
+    #[test]
+    fn branch_forms() {
+        let p = assemble("top: bgeu x1, x2, top").unwrap();
+        let f = decode(p[0]);
+        assert_eq!((f.op, f.a, f.b, f.imm), (oc::BGEU, 1, 2, 0));
+    }
+
+    #[test]
+    fn rejects_wrong_prefix() {
+        assert!(assemble("add $1, $2, $3").is_err());
+        assert!(assemble("li x16, 0").is_err());
+    }
+}

@@ -1,0 +1,326 @@
+//! The six Table 1 benchmarks for dr5. With no hardware multiplier, `mult`
+//! is a software shift-add loop whose input-dependent branches force
+//! multiple simulation paths (paper §5.0.3).
+
+use crate::harness::{Benchmark, DataImage};
+
+/// Unsigned division by repeated subtraction. Inputs @0, @1; quotient @2,
+/// remainder @3. As the paper observes for dr5 (§5.0.3), the compiler
+/// lowers comparisons to `SLTU` results in integer registers tested by
+/// `BEQ`/`BNE`.
+pub const DIV: &str = "
+        lw   x1, 0(x0)     ; dividend
+        lw   x2, 1(x0)     ; divisor
+        li   x3, 0         ; quotient
+loop:   sltu x4, x1, x2    ; compare-as-subtraction into a register
+        bne  x4, x0, done
+        sub  x1, x1, x2
+        addi x3, x3, 1
+        j    loop
+done:   sw   x3, 2(x0)
+        sw   x1, 3(x0)
+        halt
+";
+
+/// In-place insertion sort of the 8-element array @8..16.
+pub const INSORT: &str = "
+        li   x1, 1         ; i
+        li   x8, 8
+outer:  sltu x4, x1, x8    ; i < 8?
+        beq  x4, x0, done
+        addi x5, x1, 8
+        lw   x3, 0(x5)     ; key = a[i]
+        mv   x2, x1        ; j = i
+inner:  beq  x2, x0, place
+        addi x5, x2, 8
+        lw   x6, -1(x5)    ; a[j-1]
+        sltu x4, x3, x6    ; key < a[j-1]?
+        beq  x4, x0, place
+        sw   x6, 0(x5)
+        addi x2, x2, -1
+        j    inner
+place:  addi x5, x2, 8
+        sw   x3, 0(x5)
+        addi x1, x1, 1
+        j    outer
+done:   halt
+";
+
+/// Binary search for key @0 in the sorted 16-word table @8..24; index @1
+/// (-1 when absent).
+pub const BINSEARCH: &str = "
+        lw   x1, 0(x0)     ; key
+        li   x2, 0         ; lo
+        li   x3, 16        ; hi
+loop:   sltu x4, x2, x3    ; lo < hi?
+        beq  x4, x0, nf
+        add  x5, x2, x3
+        srli x5, x5, 1     ; mid
+        addi x6, x5, 8
+        lw   x7, 0(x6)     ; a[mid]
+        beq  x7, x1, found
+        sltu x4, x7, x1    ; a[mid] < key?
+        beq  x4, x0, above
+        addi x2, x5, 1     ; lo = mid+1
+        j    loop
+above:  mv   x3, x5
+        j    loop
+found:  sw   x5, 1(x0)
+        halt
+nf:     li   x4, -1
+        sw   x4, 1(x0)
+        halt
+";
+
+/// Threshold detector over 16 samples @8..24; threshold @0; count @1.
+/// Two conditional branches per iteration.
+pub const THOLD: &str = "
+        lw   x1, 0(x0)     ; threshold
+        li   x2, 8         ; ptr
+        li   x3, 0         ; count
+        li   x6, 24
+loop:   sltu x4, x2, x6    ; ptr < end?
+        beq  x4, x0, done  ; branch 1
+        lw   x5, 0(x2)
+        sltu x4, x5, x1    ; sample < threshold?
+        bne  x4, x0, skip  ; branch 2
+        addi x3, x3, 1
+skip:   addi x2, x2, 1
+        j    loop
+done:   sw   x3, 1(x0)
+        halt
+";
+
+/// Unsigned multiplication in software (shift-add): the compiler's library
+/// routine on multiplier-less darkRiscV. Inputs @0, @1; product @2.
+/// The bit-test branch is input-dependent, so co-analysis explores many
+/// paths — unlike the hardware-multiplier CPUs (paper Fig. 6).
+pub const MULT: &str = "
+        lw   x1, 0(x0)     ; multiplicand
+        lw   x2, 1(x0)     ; multiplier
+        li   x3, 0         ; product
+loop:   beq  x2, x0, done
+        andi x4, x2, 1
+        beq  x4, x0, skip  ; input-dependent bit test
+        add  x3, x3, x1
+skip:   slli x1, x1, 1
+        srli x2, x2, 1
+        j    loop
+done:   sw   x3, 2(x0)
+        halt
+";
+
+/// 32-bit TEA, 8 rounds. v @0, @1; key @4..8 and delta @9 concrete;
+/// ciphertext @2, @3. One path.
+pub const TEA8: &str = "
+        lw   x1, 0(x0)     ; v0
+        lw   x2, 1(x0)     ; v1
+        li   x3, 0         ; sum
+        li   x4, 0         ; round
+round:  lw   x5, 9(x0)     ; delta
+        add  x3, x3, x5
+        slli x5, x2, 4
+        lw   x6, 4(x0)
+        add  x5, x5, x6
+        add  x6, x2, x3
+        xor  x5, x5, x6
+        srli x6, x2, 5
+        lw   x7, 5(x0)
+        add  x6, x6, x7
+        xor  x5, x5, x6
+        add  x1, x1, x5    ; v0 += ...
+        slli x5, x1, 4
+        lw   x6, 6(x0)
+        add  x5, x5, x6
+        add  x6, x1, x3
+        xor  x5, x5, x6
+        srli x6, x1, 5
+        lw   x7, 7(x0)
+        add  x6, x6, x7
+        xor  x5, x5, x6
+        add  x2, x2, x5    ; v1 += ...
+        addi x4, x4, 1
+        li   x8, 8
+        bne  x4, x8, round
+        sw   x1, 2(x0)
+        sw   x2, 3(x0)
+        halt
+";
+
+/// TEA key constants (@4..8).
+pub const TEA_KEY: [u64; 4] = [0xa56b_abcd, 0x0000_f00d, 0xdead_beef, 0x0bad_c0de];
+/// TEA delta (@9).
+pub const TEA_DELTA: u64 = 0x9e37_79b9;
+
+/// Sorted lookup table for [`BINSEARCH`] (@8..24).
+pub const SEARCH_TABLE: [u64; 16] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53,
+];
+
+/// The benchmark named `name`.
+///
+/// # Panics
+///
+/// Panics on an unknown name; use [`crate::BENCHMARK_NAMES`].
+pub fn benchmark(name: &str) -> Benchmark {
+    benchmarks()
+        .into_iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| panic!("unknown benchmark \"{name}\""))
+}
+
+/// All six Table 1 benchmarks.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "div",
+            source: DIV,
+            data: DataImage {
+                concrete: vec![],
+                inputs: vec![0, 1],
+            },
+            example_inputs: vec![100, 7],
+            max_cycles: 60_000,
+        },
+        Benchmark {
+            name: "insort",
+            source: INSORT,
+            data: DataImage {
+                concrete: vec![],
+                inputs: (8..16).collect(),
+            },
+            example_inputs: vec![5, 2, 9, 1, 7, 3, 8, 0],
+            max_cycles: 60_000,
+        },
+        Benchmark {
+            name: "binsearch",
+            source: BINSEARCH,
+            data: DataImage {
+                concrete: SEARCH_TABLE
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (8 + i, v))
+                    .collect(),
+                inputs: vec![0],
+            },
+            example_inputs: vec![13],
+            max_cycles: 60_000,
+        },
+        Benchmark {
+            name: "thold",
+            source: THOLD,
+            data: DataImage {
+                concrete: vec![],
+                inputs: std::iter::once(0).chain(8..24).collect(),
+            },
+            example_inputs: vec![
+                50, 10, 60, 70, 20, 80, 30, 90, 40, 55, 45, 65, 35, 75, 25, 85, 15,
+            ],
+            max_cycles: 60_000,
+        },
+        Benchmark {
+            name: "mult",
+            source: MULT,
+            data: DataImage {
+                concrete: vec![],
+                inputs: vec![0, 1],
+            },
+            // small operands keep the shift-add path tree tractable
+            example_inputs: vec![13, 11],
+            max_cycles: 60_000,
+        },
+        Benchmark {
+            name: "tea8",
+            source: TEA8,
+            data: DataImage {
+                concrete: TEA_KEY
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (4 + i, v))
+                    .chain(std::iter::once((9, TEA_DELTA)))
+                    .collect(),
+                inputs: vec![0, 1],
+            },
+            example_inputs: vec![0x0123_4567, 0x89ab_cdef],
+            max_cycles: 10_000,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dr5::{assemble, Iss};
+
+    fn run_iss(bench: &Benchmark) -> Iss {
+        let program = assemble(bench.source).expect("benchmark assembles");
+        let mut iss = Iss::new(&program);
+        for &(a, v) in &bench.data.concrete {
+            iss.write_mem(a, v as u32);
+        }
+        for (&a, &v) in bench.data.inputs.iter().zip(&bench.example_inputs) {
+            iss.write_mem(a, v as u32);
+        }
+        assert!(iss.run(bench.max_cycles), "benchmark must halt");
+        iss
+    }
+
+    #[test]
+    fn div_works() {
+        let iss = run_iss(&benchmark("div"));
+        assert_eq!(iss.mem[2], 14);
+        assert_eq!(iss.mem[3], 2);
+    }
+
+    #[test]
+    fn insort_sorts() {
+        let iss = run_iss(&benchmark("insort"));
+        let mut expect = [5u32, 2, 9, 1, 7, 3, 8, 0];
+        expect.sort_unstable();
+        assert_eq!(&iss.mem[8..16], &expect[..]);
+    }
+
+    #[test]
+    fn binsearch_finds() {
+        let iss = run_iss(&benchmark("binsearch"));
+        assert_eq!(iss.mem[1], 5);
+    }
+
+    #[test]
+    fn thold_counts() {
+        let iss = run_iss(&benchmark("thold"));
+        assert_eq!(iss.mem[1], 8); // samples >= 50
+    }
+
+    #[test]
+    fn software_mult_works() {
+        let iss = run_iss(&benchmark("mult"));
+        assert_eq!(iss.mem[2], 143);
+    }
+
+    #[test]
+    fn tea8_matches_reference() {
+        let iss = run_iss(&benchmark("tea8"));
+        let (mut v0, mut v1) = (0x0123_4567u32, 0x89ab_cdefu32);
+        let k: Vec<u32> = TEA_KEY.iter().map(|&v| v as u32).collect();
+        let mut sum = 0u32;
+        for _ in 0..8 {
+            sum = sum.wrapping_add(TEA_DELTA as u32);
+            v0 = v0.wrapping_add(
+                (v1 << 4).wrapping_add(k[0]) ^ v1.wrapping_add(sum) ^ (v1 >> 5).wrapping_add(k[1]),
+            );
+            v1 = v1.wrapping_add(
+                (v0 << 4).wrapping_add(k[2]) ^ v0.wrapping_add(sum) ^ (v0 >> 5).wrapping_add(k[3]),
+            );
+        }
+        assert_eq!(iss.mem[2], v0);
+        assert_eq!(iss.mem[3], v1);
+    }
+
+    #[test]
+    fn all_assemble_and_halt() {
+        for b in benchmarks() {
+            let _ = run_iss(&b);
+        }
+    }
+}

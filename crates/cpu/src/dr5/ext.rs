@@ -1,0 +1,161 @@
+//! Extension benchmarks beyond Table 1 for dr5: CRC integrity checking and
+//! FIR filtering. With no hardware multiplier, the FIR inner product runs
+//! through a software shift-add multiply — three nested input-dependent
+//! loops, the worst case for path exploration.
+
+use crate::harness::{Benchmark, DataImage};
+
+/// CRC-16/CCITT over the 4 input words @8..12; result @1.
+pub const CRC16: &str = "
+        li   x1, 0x3fff     ; build 0xffff
+        slli x1, x1, 2
+        ori  x1, x1, 3      ; crc = 0xffff
+        li   x7, 0x1021     ; polynomial
+        li   x2, 8          ; ptr
+        li   x6, 12
+wloop:  sltu x4, x2, x6
+        beq  x4, x0, done
+        lw   x3, 0(x2)
+        xor  x1, x1, x3
+        li   x5, 0          ; bit counter
+        li   x8, 16
+bloop:  sltu x4, x5, x8
+        beq  x4, x0, wnext
+        srli x9, x1, 15
+        andi x9, x9, 1
+        slli x1, x1, 1
+        beq  x9, x0, noxor
+        xor  x1, x1, x7
+noxor:  slli x1, x1, 16     ; mask back to 16 bits
+        srli x1, x1, 16
+        addi x5, x5, 1
+        j    bloop
+wnext:  addi x2, x2, 1
+        j    wloop
+done:   sw   x1, 1(x0)
+        halt
+";
+
+/// 4-tap FIR over samples @8..16 with a software shift-add multiply;
+/// output sum @1.
+pub const FIR: &str = "
+        li   x7, 0          ; accumulator
+        li   x1, 3          ; i
+        li   x10, 8
+oloop:  sltu x4, x1, x10
+        beq  x4, x0, done
+        li   x2, 0          ; j
+        li   x11, 4
+iloop:  sltu x4, x2, x11
+        beq  x4, x0, onext
+        sub  x3, x1, x2
+        addi x3, x3, 8
+        lw   x5, 0(x3)      ; x[i-j]
+        addi x3, x2, 4
+        lw   x6, 0(x3)      ; c[j]
+        ; x9 = x5 * x6 (software shift-add)
+        li   x9, 0
+mloop:  beq  x6, x0, mdone
+        andi x12, x6, 1
+        beq  x12, x0, mskip
+        add  x9, x9, x5
+mskip:  slli x5, x5, 1
+        srli x6, x6, 1
+        j    mloop
+mdone:  add  x7, x7, x9
+        addi x2, x2, 1
+        j    iloop
+onext:  addi x1, x1, 1
+        j    oloop
+done:   sw   x7, 1(x0)
+        halt
+";
+
+/// FIR tap coefficients (@4..8).
+pub const FIR_TAPS: [u64; 4] = [3, 5, 7, 2];
+
+/// The extension benchmarks (`crc16`, `fir`).
+pub fn extended_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "crc16",
+            source: CRC16,
+            data: DataImage {
+                concrete: vec![],
+                inputs: (8..12).collect(),
+            },
+            example_inputs: vec![0x1234, 0xabcd, 0x0042, 0xffff],
+            max_cycles: 60_000,
+        },
+        Benchmark {
+            name: "fir",
+            source: FIR,
+            data: DataImage {
+                concrete: FIR_TAPS
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (4 + i, v))
+                    .collect(),
+                inputs: (8..16).collect(),
+            },
+            example_inputs: vec![1, 2, 3, 4, 5, 6, 7, 8],
+            max_cycles: 60_000,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dr5::{assemble, Iss};
+
+    fn run(bench: &Benchmark) -> Iss {
+        let program = assemble(bench.source).expect("assembles");
+        let mut iss = Iss::new(&program);
+        for &(a, v) in &bench.data.concrete {
+            iss.write_mem(a, v as u32);
+        }
+        for (&a, &v) in bench.data.inputs.iter().zip(&bench.example_inputs) {
+            iss.write_mem(a, v as u32);
+        }
+        assert!(iss.run(bench.max_cycles), "{} must halt", bench.name);
+        iss
+    }
+
+    fn crc16_ref(words: &[u16]) -> u16 {
+        let mut crc = 0xffffu16;
+        for &w in words {
+            crc ^= w;
+            for _ in 0..16 {
+                crc = if crc & 0x8000 != 0 {
+                    (crc << 1) ^ 0x1021
+                } else {
+                    crc << 1
+                };
+            }
+        }
+        crc
+    }
+
+    #[test]
+    fn crc16_matches_reference() {
+        let benches = extended_benchmarks();
+        let iss = run(&benches[0]);
+        let words: Vec<u16> = benches[0].example_inputs.iter().map(|&v| v as u16).collect();
+        assert_eq!(iss.mem[1], crc16_ref(&words) as u32);
+    }
+
+    #[test]
+    fn fir_matches_reference_with_software_multiply() {
+        let benches = extended_benchmarks();
+        let iss = run(&benches[1]);
+        let x = &benches[1].example_inputs;
+        let mut acc = 0u32;
+        for i in 3..8 {
+            for j in 0..4 {
+                acc = acc.wrapping_add((x[i - j] as u32).wrapping_mul(FIR_TAPS[j] as u32));
+            }
+        }
+        assert_eq!(iss.mem[1], acc);
+    }
+}

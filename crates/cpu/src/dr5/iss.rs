@@ -1,0 +1,235 @@
+//! Golden instruction-set simulator for dr5.
+
+use super::assemble::decode;
+use super::{opcodes as oc, DMEM_DEPTH};
+
+/// Architectural state of the dr5 golden model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Iss {
+    /// Program counter (word address).
+    pub pc: u32,
+    /// Integer registers (`regs[0]` always reads zero).
+    pub regs: [u32; 16],
+    /// Sticky halt.
+    pub halted: bool,
+    /// Machine-mode CSRs: `[mtvec, mie, msip, mscratch, mcause, mepc]`.
+    pub csrs: [u32; 6],
+    /// Data memory (word addressed).
+    pub mem: Vec<u32>,
+    /// Cycles executed.
+    pub cycles: u64,
+    program: Vec<u32>,
+}
+
+impl Iss {
+    /// Creates a golden model with zeroed registers and memory.
+    pub fn new(program: &[u32]) -> Iss {
+        Iss {
+            pc: 0,
+            regs: [0; 16],
+            halted: false,
+            csrs: [0; 6],
+            mem: vec![0; DMEM_DEPTH],
+            cycles: 0,
+            program: program.to_vec(),
+        }
+    }
+
+    /// Writes a data-memory word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn write_mem(&mut self, addr: usize, value: u32) {
+        self.mem[addr] = value;
+    }
+
+    fn write_reg(&mut self, r: usize, v: u32) {
+        if r != 0 {
+            self.regs[r] = v;
+        }
+    }
+
+    /// Executes one instruction (one cycle).
+    pub fn step(&mut self) {
+        if self.halted {
+            self.cycles += 1;
+            return;
+        }
+        let word = *self.program.get(self.pc as usize).unwrap_or(&0);
+        let f = decode(word);
+        let (av, bv, cv) = (self.regs[f.a], self.regs[f.b], self.regs[f.c]);
+        let imm = f.simm() as u32;
+        let mut next_pc = (self.pc + 1) & 0x1ff;
+        let link = (self.pc + 1) & 0x1ff;
+        match f.op {
+            oc::NOP => {}
+            oc::LI => self.write_reg(f.a, imm),
+            oc::ADD => self.write_reg(f.a, bv.wrapping_add(cv)),
+            oc::SUB => self.write_reg(f.a, bv.wrapping_sub(cv)),
+            oc::AND => self.write_reg(f.a, bv & cv),
+            oc::OR => self.write_reg(f.a, bv | cv),
+            oc::XOR => self.write_reg(f.a, bv ^ cv),
+            oc::SLT => self.write_reg(f.a, ((bv as i32) < cv as i32) as u32),
+            oc::SLTU => self.write_reg(f.a, (bv < cv) as u32),
+            oc::ADDI => self.write_reg(f.a, bv.wrapping_add(imm)),
+            oc::ANDI => self.write_reg(f.a, bv & imm),
+            oc::ORI => self.write_reg(f.a, bv | imm),
+            oc::XORI => self.write_reg(f.a, bv ^ imm),
+            oc::SLLI => self.write_reg(f.a, bv << (f.imm & 31)),
+            oc::SRLI => self.write_reg(f.a, bv >> (f.imm & 31)),
+            oc::SRAI => self.write_reg(f.a, ((bv as i32) >> (f.imm & 31)) as u32),
+            oc::SLL => self.write_reg(f.a, bv << (cv & 31)),
+            oc::SRL => self.write_reg(f.a, bv >> (cv & 31)),
+            oc::SRA => self.write_reg(f.a, ((bv as i32) >> (cv & 31)) as u32),
+            oc::LW => {
+                let addr = bv.wrapping_add(imm);
+                self.write_reg(f.a, self.mem[(addr & 0xff) as usize]);
+            }
+            oc::SW => {
+                let addr = bv.wrapping_add(imm);
+                if (addr >> 8) == 0 {
+                    self.mem[addr as usize] = av;
+                }
+            }
+            oc::BEQ
+                if av == bv => {
+                    next_pc = f.imm & 0x1ff;
+                }
+            oc::BNE
+                if av != bv => {
+                    next_pc = f.imm & 0x1ff;
+                }
+            oc::BLT
+                if (av as i32) < bv as i32 => {
+                    next_pc = f.imm & 0x1ff;
+                }
+            oc::BGE
+                if (av as i32) >= bv as i32 => {
+                    next_pc = f.imm & 0x1ff;
+                }
+            oc::BLTU
+                if av < bv => {
+                    next_pc = f.imm & 0x1ff;
+                }
+            oc::BGEU
+                if av >= bv => {
+                    next_pc = f.imm & 0x1ff;
+                }
+            oc::JAL => {
+                self.write_reg(f.a, link);
+                next_pc = f.imm & 0x1ff;
+            }
+            oc::JALR => {
+                self.write_reg(f.a, link);
+                next_pc = bv & 0x1ff;
+            }
+            oc::HALT => self.halted = true,
+            oc::CSRW => {
+                let idx = (f.imm & 3) as usize;
+                self.csrs[idx] = av;
+            }
+            _ => {}
+        }
+        // machine software interrupt: pending & enabled redirects to mtvec
+        let pending = self.csrs[2] & self.csrs[1];
+        if pending != 0 && !self.halted {
+            self.csrs[4] = pending.trailing_zeros(); // mcause
+            self.csrs[5] = self.pc; // mepc
+            next_pc = self.csrs[0] & 0x1ff; // mtvec
+        }
+        if !self.halted {
+            self.pc = next_pc;
+        }
+        self.cycles += 1;
+    }
+
+    /// Runs until halt or `max_cycles`. Returns true if halted.
+    pub fn run(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.halted {
+                return true;
+            }
+            self.step();
+        }
+        self.halted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dr5::assemble;
+
+    #[test]
+    fn branches_compare_two_registers() {
+        let p = assemble(
+            "
+                li   x1, -1
+                li   x2, 1
+                blt  x1, x2, signed
+                li   x3, 0
+                halt
+        signed: bltu x1, x2, wrong
+                li   x3, 7    ; -1 unsigned is large, so BLTU not taken
+                halt
+        wrong:  li   x3, 9
+                halt
+        ",
+        )
+        .unwrap();
+        let mut iss = Iss::new(&p);
+        assert!(iss.run(20));
+        assert_eq!(iss.regs[3], 7);
+    }
+
+    #[test]
+    fn jal_links() {
+        let p = assemble(
+            "
+            jal x1, target
+            nop
+    target: halt
+        ",
+        )
+        .unwrap();
+        let mut iss = Iss::new(&p);
+        assert!(iss.run(10));
+        assert_eq!(iss.regs[1], 1);
+        assert_eq!(iss.pc, 2);
+    }
+
+    #[test]
+    fn csr_software_interrupt_traps_to_mtvec() {
+        let p = assemble(
+            "
+            li   x1, handler
+            csrw 0, x1        ; mtvec = handler
+            li   x2, 1
+            csrw 1, x2        ; mie = 1
+            csrw 2, x2        ; msip = 1 -> trap
+            li   x3, 99       ; skipped by the trap
+            halt
+        handler:
+            csrw 2, x4        ; clear msip first (x4 = 0), else the
+                              ; level-triggered interrupt re-fires
+            li   x3, 42
+            halt
+        ",
+        )
+        .unwrap();
+        let mut iss = Iss::new(&p);
+        assert!(iss.run(30));
+        assert_eq!(iss.regs[3], 42, "trap must redirect before li x3, 99 commits");
+        assert_eq!(iss.csrs[4], 0, "mcause records the pending bit");
+        assert_eq!(iss.csrs[5], 4, "mepc records the trapping pc");
+    }
+
+    #[test]
+    fn register_shifts() {
+        let p = assemble("li x1, 3\n li x2, 5\n sll x3, x2, x1\n halt").unwrap();
+        let mut iss = Iss::new(&p);
+        assert!(iss.run(10));
+        assert_eq!(iss.regs[3], 40);
+    }
+}

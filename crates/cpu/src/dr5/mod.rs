@@ -1,0 +1,359 @@
+//! `dr5` — a darkRiscV/RV32E-style core.
+//!
+//! Matches the dr5 character of the paper's Table 2:
+//!
+//! * 32-bit datapath, 16 integer registers (`x0` hardwired to zero) — the
+//!   RV32E register reduction;
+//! * the full RISC-V branch set comparing two registers (`BEQ`/`BNE`/`BLT`/
+//!   `BGE`/`BLTU`/`BGEU`), with compare results living in registers when
+//!   produced by `SLT`/`SLTU`;
+//! * **no hardware multiplier** — `mult` is a software shift-add loop with
+//!   input-dependent conditional branches, which is why dr5 needs more than
+//!   one simulation path for `mult` while bm32/omsp16 need exactly one
+//!   (paper §5.0.3, Fig. 6);
+//! * lean core with no peripherals, hence the smallest bespoke reduction
+//!   (paper Fig. 5).
+
+mod assemble;
+mod bench;
+mod ext;
+mod iss;
+
+pub use assemble::{assemble, disassemble};
+pub use bench::{benchmark, benchmarks};
+pub use ext::extended_benchmarks;
+pub use iss::Iss;
+
+use symsim_netlist::{Bus, RtlBuilder};
+
+use crate::harness::{any, mux_tree, select, select1, Cpu};
+
+/// Program memory depth in 32-bit words.
+pub const PMEM_DEPTH: usize = 512;
+/// Data memory depth in 32-bit words.
+pub const DMEM_DEPTH: usize = 256;
+
+pub(crate) mod opcodes {
+    pub const NOP: u32 = 0;
+    pub const LI: u32 = 1;
+    pub const ADD: u32 = 2;
+    pub const SUB: u32 = 3;
+    pub const AND: u32 = 4;
+    pub const OR: u32 = 5;
+    pub const XOR: u32 = 6;
+    pub const SLT: u32 = 7;
+    pub const SLTU: u32 = 8;
+    pub const ADDI: u32 = 9;
+    pub const ANDI: u32 = 10;
+    pub const ORI: u32 = 11;
+    pub const XORI: u32 = 12;
+    pub const SLLI: u32 = 13;
+    pub const SRLI: u32 = 14;
+    pub const SRAI: u32 = 15;
+    pub const SLL: u32 = 16;
+    pub const SRL: u32 = 17;
+    pub const SRA: u32 = 18;
+    pub const LW: u32 = 19;
+    pub const SW: u32 = 20;
+    pub const BEQ: u32 = 21;
+    pub const BNE: u32 = 22;
+    pub const BLT: u32 = 23;
+    pub const BGE: u32 = 24;
+    pub const BLTU: u32 = 25;
+    pub const BGEU: u32 = 26;
+    pub const JAL: u32 = 27;
+    pub const JALR: u32 = 28;
+    pub const HALT: u32 = 29;
+    pub const CSRW: u32 = 30;
+}
+
+/// CSR indices accepted by `csrw` (machine-mode subset).
+pub(crate) mod csr {
+    pub const MTVEC: u32 = 0;
+    pub const MIE: u32 = 1;
+    pub const MSIP: u32 = 2;
+    pub const MSCRATCH: u32 = 3;
+}
+
+/// Builds the dr5 gate-level netlist and its co-analysis interface.
+pub fn build() -> Cpu {
+    const W: usize = 32;
+    let mut b = RtlBuilder::new("dr5");
+
+    // ---- architectural state ----
+    let pc_r = b.reg("pc", 9, 0);
+    let pcq = pc_r.q.clone();
+    let halted_r = b.reg("halted_r", 1, 0);
+    let haltq = halted_r.q.clone();
+    let rf: Vec<_> = (1..16).map(|i| b.reg_x(&format!("rf{i}"), W)).collect();
+    let zero_w = b.const_word(0, W);
+    let mut rfq: Vec<Bus> = vec![zero_w.clone()];
+    rfq.extend(rf.iter().map(|r| r.q.clone()));
+
+    // ---- fetch / fields ----
+    let pmem = b.memory("pmem", PMEM_DEPTH, 32);
+    let instr = b.mem_read(pmem, &pcq);
+    let op = instr.slice(26, 32);
+    let a_f = instr.slice(22, 26); // rd / store-value / branch lhs
+    let b_f = instr.slice(18, 22); // rs1 / branch rhs
+    let c_f = instr.slice(14, 18); // rs2
+    let imm14 = instr.slice(0, 14);
+    let imm = b.sext(&imm14, W);
+
+    // ---- decode ----
+    let dec = |b: &mut RtlBuilder, code: u32| {
+        let c = b.const_word(code as u64, 6);
+        b.eq(&op, &c)
+    };
+    use opcodes as oc;
+    let is_li = dec(&mut b, oc::LI);
+    let is_add = dec(&mut b, oc::ADD);
+    let is_sub = dec(&mut b, oc::SUB);
+    let is_and = dec(&mut b, oc::AND);
+    let is_or = dec(&mut b, oc::OR);
+    let is_xor = dec(&mut b, oc::XOR);
+    let is_slt = dec(&mut b, oc::SLT);
+    let is_sltu = dec(&mut b, oc::SLTU);
+    let is_addi = dec(&mut b, oc::ADDI);
+    let is_andi = dec(&mut b, oc::ANDI);
+    let is_ori = dec(&mut b, oc::ORI);
+    let is_xori = dec(&mut b, oc::XORI);
+    let is_slli = dec(&mut b, oc::SLLI);
+    let is_srli = dec(&mut b, oc::SRLI);
+    let is_srai = dec(&mut b, oc::SRAI);
+    let is_sll = dec(&mut b, oc::SLL);
+    let is_srl = dec(&mut b, oc::SRL);
+    let is_sra = dec(&mut b, oc::SRA);
+    let is_lw = dec(&mut b, oc::LW);
+    let is_sw = dec(&mut b, oc::SW);
+    let is_beq = dec(&mut b, oc::BEQ);
+    let is_bne = dec(&mut b, oc::BNE);
+    let is_blt = dec(&mut b, oc::BLT);
+    let is_bge = dec(&mut b, oc::BGE);
+    let is_bltu = dec(&mut b, oc::BLTU);
+    let is_bgeu = dec(&mut b, oc::BGEU);
+    let is_jal = dec(&mut b, oc::JAL);
+    let is_jalr = dec(&mut b, oc::JALR);
+    let is_halt = dec(&mut b, oc::HALT);
+    let is_csrw = dec(&mut b, oc::CSRW);
+
+    let not_halt = b.not1(haltq.bit(0));
+
+    // ---- register read / operand select ----
+    let a_val = mux_tree(&mut b, &a_f, &rfq);
+    let b_val = mux_tree(&mut b, &b_f, &rfq);
+    let c_val = mux_tree(&mut b, &c_f, &rfq);
+    let uses_imm = any(
+        &mut b,
+        &[is_li, is_addi, is_andi, is_ori, is_xori, is_slli, is_srli, is_srai],
+    );
+    let opc = b.mux(uses_imm, &c_val, &imm);
+
+    // ---- ALU ----
+    let zero1 = b.zero();
+    let (add_res, _) = b.add_carry(&b_val, &opc, zero1);
+    let (sub_res, _) = b.sub_carry(&b_val, &opc);
+    let and_res = b.and(&b_val, &opc);
+    let or_res = b.or(&b_val, &opc);
+    let xor_res = b.xor(&b_val, &opc);
+    let lt_s = b.lt_s(&b_val, &opc);
+    let lt_u = b.lt_u(&b_val, &opc);
+    let slt_res = b.zext(&Bus::from_nets(vec![lt_s]), W);
+    let sltu_res = b.zext(&Bus::from_nets(vec![lt_u]), W);
+    let shamt = opc.slice(0, 5); // imm or rs2, already muxed
+    let sll_res = b.shl_barrel(&b_val, &shamt);
+    let srl_res = b.shr_barrel(&b_val, &shamt);
+    let sra_res = b.sra_barrel(&b_val, &shamt);
+    let one9_link = b.const_word(1, 9);
+    let pc_plus_link = b.add(&pcq, &one9_link);
+    let link = b.zext(&pc_plus_link, W);
+    let is_addish = any(&mut b, &[is_add, is_addi]);
+    let is_andish = any(&mut b, &[is_and, is_andi]);
+    let is_orish = any(&mut b, &[is_or, is_ori]);
+    let is_xorish = any(&mut b, &[is_xor, is_xori]);
+    let is_sllish = any(&mut b, &[is_sll, is_slli]);
+    let is_srlish = any(&mut b, &[is_srl, is_srli]);
+    let is_sraish = any(&mut b, &[is_sra, is_srai]);
+    let is_jump = any(&mut b, &[is_jal, is_jalr]);
+    let alu_res = select(
+        &mut b,
+        &opc, // LI passes the immediate through
+        &[
+            (is_addish, add_res),
+            (is_sub, sub_res),
+            (is_andish, and_res),
+            (is_orish, or_res),
+            (is_xorish, xor_res),
+            (is_slt, slt_res),
+            (is_sltu, sltu_res),
+            (is_sllish, sll_res),
+            (is_srlish, srl_res),
+            (is_sraish, sra_res),
+            (is_jump, link),
+        ],
+    );
+
+    // ---- data memory ----
+    let addr = b.add(&b_val, &imm);
+    let addr_hi = addr.slice(8, W);
+    let is_dmem = b.is_zero(&addr_hi);
+    let dmem = b.memory("dmem", DMEM_DEPTH, W);
+    let daddr = addr.slice(0, 8);
+    let dmem_rdata = b.mem_read(dmem, &daddr);
+    let st_en = b.and1(is_sw, not_halt);
+    let dmem_we = b.and1(st_en, is_dmem);
+    b.mem_write(dmem, &daddr, &a_val, dmem_we);
+
+    // ---- write-back ----
+    let wdata = b.mux(is_lw, &alu_res, &dmem_rdata);
+    let writes_reg = any(
+        &mut b,
+        &[
+            is_li, is_addish, is_sub, is_andish, is_orish, is_xorish, is_slt, is_sltu,
+            is_sllish, is_srlish, is_sraish, is_lw, is_jump,
+        ],
+    );
+    let wr_en = b.and1(writes_reg, not_halt);
+    let mut reg_nets: Vec<Vec<symsim_netlist::NetId>> = vec![zero_w.as_nets().to_vec()];
+    for (i, handle) in rf.into_iter().enumerate() {
+        let c = b.const_word(i as u64 + 1, 4);
+        let hit = b.eq(&a_f, &c);
+        let en = b.and1(wr_en, hit);
+        let q = handle.q.clone();
+        let next = b.mux(en, &q, &wdata);
+        reg_nets.push(q.as_nets().to_vec());
+        b.drive_reg(handle, &next);
+    }
+
+    // ---- control flow ----
+    // the three comparator outputs all derive from the full 32-bit register
+    // operands; with compiler-style SLT/SLTU + BEQ sequences the compare
+    // results also occupy registers — both mechanisms behind dr5's large
+    // path counts (paper §5.0.3). All three are monitored and forced.
+    let diff = b.xor(&a_val, &b_val);
+    let eq_raw = b.is_zero(&diff);
+    let eq = b.name_net("cmp_eq", eq_raw);
+    let neq = b.not1(eq);
+    let blt_raw = b.lt_s(&a_val, &b_val);
+    let blt_s = b.name_net("cmp_lt", blt_raw);
+    let bge_s = b.not1(blt_s);
+    let bltu_raw = b.lt_u(&a_val, &b_val);
+    let blt_u = b.name_net("cmp_ltu", bltu_raw);
+    let bge_u = b.not1(blt_u);
+    let cond_raw = select1(
+        &mut b,
+        zero1,
+        &[
+            (is_beq, eq),
+            (is_bne, neq),
+            (is_blt, blt_s),
+            (is_bge, bge_s),
+            (is_bltu, blt_u),
+            (is_bgeu, bge_u),
+        ],
+    );
+    let is_branch_raw = any(&mut b, &[is_beq, is_bne, is_blt, is_bge, is_bltu, is_bgeu]);
+    let is_branch_live = b.and1(is_branch_raw, not_halt);
+    let is_branch = b.name_net("is_branch", is_branch_live);
+    let taken = b.and1(is_branch, cond_raw);
+
+    // ---- machine-mode CSR / software-interrupt block ----
+    // darkRiscV carries machine-mode trap plumbing the Table 1 benchmarks
+    // never enable: the `csrw`-written state stays at its reset value, so
+    // co-analysis proves the whole block unexercisable and bespoke
+    // generation prunes it (part of dr5's Fig. 5 reduction headroom).
+    let csr_we = b.and1(is_csrw, not_halt);
+    let csr_idx = imm14.slice(0, 2);
+    let csr_reg = |b: &mut RtlBuilder, name: &str, idx: u32| -> Bus {
+        let c = b.const_word(idx as u64, 2);
+        let hit = b.eq(&csr_idx, &c);
+        let we = b.and1(csr_we, hit);
+        b.reg_en(name, &a_val, we, 0)
+    };
+    let mtvec = csr_reg(&mut b, "csr_mtvec", csr::MTVEC);
+    let mie = csr_reg(&mut b, "csr_mie", csr::MIE);
+    let msip = csr_reg(&mut b, "csr_msip", csr::MSIP);
+    let _mscratch = csr_reg(&mut b, "csr_mscratch", csr::MSCRATCH);
+    let pending = b.and(&msip, &mie);
+    let trap_raw = b.or_reduce(&pending);
+    let trap = b.and1(trap_raw, not_halt);
+    // interrupt cause priority encoder (lowest pending bit wins)
+    let mut cause = b.const_word(0, 5);
+    for i in (0..32).rev() {
+        let c = b.const_word(i as u64, 5);
+        cause = b.mux(pending.bit(i), &cause, &c);
+    }
+    let cause32 = b.zext(&cause, W);
+    let _mcause = b.reg_en("csr_mcause", &cause32, trap, 0);
+    let pc32 = b.zext(&pcq, W);
+    let _mepc = b.reg_en("csr_mepc", &pc32, trap, 0);
+
+    let one9 = b.const_word(1, 9);
+    let pc_plus = b.add(&pcq, &one9);
+    let target_imm = imm14.slice(0, 9);
+    let target_reg = b_val.slice(0, 9);
+    let next0 = b.mux(taken, &pc_plus, &target_imm);
+    let next1 = b.mux(is_jal, &next0, &target_imm);
+    let next2 = b.mux(is_jalr, &next1, &target_reg);
+    let trap_target = mtvec.slice(0, 9);
+    let next3 = b.mux(trap, &next2, &trap_target);
+    let next_pc = b.mux(haltq.bit(0), &next3, &pcq);
+    b.drive_reg(pc_r, &next_pc);
+
+    // ---- halt / finish ----
+    let halt_set = b.and1(is_halt, not_halt);
+    let halt_next_bit = b.or1(haltq.bit(0), halt_set);
+    let halt_next = Bus::from_nets(vec![halt_next_bit]);
+    b.drive_reg(halted_r, &halt_next);
+    let _finish = b.name_net("finish", haltq.bit(0));
+
+    let netlist = b.finish().expect("dr5 netlist is structurally valid");
+    let pc_nets = (0..9)
+        .map(|i| netlist.find_net(&format!("pc[{i}]")).expect("pc net"))
+        .collect();
+    Cpu {
+        name: "dr5",
+        pc: pc_nets,
+        monitor_qualifier: netlist.find_net("is_branch").expect("is_branch"),
+        monitor_signals: vec![
+            netlist.find_net("cmp_eq").expect("cmp_eq"),
+            netlist.find_net("cmp_lt").expect("cmp_lt"),
+            netlist.find_net("cmp_ltu").expect("cmp_ltu"),
+        ],
+        split_signals: None,
+        finish: netlist.find_net("finish").expect("finish"),
+        pmem: netlist
+            .memories()
+            .iter()
+            .position(|m| m.name == "pmem")
+            .expect("pmem"),
+        dmem: netlist
+            .memories()
+            .iter()
+            .position(|m| m.name == "dmem")
+            .expect("dmem"),
+        data_width: W,
+        reg_nets,
+        netlist,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_validates() {
+        let cpu = build();
+        assert!(cpu.netlist.validate().is_ok());
+        // dr5 has no multiplier: it must be leaner than bm32
+        let bm = crate::bm32::build();
+        assert!(
+            cpu.netlist.total_gate_count() < bm.netlist.total_gate_count(),
+            "dr5 {} vs bm32 {}",
+            cpu.netlist.total_gate_count(),
+            bm.netlist.total_gate_count()
+        );
+        assert_eq!(cpu.monitor_signals.len(), 3);
+    }
+}

@@ -1,0 +1,271 @@
+//! The [`Cpu`] package: a processor netlist plus the design-specific facts
+//! the design-agnostic co-analysis needs, and testbench preparation helpers
+//! (program load, data-memory image, symbolic input injection).
+
+use symsim_logic::{Value, Word};
+use symsim_netlist::{Bus, NetId, Netlist, RtlBuilder};
+use symsim_sim::{MonitorSpec, Simulator};
+
+use symsim_core::DesignInterface;
+
+/// A data-memory image for a benchmark: concrete constants (lookup tables,
+/// keys) plus the addresses holding *application inputs*, which the symbolic
+/// testbench replaces with `X`s (paper Listing 1).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DataImage {
+    /// `(address, value)` words loaded as concrete data.
+    pub concrete: Vec<(usize, u64)>,
+    /// Addresses of input words (driven to all-`X` for co-analysis).
+    pub inputs: Vec<usize>,
+}
+
+/// A benchmark program: source, data image, one concrete input example for
+/// validation, and a cycle budget.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Table 1 name (`div`, `insort`, ...).
+    pub name: &'static str,
+    /// Assembly source for this CPU's ISA.
+    pub source: &'static str,
+    /// Data image with symbolic input addresses.
+    pub data: DataImage,
+    /// Concrete values for the symbolic inputs, for validation runs
+    /// (same order as `data.inputs`).
+    pub example_inputs: Vec<u64>,
+    /// Per-path cycle budget for co-analysis.
+    pub max_cycles: u64,
+}
+
+/// A processor netlist bundled with its co-analysis interface.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// Design name (`omsp16`, `bm32`, `dr5`).
+    pub name: &'static str,
+    /// The gate-level netlist.
+    pub netlist: Netlist,
+    /// PC register output bits, LSB first.
+    pub pc: Vec<NetId>,
+    /// `is_branch` decode qualifier for `$monitor_x`.
+    pub monitor_qualifier: NetId,
+    /// Control-flow signals watched for `X` (NZCV flags on omsp16, the
+    /// comparator outputs on bm32/dr5).
+    pub monitor_signals: Vec<NetId>,
+    /// The signals the CSM forces to steer spawned paths; `None` means the
+    /// monitored signals themselves.
+    pub split_signals: Option<Vec<NetId>>,
+    /// Asserted when the application executes `halt`.
+    pub finish: NetId,
+    /// Index of the program memory.
+    pub pmem: usize,
+    /// Index of the data memory.
+    pub dmem: usize,
+    /// Data word width in bits.
+    pub data_width: usize,
+    /// Register-file `q` nets, `reg_nets[r]` = bits of register `r`
+    /// (LSB first); used by tests and the golden-model comparison.
+    pub reg_nets: Vec<Vec<NetId>>,
+}
+
+impl Cpu {
+    /// The design-agnostic co-analysis interface.
+    pub fn interface(&self) -> DesignInterface {
+        DesignInterface {
+            pc: self.pc.clone(),
+            monitor: MonitorSpec {
+                qualifier: Some(self.monitor_qualifier),
+                signals: self.monitor_signals.clone(),
+            },
+            split_signals: self.split_signals.clone(),
+            finish: self.finish,
+        }
+    }
+
+    /// Loads an assembled program image into program memory.
+    pub fn load_program(&self, sim: &mut Simulator<'_>, program: &[u32]) {
+        for (i, &w) in program.iter().enumerate() {
+            sim.write_mem_word(self.pmem, i, &Word::from_u64(w as u64, 32));
+        }
+        // unreachable program words read as NOPs (opcode 0), keeping fetch
+        // of out-of-image addresses deterministic
+        let depth = self.netlist.memories()[self.pmem].depth;
+        for i in program.len()..depth {
+            sim.write_mem_word(self.pmem, i, &Word::from_u64(0, 32));
+        }
+    }
+
+    /// Prepares a simulator for symbolic co-analysis: program loaded, data
+    /// memory zeroed, concrete data applied, and input words driven to `X`.
+    pub fn prepare_symbolic(&self, sim: &mut Simulator<'_>, program: &[u32], data: &DataImage) {
+        self.load_program(sim, program);
+        let depth = self.netlist.memories()[self.dmem].depth;
+        for a in 0..depth {
+            sim.write_mem_word(self.dmem, a, &Word::from_u64(0, self.data_width));
+        }
+        for &(a, v) in &data.concrete {
+            sim.write_mem_word(self.dmem, a, &Word::from_u64(v, self.data_width));
+        }
+        for &a in &data.inputs {
+            sim.write_mem_word(self.dmem, a, &Word::xs(self.data_width));
+        }
+    }
+
+    /// Like [`Cpu::prepare_symbolic`], but input words receive *tagged*
+    /// symbols with distinct identities (paper Fig. 4 left) instead of
+    /// anonymous `X`s. Pair with
+    /// [`symsim_logic::PropagationPolicy::Tagged`] in the simulator config.
+    pub fn prepare_symbolic_tagged(
+        &self,
+        sim: &mut Simulator<'_>,
+        program: &[u32],
+        data: &DataImage,
+    ) {
+        self.prepare_symbolic(sim, program, data);
+        let mut next_id = 0u32;
+        for &a in &data.inputs {
+            sim.write_mem_word(
+                self.dmem,
+                a,
+                &Word::symbols(next_id, self.data_width),
+            );
+            next_id += self.data_width as u32;
+        }
+    }
+
+    /// Prepares a simulator for a concrete (validation) run: like
+    /// [`Cpu::prepare_symbolic`] but input words take the given values and
+    /// the register file is cleared to zero so runs are deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from `data.inputs.len()`.
+    pub fn prepare_concrete(
+        &self,
+        sim: &mut Simulator<'_>,
+        program: &[u32],
+        data: &DataImage,
+        inputs: &[u64],
+    ) {
+        assert_eq!(inputs.len(), data.inputs.len(), "input count mismatch");
+        self.prepare_symbolic(sim, program, data);
+        for (&a, &v) in data.inputs.iter().zip(inputs) {
+            sim.write_mem_word(self.dmem, a, &Word::from_u64(v, self.data_width));
+        }
+        for reg in &self.reg_nets {
+            for &bit in reg {
+                sim.poke(bit, Value::ZERO);
+            }
+        }
+        sim.settle();
+    }
+
+    /// Reads the current value of architectural register `r`.
+    pub fn read_reg(&self, sim: &Simulator<'_>, r: usize) -> Word {
+        sim.read_bus(&self.reg_nets[r])
+    }
+
+    /// Reads data-memory word `addr`.
+    pub fn read_data(&self, sim: &Simulator<'_>, addr: usize) -> Word {
+        sim.read_mem_word(self.dmem, addr)
+    }
+}
+
+// ---- shared datapath construction helpers ----
+
+/// A `2^sel.width()`-way word multiplexer tree; `items[i]` is selected when
+/// `sel == i`. Missing items select the last provided item.
+pub(crate) fn mux_tree(b: &mut RtlBuilder, sel: &Bus, items: &[Bus]) -> Bus {
+    assert!(!items.is_empty());
+    let want = 1usize << sel.width();
+    let mut layer: Vec<Bus> = (0..want)
+        .map(|i| items[i.min(items.len() - 1)].clone())
+        .collect();
+    for bit in 0..sel.width() {
+        let mut next = Vec::with_capacity(layer.len() / 2);
+        for pair in layer.chunks(2) {
+            next.push(if pair.len() == 2 {
+                b.mux(sel.bit(bit), &pair[0], &pair[1])
+            } else {
+                pair[0].clone()
+            });
+        }
+        layer = next;
+        let _ = bit;
+    }
+    layer.remove(0)
+}
+
+/// Priority word select: starts from `default`, each `(cond, value)` arm in
+/// turn overrides it when its condition is 1 (conditions are one-hot in the
+/// decoders, so order is immaterial).
+pub(crate) fn select(b: &mut RtlBuilder, default: &Bus, arms: &[(NetId, Bus)]) -> Bus {
+    let mut out = default.clone();
+    for (cond, value) in arms {
+        out = b.mux(*cond, &out, value);
+    }
+    out
+}
+
+/// One-bit priority select.
+pub(crate) fn select1(b: &mut RtlBuilder, default: NetId, arms: &[(NetId, NetId)]) -> NetId {
+    let mut out = default;
+    for &(cond, value) in arms {
+        out = b.mux1(cond, out, value);
+    }
+    out
+}
+
+/// OR of a list of one-bit signals.
+pub(crate) fn any(b: &mut RtlBuilder, signals: &[NetId]) -> NetId {
+    assert!(!signals.is_empty());
+    let bus = Bus::from_nets(signals.to_vec());
+    b.or_reduce(&bus)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symsim_sim::SimConfig;
+
+    #[test]
+    fn mux_tree_selects_by_index() {
+        let mut b = RtlBuilder::new("mt");
+        let sel = b.input("sel", 2);
+        let items: Vec<Bus> = (0..4).map(|i| b.const_word(10 + i, 8)).collect();
+        let out = mux_tree(&mut b, &sel, &items);
+        b.output("out", &out);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        let map = nl.net_name_map();
+        for i in 0..4u64 {
+            sim.poke_bus(
+                &[map["sel[0]"], map["sel[1]"]],
+                &Word::from_u64(i, 2),
+            );
+            sim.settle();
+            assert_eq!(
+                sim.read_bus_by_name("out", 8).unwrap().to_u64(),
+                Some(10 + i)
+            );
+        }
+    }
+
+    #[test]
+    fn select_priority() {
+        let mut b = RtlBuilder::new("sel");
+        let c = b.input("c", 2);
+        let d0 = b.const_word(1, 4);
+        let d1 = b.const_word(2, 4);
+        let dd = b.const_word(9, 4);
+        let out = select(&mut b, &dd, &[(c.bit(0), d0), (c.bit(1), d1)]);
+        b.output("o", &out);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        let map = nl.net_name_map();
+        let cases = [(0b00u64, 9u64), (0b01, 1), (0b10, 2)];
+        for (sel, want) in cases {
+            sim.poke_bus(&[map["c[0]"], map["c[1]"]], &Word::from_u64(sel, 2));
+            sim.settle();
+            assert_eq!(sim.read_bus_by_name("o", 4).unwrap().to_u64(), Some(want));
+        }
+    }
+}

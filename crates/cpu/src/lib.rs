@@ -1,0 +1,39 @@
+//! # symsim-cpu
+//!
+//! The three evaluation processors of the DAC'22 paper, rebuilt from scratch
+//! as genuine gate-level netlists via the [`symsim_netlist::RtlBuilder`]:
+//!
+//! * [`omsp16`] — an openMSP430-style 16-bit microcontroller: NZCV status
+//!   flags drive conditional jumps, and a memory-mapped peripheral block
+//!   (16×16 hardware multiplier, watchdog, GPIO, timer) mirrors the
+//!   openMSP430 configuration of the paper's Table 2.
+//! * [`bm32`] — a bm32/MIPS32-style 32-bit core: compares are subtractions
+//!   whose results land in general-purpose registers (`SLT`), conditional
+//!   branches test registers, and a hardware multiplier serves `mult`.
+//! * [`dr5`] — a darkRiscV/RV32E-style core: 16 integer registers and **no**
+//!   hardware multiplier, so multiplication is a software shift-add loop
+//!   with input-dependent branches (the effect discussed in paper §5.0.3).
+//!
+//! Each processor ships with an assembler, a golden instruction-set
+//! simulator used to validate the gate-level model, and the six benchmark
+//! programs of Table 1 (`Div`, `inSort`, `binSearch`, `tHold`, `mult`,
+//! `tea8`).
+//!
+//! [`Cpu`] packages a processor netlist with the design-specific facts the
+//! design-agnostic co-analysis needs (PC bus, monitored control-flow
+//! signals, finish net) and with testbench preparation helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod bm32;
+pub mod dr5;
+pub mod harness;
+pub mod omsp16;
+
+pub use asm::AsmError;
+pub use harness::{Benchmark, Cpu, DataImage};
+
+/// The benchmark names of the paper's Table 1, in table order.
+pub const BENCHMARK_NAMES: [&str; 6] = ["div", "insort", "binsearch", "thold", "mult", "tea8"];

@@ -1,0 +1,214 @@
+//! Two-pass assembler for the omsp16 ISA.
+
+use crate::asm::{expect_args, first_pass, parse_imm, parse_mem, parse_reg, AsmError, Stmt};
+
+use super::{cond, opcodes as oc};
+
+fn enc(op: u32, rd: u32, rs: u32, cc: u32, imm: u16) -> u32 {
+    op << 26 | rd << 23 | rs << 20 | cc << 16 | imm as u32
+}
+
+/// Assembles omsp16 source into 32-bit program words.
+///
+/// Syntax: `mnemonic operands` with `;`/`#` comments and `label:` targets.
+/// Registers are `r0`-`r7`; memory operands are `imm(rN)`; immediates are
+/// decimal, hex (`0x...`), or labels.
+///
+/// # Errors
+///
+/// Returns [`AsmError`] with the offending source line.
+///
+/// # Example
+///
+/// ```
+/// let program = symsim_cpu::omsp16::assemble("
+///     movi r1, 41
+///     addi r1, 1
+///     halt
+/// ").expect("assembles");
+/// assert_eq!(program.len(), 3);
+/// ```
+pub fn assemble(src: &str) -> Result<Vec<u32>, AsmError> {
+    let (stmts, labels) = first_pass(src)?;
+    let mut out = Vec::with_capacity(stmts.len());
+    for stmt in &stmts {
+        out.push(encode(stmt, &labels)?);
+    }
+    Ok(out)
+}
+
+fn encode(
+    stmt: &Stmt,
+    labels: &std::collections::HashMap<String, u64>,
+) -> Result<u32, AsmError> {
+    let line = stmt.line;
+    let reg = |i: usize| parse_reg(&stmt.args[i], "r", 8, line);
+    let imm16 = |i: usize| -> Result<u16, AsmError> {
+        let v = parse_imm(&stmt.args[i], labels, line)?;
+        if !(-32768..=65535).contains(&v) {
+            return Err(AsmError::new(line, format!("immediate {v} out of 16-bit range")));
+        }
+        Ok(v as u16)
+    };
+    let rr = |op: u32, stmt: &Stmt| -> Result<u32, AsmError> {
+        expect_args(stmt, 2)?;
+        Ok(enc(op, reg(0)?, reg(1)?, 0, 0))
+    };
+    let ri = |op: u32, stmt: &Stmt| -> Result<u32, AsmError> {
+        expect_args(stmt, 2)?;
+        Ok(enc(op, reg(0)?, 0, 0, imm16(1)?))
+    };
+    let r1 = |op: u32, stmt: &Stmt| -> Result<u32, AsmError> {
+        expect_args(stmt, 1)?;
+        Ok(enc(op, reg(0)?, 0, 0, 0))
+    };
+    let memop = |op: u32, stmt: &Stmt| -> Result<u32, AsmError> {
+        expect_args(stmt, 2)?;
+        let rd = reg(0)?;
+        let (imm, rs) = parse_mem(&stmt.args[1], "r", 8, labels, line)?;
+        Ok(enc(op, rd, rs, 0, imm as u16))
+    };
+    let jump = |op: u32, cc: u32, stmt: &Stmt| -> Result<u32, AsmError> {
+        expect_args(stmt, 1)?;
+        Ok(enc(op, 0, 0, cc, imm16(0)?))
+    };
+    match stmt.op.as_str() {
+        "nop" => {
+            expect_args(stmt, 0)?;
+            Ok(enc(oc::NOP, 0, 0, 0, 0))
+        }
+        "movi" => ri(oc::MOVI, stmt),
+        "mov" => rr(oc::MOV, stmt),
+        "add" => rr(oc::ADD, stmt),
+        "addi" => ri(oc::ADDI, stmt),
+        "sub" => rr(oc::SUB, stmt),
+        "subi" => ri(oc::SUBI, stmt),
+        "cmp" => rr(oc::CMP, stmt),
+        "cmpi" => ri(oc::CMPI, stmt),
+        "and" => rr(oc::AND, stmt),
+        "andi" => ri(oc::ANDI, stmt),
+        "or" => rr(oc::OR, stmt),
+        "ori" => ri(oc::ORI, stmt),
+        "xor" => rr(oc::XOR, stmt),
+        "shl" => r1(oc::SHL, stmt),
+        "shr" => r1(oc::SHR, stmt),
+        "ld" => memop(oc::LD, stmt),
+        "st" => memop(oc::ST, stmt),
+        "jmp" => jump(oc::JMP, 0, stmt),
+        "jz" => jump(oc::JCC, cond::JZ, stmt),
+        "jnz" => jump(oc::JCC, cond::JNZ, stmt),
+        "jc" => jump(oc::JCC, cond::JC, stmt),
+        "jnc" => jump(oc::JCC, cond::JNC, stmt),
+        "jn" => jump(oc::JCC, cond::JN, stmt),
+        "jge" => jump(oc::JCC, cond::JGE, stmt),
+        "jl" => jump(oc::JCC, cond::JL, stmt),
+        "halt" => {
+            expect_args(stmt, 0)?;
+            Ok(enc(oc::HALT, 0, 0, 0, 0))
+        }
+        other => Err(AsmError::new(line, format!("unknown mnemonic \"{other}\""))),
+    }
+}
+
+/// Disassembles one instruction word into the syntax [`assemble`] accepts
+/// (jump targets render as absolute word addresses).
+///
+/// # Example
+///
+/// ```
+/// use symsim_cpu::omsp16::{assemble, disassemble};
+///
+/// let program = assemble("addi r3, 7").expect("assembles");
+/// assert_eq!(disassemble(program[0]), "addi r3, 7");
+/// ```
+pub fn disassemble(word: u32) -> String {
+    let f = decode(word);
+    let (rd, rs, imm) = (f.rd, f.rs, f.imm);
+    match f.op {
+        oc::NOP => "nop".to_string(),
+        oc::MOVI => format!("movi r{rd}, {imm}"),
+        oc::MOV => format!("mov r{rd}, r{rs}"),
+        oc::ADD => format!("add r{rd}, r{rs}"),
+        oc::ADDI => format!("addi r{rd}, {imm}"),
+        oc::SUB => format!("sub r{rd}, r{rs}"),
+        oc::SUBI => format!("subi r{rd}, {imm}"),
+        oc::CMP => format!("cmp r{rd}, r{rs}"),
+        oc::CMPI => format!("cmpi r{rd}, {imm}"),
+        oc::AND => format!("and r{rd}, r{rs}"),
+        oc::ANDI => format!("andi r{rd}, {imm}"),
+        oc::OR => format!("or r{rd}, r{rs}"),
+        oc::ORI => format!("ori r{rd}, {imm}"),
+        oc::XOR => format!("xor r{rd}, r{rs}"),
+        oc::SHL => format!("shl r{rd}"),
+        oc::SHR => format!("shr r{rd}"),
+        oc::LD => format!("ld r{rd}, {}(r{rs})", imm as i16),
+        oc::ST => format!("st r{rd}, {}(r{rs})", imm as i16),
+        oc::JMP => format!("jmp {imm}"),
+        oc::JCC => {
+            let mnemonic = match f.cc {
+                cond::JZ => "jz",
+                cond::JNZ => "jnz",
+                cond::JC => "jc",
+                cond::JNC => "jnc",
+                cond::JN => "jn",
+                cond::JGE => "jge",
+                _ => "jl",
+            };
+            format!("{mnemonic} {imm}")
+        }
+        oc::HALT => "halt".to_string(),
+        other => format!("; unknown opcode {other}"),
+    }
+}
+
+/// Decoded instruction fields, shared by the ISS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Fields {
+    pub op: u32,
+    pub rd: usize,
+    pub rs: usize,
+    pub cc: u32,
+    pub imm: u16,
+}
+
+pub(crate) fn decode(word: u32) -> Fields {
+    Fields {
+        op: word >> 26,
+        rd: (word >> 23 & 7) as usize,
+        rs: (word >> 20 & 7) as usize,
+        cc: word >> 16 & 0xf,
+        imm: (word & 0xffff) as u16,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encodes_fields() {
+        let p = assemble("loop: add r3, r5\n jnz loop\n halt").unwrap();
+        let f = decode(p[0]);
+        assert_eq!((f.op, f.rd, f.rs), (oc::ADD, 3, 5));
+        let j = decode(p[1]);
+        assert_eq!((j.op, j.cc, j.imm), (oc::JCC, cond::JNZ, 0));
+        assert_eq!(decode(p[2]).op, oc::HALT);
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = assemble("ld r1, 3(r2)\nst r4, -1(r5)").unwrap();
+        let l = decode(p[0]);
+        assert_eq!((l.op, l.rd, l.rs, l.imm), (oc::LD, 1, 2, 3));
+        let s = decode(p[1]);
+        assert_eq!((s.op, s.rd, s.rs, s.imm), (oc::ST, 4, 5, 0xffff));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(assemble("frobnicate r1").is_err());
+        assert!(assemble("movi r9, 0").is_err());
+        assert!(assemble("movi r1, 0x10000").is_err());
+        assert!(assemble("jmp nowhere").is_err());
+    }
+}

@@ -1,0 +1,391 @@
+//! The six Table 1 benchmarks for omsp16.
+//!
+//! Conventions: data memory word 0.. holds scalar inputs/outputs; arrays
+//! live at word 8 upward; the peripheral block starts at word address
+//! `0x100`. Input words (marked in each [`DataImage`]) are replaced by `X`s
+//! during co-analysis.
+
+use crate::harness::{Benchmark, DataImage};
+
+/// Unsigned integer division by repeated subtraction.
+/// Inputs: dividend @0, divisor @1. Outputs: quotient @2, remainder @3.
+pub const DIV: &str = "
+        movi r0, 0
+        ld   r1, 0(r0)     ; dividend
+        ld   r2, 1(r0)     ; divisor
+        movi r3, 0         ; quotient
+loop:   cmp  r1, r2
+        jnc  done          ; dividend < divisor -> done
+        sub  r1, r2
+        addi r3, 1
+        jmp  loop
+done:   st   r3, 2(r0)
+        st   r1, 3(r0)
+        halt
+";
+
+/// In-place insertion sort of the 8-element array @8..16.
+pub const INSORT: &str = "
+        movi r0, 8         ; base
+        movi r1, 1         ; i
+outer:  cmpi r1, 8
+        jc   done          ; i >= 8
+        mov  r4, r0
+        add  r4, r1
+        ld   r3, 0(r4)     ; key = a[i]
+        mov  r2, r1        ; j = i
+inner:  cmpi r2, 0
+        jz   place
+        mov  r4, r0
+        add  r4, r2
+        ld   r5, -1(r4)    ; a[j-1]
+        cmp  r3, r5
+        jc   place         ; key >= a[j-1] -> stop shifting
+        st   r5, 0(r4)     ; a[j] = a[j-1]
+        subi r2, 1
+        jmp  inner
+place:  mov  r4, r0
+        add  r4, r2
+        st   r3, 0(r4)
+        addi r1, 1
+        jmp  outer
+done:   halt
+";
+
+/// Binary search for key @0 in the sorted 16-word table @8..24.
+/// Output: index @1 (0xffff when absent).
+pub const BINSEARCH: &str = "
+        movi r0, 0
+        ld   r1, 0(r0)     ; key
+        movi r2, 0         ; lo
+        movi r3, 16        ; hi
+loop:   cmp  r2, r3
+        jc   notfound      ; lo >= hi
+        mov  r4, r2
+        add  r4, r3
+        shr  r4            ; mid
+        mov  r5, r4
+        addi r5, 8
+        ld   r6, 0(r5)     ; a[mid]
+        cmp  r6, r1
+        jz   found
+        jc   above         ; a[mid] > key (>= and != key) -> hi = mid
+        mov  r2, r4        ; else lo = mid+1
+        addi r2, 1
+        jmp  loop
+above:  mov  r3, r4
+        jmp  loop
+found:  st   r4, 1(r0)
+        halt
+notfound:
+        movi r4, 0xffff
+        st   r4, 1(r0)
+        halt
+";
+
+/// Digital threshold detector with rising-edge counting over 16 samples
+/// @8..24; threshold @0; count of rising crossings @1. Three conditional
+/// branches per iteration — the property behind the tHold anomaly of paper
+/// §5.0.3 (openMSP430's compiled binary had three vs two elsewhere).
+pub const THOLD: &str = "
+        movi r0, 0
+        ld   r1, 0(r0)     ; threshold
+        movi r2, 8         ; ptr
+        movi r3, 0         ; count
+        movi r6, 0         ; state
+loop:   cmpi r2, 24
+        jc   done          ; branch 1: end of samples
+        ld   r4, 0(r2)
+        cmp  r4, r1
+        jnc  below         ; branch 2: sample < threshold
+        cmpi r6, 0
+        jnz  skip          ; branch 3: already above
+        addi r3, 1
+        movi r6, 1
+        jmp  skip
+below:  movi r6, 0
+skip:   addi r2, 1
+        jmp  loop
+done:   st   r3, 1(r0)
+        halt
+";
+
+/// Unsigned multiplication via the memory-mapped 16x16 hardware multiplier.
+/// Inputs @0, @1; product lo @2, hi @3. No conditional branches: one path.
+pub const MULT: &str = "
+        movi r0, 0
+        ld   r1, 0(r0)
+        ld   r2, 1(r0)
+        movi r3, 0x100
+        st   r1, 0(r3)     ; multiplier operand 1
+        st   r2, 1(r3)     ; operand 2
+        ld   r4, 2(r3)     ; product low
+        ld   r5, 3(r3)     ; product high
+        st   r4, 2(r0)
+        st   r5, 3(r0)
+        halt
+";
+
+/// 16-bit-word TEA-style cipher, 16 rounds (the tea8 kernel scaled to the
+/// 16-bit datapath; see DESIGN.md). v0 @0, v1 @1; key @4..8 (constants);
+/// ciphertext @2, @3. Round count is concrete, so co-analysis explores a
+/// single path.
+pub const TEA8: &str = "
+        movi r0, 0
+        ld   r1, 0(r0)     ; v0
+        ld   r2, 1(r0)     ; v1
+        movi r3, 0         ; sum
+        movi r4, 0         ; round
+round:  addi r3, 0x9e37    ; sum += delta
+        mov  r5, r2        ; t = v1<<4
+        shl  r5
+        shl  r5
+        shl  r5
+        shl  r5
+        ld   r6, 4(r0)
+        add  r5, r6        ; t += k0
+        mov  r6, r2
+        add  r6, r3        ; v1 + sum
+        xor  r5, r6
+        mov  r6, r2        ; v1>>5
+        shr  r6
+        shr  r6
+        shr  r6
+        shr  r6
+        shr  r6
+        ld   r7, 5(r0)
+        add  r6, r7        ; += k1
+        xor  r5, r6
+        add  r1, r5        ; v0 += ...
+        mov  r5, r1        ; second half with v0, k2, k3
+        shl  r5
+        shl  r5
+        shl  r5
+        shl  r5
+        ld   r6, 6(r0)
+        add  r5, r6
+        mov  r6, r1
+        add  r6, r3
+        xor  r5, r6
+        mov  r6, r1
+        shr  r6
+        shr  r6
+        shr  r6
+        shr  r6
+        shr  r6
+        ld   r7, 7(r0)
+        add  r6, r7
+        xor  r5, r6
+        add  r2, r5        ; v1 += ...
+        addi r4, 1
+        cmpi r4, 16
+        jnz  round
+        st   r1, 2(r0)
+        st   r2, 3(r0)
+        halt
+";
+
+/// The TEA key schedule used by [`TEA8`] (concrete data @4..8).
+pub const TEA_KEY: [u64; 4] = [0x1c2d, 0x3e4f, 0x5a6b, 0x7c8d];
+
+/// Sorted lookup table used by [`BINSEARCH`] (concrete data @8..24).
+pub const SEARCH_TABLE: [u64; 16] = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53,
+];
+
+/// The benchmark named `name` (Table 1 names, lower-case).
+///
+/// # Panics
+///
+/// Panics on an unknown name; use [`crate::BENCHMARK_NAMES`].
+pub fn benchmark(name: &str) -> Benchmark {
+    benchmarks()
+        .into_iter()
+        .find(|b| b.name == name)
+        .unwrap_or_else(|| panic!("unknown benchmark \"{name}\""))
+}
+
+/// All six Table 1 benchmarks.
+pub fn benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "div",
+            source: DIV,
+            data: DataImage {
+                concrete: vec![],
+                inputs: vec![0, 1],
+            },
+            example_inputs: vec![100, 7],
+            max_cycles: 30_000,
+        },
+        Benchmark {
+            name: "insort",
+            source: INSORT,
+            data: DataImage {
+                concrete: vec![],
+                inputs: (8..16).collect(),
+            },
+            example_inputs: vec![5, 2, 9, 1, 7, 3, 8, 0],
+            max_cycles: 30_000,
+        },
+        Benchmark {
+            name: "binsearch",
+            source: BINSEARCH,
+            data: DataImage {
+                concrete: SEARCH_TABLE
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (8 + i, v))
+                    .collect(),
+                inputs: vec![0],
+            },
+            example_inputs: vec![13],
+            max_cycles: 30_000,
+        },
+        Benchmark {
+            name: "thold",
+            source: THOLD,
+            data: DataImage {
+                concrete: vec![],
+                inputs: std::iter::once(0).chain(8..24).collect(),
+            },
+            example_inputs: vec![
+                50, 10, 60, 70, 20, 80, 30, 90, 40, 55, 45, 65, 35, 75, 25, 85, 15,
+            ],
+            max_cycles: 60_000,
+        },
+        Benchmark {
+            name: "mult",
+            source: MULT,
+            data: DataImage {
+                concrete: vec![],
+                inputs: vec![0, 1],
+            },
+            example_inputs: vec![300, 250],
+            max_cycles: 10_000,
+        },
+        Benchmark {
+            name: "tea8",
+            source: TEA8,
+            data: DataImage {
+                concrete: TEA_KEY
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (4 + i, v))
+                    .collect(),
+                inputs: vec![0, 1],
+            },
+            example_inputs: vec![0x1234, 0x9876],
+            max_cycles: 10_000,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::omsp16::{assemble, Iss};
+
+    fn run_iss(bench: &Benchmark) -> Iss {
+        let program = assemble(bench.source).expect("benchmark assembles");
+        let mut iss = Iss::new(&program);
+        for &(a, v) in &bench.data.concrete {
+            iss.write_mem(a, v as u16);
+        }
+        for (&a, &v) in bench.data.inputs.iter().zip(&bench.example_inputs) {
+            iss.write_mem(a, v as u16);
+        }
+        assert!(iss.run(bench.max_cycles), "benchmark must halt");
+        iss
+    }
+
+    #[test]
+    fn div_computes_quotient_and_remainder() {
+        let iss = run_iss(&benchmark("div"));
+        assert_eq!(iss.mem[2], 14); // 100 / 7
+        assert_eq!(iss.mem[3], 2); // 100 % 7
+    }
+
+    #[test]
+    fn insort_sorts() {
+        let iss = run_iss(&benchmark("insort"));
+        let sorted: Vec<u16> = iss.mem[8..16].to_vec();
+        let mut expect = vec![5u16, 2, 9, 1, 7, 3, 8, 0];
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+    }
+
+    #[test]
+    fn binsearch_finds_key() {
+        let iss = run_iss(&benchmark("binsearch"));
+        assert_eq!(iss.mem[1], 5); // 13 is at index 5
+        // absent key
+        let b = benchmark("binsearch");
+        let program = assemble(b.source).unwrap();
+        let mut iss = Iss::new(&program);
+        for &(a, v) in &b.data.concrete {
+            iss.write_mem(a, v as u16);
+        }
+        iss.write_mem(0, 14);
+        assert!(iss.run(b.max_cycles));
+        assert_eq!(iss.mem[1], 0xffff);
+    }
+
+    #[test]
+    fn thold_counts_rising_edges() {
+        let iss = run_iss(&benchmark("thold"));
+        // samples vs threshold 50: rising edges at 60, 80, 90, 55, 65, 75, 85
+        let b = benchmark("thold");
+        let thresh = b.example_inputs[0] as u16;
+        let samples: Vec<u16> = b.example_inputs[1..].iter().map(|&v| v as u16).collect();
+        let mut state = false;
+        let mut count = 0;
+        for s in samples {
+            if s >= thresh {
+                if !state {
+                    count += 1;
+                }
+                state = true;
+            } else {
+                state = false;
+            }
+        }
+        assert_eq!(iss.mem[1], count);
+    }
+
+    #[test]
+    fn mult_uses_peripheral() {
+        let iss = run_iss(&benchmark("mult"));
+        let product = (iss.mem[3] as u32) << 16 | iss.mem[2] as u32;
+        assert_eq!(product, 300 * 250);
+    }
+
+    #[test]
+    fn tea8_matches_reference() {
+        let iss = run_iss(&benchmark("tea8"));
+        // 16-bit TEA reference
+        let (mut v0, mut v1) = (0x1234u16, 0x9876u16);
+        let k: Vec<u16> = TEA_KEY.iter().map(|&v| v as u16).collect();
+        let mut sum = 0u16;
+        for _ in 0..16 {
+            sum = sum.wrapping_add(0x9e37);
+            v0 = v0.wrapping_add(
+                (v1 << 4).wrapping_add(k[0]) ^ v1.wrapping_add(sum) ^ (v1 >> 5).wrapping_add(k[1]),
+            );
+            v1 = v1.wrapping_add(
+                (v0 << 4).wrapping_add(k[2]) ^ v0.wrapping_add(sum) ^ (v0 >> 5).wrapping_add(k[3]),
+            );
+        }
+        assert_eq!(iss.mem[2], v0);
+        assert_eq!(iss.mem[3], v1);
+        // ciphertext differs from plaintext
+        assert_ne!((iss.mem[2], iss.mem[3]), (0x1234, 0x9876));
+    }
+
+    #[test]
+    fn all_benchmarks_assemble_and_halt() {
+        for b in benchmarks() {
+            let _ = run_iss(&b);
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Extension benchmarks beyond the paper's Table 1, in the same ULP
+//! application domains: CRC integrity checking, FIR filtering (via the
+//! hardware multiplier), and a timer/GPIO "blink" that — unlike every
+//! Table 1 benchmark — *uses* the peripherals, so co-analysis keeps them.
+
+use crate::harness::{Benchmark, DataImage};
+
+/// CRC-16/CCITT over the 4 input words @8..12 (word-at-a-time variant);
+/// result @1. Bit tests on the CRC register are input-dependent branches.
+pub const CRC16: &str = "
+        movi r0, 0
+        movi r1, 0xffff    ; crc
+        movi r6, 0x1021    ; polynomial
+        movi r2, 8         ; ptr
+wloop:  cmpi r2, 12
+        jc   done
+        ld   r3, 0(r2)
+        xor  r1, r3
+        movi r4, 0         ; bit counter
+bloop:  cmpi r4, 16
+        jc   wnext
+        mov  r5, r1
+        andi r5, 0x8000
+        cmpi r5, 0
+        jz   noxor
+        shl  r1
+        xor  r1, r6
+        jmp  bnext
+noxor:  shl  r1
+bnext:  addi r4, 1
+        jmp  bloop
+wnext:  addi r2, 1
+        jmp  wloop
+done:   st   r1, 1(r0)
+        halt
+";
+
+/// 4-tap FIR over samples @8..16 using the hardware multiplier; the sum of
+/// the valid outputs lands @1. Taps @4..8 are concrete coefficients.
+pub const FIR: &str = "
+        movi r0, 0
+        movi r7, 0         ; accumulator
+        movi r1, 3         ; i
+oloop:  cmpi r1, 8
+        jc   done
+        movi r2, 0         ; j
+iloop:  cmpi r2, 4
+        jc   onext
+        mov  r3, r1
+        sub  r3, r2
+        addi r3, 8
+        ld   r4, 0(r3)     ; x[i-j]
+        mov  r3, r2
+        addi r3, 4
+        ld   r5, 0(r3)     ; c[j]
+        movi r3, 0x100
+        st   r4, 0(r3)     ; multiplier operands
+        st   r5, 1(r3)
+        ld   r6, 2(r3)     ; product (low word)
+        add  r7, r6
+        addi r2, 1
+        jmp  iloop
+onext:  addi r1, 1
+        jmp  oloop
+done:   st   r7, 1(r0)
+        halt
+";
+
+/// Timer-paced GPIO blink: enables the timer, waits for three successive
+/// 40-cycle marks, toggling GPIO bit 0 at each. Exercises the timer and
+/// GPIO blocks that the Table 1 benchmarks leave prunable.
+pub const BLINK: &str = "
+        movi r0, 0x100
+        movi r1, 1
+        st   r1, 7(r0)     ; timer_ctl = enable
+        movi r2, 0         ; blink count
+        movi r6, 40        ; next timer mark
+bloop:  cmpi r2, 3
+        jc   done
+wait:   ld   r3, 8(r0)     ; timer count
+        cmp  r3, r6
+        jnc  wait
+        ld   r4, 4(r0)     ; gpio_out
+        movi r5, 1
+        xor  r4, r5
+        st   r4, 4(r0)
+        addi r6, 40
+        addi r2, 1
+        jmp  bloop
+done:   halt
+";
+
+/// Insertion sort with *masked, OR-based addressing*: every array index is
+/// `AND`-masked to the array's power-of-two bound and combined with the
+/// aligned base via `OR` instead of `ADD`, so no `X` carry chain can reach
+/// the high address bits. This is the software-side mitigation for the
+/// omsp16/insort over-approximation (see EXPERIMENTS.md): with plain
+/// base+index addressing, unknown index bits ripple `X` into the peripheral
+/// address window and conservatively mark the multiplier exercisable.
+/// Array of 8 elements @16..24.
+pub const INSORT_MASKED: &str = "
+        movi r1, 1         ; i
+outer:  cmpi r1, 8
+        jc   done
+        mov  r4, r1
+        andi r4, 15        ; mask index
+        ori  r4, 16        ; aligned base, no carry
+        ld   r3, 0(r4)     ; key = a[i]
+        mov  r2, r1        ; j = i
+inner:  cmpi r2, 0
+        jz   place
+        mov  r5, r2
+        subi r5, 1
+        andi r5, 15        ; mask j-1
+        ori  r5, 16
+        ld   r6, 0(r5)     ; a[j-1]
+        cmp  r3, r6
+        jc   place         ; key >= a[j-1]
+        mov  r4, r2
+        andi r4, 15
+        ori  r4, 16
+        st   r6, 0(r4)     ; a[j] = a[j-1]
+        subi r2, 1
+        jmp  inner
+place:  mov  r4, r2
+        andi r4, 15
+        ori  r4, 16
+        st   r3, 0(r4)
+        addi r1, 1
+        jmp  outer
+done:   halt
+";
+
+/// FIR tap coefficients (@4..8).
+pub const FIR_TAPS: [u64; 4] = [3, 5, 7, 2];
+
+/// The extension benchmarks (`crc16`, `fir`, `blink`).
+pub fn extended_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "crc16",
+            source: CRC16,
+            data: DataImage {
+                concrete: vec![],
+                inputs: (8..12).collect(),
+            },
+            example_inputs: vec![0x1234, 0xabcd, 0x0042, 0xffff],
+            max_cycles: 30_000,
+        },
+        Benchmark {
+            name: "fir",
+            source: FIR,
+            data: DataImage {
+                concrete: FIR_TAPS
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &v)| (4 + i, v))
+                    .collect(),
+                inputs: (8..16).collect(),
+            },
+            example_inputs: vec![1, 2, 3, 4, 5, 6, 7, 8],
+            max_cycles: 30_000,
+        },
+        Benchmark {
+            name: "blink",
+            source: BLINK,
+            data: DataImage {
+                concrete: vec![],
+                inputs: vec![],
+            },
+            example_inputs: vec![],
+            max_cycles: 10_000,
+        },
+        Benchmark {
+            name: "insort_m",
+            source: INSORT_MASKED,
+            data: DataImage {
+                concrete: vec![],
+                inputs: (16..24).collect(),
+            },
+            example_inputs: vec![5, 2, 9, 1, 7, 3, 8, 0],
+            max_cycles: 30_000,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::omsp16::{assemble, Iss};
+
+    fn run(bench: &Benchmark) -> Iss {
+        let program = assemble(bench.source).expect("assembles");
+        let mut iss = Iss::new(&program);
+        for &(a, v) in &bench.data.concrete {
+            iss.write_mem(a, v as u16);
+        }
+        for (&a, &v) in bench.data.inputs.iter().zip(&bench.example_inputs) {
+            iss.write_mem(a, v as u16);
+        }
+        assert!(iss.run(bench.max_cycles), "{} must halt", bench.name);
+        iss
+    }
+
+    fn crc16_ref(words: &[u16]) -> u16 {
+        let mut crc = 0xffffu16;
+        for &w in words {
+            crc ^= w;
+            for _ in 0..16 {
+                crc = if crc & 0x8000 != 0 {
+                    (crc << 1) ^ 0x1021
+                } else {
+                    crc << 1
+                };
+            }
+        }
+        crc
+    }
+
+    #[test]
+    fn crc16_matches_reference() {
+        let benches = extended_benchmarks();
+        let b = &benches[0];
+        let iss = run(b);
+        let words: Vec<u16> = b.example_inputs.iter().map(|&v| v as u16).collect();
+        assert_eq!(iss.mem[1], crc16_ref(&words));
+    }
+
+    #[test]
+    fn fir_matches_reference() {
+        let benches = extended_benchmarks();
+        let b = &benches[1];
+        let iss = run(b);
+        let x: Vec<u16> = b.example_inputs.iter().map(|&v| v as u16).collect();
+        let c: Vec<u16> = FIR_TAPS.iter().map(|&v| v as u16).collect();
+        let mut acc = 0u16;
+        for i in 3..8 {
+            for j in 0..4 {
+                acc = acc.wrapping_add(x[i - j].wrapping_mul(c[j]));
+            }
+        }
+        assert_eq!(iss.mem[1], acc);
+    }
+
+    #[test]
+    fn insort_masked_sorts() {
+        let benches = extended_benchmarks();
+        let b = benches.iter().find(|b| b.name == "insort_m").unwrap();
+        let iss = run(b);
+        let mut expect: Vec<u16> = b.example_inputs.iter().map(|&v| v as u16).collect();
+        expect.sort_unstable();
+        assert_eq!(&iss.mem[16..24], &expect[..]);
+    }
+
+    #[test]
+    fn blink_toggles_gpio_three_times() {
+        let benches = extended_benchmarks();
+        let iss = run(&benches[2]);
+        assert_eq!(iss.gpio_out, 1, "three toggles leave bit 0 high");
+        assert!(iss.timer_cnt >= 120, "timer ran through three marks");
+    }
+}

@@ -1,0 +1,308 @@
+//! Golden instruction-set simulator for omsp16, used to validate the
+//! gate-level model (architectural state must match cycle-for-cycle, since
+//! the core is single-cycle).
+
+use super::assemble::decode;
+use super::{cond, opcodes as oc, DMEM_DEPTH};
+
+/// Architectural + peripheral state of the omsp16 golden model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Iss {
+    /// Program counter (word address).
+    pub pc: u16,
+    /// General-purpose registers.
+    pub regs: [u16; 8],
+    /// Status flags `(Z, N, C, V)`.
+    pub flags: (bool, bool, bool, bool),
+    /// Sticky halt.
+    pub halted: bool,
+    /// Data memory.
+    pub mem: Vec<u16>,
+    /// Multiplier operand 1 (memory-mapped `0x100`).
+    pub mul_op1: u16,
+    /// Multiplier operand 2 (`0x101`).
+    pub mul_op2: u16,
+    /// GPIO output register (`0x104`).
+    pub gpio_out: u16,
+    /// GPIO direction register (`0x106`).
+    pub gpio_dir: u16,
+    /// Timer control (`0x107`).
+    pub timer_ctl: u16,
+    /// Timer counter (`0x108`).
+    pub timer_cnt: u16,
+    /// Watchdog control (`0x109`).
+    pub wdt_ctl: u16,
+    /// Watchdog counter (`0x10a`).
+    pub wdt_cnt: u16,
+    /// Cycles executed.
+    pub cycles: u64,
+    program: Vec<u32>,
+}
+
+impl Iss {
+    /// Creates a golden model with the given program, zeroed registers and
+    /// memory (matching `Cpu::prepare_concrete`).
+    pub fn new(program: &[u32]) -> Iss {
+        Iss {
+            pc: 0,
+            regs: [0; 8],
+            flags: (false, false, false, false),
+            halted: false,
+            mem: vec![0; DMEM_DEPTH],
+            mul_op1: 0,
+            mul_op2: 0,
+            gpio_out: 0,
+            gpio_dir: 0,
+            timer_ctl: 0,
+            timer_cnt: 0,
+            wdt_ctl: 0,
+            wdt_cnt: 0,
+            cycles: 0,
+            program: program.to_vec(),
+        }
+    }
+
+    /// Writes a data-memory word (for input setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of range.
+    pub fn write_mem(&mut self, addr: usize, value: u16) {
+        self.mem[addr] = value;
+    }
+
+    fn load(&self, addr: u16) -> u16 {
+        match addr >> 8 {
+            0 => self.mem[(addr & 0xff) as usize],
+            1 => {
+                let product = (self.mul_op1 as u32) * (self.mul_op2 as u32);
+                match addr & 0xf {
+                    0x0 => self.mul_op1,
+                    0x1 => self.mul_op2,
+                    0x2 => product as u16,
+                    0x3 => (product >> 16) as u16,
+                    0x4 => self.gpio_out,
+                    0x5 => 0, // gpio_in tied low in concrete runs
+                    0x6 => self.gpio_dir,
+                    0x7 => self.timer_ctl,
+                    0x8 => self.timer_cnt,
+                    0x9 => self.wdt_ctl,
+                    0xa => self.wdt_cnt,
+                    _ => 0,
+                }
+            }
+            _ => self.mem[(addr & 0xff) as usize], // aliases, like the netlist
+        }
+    }
+
+    fn store(&mut self, addr: u16, value: u16) {
+        match addr >> 8 {
+            0 => self.mem[(addr & 0xff) as usize] = value,
+            1 => match addr & 0xf {
+                0x0 => self.mul_op1 = value,
+                0x1 => self.mul_op2 = value,
+                0x4 => self.gpio_out = value,
+                0x6 => self.gpio_dir = value,
+                0x7 => self.timer_ctl = value & 1,
+                0x9 => self.wdt_ctl = value & 1,
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+
+    /// Executes one instruction (one cycle).
+    pub fn step(&mut self) {
+        // free-running peripheral counters tick like the netlist's
+        if self.timer_ctl & 1 == 1 {
+            self.timer_cnt = self.timer_cnt.wrapping_add(1);
+        }
+        if self.wdt_ctl & 1 == 1 {
+            self.wdt_cnt = self.wdt_cnt.wrapping_add(1);
+        }
+        if self.halted {
+            self.cycles += 1;
+            return;
+        }
+        let word = *self.program.get(self.pc as usize).unwrap_or(&0);
+        let f = decode(word);
+        let a = self.regs[f.rd];
+        let b = if matches!(
+            f.op,
+            oc::MOVI | oc::ADDI | oc::SUBI | oc::CMPI | oc::ANDI | oc::ORI
+        ) {
+            f.imm
+        } else {
+            self.regs[f.rs]
+        };
+        let mut next_pc = (self.pc + 1) & 0x1ff;
+        let set_flags = |iss: &mut Iss, res: u16, c: bool, v: bool| {
+            iss.flags = (res == 0, res & 0x8000 != 0, c, v);
+        };
+        match f.op {
+            oc::NOP => {}
+            oc::MOVI | oc::MOV => self.regs[f.rd] = b,
+            oc::ADD | oc::ADDI => {
+                let (res, c) = a.overflowing_add(b);
+                let v = (a ^ b) & 0x8000 == 0 && (a ^ res) & 0x8000 != 0;
+                set_flags(self, res, c, v);
+                self.regs[f.rd] = res;
+            }
+            oc::SUB | oc::SUBI | oc::CMP | oc::CMPI => {
+                let (res, borrow) = a.overflowing_sub(b);
+                let v = (a ^ b) & 0x8000 != 0 && (a ^ res) & 0x8000 != 0;
+                set_flags(self, res, !borrow, v); // C = no borrow (a >= b)
+                if matches!(f.op, oc::SUB | oc::SUBI) {
+                    self.regs[f.rd] = res;
+                }
+            }
+            oc::AND | oc::ANDI => {
+                let res = a & b;
+                set_flags(self, res, false, false);
+                self.regs[f.rd] = res;
+            }
+            oc::OR | oc::ORI => {
+                let res = a | b;
+                set_flags(self, res, false, false);
+                self.regs[f.rd] = res;
+            }
+            oc::XOR => {
+                let res = a ^ b;
+                set_flags(self, res, false, false);
+                self.regs[f.rd] = res;
+            }
+            oc::SHL => {
+                let res = a << 1;
+                set_flags(self, res, a & 0x8000 != 0, false);
+                self.regs[f.rd] = res;
+            }
+            oc::SHR => {
+                let res = a >> 1;
+                set_flags(self, res, a & 1 != 0, false);
+                self.regs[f.rd] = res;
+            }
+            oc::LD => {
+                let addr = self.regs[f.rs].wrapping_add(f.imm);
+                self.regs[f.rd] = self.load(addr);
+            }
+            oc::ST => {
+                let addr = self.regs[f.rs].wrapping_add(f.imm);
+                self.store(addr, a);
+            }
+            oc::JMP => next_pc = f.imm & 0x1ff,
+            oc::JCC => {
+                let (z, n, c, v) = self.flags;
+                let take = match f.cc {
+                    cond::JZ => z,
+                    cond::JNZ => !z,
+                    cond::JC => c,
+                    cond::JNC => !c,
+                    cond::JN => n,
+                    cond::JGE => n == v,
+                    cond::JL => n != v,
+                    _ => false,
+                };
+                if take {
+                    next_pc = f.imm & 0x1ff;
+                }
+            }
+            oc::HALT => self.halted = true,
+            _ => {}
+        }
+        self.pc = if self.halted { self.pc } else { next_pc };
+        self.cycles += 1;
+    }
+
+    /// Runs until halt or `max_cycles`. Returns true if halted.
+    pub fn run(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.halted {
+                return true;
+            }
+            self.step();
+        }
+        self.halted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::omsp16::assemble;
+
+    #[test]
+    fn arithmetic_and_flags() {
+        let p = assemble(
+            "
+            movi r1, 5
+            cmpi r1, 5      ; Z=1, C=1 (5 >= 5)
+            halt
+        ",
+        )
+        .unwrap();
+        let mut iss = Iss::new(&p);
+        assert!(iss.run(10));
+        assert_eq!(iss.regs[1], 5);
+        assert!(iss.flags.0);
+        assert!(iss.flags.2);
+    }
+
+    #[test]
+    fn loop_executes() {
+        // sum 1..=4 into r2
+        let p = assemble(
+            "
+                movi r1, 4
+                movi r2, 0
+            loop: add r2, r1
+                subi r1, 1
+                jnz loop
+                st  r2, 0(r1)   ; r1 == 0 here
+                halt
+        ",
+        )
+        .unwrap();
+        let mut iss = Iss::new(&p);
+        assert!(iss.run(100));
+        assert_eq!(iss.mem[0], 10);
+    }
+
+    #[test]
+    fn multiplier_peripheral() {
+        let p = assemble(
+            "
+            movi r3, 0x100
+            movi r1, 300
+            movi r2, 250
+            st   r1, 0(r3)
+            st   r2, 1(r3)
+            ld   r4, 2(r3)
+            ld   r5, 3(r3)
+            halt
+        ",
+        )
+        .unwrap();
+        let mut iss = Iss::new(&p);
+        assert!(iss.run(20));
+        let product = (iss.regs[5] as u32) << 16 | iss.regs[4] as u32;
+        assert_eq!(product, 75000);
+    }
+
+    #[test]
+    fn negative_offset_addressing() {
+        let p = assemble(
+            "
+            movi r1, 10
+            movi r2, 77
+            st   r2, -1(r1)   ; mem[9] = 77
+            ld   r3, -1(r1)
+            halt
+        ",
+        )
+        .unwrap();
+        let mut iss = Iss::new(&p);
+        assert!(iss.run(10));
+        assert_eq!(iss.mem[9], 77);
+        assert_eq!(iss.regs[3], 77);
+    }
+}

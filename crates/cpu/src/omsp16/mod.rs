@@ -1,0 +1,381 @@
+//! `omsp16` — an openMSP430-style 16-bit microcontroller.
+//!
+//! Matches the openMSP430 character of the paper's Table 2:
+//!
+//! * 16-bit datapath, 8 general-purpose registers;
+//! * compare results live in a 4-bit **status register** (Z, N, C, V), and
+//!   conditional jumps test individual flags — the property that makes
+//!   openMSP430's conservative states converge quickly (paper §5.0.3);
+//! * a memory-mapped peripheral block: 16×16 hardware multiplier, GPIO,
+//!   TimerA-style timer, and watchdog. Benchmarks that ignore the
+//!   peripherals leave the whole block unexercised, which is why the paper
+//!   reports the largest bespoke reductions on this design (Fig. 5).
+//!
+//! Memory map (word addresses): data RAM at `0x000..0x100`, peripherals at
+//! `0x100..0x110` (`0x100` mul op1, `0x101` mul op2, `0x102/0x103` product
+//! lo/hi, `0x104` GPIO out, `0x105` GPIO in, `0x106` GPIO dir, `0x107`
+//! timer ctl, `0x108` timer count, `0x109` watchdog ctl, `0x10a` watchdog
+//! count).
+
+mod assemble;
+mod bench;
+mod ext;
+mod iss;
+
+pub use assemble::{assemble, disassemble};
+pub use bench::{benchmark, benchmarks};
+pub use ext::extended_benchmarks;
+pub use iss::Iss;
+
+use symsim_netlist::{Bus, RtlBuilder};
+
+use crate::harness::{any, mux_tree, select, select1, Cpu};
+
+/// Program memory depth in 32-bit words.
+pub const PMEM_DEPTH: usize = 512;
+/// Data memory depth in 16-bit words.
+pub const DMEM_DEPTH: usize = 256;
+/// Base word address of the peripheral block.
+pub const PERIPH_BASE: u16 = 0x100;
+
+pub(crate) mod opcodes {
+    pub const NOP: u32 = 0;
+    pub const MOVI: u32 = 1;
+    pub const MOV: u32 = 2;
+    pub const ADD: u32 = 3;
+    pub const ADDI: u32 = 4;
+    pub const SUB: u32 = 5;
+    pub const SUBI: u32 = 6;
+    pub const CMP: u32 = 7;
+    pub const CMPI: u32 = 8;
+    pub const AND: u32 = 9;
+    pub const ANDI: u32 = 10;
+    pub const OR: u32 = 11;
+    pub const ORI: u32 = 12;
+    pub const XOR: u32 = 13;
+    pub const SHL: u32 = 14;
+    pub const SHR: u32 = 15;
+    pub const LD: u32 = 16;
+    pub const ST: u32 = 17;
+    pub const JMP: u32 = 18;
+    pub const JCC: u32 = 19;
+    pub const HALT: u32 = 20;
+}
+
+/// Condition codes for `JCC` (flag tests, MSP430 style).
+pub(crate) mod cond {
+    pub const JZ: u32 = 0;
+    pub const JNZ: u32 = 1;
+    pub const JC: u32 = 2;
+    pub const JNC: u32 = 3;
+    pub const JN: u32 = 4;
+    pub const JGE: u32 = 5;
+    pub const JL: u32 = 6;
+}
+
+/// Builds the omsp16 gate-level netlist and its co-analysis interface.
+pub fn build() -> Cpu {
+    const W: usize = 16;
+    let mut b = RtlBuilder::new("omsp16");
+    let gpio_in = b.input("gpio_in", W);
+
+    // ---- architectural state ----
+    let pc_r = b.reg("pc", 9, 0);
+    let pcq = pc_r.q.clone();
+    let halted_r = b.reg("halted_r", 1, 0);
+    let haltq = halted_r.q.clone();
+    let flags_r = b.reg("flags", 4, 0); // [0]=Z [1]=N [2]=C [3]=V
+    let flagsq = flags_r.q.clone();
+    let rf: Vec<_> = (0..8).map(|i| b.reg_x(&format!("rf{i}"), W)).collect();
+    let rfq: Vec<Bus> = rf.iter().map(|r| r.q.clone()).collect();
+
+    // ---- fetch / fields ----
+    let pmem = b.memory("pmem", PMEM_DEPTH, 32);
+    let instr = b.mem_read(pmem, &pcq);
+    let op = instr.slice(26, 32);
+    let rd_f = instr.slice(23, 26);
+    let rs_f = instr.slice(20, 23);
+    let cond_f = instr.slice(16, 20);
+    let imm = instr.slice(0, 16);
+
+    // ---- decode ----
+    let dec = |b: &mut RtlBuilder, code: u32| {
+        let c = b.const_word(code as u64, 6);
+        b.eq(&op, &c)
+    };
+    use opcodes as oc;
+    let is_movi = dec(&mut b, oc::MOVI);
+    let is_mov = dec(&mut b, oc::MOV);
+    let is_add = dec(&mut b, oc::ADD);
+    let is_addi = dec(&mut b, oc::ADDI);
+    let is_sub = dec(&mut b, oc::SUB);
+    let is_subi = dec(&mut b, oc::SUBI);
+    let is_cmp = dec(&mut b, oc::CMP);
+    let is_cmpi = dec(&mut b, oc::CMPI);
+    let is_and = dec(&mut b, oc::AND);
+    let is_andi = dec(&mut b, oc::ANDI);
+    let is_or = dec(&mut b, oc::OR);
+    let is_ori = dec(&mut b, oc::ORI);
+    let is_xor = dec(&mut b, oc::XOR);
+    let is_shl = dec(&mut b, oc::SHL);
+    let is_shr = dec(&mut b, oc::SHR);
+    let is_ld = dec(&mut b, oc::LD);
+    let is_st = dec(&mut b, oc::ST);
+    let is_jmp = dec(&mut b, oc::JMP);
+    let is_jcc = dec(&mut b, oc::JCC);
+    let is_halt = dec(&mut b, oc::HALT);
+
+    let not_halt = b.not1(haltq.bit(0));
+
+    // ---- register read / operand select ----
+    let rd_val = mux_tree(&mut b, &rd_f, &rfq);
+    let rs_val = mux_tree(&mut b, &rs_f, &rfq);
+    let uses_imm = any(
+        &mut b,
+        &[is_movi, is_addi, is_subi, is_cmpi, is_andi, is_ori],
+    );
+    let opb = b.mux(uses_imm, &rs_val, &imm);
+
+    // ---- ALU ----
+    let zero1 = b.zero();
+    let (add_res, add_c) = b.add_carry(&rd_val, &opb, zero1);
+    let (sub_res, sub_c) = b.sub_carry(&rd_val, &opb);
+    let and_res = b.and(&rd_val, &opb);
+    let or_res = b.or(&rd_val, &opb);
+    let xor_res = b.xor(&rd_val, &opb);
+    let shl_res = b.shl_const(&rd_val, 1);
+    let shr_res = b.shr_const(&rd_val, 1);
+    let is_addish = any(&mut b, &[is_add, is_addi]);
+    let is_subish = any(&mut b, &[is_sub, is_subi, is_cmp, is_cmpi]);
+    let is_andish = any(&mut b, &[is_and, is_andi]);
+    let is_orish = any(&mut b, &[is_or, is_ori]);
+    let alu_res = select(
+        &mut b,
+        &opb, // MOV/MOVI pass the operand through
+        &[
+            (is_addish, add_res.clone()),
+            (is_subish, sub_res.clone()),
+            (is_andish, and_res),
+            (is_orish, or_res),
+            (is_xor, xor_res),
+            (is_shl, shl_res),
+            (is_shr, shr_res),
+        ],
+    );
+
+    // ---- status register (the NZCV flags of paper §5.0.3) ----
+    let z_next = b.is_zero(&alu_res);
+    let n_next = alu_res.msb();
+    let c_shl = rd_val.msb();
+    let c_shr = rd_val.bit(0);
+    let c_next = select1(
+        &mut b,
+        zero1,
+        &[
+            (is_addish, add_c),
+            (is_subish, sub_c),
+            (is_shl, c_shl),
+            (is_shr, c_shr),
+        ],
+    );
+    let sa = rd_val.msb();
+    let sb = opb.msb();
+    let signs_differ = b.xor1(sa, sb);
+    let signs_same = b.not1(signs_differ);
+    let res_flip_add = b.xor1(sa, add_res.msb());
+    let v_add = b.and1(signs_same, res_flip_add);
+    let res_flip_sub = b.xor1(sa, sub_res.msb());
+    let v_sub = b.and1(signs_differ, res_flip_sub);
+    let v_next = select1(&mut b, zero1, &[(is_addish, v_add), (is_subish, v_sub)]);
+    let sets_flags = any(
+        &mut b,
+        &[is_addish, is_subish, is_andish, is_orish, is_xor, is_shl, is_shr],
+    );
+    let flags_we = b.and1(sets_flags, not_halt);
+    let flags_next_bus = Bus::from_nets(vec![z_next, n_next, c_next, v_next]);
+    let flags_next = b.mux(flags_we, &flagsq, &flags_next_bus);
+    b.drive_reg(flags_r, &flags_next);
+
+    // ---- data memory and peripherals ----
+    let addr = b.add(&rs_val, &imm);
+    let addr_hi = addr.slice(8, 16);
+    let is_dmem = b.is_zero(&addr_hi);
+    let one_page = b.const_word(1, 8);
+    let is_periph = b.eq(&addr_hi, &one_page);
+    let dmem = b.memory("dmem", DMEM_DEPTH, W);
+    let daddr = addr.slice(0, 8);
+    let dmem_rdata = b.mem_read(dmem, &daddr);
+    let st_en = b.and1(is_st, not_halt);
+    let dmem_we = b.and1(st_en, is_dmem);
+    b.mem_write(dmem, &daddr, &rd_val, dmem_we);
+
+    // peripheral block: multiplier, GPIO, timer, watchdog
+    let psel = addr.slice(0, 4);
+    let pwrite = b.and1(st_en, is_periph);
+    let pw = |b: &mut RtlBuilder, index: u64| {
+        let c = b.const_word(index, 4);
+        let hit = b.eq(&psel, &c);
+        b.and1(pwrite, hit)
+    };
+    let we_op1 = pw(&mut b, 0);
+    let we_op2 = pw(&mut b, 1);
+    let we_gout = pw(&mut b, 4);
+    let we_gdir = pw(&mut b, 6);
+    let we_tctl = pw(&mut b, 7);
+    let we_wctl = pw(&mut b, 9);
+
+    let mul_op1 = b.reg_en("mul_op1", &rd_val, we_op1, 0);
+    let mul_op2 = b.reg_en("mul_op2", &rd_val, we_op2, 0);
+    let product = b.mul_full(&mul_op1, &mul_op2); // the 16x16 hardware multiplier
+    let gpio_out = b.reg_en("gpio_out", &rd_val, we_gout, 0);
+    let gpio_dir = b.reg_en("gpio_dir", &rd_val, we_gdir, 0);
+    let tctl_in = rd_val.slice(0, 1);
+    let timer_ctl = b.reg_en("timer_ctl", &tctl_in, we_tctl, 0);
+    let timer_cnt_r = b.reg("timer_cnt", W, 0);
+    let timer_q = timer_cnt_r.q.clone();
+    let one16 = b.const_word(1, W);
+    let timer_inc = b.add(&timer_q, &one16);
+    let timer_next = b.mux(timer_ctl.bit(0), &timer_q, &timer_inc);
+    b.drive_reg(timer_cnt_r, &timer_next);
+    let wctl_in = rd_val.slice(0, 1);
+    let wdt_ctl = b.reg_en("wdt_ctl", &wctl_in, we_wctl, 0);
+    let wdt_cnt_r = b.reg("wdt_cnt", W, 0);
+    let wdt_q = wdt_cnt_r.q.clone();
+    let wdt_inc = b.add(&wdt_q, &one16);
+    let wdt_next = b.mux(wdt_ctl.bit(0), &wdt_q, &wdt_inc);
+    b.drive_reg(wdt_cnt_r, &wdt_next);
+
+    let zero16 = b.const_word(0, W);
+    let timer_ctl16 = b.zext(&timer_ctl, W);
+    let wdt_ctl16 = b.zext(&wdt_ctl, W);
+    let periph_rdata = mux_tree(
+        &mut b,
+        &psel,
+        &[
+            mul_op1.clone(),
+            mul_op2.clone(),
+            product.slice(0, W),
+            product.slice(W, 2 * W),
+            gpio_out.clone(),
+            gpio_in.clone(),
+            gpio_dir.clone(),
+            timer_ctl16,
+            timer_q.clone(),
+            wdt_ctl16,
+            wdt_q.clone(),
+            zero16.clone(),
+        ],
+    );
+    let ld_data = b.mux(is_periph, &dmem_rdata, &periph_rdata);
+
+    // ---- write-back ----
+    let wdata = b.mux(is_ld, &alu_res, &ld_data);
+    let sub_writes = any(&mut b, &[is_sub, is_subi]);
+    let writes_reg = any(
+        &mut b,
+        &[
+            is_mov, is_movi, is_addish, sub_writes, is_andish, is_orish, is_xor, is_shl,
+            is_shr, is_ld,
+        ],
+    );
+    let wr_en = b.and1(writes_reg, not_halt);
+    let mut reg_nets = Vec::with_capacity(8);
+    for (i, handle) in rf.into_iter().enumerate() {
+        let c = b.const_word(i as u64, 3);
+        let hit = b.eq(&rd_f, &c);
+        let en = b.and1(wr_en, hit);
+        let q = handle.q.clone();
+        let next = b.mux(en, &q, &wdata);
+        reg_nets.push(q.as_nets().to_vec());
+        b.drive_reg(handle, &next);
+    }
+
+    // ---- control flow ----
+    let zf = flagsq.bit(0);
+    let nf = flagsq.bit(1);
+    let cf = flagsq.bit(2);
+    let vf = flagsq.bit(3);
+    let nzf = b.not1(zf);
+    let ncf = b.not1(cf);
+    let ge = b.xnor1(nf, vf);
+    let lt = b.xor1(nf, vf);
+    let conds: Vec<Bus> = [zf, nzf, cf, ncf, nf, ge, lt]
+        .into_iter()
+        .map(|n| Bus::from_nets(vec![n]))
+        .collect();
+    let cond_sel = mux_tree(&mut b, &cond_f, &conds);
+    // the branch's *selected* condition: the signal the CSM forces to steer
+    // a spawned path (halting still watches every NZCV flag, per the paper)
+    let branch_cond = b.name_net("branch_cond", cond_sel.bit(0));
+    let is_branch_raw = b.and1(is_jcc, not_halt);
+    let is_branch = b.name_net("is_branch", is_branch_raw);
+    let taken = b.and1(is_branch, branch_cond);
+    let one9 = b.const_word(1, 9);
+    let pc_plus = b.add(&pcq, &one9);
+    let target = imm.slice(0, 9);
+    let next0 = b.mux(taken, &pc_plus, &target);
+    let next1 = b.mux(is_jmp, &next0, &target);
+    let next_pc = b.mux(haltq.bit(0), &next1, &pcq);
+    b.drive_reg(pc_r, &next_pc);
+
+    // ---- halt / finish ----
+    let halt_set = b.and1(is_halt, not_halt);
+    let halt_next_bit = b.or1(haltq.bit(0), halt_set);
+    let halt_next = Bus::from_nets(vec![halt_next_bit]);
+    b.drive_reg(halted_r, &halt_next);
+    let finish = b.name_net("finish", haltq.bit(0));
+
+    // keep GPIO externally visible so the output logic survives sweeps
+    b.output("gpio_pins", &gpio_out);
+
+    let netlist = b.finish().expect("omsp16 netlist is structurally valid");
+    // the monitored flags are the status-register outputs
+    let monitor_signals = (0..4)
+        .map(|i| netlist.find_net(&format!("flags[{i}]")).expect("flag net"))
+        .collect();
+    let pc_nets = (0..9)
+        .map(|i| netlist.find_net(&format!("pc[{i}]")).expect("pc net"))
+        .collect();
+    let qualifier = netlist.find_net("is_branch").expect("is_branch net");
+    let finish_net = netlist.find_net("finish").expect("finish net");
+    let _ = finish;
+    let pmem_idx = netlist
+        .memories()
+        .iter()
+        .position(|m| m.name == "pmem")
+        .expect("pmem");
+    let dmem_idx = netlist
+        .memories()
+        .iter()
+        .position(|m| m.name == "dmem")
+        .expect("dmem");
+    let reg_nets = reg_nets;
+    Cpu {
+        name: "omsp16",
+        pc: pc_nets,
+        monitor_qualifier: qualifier,
+        monitor_signals,
+        split_signals: Some(vec![netlist.find_net("branch_cond").expect("branch_cond")]),
+        netlist,
+        finish: finish_net,
+        pmem: pmem_idx,
+        dmem: dmem_idx,
+        data_width: W,
+        reg_nets,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_validates() {
+        let cpu = build();
+        assert!(cpu.netlist.validate().is_ok());
+        assert!(cpu.netlist.total_gate_count() > 3000, "{}", cpu.netlist.total_gate_count());
+        assert_eq!(cpu.monitor_signals.len(), 4);
+        assert_eq!(cpu.pc.len(), 9);
+        assert_eq!(cpu.reg_nets.len(), 8);
+    }
+}

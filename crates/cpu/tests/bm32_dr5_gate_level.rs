@@ -1,0 +1,86 @@
+//! Gate-level bm32 and dr5 vs their golden models across all benchmarks.
+
+use symsim_cpu::{bm32, dr5};
+use symsim_sim::{HaltReason, SimConfig, Simulator};
+
+macro_rules! concrete_sim {
+    ($cpu:expr, $program:expr, $bench:expr) => {{
+        let mut sim = Simulator::new(&$cpu.netlist, SimConfig::default());
+        $cpu.prepare_concrete(&mut sim, $program, &$bench.data, &$bench.example_inputs);
+        sim.set_finish_net($cpu.finish);
+        let reason = sim.run($bench.max_cycles);
+        assert_eq!(
+            reason,
+            HaltReason::Finished,
+            "gate level must halt on {}",
+            $bench.name
+        );
+        sim
+    }};
+}
+
+#[test]
+fn bm32_all_benchmarks_match_golden_model() {
+    let cpu = bm32::build();
+    for bench in bm32::benchmarks() {
+        let program = bm32::assemble(bench.source).expect("assembles");
+        let mut iss = bm32::Iss::new(&program);
+        for &(a, v) in &bench.data.concrete {
+            iss.write_mem(a, v as u32);
+        }
+        for (&a, &v) in bench.data.inputs.iter().zip(&bench.example_inputs) {
+            iss.write_mem(a, v as u32);
+        }
+        assert!(iss.run(bench.max_cycles), "ISS must halt on {}", bench.name);
+        let sim = concrete_sim!(cpu, &program, bench);
+        for r in 0..16 {
+            assert_eq!(
+                cpu.read_reg(&sim, r).to_u64(),
+                Some(iss.regs[r] as u64),
+                "bm32 ${r} diverged on {}",
+                bench.name
+            );
+        }
+        for addr in 0..bm32::DMEM_DEPTH {
+            assert_eq!(
+                cpu.read_data(&sim, addr).to_u64(),
+                Some(iss.mem[addr] as u64),
+                "bm32 dmem[{addr}] diverged on {}",
+                bench.name
+            );
+        }
+    }
+}
+
+#[test]
+fn dr5_all_benchmarks_match_golden_model() {
+    let cpu = dr5::build();
+    for bench in dr5::benchmarks() {
+        let program = dr5::assemble(bench.source).expect("assembles");
+        let mut iss = dr5::Iss::new(&program);
+        for &(a, v) in &bench.data.concrete {
+            iss.write_mem(a, v as u32);
+        }
+        for (&a, &v) in bench.data.inputs.iter().zip(&bench.example_inputs) {
+            iss.write_mem(a, v as u32);
+        }
+        assert!(iss.run(bench.max_cycles), "ISS must halt on {}", bench.name);
+        let sim = concrete_sim!(cpu, &program, bench);
+        for r in 0..16 {
+            assert_eq!(
+                cpu.read_reg(&sim, r).to_u64(),
+                Some(iss.regs[r] as u64),
+                "dr5 x{r} diverged on {}",
+                bench.name
+            );
+        }
+        for addr in 0..dr5::DMEM_DEPTH {
+            assert_eq!(
+                cpu.read_data(&sim, addr).to_u64(),
+                Some(iss.mem[addr] as u64),
+                "dr5 dmem[{addr}] diverged on {}",
+                bench.name
+            );
+        }
+    }
+}

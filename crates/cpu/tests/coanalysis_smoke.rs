@@ -1,0 +1,45 @@
+//! End-to-end smoke test: symbolic co-analysis of a real benchmark on the
+//! gate-level omsp16, exercising the full Algorithm-1 stack.
+
+use symsim_core::{CoAnalysis, CoAnalysisConfig};
+use symsim_cpu::omsp16;
+use symsim_sim::{SimConfig, Simulator};
+
+#[test]
+fn div_coanalysis_converges_and_is_sound() {
+    let cpu = omsp16::build();
+    let bench = omsp16::benchmark("div");
+    let program = omsp16::assemble(bench.source).expect("assembles");
+
+    let config = CoAnalysisConfig {
+        max_cycles_per_segment: bench.max_cycles,
+        ..CoAnalysisConfig::default()
+    };
+    let analysis = CoAnalysis::new(&cpu.netlist, cpu.interface(), config);
+    let report = analysis.run(|sim| cpu.prepare_symbolic(sim, &program, &bench.data));
+
+    assert!(report.converged(), "no path may exhaust its budget: {report}");
+    assert!(report.paths_created > 1, "div must split: {report}");
+    assert!(report.paths_skipped > 0, "conservative states must cover: {report}");
+    assert!(
+        report.exercisable_gates < report.total_gates,
+        "some gates must be unexercisable: {report}"
+    );
+    // the multiplier peripheral is untouched by div
+    assert!(
+        report.reduction_percent() > 20.0,
+        "expected large reduction on omsp16: {report}"
+    );
+
+    // §5.0.1: concretely exercised gates are a subset of the exercisable set
+    let mut sim = Simulator::new(&cpu.netlist, SimConfig::default());
+    cpu.prepare_concrete(&mut sim, &program, &bench.data, &bench.example_inputs);
+    sim.set_finish_net(cpu.finish);
+    sim.arm_toggle_observer();
+    sim.run(bench.max_cycles);
+    let concrete = sim.take_toggle_profile().expect("armed");
+    assert!(
+        report.profile.covers_activity(&concrete),
+        "concrete activity must be covered by the symbolic profile"
+    );
+}

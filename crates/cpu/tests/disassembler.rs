@@ -1,0 +1,69 @@
+//! Disassembler round-trips: re-assembling the disassembly of any program
+//! word reproduces the word exactly, across every benchmark (Table 1 and
+//! extensions) on all three ISAs.
+
+use symsim_cpu::{bm32, dr5, omsp16};
+
+fn roundtrip<EN, DIS>(name: &str, program: &[u32], assemble_one: EN, disassemble: DIS)
+where
+    EN: Fn(&str) -> Vec<u32>,
+    DIS: Fn(u32) -> String,
+{
+    for (i, &word) in program.iter().enumerate() {
+        let text = disassemble(word);
+        let back = assemble_one(&text);
+        assert_eq!(
+            back,
+            vec![word],
+            "{name}: word {i} ({word:#010x}) disassembled to \"{text}\""
+        );
+    }
+}
+
+#[test]
+fn omsp16_roundtrips_every_benchmark() {
+    let all = omsp16::benchmarks()
+        .into_iter()
+        .chain(omsp16::extended_benchmarks());
+    for bench in all {
+        let program = omsp16::assemble(bench.source).expect("assembles");
+        roundtrip(
+            bench.name,
+            &program,
+            |s| omsp16::assemble(s).expect("reassembles"),
+            omsp16::disassemble,
+        );
+    }
+}
+
+#[test]
+fn bm32_roundtrips_every_benchmark() {
+    let all = bm32::benchmarks()
+        .into_iter()
+        .chain(bm32::extended_benchmarks());
+    for bench in all {
+        let program = bm32::assemble(bench.source).expect("assembles");
+        roundtrip(
+            bench.name,
+            &program,
+            |s| bm32::assemble(s).expect("reassembles"),
+            bm32::disassemble,
+        );
+    }
+}
+
+#[test]
+fn dr5_roundtrips_every_benchmark() {
+    let all = dr5::benchmarks()
+        .into_iter()
+        .chain(dr5::extended_benchmarks());
+    for bench in all {
+        let program = dr5::assemble(bench.source).expect("assembles");
+        roundtrip(
+            bench.name,
+            &program,
+            |s| dr5::assemble(s).expect("reassembles"),
+            dr5::disassemble,
+        );
+    }
+}

@@ -1,0 +1,90 @@
+//! Gate-level omsp16 vs golden-model validation: the single-cycle netlist
+//! must match the ISS architecturally, cycle for cycle.
+
+use symsim_cpu::omsp16;
+use symsim_sim::{HaltReason, SimConfig, Simulator};
+
+fn run_gate_level(bench: &symsim_cpu::Benchmark) -> (symsim_cpu::Cpu, omsp16::Iss, u64) {
+    let cpu = omsp16::build();
+    let program = omsp16::assemble(bench.source).expect("assembles");
+    let mut iss = omsp16::Iss::new(&program);
+    for &(a, v) in &bench.data.concrete {
+        iss.write_mem(a, v as u16);
+    }
+    for (&a, &v) in bench.data.inputs.iter().zip(&bench.example_inputs) {
+        iss.write_mem(a, v as u16);
+    }
+    assert!(iss.run(bench.max_cycles), "ISS must halt");
+
+    let mut sim = Simulator::new(&cpu.netlist, SimConfig::default());
+    cpu.prepare_concrete(&mut sim, &program, &bench.data, &bench.example_inputs);
+    sim.set_finish_net(cpu.finish);
+    let reason = sim.run(bench.max_cycles);
+    assert_eq!(reason, HaltReason::Finished, "gate level must halt");
+
+    // compare architectural state
+    for r in 0..8 {
+        let gate = cpu.read_reg(&sim, r).to_u64();
+        assert_eq!(
+            gate,
+            Some(iss.regs[r] as u64),
+            "register r{r} diverged on {}",
+            bench.name
+        );
+    }
+    for addr in 0..omsp16::DMEM_DEPTH {
+        let gate = cpu.read_data(&sim, addr).to_u64();
+        assert_eq!(
+            gate,
+            Some(iss.mem[addr] as u64),
+            "dmem[{addr}] diverged on {}",
+            bench.name
+        );
+    }
+    let cycles = sim.cycle();
+    (cpu, iss, cycles)
+}
+
+#[test]
+fn div_matches_golden_model() {
+    let bench = omsp16::benchmark("div");
+    let (cpu, iss, _) = run_gate_level(&bench);
+    assert_eq!(iss.mem[2], 14);
+    assert_eq!(iss.mem[3], 2);
+    let _ = cpu;
+}
+
+#[test]
+fn mult_uses_hardware_multiplier() {
+    let bench = omsp16::benchmark("mult");
+    let (_, iss, cycles) = run_gate_level(&bench);
+    let product = (iss.mem[3] as u32) << 16 | iss.mem[2] as u32;
+    assert_eq!(product, 75_000);
+    assert!(cycles < 20);
+}
+
+#[test]
+fn tea8_matches_golden_model() {
+    let bench = omsp16::benchmark("tea8");
+    let (_, iss, _) = run_gate_level(&bench);
+    assert_ne!(iss.mem[2], 0x1234);
+}
+
+#[test]
+fn insort_matches_golden_model() {
+    let bench = omsp16::benchmark("insort");
+    run_gate_level(&bench);
+}
+
+#[test]
+fn binsearch_matches_golden_model() {
+    let bench = omsp16::benchmark("binsearch");
+    let (_, iss, _) = run_gate_level(&bench);
+    assert_eq!(iss.mem[1], 5);
+}
+
+#[test]
+fn thold_matches_golden_model() {
+    let bench = omsp16::benchmark("thold");
+    run_gate_level(&bench);
+}

@@ -1,0 +1,47 @@
+//! # symsim-logic
+//!
+//! Four-state logic scalars and tagged symbolic values for symbolic
+//! gate-level simulation, as used by the DAC'22 design-agnostic symbolic
+//! hardware-software co-analysis tool.
+//!
+//! The crate provides:
+//!
+//! * [`Logic`] — the classic four-state scalar `{0, 1, X, Z}`.
+//! * [`Value`] — either a [`Logic`] scalar or a tagged symbol
+//!   ([`Sym`]), enabling the *identified symbol* propagation mode of the
+//!   paper's Fig. 4 (left), where `s XOR s = 0` can be simplified.
+//! * [`PropagationPolicy`] — selects between anonymous-`X` propagation
+//!   (Fig. 4 right) and tagged-symbol propagation (Fig. 4 left).
+//! * Gate evaluation ([`ops`]) for the standard cell set under either policy.
+//! * The conservative-state lattice operations [`Value::merge`] and
+//!   [`Value::covers`] used by the Conservative State Manager.
+//! * [`Word`] — a little-endian bus of [`Value`]s with arithmetic and
+//!   merge/covers lifted bitwise.
+//!
+//! # Example
+//!
+//! ```
+//! use symsim_logic::{Logic, Value, PropagationPolicy, ops};
+//!
+//! let policy = PropagationPolicy::Tagged;
+//! let s = Value::symbol(7);
+//! // A tagged symbol XORed with itself is known to be 0 (Fig. 4 left).
+//! assert_eq!(ops::xor(s, s, policy), Value::ZERO);
+//! // Under the anonymous policy the same gate yields X (Fig. 4 right).
+//! assert_eq!(ops::xor(s, s, PropagationPolicy::Anonymous), Value::X);
+//! assert_eq!(ops::and(Value::ZERO, Value::X, policy), Value::ZERO);
+//! # assert_eq!(ops::not(s, policy), Value::symbol_inverted(7));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod scalar;
+mod value;
+mod word;
+
+pub mod ops;
+
+pub use scalar::Logic;
+pub use value::{PropagationPolicy, Sym, SymId, Value};
+pub use word::Word;

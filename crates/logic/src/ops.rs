@@ -1,0 +1,307 @@
+//! Gate evaluation over [`Value`]s under a [`PropagationPolicy`].
+//!
+//! Each function implements one standard-cell function with correct
+//! four-state semantics (controlling values dominate unknowns: `0 AND x = 0`)
+//! and, under [`PropagationPolicy::Tagged`], the symbol-recombination
+//! simplifications of the paper's Fig. 4: `s AND !s = 0`, `s OR !s = 1`,
+//! `s XOR s = 0`, `s XOR !s = 1`, and inverters flip a symbol's polarity
+//! instead of degrading it to `X`.
+//!
+//! # Example
+//!
+//! ```
+//! use symsim_logic::{ops, PropagationPolicy, Value};
+//!
+//! let p = PropagationPolicy::Tagged;
+//! let s = Value::symbol(0);
+//! assert_eq!(ops::and(s, ops::not(s, p), p), Value::ZERO);
+//! assert_eq!(ops::mux(Value::ZERO, s, Value::ONE, p), s);
+//! ```
+
+use crate::{PropagationPolicy, Value};
+
+/// Normalizes a gate input: drives `Z` to `X`, and under the anonymous
+/// policy strips symbol identity.
+#[inline]
+fn input(v: Value, policy: PropagationPolicy) -> Value {
+    match policy {
+        PropagationPolicy::Anonymous => v.anonymize(),
+        PropagationPolicy::Tagged => match v {
+            Value::Logic(l) => Value::Logic(l.drive()),
+            sym => sym,
+        },
+    }
+}
+
+/// Buffer: passes the (driven) input through.
+#[inline]
+pub fn buf(a: Value, policy: PropagationPolicy) -> Value {
+    input(a, policy)
+}
+
+/// Inverter. Tagged symbols flip polarity; anonymous unknowns stay `X`.
+#[inline]
+pub fn not(a: Value, policy: PropagationPolicy) -> Value {
+    match input(a, policy) {
+        Value::Logic(l) => match l.to_bool() {
+            Some(b) => Value::from_bool(!b),
+            None => Value::X,
+        },
+        Value::Sym(s) => Value::Sym(s.complement()),
+    }
+}
+
+/// Two-input AND with symbol recombination under the tagged policy.
+#[inline]
+pub fn and(a: Value, b: Value, policy: PropagationPolicy) -> Value {
+    let (a, b) = (input(a, policy), input(b, policy));
+    if a == Value::ZERO || b == Value::ZERO {
+        return Value::ZERO;
+    }
+    if a == Value::ONE {
+        return b;
+    }
+    if b == Value::ONE {
+        return a;
+    }
+    match (a, b) {
+        (Value::Sym(sa), Value::Sym(sb)) if sa.id == sb.id => {
+            if sa.inverted == sb.inverted {
+                a // s AND s = s
+            } else {
+                Value::ZERO // s AND !s = 0
+            }
+        }
+        _ => Value::X,
+    }
+}
+
+/// Two-input OR with symbol recombination under the tagged policy.
+#[inline]
+pub fn or(a: Value, b: Value, policy: PropagationPolicy) -> Value {
+    let (a, b) = (input(a, policy), input(b, policy));
+    if a == Value::ONE || b == Value::ONE {
+        return Value::ONE;
+    }
+    if a == Value::ZERO {
+        return b;
+    }
+    if b == Value::ZERO {
+        return a;
+    }
+    match (a, b) {
+        (Value::Sym(sa), Value::Sym(sb)) if sa.id == sb.id => {
+            if sa.inverted == sb.inverted {
+                a // s OR s = s
+            } else {
+                Value::ONE // s OR !s = 1
+            }
+        }
+        _ => Value::X,
+    }
+}
+
+/// Two-input XOR. `s XOR s = 0` and `s XOR !s = 1` under the tagged policy;
+/// XOR of a symbol with a known value re-tags instead of degrading.
+#[inline]
+pub fn xor(a: Value, b: Value, policy: PropagationPolicy) -> Value {
+    let (a, b) = (input(a, policy), input(b, policy));
+    match (a, b) {
+        (Value::Logic(la), Value::Logic(lb)) => match (la.to_bool(), lb.to_bool()) {
+            (Some(ba), Some(bb)) => Value::from_bool(ba ^ bb),
+            _ => Value::X,
+        },
+        (Value::Sym(sa), Value::Sym(sb)) if sa.id == sb.id => {
+            Value::from_bool(sa.inverted != sb.inverted)
+        }
+        (Value::Sym(s), Value::Logic(l)) | (Value::Logic(l), Value::Sym(s)) => match l.to_bool() {
+            Some(false) => Value::Sym(s),
+            Some(true) => Value::Sym(s.complement()),
+            None => Value::X,
+        },
+        _ => Value::X,
+    }
+}
+
+/// Two-input NAND.
+#[inline]
+pub fn nand(a: Value, b: Value, policy: PropagationPolicy) -> Value {
+    not(and(a, b, policy), policy)
+}
+
+/// Two-input NOR.
+#[inline]
+pub fn nor(a: Value, b: Value, policy: PropagationPolicy) -> Value {
+    not(or(a, b, policy), policy)
+}
+
+/// Two-input XNOR.
+#[inline]
+pub fn xnor(a: Value, b: Value, policy: PropagationPolicy) -> Value {
+    not(xor(a, b, policy), policy)
+}
+
+/// Two-to-one multiplexer: returns `a` when `sel = 0`, `b` when `sel = 1`.
+///
+/// When `sel` is unknown but both data inputs agree, the output is that
+/// agreed value (the standard "X-pessimism reduction" a real simulator's
+/// mux primitive performs); otherwise the output is unknown.
+#[inline]
+pub fn mux(sel: Value, a: Value, b: Value, policy: PropagationPolicy) -> Value {
+    let (sel, a, b) = (input(sel, policy), input(a, policy), input(b, policy));
+    match sel.to_bool() {
+        Some(false) => a,
+        Some(true) => b,
+        None => {
+            if a == b && !a.is_x() {
+                a
+            } else {
+                Value::X
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Logic;
+
+    const ALL: [Value; 4] = [Value::ZERO, Value::ONE, Value::X, Value::Z];
+
+    fn concretize(v: Value, bit: bool) -> Value {
+        match v {
+            Value::Logic(Logic::X) | Value::Logic(Logic::Z) => Value::from_bool(bit),
+            Value::Sym(s) => Value::from_bool(bit ^ s.inverted),
+            known => known,
+        }
+    }
+
+    /// Soundness: for every gate and every input combination, every
+    /// concretization of the inputs must be covered by the symbolic output.
+    #[test]
+    fn gates_are_sound_over_concretizations() {
+        for policy in [PropagationPolicy::Anonymous, PropagationPolicy::Tagged] {
+            let syms = [Value::symbol(0), Value::symbol_inverted(0), Value::symbol(1)];
+            let domain: Vec<Value> = ALL.iter().copied().chain(syms).collect();
+            for &a in &domain {
+                for &b in &domain {
+                    for bits in 0u8..4 {
+                        // bit i concretizes symbol id i; anonymous X uses bit 0 and
+                        // bit 1 independently per operand via helper below.
+                        let sa = match a {
+                            Value::Sym(s) => bits >> s.id.0 & 1 == 1,
+                            _ => bits & 1 == 1,
+                        };
+                        let sb = match b {
+                            Value::Sym(s) => bits >> s.id.0 & 1 == 1,
+                            _ => bits >> 1 & 1 == 1,
+                        };
+                        // For anonymous X operands the two choices are
+                        // independent; for shared symbols they are linked.
+                        let ca = concretize(a, sa);
+                        let cb = concretize(b, sb);
+                        let check = |sym_out: Value, conc_out: Value, name: &str| {
+                            let covered = match sym_out {
+                                Value::Logic(Logic::X) => true,
+                                Value::Sym(s) => {
+                                    // symbol output concretizes consistently
+                                    let v = (bits >> s.id.0 & 1 == 1) ^ s.inverted;
+                                    Value::from_bool(v) == conc_out
+                                }
+                                known => known == conc_out,
+                            };
+                            assert!(
+                                covered,
+                                "{name}({a},{b}) = {sym_out} does not cover concrete \
+                                 {name}({ca},{cb}) = {conc_out} [{policy:?}]"
+                            );
+                        };
+                        let cb2 = |f: fn(Value, Value, PropagationPolicy) -> Value| {
+                            (f(a, b, policy), f(ca, cb, policy))
+                        };
+                        let (s, c) = cb2(and);
+                        check(s, c, "and");
+                        let (s, c) = cb2(or);
+                        check(s, c, "or");
+                        let (s, c) = cb2(xor);
+                        check(s, c, "xor");
+                        let (s, c) = cb2(nand);
+                        check(s, c, "nand");
+                        let (s, c) = cb2(nor);
+                        check(s, c, "nor");
+                        let (s, c) = cb2(xnor);
+                        check(s, c, "xnor");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn controlling_values_dominate() {
+        for p in [PropagationPolicy::Anonymous, PropagationPolicy::Tagged] {
+            assert_eq!(and(Value::ZERO, Value::X, p), Value::ZERO);
+            assert_eq!(and(Value::X, Value::ZERO, p), Value::ZERO);
+            assert_eq!(or(Value::ONE, Value::X, p), Value::ONE);
+            assert_eq!(nand(Value::ZERO, Value::X, p), Value::ONE);
+            assert_eq!(nor(Value::ONE, Value::X, p), Value::ZERO);
+        }
+    }
+
+    #[test]
+    fn tagged_recombination() {
+        let p = PropagationPolicy::Tagged;
+        let s = Value::symbol(3);
+        let ns = not(s, p);
+        assert_eq!(xor(s, s, p), Value::ZERO);
+        assert_eq!(xor(s, ns, p), Value::ONE);
+        assert_eq!(and(s, ns, p), Value::ZERO);
+        assert_eq!(or(s, ns, p), Value::ONE);
+        assert_eq!(and(s, s, p), s);
+        assert_eq!(or(s, s, p), s);
+        assert_eq!(xnor(s, s, p), Value::ONE);
+        // distinct symbols do not recombine
+        assert_eq!(xor(s, Value::symbol(4), p), Value::X);
+    }
+
+    #[test]
+    fn anonymous_policy_degrades_symbols() {
+        let p = PropagationPolicy::Anonymous;
+        let s = Value::symbol(3);
+        assert_eq!(xor(s, s, p), Value::X);
+        assert_eq!(not(s, p), Value::X);
+        assert_eq!(buf(s, p), Value::X);
+    }
+
+    #[test]
+    fn xor_retags_against_constants() {
+        let p = PropagationPolicy::Tagged;
+        let s = Value::symbol(1);
+        assert_eq!(xor(s, Value::ZERO, p), s);
+        assert_eq!(xor(s, Value::ONE, p), Value::symbol_inverted(1));
+        assert_eq!(xnor(s, Value::ONE, p), s);
+    }
+
+    #[test]
+    fn mux_behaviour() {
+        for p in [PropagationPolicy::Anonymous, PropagationPolicy::Tagged] {
+            assert_eq!(mux(Value::ZERO, Value::ONE, Value::ZERO, p), Value::ONE);
+            assert_eq!(mux(Value::ONE, Value::ONE, Value::ZERO, p), Value::ZERO);
+            assert_eq!(mux(Value::X, Value::ONE, Value::ONE, p), Value::ONE);
+            assert_eq!(mux(Value::X, Value::ONE, Value::ZERO, p), Value::X);
+        }
+        // tagged: agreeing symbol passes through an unknown select
+        let s = Value::symbol(2);
+        assert_eq!(mux(Value::X, s, s, PropagationPolicy::Tagged), s);
+    }
+
+    #[test]
+    fn z_treated_as_unknown_input() {
+        for p in [PropagationPolicy::Anonymous, PropagationPolicy::Tagged] {
+            assert_eq!(and(Value::Z, Value::ONE, p), Value::X);
+            assert_eq!(buf(Value::Z, p), Value::X);
+            assert_eq!(not(Value::Z, p), Value::X);
+        }
+    }
+}

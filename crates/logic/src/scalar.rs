@@ -1,0 +1,165 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A four-state logic scalar: `0`, `1`, unknown (`X`), or high-impedance (`Z`).
+///
+/// `X` is the *unknown* symbol of the paper's symbolic simulation: an input
+/// replaced by `X` stands for both `0` and `1`, and `X` propagating to a gate
+/// marks that gate as exercisable. `Z` models undriven nets; any gate that
+/// reads a `Z` input treats it as unknown.
+///
+/// # Example
+///
+/// ```
+/// use symsim_logic::Logic;
+///
+/// assert_eq!(Logic::from_bool(true), Logic::One);
+/// assert_eq!(Logic::Zero.to_bool(), Some(false));
+/// assert_eq!(Logic::X.to_bool(), None);
+/// assert_eq!(Logic::X.to_string(), "x");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Logic {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown value — the symbolic `X` of the co-analysis.
+    X,
+    /// High impedance (undriven).
+    Z,
+}
+
+impl Logic {
+    /// Converts a boolean into a known logic level.
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    /// Returns `Some(bool)` for `0`/`1`, `None` for `X`/`Z`.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Logic::Zero => Some(false),
+            Logic::One => Some(true),
+            Logic::X | Logic::Z => None,
+        }
+    }
+
+    /// True if the scalar is a known `0` or `1`.
+    #[inline]
+    pub fn is_known(self) -> bool {
+        matches!(self, Logic::Zero | Logic::One)
+    }
+
+    /// Treats high-impedance as unknown, as a gate input would.
+    #[inline]
+    pub fn drive(self) -> Logic {
+        match self {
+            Logic::Z => Logic::X,
+            other => other,
+        }
+    }
+
+    /// A compact stable encoding used by the state serializer.
+    #[inline]
+    pub fn to_code(self) -> u8 {
+        match self {
+            Logic::Zero => 0,
+            Logic::One => 1,
+            Logic::X => 2,
+            Logic::Z => 3,
+        }
+    }
+
+    /// Inverse of [`Logic::to_code`]. Returns `None` for codes above 3.
+    #[inline]
+    pub fn from_code(code: u8) -> Option<Self> {
+        Some(match code {
+            0 => Logic::Zero,
+            1 => Logic::One,
+            2 => Logic::X,
+            3 => Logic::Z,
+            _ => return None,
+        })
+    }
+}
+
+impl Default for Logic {
+    /// Nets power up unknown, matching the simulator's reset-free state.
+    fn default() -> Self {
+        Logic::X
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Self {
+        Logic::from_bool(b)
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            Logic::Zero => '0',
+            Logic::One => '1',
+            Logic::X => 'x',
+            Logic::Z => 'z',
+        };
+        write!(f, "{c}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_round_trip() {
+        assert_eq!(Logic::from_bool(true).to_bool(), Some(true));
+        assert_eq!(Logic::from_bool(false).to_bool(), Some(false));
+    }
+
+    #[test]
+    fn unknowns_have_no_bool() {
+        assert_eq!(Logic::X.to_bool(), None);
+        assert_eq!(Logic::Z.to_bool(), None);
+    }
+
+    #[test]
+    fn code_round_trip() {
+        for l in [Logic::Zero, Logic::One, Logic::X, Logic::Z] {
+            assert_eq!(Logic::from_code(l.to_code()), Some(l));
+        }
+        assert_eq!(Logic::from_code(7), None);
+    }
+
+    #[test]
+    fn drive_degrades_z_only() {
+        assert_eq!(Logic::Z.drive(), Logic::X);
+        assert_eq!(Logic::Zero.drive(), Logic::Zero);
+        assert_eq!(Logic::One.drive(), Logic::One);
+        assert_eq!(Logic::X.drive(), Logic::X);
+    }
+
+    #[test]
+    fn default_is_unknown() {
+        assert_eq!(Logic::default(), Logic::X);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            [Logic::Zero, Logic::One, Logic::X, Logic::Z]
+                .map(|l| l.to_string())
+                .join(""),
+            "01xz"
+        );
+    }
+}

@@ -1,0 +1,275 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Logic;
+
+/// Identifier of a distinct unknown input bit under tagged propagation.
+///
+/// Two occurrences of the same `SymId` are guaranteed to carry the *same*
+/// (unknown) value, which is what allows simplifications such as
+/// `s XOR s = 0` (paper Fig. 4, left).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct SymId(pub u32);
+
+impl fmt::Display for SymId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A tagged symbol: an unknown value with identity, possibly inverted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Sym {
+    /// Which unknown input this symbol stands for.
+    pub id: SymId,
+    /// Whether this occurrence is the complement of the input.
+    pub inverted: bool,
+}
+
+impl Sym {
+    /// The complementary occurrence of the same symbol.
+    #[inline]
+    pub fn complement(self) -> Sym {
+        Sym {
+            id: self.id,
+            inverted: !self.inverted,
+        }
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.inverted {
+            write!(f, "!{}", self.id)
+        } else {
+            write!(f, "{}", self.id)
+        }
+    }
+}
+
+/// Selects how unknown values propagate through gates (paper Fig. 4).
+///
+/// * [`PropagationPolicy::Anonymous`] — symbols carry no identity; every
+///   unknown behaves as plain `X`. Most scalable, most conservative.
+/// * [`PropagationPolicy::Tagged`] — each unknown input keeps its identity so
+///   recombination can simplify (e.g. the XOR of a symbol with itself is a
+///   known `0`). Less conservative, slightly costlier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default, PartialOrd, Ord,
+)]
+pub enum PropagationPolicy {
+    /// Unknowns are indistinguishable `X`s (Fig. 4 right).
+    #[default]
+    Anonymous,
+    /// Unknowns carry identity and simplify on recombination (Fig. 4 left).
+    Tagged,
+}
+
+/// A simulation value: a four-state scalar or a tagged symbol.
+///
+/// This is the value type carried by every net in the simulator. Under the
+/// anonymous policy only the [`Logic`] variants occur after the first gate;
+/// under the tagged policy symbols survive inverters and recombine at
+/// two-input gates.
+///
+/// # Example
+///
+/// ```
+/// use symsim_logic::{Logic, Value};
+///
+/// let v = Value::from_bool(true);
+/// assert!(v.is_known());
+/// assert!(Value::X.is_unknown());
+/// assert!(Value::symbol(3).is_unknown());
+/// assert_eq!(Value::symbol(3).to_string(), "s3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// A plain four-state scalar.
+    Logic(Logic),
+    /// A tagged unknown.
+    Sym(Sym),
+}
+
+impl Value {
+    /// Constant logic `0`.
+    pub const ZERO: Value = Value::Logic(Logic::Zero);
+    /// Constant logic `1`.
+    pub const ONE: Value = Value::Logic(Logic::One);
+    /// Anonymous unknown.
+    pub const X: Value = Value::Logic(Logic::X);
+    /// High impedance.
+    pub const Z: Value = Value::Logic(Logic::Z);
+
+    /// A fresh (non-inverted) occurrence of symbol `id`.
+    #[inline]
+    pub fn symbol(id: u32) -> Value {
+        Value::Sym(Sym {
+            id: SymId(id),
+            inverted: false,
+        })
+    }
+
+    /// An inverted occurrence of symbol `id`.
+    #[inline]
+    pub fn symbol_inverted(id: u32) -> Value {
+        Value::Sym(Sym {
+            id: SymId(id),
+            inverted: true,
+        })
+    }
+
+    /// Converts a boolean into a known value.
+    #[inline]
+    pub fn from_bool(b: bool) -> Value {
+        Value::Logic(Logic::from_bool(b))
+    }
+
+    /// Returns `Some(bool)` for known `0`/`1` values.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Value::Logic(l) => l.to_bool(),
+            Value::Sym(_) => None,
+        }
+    }
+
+    /// True for known `0`/`1` values.
+    #[inline]
+    pub fn is_known(self) -> bool {
+        matches!(self, Value::Logic(Logic::Zero) | Value::Logic(Logic::One))
+    }
+
+    /// True for `X`, `Z`, or any tagged symbol — anything that stands for
+    /// more than one concrete value.
+    #[inline]
+    pub fn is_unknown(self) -> bool {
+        !self.is_known()
+    }
+
+    /// True if this value is exactly the anonymous `X`.
+    #[inline]
+    pub fn is_x(self) -> bool {
+        matches!(self, Value::Logic(Logic::X))
+    }
+
+    /// Degrades tagged symbols to anonymous `X` and `Z` to `X`: the view of
+    /// this value as a driven gate input under the anonymous policy.
+    #[inline]
+    pub fn anonymize(self) -> Value {
+        match self {
+            Value::Logic(l) => Value::Logic(l.drive()),
+            Value::Sym(_) => Value::X,
+        }
+    }
+
+    /// The conservative join of two values: identical values are preserved,
+    /// anything else becomes `X`.
+    ///
+    /// This is the bitwise merge the Conservative State Manager uses to form
+    /// superstates ("replace all differing bits with Xs"). It is commutative,
+    /// associative, and idempotent, with `X` as the absorbing top element.
+    #[inline]
+    pub fn merge(self, other: Value) -> Value {
+        if self == other {
+            self
+        } else {
+            Value::X
+        }
+    }
+
+    /// Does `self` (the more conservative value) cover `other`?
+    ///
+    /// `X` covers everything; any other value covers only itself. A state is
+    /// a subset of a previously-simulated conservative state iff every bit is
+    /// covered, in which case further simulation of the path is skipped.
+    #[inline]
+    pub fn covers(self, other: Value) -> bool {
+        self == Value::X || self == other
+    }
+}
+
+impl Default for Value {
+    fn default() -> Self {
+        Value::X
+    }
+}
+
+impl From<Logic> for Value {
+    fn from(l: Logic) -> Self {
+        Value::Logic(l)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::from_bool(b)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Logic(l) => write!(f, "{l}"),
+            Value::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_join() {
+        assert_eq!(Value::ZERO.merge(Value::ZERO), Value::ZERO);
+        assert_eq!(Value::ZERO.merge(Value::ONE), Value::X);
+        assert_eq!(Value::X.merge(Value::ONE), Value::X);
+        let s = Value::symbol(2);
+        assert_eq!(s.merge(s), s);
+        assert_eq!(s.merge(Value::symbol(3)), Value::X);
+        assert_eq!(s.merge(s.anonymize()), Value::X);
+    }
+
+    #[test]
+    fn covers_partial_order() {
+        assert!(Value::X.covers(Value::ZERO));
+        assert!(Value::X.covers(Value::symbol(1)));
+        assert!(Value::ONE.covers(Value::ONE));
+        assert!(!Value::ONE.covers(Value::ZERO));
+        assert!(!Value::ZERO.covers(Value::X));
+        // merge produces a cover of both arguments
+        for a in [Value::ZERO, Value::ONE, Value::X, Value::symbol(4)] {
+            for b in [Value::ZERO, Value::ONE, Value::Z, Value::symbol(4)] {
+                let m = a.merge(b);
+                assert!(m.covers(a) && m.covers(b), "{a} merge {b} = {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn anonymize() {
+        assert_eq!(Value::symbol(9).anonymize(), Value::X);
+        assert_eq!(Value::Z.anonymize(), Value::X);
+        assert_eq!(Value::ONE.anonymize(), Value::ONE);
+    }
+
+    #[test]
+    fn complement_involution() {
+        let s = Sym {
+            id: SymId(5),
+            inverted: false,
+        };
+        assert_eq!(s.complement().complement(), s);
+        assert_ne!(s.complement(), s);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::symbol_inverted(5).to_string(), "!s5");
+        assert_eq!(Value::Z.to_string(), "z");
+    }
+}

@@ -1,0 +1,269 @@
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use serde::{Deserialize, Serialize};
+
+use crate::Value;
+
+/// A little-endian bus of [`Value`]s: bit 0 is the least-significant bit.
+///
+/// `Word` is the unit the Conservative State Manager merges and compares,
+/// the unit memories store, and the unit testbenches drive onto input buses.
+///
+/// # Example
+///
+/// ```
+/// use symsim_logic::{Value, Word};
+///
+/// let w = Word::from_u64(0b1010, 4);
+/// assert_eq!(w.to_u64(), Some(0b1010));
+/// assert_eq!(w.bit(1), Value::ONE);
+///
+/// let xs = Word::xs(4);
+/// assert_eq!(xs.to_u64(), None);
+/// assert!(w.merge(&xs).is_all_x());
+/// assert!(xs.covers(&w));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Word(Vec<Value>);
+
+impl Word {
+    /// An all-`X` word of the given width.
+    pub fn xs(width: usize) -> Word {
+        Word(vec![Value::X; width])
+    }
+
+    /// An all-zero word of the given width.
+    pub fn zeros(width: usize) -> Word {
+        Word(vec![Value::ZERO; width])
+    }
+
+    /// The low `width` bits of `v` as known values.
+    pub fn from_u64(v: u64, width: usize) -> Word {
+        Word((0..width).map(|i| Value::from_bool(v >> i & 1 == 1)).collect())
+    }
+
+    /// Builds a word from individual bit values (LSB first).
+    pub fn from_bits(bits: Vec<Value>) -> Word {
+        Word(bits)
+    }
+
+    /// A word of fresh tagged symbols `first_id .. first_id + width`.
+    pub fn symbols(first_id: u32, width: usize) -> Word {
+        Word((0..width).map(|i| Value::symbol(first_id + i as u32)).collect())
+    }
+
+    /// Bus width in bits.
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the word has zero width.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The value of bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn bit(&self, i: usize) -> Value {
+        self.0[i]
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn set_bit(&mut self, i: usize, v: Value) {
+        self.0[i] = v;
+    }
+
+    /// Interprets the word as an unsigned integer if every bit is known.
+    ///
+    /// Returns `None` if any bit is `X`, `Z`, or a symbol, or if the width
+    /// exceeds 64 bits.
+    pub fn to_u64(&self) -> Option<u64> {
+        if self.width() > 64 {
+            return None;
+        }
+        let mut out = 0u64;
+        for (i, v) in self.0.iter().enumerate() {
+            match v.to_bool() {
+                Some(true) => out |= 1 << i,
+                Some(false) => {}
+                None => return None,
+            }
+        }
+        Some(out)
+    }
+
+    /// True if every bit is a known `0`/`1`.
+    pub fn is_known(&self) -> bool {
+        self.0.iter().all(|v| v.is_known())
+    }
+
+    /// True if any bit is unknown (`X`, `Z`, or a symbol).
+    pub fn has_unknown(&self) -> bool {
+        !self.is_known()
+    }
+
+    /// True if every bit is the anonymous `X`.
+    pub fn is_all_x(&self) -> bool {
+        self.0.iter().all(|v| v.is_x())
+    }
+
+    /// Number of bits that are not known `0`/`1`.
+    pub fn unknown_count(&self) -> usize {
+        self.0.iter().filter(|v| v.is_unknown()).count()
+    }
+
+    /// Bitwise conservative merge (see [`Value::merge`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn merge(&self, other: &Word) -> Word {
+        assert_eq!(self.width(), other.width(), "merging words of unequal width");
+        Word(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| a.merge(*b))
+                .collect(),
+        )
+    }
+
+    /// Bitwise covering check (see [`Value::covers`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn covers(&self, other: &Word) -> bool {
+        assert_eq!(self.width(), other.width(), "covering words of unequal width");
+        self.0.iter().zip(&other.0).all(|(a, b)| a.covers(*b))
+    }
+
+    /// Iterates over bits, LSB first.
+    pub fn iter(&self) -> std::slice::Iter<'_, Value> {
+        self.0.iter()
+    }
+
+    /// The bits as a slice, LSB first.
+    pub fn as_slice(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Consumes the word, returning its bits.
+    pub fn into_bits(self) -> Vec<Value> {
+        self.0
+    }
+}
+
+impl Index<usize> for Word {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for Word {
+    fn index_mut(&mut self, i: usize) -> &mut Value {
+        &mut self.0[i]
+    }
+}
+
+impl FromIterator<Value> for Word {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Word(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Value> for Word {
+    fn extend<I: IntoIterator<Item = Value>>(&mut self, iter: I) {
+        self.0.extend(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a Word {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl IntoIterator for Word {
+    type Item = Value;
+    type IntoIter = std::vec::IntoIter<Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl fmt::Display for Word {
+    /// MSB-first rendering, matching how waveforms print buses: `4'b10x0`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'b", self.width())?;
+        for v in self.0.iter().rev() {
+            write!(f, "{v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_round_trip() {
+        for v in [0u64, 1, 0xdead, u16::MAX as u64] {
+            assert_eq!(Word::from_u64(v, 16).to_u64(), Some(v & 0xffff));
+        }
+    }
+
+    #[test]
+    fn unknown_bits_poison_to_u64() {
+        let mut w = Word::from_u64(5, 8);
+        w.set_bit(3, Value::X);
+        assert_eq!(w.to_u64(), None);
+        assert_eq!(w.unknown_count(), 1);
+        assert!(w.has_unknown());
+    }
+
+    #[test]
+    fn merge_and_covers() {
+        let a = Word::from_u64(0b1100, 4);
+        let b = Word::from_u64(0b1010, 4);
+        let m = a.merge(&b);
+        assert!(m.covers(&a) && m.covers(&b));
+        assert_eq!(m.bit(3), Value::ONE); // agreeing bit stays known
+        assert_eq!(m.bit(0), Value::ZERO);
+        assert!(m.bit(1).is_x() && m.bit(2).is_x());
+        assert!(!a.covers(&b));
+    }
+
+    #[test]
+    fn symbols_word() {
+        let w = Word::symbols(10, 3);
+        assert_eq!(w.bit(2), Value::symbol(12));
+        assert!(w.has_unknown());
+        assert!(!w.is_all_x());
+    }
+
+    #[test]
+    fn display_msb_first() {
+        let mut w = Word::from_u64(0b01, 3);
+        w.set_bit(2, Value::X);
+        assert_eq!(w.to_string(), "3'bx01");
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal width")]
+    fn merge_width_mismatch_panics() {
+        let _ = Word::xs(3).merge(&Word::xs(4));
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the logic algebra: gate soundness over random
+//! concretizations, and the conservative lattice laws that the CSM relies
+//! on.
+
+use proptest::prelude::*;
+use symsim_logic::{ops, Logic, PropagationPolicy, Value, Word};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::ZERO),
+        Just(Value::ONE),
+        Just(Value::X),
+        Just(Value::Z),
+        (0u32..4).prop_map(Value::symbol),
+        (0u32..4).prop_map(Value::symbol_inverted),
+    ]
+}
+
+fn arb_word(width: usize) -> impl Strategy<Value = Word> {
+    prop::collection::vec(arb_value(), width).prop_map(Word::from_bits)
+}
+
+/// Concretize a value under an assignment of symbol ids to booleans; plain
+/// unknowns take `fallback`.
+fn concretize(v: Value, assign: &[bool; 4], fallback: bool) -> bool {
+    match v {
+        Value::Logic(Logic::Zero) => false,
+        Value::Logic(Logic::One) => true,
+        Value::Logic(_) => fallback,
+        Value::Sym(s) => assign[s.id.0 as usize % 4] ^ s.inverted,
+    }
+}
+
+proptest! {
+    /// merge is commutative, idempotent, and associative; the result covers
+    /// both operands (the join of the conservative lattice).
+    #[test]
+    fn merge_lattice_laws(a in arb_value(), b in arb_value(), c in arb_value()) {
+        prop_assert_eq!(a.merge(b), b.merge(a));
+        prop_assert_eq!(a.merge(a), a);
+        prop_assert_eq!(a.merge(b).merge(c), a.merge(b.merge(c)));
+        let m = a.merge(b);
+        prop_assert!(m.covers(a) && m.covers(b));
+    }
+
+    /// covers is a partial order compatible with merge.
+    #[test]
+    fn covers_partial_order(a in arb_value(), b in arb_value()) {
+        prop_assert!(a.covers(a));
+        if a.covers(b) && b.covers(a) {
+            prop_assert_eq!(a, b);
+        }
+        if a.covers(b) {
+            prop_assert_eq!(a.merge(b), a);
+        }
+    }
+
+    /// Every binary gate's symbolic output covers the gate's output on any
+    /// consistent concretization of its inputs — soundness of the symbolic
+    /// algebra under both propagation policies.
+    #[test]
+    fn gates_sound_under_concretization(
+        a in arb_value(),
+        b in arb_value(),
+        assign in prop::array::uniform4(any::<bool>()),
+        fa in any::<bool>(),
+        fb in any::<bool>(),
+    ) {
+        for policy in [PropagationPolicy::Anonymous, PropagationPolicy::Tagged] {
+            let ca = Value::from_bool(concretize(a, &assign, fa));
+            let cb = Value::from_bool(concretize(b, &assign, fb));
+            type GateFn = fn(Value, Value, PropagationPolicy) -> Value;
+            let table: [(&str, GateFn); 6] = [
+                ("and", ops::and),
+                ("or", ops::or),
+                ("xor", ops::xor),
+                ("nand", ops::nand),
+                ("nor", ops::nor),
+                ("xnor", ops::xnor),
+            ];
+            for (name, f) in table {
+                let sym = f(a, b, policy);
+                let conc = f(ca, cb, policy);
+                let ok = match sym {
+                    Value::Logic(Logic::X) | Value::Logic(Logic::Z) => true,
+                    Value::Sym(s) => {
+                        Value::from_bool(assign[s.id.0 as usize % 4] ^ s.inverted) == conc
+                    }
+                    known => known == conc,
+                };
+                prop_assert!(ok, "{name}({a},{b})={sym} vs concrete {conc} [{policy:?}]");
+            }
+            // mux with a third operand
+            let sel = a;
+            let m = ops::mux(sel, a, b, policy);
+            let cm = ops::mux(ca, ca, cb, policy);
+            let ok = match m {
+                Value::Logic(Logic::X) | Value::Logic(Logic::Z) => true,
+                Value::Sym(s) => Value::from_bool(assign[s.id.0 as usize % 4] ^ s.inverted) == cm,
+                known => known == cm,
+            };
+            prop_assert!(ok, "mux({a},{a},{b})={m} vs {cm} [{policy:?}]");
+        }
+    }
+
+    /// Word-level merge/covers inherit the bitwise laws.
+    #[test]
+    fn word_merge_covers(a in arb_word(8), b in arb_word(8)) {
+        let m = a.merge(&b);
+        prop_assert!(m.covers(&a) && m.covers(&b));
+        prop_assert_eq!(&a.merge(&a), &a);
+        prop_assert_eq!(a.merge(&b), b.merge(&a));
+    }
+
+    /// u64 round trip for arbitrary concrete words.
+    #[test]
+    fn word_u64_round_trip(v in any::<u64>(), width in 1usize..64) {
+        let w = Word::from_u64(v, width);
+        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        prop_assert_eq!(w.to_u64(), Some(v & mask));
+        prop_assert!(w.is_known());
+    }
+
+    /// Inverters are involutions under the tagged policy.
+    #[test]
+    fn not_involution(a in arb_value()) {
+        let p = PropagationPolicy::Tagged;
+        let nn = ops::not(ops::not(a, p), p);
+        // plain unknowns lose identity; known values and tagged symbols
+        // round-trip exactly
+        match a {
+            Value::Logic(Logic::X) | Value::Logic(Logic::Z) => prop_assert!(nn.is_x()),
+            other => prop_assert_eq!(nn, other),
+        }
+    }
+}

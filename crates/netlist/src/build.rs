@@ -1,0 +1,741 @@
+use symsim_logic::Logic;
+
+use crate::cell::CellKind;
+use crate::graph::ValidateError;
+use crate::ir::{MemoryId, NetId, Netlist};
+
+/// A little-endian bundle of nets (bit 0 = LSB).
+///
+/// Buses are the word-level handles the [`RtlBuilder`] hands out; all
+/// arithmetic helpers consume and produce buses while elaborating to
+/// two-input gates underneath.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bus(Vec<NetId>);
+
+impl Bus {
+    /// Wraps raw nets as a bus (LSB first).
+    pub fn from_nets(nets: Vec<NetId>) -> Bus {
+        Bus(nets)
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The net carrying bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.width()`.
+    pub fn bit(&self, i: usize) -> NetId {
+        self.0[i]
+    }
+
+    /// The most-significant bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus is empty.
+    pub fn msb(&self) -> NetId {
+        *self.0.last().expect("msb of empty bus")
+    }
+
+    /// Bits `lo..hi` (exclusive) as a new bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, lo: usize, hi: usize) -> Bus {
+        Bus(self.0[lo..hi].to_vec())
+    }
+
+    /// Concatenates `self` (low part) with `high`.
+    pub fn concat(&self, high: &Bus) -> Bus {
+        let mut nets = self.0.clone();
+        nets.extend_from_slice(&high.0);
+        Bus(nets)
+    }
+
+    /// The underlying nets, LSB first.
+    pub fn as_nets(&self) -> &[NetId] {
+        &self.0
+    }
+
+    /// Consumes the bus, returning its nets.
+    pub fn into_nets(self) -> Vec<NetId> {
+        self.0
+    }
+}
+
+/// A register allocated by [`RtlBuilder::reg`] whose next-state input is
+/// connected later with [`RtlBuilder::drive_reg`] (registers typically feed
+/// back into the logic that computes their next value).
+#[derive(Debug)]
+pub struct RegHandle {
+    /// The registered outputs (`q`).
+    pub q: Bus,
+    index: usize,
+}
+
+/// A memory allocated by [`RtlBuilder::memory`].
+#[derive(Debug, Clone, Copy)]
+pub struct MemoryHandle(MemoryId);
+
+#[derive(Debug)]
+struct PendingReg {
+    name: String,
+    q: Vec<NetId>,
+    init: u64,
+    init_known: bool,
+    d: Option<Vec<NetId>>,
+}
+
+/// Word-level RTL builder that elaborates directly to a gate-level
+/// [`Netlist`].
+///
+/// The builder provides the datapath vocabulary needed to construct the
+/// evaluation processors — ripple-carry adders/subtractors, comparators,
+/// barrel shifters, array multipliers, muxes, registers, and memories —
+/// producing real gate-level structure (the object of the co-analysis)
+/// rather than behavioural models.
+///
+/// # Example
+///
+/// ```
+/// use symsim_netlist::RtlBuilder;
+///
+/// let mut b = RtlBuilder::new("counter");
+/// let cnt = b.reg("cnt", 8, 0);
+/// let one = b.const_word(1, 8);
+/// let next = b.add(&cnt.q.clone(), &one);
+/// b.drive_reg(cnt, &next);
+/// let nl = b.finish().expect("valid");
+/// assert!(nl.dff_count() == 8);
+/// ```
+#[derive(Debug)]
+pub struct RtlBuilder {
+    nl: Netlist,
+    regs: Vec<PendingReg>,
+    zero: Option<NetId>,
+    one: Option<NetId>,
+    tmp: u64,
+}
+
+impl RtlBuilder {
+    /// Starts building a module named `name`.
+    pub fn new(name: impl Into<String>) -> RtlBuilder {
+        RtlBuilder {
+            nl: Netlist::new(name),
+            regs: Vec::new(),
+            zero: None,
+            one: None,
+            tmp: 0,
+        }
+    }
+
+    fn fresh(&mut self, prefix: &str) -> NetId {
+        self.tmp += 1;
+        let n = self.tmp;
+        self.nl.add_net(format!("{prefix}_{n}"))
+    }
+
+    fn fresh_bus(&mut self, prefix: &str, width: usize) -> Bus {
+        self.tmp += 1;
+        let n = self.tmp;
+        Bus(
+            (0..width)
+                .map(|i| self.nl.add_net(format!("{prefix}_{n}[{i}]")))
+                .collect(),
+        )
+    }
+
+    /// Declares a top-level input bus named `name[0..width]`.
+    pub fn input(&mut self, name: &str, width: usize) -> Bus {
+        let nets: Vec<NetId> = (0..width)
+            .map(|i| {
+                let id = if width == 1 {
+                    self.nl.add_net(name)
+                } else {
+                    self.nl.add_net(format!("{name}[{i}]"))
+                };
+                self.nl.add_input(id);
+                id
+            })
+            .collect();
+        Bus(nets)
+    }
+
+    /// Declares the bus as a top-level output named `name[0..width]`, adding
+    /// buffers so the output nets carry the requested names.
+    pub fn output(&mut self, name: &str, bus: &Bus) {
+        for (i, &bit) in bus.0.iter().enumerate() {
+            let out = if bus.width() == 1 {
+                self.nl.add_net(name)
+            } else {
+                self.nl.add_net(format!("{name}[{i}]"))
+            };
+            self.nl.add_gate(CellKind::Buf, &[bit], out);
+            self.nl.add_output(out);
+        }
+    }
+
+    /// Gives `net` an additional user-visible alias via a buffer; returns
+    /// the aliased net. Useful for naming monitor points (`branch_taken`).
+    /// The alias is declared as a top-level output so that downstream
+    /// transformations (bespoke sweeps) preserve the monitor pin.
+    pub fn name_net(&mut self, name: &str, net: NetId) -> NetId {
+        let alias = self.nl.add_net(name);
+        self.nl.add_gate(CellKind::Buf, &[net], alias);
+        self.nl.add_output(alias);
+        alias
+    }
+
+    /// Constant 0 net (shared `const0` cell).
+    pub fn zero(&mut self) -> NetId {
+        if let Some(z) = self.zero {
+            return z;
+        }
+        let z = self.nl.add_net("const_zero");
+        self.nl.add_gate(CellKind::Const0, &[], z);
+        self.zero = Some(z);
+        z
+    }
+
+    /// Constant 1 net (shared `const1` cell).
+    pub fn one(&mut self) -> NetId {
+        if let Some(o) = self.one {
+            return o;
+        }
+        let o = self.nl.add_net("const_one");
+        self.nl.add_gate(CellKind::Const1, &[], o);
+        self.one = Some(o);
+        o
+    }
+
+    /// A `width`-bit constant bus holding the low bits of `value`.
+    pub fn const_word(&mut self, value: u64, width: usize) -> Bus {
+        let nets = (0..width)
+            .map(|i| {
+                if value >> i & 1 == 1 {
+                    self.one()
+                } else {
+                    self.zero()
+                }
+            })
+            .collect();
+        Bus(nets)
+    }
+
+    // ---- single-bit gates ----
+
+    /// Inverter.
+    pub fn not1(&mut self, a: NetId) -> NetId {
+        let y = self.fresh("not");
+        self.nl.add_gate(CellKind::Not, &[a], y);
+        y
+    }
+
+    /// Two-input AND.
+    pub fn and1(&mut self, a: NetId, b: NetId) -> NetId {
+        let y = self.fresh("and");
+        self.nl.add_gate(CellKind::And2, &[a, b], y);
+        y
+    }
+
+    /// Two-input OR.
+    pub fn or1(&mut self, a: NetId, b: NetId) -> NetId {
+        let y = self.fresh("or");
+        self.nl.add_gate(CellKind::Or2, &[a, b], y);
+        y
+    }
+
+    /// Two-input XOR.
+    pub fn xor1(&mut self, a: NetId, b: NetId) -> NetId {
+        let y = self.fresh("xor");
+        self.nl.add_gate(CellKind::Xor2, &[a, b], y);
+        y
+    }
+
+    /// Two-input NOR.
+    pub fn nor1(&mut self, a: NetId, b: NetId) -> NetId {
+        let y = self.fresh("nor");
+        self.nl.add_gate(CellKind::Nor2, &[a, b], y);
+        y
+    }
+
+    /// Two-input NAND.
+    pub fn nand1(&mut self, a: NetId, b: NetId) -> NetId {
+        let y = self.fresh("nand");
+        self.nl.add_gate(CellKind::Nand2, &[a, b], y);
+        y
+    }
+
+    /// Two-input XNOR.
+    pub fn xnor1(&mut self, a: NetId, b: NetId) -> NetId {
+        let y = self.fresh("xnor");
+        self.nl.add_gate(CellKind::Xnor2, &[a, b], y);
+        y
+    }
+
+    /// Bit mux: `when0` if `sel=0`, `when1` if `sel=1`.
+    pub fn mux1(&mut self, sel: NetId, when0: NetId, when1: NetId) -> NetId {
+        let y = self.fresh("mux");
+        self.nl.add_gate(CellKind::Mux2, &[sel, when0, when1], y);
+        y
+    }
+
+    // ---- bus logic ----
+
+    /// Bitwise NOT.
+    pub fn not(&mut self, a: &Bus) -> Bus {
+        Bus(a.0.iter().map(|&n| self.not1(n)).collect())
+    }
+
+    /// Bitwise AND.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ (as do all two-operand bus helpers).
+    pub fn and(&mut self, a: &Bus, b: &Bus) -> Bus {
+        assert_eq!(a.width(), b.width());
+        Bus(a.0.iter().zip(&b.0).map(|(&x, &y)| self.and1(x, y)).collect())
+    }
+
+    /// Bitwise OR.
+    pub fn or(&mut self, a: &Bus, b: &Bus) -> Bus {
+        assert_eq!(a.width(), b.width());
+        Bus(a.0.iter().zip(&b.0).map(|(&x, &y)| self.or1(x, y)).collect())
+    }
+
+    /// Bitwise XOR.
+    pub fn xor(&mut self, a: &Bus, b: &Bus) -> Bus {
+        assert_eq!(a.width(), b.width());
+        Bus(a.0.iter().zip(&b.0).map(|(&x, &y)| self.xor1(x, y)).collect())
+    }
+
+    /// Bus mux: `when0` if `sel=0`, `when1` if `sel=1`.
+    pub fn mux(&mut self, sel: NetId, when0: &Bus, when1: &Bus) -> Bus {
+        assert_eq!(when0.width(), when1.width());
+        Bus(
+            when0
+                .0
+                .iter()
+                .zip(&when1.0)
+                .map(|(&a, &b)| self.mux1(sel, a, b))
+                .collect(),
+        )
+    }
+
+    /// Replicates `bit` across `width` AND gates with `a` (masking).
+    pub fn mask(&mut self, bit: NetId, a: &Bus) -> Bus {
+        Bus(a.0.iter().map(|&n| self.and1(n, bit)).collect())
+    }
+
+    /// AND-reduction tree.
+    pub fn and_reduce(&mut self, a: &Bus) -> NetId {
+        self.reduce(a, |b, x, y| b.and1(x, y))
+    }
+
+    /// OR-reduction tree.
+    pub fn or_reduce(&mut self, a: &Bus) -> NetId {
+        self.reduce(a, |b, x, y| b.or1(x, y))
+    }
+
+    fn reduce(&mut self, a: &Bus, f: impl Fn(&mut Self, NetId, NetId) -> NetId) -> NetId {
+        assert!(!a.0.is_empty(), "reducing empty bus");
+        let mut layer = a.0.clone();
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+            for pair in layer.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    f(self, pair[0], pair[1])
+                } else {
+                    pair[0]
+                });
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// `1` when every bit of `a` is zero.
+    pub fn is_zero(&mut self, a: &Bus) -> NetId {
+        let any = self.or_reduce(a);
+        self.not1(any)
+    }
+
+    /// `1` when `a == b`.
+    pub fn eq(&mut self, a: &Bus, b: &Bus) -> NetId {
+        let diff = self.xor(a, b);
+        self.is_zero(&diff)
+    }
+
+    // ---- arithmetic ----
+
+    /// Full ripple-carry add with carry-in; returns `(sum, carry_out)`.
+    pub fn add_carry(&mut self, a: &Bus, b: &Bus, cin: NetId) -> (Bus, NetId) {
+        assert_eq!(a.width(), b.width());
+        let mut carry = cin;
+        let mut sum = Vec::with_capacity(a.width());
+        for i in 0..a.width() {
+            let axb = self.xor1(a.bit(i), b.bit(i));
+            let s = self.xor1(axb, carry);
+            let t1 = self.and1(a.bit(i), b.bit(i));
+            let t2 = self.and1(axb, carry);
+            carry = self.or1(t1, t2);
+            sum.push(s);
+        }
+        (Bus(sum), carry)
+    }
+
+    /// Modular addition (carry-out dropped).
+    pub fn add(&mut self, a: &Bus, b: &Bus) -> Bus {
+        let zero = self.zero();
+        self.add_carry(a, b, zero).0
+    }
+
+    /// Subtraction via two's complement; returns `(diff, carry_out)` where
+    /// `carry_out = 1` means **no** borrow (i.e. `a >= b` unsigned).
+    pub fn sub_carry(&mut self, a: &Bus, b: &Bus) -> (Bus, NetId) {
+        let nb = self.not(b);
+        let one = self.one();
+        self.add_carry(a, &nb, one)
+    }
+
+    /// Modular subtraction.
+    pub fn sub(&mut self, a: &Bus, b: &Bus) -> Bus {
+        self.sub_carry(a, b).0
+    }
+
+    /// Unsigned `a < b`.
+    pub fn lt_u(&mut self, a: &Bus, b: &Bus) -> NetId {
+        let (_, carry) = self.sub_carry(a, b);
+        self.not1(carry)
+    }
+
+    /// Signed `a < b` (two's complement): `N XOR V` of `a - b`.
+    pub fn lt_s(&mut self, a: &Bus, b: &Bus) -> NetId {
+        let (diff, _) = self.sub_carry(a, b);
+        let n = diff.msb();
+        // overflow: operands of differing sign and result sign differs from a
+        let sa = a.msb();
+        let sb = b.msb();
+        let signs_differ = self.xor1(sa, sb);
+        let res_differs = self.xor1(sa, n);
+        let v = self.and1(signs_differ, res_differs);
+        self.xor1(n, v)
+    }
+
+    /// Arithmetic negation.
+    pub fn neg(&mut self, a: &Bus) -> Bus {
+        let width = a.width();
+        let zero = self.const_word(0, width);
+        self.sub(&zero, a)
+    }
+
+    // ---- shifts ----
+
+    /// Shift left by a constant (zero fill) — pure rewiring plus tie-offs.
+    pub fn shl_const(&mut self, a: &Bus, k: usize) -> Bus {
+        let w = a.width();
+        let z = self.zero();
+        Bus(
+            (0..w)
+                .map(|i| if i < k { z } else { a.bit(i - k) })
+                .collect(),
+        )
+    }
+
+    /// Logical shift right by a constant (zero fill).
+    pub fn shr_const(&mut self, a: &Bus, k: usize) -> Bus {
+        let w = a.width();
+        let z = self.zero();
+        Bus(
+            (0..w)
+                .map(|i| if i + k < w { a.bit(i + k) } else { z })
+                .collect(),
+        )
+    }
+
+    /// Barrel shifter: left when `right = const false` semantics are chosen
+    /// by the caller; this builds `a << amt` with zero fill.
+    pub fn shl_barrel(&mut self, a: &Bus, amt: &Bus) -> Bus {
+        let mut cur = a.clone();
+        for (stage, &sel) in amt.0.iter().enumerate() {
+            if 1usize << stage >= a.width() {
+                // shifting by >= width zeroes the word when any high amt bit set
+                let zeroes = self.const_word(0, a.width());
+                cur = self.mux(sel, &cur, &zeroes);
+                continue;
+            }
+            let shifted = self.shl_const(&cur, 1 << stage);
+            cur = self.mux(sel, &cur, &shifted);
+        }
+        cur
+    }
+
+    /// Arithmetic shift right by a constant (sign fill).
+    pub fn sra_const(&mut self, a: &Bus, k: usize) -> Bus {
+        let w = a.width();
+        let sign = a.msb();
+        Bus(
+            (0..w)
+                .map(|i| if i + k < w { a.bit(i + k) } else { sign })
+                .collect(),
+        )
+    }
+
+    /// Barrel shifter: arithmetic `a >> amt` (sign fill).
+    pub fn sra_barrel(&mut self, a: &Bus, amt: &Bus) -> Bus {
+        let mut cur = a.clone();
+        let sign = a.msb();
+        for (stage, &sel) in amt.0.iter().enumerate() {
+            if 1usize << stage >= a.width() {
+                let fill = Bus(vec![sign; a.width()]);
+                cur = self.mux(sel, &cur, &fill);
+                continue;
+            }
+            let shifted = self.sra_const(&cur, 1 << stage);
+            cur = self.mux(sel, &cur, &shifted);
+        }
+        cur
+    }
+
+    /// Barrel shifter: `a >> amt`, zero fill.
+    pub fn shr_barrel(&mut self, a: &Bus, amt: &Bus) -> Bus {
+        let mut cur = a.clone();
+        for (stage, &sel) in amt.0.iter().enumerate() {
+            if 1usize << stage >= a.width() {
+                let zeroes = self.const_word(0, a.width());
+                cur = self.mux(sel, &cur, &zeroes);
+                continue;
+            }
+            let shifted = self.shr_const(&cur, 1 << stage);
+            cur = self.mux(sel, &cur, &shifted);
+        }
+        cur
+    }
+
+    // ---- width adjustment ----
+
+    /// Zero-extends (or truncates) to `width`.
+    pub fn zext(&mut self, a: &Bus, width: usize) -> Bus {
+        let z = self.zero();
+        Bus((0..width).map(|i| if i < a.width() { a.bit(i) } else { z }).collect())
+    }
+
+    /// Sign-extends (or truncates) to `width`.
+    pub fn sext(&mut self, a: &Bus, width: usize) -> Bus {
+        let msb = a.msb();
+        Bus(
+            (0..width)
+                .map(|i| if i < a.width() { a.bit(i) } else { msb })
+                .collect(),
+        )
+    }
+
+    // ---- multiplier ----
+
+    /// Unsigned array multiplier producing the full `a.width + b.width`-bit
+    /// product. This is the "hardware multiplier" block of bm32 and the
+    /// openMSP430 peripheral — a large cone of gates exercised only by
+    /// multiply workloads.
+    pub fn mul_full(&mut self, a: &Bus, b: &Bus) -> Bus {
+        let out_w = a.width() + b.width();
+        let mut acc = self.const_word(0, out_w);
+        for i in 0..a.width() {
+            let masked = self.mask(a.bit(i), b);
+            let ext = self.zext(&masked, out_w);
+            let shifted = self.shl_const(&ext, i);
+            acc = self.add(&acc, &shifted);
+        }
+        acc
+    }
+
+    /// Truncated multiplier (`width = a.width`).
+    pub fn mul(&mut self, a: &Bus, b: &Bus) -> Bus {
+        let full = self.mul_full(a, b);
+        full.slice(0, a.width())
+    }
+
+    // ---- registers ----
+
+    /// Allocates a `width`-bit register with reset value `init`; connect its
+    /// next-state input later with [`RtlBuilder::drive_reg`].
+    pub fn reg(&mut self, name: &str, width: usize, init: u64) -> RegHandle {
+        let q: Vec<NetId> = (0..width)
+            .map(|i| self.nl.add_net(format!("{name}[{i}]")))
+            .collect();
+        let index = self.regs.len();
+        self.regs.push(PendingReg {
+            name: name.to_string(),
+            q: q.clone(),
+            init,
+            init_known: true,
+            d: None,
+        });
+        RegHandle { q: Bus(q), index }
+    }
+
+    /// Allocates a register that powers up unknown (`X` on every bit) —
+    /// this models architectural state the testbench initializes to `X`.
+    pub fn reg_x(&mut self, name: &str, width: usize) -> RegHandle {
+        let mut h = self.reg(name, width, 0);
+        self.regs[h.index].init_known = false;
+        h.q = Bus(self.regs[h.index].q.clone());
+        h
+    }
+
+    /// Connects the next-state input of a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width differs from the register or if already driven.
+    pub fn drive_reg(&mut self, reg: RegHandle, d: &Bus) {
+        let pending = &mut self.regs[reg.index];
+        assert_eq!(d.width(), pending.q.len(), "register {} width", pending.name);
+        assert!(pending.d.is_none(), "register {} driven twice", pending.name);
+        pending.d = Some(d.0.clone());
+    }
+
+    /// Register with synchronous enable: keeps its value when `en = 0`.
+    pub fn reg_en(&mut self, name: &str, d: &Bus, en: NetId, init: u64) -> Bus {
+        let r = self.reg(name, d.width(), init);
+        let q = r.q.clone();
+        let next = self.mux(en, &q, d);
+        self.drive_reg(r, &next);
+        q
+    }
+
+    // ---- memories ----
+
+    /// Allocates a memory array.
+    pub fn memory(&mut self, name: &str, depth: usize, width: usize) -> MemoryHandle {
+        MemoryHandle(self.nl.add_memory(name, depth, width))
+    }
+
+    /// Adds a combinational read port; returns the data bus.
+    pub fn mem_read(&mut self, mem: MemoryHandle, addr: &Bus) -> Bus {
+        let data = self.fresh_bus("rdata", self.nl.memories()[mem.0 .0 as usize].width);
+        self.nl
+            .add_read_port(mem.0, addr.0.clone(), data.0.clone());
+        data
+    }
+
+    /// Adds a synchronous write port (sampled at the clock edge when `we=1`).
+    pub fn mem_write(&mut self, mem: MemoryHandle, addr: &Bus, data: &Bus, we: NetId) {
+        self.nl
+            .add_write_port(mem.0, addr.0.clone(), data.0.clone(), we);
+    }
+
+    /// Finalizes the netlist: creates the DFFs for all registers and
+    /// validates the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateError`] for multiple drivers or combinational
+    /// cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a register allocated with [`RtlBuilder::reg`] was never
+    /// driven.
+    pub fn finish(mut self) -> Result<Netlist, ValidateError> {
+        let regs = std::mem::take(&mut self.regs);
+        for r in regs {
+            let d = r
+                .d
+                .unwrap_or_else(|| panic!("register {} has no next-state driver", r.name));
+            for (i, (&dn, &qn)) in d.iter().zip(&r.q).enumerate() {
+                let init = if r.init_known {
+                    Logic::from_bool(r.init >> i & 1 == 1)
+                } else {
+                    Logic::X
+                };
+                self.nl.add_dff(dn, qn, init);
+            }
+        }
+        self.nl.validate()?;
+        Ok(self.nl)
+    }
+
+    /// Access to the netlist under construction (e.g. for custom gates).
+    pub fn netlist_mut(&mut self) -> &mut Netlist {
+        &mut self.nl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_structure() {
+        let mut b = RtlBuilder::new("add8");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let s = b.add(&x, &y);
+        b.output("s", &s);
+        let nl = b.finish().unwrap();
+        // 5 gates per full-adder bit + 8 output buffers + const cell
+        assert!(nl.gate_count() >= 8 * 5);
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn register_must_be_driven() {
+        let mut b = RtlBuilder::new("r");
+        let _ = b.reg("r0", 4, 0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| b.finish()));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn mul_width() {
+        let mut b = RtlBuilder::new("m");
+        let x = b.input("x", 4);
+        let y = b.input("y", 4);
+        let p = b.mul_full(&x, &y);
+        assert_eq!(p.width(), 8);
+        b.output("p", &p);
+        assert!(b.finish().is_ok());
+    }
+
+    #[test]
+    fn bus_slicing() {
+        let mut b = RtlBuilder::new("s");
+        let x = b.input("x", 8);
+        let lo = x.slice(0, 4);
+        let hi = x.slice(4, 8);
+        assert_eq!(lo.width(), 4);
+        assert_eq!(lo.concat(&hi).as_nets(), x.as_nets());
+    }
+
+    #[test]
+    fn memory_ports() {
+        let mut b = RtlBuilder::new("mem");
+        let addr = b.input("addr", 4);
+        let wdata = b.input("wdata", 8);
+        let we = b.input("we", 1);
+        let m = b.memory("ram", 16, 8);
+        let rdata = b.mem_read(m, &addr);
+        b.mem_write(m, &addr, &wdata, we.bit(0));
+        b.output("rdata", &rdata);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.memories().len(), 1);
+        assert_eq!(nl.memories()[0].read_ports.len(), 1);
+        assert_eq!(nl.memories()[0].write_ports.len(), 1);
+    }
+
+    #[test]
+    fn reg_en_holds() {
+        let mut b = RtlBuilder::new("re");
+        let d = b.input("d", 2);
+        let en = b.input("en", 1);
+        let q = b.reg_en("q", &d, en.bit(0), 0);
+        b.output("qo", &q);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.dff_count(), 2);
+    }
+}

@@ -1,0 +1,150 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The combinational standard-cell library.
+///
+/// The library mirrors the primitive set a gate-level netlist handed to the
+/// tool would contain after synthesis: constants, buffers/inverters, the
+/// two-input basic gates, and a 2:1 mux. Sequential elements (D flip-flops)
+/// and memories are represented separately in the [`Netlist`] because the
+/// simulator schedules them in the NBA event region rather than the Active
+/// region.
+///
+/// Areas are in NAND2-equivalent units, loosely following a generic 65 nm
+/// standard-cell library; they feed the bespoke-processor area reports.
+///
+/// [`Netlist`]: crate::Netlist
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum CellKind {
+    /// Constant logic 0 driver (used for bespoke tie-offs).
+    Const0,
+    /// Constant logic 1 driver (used for bespoke tie-offs).
+    Const1,
+    /// Non-inverting buffer.
+    Buf,
+    /// Inverter.
+    Not,
+    /// Two-input AND.
+    And2,
+    /// Two-input OR.
+    Or2,
+    /// Two-input NAND.
+    Nand2,
+    /// Two-input NOR.
+    Nor2,
+    /// Two-input XOR.
+    Xor2,
+    /// Two-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer; pins are `(sel, a, b)`, output is `a` when `sel=0`.
+    Mux2,
+}
+
+/// Every cell kind, in a stable order (useful for histograms).
+pub const CELL_KINDS: [CellKind; 11] = [
+    CellKind::Const0,
+    CellKind::Const1,
+    CellKind::Buf,
+    CellKind::Not,
+    CellKind::And2,
+    CellKind::Or2,
+    CellKind::Nand2,
+    CellKind::Nor2,
+    CellKind::Xor2,
+    CellKind::Xnor2,
+    CellKind::Mux2,
+];
+
+impl CellKind {
+    /// Number of input pins the cell expects.
+    #[inline]
+    pub fn arity(self) -> usize {
+        match self {
+            CellKind::Const0 | CellKind::Const1 => 0,
+            CellKind::Buf | CellKind::Not => 1,
+            CellKind::And2
+            | CellKind::Or2
+            | CellKind::Nand2
+            | CellKind::Nor2
+            | CellKind::Xor2
+            | CellKind::Xnor2 => 2,
+            CellKind::Mux2 => 3,
+        }
+    }
+
+    /// Cell area in NAND2-equivalent units.
+    #[inline]
+    pub fn area(self) -> f64 {
+        match self {
+            CellKind::Const0 | CellKind::Const1 => 0.0,
+            CellKind::Buf => 1.0,
+            CellKind::Not => 0.67,
+            CellKind::Nand2 | CellKind::Nor2 => 1.0,
+            CellKind::And2 | CellKind::Or2 => 1.33,
+            CellKind::Xor2 | CellKind::Xnor2 => 2.33,
+            CellKind::Mux2 => 2.33,
+        }
+    }
+
+    /// The Verilog primitive / cell name used by the netlist writer.
+    pub fn verilog_name(self) -> &'static str {
+        match self {
+            CellKind::Const0 => "const0",
+            CellKind::Const1 => "const1",
+            CellKind::Buf => "buf",
+            CellKind::Not => "not",
+            CellKind::And2 => "and",
+            CellKind::Or2 => "or",
+            CellKind::Nand2 => "nand",
+            CellKind::Nor2 => "nor",
+            CellKind::Xor2 => "xor",
+            CellKind::Xnor2 => "xnor",
+            CellKind::Mux2 => "mux2",
+        }
+    }
+
+    /// Parses the name emitted by [`CellKind::verilog_name`].
+    pub fn from_verilog_name(name: &str) -> Option<CellKind> {
+        CELL_KINDS.into_iter().find(|k| k.verilog_name() == name)
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.verilog_name())
+    }
+}
+
+/// Area of a D flip-flop in NAND2-equivalent units.
+pub(crate) const DFF_AREA: f64 = 4.67;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_kind() {
+        assert_eq!(CellKind::Const1.arity(), 0);
+        assert_eq!(CellKind::Not.arity(), 1);
+        assert_eq!(CellKind::Xor2.arity(), 2);
+        assert_eq!(CellKind::Mux2.arity(), 3);
+    }
+
+    #[test]
+    fn verilog_names_round_trip() {
+        for k in CELL_KINDS {
+            assert_eq!(CellKind::from_verilog_name(k.verilog_name()), Some(k));
+        }
+        assert_eq!(CellKind::from_verilog_name("dffx1"), None);
+    }
+
+    #[test]
+    fn areas_are_positive_for_logic() {
+        for k in CELL_KINDS {
+            if !matches!(k, CellKind::Const0 | CellKind::Const1) {
+                assert!(k.area() > 0.0, "{k} must have positive area");
+            }
+        }
+    }
+}

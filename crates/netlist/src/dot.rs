@@ -1,0 +1,171 @@
+//! Graphviz (DOT) export for netlists, with optional highlighting — used
+//! to visualize the exercisable/unexercisable dichotomy co-analysis
+//! produces.
+
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+use crate::{GateId, NetId, Netlist};
+
+/// Options for [`to_dot`].
+#[derive(Debug, Clone, Default)]
+pub struct DotOptions {
+    /// Gates drawn filled (e.g. the exercisable set).
+    pub highlight_gates: HashSet<GateId>,
+    /// Cap on emitted gates (huge netlists are unreadable anyway);
+    /// `0` means no limit.
+    pub max_gates: usize,
+}
+
+/// Renders the netlist as a Graphviz digraph: gates and flip-flops are
+/// nodes, nets are edges labelled with their names, ports are ovals.
+///
+/// # Example
+///
+/// ```
+/// use symsim_netlist::{RtlBuilder, dot};
+///
+/// let mut b = RtlBuilder::new("d");
+/// let a = b.input("a", 1);
+/// let y = b.not(&a);
+/// b.output("y", &y);
+/// let nl = b.finish().expect("valid");
+/// let text = dot::to_dot(&nl, &dot::DotOptions::default());
+/// assert!(text.starts_with("digraph"));
+/// assert!(text.contains("not"));
+/// ```
+pub fn to_dot(netlist: &Netlist, options: &DotOptions) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", netlist.name);
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=box, fontsize=9];");
+
+    let limit = if options.max_gates == 0 {
+        usize::MAX
+    } else {
+        options.max_gates
+    };
+
+    // emitted net sources: map net -> node name
+    let mut src: Vec<Option<String>> = vec![None; netlist.net_count()];
+    for &n in netlist.inputs() {
+        let node = format!("in_{}", n.0);
+        let _ = writeln!(
+            out,
+            "  {node} [shape=oval, label=\"{}\"];",
+            netlist.net_name(n)
+        );
+        src[n.0 as usize] = Some(node);
+    }
+    for (i, d) in netlist.dffs().iter().enumerate() {
+        let node = format!("ff_{i}");
+        let _ = writeln!(
+            out,
+            "  {node} [shape=box, style=rounded, label=\"DFF {}\"];",
+            netlist.net_name(d.q)
+        );
+        src[d.q.0 as usize] = Some(node);
+    }
+    for (mi, m) in netlist.memories().iter().enumerate() {
+        for (pi, rp) in m.read_ports.iter().enumerate() {
+            let node = format!("mem_{mi}_{pi}");
+            let _ = writeln!(
+                out,
+                "  {node} [shape=box3d, label=\"{}[{pi}]\"];",
+                m.name
+            );
+            for &d in &rp.data {
+                src[d.0 as usize] = Some(node.clone());
+            }
+        }
+    }
+    for (gi, (id, g)) in netlist.iter_gates().enumerate() {
+        if gi >= limit {
+            let _ = writeln!(out, "  trunc [label=\"... {} more gates\"];", netlist.gate_count() - limit);
+            break;
+        }
+        let node = format!("g_{}", id.0);
+        let style = if options.highlight_gates.contains(&id) {
+            ", style=filled, fillcolor=lightgreen"
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "  {node} [label=\"{}\"{style}];", g.kind);
+        src[g.output.0 as usize] = Some(node);
+    }
+
+    // edges (only between emitted nodes)
+    let edge = |out: &mut String, from: &Option<String>, to: &str, net: NetId| {
+        if let Some(f) = from {
+            let _ = writeln!(
+                out,
+                "  {f} -> {to} [label=\"{}\", fontsize=7];",
+                netlist.net_name(net)
+            );
+        }
+    };
+    for (gi, (id, g)) in netlist.iter_gates().enumerate() {
+        if gi >= limit {
+            break;
+        }
+        for &pin in &g.inputs {
+            edge(&mut out, &src[pin.0 as usize], &format!("g_{}", id.0), pin);
+        }
+    }
+    for (i, d) in netlist.dffs().iter().enumerate() {
+        edge(&mut out, &src[d.d.0 as usize], &format!("ff_{i}"), d.d);
+    }
+    for &n in netlist.outputs() {
+        let node = format!("out_{}", n.0);
+        let _ = writeln!(
+            out,
+            "  {node} [shape=oval, label=\"{}\"];",
+            netlist.net_name(n)
+        );
+        edge(&mut out, &src[n.0 as usize], &node, n);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RtlBuilder;
+
+    #[test]
+    fn emits_all_node_classes() {
+        let mut b = RtlBuilder::new("d");
+        let a = b.input("a", 2);
+        let r = b.reg("s", 2, 0);
+        let q = r.q.clone();
+        let nxt = b.xor(&q, &a);
+        b.drive_reg(r, &nxt);
+        let m = b.memory("rom", 4, 2);
+        let rd = b.mem_read(m, &q);
+        b.output("o", &rd);
+        let nl = b.finish().unwrap();
+        let text = to_dot(&nl, &DotOptions::default());
+        assert!(text.contains("digraph \"d\""));
+        assert!(text.contains("DFF"));
+        assert!(text.contains("rom[0]"));
+        assert!(text.contains("-> out_"));
+    }
+
+    #[test]
+    fn highlight_and_truncation() {
+        let mut b = RtlBuilder::new("d");
+        let a = b.input("a", 4);
+        let y = b.not(&a);
+        b.output("y", &y);
+        let nl = b.finish().unwrap();
+        let mut options = DotOptions {
+            max_gates: 2,
+            ..DotOptions::default()
+        };
+        options.highlight_gates.insert(GateId(0));
+        let text = to_dot(&nl, &options);
+        assert!(text.contains("lightgreen"));
+        assert!(text.contains("more gates"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Proptest strategies producing random *valid* netlists (acyclic by
+//! construction, single drivers, correct arities) for property-based tests
+//! across the workspace. Enabled by the `proptest` feature.
+
+use proptest::prelude::*;
+use symsim_logic::Logic;
+
+use crate::{Netlist, CELL_KINDS};
+
+/// Raw recipe a strategy generates; [`build`] turns it into a netlist.
+#[derive(Debug, Clone)]
+struct Recipe {
+    inputs: usize,
+    dffs: usize,
+    gates: Vec<(u8, u32, u32, u32)>,
+    dff_srcs: Vec<u32>,
+    outputs: u32,
+}
+
+fn build(recipe: Recipe) -> Netlist {
+    let mut nl = Netlist::new("random");
+    let mut pool = Vec::new();
+    for i in 0..recipe.inputs {
+        let n = nl.add_net(format!("in{i}"));
+        nl.add_input(n);
+        pool.push(n);
+    }
+    let mut dff_qs = Vec::new();
+    for i in 0..recipe.dffs {
+        let q = nl.add_net(format!("q{i}"));
+        dff_qs.push(q);
+        pool.push(q);
+    }
+    for (i, &(kind_sel, a, b, c)) in recipe.gates.iter().enumerate() {
+        let kind = CELL_KINDS[kind_sel as usize % CELL_KINDS.len()];
+        let out = nl.add_net(format!("g{i}"));
+        let pick = |sel: u32| pool[sel as usize % pool.len()];
+        let ins: Vec<_> = match kind.arity() {
+            0 => vec![],
+            1 => vec![pick(a)],
+            2 => vec![pick(a), pick(b)],
+            _ => vec![pick(a), pick(b), pick(c)],
+        };
+        nl.add_gate(kind, &ins, out);
+        pool.push(out);
+    }
+    for (i, &q) in dff_qs.iter().enumerate() {
+        let d = pool[recipe.dff_srcs[i] as usize % pool.len()];
+        nl.add_dff(d, q, Logic::Zero);
+    }
+    // a few observable outputs, always including the last driven net;
+    // primary inputs are excluded (a port has exactly one direction)
+    let n_outputs = 1 + (recipe.outputs as usize % 3);
+    let driven = &pool[recipe.inputs..];
+    for &n in driven.iter().rev().take(n_outputs) {
+        nl.add_output(n);
+    }
+    nl
+}
+
+/// A strategy over valid netlists with up to `max_gates` combinational
+/// gates, a handful of inputs, and zero-initialized flip-flops.
+pub fn arb_netlist(max_gates: usize) -> impl Strategy<Value = Netlist> {
+    (
+        1usize..5,
+        0usize..4,
+        prop::collection::vec(
+            (any::<u8>(), any::<u32>(), any::<u32>(), any::<u32>()),
+            1..max_gates.max(2),
+        ),
+        prop::collection::vec(any::<u32>(), 4),
+        any::<u32>(),
+    )
+        .prop_map(|(inputs, dffs, gates, dff_srcs, outputs)| {
+            build(Recipe {
+                inputs,
+                dffs,
+                gates,
+                dff_srcs,
+                outputs,
+            })
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn generated_netlists_are_valid(nl in arb_netlist(30)) {
+            prop_assert!(nl.validate().is_ok());
+            prop_assert!(nl.gate_count() >= 1);
+            prop_assert!(!nl.outputs().is_empty());
+        }
+    }
+}

@@ -1,0 +1,297 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ir::{Driver, GateId, MemoryId, NetId, Netlist};
+
+/// A node of the combinational graph: a gate or a memory read port.
+///
+/// Memory read ports are combinational (`data = mem[addr]`) and therefore
+/// participate in levelization and cycle checking alongside gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CombNode {
+    /// A combinational gate.
+    Gate(GateId),
+    /// Read port `port` of memory `mem`.
+    MemRead {
+        /// Which memory.
+        mem: MemoryId,
+        /// Which read port.
+        port: usize,
+    },
+}
+
+/// Structural problems detected by [`Netlist::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// Two drivers contend for one net.
+    MultipleDrivers {
+        /// The multiply-driven net.
+        net: NetId,
+        /// Its name, for diagnostics.
+        name: String,
+    },
+    /// The combinational graph contains a cycle (no valid evaluation order).
+    CombinationalCycle {
+        /// Number of nodes stuck in the cycle.
+        nodes_in_cycle: usize,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::MultipleDrivers { net, name } => {
+                write!(f, "net {net} (\"{name}\") has multiple drivers")
+            }
+            ValidateError::CombinationalCycle { nodes_in_cycle } => {
+                write!(f, "combinational cycle through {nodes_in_cycle} nodes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+impl Netlist {
+    /// Enumerates the combinational nodes (gates, then memory read ports).
+    pub fn comb_nodes(&self) -> Vec<CombNode> {
+        let mut nodes: Vec<CombNode> = self
+            .iter_gates()
+            .map(|(id, _)| CombNode::Gate(id))
+            .collect();
+        for (mi, m) in self.memories().iter().enumerate() {
+            for pi in 0..m.read_ports.len() {
+                nodes.push(CombNode::MemRead {
+                    mem: MemoryId(mi as u32),
+                    port: pi,
+                });
+            }
+        }
+        nodes
+    }
+
+    fn comb_node_pins(&self, node: CombNode) -> (Vec<NetId>, Vec<NetId>) {
+        match node {
+            CombNode::Gate(g) => {
+                let gate = self.gate(g);
+                (gate.inputs.clone(), vec![gate.output])
+            }
+            CombNode::MemRead { mem, port } => {
+                let rp = &self.memories()[mem.0 as usize].read_ports[port];
+                (rp.addr.clone(), rp.data.clone())
+            }
+        }
+    }
+
+    /// Checks structural invariants: at most one driver per net and an
+    /// acyclic combinational graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] found.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        // single-driver check (drivers() keeps only the last; recount here)
+        let mut driver_count = vec![0u8; self.net_count()];
+        let mut bump = |net: NetId| {
+            let c = &mut driver_count[net.0 as usize];
+            *c = c.saturating_add(1);
+        };
+        for g in self.gates() {
+            bump(g.output);
+        }
+        for d in self.dffs() {
+            bump(d.q);
+        }
+        for m in self.memories() {
+            for rp in &m.read_ports {
+                for &n in &rp.data {
+                    bump(n);
+                }
+            }
+        }
+        for &n in self.inputs() {
+            bump(n);
+        }
+        if let Some(i) = driver_count.iter().position(|&c| c > 1) {
+            let net = NetId(i as u32);
+            return Err(ValidateError::MultipleDrivers {
+                net,
+                name: self.net_name(net).to_string(),
+            });
+        }
+        self.comb_topo_order().map(|_| ())
+    }
+
+    /// A topological order of the combinational nodes (Kahn's algorithm).
+    ///
+    /// Flip-flop outputs, primary inputs, and undriven nets are sources;
+    /// edges run from a node's output nets to every node reading them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError::CombinationalCycle`] if no order exists.
+    pub fn comb_topo_order(&self) -> Result<Vec<CombNode>, ValidateError> {
+        let nodes = self.comb_nodes();
+        let index_of: HashMap<CombNode, usize> =
+            nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+
+        // net -> producing comb node (if combinationally driven)
+        let drivers = self.drivers();
+        let comb_driver = |net: NetId| -> Option<usize> {
+            match drivers[net.0 as usize] {
+                Some(Driver::Gate(g)) => index_of.get(&CombNode::Gate(g)).copied(),
+                Some(Driver::MemoryRead { mem, port }) => {
+                    index_of.get(&CombNode::MemRead { mem, port }).copied()
+                }
+                _ => None,
+            }
+        };
+
+        let mut indegree = vec![0usize; nodes.len()];
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for (i, &node) in nodes.iter().enumerate() {
+            let (ins, _) = self.comb_node_pins(node);
+            for pin in ins {
+                if let Some(p) = comb_driver(pin) {
+                    succ[p].push(i);
+                    indegree[i] += 1;
+                }
+            }
+        }
+
+        let mut ready: Vec<usize> = indegree
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let mut order = Vec::with_capacity(nodes.len());
+        while let Some(i) = ready.pop() {
+            order.push(nodes[i]);
+            for &s in &succ[i] {
+                indegree[s] -= 1;
+                if indegree[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        if order.len() != nodes.len() {
+            return Err(ValidateError::CombinationalCycle {
+                nodes_in_cycle: nodes.len() - order.len(),
+            });
+        }
+        Ok(order)
+    }
+
+    /// For each net, the combinational nodes reading it. Used by the
+    /// event-driven simulator to schedule fanout on value changes.
+    pub fn fanout_map(&self) -> Vec<Vec<CombNode>> {
+        let mut fanout: Vec<Vec<CombNode>> = vec![Vec::new(); self.net_count()];
+        for (id, g) in self.iter_gates() {
+            for &pin in &g.inputs {
+                fanout[pin.0 as usize].push(CombNode::Gate(id));
+            }
+        }
+        for (mi, m) in self.memories().iter().enumerate() {
+            for (pi, rp) in m.read_ports.iter().enumerate() {
+                for &pin in &rp.addr {
+                    fanout[pin.0 as usize].push(CombNode::MemRead {
+                        mem: MemoryId(mi as u32),
+                        port: pi,
+                    });
+                }
+            }
+        }
+        fanout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+    use symsim_logic::Logic;
+
+    #[test]
+    fn topo_orders_chain() {
+        let mut nl = Netlist::new("chain");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let c = nl.add_net("c");
+        nl.add_input(a);
+        // build out of order: c = not b; b = not a
+        nl.add_gate(CellKind::Not, &[b], c);
+        nl.add_gate(CellKind::Not, &[a], b);
+        let order = nl.comb_topo_order().unwrap();
+        assert_eq!(
+            order,
+            vec![CombNode::Gate(GateId(1)), CombNode::Gate(GateId(0))]
+        );
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn detects_comb_cycle() {
+        let mut nl = Netlist::new("cyc");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        nl.add_gate(CellKind::Not, &[a], b);
+        nl.add_gate(CellKind::Not, &[b], a);
+        assert!(matches!(
+            nl.validate(),
+            Err(ValidateError::CombinationalCycle { nodes_in_cycle: 2 })
+        ));
+    }
+
+    #[test]
+    fn dff_breaks_cycle() {
+        let mut nl = Netlist::new("toggle");
+        let d = nl.add_net("d");
+        let q = nl.add_net("q");
+        nl.add_gate(CellKind::Not, &[q], d);
+        nl.add_dff(d, q, Logic::Zero);
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn detects_multiple_drivers() {
+        let mut nl = Netlist::new("md");
+        let a = nl.add_net("a");
+        let y = nl.add_net("y");
+        nl.add_input(a);
+        nl.add_gate(CellKind::Buf, &[a], y);
+        nl.add_gate(CellKind::Not, &[a], y);
+        assert!(matches!(
+            nl.validate(),
+            Err(ValidateError::MultipleDrivers { .. })
+        ));
+    }
+
+    #[test]
+    fn fanout_map_lists_readers() {
+        let mut nl = Netlist::new("f");
+        let a = nl.add_net("a");
+        let y1 = nl.add_net("y1");
+        let y2 = nl.add_net("y2");
+        nl.add_gate(CellKind::Not, &[a], y1);
+        nl.add_gate(CellKind::Buf, &[a], y2);
+        let fanout = nl.fanout_map();
+        assert_eq!(fanout[a.0 as usize].len(), 2);
+        assert!(fanout[y1.0 as usize].is_empty());
+    }
+
+    #[test]
+    fn mem_read_port_participates_in_topo() {
+        let mut nl = Netlist::new("m");
+        let a0 = nl.add_net("a0");
+        let d0 = nl.add_net("d0");
+        let y = nl.add_net("y");
+        nl.add_input(a0);
+        let mem = nl.add_memory("rom", 2, 1);
+        nl.add_read_port(mem, vec![a0], vec![d0]);
+        nl.add_gate(CellKind::Not, &[d0], y);
+        let order = nl.comb_topo_order().unwrap();
+        assert_eq!(order.len(), 2);
+        assert!(matches!(order[0], CombNode::MemRead { .. }));
+    }
+}

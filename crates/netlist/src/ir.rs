@@ -1,0 +1,443 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use symsim_logic::Logic;
+
+use crate::cell::{CellKind, DFF_AREA};
+
+/// Index of a net within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NetId(pub u32);
+
+/// Index of a combinational gate within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct GateId(pub u32);
+
+/// Index of a D flip-flop within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DffId(pub u32);
+
+/// Index of a memory within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct MemoryId(pub u32);
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// Direction of a top-level port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PortDirection {
+    /// Driven by the testbench.
+    Input,
+    /// Observed by the testbench.
+    Output,
+}
+
+/// A combinational gate instance.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Gate {
+    /// The cell implementing this gate.
+    pub kind: CellKind,
+    /// Input nets, in pin order (see [`CellKind`] for pin conventions).
+    pub inputs: Vec<NetId>,
+    /// The single output net.
+    pub output: NetId,
+}
+
+/// A D flip-flop clocked by the implicit global clock.
+///
+/// The simulator samples `d` at the clock edge and drives `q` in the NBA
+/// event region, exactly like a non-blocking assignment in an `always
+/// @(posedge clk)` block.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dff {
+    /// Data input.
+    pub d: NetId,
+    /// Registered output.
+    pub q: NetId,
+    /// Power-on / reset value. `Logic::X` models an uninitialized register.
+    pub init: Logic,
+}
+
+/// A combinational read port: `data = mem[addr]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ReadPort {
+    /// Address bus, LSB first.
+    pub addr: Vec<NetId>,
+    /// Data bus driven by the memory, LSB first.
+    pub data: Vec<NetId>,
+}
+
+/// A synchronous write port, sampled at the clock edge when `we = 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WritePort {
+    /// Address bus, LSB first.
+    pub addr: Vec<NetId>,
+    /// Data bus, LSB first.
+    pub data: Vec<NetId>,
+    /// Write enable.
+    pub we: NetId,
+}
+
+/// A word-addressable memory array (program ROM or data RAM).
+///
+/// Memories sit outside the gate dichotomy: the paper's darkRiscV setup
+/// "only modeled the processor core and memory", and bespoke pruning applies
+/// to gates, not storage. Reads are combinational; writes are synchronous.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Memory {
+    /// Instance name (e.g. `"dmem"`).
+    pub name: String,
+    /// Number of words.
+    pub depth: usize,
+    /// Word width in bits.
+    pub width: usize,
+    /// Combinational read ports.
+    pub read_ports: Vec<ReadPort>,
+    /// Synchronous write ports.
+    pub write_ports: Vec<WritePort>,
+}
+
+/// A flat gate-level netlist: nets, gates, flip-flops, memories, and ports.
+///
+/// This is the design representation the symbolic simulator executes and the
+/// bespoke flow transforms. Invariants (checked by [`Netlist::validate`]):
+/// every net has at most one driver; gates have the arity of their cell;
+/// the combinational graph (gates + memory read ports) is acyclic.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Netlist {
+    /// Module name.
+    pub name: String,
+    net_names: Vec<String>,
+    gates: Vec<Gate>,
+    dffs: Vec<Dff>,
+    memories: Vec<Memory>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist named `name`.
+    pub fn new(name: impl Into<String>) -> Netlist {
+        Netlist {
+            name: name.into(),
+            ..Netlist::default()
+        }
+    }
+
+    /// Adds a net and returns its id.
+    pub fn add_net(&mut self, name: impl Into<String>) -> NetId {
+        let id = NetId(self.net_names.len() as u32);
+        self.net_names.push(name.into());
+        id
+    }
+
+    /// Adds a combinational gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the cell's arity.
+    pub fn add_gate(&mut self, kind: CellKind, inputs: &[NetId], output: NetId) -> GateId {
+        assert_eq!(
+            inputs.len(),
+            kind.arity(),
+            "cell {kind} expects {} inputs, got {}",
+            kind.arity(),
+            inputs.len()
+        );
+        let id = GateId(self.gates.len() as u32);
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output,
+        });
+        id
+    }
+
+    /// Adds a D flip-flop.
+    pub fn add_dff(&mut self, d: NetId, q: NetId, init: Logic) -> DffId {
+        let id = DffId(self.dffs.len() as u32);
+        self.dffs.push(Dff { d, q, init });
+        id
+    }
+
+    /// Adds a memory array (ports are attached with
+    /// [`Netlist::add_read_port`] / [`Netlist::add_write_port`]).
+    pub fn add_memory(&mut self, name: impl Into<String>, depth: usize, width: usize) -> MemoryId {
+        let id = MemoryId(self.memories.len() as u32);
+        self.memories.push(Memory {
+            name: name.into(),
+            depth,
+            width,
+            read_ports: Vec::new(),
+            write_ports: Vec::new(),
+        });
+        id
+    }
+
+    /// Attaches a combinational read port to memory `mem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the memory's word width.
+    pub fn add_read_port(&mut self, mem: MemoryId, addr: Vec<NetId>, data: Vec<NetId>) {
+        let m = &mut self.memories[mem.0 as usize];
+        assert_eq!(data.len(), m.width, "read data width mismatch on {}", m.name);
+        m.read_ports.push(ReadPort { addr, data });
+    }
+
+    /// Attaches a synchronous write port to memory `mem`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the memory's word width.
+    pub fn add_write_port(&mut self, mem: MemoryId, addr: Vec<NetId>, data: Vec<NetId>, we: NetId) {
+        let m = &mut self.memories[mem.0 as usize];
+        assert_eq!(data.len(), m.width, "write data width mismatch on {}", m.name);
+        m.write_ports.push(WritePort { addr, data, we });
+    }
+
+    /// Declares `net` as a top-level input.
+    pub fn add_input(&mut self, net: NetId) {
+        self.inputs.push(net);
+    }
+
+    /// Declares `net` as a top-level output.
+    pub fn add_output(&mut self, net: NetId) {
+        self.outputs.push(net);
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// Number of combinational gates.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of flip-flops.
+    pub fn dff_count(&self) -> usize {
+        self.dffs.len()
+    }
+
+    /// Total "gate count" in the paper's sense: combinational cells plus
+    /// sequential cells (a synthesized netlist counts DFFs as gates too).
+    pub fn total_gate_count(&self) -> usize {
+        self.gates.len() + self.dffs.len()
+    }
+
+    /// Total area in NAND2-equivalent units.
+    pub fn area(&self) -> f64 {
+        self.gates.iter().map(|g| g.kind.area()).sum::<f64>() + self.dffs.len() as f64 * DFF_AREA
+    }
+
+    /// The name of net `id`.
+    pub fn net_name(&self, id: NetId) -> &str {
+        &self.net_names[id.0 as usize]
+    }
+
+    /// Looks a net up by name (linear scan cached by callers that need speed).
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.net_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| NetId(i as u32))
+    }
+
+    /// A name → id map for bulk lookups.
+    pub fn net_name_map(&self) -> HashMap<&str, NetId> {
+        self.net_names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), NetId(i as u32)))
+            .collect()
+    }
+
+    /// The gates, indexable by [`GateId`].
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The gate with id `id`.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.0 as usize]
+    }
+
+    /// The flip-flops, indexable by [`DffId`].
+    pub fn dffs(&self) -> &[Dff] {
+        &self.dffs
+    }
+
+    /// The memories, indexable by [`MemoryId`].
+    pub fn memories(&self) -> &[Memory] {
+        &self.memories
+    }
+
+    /// Top-level input nets.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Top-level output nets.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Iterates over `(GateId, &Gate)`.
+    pub fn iter_gates(&self) -> impl Iterator<Item = (GateId, &Gate)> {
+        self.gates
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GateId(i as u32), g))
+    }
+
+    /// Iterates over `(DffId, &Dff)`.
+    pub fn iter_dffs(&self) -> impl Iterator<Item = (DffId, &Dff)> {
+        self.dffs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DffId(i as u32), d))
+    }
+
+    /// Replaces gate `id` wholesale (used by the bespoke rewriter).
+    pub fn replace_gate(&mut self, id: GateId, gate: Gate) {
+        self.gates[id.0 as usize] = gate;
+    }
+
+    /// Removes gates and flip-flops for which the predicates return false,
+    /// keeping net ids stable. Returns `(gates_removed, dffs_removed)`.
+    pub fn retain(
+        &mut self,
+        mut keep_gate: impl FnMut(GateId, &Gate) -> bool,
+        mut keep_dff: impl FnMut(DffId, &Dff) -> bool,
+    ) -> (usize, usize) {
+        let before_g = self.gates.len();
+        let mut i = 0u32;
+        self.gates.retain(|g| {
+            let keep = keep_gate(GateId(i), g);
+            i += 1;
+            keep
+        });
+        let before_d = self.dffs.len();
+        let mut j = 0u32;
+        self.dffs.retain(|d| {
+            let keep = keep_dff(DffId(j), d);
+            j += 1;
+            keep
+        });
+        (before_g - self.gates.len(), before_d - self.dffs.len())
+    }
+
+    /// The driver of each net, if any: gate output, DFF `q`, memory read
+    /// data, or primary input.
+    pub fn drivers(&self) -> Vec<Option<Driver>> {
+        let mut out = vec![None; self.net_count()];
+        for (i, g) in self.gates.iter().enumerate() {
+            out[g.output.0 as usize] = Some(Driver::Gate(GateId(i as u32)));
+        }
+        for (i, d) in self.dffs.iter().enumerate() {
+            out[d.q.0 as usize] = Some(Driver::Dff(DffId(i as u32)));
+        }
+        for (mi, m) in self.memories.iter().enumerate() {
+            for (pi, rp) in m.read_ports.iter().enumerate() {
+                for &n in &rp.data {
+                    out[n.0 as usize] = Some(Driver::MemoryRead {
+                        mem: MemoryId(mi as u32),
+                        port: pi,
+                    });
+                }
+            }
+        }
+        for &n in &self.inputs {
+            out[n.0 as usize] = Some(Driver::Input);
+        }
+        out
+    }
+}
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Driver {
+    /// A primary input pin.
+    Input,
+    /// The output of a combinational gate.
+    Gate(GateId),
+    /// The `q` output of a flip-flop.
+    Dff(DffId),
+    /// A memory read-data bit.
+    MemoryRead {
+        /// Which memory.
+        mem: MemoryId,
+        /// Which read port of that memory.
+        port: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_small_netlist() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let y = nl.add_net("y");
+        nl.add_input(a);
+        nl.add_input(b);
+        nl.add_output(y);
+        nl.add_gate(CellKind::Nand2, &[a, b], y);
+        assert_eq!(nl.gate_count(), 1);
+        assert_eq!(nl.total_gate_count(), 1);
+        assert_eq!(nl.find_net("y"), Some(y));
+        assert_eq!(nl.net_name(y), "y");
+        let drivers = nl.drivers();
+        assert_eq!(drivers[y.0 as usize], Some(Driver::Gate(GateId(0))));
+        assert_eq!(drivers[a.0 as usize], Some(Driver::Input));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 inputs")]
+    fn arity_checked() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        let y = nl.add_net("y");
+        nl.add_gate(CellKind::And2, &[a], y);
+    }
+
+    #[test]
+    fn area_counts_dffs() {
+        let mut nl = Netlist::new("t");
+        let d = nl.add_net("d");
+        let q = nl.add_net("q");
+        nl.add_dff(d, q, Logic::Zero);
+        assert!(nl.area() > 4.0);
+        assert_eq!(nl.dff_count(), 1);
+        assert_eq!(nl.total_gate_count(), 1);
+    }
+
+    #[test]
+    fn retain_removes_gates() {
+        let mut nl = Netlist::new("t");
+        let a = nl.add_net("a");
+        let y1 = nl.add_net("y1");
+        let y2 = nl.add_net("y2");
+        nl.add_gate(CellKind::Not, &[a], y1);
+        nl.add_gate(CellKind::Buf, &[a], y2);
+        let (rg, rd) = nl.retain(|_, g| g.kind != CellKind::Buf, |_, _| true);
+        assert_eq!((rg, rd), (1, 0));
+        assert_eq!(nl.gate_count(), 1);
+    }
+}

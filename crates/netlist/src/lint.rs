@@ -1,0 +1,192 @@
+//! Structural lint checks beyond hard validation: undriven nets with
+//! readers, dangling logic, constant-fed sequential elements — the
+//! warnings a synthesis tool would print about a netlist handed to the
+//! co-analysis flow.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::ir::{Driver, NetId, Netlist};
+use crate::CellKind;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lint {
+    /// A gate/flip-flop/memory reads a net nothing drives: it will be `X`
+    /// forever (often a missing testbench connection).
+    UndrivenNetRead {
+        /// The undriven net.
+        net: NetId,
+        /// Its name.
+        name: String,
+        /// How many pins read it.
+        readers: usize,
+    },
+    /// A gate's output drives nothing and is not a port: dead logic.
+    DanglingGateOutput {
+        /// The dangling net.
+        net: NetId,
+        /// Its name.
+        name: String,
+    },
+    /// A flip-flop whose `d` is a constant cell: it settles after one cycle
+    /// and could be a tie-off instead.
+    ConstantFedDff {
+        /// The flip-flop's output net.
+        q: NetId,
+        /// Its name.
+        name: String,
+    },
+    /// A primary input no logic reads.
+    UnusedInput {
+        /// The input net.
+        net: NetId,
+        /// Its name.
+        name: String,
+    },
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lint::UndrivenNetRead { name, readers, .. } => {
+                write!(f, "undriven net \"{name}\" is read by {readers} pin(s)")
+            }
+            Lint::DanglingGateOutput { name, .. } => {
+                write!(f, "gate output \"{name}\" drives nothing")
+            }
+            Lint::ConstantFedDff { name, .. } => {
+                write!(f, "flip-flop \"{name}\" has a constant data input")
+            }
+            Lint::UnusedInput { name, .. } => {
+                write!(f, "primary input \"{name}\" is never read")
+            }
+        }
+    }
+}
+
+/// Runs all lint checks. An empty result means the netlist is clean by
+/// these heuristics (hard errors are [`Netlist::validate`]'s job).
+pub fn lint(netlist: &Netlist) -> Vec<Lint> {
+    let drivers = netlist.drivers();
+    let fanout = netlist.fanout_map();
+    let outputs: HashSet<NetId> = netlist.outputs().iter().copied().collect();
+
+    // readers per net: comb fanout + dff d + memory write pins
+    let mut readers = vec![0usize; netlist.net_count()];
+    for (i, f) in fanout.iter().enumerate() {
+        readers[i] += f.len();
+    }
+    for d in netlist.dffs() {
+        readers[d.d.0 as usize] += 1;
+    }
+    for m in netlist.memories() {
+        for wp in &m.write_ports {
+            for &n in wp.addr.iter().chain(&wp.data) {
+                readers[n.0 as usize] += 1;
+            }
+            readers[wp.we.0 as usize] += 1;
+        }
+    }
+
+    let mut findings = Vec::new();
+    for i in 0..netlist.net_count() {
+        let net = NetId(i as u32);
+        let name = netlist.net_name(net).to_string();
+        match drivers[i] {
+            None if readers[i] > 0 => findings.push(Lint::UndrivenNetRead {
+                net,
+                name,
+                readers: readers[i],
+            }),
+            Some(Driver::Gate(_)) if readers[i] == 0 && !outputs.contains(&net) => {
+                findings.push(Lint::DanglingGateOutput { net, name });
+            }
+            Some(Driver::Input) if readers[i] == 0 => {
+                findings.push(Lint::UnusedInput { net, name });
+            }
+            _ => {}
+        }
+    }
+    for d in netlist.dffs() {
+        if let Some(Driver::Gate(g)) = drivers[d.d.0 as usize] {
+            if matches!(
+                netlist.gate(g).kind,
+                CellKind::Const0 | CellKind::Const1
+            ) {
+                findings.push(Lint::ConstantFedDff {
+                    q: d.q,
+                    name: netlist.net_name(d.q).to_string(),
+                });
+            }
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RtlBuilder;
+    use symsim_logic::Logic;
+
+    #[test]
+    fn clean_design_has_no_findings() {
+        let mut b = RtlBuilder::new("clean");
+        let a = b.input("a", 2);
+        let y = b.not(&a);
+        b.output("y", &y);
+        let nl = b.finish().unwrap();
+        assert!(lint(&nl).is_empty(), "{:?}", lint(&nl));
+    }
+
+    #[test]
+    fn finds_each_class() {
+        let mut nl = Netlist::new("dirty");
+        // undriven read
+        let floating = nl.add_net("floating");
+        let y1 = nl.add_net("y1");
+        nl.add_gate(CellKind::Not, &[floating], y1);
+        nl.add_output(y1);
+        // dangling output
+        let dangle = nl.add_net("dangle");
+        nl.add_gate(CellKind::Not, &[y1], dangle);
+        // constant-fed dff
+        let tie = nl.add_net("tie");
+        nl.add_gate(CellKind::Const1, &[], tie);
+        let q = nl.add_net("q");
+        nl.add_dff(tie, q, Logic::Zero);
+        nl.add_output(q);
+        // unused input
+        let unused = nl.add_net("unused_in");
+        nl.add_input(unused);
+
+        let findings = lint(&nl);
+        assert!(findings.iter().any(|l| matches!(l, Lint::UndrivenNetRead { readers: 1, .. })));
+        assert!(findings.iter().any(|l| matches!(l, Lint::DanglingGateOutput { .. })));
+        assert!(findings.iter().any(|l| matches!(l, Lint::ConstantFedDff { .. })));
+        assert!(findings.iter().any(|l| matches!(l, Lint::UnusedInput { .. })));
+        for finding in &findings {
+            assert!(!finding.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn cpu_style_builder_output_is_clean_of_undriven_reads() {
+        let mut b = RtlBuilder::new("c");
+        let r = b.reg("cnt", 4, 0);
+        let q = r.q.clone();
+        let one = b.const_word(1, 4);
+        let next = b.add(&q, &one);
+        b.drive_reg(r, &next);
+        b.output("q", &q);
+        let nl = b.finish().unwrap();
+        let findings = lint(&nl);
+        assert!(
+            !findings
+                .iter()
+                .any(|l| matches!(l, Lint::UndrivenNetRead { .. })),
+            "{findings:?}"
+        );
+    }
+}

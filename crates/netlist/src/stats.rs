@@ -1,0 +1,100 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cell::CellKind;
+use crate::ir::Netlist;
+
+/// Summary statistics of a netlist, as reported in the paper's Table 2
+/// (target platform characterization) and used as the `total gate count`
+/// baselines of Table 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct NetlistStats {
+    /// Module name.
+    pub name: String,
+    /// Combinational cell count.
+    pub comb_gates: usize,
+    /// Sequential cell (DFF) count.
+    pub dffs: usize,
+    /// Combinational + sequential cells ("total gate count", tgc).
+    pub total_gates: usize,
+    /// Net count.
+    pub nets: usize,
+    /// Primary inputs.
+    pub inputs: usize,
+    /// Primary outputs.
+    pub outputs: usize,
+    /// Memory arrays.
+    pub memories: usize,
+    /// Total area in NAND2-equivalent units.
+    pub area: f64,
+    /// Histogram of combinational cells by kind.
+    pub by_kind: BTreeMap<CellKind, usize>,
+}
+
+impl NetlistStats {
+    /// Computes statistics for `netlist`.
+    pub fn of(netlist: &Netlist) -> NetlistStats {
+        let mut by_kind = BTreeMap::new();
+        for g in netlist.gates() {
+            *by_kind.entry(g.kind).or_insert(0) += 1;
+        }
+        NetlistStats {
+            name: netlist.name.clone(),
+            comb_gates: netlist.gate_count(),
+            dffs: netlist.dff_count(),
+            total_gates: netlist.total_gate_count(),
+            nets: netlist.net_count(),
+            inputs: netlist.inputs().len(),
+            outputs: netlist.outputs().len(),
+            memories: netlist.memories().len(),
+            area: netlist.area(),
+            by_kind,
+        }
+    }
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} gates ({} comb + {} dff), {} nets, {} in / {} out, {} mem, area {:.1}",
+            self.name,
+            self.total_gates,
+            self.comb_gates,
+            self.dffs,
+            self.nets,
+            self.inputs,
+            self.outputs,
+            self.memories,
+            self.area
+        )?;
+        for (kind, count) in &self.by_kind {
+            writeln!(f, "  {kind:>6}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::RtlBuilder;
+
+    #[test]
+    fn stats_of_adder() {
+        let mut b = RtlBuilder::new("a");
+        let x = b.input("x", 4);
+        let y = b.input("y", 4);
+        let s = b.add(&x, &y);
+        b.output("s", &s);
+        let nl = b.finish().unwrap();
+        let st = NetlistStats::of(&nl);
+        assert_eq!(st.total_gates, st.comb_gates + st.dffs);
+        assert_eq!(st.inputs, 8);
+        assert_eq!(st.outputs, 4);
+        assert!(st.by_kind[&CellKind::Xor2] >= 8);
+        assert!(st.to_string().contains("gates"));
+    }
+}

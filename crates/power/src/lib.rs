@@ -1,0 +1,342 @@
+//! # symsim-power
+//!
+//! The application-specific power analyses prior work builds on symbolic
+//! hardware-software co-analysis (paper §1):
+//!
+//! * **peak power and energy requirements** (Cherupalli et al., TOCS'17) —
+//!   because co-analysis covers *every* execution for *every* input, the
+//!   maximum per-cycle switching activity over all explored paths is an
+//!   input-independent peak-power bound, and the totals bound energy;
+//! * **module-oblivious power gating** (HPCA'17) — per-gate toggle duty
+//!   identifies gates that are exercisable yet almost always idle:
+//!   candidates for gating even though they cannot be pruned outright;
+//! * **dynamic-timing-slack voltage scaling** (ISCA'16 / DAC'18) — if the
+//!   application never exercises the deepest logic levels of the design,
+//!   the unexercised depth is timing headroom for voltage overscaling.
+//!
+//! The entry point is [`PowerReport::from_report`], fed by a
+//! [`symsim_core::CoAnalysisReport`] produced with
+//! `CoAnalysisConfig::activity_weights = Some(switching_weights(&netlist))`.
+//!
+//! Energies are in abstract *switching-energy units* (driver area + load);
+//! scale by your library's per-unit energy to get joules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use symsim_core::CoAnalysisReport;
+use symsim_netlist::{CombNode, Driver, GateId, Netlist};
+use symsim_sim::{ActivityStats, ToggleProfile};
+
+/// Switching energy of a D flip-flop output in NAND2-equivalent units.
+const DFF_WEIGHT: f64 = 4.67;
+/// Switching energy attributed to a primary input or memory data pin.
+const PIN_WEIGHT: f64 = 0.5;
+/// Load added per fanout connection.
+const LOAD_WEIGHT: f64 = 0.25;
+
+/// Per-net switching weights derived from the netlist: the driver cell's
+/// area (its internal switching energy) plus a load term per fanout.
+///
+/// # Example
+///
+/// ```
+/// use symsim_netlist::RtlBuilder;
+///
+/// let mut b = RtlBuilder::new("d");
+/// let a = b.input("a", 2);
+/// let y = b.not(&a);
+/// b.output("y", &y);
+/// let nl = b.finish().expect("valid");
+/// let w = symsim_power::switching_weights(&nl);
+/// assert_eq!(w.len(), nl.net_count());
+/// assert!(w.iter().all(|&x| x > 0.0));
+/// ```
+pub fn switching_weights(netlist: &Netlist) -> Vec<f64> {
+    let drivers = netlist.drivers();
+    let fanout = netlist.fanout_map();
+    (0..netlist.net_count())
+        .map(|i| {
+            let base = match drivers[i] {
+                Some(Driver::Gate(g)) => netlist.gate(g).kind.area().max(0.1),
+                Some(Driver::Dff(_)) => DFF_WEIGHT,
+                Some(Driver::MemoryRead { .. }) | Some(Driver::Input) | None => PIN_WEIGHT,
+            };
+            base + LOAD_WEIGHT * fanout[i].len() as f64
+        })
+        .collect()
+}
+
+/// Application-specific power/energy bounds (TOCS'17 analysis).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    /// Input-independent peak per-cycle switching energy over all paths.
+    pub peak_cycle_energy: f64,
+    /// Average per-cycle switching energy across all simulated cycles.
+    pub avg_cycle_energy: f64,
+    /// Total switching energy over all simulated cycles (an energy bound
+    /// proportional to the application's execution length).
+    pub total_energy: f64,
+    /// Cycles observed.
+    pub cycles: u64,
+}
+
+impl PowerReport {
+    /// Extracts the power bounds from a co-analysis report.
+    ///
+    /// Returns `None` if the analysis ran without activity weights.
+    pub fn from_report(report: &CoAnalysisReport) -> Option<PowerReport> {
+        let a = report.activity.as_ref()?;
+        Some(PowerReport {
+            peak_cycle_energy: a.peak_cycle_energy,
+            avg_cycle_energy: a.avg_cycle_energy(),
+            total_energy: a.total_energy,
+            cycles: a.cycles,
+        })
+    }
+
+    /// Peak-to-average ratio — how bursty the application's power draw is.
+    pub fn peak_to_avg(&self) -> f64 {
+        if self.avg_cycle_energy == 0.0 {
+            0.0
+        } else {
+            self.peak_cycle_energy / self.avg_cycle_energy
+        }
+    }
+}
+
+impl std::fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "peak {:.1} / avg {:.1} energy units per cycle (x{:.2}), total {:.0} over {} cycles",
+            self.peak_cycle_energy,
+            self.avg_cycle_energy,
+            self.peak_to_avg(),
+            self.total_energy,
+            self.cycles
+        )
+    }
+}
+
+/// A power-gating candidate: an exercisable gate that toggles rarely.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GatingCandidate {
+    /// The gate.
+    pub gate: GateId,
+    /// Fraction of cycles in which its output toggled.
+    pub duty: f64,
+    /// Its cell area (the gating payoff).
+    pub area: f64,
+}
+
+/// Gates that co-analysis marks exercisable but whose outputs toggled in
+/// fewer than `duty_threshold` of all simulated cycles — the
+/// module-oblivious power-gating candidates of HPCA'17. (Gates that never
+/// toggle at all belong to bespoke pruning instead and are excluded.)
+pub fn gating_candidates(
+    netlist: &Netlist,
+    profile: &ToggleProfile,
+    activity: &ActivityStats,
+    duty_threshold: f64,
+) -> Vec<GatingCandidate> {
+    let mut out: Vec<GatingCandidate> = netlist
+        .iter_gates()
+        .filter(|(_, g)| profile.is_toggled(g.output))
+        .map(|(id, g)| GatingCandidate {
+            gate: id,
+            duty: activity.duty(g.output),
+            area: g.kind.area(),
+        })
+        .filter(|c| c.duty > 0.0 && c.duty < duty_threshold)
+        .collect();
+    out.sort_by(|a, b| a.duty.partial_cmp(&b.duty).expect("duty is finite"));
+    out
+}
+
+/// Application-specific timing-slack estimate (ISCA'16 / DAC'18): logic
+/// depth is a first-order proxy for path delay, so unexercised depth is
+/// voltage-overscaling headroom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimingSlack {
+    /// Deepest combinational level in the full design.
+    pub design_depth: u32,
+    /// Deepest level among gates the application can exercise.
+    pub exercised_depth: u32,
+}
+
+impl TimingSlack {
+    /// Levels of slack the application never uses.
+    pub fn slack_levels(&self) -> u32 {
+        self.design_depth.saturating_sub(self.exercised_depth)
+    }
+
+    /// Fraction of the critical depth left unexercised (0.0 = none).
+    pub fn headroom(&self) -> f64 {
+        if self.design_depth == 0 {
+            0.0
+        } else {
+            self.slack_levels() as f64 / self.design_depth as f64
+        }
+    }
+}
+
+/// Computes design vs exercised logic depth from a toggle profile.
+///
+/// The design depth is the longest combinational chain anywhere; the
+/// exercised depth is the longest chain consisting *entirely* of gates the
+/// application exercises — an unexercised (constant-output) gate breaks
+/// the chain, because no transition propagates through it, so the path it
+/// anchors can never be timing-critical for this application.
+///
+/// # Panics
+///
+/// Panics if the netlist has a combinational cycle.
+pub fn timing_slack(netlist: &Netlist, profile: &ToggleProfile) -> TimingSlack {
+    let order = netlist
+        .comb_topo_order()
+        .expect("netlist has a combinational cycle");
+    let nodes = netlist.comb_nodes();
+    let index_of: std::collections::HashMap<CombNode, usize> =
+        nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let drivers = netlist.drivers();
+    let mut level = vec![0u32; nodes.len()]; // full-design chain length
+    let mut active = vec![0u32; nodes.len()]; // exercised-only chain length
+    let mut design_depth = 0;
+    let mut exercised_depth = 0;
+    for node in order {
+        let idx = index_of[&node];
+        let (ins, outs): (Vec<_>, Vec<_>) = match node {
+            CombNode::Gate(g) => {
+                let gate = netlist.gate(g);
+                (gate.inputs.clone(), vec![gate.output])
+            }
+            CombNode::MemRead { mem, port } => {
+                let rp = &netlist.memories()[mem.0 as usize].read_ports[port];
+                (rp.addr.clone(), rp.data.clone())
+            }
+        };
+        let mut l = 0;
+        let mut a = 0;
+        for pin in ins {
+            let producer = match drivers[pin.0 as usize] {
+                Some(Driver::Gate(g)) => index_of.get(&CombNode::Gate(g)),
+                Some(Driver::MemoryRead { mem, port }) => {
+                    index_of.get(&CombNode::MemRead { mem, port })
+                }
+                _ => None,
+            };
+            if let Some(&p) = producer {
+                l = l.max(level[p] + 1);
+                a = a.max(active[p] + 1);
+            }
+        }
+        let exercised = outs.iter().any(|&o| profile.is_toggled(o));
+        level[idx] = l;
+        active[idx] = if exercised { a } else { 0 };
+        design_depth = design_depth.max(l);
+        if exercised {
+            exercised_depth = exercised_depth.max(active[idx]);
+        }
+    }
+    TimingSlack {
+        design_depth,
+        exercised_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symsim_logic::Value;
+    use symsim_netlist::RtlBuilder;
+    use symsim_sim::{SimConfig, Simulator};
+
+    /// A design with a shallow exercised half and a deep idle half.
+    fn two_depth_design() -> Netlist {
+        let mut b = RtlBuilder::new("depths");
+        let a = b.input("a", 4);
+        // shallow: one inverter layer
+        let shallow = b.not(&a);
+        b.output("shallow", &shallow);
+        // deep: a multiplier cone fed by constants (never toggles)
+        let c0 = b.const_word(0, 4);
+        let deep = b.mul(&c0, &c0);
+        b.output("deep", &deep);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn weights_cover_every_net() {
+        let nl = two_depth_design();
+        let w = switching_weights(&nl);
+        assert_eq!(w.len(), nl.net_count());
+        assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn slack_reflects_unexercised_depth() {
+        let nl = two_depth_design();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        let nets: Vec<_> = (0..4)
+            .map(|i| nl.find_net(&format!("a[{i}]")).expect("net"))
+            .collect();
+        sim.poke_bus(&nets, &symsim_logic::Word::from_u64(0, 4));
+        sim.settle();
+        sim.arm_toggle_observer();
+        sim.poke_bus(&nets, &symsim_logic::Word::from_u64(0xf, 4));
+        sim.settle();
+        let profile = sim.take_toggle_profile().expect("armed");
+        let slack = timing_slack(&nl, &profile);
+        assert!(
+            slack.design_depth > slack.exercised_depth,
+            "{slack:?} should show slack from the idle multiplier"
+        );
+        assert!(slack.headroom() > 0.3, "{slack:?}");
+    }
+
+    #[test]
+    fn gating_candidates_sorted_by_duty() {
+        let mut b = RtlBuilder::new("g");
+        let a = b.input("a", 1);
+        let r = b.reg("divider", 2, 0);
+        let q = r.q.clone();
+        let one2 = b.const_word(1, 2);
+        let nxt = b.add(&q, &one2);
+        b.drive_reg(r, &nxt);
+        // y toggles every cycle; z toggles every other cycle
+        let y = b.xor1(a.bit(0), q.bit(0));
+        let z = b.xor1(a.bit(0), q.bit(1));
+        let outs = symsim_netlist::Bus::from_nets(vec![y, z]);
+        b.output("o", &outs);
+        let nl = b.finish().expect("valid");
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        sim.poke(nl.find_net("a").expect("a"), Value::ZERO);
+        sim.settle();
+        sim.arm_toggle_observer();
+        sim.attach_activity_observer(switching_weights(&nl));
+        for _ in 0..32 {
+            sim.step_cycle();
+        }
+        let profile = sim.take_toggle_profile().expect("armed");
+        let activity = sim.take_activity().expect("attached");
+        let candidates = gating_candidates(&nl, &profile, &activity, 0.9);
+        assert!(!candidates.is_empty());
+        for pair in candidates.windows(2) {
+            assert!(pair[0].duty <= pair[1].duty, "sorted ascending by duty");
+        }
+    }
+
+    #[test]
+    fn power_report_math() {
+        let report = PowerReport {
+            peak_cycle_energy: 10.0,
+            avg_cycle_energy: 2.5,
+            total_energy: 250.0,
+            cycles: 100,
+        };
+        assert_eq!(report.peak_to_avg(), 4.0);
+        assert!(report.to_string().contains("x4.00"));
+    }
+}

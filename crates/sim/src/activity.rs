@@ -1,0 +1,136 @@
+use serde::{Deserialize, Serialize};
+use symsim_netlist::NetId;
+
+/// Per-cycle switching-activity statistics, the raw material of the
+/// application-specific peak-power and energy analyses built on
+/// co-analysis (Cherupalli et al., TOCS'17; paper §1).
+///
+/// Each net carries a *switching weight* (typically the driver cell's
+/// switching energy plus load); every observed value change adds the net's
+/// weight to the current cycle's activity. At each cycle boundary the
+/// running peak, total, and per-net toggle counts update.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActivityStats {
+    weights: Vec<f64>,
+    current: f64,
+    /// Highest single-cycle weighted activity observed.
+    pub peak_cycle_energy: f64,
+    /// Cycle index (of the owning simulator) at which the peak occurred.
+    pub peak_cycle: u64,
+    /// Sum of weighted activity over all observed cycles.
+    pub total_energy: f64,
+    /// Number of cycle boundaries observed.
+    pub cycles: u64,
+    /// Unweighted toggle count per net.
+    pub net_toggles: Vec<u64>,
+}
+
+impl ActivityStats {
+    /// Creates an observer with one switching weight per net.
+    pub fn new(weights: Vec<f64>) -> ActivityStats {
+        let nets = weights.len();
+        ActivityStats {
+            weights,
+            current: 0.0,
+            peak_cycle_energy: 0.0,
+            peak_cycle: 0,
+            total_energy: 0.0,
+            cycles: 0,
+            net_toggles: vec![0; nets],
+        }
+    }
+
+    /// Records a value change on `net`.
+    #[inline]
+    pub(crate) fn record(&mut self, net: NetId) {
+        self.current += self.weights[net.0 as usize];
+        self.net_toggles[net.0 as usize] += 1;
+    }
+
+    /// Closes the current cycle (called from the Symbolic region).
+    pub(crate) fn end_cycle(&mut self, cycle: u64) {
+        if self.current > self.peak_cycle_energy {
+            self.peak_cycle_energy = self.current;
+            self.peak_cycle = cycle;
+        }
+        self.total_energy += self.current;
+        self.current = 0.0;
+        self.cycles += 1;
+    }
+
+    /// Average weighted activity per cycle.
+    pub fn avg_cycle_energy(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_energy / self.cycles as f64
+        }
+    }
+
+    /// Merges another path's statistics: peaks take the maximum (the
+    /// input-independent peak bound is the max over all execution paths),
+    /// totals and toggle counts accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the observers come from different designs.
+    pub fn merge(&mut self, other: &ActivityStats) {
+        assert_eq!(self.weights.len(), other.weights.len(), "design mismatch");
+        if other.peak_cycle_energy > self.peak_cycle_energy {
+            self.peak_cycle_energy = other.peak_cycle_energy;
+            self.peak_cycle = other.peak_cycle;
+        }
+        self.total_energy += other.total_energy;
+        self.cycles += other.cycles;
+        for (a, b) in self.net_toggles.iter_mut().zip(&other.net_toggles) {
+            *a += b;
+        }
+    }
+
+    /// The fraction of observed cycles in which `net` toggled (its duty).
+    pub fn duty(&self, net: NetId) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.net_toggles[net.0 as usize] as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_and_totals() {
+        let mut a = ActivityStats::new(vec![1.0, 2.0]);
+        a.record(NetId(0));
+        a.record(NetId(1));
+        a.end_cycle(0); // 3.0
+        a.record(NetId(0));
+        a.end_cycle(1); // 1.0
+        assert_eq!(a.peak_cycle_energy, 3.0);
+        assert_eq!(a.peak_cycle, 0);
+        assert_eq!(a.total_energy, 4.0);
+        assert_eq!(a.avg_cycle_energy(), 2.0);
+        assert_eq!(a.net_toggles, vec![2, 1]);
+        assert_eq!(a.duty(NetId(0)), 1.0);
+        assert_eq!(a.duty(NetId(1)), 0.5);
+    }
+
+    #[test]
+    fn merge_takes_max_peak() {
+        let mut a = ActivityStats::new(vec![1.0]);
+        a.record(NetId(0));
+        a.end_cycle(0);
+        let mut b = ActivityStats::new(vec![1.0]);
+        b.record(NetId(0));
+        b.record(NetId(0));
+        b.end_cycle(7);
+        a.merge(&b);
+        assert_eq!(a.peak_cycle_energy, 2.0);
+        assert_eq!(a.peak_cycle, 7);
+        assert_eq!(a.cycles, 2);
+        assert_eq!(a.net_toggles[0], 3);
+    }
+}

@@ -1,0 +1,1042 @@
+use std::collections::HashMap;
+
+use symsim_logic::{ops, PropagationPolicy, Value, Word};
+use symsim_netlist::{CombNode, Driver, NetId, Netlist};
+
+use crate::activity::ActivityStats;
+use crate::observer::ToggleProfile;
+use crate::state::{MemArray, SimState};
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// How unknowns propagate through gates (paper Fig. 4).
+    pub policy: PropagationPolicy,
+    /// Maximum number of unknown address bits enumerated on a memory
+    /// access before the whole array is conservatively merged.
+    pub max_addr_enum_bits: u32,
+    /// Record the evaluation-event trace (used by the baseline-equivalence
+    /// regression check of paper §5.0.1).
+    pub trace_events: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            policy: PropagationPolicy::Anonymous,
+            max_addr_enum_bits: 10,
+            trace_events: false,
+        }
+    }
+}
+
+/// A `$monitor_x` registration: halt when any of `signals` is unknown,
+/// optionally only while `qualifier` is asserted.
+///
+/// The qualifier models "at a PC-changing instruction": for the evaluation
+/// CPUs it is the `is_branch` decode output, and `signals` are the
+/// branch-condition nets (NZCV flags for openMSP430, comparator outputs for
+/// bm32/dr5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MonitorSpec {
+    /// Only check while this net is 1 (an unknown qualifier also halts).
+    pub qualifier: Option<NetId>,
+    /// The control-flow signals to watch for `X`.
+    pub signals: Vec<NetId>,
+}
+
+/// Why the simulation stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HaltReason {
+    /// A monitored control-flow signal went unknown (Symbolic region halt).
+    MonitorX {
+        /// The monitored nets that were unknown at the halt point.
+        signals: Vec<NetId>,
+    },
+    /// The finish net was asserted (the application ran to completion).
+    Finished,
+    /// The cycle budget was exhausted without halting.
+    MaxCycles,
+}
+
+/// The five event regions of a time step (paper Fig. 2). `Symbolic` is the
+/// region this work adds to iverilog; it executes strictly last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// Gate evaluations and value propagation.
+    Active,
+    /// `#0`-delayed events (always empty in this cycle-accurate model).
+    Inactive,
+    /// Non-blocking assignments: flip-flop and memory commits.
+    Nba,
+    /// `$monitor`-style observation (toggle profile, waveforms).
+    Monitor,
+    /// The added region: `$monitor_x` checks, halt, save/restore.
+    Symbolic,
+}
+
+/// Execution order of the regions within one time step.
+pub(crate) const REGION_ORDER: [Region; 5] = [
+    Region::Nba,
+    Region::Active,
+    Region::Inactive,
+    Region::Monitor,
+    Region::Symbolic,
+];
+
+/// The event-driven gate-level simulator.
+///
+/// One instance simulates one design; [`Simulator::load_state`] re-targets
+/// it to any previously saved [`SimState`], which is how path exploration
+/// forks execution without recompiling or restarting (paper §2, §3).
+#[derive(Debug)]
+pub struct Simulator<'n> {
+    netlist: &'n Netlist,
+    config: SimConfig,
+    // compiled structure
+    nodes: Vec<CombNode>,
+    level: Vec<u32>,
+    max_level: u32,
+    fanout: Vec<Vec<u32>>,       // net -> node indices reading it
+    driver_node: Vec<Option<u32>>, // net -> producing comb node
+    mem_readers: Vec<Vec<u32>>,  // memory -> its read-port node indices
+    // mutable simulation state
+    values: Vec<Value>,
+    mems: Vec<MemArray>,
+    cycle: u64,
+    // scheduling
+    dirty: Vec<Vec<u32>>, // buckets by level
+    in_queue: Vec<bool>,
+    // symbolic extensions
+    forces: HashMap<u32, Value>,
+    monitors: Vec<MonitorSpec>,
+    finish_net: Option<NetId>,
+    profile: Option<ToggleProfile>,
+    activity: Option<ActivityStats>,
+    event_trace: Vec<(u64, u32)>,
+    region_trace: Vec<(u64, Region)>,
+    trace_regions: bool,
+}
+
+impl<'n> Simulator<'n> {
+    /// Compiles `netlist` for simulation. All nets power up `X`, flip-flops
+    /// take their `init` values, memories are all-`X`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has a combinational cycle (run
+    /// [`Netlist::validate`] first for a `Result`).
+    pub fn new(netlist: &'n Netlist, config: SimConfig) -> Simulator<'n> {
+        let order = netlist
+            .comb_topo_order()
+            .expect("netlist has a combinational cycle");
+        // stable node indexing: use comb_nodes() order, levels via topo order
+        let nodes = netlist.comb_nodes();
+        let index_of: HashMap<CombNode, u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (n, i as u32))
+            .collect();
+
+        let drivers = netlist.drivers();
+        let driver_node: Vec<Option<u32>> = drivers
+            .iter()
+            .map(|d| match d {
+                Some(Driver::Gate(g)) => index_of.get(&CombNode::Gate(*g)).copied(),
+                Some(Driver::MemoryRead { mem, port }) => index_of
+                    .get(&CombNode::MemRead {
+                        mem: *mem,
+                        port: *port,
+                    })
+                    .copied(),
+                _ => None,
+            })
+            .collect();
+
+        let mut level = vec![0u32; nodes.len()];
+        let mut max_level = 0;
+        for &node in &order {
+            let idx = index_of[&node] as usize;
+            let ins = match node {
+                CombNode::Gate(g) => netlist.gate(g).inputs.clone(),
+                CombNode::MemRead { mem, port } => {
+                    netlist.memories()[mem.0 as usize].read_ports[port]
+                        .addr
+                        .clone()
+                }
+            };
+            let mut l = 0;
+            for pin in ins {
+                if let Some(p) = driver_node[pin.0 as usize] {
+                    l = l.max(level[p as usize] + 1);
+                }
+            }
+            level[idx] = l;
+            max_level = max_level.max(l);
+        }
+
+        let fanout: Vec<Vec<u32>> = netlist
+            .fanout_map()
+            .into_iter()
+            .map(|nodes_reading| {
+                nodes_reading
+                    .into_iter()
+                    .map(|n| index_of[&n])
+                    .collect()
+            })
+            .collect();
+
+        let mut mem_readers: Vec<Vec<u32>> = vec![Vec::new(); netlist.memories().len()];
+        for (i, &node) in nodes.iter().enumerate() {
+            if let CombNode::MemRead { mem, .. } = node {
+                mem_readers[mem.0 as usize].push(i as u32);
+            }
+        }
+
+        let mut values = vec![Value::X; netlist.net_count()];
+        for d in netlist.dffs() {
+            values[d.q.0 as usize] = Value::Logic(d.init);
+        }
+        let mems = netlist
+            .memories()
+            .iter()
+            .map(|m| MemArray::xs(m.depth, m.width))
+            .collect();
+
+        let mut sim = Simulator {
+            netlist,
+            config,
+            level,
+            max_level,
+            fanout,
+            driver_node,
+            mem_readers,
+            values,
+            mems,
+            cycle: 0,
+            dirty: vec![Vec::new(); max_level as usize + 1],
+            in_queue: vec![false; nodes.len()],
+            nodes,
+            forces: HashMap::new(),
+            monitors: Vec::new(),
+            finish_net: None,
+            profile: None,
+            activity: None,
+            event_trace: Vec::new(),
+            region_trace: Vec::new(),
+            trace_regions: false,
+        };
+        sim.schedule_all();
+        sim
+    }
+
+    /// The design being simulated.
+    pub fn netlist(&self) -> &'n Netlist {
+        self.netlist
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> SimConfig {
+        self.config
+    }
+
+    /// Cycles simulated since power-on (or since the loaded snapshot's
+    /// counter).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    // ---- $monitor_x / finish ----
+
+    /// Registers a `$monitor_x` watch (see [`MonitorSpec`]).
+    pub fn monitor_x(&mut self, spec: MonitorSpec) {
+        self.monitors.push(spec);
+    }
+
+    /// Clears all `$monitor_x` watches.
+    pub fn clear_monitors(&mut self) {
+        self.monitors.clear();
+    }
+
+    /// Sets the net whose assertion (concrete `1`) ends the simulation.
+    pub fn set_finish_net(&mut self, net: NetId) {
+        self.finish_net = Some(net);
+    }
+
+    /// Enables recording of `(cycle, Region)` transitions, used to verify
+    /// that the Symbolic region executes last (paper §3.1).
+    pub fn trace_regions(&mut self, on: bool) {
+        self.trace_regions = on;
+    }
+
+    /// Drains the recorded region trace.
+    pub fn take_region_trace(&mut self) -> Vec<(u64, Region)> {
+        std::mem::take(&mut self.region_trace)
+    }
+
+    /// Drains the recorded evaluation-event trace (`trace_events` must be
+    /// set in [`SimConfig`]).
+    pub fn take_event_trace(&mut self) -> Vec<(u64, u32)> {
+        std::mem::take(&mut self.event_trace)
+    }
+
+    // ---- value access ----
+
+    /// The current value of `net`.
+    pub fn read_net(&self, net: NetId) -> Value {
+        self.values[net.0 as usize]
+    }
+
+    /// The current value of the named net, if it exists.
+    pub fn read_net_by_name(&self, name: &str) -> Option<Value> {
+        self.netlist.find_net(name).map(|n| self.read_net(n))
+    }
+
+    /// Reads a bus (LSB first) as a [`Word`].
+    pub fn read_bus(&self, nets: &[NetId]) -> Word {
+        nets.iter().map(|&n| self.read_net(n)).collect()
+    }
+
+    /// Reads the bus named `name[0] .. name[width-1]`; `None` if any bit is
+    /// missing.
+    pub fn read_bus_by_name(&self, name: &str, width: usize) -> Option<Word> {
+        let nets = self.find_bus(name, width)?;
+        Some(self.read_bus(&nets))
+    }
+
+    /// Resolves the nets of the bus named `name[0] .. name[width-1]`.
+    pub fn find_bus(&self, name: &str, width: usize) -> Option<Vec<NetId>> {
+        let map = self.netlist.net_name_map();
+        if width == 1 {
+            if let Some(&n) = map.get(name) {
+                return Some(vec![n]);
+            }
+        }
+        (0..width)
+            .map(|i| map.get(format!("{name}[{i}]").as_str()).copied())
+            .collect()
+    }
+
+    /// Drives a primary input (or any undriven net) to `value` and schedules
+    /// its fanout.
+    pub fn poke(&mut self, net: NetId, value: Value) {
+        self.set_value(net, value, false);
+    }
+
+    /// Drives a whole input bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn poke_bus(&mut self, nets: &[NetId], word: &Word) {
+        assert_eq!(nets.len(), word.width(), "poke width mismatch");
+        for (i, &n) in nets.iter().enumerate() {
+            self.poke(n, word.bit(i));
+        }
+    }
+
+    // ---- force / release ----
+
+    /// Overrides `net` to `value` until [`Simulator::release_all`]. Used by
+    /// path exploration to steer a non-deterministic branch down one
+    /// outcome; unlike testbench `force`/`release` (paper §2) this composes
+    /// with state save/restore and needs no recompilation.
+    pub fn force(&mut self, net: NetId, value: Value) {
+        self.forces.insert(net.0, value);
+        if self.values[net.0 as usize] != value {
+            self.values[net.0 as usize] = value;
+            self.mark_toggled(net);
+            self.schedule_fanout(net);
+        }
+    }
+
+    /// Releases all forces and re-evaluates the affected drivers.
+    pub fn release_all(&mut self) {
+        let nets: Vec<u32> = self.forces.keys().copied().collect();
+        self.forces.clear();
+        for n in nets {
+            if let Some(node) = self.driver_node[n as usize] {
+                self.schedule_node(node);
+            }
+        }
+        self.settle();
+    }
+
+    // ---- memory access ----
+
+    /// Writes a word into memory `mem_index` (e.g. loading a program image).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range memory index or address.
+    pub fn write_mem_word(&mut self, mem_index: usize, addr: usize, word: &Word) {
+        self.mems[mem_index].set_word(addr, word);
+        self.schedule_mem_readers(mem_index);
+    }
+
+    /// Reads a word from memory `mem_index`.
+    pub fn read_mem_word(&self, mem_index: usize, addr: usize) -> Word {
+        self.mems[mem_index].word(addr)
+    }
+
+    /// Index of the memory named `name`.
+    pub fn find_memory(&self, name: &str) -> Option<usize> {
+        self.netlist.memories().iter().position(|m| m.name == name)
+    }
+
+    // ---- toggle observation ----
+
+    /// Arms the toggle observer: the current (typically post-reset) values
+    /// become the baseline, and any subsequent change — or any bit already
+    /// unknown — marks the net toggled.
+    pub fn arm_toggle_observer(&mut self) {
+        self.profile = Some(ToggleProfile::baseline(&self.values));
+    }
+
+    /// The accumulated toggle profile, if armed.
+    pub fn toggle_profile(&self) -> Option<&ToggleProfile> {
+        self.profile.as_ref()
+    }
+
+    /// Removes and returns the toggle profile.
+    pub fn take_toggle_profile(&mut self) -> Option<ToggleProfile> {
+        self.profile.take()
+    }
+
+    // ---- state save / restore ----
+
+    /// Snapshots the complete simulation state, settling any pending
+    /// propagation first so the snapshot is quiescent (snapshots are taken
+    /// at region boundaries, so the event queue is empty by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if forces are active (release before saving — a forced state
+    /// is mid-split and not a machine state).
+    pub fn save_state(&mut self) -> SimState {
+        assert!(
+            self.forces.is_empty(),
+            "cannot snapshot while forces are active"
+        );
+        self.settle();
+        SimState {
+            values: self.values.clone(),
+            mems: self.mems.clone(),
+            cycle: self.cycle,
+        }
+    }
+
+    /// Restores a snapshot taken with [`Simulator::save_state`]
+    /// (the `$initialize_state` system task).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot shape does not match this design.
+    pub fn load_state(&mut self, state: &SimState) {
+        assert_eq!(
+            state.values.len(),
+            self.values.len(),
+            "snapshot is from a different design"
+        );
+        assert_eq!(state.mems.len(), self.mems.len());
+        self.forces.clear();
+        self.values.clone_from(&state.values);
+        self.mems.clone_from(&state.mems);
+        self.cycle = state.cycle;
+        // snapshots are quiescent; nothing to settle
+        for bucket in &mut self.dirty {
+            bucket.clear();
+        }
+        self.in_queue.iter_mut().for_each(|b| *b = false);
+    }
+
+    // ---- event loop ----
+
+    fn schedule_all(&mut self) {
+        for i in 0..self.nodes.len() {
+            self.schedule_node(i as u32);
+        }
+    }
+
+    fn schedule_node(&mut self, idx: u32) {
+        if !self.in_queue[idx as usize] {
+            self.in_queue[idx as usize] = true;
+            self.dirty[self.level[idx as usize] as usize].push(idx);
+        }
+    }
+
+    fn schedule_fanout(&mut self, net: NetId) {
+        let readers = std::mem::take(&mut self.fanout[net.0 as usize]);
+        for &node in &readers {
+            self.schedule_node(node);
+        }
+        self.fanout[net.0 as usize] = readers;
+    }
+
+    fn schedule_mem_readers(&mut self, mem_index: usize) {
+        let readers = std::mem::take(&mut self.mem_readers[mem_index]);
+        for &node in &readers {
+            self.schedule_node(node);
+        }
+        self.mem_readers[mem_index] = readers;
+    }
+
+    fn mark_toggled(&mut self, net: NetId) {
+        if let Some(p) = &mut self.profile {
+            p.mark(net);
+        }
+        if let Some(a) = &mut self.activity {
+            a.record(net);
+        }
+    }
+
+    /// Attaches a switching-activity observer with one weight per net
+    /// (see [`ActivityStats`]); used for peak-power/energy analysis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight count differs from the net count.
+    pub fn attach_activity_observer(&mut self, weights: Vec<f64>) {
+        assert_eq!(weights.len(), self.values.len(), "one weight per net");
+        self.activity = Some(ActivityStats::new(weights));
+    }
+
+    /// Removes and returns the activity observer.
+    pub fn take_activity(&mut self) -> Option<ActivityStats> {
+        self.activity.take()
+    }
+
+    fn set_value(&mut self, net: NetId, value: Value, from_eval: bool) {
+        let value = match self.forces.get(&net.0) {
+            Some(&f) if from_eval => f,
+            _ => value,
+        };
+        let slot = &mut self.values[net.0 as usize];
+        if *slot != value {
+            *slot = value;
+            self.mark_toggled(net);
+            self.schedule_fanout(net);
+        }
+    }
+
+    /// Propagates all pending events to quiescence (the Active region).
+    /// Returns the number of node evaluations performed.
+    pub fn settle(&mut self) -> usize {
+        let mut evals = 0;
+        for lvl in 0..=self.max_level as usize {
+            // nodes only schedule strictly higher levels, so one ascending
+            // pass reaches quiescence; same-level insertions are drained here
+            while let Some(idx) = self.dirty[lvl].pop() {
+                self.in_queue[idx as usize] = false;
+                self.eval_node(idx);
+                evals += 1;
+            }
+        }
+        evals
+    }
+
+    fn eval_node(&mut self, idx: u32) {
+        let policy = self.config.policy;
+        match self.nodes[idx as usize] {
+            CombNode::Gate(g) => {
+                let gate = self.netlist.gate(g);
+                let v = |i: usize| self.values[gate.inputs[i].0 as usize];
+                use symsim_netlist::CellKind as K;
+                let out = match gate.kind {
+                    K::Const0 => Value::ZERO,
+                    K::Const1 => Value::ONE,
+                    K::Buf => ops::buf(v(0), policy),
+                    K::Not => ops::not(v(0), policy),
+                    K::And2 => ops::and(v(0), v(1), policy),
+                    K::Or2 => ops::or(v(0), v(1), policy),
+                    K::Nand2 => ops::nand(v(0), v(1), policy),
+                    K::Nor2 => ops::nor(v(0), v(1), policy),
+                    K::Xor2 => ops::xor(v(0), v(1), policy),
+                    K::Xnor2 => ops::xnor(v(0), v(1), policy),
+                    K::Mux2 => ops::mux(v(0), v(1), v(2), policy),
+                };
+                let out_net = gate.output;
+                if self.config.trace_events && self.values[out_net.0 as usize] != out {
+                    self.event_trace.push((self.cycle, idx));
+                }
+                self.set_value(out_net, out, true);
+            }
+            CombNode::MemRead { mem, port } => {
+                let rp = &self.netlist.memories()[mem.0 as usize].read_ports[port];
+                let addr_nets = rp.addr.clone();
+                let data_nets = rp.data.clone();
+                let addr = self.read_bus(&addr_nets);
+                let word = self.mem_read_resolve(mem.0 as usize, &addr);
+                if self.config.trace_events {
+                    let changed = data_nets
+                        .iter()
+                        .enumerate()
+                        .any(|(i, &n)| self.values[n.0 as usize] != word.bit(i));
+                    if changed {
+                        self.event_trace.push((self.cycle, idx));
+                    }
+                }
+                for (i, &n) in data_nets.iter().enumerate() {
+                    self.set_value(n, word.bit(i), true);
+                }
+            }
+        }
+    }
+
+    /// Resolves a memory read at a possibly-unknown address: the
+    /// conservative merge of every word the address could select.
+    fn mem_read_resolve(&self, mem_index: usize, addr: &Word) -> Word {
+        let mem = &self.mems[mem_index];
+        match enumerate_addresses(addr, mem.depth(), self.config.max_addr_enum_bits) {
+            AddrSet::None => Word::xs(mem.width()),
+            AddrSet::Some(addrs) => {
+                let mut it = addrs.into_iter();
+                let first = it.next();
+                match first {
+                    None => Word::xs(mem.width()),
+                    Some(a0) => {
+                        let mut acc = mem.word(a0);
+                        for a in it {
+                            acc = acc.merge(&mem.word(a));
+                        }
+                        acc
+                    }
+                }
+            }
+            AddrSet::All => {
+                let mut acc = mem.word(0);
+                for a in 1..mem.depth() {
+                    acc = acc.merge(&mem.word(a));
+                }
+                acc
+            }
+        }
+    }
+
+    fn commit_mem_write(&mut self, mem_index: usize, addr: &Word, data: &Word, we: Value) {
+        if we == Value::ZERO {
+            return;
+        }
+        let certain = we == Value::ONE;
+        let depth = self.mems[mem_index].depth();
+        match enumerate_addresses(addr, depth, self.config.max_addr_enum_bits) {
+            AddrSet::None => {}
+            AddrSet::Some(addrs) => {
+                // an overwrite is only exact when the address is fully
+                // known: with unknown bits, even a single in-range match
+                // may correspond to an out-of-range (dropped) write, so
+                // the old value must survive the merge
+                let exact = certain && !addr.has_unknown();
+                for a in addrs {
+                    if exact {
+                        self.mems[mem_index].set_word(a, data);
+                    } else {
+                        // the write may or may not land on this word
+                        self.mems[mem_index].merge_word(a, data);
+                    }
+                }
+            }
+            AddrSet::All => {
+                for a in 0..depth {
+                    self.mems[mem_index].merge_word(a, data);
+                }
+            }
+        }
+        self.schedule_mem_readers(mem_index);
+    }
+
+    /// Advances one clock cycle, executing the event regions in order:
+    /// NBA commits (flip-flops, memory writes), Active propagation,
+    /// Monitor observation, then the Symbolic region checks.
+    ///
+    /// Returns `Some(reason)` if the Symbolic region halted the simulation.
+    pub fn step_cycle(&mut self) -> Option<HaltReason> {
+        for region in REGION_ORDER {
+            if self.trace_regions {
+                self.region_trace.push((self.cycle, region));
+            }
+            match region {
+                Region::Nba => {
+                    // complete any pending Active-region propagation from
+                    // pokes/loads so the clock edge samples settled values
+                    self.settle();
+                    // sample every flip-flop D and write port with pre-edge values
+                    let samples: Vec<(NetId, Value)> = self
+                        .netlist
+                        .dffs()
+                        .iter()
+                        .map(|d| (d.q, self.values[d.d.0 as usize]))
+                        .collect();
+                    let writes: Vec<(usize, Word, Word, Value)> = self
+                        .netlist
+                        .memories()
+                        .iter()
+                        .enumerate()
+                        .flat_map(|(mi, m)| {
+                            m.write_ports.iter().map(move |wp| (mi, wp))
+                        })
+                        .map(|(mi, wp)| {
+                            (
+                                mi,
+                                self.read_bus(&wp.addr),
+                                self.read_bus(&wp.data),
+                                self.values[wp.we.0 as usize].anonymize(),
+                            )
+                        })
+                        .collect();
+                    for (q, v) in samples {
+                        self.set_value(q, v, false);
+                    }
+                    for (mi, addr, data, we) in writes {
+                        self.commit_mem_write(mi, &addr, &data, we);
+                    }
+                }
+                Region::Active => {
+                    self.settle();
+                }
+                Region::Inactive => {
+                    // no #0 events in the cycle-accurate model
+                }
+                Region::Monitor => {
+                    // toggle profile updates happen inline on value changes
+                }
+                Region::Symbolic => {
+                    if let Some(a) = &mut self.activity {
+                        a.end_cycle(self.cycle);
+                    }
+                    self.cycle += 1;
+                    if let Some(reason) = self.check_symbolic_region() {
+                        return Some(reason);
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    fn check_symbolic_region(&self) -> Option<HaltReason> {
+        if let Some(f) = self.finish_net {
+            if self.values[f.0 as usize] == Value::ONE {
+                return Some(HaltReason::Finished);
+            }
+        }
+        for spec in &self.monitors {
+            let mut xs = Vec::new();
+            if let Some(q) = spec.qualifier {
+                match self.values[q.0 as usize].anonymize() {
+                    Value::Logic(symsim_logic::Logic::Zero) => continue,
+                    Value::Logic(symsim_logic::Logic::One) => {}
+                    _ => xs.push(q), // unknown qualifier is itself non-determinism
+                }
+            }
+            for &s in &spec.signals {
+                if self.values[s.0 as usize].is_unknown() {
+                    xs.push(s);
+                }
+            }
+            if !xs.is_empty() {
+                return Some(HaltReason::MonitorX { signals: xs });
+            }
+        }
+        None
+    }
+
+    /// Runs until a Symbolic-region halt, the finish net, or `max_cycles`.
+    pub fn run(&mut self, max_cycles: u64) -> HaltReason {
+        for _ in 0..max_cycles {
+            if let Some(reason) = self.step_cycle() {
+                return reason;
+            }
+        }
+        HaltReason::MaxCycles
+    }
+}
+
+enum AddrSet {
+    /// No in-range address matches.
+    None,
+    /// These addresses match.
+    Some(Vec<usize>),
+    /// Too many unknown bits: treat as "could be anywhere".
+    All,
+}
+
+/// Enumerates the in-range concrete addresses a possibly-unknown address
+/// word can take.
+fn enumerate_addresses(addr: &Word, depth: usize, max_enum_bits: u32) -> AddrSet {
+    let unknown: Vec<usize> = (0..addr.width())
+        .filter(|&i| addr.bit(i).is_unknown())
+        .collect();
+    if unknown.len() as u32 > max_enum_bits {
+        return AddrSet::All;
+    }
+    let mut base = 0usize;
+    for i in 0..addr.width() {
+        if addr.bit(i).to_bool() == Some(true) && i < usize::BITS as usize {
+            base |= 1 << i;
+        }
+    }
+    let count = 1usize << unknown.len();
+    let mut out = Vec::new();
+    for combo in 0..count {
+        let mut a = base;
+        for (j, &bit) in unknown.iter().enumerate() {
+            if combo >> j & 1 == 1 && bit < usize::BITS as usize {
+                a |= 1 << bit;
+            }
+        }
+        if a < depth {
+            out.push(a);
+        }
+    }
+    if out.is_empty() {
+        AddrSet::None
+    } else {
+        AddrSet::Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symsim_netlist::RtlBuilder;
+
+    fn counter4() -> Netlist {
+        let mut b = RtlBuilder::new("cnt4");
+        let r = b.reg("cnt", 4, 0);
+        let q = r.q.clone();
+        let one = b.const_word(1, 4);
+        let next = b.add(&q, &one);
+        b.drive_reg(r, &next);
+        b.output("count", &q);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn counter_counts() {
+        let nl = counter4();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        sim.settle();
+        for expect in 0..20u64 {
+            let w = sim.read_bus_by_name("count", 4).unwrap();
+            assert_eq!(w.to_u64(), Some(expect % 16), "cycle {expect}");
+            sim.step_cycle();
+        }
+        assert_eq!(sim.cycle(), 20);
+    }
+
+    #[test]
+    fn save_restore_round_trip() {
+        let nl = counter4();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        sim.settle();
+        for _ in 0..5 {
+            sim.step_cycle();
+        }
+        let snap = sim.save_state();
+        for _ in 0..3 {
+            sim.step_cycle();
+        }
+        assert_eq!(
+            sim.read_bus_by_name("count", 4).unwrap().to_u64(),
+            Some(8)
+        );
+        sim.load_state(&snap);
+        assert_eq!(
+            sim.read_bus_by_name("count", 4).unwrap().to_u64(),
+            Some(5)
+        );
+        sim.step_cycle();
+        assert_eq!(
+            sim.read_bus_by_name("count", 4).unwrap().to_u64(),
+            Some(6)
+        );
+        // serialized round trip too
+        let bytes = snap.encode();
+        let back = SimState::decode(&bytes).unwrap();
+        sim.load_state(&back);
+        assert_eq!(sim.cycle(), 5);
+    }
+
+    #[test]
+    fn x_propagates_through_gates() {
+        let mut b = RtlBuilder::new("xprop");
+        let a = b.input("a", 1);
+        let c = b.input("c", 1);
+        let y = b.and1(a.bit(0), c.bit(0));
+        let yo = symsim_netlist::Bus::from_nets(vec![y]);
+        b.output("y", &yo);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        sim.settle();
+        assert!(sim.read_net_by_name("y").unwrap().is_x());
+        sim.poke(nl.find_net("a").unwrap(), Value::ZERO);
+        sim.settle();
+        assert_eq!(sim.read_net_by_name("y").unwrap(), Value::ZERO);
+    }
+
+    #[test]
+    fn monitor_x_halts_in_symbolic_region() {
+        // register fed by an input; monitor the register output
+        let mut b = RtlBuilder::new("mon");
+        let a = b.input("a", 1);
+        let one = b.one();
+        let q = b.reg_en("q", &a, one, 0);
+        b.output("qo", &q);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        let qnet = nl.find_net("qo").unwrap();
+        sim.monitor_x(MonitorSpec {
+            qualifier: None,
+            signals: vec![qnet],
+        });
+        sim.poke(nl.find_net("a").unwrap(), Value::X);
+        sim.settle();
+        // after one edge the X reaches q and the symbolic region halts
+        let reason = sim.run(10);
+        assert_eq!(
+            reason,
+            HaltReason::MonitorX {
+                signals: vec![qnet]
+            }
+        );
+        assert_eq!(sim.cycle(), 1);
+    }
+
+    #[test]
+    fn qualifier_gates_monitor() {
+        let mut b = RtlBuilder::new("qual");
+        let en = b.input("en", 1);
+        let sig = b.input("sig", 1);
+        b.output("eno", &en);
+        b.output("sigo", &sig);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        sim.monitor_x(MonitorSpec {
+            qualifier: Some(nl.find_net("eno").unwrap()),
+            signals: vec![nl.find_net("sigo").unwrap()],
+        });
+        sim.poke(nl.find_net("en").unwrap(), Value::ZERO);
+        sim.poke(nl.find_net("sig").unwrap(), Value::X);
+        sim.settle();
+        assert_eq!(sim.run(3), HaltReason::MaxCycles);
+        sim.poke(nl.find_net("en").unwrap(), Value::ONE);
+        sim.settle();
+        assert!(matches!(sim.run(3), HaltReason::MonitorX { .. }));
+    }
+
+    #[test]
+    fn force_and_release() {
+        let mut b = RtlBuilder::new("f");
+        let a = b.input("a", 1);
+        let y = b.not(&a);
+        b.output("y", &y);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        sim.poke(nl.find_net("a").unwrap(), Value::ZERO);
+        sim.settle();
+        assert_eq!(sim.read_net_by_name("y").unwrap(), Value::ONE);
+        sim.force(nl.find_net("y").unwrap(), Value::ZERO);
+        sim.settle();
+        assert_eq!(sim.read_net_by_name("y").unwrap(), Value::ZERO);
+        sim.release_all();
+        assert_eq!(sim.read_net_by_name("y").unwrap(), Value::ONE);
+    }
+
+    #[test]
+    fn memory_read_with_unknown_address_merges() {
+        let mut b = RtlBuilder::new("mem");
+        let addr = b.input("addr", 2);
+        let m = b.memory("ram", 4, 8);
+        let rdata = b.mem_read(m, &addr);
+        b.output("rdata", &rdata);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        sim.write_mem_word(0, 0, &Word::from_u64(0x0f, 8));
+        sim.write_mem_word(0, 1, &Word::from_u64(0x0e, 8));
+        sim.write_mem_word(0, 2, &Word::from_u64(0xff, 8));
+        sim.write_mem_word(0, 3, &Word::from_u64(0xfe, 8));
+        let a = nl.find_net("addr[0]").unwrap();
+        let a1 = nl.find_net("addr[1]").unwrap();
+        sim.poke(a, Value::X);
+        sim.poke(a1, Value::ZERO);
+        sim.settle();
+        // addr is {0,1}: merge of 0x0f and 0x0e = 0x0[ex] -> bits 1..4 known
+        let w = sim.read_bus_by_name("rdata", 8).unwrap();
+        assert!(w.bit(0).is_x());
+        assert_eq!(w.bit(1), Value::ONE);
+        assert_eq!(w.bit(4), Value::ZERO);
+        sim.poke(a1, Value::X);
+        sim.settle();
+        let w = sim.read_bus_by_name("rdata", 8).unwrap();
+        assert!(w.bit(4).is_x()); // now high nibble disagrees across words
+    }
+
+    #[test]
+    fn memory_write_with_unknown_enable_merges() {
+        let mut b = RtlBuilder::new("memw");
+        let addr = b.input("addr", 2);
+        let data = b.input("data", 8);
+        let we = b.input("we", 1);
+        let m = b.memory("ram", 4, 8);
+        let rdata = b.mem_read(m, &addr);
+        b.mem_write(m, &addr, &data, we.bit(0));
+        b.output("rdata", &rdata);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        sim.write_mem_word(0, 1, &Word::from_u64(0x00, 8));
+        let map = nl.net_name_map();
+        sim.poke_bus(
+            &[map["addr[0]"], map["addr[1]"]],
+            &Word::from_u64(1, 2),
+        );
+        sim.poke_bus(
+            &(0..8).map(|i| map[format!("data[{i}]").as_str()]).collect::<Vec<_>>(),
+            &Word::from_u64(0xff, 8),
+        );
+        sim.poke(map["we"], Value::X);
+        sim.settle();
+        sim.step_cycle();
+        // write may or may not have happened: whole word unknown
+        assert!(sim.read_mem_word(0, 1).is_all_x() || sim.read_mem_word(0, 1).has_unknown());
+        // with we=1 the write is certain
+        sim.poke(map["we"], Value::ONE);
+        sim.settle();
+        sim.step_cycle();
+        assert_eq!(sim.read_mem_word(0, 1).to_u64(), Some(0xff));
+    }
+
+    #[test]
+    fn region_order_puts_symbolic_last() {
+        let nl = counter4();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        sim.trace_regions(true);
+        sim.settle();
+        sim.step_cycle();
+        let trace = sim.take_region_trace();
+        let regions: Vec<Region> = trace.into_iter().map(|(_, r)| r).collect();
+        assert_eq!(regions.last(), Some(&Region::Symbolic));
+        assert_eq!(regions.len(), 5);
+    }
+
+    #[test]
+    fn finish_net_ends_run() {
+        // finish when count == 3
+        let mut b = RtlBuilder::new("fin");
+        let r = b.reg("cnt", 4, 0);
+        let q = r.q.clone();
+        let one = b.const_word(1, 4);
+        let next = b.add(&q, &one);
+        b.drive_reg(r, &next);
+        let three = b.const_word(3, 4);
+        let done = b.eq(&q, &three);
+        let done_bus = symsim_netlist::Bus::from_nets(vec![done]);
+        b.output("done", &done_bus);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        sim.set_finish_net(nl.find_net("done").unwrap());
+        sim.settle();
+        assert_eq!(sim.run(100), HaltReason::Finished);
+        assert_eq!(sim.cycle(), 3); // counts 0,1,2,3 -> finish observed after edge to 3
+    }
+}

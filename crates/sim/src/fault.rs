@@ -1,0 +1,204 @@
+//! Stuck-at fault injection and fault grading.
+//!
+//! The paper's §2 contrasts its save/restore mechanism with the
+//! `force`/`release`-based fault-injection flows of prior work (Das et al.,
+//! IMTC'06), noting that those require recompiling and restarting per
+//! fault. Built on [`Simulator::force`] and state snapshots, this module
+//! grades a whole fault list from one compiled design without restarts:
+//! snapshot once, then for each fault restore → force → run → compare.
+//!
+//! # Example
+//!
+//! ```
+//! use symsim_netlist::RtlBuilder;
+//! use symsim_logic::Value;
+//! use symsim_sim::{fault, SimConfig, Simulator};
+//!
+//! let mut b = RtlBuilder::new("inv");
+//! let a = b.input("a", 1);
+//! let y = b.not(&a);
+//! b.output("y", &y);
+//! let nl = b.finish().expect("valid");
+//!
+//! let mut sim = Simulator::new(&nl, SimConfig::default());
+//! let a_net = nl.find_net("a").expect("net");
+//! let faults = fault::all_output_faults(&nl);
+//! let report = fault::grade(&mut sim, &faults, 2, |sim, cycle| {
+//!     sim.poke(a_net, Value::from_bool(cycle % 2 == 0));
+//! });
+//! // a one-gate design: toggling the input detects both polarities
+//! assert_eq!(report.detected, faults.len());
+//! ```
+
+use symsim_logic::Value;
+use symsim_netlist::{NetId, Netlist};
+
+use crate::engine::Simulator;
+
+/// A single stuck-at fault: `net` permanently at `value`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StuckAt {
+    /// The faulty net.
+    pub net: NetId,
+    /// The stuck polarity (true = stuck-at-1).
+    pub stuck_at_one: bool,
+}
+
+/// The classic fault list: stuck-at-0 and stuck-at-1 on every gate output.
+pub fn all_output_faults(netlist: &Netlist) -> Vec<StuckAt> {
+    let mut out = Vec::with_capacity(netlist.gate_count() * 2);
+    for g in netlist.gates() {
+        for stuck_at_one in [false, true] {
+            out.push(StuckAt {
+                net: g.output,
+                stuck_at_one,
+            });
+        }
+    }
+    out
+}
+
+/// Result of grading a fault list against a stimulus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Faults whose effect reached a primary output within the budget.
+    pub detected: usize,
+    /// Faults that never produced an output difference.
+    pub undetected: Vec<StuckAt>,
+    /// Cycles simulated in total (golden run + one run per fault).
+    pub simulated_cycles: u64,
+}
+
+impl FaultReport {
+    /// Fault coverage in percent.
+    pub fn coverage_percent(&self) -> f64 {
+        let total = self.detected + self.undetected.len();
+        if total == 0 {
+            return 100.0;
+        }
+        100.0 * self.detected as f64 / total as f64
+    }
+}
+
+/// Grades `faults` against the stimulus `drive(sim, cycle)` applied for
+/// `cycles` cycles: a fault is *detected* when any primary output differs
+/// from the golden (fault-free) run at any cycle.
+///
+/// The simulator is snapshotted once; each fault run restores the snapshot
+/// and forces the faulty net — no recompilation or restart (the advantage
+/// over testbench `force`/`release` flows the paper describes).
+pub fn grade<F>(
+    sim: &mut Simulator<'_>,
+    faults: &[StuckAt],
+    cycles: u64,
+    drive: F,
+) -> FaultReport
+where
+    F: Fn(&mut Simulator<'_>, u64),
+{
+    let outputs: Vec<NetId> = sim.netlist().outputs().to_vec();
+    let baseline = sim.save_state();
+
+    // golden run: record the output trace
+    let mut golden = Vec::with_capacity(cycles as usize);
+    for cycle in 0..cycles {
+        drive(sim, cycle);
+        sim.step_cycle();
+        golden.push(sim.read_bus(&outputs));
+    }
+    let mut simulated = cycles;
+
+    let mut detected = 0;
+    let mut undetected = Vec::new();
+    for &fault in faults {
+        sim.load_state(&baseline);
+        sim.force(fault.net, Value::from_bool(fault.stuck_at_one));
+        let mut hit = false;
+        for cycle in 0..cycles {
+            drive(sim, cycle);
+            sim.step_cycle();
+            simulated += 1;
+            if sim.read_bus(&outputs) != golden[cycle as usize] {
+                hit = true;
+                break;
+            }
+        }
+        sim.release_all();
+        if hit {
+            detected += 1;
+        } else {
+            undetected.push(fault);
+        }
+    }
+    sim.load_state(&baseline);
+    FaultReport {
+        detected,
+        undetected,
+        simulated_cycles: simulated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SimConfig;
+    use symsim_netlist::RtlBuilder;
+
+    #[test]
+    fn redundant_logic_hides_faults() {
+        // y = a AND a — a classic untestable redundancy after rewriting:
+        // here y = a OR (a AND a); the AND's output faults are masked
+        // whenever a = 1 on the OR side... drive both polarities and check
+        // coverage accounting instead of exact masking.
+        let mut b = RtlBuilder::new("redundant");
+        let a = b.input("a", 1);
+        let aa = b.and1(a.bit(0), a.bit(0));
+        let y = b.or1(a.bit(0), aa);
+        let yb = symsim_netlist::Bus::from_nets(vec![y]);
+        b.output("y", &yb);
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        let a_net = nl.find_net("a").unwrap();
+        let faults = all_output_faults(&nl);
+        let report = grade(&mut sim, &faults, 4, |sim, cycle| {
+            sim.poke(a_net, Value::from_bool(cycle % 2 == 0));
+        });
+        // the AND's stuck-at-1 is masked by the OR when a=1 and produces
+        // y=1 when a=0, so it IS detectable; stuck-at-0 on the AND is
+        // masked (y follows a through the OR regardless)
+        assert!(report.detected >= 1);
+        assert!(
+            report
+                .undetected
+                .iter()
+                .any(|f| !f.stuck_at_one),
+            "the redundant AND's stuck-at-0 must be undetectable: {report:?}"
+        );
+        assert!(report.coverage_percent() < 100.0);
+        assert!(report.simulated_cycles > 4);
+    }
+
+    #[test]
+    fn sequential_fault_detection() {
+        // counter with its msb observed: stuck faults in the increment
+        // logic surface after a few cycles
+        let mut b = RtlBuilder::new("cnt");
+        let r = b.reg("c", 3, 0);
+        let q = r.q.clone();
+        let one = b.const_word(1, 3);
+        let nxt = b.add(&q, &one);
+        b.drive_reg(r, &nxt);
+        b.output("msb", &q.slice(2, 3));
+        let nl = b.finish().unwrap();
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        sim.settle();
+        let faults = all_output_faults(&nl);
+        let report = grade(&mut sim, &faults, 10, |_, _| {});
+        assert!(
+            report.coverage_percent() > 50.0,
+            "most increment faults disturb the msb: {report:?}"
+        );
+        // grading must leave the simulator restored
+        assert_eq!(sim.read_bus_by_name("c", 3).unwrap().to_u64(), Some(0));
+    }
+}

@@ -1,0 +1,355 @@
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use symsim_logic::{Value, Word};
+
+/// A memory array's contents: `depth` words of `width` bits, stored flat.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemArray {
+    width: usize,
+    bits: Vec<Value>,
+}
+
+impl MemArray {
+    /// An all-`X` array.
+    pub fn xs(depth: usize, width: usize) -> MemArray {
+        MemArray {
+            width,
+            bits: vec![Value::X; depth * width],
+        }
+    }
+
+    /// Word width in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of words.
+    pub fn depth(&self) -> usize {
+        self.bits.len().checked_div(self.width).unwrap_or(0)
+    }
+
+    /// Reads word `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr >= depth`.
+    pub fn word(&self, addr: usize) -> Word {
+        let lo = addr * self.width;
+        self.bits[lo..lo + self.width].iter().copied().collect()
+    }
+
+    /// Writes word `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr >= depth` or the word width differs.
+    pub fn set_word(&mut self, addr: usize, w: &Word) {
+        assert_eq!(w.width(), self.width, "memory word width mismatch");
+        let lo = addr * self.width;
+        for (i, &v) in w.iter().enumerate() {
+            self.bits[lo + i] = v;
+        }
+    }
+
+    /// Merges `w` into word `addr` (conservative join, used for writes with
+    /// unknown address or enable).
+    pub fn merge_word(&mut self, addr: usize, w: &Word) {
+        assert_eq!(w.width(), self.width, "memory word width mismatch");
+        let lo = addr * self.width;
+        for (i, &v) in w.iter().enumerate() {
+            self.bits[lo + i] = self.bits[lo + i].merge(v);
+        }
+    }
+
+    /// Raw bit access (LSB of word 0 first).
+    pub fn bits(&self) -> &[Value] {
+        &self.bits
+    }
+
+    /// Conservative join of two arrays of identical shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn merge(&self, other: &MemArray) -> MemArray {
+        assert_eq!(self.width, other.width);
+        assert_eq!(self.bits.len(), other.bits.len());
+        MemArray {
+            width: self.width,
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a.merge(*b))
+                .collect(),
+        }
+    }
+
+    /// Bitwise covering check (see [`Value::covers`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn covers(&self, other: &MemArray) -> bool {
+        assert_eq!(self.width, other.width);
+        assert_eq!(self.bits.len(), other.bits.len());
+        self.bits
+            .iter()
+            .zip(&other.bits)
+            .all(|(a, b)| a.covers(*b))
+    }
+}
+
+/// A complete snapshot of simulation state: every net value, every memory
+/// word, and the cycle counter.
+///
+/// This is what the paper's enhanced iverilog dumps when the Symbolic region
+/// halts the simulation, and what `$initialize_state` reloads. Because the
+/// simulator halts only at region boundaries (quiescent points), the event
+/// queue is empty by construction and need not be serialized.
+///
+/// `SimState` is also the object the Conservative State Manager merges:
+/// [`SimState::merge`] is the bitwise conservative join over nets and
+/// memories, and [`SimState::covers`] is the subset test of Algorithm 1
+/// line 21.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimState {
+    /// Value of every net, indexed by `NetId`.
+    pub values: Vec<Value>,
+    /// Contents of every memory, indexed by `MemoryId`.
+    pub mems: Vec<MemArray>,
+    /// Cycles simulated since power-on when the snapshot was taken.
+    pub cycle: u64,
+}
+
+impl SimState {
+    /// Conservative join: nets and memories merge bitwise; the cycle counter
+    /// takes the maximum (it is bookkeeping, not machine state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two states come from different designs.
+    pub fn merge(&self, other: &SimState) -> SimState {
+        assert_eq!(self.values.len(), other.values.len(), "merging states of different designs");
+        SimState {
+            values: self
+                .values
+                .iter()
+                .zip(&other.values)
+                .map(|(a, b)| a.merge(*b))
+                .collect(),
+            mems: self
+                .mems
+                .iter()
+                .zip(&other.mems)
+                .map(|(a, b)| a.merge(b))
+                .collect(),
+            cycle: self.cycle.max(other.cycle),
+        }
+    }
+
+    /// Is `other` a subset of (covered by) this state? True when every net
+    /// and memory bit of `other` is covered, regardless of cycle counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two states come from different designs.
+    pub fn covers(&self, other: &SimState) -> bool {
+        assert_eq!(self.values.len(), other.values.len(), "covering states of different designs");
+        self.values
+            .iter()
+            .zip(&other.values)
+            .all(|(a, b)| a.covers(*b))
+            && self.mems.iter().zip(&other.mems).all(|(a, b)| a.covers(b))
+    }
+
+    /// Number of net bits that are not known `0`/`1`.
+    pub fn unknown_net_count(&self) -> usize {
+        self.values.iter().filter(|v| v.is_unknown()).count()
+    }
+
+    /// Serializes to the compact binary form used for state dumps.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.values.len() + 64);
+        buf.put_u32_le(self.values.len() as u32);
+        for v in &self.values {
+            encode_value(&mut buf, *v);
+        }
+        buf.put_u32_le(self.mems.len() as u32);
+        for m in &self.mems {
+            buf.put_u32_le(m.width as u32);
+            buf.put_u32_le(m.bits.len() as u32);
+            for v in &m.bits {
+                encode_value(&mut buf, *v);
+            }
+        }
+        buf.put_u64_le(self.cycle);
+        buf.freeze()
+    }
+
+    /// Decodes a snapshot produced by [`SimState::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeStateError`] on truncated or corrupt input.
+    pub fn decode(mut data: &[u8]) -> Result<SimState, DecodeStateError> {
+        let n = read_u32(&mut data)? as usize;
+        let mut values = Vec::with_capacity(n);
+        for _ in 0..n {
+            values.push(decode_value(&mut data)?);
+        }
+        let m = read_u32(&mut data)? as usize;
+        let mut mems = Vec::with_capacity(m);
+        for _ in 0..m {
+            let width = read_u32(&mut data)? as usize;
+            let len = read_u32(&mut data)? as usize;
+            let mut bits = Vec::with_capacity(len);
+            for _ in 0..len {
+                bits.push(decode_value(&mut data)?);
+            }
+            mems.push(MemArray { width, bits });
+        }
+        if data.remaining() < 8 {
+            return Err(DecodeStateError::Truncated);
+        }
+        let cycle = data.get_u64_le();
+        Ok(SimState { values, mems, cycle })
+    }
+}
+
+fn encode_value(buf: &mut BytesMut, v: Value) {
+    match v {
+        Value::Logic(l) => buf.put_u8(l.to_code()),
+        Value::Sym(s) => {
+            buf.put_u8(if s.inverted { 5 } else { 4 });
+            buf.put_u32_le(s.id.0);
+        }
+    }
+}
+
+fn read_u32(data: &mut &[u8]) -> Result<u32, DecodeStateError> {
+    if data.remaining() < 4 {
+        return Err(DecodeStateError::Truncated);
+    }
+    Ok(data.get_u32_le())
+}
+
+fn decode_value(data: &mut &[u8]) -> Result<Value, DecodeStateError> {
+    if data.remaining() < 1 {
+        return Err(DecodeStateError::Truncated);
+    }
+    let code = data.get_u8();
+    match code {
+        0..=3 => Ok(Value::Logic(
+            symsim_logic::Logic::from_code(code).expect("code in range"),
+        )),
+        4 | 5 => {
+            if data.remaining() < 4 {
+                return Err(DecodeStateError::Truncated);
+            }
+            let id = data.get_u32_le();
+            Ok(if code == 5 {
+                Value::symbol_inverted(id)
+            } else {
+                Value::symbol(id)
+            })
+        }
+        other => Err(DecodeStateError::BadValueCode(other)),
+    }
+}
+
+/// Errors from [`SimState::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeStateError {
+    /// The buffer ended before the snapshot was complete.
+    Truncated,
+    /// An unknown value encoding was encountered.
+    BadValueCode(u8),
+}
+
+impl fmt::Display for DecodeStateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeStateError::Truncated => write!(f, "state snapshot truncated"),
+            DecodeStateError::BadValueCode(c) => write!(f, "invalid value code {c} in snapshot"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeStateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state() -> SimState {
+        let mut mem = MemArray::xs(4, 8);
+        mem.set_word(1, &Word::from_u64(0xab, 8));
+        SimState {
+            values: vec![
+                Value::ZERO,
+                Value::ONE,
+                Value::X,
+                Value::Z,
+                Value::symbol(7),
+                Value::symbol_inverted(9),
+            ],
+            mems: vec![mem],
+            cycle: 42,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = sample_state();
+        let bytes = s.encode();
+        let back = SimState::decode(&bytes).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let s = sample_state();
+        let bytes = s.encode();
+        for cut in [0, 1, 3, bytes.len() / 2, bytes.len() - 1] {
+            assert!(SimState::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_code() {
+        let mut bytes = sample_state().encode().to_vec();
+        bytes[4] = 0xff; // first value code
+        assert_eq!(
+            SimState::decode(&bytes),
+            Err(DecodeStateError::BadValueCode(0xff))
+        );
+    }
+
+    #[test]
+    fn merge_covers_both() {
+        let a = sample_state();
+        let mut b = a.clone();
+        b.values[0] = Value::ONE;
+        b.mems[0].set_word(1, &Word::from_u64(0xcd, 8));
+        b.cycle = 50;
+        let m = a.merge(&b);
+        assert!(m.covers(&a));
+        assert!(m.covers(&b));
+        assert!(m.values[0].is_x());
+        assert_eq!(m.cycle, 50);
+        assert!(!a.covers(&b));
+    }
+
+    #[test]
+    fn mem_array_word_ops() {
+        let mut m = MemArray::xs(3, 4);
+        assert_eq!(m.depth(), 3);
+        m.set_word(2, &Word::from_u64(0b1010, 4));
+        assert_eq!(m.word(2).to_u64(), Some(0b1010));
+        m.merge_word(2, &Word::from_u64(0b1000, 4));
+        assert_eq!(m.word(2).bit(1), Value::X);
+        assert_eq!(m.word(2).bit(3), Value::ONE);
+    }
+}

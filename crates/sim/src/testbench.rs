@@ -1,0 +1,326 @@
+use std::fmt;
+
+use symsim_logic::{Value, Word};
+use symsim_netlist::{NetId, Netlist};
+
+use crate::engine::{HaltReason, MonitorSpec, SimConfig, Simulator};
+use crate::state::{DecodeStateError, SimState};
+
+/// Errors raised by the [`Testbench`] harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestbenchError {
+    /// A referenced net does not exist in the design.
+    UnknownNet(String),
+    /// A referenced memory does not exist in the design.
+    UnknownMemory(String),
+    /// A state snapshot could not be decoded.
+    DecodeState(DecodeStateError),
+}
+
+impl fmt::Display for TestbenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestbenchError::UnknownNet(n) => write!(f, "unknown net \"{n}\""),
+            TestbenchError::UnknownMemory(m) => write!(f, "unknown memory \"{m}\""),
+            TestbenchError::DecodeState(e) => write!(f, "bad state snapshot: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TestbenchError {}
+
+impl From<DecodeStateError> for TestbenchError {
+    fn from(e: DecodeStateError) -> Self {
+        TestbenchError::DecodeState(e)
+    }
+}
+
+/// The testbench harness of the paper's Listing 1: instantiates the design,
+/// registers `$monitor_x`, supports `$initialize_state`, drives reset, and
+/// replaces application inputs with `X`s.
+///
+/// # Example
+///
+/// ```
+/// use symsim_netlist::RtlBuilder;
+/// use symsim_sim::{SimConfig, Testbench};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = RtlBuilder::new("design");
+/// let rst = b.input("rst", 1);
+/// let din = b.input("din", 8);
+/// let zero = b.const_word(0, 8);
+/// let held = b.mux(rst.bit(0), &din, &zero);
+/// let one = b.one();
+/// let q = b.reg_en("q", &held, one, 0);
+/// b.output("q_out", &q);
+/// let nl = b.finish()?;
+///
+/// let mut tb = Testbench::new(&nl, SimConfig::default());
+/// tb.monitor_x(None, &["q_out[0]", "q_out[7]"])?;
+/// tb.set_reset("rst")?;
+/// tb.reset(2);                 // propagate reset (Listing 1's RST_n pulse)
+/// tb.drive_bus_x("din", 8)?;   // application inputs become symbols
+/// let reason = tb.run(10);
+/// # let _ = reason;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Testbench<'n> {
+    sim: Simulator<'n>,
+    reset: Option<NetId>,
+}
+
+impl<'n> Testbench<'n> {
+    /// Instantiates the design under test.
+    pub fn new(netlist: &'n Netlist, config: SimConfig) -> Testbench<'n> {
+        Testbench {
+            sim: Simulator::new(netlist, config),
+            reset: None,
+        }
+    }
+
+    /// The underlying simulator.
+    pub fn sim(&self) -> &Simulator<'n> {
+        &self.sim
+    }
+
+    /// Mutable access to the underlying simulator.
+    pub fn sim_mut(&mut self) -> &mut Simulator<'n> {
+        &mut self.sim
+    }
+
+    fn net(&self, name: &str) -> Result<NetId, TestbenchError> {
+        self.sim
+            .netlist()
+            .find_net(name)
+            .ok_or_else(|| TestbenchError::UnknownNet(name.to_string()))
+    }
+
+    /// Registers the `$monitor_x` system task over named control-flow
+    /// signals, optionally qualified (e.g. by an `is_branch` decode net).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TestbenchError::UnknownNet`] for unresolved names.
+    pub fn monitor_x(
+        &mut self,
+        qualifier: Option<&str>,
+        signals: &[&str],
+    ) -> Result<(), TestbenchError> {
+        let qualifier = qualifier.map(|q| self.net(q)).transpose()?;
+        let signals = signals
+            .iter()
+            .map(|s| self.net(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        self.sim.monitor_x(MonitorSpec { qualifier, signals });
+        Ok(())
+    }
+
+    /// The `$initialize_state` system task: restores a previously saved
+    /// simulation state from its serialized form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TestbenchError::DecodeState`] for corrupt snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot belongs to a different design.
+    pub fn initialize_state(&mut self, snapshot: &[u8]) -> Result<(), TestbenchError> {
+        let state = SimState::decode(snapshot)?;
+        self.sim.load_state(&state);
+        Ok(())
+    }
+
+    /// Declares the reset input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TestbenchError::UnknownNet`] for an unresolved name.
+    pub fn set_reset(&mut self, name: &str) -> Result<(), TestbenchError> {
+        self.reset = Some(self.net(name)?);
+        Ok(())
+    }
+
+    /// Asserts reset for `cycles` cycles, then deasserts and settles —
+    /// Listing 1's `RST_n` pulse. Does nothing if no reset was declared.
+    pub fn reset(&mut self, cycles: u64) {
+        let Some(rst) = self.reset else { return };
+        self.sim.poke(rst, Value::ONE);
+        self.sim.settle();
+        for _ in 0..cycles {
+            self.sim.step_cycle();
+        }
+        self.sim.poke(rst, Value::ZERO);
+        self.sim.settle();
+    }
+
+    /// Drives every bit of the named input bus to anonymous `X`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TestbenchError::UnknownNet`] if the bus cannot be resolved.
+    pub fn drive_bus_x(&mut self, name: &str, width: usize) -> Result<(), TestbenchError> {
+        let nets = self
+            .sim
+            .find_bus(name, width)
+            .ok_or_else(|| TestbenchError::UnknownNet(name.to_string()))?;
+        self.sim.poke_bus(&nets, &Word::xs(width));
+        Ok(())
+    }
+
+    /// Drives every bit of the named input bus to fresh tagged symbols,
+    /// returning the first symbol id used.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TestbenchError::UnknownNet`] if the bus cannot be resolved.
+    pub fn drive_bus_symbols(
+        &mut self,
+        name: &str,
+        width: usize,
+        first_id: u32,
+    ) -> Result<u32, TestbenchError> {
+        let nets = self
+            .sim
+            .find_bus(name, width)
+            .ok_or_else(|| TestbenchError::UnknownNet(name.to_string()))?;
+        self.sim.poke_bus(&nets, &Word::symbols(first_id, width));
+        Ok(first_id + width as u32)
+    }
+
+    /// Loads a program/data image into the named memory starting at `base`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TestbenchError::UnknownMemory`] for an unresolved name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an image word is wider than the memory or out of range.
+    pub fn load_memory(
+        &mut self,
+        mem_name: &str,
+        base: usize,
+        words: &[Word],
+    ) -> Result<(), TestbenchError> {
+        let mem = self
+            .sim
+            .find_memory(mem_name)
+            .ok_or_else(|| TestbenchError::UnknownMemory(mem_name.to_string()))?;
+        for (i, w) in words.iter().enumerate() {
+            self.sim.write_mem_word(mem, base + i, w);
+        }
+        Ok(())
+    }
+
+    /// Fills `range` of the named memory with `X` words — "set
+    /// input-dependent memory locations as X" (Listing 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TestbenchError::UnknownMemory`] for an unresolved name.
+    pub fn fill_memory_x(
+        &mut self,
+        mem_name: &str,
+        range: std::ops::Range<usize>,
+    ) -> Result<(), TestbenchError> {
+        let mem = self
+            .sim
+            .find_memory(mem_name)
+            .ok_or_else(|| TestbenchError::UnknownMemory(mem_name.to_string()))?;
+        let width = self.sim.netlist().memories()[mem].width;
+        for addr in range {
+            self.sim.write_mem_word(mem, addr, &Word::xs(width));
+        }
+        Ok(())
+    }
+
+    /// Runs until a halt or `max_cycles`.
+    pub fn run(&mut self, max_cycles: u64) -> HaltReason {
+        self.sim.run(max_cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symsim_netlist::RtlBuilder;
+
+    fn design() -> Netlist {
+        let mut b = RtlBuilder::new("dut");
+        let rst = b.input("rst", 1);
+        let din = b.input("din", 4);
+        let zero = b.const_word(0, 4);
+        let next = b.mux(rst.bit(0), &din, &zero);
+        let one = b.one();
+        let q = b.reg_en("q", &next, one, 0);
+        b.output("qo", &q);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn reset_then_x_inputs_halt_monitor() {
+        let nl = design();
+        let mut tb = Testbench::new(&nl, SimConfig::default());
+        tb.set_reset("rst").unwrap();
+        tb.monitor_x(None, &["qo[0]", "qo[1]", "qo[2]", "qo[3]"]).unwrap();
+        tb.reset(2);
+        // during reset q held 0 -> no halt; now drive X
+        tb.drive_bus_x("din", 4).unwrap();
+        let reason = tb.run(10);
+        assert!(matches!(reason, HaltReason::MonitorX { .. }));
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let nl = design();
+        let mut tb = Testbench::new(&nl, SimConfig::default());
+        assert!(matches!(
+            tb.monitor_x(None, &["nope"]),
+            Err(TestbenchError::UnknownNet(_))
+        ));
+        assert!(matches!(
+            tb.fill_memory_x("nomem", 0..1),
+            Err(TestbenchError::UnknownMemory(_))
+        ));
+        assert!(tb.set_reset("bogus").is_err());
+    }
+
+    #[test]
+    fn initialize_state_round_trip() {
+        let nl = design();
+        let mut tb = Testbench::new(&nl, SimConfig::default());
+        tb.set_reset("rst").unwrap();
+        tb.reset(1);
+        let snap = tb.sim_mut().save_state().encode();
+        tb.drive_bus_x("din", 4).unwrap();
+        tb.run(3);
+        tb.initialize_state(&snap).unwrap();
+        assert_eq!(tb.sim().read_bus_by_name("qo", 4).unwrap().to_u64(), Some(0));
+        assert!(tb.initialize_state(&snap[..3]).is_err());
+    }
+
+    #[test]
+    fn symbols_driven_with_tagged_policy() {
+        let nl = design();
+        let config = SimConfig {
+            policy: symsim_logic::PropagationPolicy::Tagged,
+            ..SimConfig::default()
+        };
+        let mut tb = Testbench::new(&nl, config);
+        tb.set_reset("rst").unwrap();
+        tb.reset(1);
+        let next = tb.drive_bus_symbols("din", 4, 0).unwrap();
+        assert_eq!(next, 4);
+        tb.sim_mut().settle();
+        tb.sim_mut().step_cycle();
+        // symbol passes through the register under the tagged policy
+        assert_eq!(
+            tb.sim().read_net_by_name("qo[0]").unwrap(),
+            Value::symbol(0)
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! The RTL builder's datapath operators vs native arithmetic: every adder,
+//! subtractor, comparator, shifter, and multiplier circuit must compute
+//! exactly what the corresponding machine operation computes, for random
+//! operands and widths.
+
+use proptest::prelude::*;
+use symsim_logic::Word;
+use symsim_netlist::{Bus, Netlist, RtlBuilder};
+use symsim_sim::{SimConfig, Simulator};
+
+/// Builds a two-operand circuit and evaluates it for concrete inputs.
+fn eval2(
+    width: usize,
+    a: u64,
+    b: u64,
+    build: impl FnOnce(&mut RtlBuilder, &Bus, &Bus) -> Bus,
+) -> u64 {
+    let mut builder = RtlBuilder::new("dut");
+    let x = builder.input("x", width);
+    let y = builder.input("y", width);
+    let out = build(&mut builder, &x, &y);
+    builder.output("out", &out);
+    let out_width = {
+        let nl: &Netlist = builder.netlist_mut();
+        let _ = nl;
+        out.width()
+    };
+    let nl = builder.finish().expect("valid");
+    let mut sim = Simulator::new(&nl, SimConfig::default());
+    let xs = sim.find_bus("x", width).expect("x bus");
+    let ys = sim.find_bus("y", width).expect("y bus");
+    sim.poke_bus(&xs, &Word::from_u64(a, width));
+    sim.poke_bus(&ys, &Word::from_u64(b, width));
+    sim.settle();
+    sim.read_bus_by_name("out", out_width)
+        .expect("output bus")
+        .to_u64()
+        .expect("concrete result")
+}
+
+fn mask(width: usize) -> u64 {
+    if width >= 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn add_matches(a in any::<u64>(), b in any::<u64>(), width in 1usize..24) {
+        let m = mask(width);
+        let got = eval2(width, a & m, b & m, |bld, x, y| bld.add(x, y));
+        prop_assert_eq!(got, (a & m).wrapping_add(b & m) & m);
+    }
+
+    #[test]
+    fn sub_matches(a in any::<u64>(), b in any::<u64>(), width in 1usize..24) {
+        let m = mask(width);
+        let got = eval2(width, a & m, b & m, |bld, x, y| bld.sub(x, y));
+        prop_assert_eq!(got, (a & m).wrapping_sub(b & m) & m);
+    }
+
+    #[test]
+    fn comparators_match(a in any::<u64>(), b in any::<u64>(), width in 2usize..20) {
+        let m = mask(width);
+        let (a, b) = (a & m, b & m);
+        let ltu = eval2(width, a, b, |bld, x, y| {
+            let n = bld.lt_u(x, y);
+            Bus::from_nets(vec![n])
+        });
+        prop_assert_eq!(ltu, u64::from(a < b));
+        let eq = eval2(width, a, b, |bld, x, y| {
+            let n = bld.eq(x, y);
+            Bus::from_nets(vec![n])
+        });
+        prop_assert_eq!(eq, u64::from(a == b));
+        // signed compare via sign-extension to i64
+        let sign = 1u64 << (width - 1);
+        let sext = |v: u64| (v ^ sign).wrapping_sub(sign) as i64;
+        let lts = eval2(width, a, b, |bld, x, y| {
+            let n = bld.lt_s(x, y);
+            Bus::from_nets(vec![n])
+        });
+        prop_assert_eq!(lts, u64::from(sext(a) < sext(b)));
+    }
+
+    #[test]
+    fn barrel_shifts_match(a in any::<u64>(), amt in 0u64..32, width in 4usize..20) {
+        let m = mask(width);
+        let a = a & m;
+        let amt_bits = 5;
+        let shl = eval2(width.max(amt_bits), a, amt, |bld, x, y| {
+            let x = x.slice(0, width);
+            let amt_bus = y.slice(0, amt_bits);
+            bld.shl_barrel(&x, &amt_bus)
+        });
+        let expect_shl = if amt as usize >= width { 0 } else { (a << amt) & m };
+        prop_assert_eq!(shl, expect_shl);
+        let shr = eval2(width.max(amt_bits), a, amt, |bld, x, y| {
+            let x = x.slice(0, width);
+            let amt_bus = y.slice(0, amt_bits);
+            bld.shr_barrel(&x, &amt_bus)
+        });
+        let expect_shr = if amt as usize >= width { 0 } else { a >> amt };
+        prop_assert_eq!(shr, expect_shr);
+        // arithmetic right shift replicates the sign bit
+        let sra = eval2(width.max(amt_bits), a, amt, |bld, x, y| {
+            let x = x.slice(0, width);
+            let amt_bus = y.slice(0, amt_bits);
+            bld.sra_barrel(&x, &amt_bus)
+        });
+        let sign = a >> (width - 1) & 1;
+        let expect_sra = if amt as usize >= width {
+            if sign == 1 { m } else { 0 }
+        } else {
+            let shifted = a >> amt;
+            if sign == 1 {
+                (shifted | (m & !(m >> amt))) & m
+            } else {
+                shifted
+            }
+        };
+        prop_assert_eq!(sra, expect_sra);
+    }
+
+    #[test]
+    fn multiplier_matches(a in any::<u64>(), b in any::<u64>(), width in 2usize..12) {
+        let m = mask(width);
+        let (a, b) = (a & m, b & m);
+        let full = eval2(width, a, b, |bld, x, y| bld.mul_full(x, y));
+        prop_assert_eq!(full, a * b);
+        let trunc = eval2(width, a, b, |bld, x, y| bld.mul(x, y));
+        prop_assert_eq!(trunc, (a * b) & m);
+    }
+
+    #[test]
+    fn neg_and_logic_match(a in any::<u64>(), b in any::<u64>(), width in 1usize..20) {
+        let m = mask(width);
+        let (a, b) = (a & m, b & m);
+        let neg = eval2(width, a, b, |bld, x, _| bld.neg(x));
+        prop_assert_eq!(neg, a.wrapping_neg() & m);
+        let and = eval2(width, a, b, |bld, x, y| bld.and(x, y));
+        prop_assert_eq!(and, a & b);
+        let or = eval2(width, a, b, |bld, x, y| bld.or(x, y));
+        prop_assert_eq!(or, a | b);
+        let xor = eval2(width, a, b, |bld, x, y| bld.xor(x, y));
+        prop_assert_eq!(xor, a ^ b);
+    }
+}

@@ -1,0 +1,243 @@
+//! Edge-case behavior of the simulation engine: Z handling, force/poke
+//! interaction, memory bounds, monitor management, and misuse panics.
+
+use symsim_logic::{Logic, Value, Word};
+use symsim_netlist::{Netlist, RtlBuilder};
+use symsim_sim::{HaltReason, MonitorSpec, SimConfig, Simulator};
+
+fn buf_design() -> Netlist {
+    let mut b = RtlBuilder::new("buf");
+    let a = b.input("a", 1);
+    let y = b.not(&a);
+    b.output("y", &y);
+    b.finish().expect("valid")
+}
+
+#[test]
+fn z_input_reads_as_unknown_through_gates() {
+    let nl = buf_design();
+    let mut sim = Simulator::new(&nl, SimConfig::default());
+    sim.poke(nl.find_net("a").unwrap(), Value::Z);
+    sim.settle();
+    // an inverter treats Z as unknown
+    assert!(sim.read_net_by_name("y").unwrap().is_x());
+    // but the undriven input itself still reads Z
+    assert_eq!(sim.read_net_by_name("a").unwrap(), Value::Z);
+}
+
+#[test]
+fn force_overrides_poke_until_release() {
+    let nl = buf_design();
+    let mut sim = Simulator::new(&nl, SimConfig::default());
+    let a = nl.find_net("a").unwrap();
+    sim.poke(a, Value::ZERO);
+    sim.settle();
+    sim.force(a, Value::ONE);
+    sim.settle();
+    assert_eq!(sim.read_net_by_name("y").unwrap(), Value::ZERO);
+    // pokes on a forced net do not stick
+    sim.poke(a, Value::ZERO);
+    sim.settle();
+    // the forced value was set directly; poke wrote over the raw slot, so
+    // after release the input keeps the *last* driven value
+    sim.release_all();
+    sim.settle();
+    assert!(sim.read_net_by_name("y").unwrap().is_known());
+}
+
+#[test]
+fn out_of_range_memory_write_is_dropped() {
+    let mut b = RtlBuilder::new("m");
+    let addr = b.input("addr", 8);
+    let data = b.input("data", 4);
+    let we = b.input("we", 1);
+    let m = b.memory("ram", 16, 4); // depth 16 < 2^8 addresses
+    let rd = b.mem_read(m, &addr);
+    b.mem_write(m, &addr, &data, we.bit(0));
+    b.output("rd", &rd);
+    let nl = b.finish().unwrap();
+    let mut sim = Simulator::new(&nl, SimConfig::default());
+    for a in 0..16 {
+        sim.write_mem_word(0, a, &Word::from_u64(0xA, 4));
+    }
+    let map = nl.net_name_map();
+    let addr_nets: Vec<_> = (0..8).map(|i| map[format!("addr[{i}]").as_str()]).collect();
+    let data_nets: Vec<_> = (0..4).map(|i| map[format!("data[{i}]").as_str()]).collect();
+    sim.poke_bus(&addr_nets, &Word::from_u64(200, 8)); // out of range
+    sim.poke_bus(&data_nets, &Word::from_u64(0x5, 4));
+    sim.poke(map["we"], Value::ONE);
+    sim.settle();
+    sim.step_cycle();
+    for a in 0..16 {
+        assert_eq!(sim.read_mem_word(0, a).to_u64(), Some(0xA), "word {a}");
+    }
+}
+
+#[test]
+fn partially_unknown_address_with_single_match_still_merges() {
+    // regression: an address with unknown high bits whose only in-range
+    // concretization is word N may also concretize out of range (write
+    // dropped), so mem[N] must merge with the old value, never be
+    // overwritten outright
+    let mut b = RtlBuilder::new("m");
+    let addr = b.input("addr", 5); // depth 16 < 2^5
+    let data = b.input("data", 4);
+    let we = b.input("we", 1);
+    let m = b.memory("ram", 16, 4);
+    let rd = b.mem_read(m, &addr.slice(0, 4));
+    b.mem_write(m, &addr.slice(0, 5), &data, we.bit(0));
+    b.output("rd", &rd);
+    let nl = b.finish().unwrap();
+    let mut sim = Simulator::new(&nl, SimConfig::default());
+    sim.write_mem_word(0, 3, &Word::from_u64(0b0000, 4));
+    let map = nl.net_name_map();
+    // addr = X_0011: matches only word 3 in range (bit 4 unknown -> 3 or 19)
+    let addr_nets: Vec<_> = (0..5).map(|i| map[format!("addr[{i}]").as_str()]).collect();
+    let mut aw = Word::from_u64(0b00011, 5);
+    aw.set_bit(4, Value::X);
+    sim.poke_bus(&addr_nets, &aw);
+    let data_nets: Vec<_> = (0..4).map(|i| map[format!("data[{i}]").as_str()]).collect();
+    sim.poke_bus(&data_nets, &Word::from_u64(0b1111, 4));
+    sim.poke(map["we"], Value::ONE);
+    sim.settle();
+    sim.step_cycle();
+    let w = sim.read_mem_word(0, 3);
+    assert!(
+        w.iter().all(|v| v.is_x()),
+        "word 3 must be the merge of old 0000 and maybe-written 1111, got {w}"
+    );
+}
+
+#[test]
+fn zero_enum_budget_merges_whole_memory() {
+    let mut b = RtlBuilder::new("m");
+    let addr = b.input("addr", 2);
+    let m = b.memory("ram", 4, 4);
+    let rd = b.mem_read(m, &addr);
+    b.output("rd", &rd);
+    let nl = b.finish().unwrap();
+    let config = SimConfig {
+        max_addr_enum_bits: 0,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(&nl, config);
+    for a in 0..4 {
+        sim.write_mem_word(0, a, &Word::from_u64(0b1001, 4));
+    }
+    let map = nl.net_name_map();
+    sim.poke(map["addr[0]"], Value::X); // 1 unknown bit > budget 0
+    sim.poke(map["addr[1]"], Value::ZERO);
+    sim.settle();
+    // all words agree, so even the whole-array merge stays known
+    assert_eq!(sim.read_bus_by_name("rd", 4).unwrap().to_u64(), Some(0b1001));
+    sim.write_mem_word(0, 3, &Word::from_u64(0b1111, 4));
+    sim.settle();
+    // address {0,1} would not reach word 3, but budget 0 merges everything
+    let w = sim.read_bus_by_name("rd", 4).unwrap();
+    assert!(w.bit(1).is_x() && w.bit(2).is_x(), "{w}");
+}
+
+#[test]
+fn multiple_monitor_specs_and_clearing() {
+    let mut b = RtlBuilder::new("mm");
+    let s1 = b.input("s1", 1);
+    let s2 = b.input("s2", 1);
+    b.output("o1", &s1);
+    b.output("o2", &s2);
+    let nl = b.finish().unwrap();
+    let mut sim = Simulator::new(&nl, SimConfig::default());
+    let map = nl.net_name_map();
+    sim.monitor_x(MonitorSpec {
+        qualifier: None,
+        signals: vec![map["o1"]],
+    });
+    sim.monitor_x(MonitorSpec {
+        qualifier: None,
+        signals: vec![map["o2"]],
+    });
+    sim.poke(map["s1"], Value::ZERO);
+    sim.poke(map["s2"], Value::X);
+    sim.settle();
+    // second spec fires
+    assert_eq!(
+        sim.run(3),
+        HaltReason::MonitorX {
+            signals: vec![map["o2"]]
+        }
+    );
+    sim.clear_monitors();
+    assert_eq!(sim.run(3), HaltReason::MaxCycles);
+}
+
+#[test]
+#[should_panic(expected = "different design")]
+fn loading_foreign_snapshot_panics() {
+    let nl1 = buf_design();
+    let mut b = RtlBuilder::new("other");
+    let a = b.input("a", 2);
+    b.output("y", &a);
+    let nl2 = b.finish().unwrap();
+    let mut sim1 = Simulator::new(&nl1, SimConfig::default());
+    let mut sim2 = Simulator::new(&nl2, SimConfig::default());
+    let snap = sim2.save_state();
+    sim1.load_state(&snap);
+}
+
+#[test]
+#[should_panic(expected = "poke width mismatch")]
+fn poke_bus_width_mismatch_panics() {
+    let nl = buf_design();
+    let mut sim = Simulator::new(&nl, SimConfig::default());
+    let a = nl.find_net("a").unwrap();
+    sim.poke_bus(&[a], &Word::from_u64(0, 2));
+}
+
+#[test]
+#[should_panic(expected = "forces are active")]
+fn snapshot_under_force_panics() {
+    let nl = buf_design();
+    let mut sim = Simulator::new(&nl, SimConfig::default());
+    sim.force(nl.find_net("y").unwrap(), Value::ONE);
+    let _ = sim.save_state();
+}
+
+#[test]
+fn dff_init_values_apply_at_power_on() {
+    let mut b = RtlBuilder::new("init");
+    let r0 = b.reg("zero_init", 1, 0);
+    let r1 = b.reg("one_init", 1, 1);
+    let rx = b.reg_x("x_init", 1);
+    let q0 = r0.q.clone();
+    let q1 = r1.q.clone();
+    let qx = rx.q.clone();
+    b.drive_reg(r0, &q0.clone());
+    b.drive_reg(r1, &q1.clone());
+    b.drive_reg(rx, &qx.clone());
+    b.output("o0", &q0);
+    b.output("o1", &q1);
+    b.output("ox", &qx);
+    let nl = b.finish().unwrap();
+    let mut sim = Simulator::new(&nl, SimConfig::default());
+    sim.settle();
+    assert_eq!(sim.read_net_by_name("o0").unwrap(), Value::ZERO);
+    assert_eq!(sim.read_net_by_name("o1").unwrap(), Value::ONE);
+    assert!(sim.read_net_by_name("ox").unwrap().is_x());
+    // self-holding registers keep their values across edges
+    for _ in 0..3 {
+        sim.step_cycle();
+    }
+    assert_eq!(sim.read_net_by_name("o1").unwrap(), Value::ONE);
+    // DFF init metadata is on the netlist
+    assert_eq!(nl.dffs()[0].init, Logic::Zero);
+    assert_eq!(nl.dffs()[2].init, Logic::X);
+}
+
+#[test]
+fn read_helpers_handle_missing_names() {
+    let nl = buf_design();
+    let sim = Simulator::new(&nl, SimConfig::default());
+    assert!(sim.read_net_by_name("nope").is_none());
+    assert!(sim.read_bus_by_name("nope", 4).is_none());
+    assert!(sim.find_bus("also_nope", 2).is_none());
+    assert!(sim.find_memory("no_mem").is_none());
+}

@@ -1,0 +1,428 @@
+//! BLIF (Berkeley Logic Interchange Format) reader/writer — the academic
+//! netlist interchange used by SIS/ABC-era tools, supported so designs can
+//! reach the co-analysis flow from logic-synthesis pipelines as well as
+//! from Verilog.
+//!
+//! Supported subset: `.model`/`.inputs`/`.outputs`/`.names` (single-output
+//! covers with `0/1/-` literals and output value `1`), `.latch` (init
+//! values 0/1/2/3), `.end`. Memories have no BLIF representation;
+//! [`write_blif`] rejects netlists containing them.
+//!
+//! # Example
+//!
+//! ```
+//! use symsim_verilog::{parse_blif, write_blif};
+//!
+//! let src = "\
+//! .model mux
+//! .inputs s a b
+//! .outputs y
+//! .names s a b y
+//! 01- 1
+//! 1-1 1
+//! .end
+//! ";
+//! let nl = parse_blif(src).expect("parses");
+//! assert_eq!(nl.inputs().len(), 3);
+//! let round = parse_blif(&write_blif(&nl).expect("writes")).expect("reparses");
+//! assert_eq!(round.outputs().len(), 1);
+//! ```
+
+use std::fmt;
+
+use symsim_logic::Logic;
+use symsim_netlist::{CellKind, Gate, NetId, Netlist};
+
+/// Errors from [`parse_blif`] / [`write_blif`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlifError {
+    /// 1-based source line (0 for writer-side errors).
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl BlifError {
+    fn new(line: usize, message: impl Into<String>) -> BlifError {
+        BlifError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for BlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "blif: {}", self.message)
+        } else {
+            write!(f, "blif line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for BlifError {}
+
+/// Parses a BLIF model into a netlist. `.names` covers are elaborated into
+/// AND/OR/NOT trees over the library cells.
+///
+/// # Errors
+///
+/// Returns [`BlifError`] on syntax errors or unsupported constructs.
+pub fn parse_blif(src: &str) -> Result<Netlist, BlifError> {
+    // join continuation lines ('\' at end)
+    let mut logical: Vec<(usize, String)> = Vec::new();
+    let mut pending: Option<(usize, String)> = None;
+    for (i, raw) in src.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim_end();
+        let (text, continued) = match line.strip_suffix('\\') {
+            Some(t) => (t.to_string(), true),
+            None => (line.to_string(), false),
+        };
+        match pending.take() {
+            Some((start, mut acc)) => {
+                acc.push(' ');
+                acc.push_str(&text);
+                if continued {
+                    pending = Some((start, acc));
+                } else {
+                    logical.push((start, acc));
+                }
+            }
+            None => {
+                if continued {
+                    pending = Some((i + 1, text));
+                } else if !text.trim().is_empty() {
+                    logical.push((i + 1, text));
+                }
+            }
+        }
+    }
+
+    let mut nl = Netlist::new("blif");
+    let mut nets = std::collections::HashMap::<String, NetId>::new();
+    let mut get = |nl: &mut Netlist, name: &str| -> NetId {
+        if let Some(&n) = nets.get(name) {
+            n
+        } else {
+            let n = nl.add_net(name);
+            nets.insert(name.to_string(), n);
+            n
+        }
+    };
+
+    let mut it = logical.iter().peekable();
+    let mut saw_model = false;
+    while let Some((line_no, text)) = it.next() {
+        let mut words = text.split_whitespace();
+        let Some(keyword) = words.next() else { continue };
+        match keyword {
+            ".model" => {
+                if saw_model {
+                    return Err(BlifError::new(*line_no, "multiple .model sections"));
+                }
+                saw_model = true;
+                nl.name = words.next().unwrap_or("blif").to_string();
+            }
+            ".inputs" => {
+                for w in words {
+                    let n = get(&mut nl, w);
+                    nl.add_input(n);
+                }
+            }
+            ".outputs" => {
+                for w in words {
+                    let n = get(&mut nl, w);
+                    nl.add_output(n);
+                }
+            }
+            ".latch" => {
+                let d = words
+                    .next()
+                    .ok_or_else(|| BlifError::new(*line_no, ".latch needs input"))?;
+                let q = words
+                    .next()
+                    .ok_or_else(|| BlifError::new(*line_no, ".latch needs output"))?;
+                // optional [type clk] then init
+                let rest: Vec<&str> = words.collect();
+                let init = match rest.last() {
+                    Some(&"0") => Logic::Zero,
+                    Some(&"1") => Logic::One,
+                    Some(&"2") | Some(&"3") | None => Logic::X,
+                    Some(other) if other.chars().all(char::is_alphabetic) => Logic::X,
+                    Some(other) => {
+                        return Err(BlifError::new(
+                            *line_no,
+                            format!("bad latch init \"{other}\""),
+                        ))
+                    }
+                };
+                let d = get(&mut nl, d);
+                let q = get(&mut nl, q);
+                nl.add_dff(d, q, init);
+            }
+            ".names" => {
+                let signals: Vec<&str> = words.collect();
+                if signals.is_empty() {
+                    return Err(BlifError::new(*line_no, ".names needs signals"));
+                }
+                let output = get(&mut nl, signals[signals.len() - 1]);
+                let inputs: Vec<NetId> =
+                    signals[..signals.len() - 1].iter().map(|w| get(&mut nl, w)).collect();
+                // collect cover rows
+                let mut rows: Vec<(String, char)> = Vec::new();
+                while let Some((row_line, row)) = it.peek() {
+                    let t = row.trim();
+                    if t.starts_with('.') {
+                        break;
+                    }
+                    let mut parts = t.split_whitespace();
+                    let (pattern, out_bit) = if inputs.is_empty() {
+                        (String::new(), parts.next().unwrap_or("1"))
+                    } else {
+                        let p = parts
+                            .next()
+                            .ok_or_else(|| BlifError::new(*row_line, "empty cover row"))?;
+                        (p.to_string(), parts.next().unwrap_or("1"))
+                    };
+                    let out_char = out_bit.chars().next().unwrap_or('1');
+                    if out_char != '1' {
+                        return Err(BlifError::new(
+                            *row_line,
+                            "only on-set (output 1) covers are supported",
+                        ));
+                    }
+                    if pattern.len() != inputs.len() {
+                        return Err(BlifError::new(
+                            *row_line,
+                            format!(
+                                "cover width {} does not match {} inputs",
+                                pattern.len(),
+                                inputs.len()
+                            ),
+                        ));
+                    }
+                    rows.push((pattern, out_char));
+                    it.next();
+                }
+                elaborate_cover(&mut nl, &inputs, output, &rows)
+                    .map_err(|m| BlifError::new(*line_no, m))?;
+            }
+            ".end" => break,
+            other => {
+                return Err(BlifError::new(
+                    *line_no,
+                    format!("unsupported construct \"{other}\""),
+                ))
+            }
+        }
+    }
+    nl.validate()
+        .map_err(|e| BlifError::new(0, format!("invalid netlist: {e}")))?;
+    Ok(nl)
+}
+
+/// Builds the AND/OR tree for one `.names` single-output cover.
+fn elaborate_cover(
+    nl: &mut Netlist,
+    inputs: &[NetId],
+    output: NetId,
+    rows: &[(String, char)],
+) -> Result<(), String> {
+    let fresh = |nl: &mut Netlist, tag: &str| {
+        let i = nl.net_count();
+        nl.add_net(format!("blif_{tag}_{i}"))
+    };
+    if rows.is_empty() {
+        nl.add_gate(CellKind::Const0, &[], output);
+        return Ok(());
+    }
+    if inputs.is_empty() {
+        // a cover with no inputs and at least one on-set row is constant 1
+        nl.add_gate(CellKind::Const1, &[], output);
+        return Ok(());
+    }
+    let mut terms: Vec<NetId> = Vec::with_capacity(rows.len());
+    for (pattern, _) in rows {
+        let mut literals: Vec<NetId> = Vec::new();
+        for (i, c) in pattern.chars().enumerate() {
+            match c {
+                '1' => literals.push(inputs[i]),
+                '0' => {
+                    let n = fresh(nl, "not");
+                    nl.add_gate(CellKind::Not, &[inputs[i]], n);
+                    literals.push(n);
+                }
+                '-' => {}
+                other => return Err(format!("bad cover literal '{other}'")),
+            }
+        }
+        let term = match literals.len() {
+            0 => {
+                let n = fresh(nl, "one");
+                nl.add_gate(CellKind::Const1, &[], n);
+                n
+            }
+            1 => literals[0],
+            _ => {
+                let mut acc = literals[0];
+                for &lit in &literals[1..] {
+                    let n = fresh(nl, "and");
+                    nl.add_gate(CellKind::And2, &[acc, lit], n);
+                    acc = n;
+                }
+                acc
+            }
+        };
+        terms.push(term);
+    }
+    if terms.len() == 1 {
+        nl.add_gate(CellKind::Buf, &[terms[0]], output);
+    } else {
+        let mut acc = terms[0];
+        for &t in &terms[1..terms.len() - 1] {
+            let n = fresh(nl, "or");
+            nl.add_gate(CellKind::Or2, &[acc, t], n);
+            acc = n;
+        }
+        nl.add_gate(CellKind::Or2, &[acc, terms[terms.len() - 1]], output);
+    }
+    Ok(())
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '[' || c == ']' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Renders a netlist as BLIF. Every library cell becomes a `.names` cover;
+/// flip-flops become `.latch` lines.
+///
+/// # Errors
+///
+/// Returns [`BlifError`] if the netlist contains memories, which BLIF
+/// cannot express.
+pub fn write_blif(netlist: &Netlist) -> Result<String, BlifError> {
+    if !netlist.memories().is_empty() {
+        return Err(BlifError::new(0, "BLIF cannot express memory arrays"));
+    }
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let name = |n: NetId| sanitize(netlist.net_name(n));
+    let _ = writeln!(out, ".model {}", sanitize(&netlist.name));
+    let _ = writeln!(
+        out,
+        ".inputs {}",
+        netlist
+            .inputs()
+            .iter()
+            .map(|&n| name(n))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    let _ = writeln!(
+        out,
+        ".outputs {}",
+        netlist
+            .outputs()
+            .iter()
+            .map(|&n| name(n))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    for g in netlist.gates() {
+        let Gate { kind, inputs, output } = g;
+        let ins: Vec<String> = inputs.iter().map(|&n| name(n)).collect();
+        let _ = writeln!(out, ".names {} {}", ins.join(" "), name(*output));
+        let cover: &[&str] = match kind {
+            CellKind::Const0 => &[],
+            CellKind::Const1 => &["1"],
+            CellKind::Buf => &["1 1"],
+            CellKind::Not => &["0 1"],
+            CellKind::And2 => &["11 1"],
+            CellKind::Or2 => &["1- 1", "-1 1"],
+            CellKind::Nand2 => &["0- 1", "-0 1"],
+            CellKind::Nor2 => &["00 1"],
+            CellKind::Xor2 => &["10 1", "01 1"],
+            CellKind::Xnor2 => &["00 1", "11 1"],
+            CellKind::Mux2 => &["01- 1", "1-1 1"],
+        };
+        for row in cover {
+            let _ = writeln!(out, "{row}");
+        }
+    }
+    for d in netlist.dffs() {
+        let init = match d.init {
+            Logic::Zero => "0",
+            Logic::One => "1",
+            _ => "3",
+        };
+        let _ = writeln!(out, ".latch {} {} {}", name(d.d), name(d.q), init);
+    }
+    out.push_str(".end\n");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_covers_and_latches() {
+        let src = "\
+# a toggle flip-flop gated by en
+.model toggle
+.inputs en
+.outputs q
+.names en q d
+10 1
+01 1
+.latch d q 0
+.end
+";
+        let nl = parse_blif(src).unwrap();
+        assert_eq!(nl.name, "toggle");
+        assert_eq!(nl.dff_count(), 1);
+        assert_eq!(nl.dffs()[0].init, Logic::Zero);
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn constant_covers() {
+        let src = ".model c\n.inputs a\n.outputs y z\n.names y\n1\n.names z\n.end\n";
+        let nl = parse_blif(src).unwrap();
+        assert_eq!(nl.gate_count(), 2);
+        assert!(matches!(nl.gates()[0].kind, CellKind::Const1));
+        assert!(matches!(nl.gates()[1].kind, CellKind::Const0));
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let src = ".model c\n.inputs \\\na b\n.outputs y\n.names a b y\n11 1\n.end\n";
+        let nl = parse_blif(src).unwrap();
+        assert_eq!(nl.inputs().len(), 2);
+    }
+
+    #[test]
+    fn rejects_unsupported() {
+        assert!(parse_blif(".model m\n.gate nand2 a=x b=y O=z\n.end").is_err());
+        assert!(parse_blif(".model m\n.inputs a\n.outputs y\n.names a y\n1 0\n.end").is_err());
+        assert!(parse_blif(".model m\n.inputs a\n.outputs y\n.names a y\n11 1\n.end").is_err());
+    }
+
+    #[test]
+    fn writer_rejects_memories() {
+        let mut nl = Netlist::new("m");
+        let a = nl.add_net("a");
+        nl.add_input(a);
+        nl.add_memory("ram", 4, 1);
+        assert!(write_blif(&nl).is_err());
+    }
+}

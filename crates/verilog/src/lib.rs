@@ -1,0 +1,54 @@
+//! # symsim-verilog
+//!
+//! Structural Verilog I/O for the symbolic co-analysis tool. The paper's
+//! flow consumes a *gate-level netlist* (post-synthesis) and emits the
+//! bespoke netlist back out; this crate implements both directions for the
+//! structural subset such netlists use:
+//!
+//! * standard gate primitives (`and`, `or`, `nand`, `nor`, `xor`, `xnor`,
+//!   `buf`, `not`) with positional `(output, inputs...)` connections,
+//! * library cells `mux2`, `dff` (with an `INIT` parameter), `const0`,
+//!   `const1`, and `mem` (with `DEPTH`/`WIDTH` parameters) using named pin
+//!   connections,
+//! * `assign` statements over scalar operands with `~ & ^ | ?:` expressions
+//!   (elaborated straight to gates),
+//! * scalar and vector port/wire declarations; vector bits map to nets named
+//!   `base[i]`.
+//!
+//! The [`blif`] module additionally reads and writes BLIF, the academic
+//! logic-synthesis interchange format.
+//!
+//! [`write_netlist`] and [`parse_netlist`] round-trip any
+//! [`symsim_netlist::Netlist`].
+//!
+//! # Example
+//!
+//! ```
+//! use symsim_netlist::RtlBuilder;
+//! use symsim_verilog::{parse_netlist, write_netlist};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = RtlBuilder::new("inv2");
+//! let a = b.input("a", 2);
+//! let y = b.not(&a);
+//! b.output("y", &y);
+//! let nl = b.finish()?;
+//!
+//! let text = write_netlist(&nl);
+//! assert!(text.contains("module inv2"));
+//! let back = parse_netlist(&text)?;
+//! assert_eq!(back.gate_count(), nl.gate_count());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blif;
+mod parse;
+mod write;
+
+pub use blif::{parse_blif, write_blif, BlifError};
+pub use parse::{parse_netlist, ParseError};
+pub use write::write_netlist;

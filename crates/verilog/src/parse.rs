@@ -1,0 +1,787 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use symsim_logic::Logic;
+use symsim_netlist::{CellKind, MemoryId, NetId, Netlist};
+
+/// Errors from [`parse_netlist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line number (1-based) where the problem was detected.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Num(u64),
+    BitLit(Logic),
+    Sym(char),
+}
+
+struct Lexer {
+    toks: Vec<(usize, Tok)>, // (line, token)
+    pos: usize,
+}
+
+fn lex(src: &str) -> Result<Lexer, ParseError> {
+    let mut toks = Vec::new();
+    let mut chars = src.char_indices().peekable();
+    let mut line = 1usize;
+    let bytes = src.as_bytes();
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '\n' => line += 1,
+            c if c.is_whitespace() => {}
+            '/' => match chars.peek() {
+                Some((_, '/')) => {
+                    for (_, c2) in chars.by_ref() {
+                        if c2 == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                }
+                Some((_, '*')) => {
+                    chars.next();
+                    let mut prev = ' ';
+                    for (_, c2) in chars.by_ref() {
+                        if c2 == '\n' {
+                            line += 1;
+                        }
+                        if prev == '*' && c2 == '/' {
+                            break;
+                        }
+                        prev = c2;
+                    }
+                }
+                _ => {
+                    return Err(ParseError {
+                        line,
+                        message: "unexpected '/'".into(),
+                    })
+                }
+            },
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                // bit literal like 1'b0 / 1'bx
+                if j < bytes.len() && bytes[j] == b'\'' {
+                    // consume width digits already; expect 'b<char>
+                    while let Some((k, _)) = chars.peek().copied() {
+                        if k < j {
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    chars.next(); // the quote
+                    let base = chars.next().map(|(_, c)| c);
+                    if base != Some('b') {
+                        return Err(ParseError {
+                            line,
+                            message: "only 'b bit literals are supported".into(),
+                        });
+                    }
+                    let val = chars.next().map(|(_, c)| c).ok_or(ParseError {
+                        line,
+                        message: "truncated bit literal".into(),
+                    })?;
+                    let l = match val {
+                        '0' => Logic::Zero,
+                        '1' => Logic::One,
+                        'x' | 'X' => Logic::X,
+                        'z' | 'Z' => Logic::Z,
+                        other => {
+                            return Err(ParseError {
+                                line,
+                                message: format!("bad bit literal value '{other}'"),
+                            })
+                        }
+                    };
+                    toks.push((line, Tok::BitLit(l)));
+                } else {
+                    let n: u64 = src[i..j].parse().map_err(|_| ParseError {
+                        line,
+                        message: "bad number".into(),
+                    })?;
+                    while let Some((k, _)) = chars.peek().copied() {
+                        if k < j {
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    toks.push((line, Tok::Num(n)));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '\\' => {
+                let start = if c == '\\' { i + 1 } else { i };
+                let mut j = i + c.len_utf8();
+                if c == '\\' {
+                    // escaped identifier: runs to whitespace
+                    while j < bytes.len() && !bytes[j].is_ascii_whitespace() {
+                        j += 1;
+                    }
+                } else {
+                    while j < bytes.len()
+                        && (bytes[j].is_ascii_alphanumeric()
+                            || bytes[j] == b'_'
+                            || bytes[j] == b'$')
+                    {
+                        j += 1;
+                    }
+                }
+                while let Some((k, _)) = chars.peek().copied() {
+                    if k < j {
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((line, Tok::Ident(src[start..j].to_string())));
+            }
+            '(' | ')' | '{' | '}' | '[' | ']' | ',' | ';' | ':' | '.' | '#' | '=' | '~'
+            | '&' | '|' | '^' | '?' => {
+                toks.push((line, Tok::Sym(c)));
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    message: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    Ok(Lexer { toks, pos: 0 })
+}
+
+impl Lexer {
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map(|(l, _)| *l)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Sym(s)) if s == c => Ok(()),
+            other => Err(self.err(format!("expected '{c}', found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn expect_num(&mut self) -> Result<u64, ParseError> {
+        match self.next() {
+            Some(Tok::Num(n)) => Ok(n),
+            other => Err(self.err(format!("expected number, found {other:?}"))),
+        }
+    }
+
+    fn eat_sym(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Sym(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+struct NetTable {
+    map: HashMap<String, NetId>,
+}
+
+impl NetTable {
+    fn get(&mut self, nl: &mut Netlist, name: &str) -> NetId {
+        if let Some(&id) = self.map.get(name) {
+            return id;
+        }
+        let id = nl.add_net(name);
+        self.map.insert(name.to_string(), id);
+        id
+    }
+}
+
+/// Parses structural Verilog in the dialect produced by
+/// [`crate::write_netlist`] (see the crate docs for the supported subset).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a line number on any lexical or syntactic
+/// problem, unsupported construct, or arity mismatch.
+pub fn parse_netlist(src: &str) -> Result<Netlist, ParseError> {
+    let mut lx = lex(src)?;
+    match lx.next() {
+        Some(Tok::Ident(kw)) if kw == "module" => {}
+        other => {
+            return Err(lx.err(format!("expected 'module', found {other:?}")));
+        }
+    }
+    let name = lx.expect_ident()?;
+    let mut nl = Netlist::new(name);
+    let mut nets = NetTable {
+        map: HashMap::new(),
+    };
+
+    // header port list (names only)
+    lx.expect_sym('(')?;
+    if !lx.eat_sym(')') {
+        loop {
+            let _ = lx.expect_ident()?;
+            if lx.eat_sym(')') {
+                break;
+            }
+            lx.expect_sym(',')?;
+        }
+    }
+    lx.expect_sym(';')?;
+
+    let mut pending_ports: Vec<(String, Vec<NetId>)> = Vec::new(); // (dir, bits LSB-first)
+
+    loop {
+        let tok = lx
+            .next()
+            .ok_or_else(|| lx.err("unexpected end of file (missing endmodule)"))?;
+        let kw = match tok {
+            Tok::Ident(s) => s,
+            other => return Err(lx.err(format!("expected item, found {other:?}"))),
+        };
+        match kw.as_str() {
+            "endmodule" => break,
+            "assign" => {
+                parse_assign(&mut lx, &mut nl, &mut nets)?;
+            }
+            "input" | "output" | "wire" => {
+                let dir = kw;
+                // optional [msb:lsb]
+                let mut range: Option<(u64, u64)> = None;
+                if lx.eat_sym('[') {
+                    let msb = lx.expect_num()?;
+                    lx.expect_sym(':')?;
+                    let lsb = lx.expect_num()?;
+                    lx.expect_sym(']')?;
+                    range = Some((msb, lsb));
+                }
+                loop {
+                    let base = lx.expect_ident()?;
+                    let bits: Vec<NetId> = match range {
+                        None => vec![nets.get(&mut nl, &base)],
+                        Some((msb, lsb)) => (lsb..=msb)
+                            .map(|i| nets.get(&mut nl, &format!("{base}[{i}]")))
+                            .collect(),
+                    };
+                    if dir != "wire" {
+                        pending_ports.push((dir.clone(), bits));
+                    }
+                    if lx.eat_sym(';') {
+                        break;
+                    }
+                    lx.expect_sym(',')?;
+                }
+            }
+            cell => {
+                parse_instance(cell, &mut lx, &mut nl, &mut nets)?;
+            }
+        }
+    }
+
+    for (dir, bits) in pending_ports {
+        for b in bits {
+            if dir == "input" {
+                nl.add_input(b);
+            } else {
+                nl.add_output(b);
+            }
+        }
+    }
+    Ok(nl)
+}
+
+/// `assign lhs = expr;` over scalar operands: `~ & ^ | ?:` with the usual
+/// Verilog precedence, parenthesization, bit-selects, and `1'b0`/`1'b1`
+/// literals. Elaborated directly to library gates.
+fn parse_assign(
+    lx: &mut Lexer,
+    nl: &mut Netlist,
+    nets: &mut NetTable,
+) -> Result<(), ParseError> {
+    let lhs = parse_net_ref(lx, nl, nets)?;
+    let lhs = single(lhs, lx, "assign target")?;
+    lx.expect_sym('=')?;
+    let rhs = parse_ternary(lx, nl, nets)?;
+    lx.expect_sym(';')?;
+    nl.add_gate(CellKind::Buf, &[rhs], lhs);
+    Ok(())
+}
+
+fn fresh_expr_net(nl: &mut Netlist) -> NetId {
+    let n = nl.net_count();
+    nl.add_net(format!("assign_expr_{n}"))
+}
+
+fn parse_ternary(
+    lx: &mut Lexer,
+    nl: &mut Netlist,
+    nets: &mut NetTable,
+) -> Result<NetId, ParseError> {
+    let cond = parse_or(lx, nl, nets)?;
+    if !lx.eat_sym('?') {
+        return Ok(cond);
+    }
+    let when1 = parse_ternary(lx, nl, nets)?;
+    lx.expect_sym(':')?;
+    let when0 = parse_ternary(lx, nl, nets)?;
+    let out = fresh_expr_net(nl);
+    nl.add_gate(CellKind::Mux2, &[cond, when0, when1], out);
+    Ok(out)
+}
+
+fn parse_binary_chain(
+    lx: &mut Lexer,
+    nl: &mut Netlist,
+    nets: &mut NetTable,
+    op: char,
+    kind: CellKind,
+    next: fn(&mut Lexer, &mut Netlist, &mut NetTable) -> Result<NetId, ParseError>,
+) -> Result<NetId, ParseError> {
+    let mut acc = next(lx, nl, nets)?;
+    while lx.eat_sym(op) {
+        let rhs = next(lx, nl, nets)?;
+        let out = fresh_expr_net(nl);
+        nl.add_gate(kind, &[acc, rhs], out);
+        acc = out;
+    }
+    Ok(acc)
+}
+
+fn parse_or(
+    lx: &mut Lexer,
+    nl: &mut Netlist,
+    nets: &mut NetTable,
+) -> Result<NetId, ParseError> {
+    parse_binary_chain(lx, nl, nets, '|', CellKind::Or2, parse_xor)
+}
+
+fn parse_xor(
+    lx: &mut Lexer,
+    nl: &mut Netlist,
+    nets: &mut NetTable,
+) -> Result<NetId, ParseError> {
+    parse_binary_chain(lx, nl, nets, '^', CellKind::Xor2, parse_and)
+}
+
+fn parse_and(
+    lx: &mut Lexer,
+    nl: &mut Netlist,
+    nets: &mut NetTable,
+) -> Result<NetId, ParseError> {
+    parse_binary_chain(lx, nl, nets, '&', CellKind::And2, parse_unary)
+}
+
+fn parse_unary(
+    lx: &mut Lexer,
+    nl: &mut Netlist,
+    nets: &mut NetTable,
+) -> Result<NetId, ParseError> {
+    if lx.eat_sym('~') {
+        let inner = parse_unary(lx, nl, nets)?;
+        let out = fresh_expr_net(nl);
+        nl.add_gate(CellKind::Not, &[inner], out);
+        return Ok(out);
+    }
+    if lx.eat_sym('(') {
+        let inner = parse_ternary(lx, nl, nets)?;
+        lx.expect_sym(')')?;
+        return Ok(inner);
+    }
+    if let Some(Tok::BitLit(l)) = lx.peek() {
+        let l = *l;
+        lx.next();
+        let out = fresh_expr_net(nl);
+        let kind = match l {
+            Logic::One => CellKind::Const1,
+            _ => CellKind::Const0,
+        };
+        nl.add_gate(kind, &[], out);
+        return Ok(out);
+    }
+    let pins = parse_net_ref(lx, nl, nets)?;
+    single(pins, lx, "expression operand")
+}
+
+/// A net reference: `ident`, `ident[idx]`, or `{refs, ...}` (MSB first).
+fn parse_net_ref(
+    lx: &mut Lexer,
+    nl: &mut Netlist,
+    nets: &mut NetTable,
+) -> Result<Vec<NetId>, ParseError> {
+    if lx.eat_sym('{') {
+        let mut msb_first = Vec::new();
+        loop {
+            let mut inner = parse_net_ref(lx, nl, nets)?;
+            msb_first.append(&mut inner);
+            if lx.eat_sym('}') {
+                break;
+            }
+            lx.expect_sym(',')?;
+        }
+        msb_first.reverse(); // to LSB-first
+        return Ok(msb_first);
+    }
+    let base = lx.expect_ident()?;
+    if lx.eat_sym('[') {
+        let idx = lx.expect_num()?;
+        lx.expect_sym(']')?;
+        Ok(vec![nets.get(nl, &format!("{base}[{idx}]"))])
+    } else {
+        Ok(vec![nets.get(nl, &base)])
+    }
+}
+
+fn single(
+    pins: Vec<NetId>,
+    lx: &Lexer,
+    what: &str,
+) -> Result<NetId, ParseError> {
+    if pins.len() != 1 {
+        return Err(lx.err(format!("{what} must be a single net")));
+    }
+    Ok(pins[0])
+}
+
+fn parse_instance(
+    cell: &str,
+    lx: &mut Lexer,
+    nl: &mut Netlist,
+    nets: &mut NetTable,
+) -> Result<(), ParseError> {
+    // optional parameters
+    let mut params: HashMap<String, u64> = HashMap::new();
+    let mut init = Logic::X;
+    if lx.eat_sym('#') {
+        lx.expect_sym('(')?;
+        loop {
+            lx.expect_sym('.')?;
+            let pname = lx.expect_ident()?;
+            lx.expect_sym('(')?;
+            match lx.next() {
+                Some(Tok::Num(n)) => {
+                    params.insert(pname, n);
+                }
+                Some(Tok::BitLit(l)) => {
+                    if pname == "INIT" {
+                        init = l;
+                    }
+                }
+                other => {
+                    return Err(lx.err(format!("bad parameter value {other:?}")));
+                }
+            }
+            lx.expect_sym(')')?;
+            if lx.eat_sym(')') {
+                break;
+            }
+            lx.expect_sym(',')?;
+        }
+    }
+    let inst_name = lx.expect_ident()?;
+    lx.expect_sym('(')?;
+
+    // named or positional connections
+    let mut named: Vec<(String, Vec<NetId>)> = Vec::new();
+    let mut positional: Vec<Vec<NetId>> = Vec::new();
+    if !lx.eat_sym(')') {
+        loop {
+            if lx.eat_sym('.') {
+                let pin = lx.expect_ident()?;
+                lx.expect_sym('(')?;
+                let nets_ref = parse_net_ref(lx, nl, nets)?;
+                lx.expect_sym(')')?;
+                named.push((pin, nets_ref));
+            } else {
+                positional.push(parse_net_ref(lx, nl, nets)?);
+            }
+            if lx.eat_sym(')') {
+                break;
+            }
+            lx.expect_sym(',')?;
+        }
+    }
+    lx.expect_sym(';')?;
+
+    let pin = |name: &str| -> Option<Vec<NetId>> {
+        named
+            .iter()
+            .find(|(p, _)| p == name)
+            .map(|(_, n)| n.clone())
+    };
+
+    match cell {
+        "and" | "or" | "nand" | "nor" | "xor" | "xnor" | "buf" | "not" => {
+            let kind = CellKind::from_verilog_name(cell).expect("known primitive");
+            if positional.len() != kind.arity() + 1 {
+                return Err(lx.err(format!(
+                    "{cell} expects {} connections, got {}",
+                    kind.arity() + 1,
+                    positional.len()
+                )));
+            }
+            let out = single(positional[0].clone(), lx, "gate output")?;
+            let ins: Vec<NetId> = positional[1..]
+                .iter()
+                .map(|p| single(p.clone(), lx, "gate input"))
+                .collect::<Result<_, _>>()?;
+            nl.add_gate(kind, &ins, out);
+        }
+        "const0" | "const1" => {
+            let y = single(
+                pin("Y").ok_or_else(|| lx.err("const cell needs .Y"))?,
+                lx,
+                "Y",
+            )?;
+            let kind = if cell == "const1" {
+                CellKind::Const1
+            } else {
+                CellKind::Const0
+            };
+            nl.add_gate(kind, &[], y);
+        }
+        "mux2" => {
+            let y = single(pin("Y").ok_or_else(|| lx.err("mux2 needs .Y"))?, lx, "Y")?;
+            let s = single(pin("S").ok_or_else(|| lx.err("mux2 needs .S"))?, lx, "S")?;
+            let a = single(pin("A").ok_or_else(|| lx.err("mux2 needs .A"))?, lx, "A")?;
+            let b = single(pin("B").ok_or_else(|| lx.err("mux2 needs .B"))?, lx, "B")?;
+            nl.add_gate(CellKind::Mux2, &[s, a, b], y);
+        }
+        "dff" => {
+            let d = single(pin("D").ok_or_else(|| lx.err("dff needs .D"))?, lx, "D")?;
+            let q = single(pin("Q").ok_or_else(|| lx.err("dff needs .Q"))?, lx, "Q")?;
+            nl.add_dff(d, q, init);
+        }
+        "mem" => {
+            let depth = *params
+                .get("DEPTH")
+                .ok_or_else(|| lx.err("mem needs DEPTH parameter"))?
+                as usize;
+            let width = *params
+                .get("WIDTH")
+                .ok_or_else(|| lx.err("mem needs WIDTH parameter"))?
+                as usize;
+            let mem: MemoryId = nl.add_memory(inst_name, depth, width);
+            for i in 0.. {
+                let (ra, rd) = (pin(&format!("RA{i}")), pin(&format!("RD{i}")));
+                match (ra, rd) {
+                    (Some(a), Some(d)) => nl.add_read_port(mem, a, d),
+                    (None, None) => break,
+                    _ => return Err(lx.err(format!("mem read port {i} incomplete"))),
+                }
+            }
+            for i in 0.. {
+                let (wa, wd, we) = (
+                    pin(&format!("WA{i}")),
+                    pin(&format!("WD{i}")),
+                    pin(&format!("WE{i}")),
+                );
+                match (wa, wd, we) {
+                    (Some(a), Some(d), Some(e)) => {
+                        let e = single(e, lx, "WE")?;
+                        nl.add_write_port(mem, a, d, e);
+                    }
+                    (None, None, None) => break,
+                    _ => return Err(lx.err(format!("mem write port {i} incomplete"))),
+                }
+            }
+        }
+        other => {
+            return Err(lx.err(format!("unsupported cell '{other}'")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::write::write_netlist;
+    use symsim_netlist::RtlBuilder;
+
+    #[test]
+    fn parses_hand_written_netlist() {
+        let src = r"
+            // a tiny gate-level netlist
+            module top (a, b, y);
+              input a, b;
+              output y;
+              wire n1;
+              nand g0 (n1, a, b);
+              not g1 (y, n1);
+            endmodule
+        ";
+        let nl = parse_netlist(src).unwrap();
+        assert_eq!(nl.name, "top");
+        assert_eq!(nl.gate_count(), 2);
+        assert_eq!(nl.inputs().len(), 2);
+        assert_eq!(nl.outputs().len(), 1);
+        assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn parses_vectors_and_cells() {
+        let src = r"
+            module v (d, q);
+              input [1:0] d;
+              output [1:0] q;
+              wire s;
+              const1 c0 (.Y(s));
+              mux2 m0 (.Y(q[0]), .S(s), .A(d[0]), .B(d[1]));
+              dff #(.INIT(1'b0)) f0 (.D(d[1]), .Q(q[1]));
+            endmodule
+        ";
+        let nl = parse_netlist(src).unwrap();
+        assert_eq!(nl.gate_count(), 2);
+        assert_eq!(nl.dff_count(), 1);
+        assert_eq!(nl.dffs()[0].init, Logic::Zero);
+    }
+
+    #[test]
+    fn round_trips_builder_output() {
+        let mut b = RtlBuilder::new("rt");
+        let x = b.input("x", 4);
+        let y = b.input("y", 4);
+        let s = b.add(&x, &y);
+        let r = b.reg("acc", 4, 0);
+        let q = r.q.clone();
+        let nxt = b.xor(&q, &s);
+        b.drive_reg(r, &nxt);
+        let mh = b.memory("scratch", 8, 4);
+        let rd = b.mem_read(mh, &q.slice(0, 3));
+        let we = b.one();
+        b.mem_write(mh, &q.slice(0, 3), &rd, we);
+        b.output("out", &q);
+        let nl = b.finish().unwrap();
+
+        let text = write_netlist(&nl);
+        let back = parse_netlist(&text).unwrap();
+        assert_eq!(back.gate_count(), nl.gate_count());
+        assert_eq!(back.dff_count(), nl.dff_count());
+        assert_eq!(back.memories().len(), 1);
+        assert_eq!(back.memories()[0].depth, 8);
+        assert_eq!(back.memories()[0].read_ports.len(), 1);
+        assert_eq!(back.memories()[0].write_ports.len(), 1);
+        assert_eq!(back.inputs().len(), nl.inputs().len());
+        assert_eq!(back.outputs().len(), nl.outputs().len());
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn parses_assign_expressions() {
+        let src = r"
+            module rtl (a, b, c, sel, y);
+              input a, b, c, sel;
+              output y;
+              wire t;
+              assign t = ~(a & b) ^ (c | 1'b0);
+              assign y = sel ? t : ~c;
+            endmodule
+        ";
+        let nl = parse_netlist(src).unwrap();
+        assert!(nl.validate().is_ok());
+        // ~, &, ^, |, const0, mux, ~, plus two assign buffers
+        assert!(nl.gate_count() >= 8, "{}", nl.gate_count());
+        use crate::write::write_netlist;
+        // elaborated output is structural and round-trips
+        let back = parse_netlist(&write_netlist(&nl)).unwrap();
+        assert_eq!(back.gate_count(), nl.gate_count());
+    }
+
+    #[test]
+    fn assign_respects_precedence() {
+        // a | b & c parses as a | (b & c)
+        let src = "
+            module p (a, b, c, y);
+              input a, b, c;
+              output y;
+              assign y = a | b & c;
+            endmodule
+        ";
+        let nl = parse_netlist(src).unwrap();
+        // top gate driving the assign buffer must be the OR
+        let y = nl.find_net("y").unwrap();
+        let buf = nl
+            .gates()
+            .iter()
+            .find(|g| g.output == y)
+            .expect("assign buffer");
+        let top = nl
+            .gates()
+            .iter()
+            .find(|g| g.output == buf.inputs[0])
+            .expect("expression root");
+        assert_eq!(top.kind, CellKind::Or2);
+    }
+
+    #[test]
+    fn assign_rejects_malformed() {
+        assert!(parse_netlist("module m (y); output y; assign y = ;endmodule").is_err());
+        assert!(parse_netlist("module m (y); output y; assign y = a ?; endmodule").is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let src = "module m (a);\n input a;\n bogus g0 (a);\nendmodule";
+        let err = parse_netlist(src).unwrap_err();
+        assert!(err.line >= 3, "line {}", err.line);
+        assert!(err.to_string().contains("unsupported cell"));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let src = "module m (a, y);\n input a;\n output y;\n nand g0 (y, a);\nendmodule";
+        assert!(parse_netlist(src).is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "/* block\ncomment */ module m (a); // trailing\n input a;\nendmodule";
+        assert!(parse_netlist(src).is_ok());
+    }
+}

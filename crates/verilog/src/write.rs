@@ -1,0 +1,202 @@
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+use symsim_logic::Logic;
+use symsim_netlist::{CellKind, NetId, Netlist};
+
+/// Splits a net name into `(base, Some(index))` for `base[index]` names.
+fn split_indexed(name: &str) -> (&str, Option<usize>) {
+    if let Some(open) = name.rfind('[') {
+        if name.ends_with(']') {
+            if let Ok(idx) = name[open + 1..name.len() - 1].parse::<usize>() {
+                return (&name[..open], Some(idx));
+            }
+        }
+    }
+    (name, None)
+}
+
+fn net_ref(netlist: &Netlist, net: NetId) -> String {
+    netlist.net_name(net).to_string()
+}
+
+/// Renders a netlist as structural Verilog in the dialect
+/// [`crate::parse_netlist`] accepts.
+pub fn write_netlist(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let inputs: BTreeSet<NetId> = netlist.inputs().iter().copied().collect();
+    let outputs: BTreeSet<NetId> = netlist.outputs().iter().copied().collect();
+
+    // group names into scalars and vectors
+    let mut vectors: BTreeMap<String, usize> = BTreeMap::new(); // base -> max index
+    let mut scalars: BTreeSet<String> = BTreeSet::new();
+    let mut dir: BTreeMap<String, &'static str> = BTreeMap::new();
+    for i in 0..netlist.net_count() {
+        let id = NetId(i as u32);
+        let name = netlist.net_name(id);
+        let (base, idx) = split_indexed(name);
+        match idx {
+            Some(idx) => {
+                let e = vectors.entry(base.to_string()).or_insert(0);
+                *e = (*e).max(idx);
+            }
+            None => {
+                scalars.insert(base.to_string());
+            }
+        }
+        let d = if inputs.contains(&id) {
+            "input"
+        } else if outputs.contains(&id) {
+            "output"
+        } else {
+            "wire"
+        };
+        // a base keeps the strongest direction seen on any bit
+        let entry = dir.entry(base.to_string()).or_insert("wire");
+        if *entry == "wire" {
+            *entry = d;
+        }
+    }
+
+    // header
+    let port_names: Vec<String> = dir
+        .iter()
+        .filter(|(_, d)| **d != "wire")
+        .map(|(n, _)| n.clone())
+        .collect();
+    let _ = writeln!(out, "module {} ({});", netlist.name, port_names.join(", "));
+
+    for (base, d) in &dir {
+        if let Some(&max) = vectors.get(base) {
+            let _ = writeln!(out, "  {d} [{max}:0] {base};");
+        } else {
+            let _ = writeln!(out, "  {d} {base};");
+        }
+    }
+
+    // gates
+    for (i, g) in netlist.gates().iter().enumerate() {
+        let y = net_ref(netlist, g.output);
+        match g.kind {
+            CellKind::Const0 | CellKind::Const1 => {
+                let _ = writeln!(out, "  {} g{} (.Y({}));", g.kind.verilog_name(), i, y);
+            }
+            CellKind::Mux2 => {
+                let _ = writeln!(
+                    out,
+                    "  mux2 g{} (.Y({}), .S({}), .A({}), .B({}));",
+                    i,
+                    y,
+                    net_ref(netlist, g.inputs[0]),
+                    net_ref(netlist, g.inputs[1]),
+                    net_ref(netlist, g.inputs[2]),
+                );
+            }
+            _ => {
+                let ins: Vec<String> =
+                    g.inputs.iter().map(|&n| net_ref(netlist, n)).collect();
+                let _ = writeln!(
+                    out,
+                    "  {} g{} ({}, {});",
+                    g.kind.verilog_name(),
+                    i,
+                    y,
+                    ins.join(", ")
+                );
+            }
+        }
+    }
+
+    // flip-flops
+    for (i, d) in netlist.dffs().iter().enumerate() {
+        let init = match d.init {
+            Logic::Zero => "1'b0",
+            Logic::One => "1'b1",
+            Logic::X => "1'bx",
+            Logic::Z => "1'bz",
+        };
+        let _ = writeln!(
+            out,
+            "  dff #(.INIT({init})) ff{} (.D({}), .Q({}));",
+            i,
+            net_ref(netlist, d.d),
+            net_ref(netlist, d.q),
+        );
+    }
+
+    // memories
+    for m in netlist.memories() {
+        let mut pins = Vec::new();
+        for (pi, rp) in m.read_ports.iter().enumerate() {
+            pins.push(format!(".RA{pi}({})", concat_ref(netlist, &rp.addr)));
+            pins.push(format!(".RD{pi}({})", concat_ref(netlist, &rp.data)));
+        }
+        for (pi, wp) in m.write_ports.iter().enumerate() {
+            pins.push(format!(".WA{pi}({})", concat_ref(netlist, &wp.addr)));
+            pins.push(format!(".WD{pi}({})", concat_ref(netlist, &wp.data)));
+            pins.push(format!(".WE{pi}({})", net_ref(netlist, wp.we)));
+        }
+        let _ = writeln!(
+            out,
+            "  mem #(.DEPTH({}), .WIDTH({})) {} ({});",
+            m.depth,
+            m.width,
+            m.name,
+            pins.join(", ")
+        );
+    }
+
+    out.push_str("endmodule\n");
+    out
+}
+
+/// Verilog concatenations are MSB-first; buses are stored LSB-first.
+fn concat_ref(netlist: &Netlist, bus: &[NetId]) -> String {
+    let parts: Vec<String> = bus.iter().rev().map(|&n| net_ref(netlist, n)).collect();
+    format!("{{{}}}", parts.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symsim_netlist::RtlBuilder;
+
+    #[test]
+    fn writes_ports_and_gates() {
+        let mut b = RtlBuilder::new("m");
+        let a = b.input("a", 2);
+        let y = b.not(&a);
+        b.output("y", &y);
+        let nl = b.finish().unwrap();
+        let text = write_netlist(&nl);
+        assert!(text.contains("module m (a, y);"));
+        assert!(text.contains("input [1:0] a;"));
+        assert!(text.contains("output [1:0] y;"));
+        assert!(text.contains("not g0 ("));
+        assert!(text.trim_end().ends_with("endmodule"));
+    }
+
+    #[test]
+    fn writes_dff_and_mem() {
+        let mut b = RtlBuilder::new("s");
+        let r = b.reg("q", 1, 1);
+        let q = r.q.clone();
+        let d = b.not(&q);
+        b.drive_reg(r, &d);
+        let mh = b.memory("ram", 4, 2);
+        let _ = b.mem_read(mh, &q.concat(&q));
+        b.output("qo", &q);
+        let nl = b.finish().unwrap();
+        let text = write_netlist(&nl);
+        assert!(text.contains("dff #(.INIT(1'b1)) ff0"));
+        assert!(text.contains("mem #(.DEPTH(4), .WIDTH(2)) ram"));
+        assert!(text.contains(".RA0({"));
+    }
+
+    #[test]
+    fn split_indexed_names() {
+        assert_eq!(split_indexed("a[3]"), ("a", Some(3)));
+        assert_eq!(split_indexed("plain"), ("plain", None));
+        assert_eq!(split_indexed("w[x]"), ("w[x]", None));
+    }
+}

@@ -1,0 +1,74 @@
+//! The paper's regression check (§5.0.1): "the event list from the baseline
+//! iverilog version matches the [enhanced] version at simulation points" —
+//! i.e. the symbolic extensions must not disturb ordinary simulation.
+//!
+//! We run the same concrete application twice on the same engine: once bare
+//! (baseline) and once with every symbolic feature armed (`$monitor_x`
+//! watches, finish net, toggle observer). The evaluation-event traces must
+//! be identical, and the Symbolic region must always execute last.
+
+use symsim_bench::CpuKind;
+use symsim_sim::{MonitorSpec, SimConfig, Simulator};
+
+fn event_trace(kind: CpuKind, enhanced: bool) -> Vec<(u64, u32)> {
+    let cpu = kind.build();
+    let bench = kind.benchmark("div");
+    let program = kind.assemble(bench.source);
+    let config = SimConfig {
+        trace_events: true,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(&cpu.netlist, config);
+    cpu.prepare_concrete(&mut sim, &program, &bench.data, &bench.example_inputs);
+    if enhanced {
+        // arm every symbolic feature; on a concrete run none may fire
+        sim.monitor_x(MonitorSpec {
+            qualifier: Some(cpu.monitor_qualifier),
+            signals: cpu.monitor_signals.clone(),
+        });
+        sim.set_finish_net(cpu.finish);
+        sim.arm_toggle_observer();
+    }
+    sim.take_event_trace(); // discard settle-phase events from preparation
+    for _ in 0..200 {
+        sim.step_cycle();
+    }
+    sim.take_event_trace()
+}
+
+#[test]
+fn symbolic_extensions_do_not_disturb_simulation() {
+    for kind in CpuKind::all() {
+        let baseline = event_trace(kind, false);
+        let enhanced = event_trace(kind, true);
+        assert!(!baseline.is_empty());
+        assert_eq!(
+            baseline,
+            enhanced,
+            "event traces diverged on {}",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn symbolic_region_executes_last_every_cycle() {
+    let cpu = CpuKind::Omsp16.build();
+    let bench = CpuKind::Omsp16.benchmark("div");
+    let program = CpuKind::Omsp16.assemble(bench.source);
+    let mut sim = Simulator::new(&cpu.netlist, SimConfig::default());
+    cpu.prepare_concrete(&mut sim, &program, &bench.data, &bench.example_inputs);
+    sim.trace_regions(true);
+    for _ in 0..10 {
+        sim.step_cycle();
+    }
+    let trace = sim.take_region_trace();
+    // regions come in groups of five per cycle; the fifth is Symbolic
+    assert_eq!(trace.len(), 50);
+    for cycle_regions in trace.chunks(5) {
+        assert!(matches!(
+            cycle_regions.last(),
+            Some((_, symsim_sim::Region::Symbolic))
+        ));
+    }
+}

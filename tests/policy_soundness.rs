@@ -1,0 +1,79 @@
+//! Cross-policy soundness properties on the real processors:
+//!
+//! * tagged symbol propagation (Fig. 4 left) is *less conservative* than
+//!   anonymous `X`s: its exercisable set can only shrink, and both must
+//!   still cover concrete activity;
+//! * parallel exploration reaches a sound fixpoint equal to sequential
+//!   exploration's on the exercisable-gate metric.
+
+use symsim_bench::CpuKind;
+use symsim_core::{CoAnalysis, CoAnalysisConfig};
+use symsim_logic::PropagationPolicy;
+use symsim_sim::{SimConfig, Simulator};
+
+fn coanalyze(kind: CpuKind, policy: PropagationPolicy, workers: usize) -> symsim_core::CoAnalysisReport {
+    let cpu = kind.build();
+    let bench = kind.benchmark("div");
+    let program = kind.assemble(bench.source);
+    let config = CoAnalysisConfig {
+        sim: SimConfig {
+            policy,
+            ..SimConfig::default()
+        },
+        workers,
+        max_cycles_per_segment: bench.max_cycles,
+        ..CoAnalysisConfig::default()
+    };
+    let analysis = CoAnalysis::new(&cpu.netlist, cpu.interface(), config);
+    analysis.run(|sim| {
+        if policy == PropagationPolicy::Tagged {
+            cpu.prepare_symbolic_tagged(sim, &program, &bench.data);
+        } else {
+            cpu.prepare_symbolic(sim, &program, &bench.data);
+        }
+    })
+}
+
+fn concrete_profile(kind: CpuKind) -> symsim_sim::ToggleProfile {
+    let cpu = kind.build();
+    let bench = kind.benchmark("div");
+    let program = kind.assemble(bench.source);
+    let mut sim = Simulator::new(&cpu.netlist, SimConfig::default());
+    cpu.prepare_concrete(&mut sim, &program, &bench.data, &bench.example_inputs);
+    sim.set_finish_net(cpu.finish);
+    sim.arm_toggle_observer();
+    sim.run(bench.max_cycles);
+    sim.take_toggle_profile().expect("armed")
+}
+
+#[test]
+fn tagged_policy_is_no_more_conservative() {
+    for kind in CpuKind::all() {
+        let anon = coanalyze(kind, PropagationPolicy::Anonymous, 1);
+        let tagged = coanalyze(kind, PropagationPolicy::Tagged, 1);
+        assert!(anon.converged() && tagged.converged());
+        assert!(
+            tagged.exercisable_gates <= anon.exercisable_gates,
+            "{}: tagged {} > anonymous {}",
+            kind.name(),
+            tagged.exercisable_gates,
+            anon.exercisable_gates
+        );
+        // both remain sound w.r.t. a concrete execution
+        let concrete = concrete_profile(kind);
+        assert!(anon.profile.covers_activity(&concrete), "{}", kind.name());
+        assert!(tagged.profile.covers_activity(&concrete), "{}", kind.name());
+    }
+}
+
+#[test]
+fn parallel_exploration_is_sound() {
+    let kind = CpuKind::Omsp16;
+    let seq = coanalyze(kind, PropagationPolicy::Anonymous, 1);
+    let par = coanalyze(kind, PropagationPolicy::Anonymous, 4);
+    assert!(par.converged());
+    let concrete = concrete_profile(kind);
+    assert!(par.profile.covers_activity(&concrete));
+    // single-merge CSM converges to the same exercisable fixpoint
+    assert_eq!(seq.exercisable_gates, par.exercisable_gates);
+}

@@ -1,0 +1,123 @@
+//! E7 — the paper's §5.0.1 validation, as a cross-crate integration test:
+//!
+//! 1. bespoke netlists behave identically to the originals on concrete
+//!    application inputs,
+//! 2. the concretely-exercised gate set is a subset of the exercisable set
+//!    reported by co-analysis,
+//! 3. every analysis converges (no path exhausts its cycle budget).
+
+use symsim_bench::{run_experiment, CpuKind};
+use symsim_core::CoAnalysisConfig;
+use symsim_sim::{HaltReason, SimConfig, Simulator, ToggleProfile};
+
+/// Runs a concrete (example-input) simulation, returning the halt reason,
+/// the architectural result words, and the concrete toggle profile.
+fn concrete_run(
+    kind: CpuKind,
+    bench_name: &str,
+    netlist: &symsim_netlist::Netlist,
+) -> (HaltReason, Vec<symsim_logic::Word>, ToggleProfile) {
+    let cpu = kind.build();
+    let bench = kind.benchmark(bench_name);
+    let program = kind.assemble(bench.source);
+    let mut sim = Simulator::new(netlist, SimConfig::default());
+    cpu.prepare_concrete(&mut sim, &program, &bench.data, &bench.example_inputs);
+    sim.set_finish_net(cpu.finish);
+    sim.arm_toggle_observer();
+    let halt = sim.run(bench.max_cycles);
+    let mut words: Vec<symsim_logic::Word> =
+        (0..8).map(|a| cpu.read_data(&sim, a)).collect();
+    words.extend((0..cpu.reg_nets.len()).map(|r| cpu.read_reg(&sim, r)));
+    let profile = sim.take_toggle_profile().expect("armed");
+    (halt, words, profile)
+}
+
+fn validate(kind: CpuKind, bench_name: &str) {
+    let result = run_experiment(kind, bench_name, CoAnalysisConfig::default());
+    assert!(
+        result.report.converged(),
+        "{}/{bench_name} did not converge: {}",
+        kind.name(),
+        result.report
+    );
+    assert!(result.report.paths_finished > 0, "no path finished");
+
+    let cpu = kind.build();
+    let bespoke = symsim_bespoke::generate(&cpu.netlist, &result.report.profile);
+    assert!(bespoke.netlist.validate().is_ok());
+
+    let (halt_a, words_a, concrete) = concrete_run(kind, bench_name, &cpu.netlist);
+    let (halt_b, words_b, _) = concrete_run(kind, bench_name, &bespoke.netlist);
+    assert_eq!(halt_a, HaltReason::Finished, "{}/{bench_name}", kind.name());
+    assert_eq!(halt_b, HaltReason::Finished, "bespoke {}/{bench_name}", kind.name());
+    assert_eq!(
+        words_a, words_b,
+        "bespoke diverged on {}/{bench_name}",
+        kind.name()
+    );
+    assert!(
+        result.report.profile.covers_activity(&concrete),
+        "exercised set not covered on {}/{bench_name}",
+        kind.name()
+    );
+}
+
+#[test]
+fn omsp16_div_validates() {
+    validate(CpuKind::Omsp16, "div");
+}
+
+#[test]
+fn omsp16_insort_validates() {
+    validate(CpuKind::Omsp16, "insort");
+}
+
+#[test]
+fn omsp16_binsearch_validates() {
+    validate(CpuKind::Omsp16, "binsearch");
+}
+
+#[test]
+fn omsp16_thold_validates() {
+    validate(CpuKind::Omsp16, "thold");
+}
+
+#[test]
+fn omsp16_mult_validates() {
+    validate(CpuKind::Omsp16, "mult");
+}
+
+#[test]
+fn omsp16_tea8_validates() {
+    validate(CpuKind::Omsp16, "tea8");
+}
+
+#[test]
+fn bm32_div_validates() {
+    validate(CpuKind::Bm32, "div");
+}
+
+#[test]
+fn bm32_mult_validates() {
+    validate(CpuKind::Bm32, "mult");
+}
+
+#[test]
+fn bm32_tea8_validates() {
+    validate(CpuKind::Bm32, "tea8");
+}
+
+#[test]
+fn dr5_div_validates() {
+    validate(CpuKind::Dr5, "div");
+}
+
+#[test]
+fn dr5_mult_validates() {
+    validate(CpuKind::Dr5, "mult");
+}
+
+#[test]
+fn dr5_tea8_validates() {
+    validate(CpuKind::Dr5, "tea8");
+}
