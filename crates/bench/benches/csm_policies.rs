@@ -12,7 +12,11 @@ fn synthetic_state(bits: usize, seed: u64) -> SimState {
     let values = (0..bits)
         .map(|i| {
             // deterministic pseudo-random mix of 0/1/X
-            match (seed.wrapping_mul(6364136223846793005).wrapping_add(i as u64)) % 5 {
+            match (seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(i as u64))
+                % 5
+            {
                 0 | 1 => Value::ZERO,
                 2 | 3 => Value::ONE,
                 _ => Value::X,
@@ -36,8 +40,7 @@ fn csm_throughput(c: &mut Criterion) {
             BenchmarkId::new("policy", format!("{policy:?}")),
             &policy,
             |b, &policy| {
-                let states: Vec<SimState> =
-                    (0..64).map(|s| synthetic_state(4096, s)).collect();
+                let states: Vec<SimState> = (0..64).map(|s| synthetic_state(4096, s)).collect();
                 b.iter(|| {
                     let mut csm = ConservativeStateManager::new(policy);
                     for (i, s) in states.iter().enumerate() {

@@ -1,0 +1,93 @@
+//! Snapshot micro-benchmarks on a 4 KB-memory design: save, fork
+//! (clone), restore, and the fork-then-dirty pattern path exploration
+//! uses. Also reports the copy-on-write payoff — bytes actually cloned
+//! per fork versus the eager memory copy the old snapshot code made.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use symsim_logic::{Value, Word};
+use symsim_netlist::{NetId, Netlist, RtlBuilder};
+use symsim_sim::{cow_clone_stats, reset_cow_clone_stats, MemArray, SimConfig, Simulator};
+
+struct RamPorts {
+    addr: Vec<NetId>,
+    wdata: Vec<NetId>,
+    we: NetId,
+}
+
+/// A single-port RAM of 2048 x 16 bits: 4 KB of memory contents.
+fn ram_4kb() -> (Netlist, RamPorts) {
+    let mut b = RtlBuilder::new("ram4kb");
+    let addr = b.input("addr", 11);
+    let wdata = b.input("wdata", 16);
+    let we = b.input("we", 1);
+    let m = b.memory("ram", 2048, 16);
+    let rdata = b.mem_read(m, &addr);
+    b.mem_write(m, &addr, &wdata, we.bit(0));
+    b.output("rdata", &rdata);
+    let ports = RamPorts {
+        addr: (0..11).map(|i| addr.bit(i)).collect(),
+        wdata: (0..16).map(|i| wdata.bit(i)).collect(),
+        we: we.bit(0),
+    };
+    (b.finish().expect("ram design validates"), ports)
+}
+
+fn write(sim: &mut Simulator<'_>, p: &RamPorts, addr: u64, data: u64) {
+    sim.poke_bus(&p.addr, &Word::from_u64(addr, p.addr.len()));
+    sim.poke_bus(&p.wdata, &Word::from_u64(data, p.wdata.len()));
+    sim.poke(p.we, Value::ONE);
+    sim.step_cycle();
+    sim.poke(p.we, Value::ZERO);
+}
+
+fn bench_snapshots(c: &mut Criterion) {
+    let (nl, ports) = ram_4kb();
+    let mut sim = Simulator::new(&nl, SimConfig::default());
+    for a in 0..2048 {
+        write(&mut sim, &ports, a, a & 0xffff);
+    }
+    let snapshot = sim.save_state();
+
+    let mut g = c.benchmark_group("snapshot_4kb");
+    g.sample_size(200);
+    g.bench_function("save_state", |b| {
+        b.iter(|| black_box(sim.save_state()));
+    });
+    g.bench_function("fork_clone", |b| {
+        b.iter(|| black_box(snapshot.clone()));
+    });
+    g.bench_function("restore", |b| {
+        b.iter(|| sim.load_state(black_box(&snapshot)));
+    });
+    g.bench_function("fork_dirty_2_words", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            sim.load_state(&snapshot);
+            write(&mut sim, &ports, i % 64, 0xdead);
+            write(&mut sim, &ports, 1024 + i % 64, 0xbeef);
+            i += 1;
+        });
+    });
+    g.finish();
+
+    // report the CoW payoff: bytes cloned per fork vs an eager memory copy
+    let eager: usize = snapshot.mems.iter().map(MemArray::content_bytes).sum();
+    const FORKS: u64 = 64;
+    reset_cow_clone_stats();
+    for i in 0..FORKS {
+        sim.load_state(&snapshot);
+        write(&mut sim, &ports, i % 64, 0xdead);
+        write(&mut sim, &ports, 1024 + i % 64, 0xbeef);
+    }
+    let (pages, bytes) = cow_clone_stats();
+    let per_fork = bytes / FORKS;
+    println!(
+        "snapshot_4kb/cow_payoff: {per_fork} B cloned per fork \
+         ({} pages across {FORKS} forks) vs {eager} B eager copy: {:.1}x reduction",
+        pages,
+        eager as f64 / per_fork.max(1) as f64
+    );
+}
+
+criterion_group!(benches, bench_snapshots);
+criterion_main!(benches);

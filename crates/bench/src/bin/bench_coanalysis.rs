@@ -1,0 +1,104 @@
+//! Emits `BENCH_coanalysis.json`: throughput and snapshot-cost numbers
+//! for the co-analysis engine, in the same spirit as the `tables` binary.
+//!
+//! ```text
+//! cargo run --release -p symsim-bench --bin bench_coanalysis
+//! ```
+//!
+//! The JSON records, per (cpu, benchmark) pair, simulated cycles/second
+//! and explored paths/second, plus a snapshot section measuring the
+//! copy-on-write fork cost against the eager memory copy it replaced.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use symsim_bench::{run_experiment, CpuKind};
+use symsim_core::CoAnalysisConfig;
+use symsim_sim::{cow_clone_stats, reset_cow_clone_stats, MemArray};
+
+/// The (cpu, benchmark) pairs measured: small enough to run in CI, big
+/// enough to exercise forking and the work-stealing scheduler.
+const RUNS: [(CpuKind, &str); 3] = [
+    (CpuKind::Omsp16, "div"),
+    (CpuKind::Bm32, "insort"),
+    (CpuKind::Dr5, "binsearch"),
+];
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(1);
+    let mut entries = String::new();
+    for (i, (kind, bench)) in RUNS.iter().enumerate() {
+        eprintln!(
+            "co-analysis: {} / {bench} ({workers} workers)...",
+            kind.name()
+        );
+        let config = CoAnalysisConfig {
+            workers,
+            ..CoAnalysisConfig::default()
+        };
+        let r = run_experiment(*kind, bench, config);
+        let secs = r.report.wall_time.as_secs_f64().max(1e-9);
+        if i > 0 {
+            entries.push_str(",\n");
+        }
+        write!(
+            entries,
+            "    {{ \"cpu\": \"{}\", \"bench\": \"{}\", \"paths_created\": {}, \
+             \"paths_dropped\": {}, \"simulated_cycles\": {}, \"wall_seconds\": {:.6}, \
+             \"cycles_per_sec\": {:.1}, \"paths_per_sec\": {:.1} }}",
+            kind.name(),
+            bench,
+            r.report.paths_created,
+            r.report.paths_dropped,
+            r.report.simulated_cycles,
+            secs,
+            r.report.simulated_cycles as f64 / secs,
+            r.report.paths_simulated as f64 / secs,
+        )
+        .expect("write to string");
+    }
+
+    let snap = snapshot_cost();
+    let json = format!("{{\n  \"runs\": [\n{entries}\n  ],\n  \"snapshot\": {snap}\n}}\n");
+    std::fs::write("BENCH_coanalysis.json", &json).expect("write BENCH_coanalysis.json");
+    eprintln!("wrote BENCH_coanalysis.json");
+    print!("{json}");
+}
+
+/// Measures snapshot cost on the omsp16 core: bytes an eager memory copy
+/// would move per fork versus the bytes copy-on-write actually clones
+/// across one save + N restore/dirty cycles of the `div` benchmark's
+/// exploration root.
+fn snapshot_cost() -> String {
+    let cpu = CpuKind::Omsp16.build();
+    let bench = CpuKind::Omsp16.benchmark("div");
+    let program = CpuKind::Omsp16.assemble(bench.source);
+    let mut sim = symsim_sim::Simulator::new(&cpu.netlist, Default::default());
+    cpu.prepare_symbolic(&mut sim, &program, &bench.data);
+    sim.settle();
+    let snapshot = sim.save_state();
+    let eager_mem_bytes: usize = snapshot.mems.iter().map(MemArray::content_bytes).sum();
+
+    const FORKS: u64 = 32;
+    reset_cow_clone_stats();
+    let start = Instant::now();
+    for _ in 0..FORKS {
+        sim.load_state(&snapshot);
+        // a short segment dirties the pages a real child would
+        sim.run(50);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    let (pages, bytes) = cow_clone_stats();
+    let per_fork = bytes / FORKS;
+    format!(
+        "{{ \"eager_mem_bytes\": {eager_mem_bytes}, \"cow_bytes_per_fork\": {per_fork}, \
+         \"cow_pages_per_fork\": {:.2}, \"reduction_factor\": {:.1}, \
+         \"owned_bytes_per_snapshot\": {}, \"fork_restore_per_sec\": {:.1} }}",
+        pages as f64 / FORKS as f64,
+        eager_mem_bytes as f64 / per_fork.max(1) as f64,
+        snapshot.owned_bytes(),
+        FORKS as f64 / elapsed.max(1e-9),
+    )
+}

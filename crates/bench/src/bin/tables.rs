@@ -6,8 +6,8 @@
 //! ```
 
 use symsim_bench::{
-    ext_table, scaling_table, fig3_ablation, fig4_ablation, fig5, fig6, power_table, sweep, table1, table2, table3, table4,
-    validate,
+    ext_table, fig3_ablation, fig4_ablation, fig5, fig6, power_table, scaling_table, sweep, table1,
+    table2, table3, table4, validate,
 };
 use symsim_core::CoAnalysisConfig;
 

@@ -23,6 +23,6 @@ mod tables;
 
 pub use experiment::{run_experiment, sweep, CpuKind, ExperimentResult};
 pub use tables::{
-    ext_table, scaling_table, fig3_ablation, fig4_ablation, fig5, fig6, power_table, table1, table2, table3, table4,
-    validate,
+    ext_table, fig3_ablation, fig4_ablation, fig5, fig6, power_table, scaling_table, table1,
+    table2, table3, table4, validate,
 };

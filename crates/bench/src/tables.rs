@@ -97,7 +97,10 @@ pub fn table4(results: &[ExperimentResult]) -> String {
         let _ = write!(
             header,
             " | {:>7} {:>7} {:>9} ({})",
-            "created", "skipped", "cycles", kind.name()
+            "created",
+            "skipped",
+            "cycles",
+            kind.name()
         );
     }
     let _ = writeln!(out, "{header}");
@@ -108,10 +111,7 @@ pub fn table4(results: &[ExperimentResult]) -> String {
             let _ = write!(
                 row,
                 " | {:>7} {:>7} {:>9} {:8}",
-                r.report.paths_created,
-                r.report.paths_skipped,
-                r.report.simulated_cycles,
-                ""
+                r.report.paths_created, r.report.paths_skipped, r.report.simulated_cycles, ""
             );
         }
         let _ = writeln!(out, "{row}");
@@ -287,9 +287,7 @@ pub fn fig4_ablation() -> String {
 /// the timer and GPIO, demonstrating that peripheral-using applications
 /// keep their peripherals (smaller reduction).
 pub fn ext_table() -> String {
-    let mut out = String::from(
-        "Extension benchmarks (beyond Table 1)\n",
-    );
+    let mut out = String::from("Extension benchmarks (beyond Table 1)\n");
     let _ = writeln!(
         out,
         "{:<8} {:<8} {:>11} {:>7} {:>8} {:>8} {:>9}",
@@ -310,8 +308,7 @@ pub fn ext_table() -> String {
                 ..CoAnalysisConfig::default()
             };
             let analysis = CoAnalysis::new(&cpu.netlist, cpu.interface(), config);
-            let report =
-                analysis.run(|sim| cpu.prepare_symbolic(sim, &program, &bench.data));
+            let report = analysis.run(|sim| cpu.prepare_symbolic(sim, &program, &bench.data));
             let _ = writeln!(
                 out,
                 "{:<8} {:<8} {:>6} of {:<5} {:>6.2}% {:>8} {:>8} {:>9}{}",
@@ -414,8 +411,7 @@ pub fn power_table() -> String {
         let report = analysis.run(|sim| cpu.prepare_symbolic(sim, &program, &bench.data));
         let power = symsim_power::PowerReport::from_report(&report).expect("activity");
         let activity = report.activity.as_ref().expect("activity");
-        let gating =
-            symsim_power::gating_candidates(&cpu.netlist, &report.profile, activity, 0.1);
+        let gating = symsim_power::gating_candidates(&cpu.netlist, &report.profile, activity, 0.1);
         let slack = symsim_power::timing_slack(&cpu.netlist, &report.profile);
         let _ = writeln!(
             out,
@@ -466,8 +462,10 @@ pub fn validate() -> String {
         };
         let (halt_a, regs_a, mem_a, concrete_profile) = run(&cpu.netlist);
         let (halt_b, regs_b, mem_b, _) = run(&bespoke.netlist);
-        let outputs_match =
-            halt_a == HaltReason::Finished && halt_a == halt_b && regs_a == regs_b && mem_a == mem_b;
+        let outputs_match = halt_a == HaltReason::Finished
+            && halt_a == halt_b
+            && regs_a == regs_b
+            && mem_a == mem_b;
         let subset = report.profile.covers_activity(&concrete_profile);
         let _ = writeln!(
             out,

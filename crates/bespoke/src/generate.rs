@@ -118,7 +118,11 @@ pub fn generate(netlist: &Netlist, profile: &ToggleProfile) -> BespokeResult {
     out.retain(|_, _| true, |id, _| !dff_remove.contains(&id));
     for (q, b) in dff_consts {
         out.add_gate(
-            if b { CellKind::Const1 } else { CellKind::Const0 },
+            if b {
+                CellKind::Const1
+            } else {
+                CellKind::Const0
+            },
             &[],
             q,
         );

@@ -30,7 +30,11 @@ fn net_constants(netlist: &Netlist) -> Vec<Option<bool>> {
 
 fn const_gate(value: bool, output: NetId) -> Gate {
     Gate {
-        kind: if value { CellKind::Const1 } else { CellKind::Const0 },
+        kind: if value {
+            CellKind::Const1
+        } else {
+            CellKind::Const0
+        },
         inputs: vec![],
         output,
     }
@@ -171,10 +175,7 @@ pub fn sweep_dead_gates(netlist: &mut Netlist) -> (usize, usize) {
             }
         }
         live.extend(netlist.outputs().iter().copied());
-        let (rg, rd) = netlist.retain(
-            |_, g| live.contains(&g.output),
-            |_, d| live.contains(&d.q),
-        );
+        let (rg, rd) = netlist.retain(|_, g| live.contains(&g.output), |_, d| live.contains(&d.q));
         total.0 += rg;
         total.1 += rd;
         if rg == 0 && rd == 0 {

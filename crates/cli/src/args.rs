@@ -39,14 +39,18 @@ impl Args {
     pub fn get_usize(&self, name: &str, default: usize) -> Result<usize, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name}: bad number \"{v}\"")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: bad number \"{v}\"")),
         }
     }
 
     pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name}: bad number \"{v}\"")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: bad number \"{v}\"")),
         }
     }
 }

@@ -59,8 +59,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
 /// Reads a design in either supported format, selected by extension
 /// (`.blif` → BLIF, anything else → structural Verilog).
 fn read_design(path: &str) -> Result<Netlist, String> {
-    let text =
-        fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let netlist = if path.ends_with(".blif") {
         symsim_verilog::parse_blif(&text).map_err(|e| format!("{path}: {e}"))?
     } else {
@@ -226,10 +225,14 @@ fn analyze(args: &Args) -> Result<(), String> {
     let setup = Setup::from_args(args, &netlist)?;
 
     let monitor_path = args.require("monitor")?;
-    let monitor_text = fs::read_to_string(monitor_path)
-        .map_err(|e| format!("cannot read {monitor_path}: {e}"))?;
+    let monitor_text =
+        fs::read_to_string(monitor_path).map_err(|e| format!("cannot read {monitor_path}: {e}"))?;
     let monitor = files::parse_monitor_file(&monitor_text)?;
-    let qualifier = match args.get("qualifier").map(String::from).or(monitor.qualifier.clone()) {
+    let qualifier = match args
+        .get("qualifier")
+        .map(String::from)
+        .or(monitor.qualifier.clone())
+    {
         Some(name) => Some(files::resolve_net(&netlist, &name)?),
         None => None,
     };
@@ -259,8 +262,7 @@ fn analyze(args: &Args) -> Result<(), String> {
     let constraints = match args.get("constraints") {
         None => Vec::new(),
         Some(path) => {
-            let text =
-                fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             files::parse_constraints(&text, &netlist)?
         }
     };
@@ -310,8 +312,7 @@ fn analyze(args: &Args) -> Result<(), String> {
         );
     }
     if let Some(out) = args.get("profile-out") {
-        fs::write(out, report.profile.to_text())
-            .map_err(|e| format!("cannot write {out}: {e}"))?;
+        fs::write(out, report.profile.to_text()).map_err(|e| format!("cannot write {out}: {e}"))?;
         println!("wrote activity profile to {out}");
     }
     Ok(())
@@ -320,8 +321,8 @@ fn analyze(args: &Args) -> Result<(), String> {
 fn bespoke(args: &Args) -> Result<(), String> {
     let netlist = load_netlist(args)?;
     let profile_path = args.require("profile")?;
-    let text = fs::read_to_string(profile_path)
-        .map_err(|e| format!("cannot read {profile_path}: {e}"))?;
+    let text =
+        fs::read_to_string(profile_path).map_err(|e| format!("cannot read {profile_path}: {e}"))?;
     let profile = ToggleProfile::from_text(&text)?;
     if profile.len() != netlist.net_count() {
         return Err(format!(
@@ -372,8 +373,8 @@ fn simulate(args: &Args) -> Result<(), String> {
             }
             None => netlist.outputs().to_vec(),
         };
-        let file = fs::File::create(vcd_path)
-            .map_err(|e| format!("cannot create {vcd_path}: {e}"))?;
+        let file =
+            fs::File::create(vcd_path).map_err(|e| format!("cannot create {vcd_path}: {e}"))?;
         let mut writer = std::io::BufWriter::new(file);
         let mut vcd = symsim_sim::VcdWriter::new(&mut writer, &netlist, &watch_nets)
             .map_err(|e| format!("vcd: {e}"))?;
@@ -485,7 +486,10 @@ mod tests {
     #[test]
     fn policy_parsing() {
         assert_eq!(parse_policy(None).unwrap(), CsmPolicy::SingleMerge);
-        assert_eq!(parse_policy(Some("single")).unwrap(), CsmPolicy::SingleMerge);
+        assert_eq!(
+            parse_policy(Some("single")).unwrap(),
+            CsmPolicy::SingleMerge
+        );
         assert_eq!(
             parse_policy(Some("multi:3")).unwrap(),
             CsmPolicy::MultiState { max_states: 3 }

@@ -106,7 +106,10 @@ pub fn parse_data_init(spec: &str) -> Result<Vec<(usize, u64)>, String> {
             let (a, v) = pair
                 .split_once('=')
                 .ok_or_else(|| format!("bad data initializer \"{pair}\""))?;
-            let addr = a.trim().parse().map_err(|_| format!("bad address \"{a}\""))?;
+            let addr = a
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad address \"{a}\""))?;
             let v = v.trim();
             let value = if let Some(hex) = v.strip_prefix("0x") {
                 u64::from_str_radix(hex, 16)
@@ -123,11 +126,7 @@ pub fn parse_data_init(spec: &str) -> Result<Vec<(usize, u64)>, String> {
 pub fn parse_addr_list(spec: &str) -> Result<Vec<usize>, String> {
     spec.split(',')
         .filter(|s| !s.trim().is_empty())
-        .map(|a| {
-            a.trim()
-                .parse()
-                .map_err(|_| format!("bad address \"{a}\""))
-        })
+        .map(|a| a.trim().parse().map_err(|_| format!("bad address \"{a}\"")))
         .collect()
 }
 
@@ -152,7 +151,10 @@ pub fn resolve_bus(netlist: &Netlist, name: &str) -> Result<Vec<NetId>, String> 
         }
     }
     if out.is_empty() {
-        return Err(format!("no net or bus named \"{name}\" in {}", netlist.name));
+        return Err(format!(
+            "no net or bus named \"{name}\" in {}",
+            netlist.name
+        ));
     }
     Ok(out)
 }

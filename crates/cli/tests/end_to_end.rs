@@ -114,7 +114,10 @@ fn full_workflow_through_the_cli() {
     assert!(ok, "dot failed: {stderr}");
     let dot_text = fs::read_to_string(&dot_path).expect("dot written");
     assert!(dot_text.contains("digraph"));
-    assert!(dot_text.contains("lightgreen"), "exercisable gates highlighted");
+    assert!(
+        dot_text.contains("lightgreen"),
+        "exercisable gates highlighted"
+    );
 
     // waveform-enabled simulation
     let vcd_path = dir.join("run.vcd");

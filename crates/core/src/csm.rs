@@ -53,6 +53,51 @@ pub enum Observation {
     NewConservative(SimState),
 }
 
+/// Index of a conservative-state repository entry: the program-counter
+/// value when fully known, its bit pattern otherwise.
+///
+/// Keying by value rather than by a formatted string keeps the hot
+/// `observe` path free of allocation and string hashing; the `Pattern`
+/// variant only appears when the PC itself carries unknowns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CsmKey {
+    /// A fully-known PC.
+    Concrete(u64),
+    /// A PC with unknown bits, keyed by its exact bit pattern (LSB first).
+    Pattern(Box<[Value]>),
+}
+
+impl From<u64> for CsmKey {
+    fn from(pc: u64) -> CsmKey {
+        CsmKey::Concrete(pc)
+    }
+}
+
+/// One stored conservative state plus its cached unknown-bit count, the
+/// basis of the early-out subset check: `a.covers(b)` requires every
+/// unknown bit of `b` to be unknown in `a`, so a stored state with fewer
+/// unknown bits than the incoming state can never cover it and the full
+/// bit-by-bit comparison is skipped.
+#[derive(Debug, Clone)]
+struct Slot {
+    state: SimState,
+    unknown_bits: usize,
+}
+
+impl Slot {
+    fn new(state: SimState) -> Slot {
+        let unknown_bits = unknown_count(&state);
+        Slot {
+            state,
+            unknown_bits,
+        }
+    }
+}
+
+fn unknown_count(state: &SimState) -> usize {
+    state.values.iter().filter(|v| v.is_unknown()).count()
+}
+
 /// The Conservative State Manager: "a program that maintains a repository of
 /// previously-simulated states", indexed by the PC of the PC-changing
 /// instruction at which each was observed (paper §3).
@@ -80,10 +125,11 @@ pub enum Observation {
 pub struct ConservativeStateManager {
     policy: CsmPolicy,
     constraints: Vec<StateConstraint>,
-    table: HashMap<String, Vec<SimState>>,
+    table: HashMap<CsmKey, Vec<Slot>>,
     observations: usize,
     covered: usize,
     widenings: usize,
+    cover_checks_elided: usize,
 }
 
 impl ConservativeStateManager {
@@ -123,21 +169,38 @@ impl ConservativeStateManager {
         (self.observations, self.covered, self.widenings)
     }
 
+    /// Full subset checks skipped because the stored state's unknown-bit
+    /// count proved it could not cover the incoming state.
+    pub fn cover_checks_elided(&self) -> usize {
+        self.cover_checks_elided
+    }
+
     /// Presents a state halted at `pc` to the CSM (Algorithm 1 lines 20-27):
     /// covered states are skipped; otherwise a widened conservative
     /// superstate is stored and returned for continued simulation.
-    ///
-    /// `pc` may be any canonical key; co-analysis uses the program counter
-    /// value (or its textual form when the PC itself carries `X`s).
     pub fn observe(&mut self, pc: u64, state: &SimState) -> Observation {
-        self.observe_keyed(&pc.to_string(), state)
+        self.observe_key(CsmKey::Concrete(pc), state)
     }
 
-    /// [`ConservativeStateManager::observe`] with a pre-rendered key.
-    pub fn observe_keyed(&mut self, key: &str, state: &SimState) -> Observation {
+    /// [`ConservativeStateManager::observe`] with an explicit [`CsmKey`]
+    /// (co-analysis keys by the PC bit pattern when the PC carries `X`s).
+    pub fn observe_key(&mut self, key: CsmKey, state: &SimState) -> Observation {
         self.observations += 1;
-        let entry = self.table.entry(key.to_string()).or_default();
-        if entry.iter().any(|c| c.covers(state)) {
+        let incoming_unknowns = unknown_count(state);
+        let entry = self.table.entry(key).or_default();
+        // early-out: covering requires unknown(cover) ⊇ unknown(covered),
+        // so a slot with fewer unknown bits cannot cover and is skipped
+        // without touching its state
+        let mut elided = 0usize;
+        let covered = entry.iter().any(|slot| {
+            if slot.unknown_bits < incoming_unknowns {
+                elided += 1;
+                return false;
+            }
+            slot.state.covers(state)
+        });
+        self.cover_checks_elided += elided;
+        if covered {
             self.covered += 1;
             return Observation::Covered;
         }
@@ -145,41 +208,40 @@ impl ConservativeStateManager {
         let formed_index = match self.policy {
             CsmPolicy::SingleMerge => {
                 if entry.is_empty() {
-                    entry.push(state.clone());
+                    entry.push(Slot::new(state.clone()));
                 } else {
-                    let merged = entry[0].merge(state);
-                    entry[0] = merged;
+                    let merged = entry[0].state.merge(state);
+                    entry[0] = Slot::new(merged);
                     entry.truncate(1);
                 }
                 0
             }
             CsmPolicy::MultiState { max_states } => {
                 if entry.len() < max_states {
-                    entry.push(state.clone());
+                    entry.push(Slot::new(state.clone()));
                     entry.len() - 1
                 } else {
                     // absorb into the closest state (fewest newly-unknown bits)
                     let best = (0..entry.len())
-                        .min_by_key(|&i| widening_cost(&entry[i], state))
+                        .min_by_key(|&i| widening_cost(&entry[i].state, state))
                         .expect("max_states >= 1");
-                    let merged = entry[best].merge(state);
-                    entry[best] = merged;
+                    let merged = entry[best].state.merge(state);
+                    entry[best] = Slot::new(merged);
                     best
                 }
             }
         };
-        let mut result = entry[formed_index].clone();
         // constraints narrow the formed state before further simulation;
         // store the constrained state in the slot it was formed in so
         // coverage checks see it
         if !self.constraints.is_empty() {
+            let mut constrained = entry[formed_index].state.clone();
             for c in &self.constraints {
-                result.values[c.net.0 as usize] = c.value;
+                constrained.values[c.net.0 as usize] = c.value;
             }
-            let entry = self.table.get_mut(key).expect("entry exists");
-            entry[formed_index] = result.clone();
+            entry[formed_index] = Slot::new(constrained);
         }
-        Observation::NewConservative(result)
+        Observation::NewConservative(entry[formed_index].state.clone())
     }
 }
 
@@ -213,7 +275,10 @@ mod tests {
         let s000 = state(&[Value::ZERO, Value::ZERO, Value::ZERO]);
         let s001 = state(&[Value::ONE, Value::ZERO, Value::ZERO]);
         let s100 = state(&[Value::ZERO, Value::ZERO, Value::ONE]);
-        assert!(matches!(csm.observe(0, &s000), Observation::NewConservative(_)));
+        assert!(matches!(
+            csm.observe(0, &s000),
+            Observation::NewConservative(_)
+        ));
         let Observation::NewConservative(c1) = csm.observe(0, &s001) else {
             panic!()
         };
@@ -238,6 +303,40 @@ mod tests {
         csm.observe(0, &s);
         csm.observe(4, &s);
         assert_eq!(csm.distinct_pcs(), 2);
+    }
+
+    #[test]
+    fn pattern_keys_are_distinct_from_concrete_keys() {
+        let mut csm = ConservativeStateManager::new(CsmPolicy::SingleMerge);
+        let s = state(&[Value::ZERO]);
+        csm.observe_key(CsmKey::Concrete(0), &s);
+        csm.observe_key(CsmKey::Pattern(Box::new([Value::ZERO, Value::X])), &s);
+        csm.observe_key(CsmKey::Pattern(Box::new([Value::X, Value::ZERO])), &s);
+        assert_eq!(csm.distinct_pcs(), 3);
+        // the same pattern maps back to the same entry
+        assert!(matches!(
+            csm.observe_key(CsmKey::Pattern(Box::new([Value::ZERO, Value::X])), &s),
+            Observation::Covered
+        ));
+    }
+
+    #[test]
+    fn unknown_count_elides_impossible_cover_checks() {
+        let mut csm = ConservativeStateManager::new(CsmPolicy::MultiState { max_states: 2 });
+        // slot with zero unknown bits
+        let s_00 = state(&[Value::ZERO, Value::ZERO]);
+        csm.observe(0, &s_00);
+        assert_eq!(csm.cover_checks_elided(), 0);
+        // an incoming state with an X cannot be covered by the fully-known
+        // slot; the early-out skips the bit-by-bit check entirely
+        let s_x0 = state(&[Value::X, Value::ZERO]);
+        let Observation::NewConservative(_) = csm.observe(0, &s_x0) else {
+            panic!()
+        };
+        assert_eq!(csm.cover_checks_elided(), 1);
+        // a fully-known incoming state still runs the real check and is
+        // covered by the widened slot
+        assert!(matches!(csm.observe(0, &s_00), Observation::Covered));
     }
 
     #[test]
@@ -291,7 +390,7 @@ mod tests {
         let s_b = state(&[Value::ONE, Value::ONE, Value::ZERO]);
         csm.observe(0, &s_a); // slot 0
         csm.observe(0, &s_b); // slot 1
-        // absorbs into slot 0 (closest); slot 1 must remain intact
+                              // absorbs into slot 0 (closest); slot 1 must remain intact
         let s_a2 = state(&[Value::ZERO, Value::ONE, Value::ZERO]);
         let Observation::NewConservative(c) = csm.observe(0, &s_a2) else {
             panic!("not covered yet")

@@ -1,13 +1,14 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
-use parking_lot::Mutex;
 use symsim_logic::{Value, Word};
 use symsim_netlist::{NetId, Netlist};
 use symsim_sim::{HaltReason, MonitorSpec, SimConfig, SimState, Simulator, ToggleProfile};
 
-use crate::csm::{ConservativeStateManager, CsmPolicy, Observation, StateConstraint};
+use crate::csm::{ConservativeStateManager, CsmKey, CsmPolicy, Observation, StateConstraint};
 use crate::report::CoAnalysisReport;
+use crate::sched::WorkQueue;
 
 /// The handful of design-specific facts co-analysis needs — everything else
 /// is design-agnostic (the point of the paper). The `symsim-cpu` crate
@@ -38,13 +39,16 @@ pub struct CoAnalysisConfig {
     pub constraints: Vec<StateConstraint>,
     /// Cycle budget for any single path segment.
     pub max_cycles_per_segment: u64,
-    /// Hard cap on total paths created (runaway safeguard).
+    /// Hard cap on total paths created (runaway safeguard). Children past
+    /// the cap are dropped and counted in
+    /// [`CoAnalysisReport::paths_dropped`].
     pub max_paths: usize,
     /// At most this many unknown control signals are enumerated per split
     /// (`2^n` children); extra unknowns stay `X` and re-split later.
     pub max_split_signals: usize,
     /// Worker threads; `1` runs sequentially, more parallelizes path
-    /// exploration with a shared CSM (paper §3.3).
+    /// exploration with a shared CSM (paper §3.3) over a work-stealing
+    /// scheduler.
     pub workers: usize,
     /// Per-net switching weights; when set, every worker collects
     /// [`symsim_sim::ActivityStats`] and the report carries the merged
@@ -74,7 +78,8 @@ pub enum PathOutcome {
     Finished,
     /// The halted state was covered by a conservative state: skipped.
     Covered,
-    /// The path split into `2^n` children at a non-deterministic branch.
+    /// The path split into children at a non-deterministic branch (the
+    /// count excludes children dropped by the path cap).
     Split(usize),
     /// The per-segment cycle budget ran out.
     Budget,
@@ -89,16 +94,12 @@ struct Task {
 #[derive(Debug, Default)]
 struct Counters {
     created: AtomicUsize,
+    dropped: AtomicUsize,
     skipped: AtomicUsize,
     finished: AtomicUsize,
     budget_exhausted: AtomicUsize,
     simulated: AtomicUsize,
     cycles: AtomicUsize,
-}
-
-struct Queue {
-    tasks: Vec<Task>,
-    active: usize,
 }
 
 /// Algorithm 1 of the paper: symbolic hardware-software co-analysis.
@@ -152,52 +153,56 @@ impl<'n> CoAnalysis<'n> {
             sim.save_state()
         };
         counters.created.fetch_add(1, Ordering::Relaxed);
-        let queue = Mutex::new(Queue {
-            tasks: vec![Task {
-                state: root_state,
-                forces: Vec::new(),
-            }],
-            active: 0,
+        let workers = self.config.workers.max(1);
+        let queue: WorkQueue<Task> = WorkQueue::new(workers);
+        queue.inject(Task {
+            state: root_state,
+            forces: Vec::new(),
         });
 
-        let workers = self.config.workers.max(1);
         let profiles = Mutex::new(Vec::<ToggleProfile>::new());
         let activities = Mutex::new(Vec::<symsim_sim::ActivityStats>::new());
 
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| {
-                    let mut sim = self.make_sim(&prepare);
-                    self.worker_loop(&mut sim, &queue, &csm, &counters);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let queue = &queue;
+                let csm = &csm;
+                let counters = &counters;
+                let profiles = &profiles;
+                let activities = &activities;
+                let prepare = &prepare;
+                scope.spawn(move || {
+                    let mut sim = self.make_sim(prepare);
+                    self.worker_loop(w, &mut sim, queue, csm, counters);
                     if let Some(p) = sim.take_toggle_profile() {
-                        profiles.lock().push(p);
+                        profiles.lock().unwrap().push(p);
                     }
                     if let Some(a) = sim.take_activity() {
-                        activities.lock().push(a);
+                        activities.lock().unwrap().push(a);
                     }
                 });
             }
-        })
-        .expect("worker panicked during co-analysis");
+        });
 
-        let mut profiles = profiles.into_inner();
+        let mut profiles = profiles.into_inner().unwrap();
         let mut profile = profiles.pop().expect("at least one worker profile");
         for p in &profiles {
             profile.merge(p);
         }
-        let mut activities = activities.into_inner();
+        let mut activities = activities.into_inner().unwrap();
         let activity = activities.pop().map(|mut first| {
             for a in &activities {
                 first.merge(a);
             }
             first
         });
-        let csm = csm.into_inner();
+        let csm = csm.into_inner().unwrap();
         CoAnalysisReport::assemble(
             self.netlist,
             profile,
             activity,
             counters.created.load(Ordering::Relaxed),
+            counters.dropped.load(Ordering::Relaxed),
             counters.skipped.load(Ordering::Relaxed),
             counters.finished.load(Ordering::Relaxed),
             counters.budget_exhausted.load(Ordering::Relaxed),
@@ -226,37 +231,24 @@ impl<'n> CoAnalysis<'n> {
 
     fn worker_loop(
         &self,
+        worker: usize,
         sim: &mut Simulator<'_>,
-        queue: &Mutex<Queue>,
+        queue: &WorkQueue<Task>,
         csm: &Mutex<ConservativeStateManager>,
         counters: &Counters,
     ) {
-        loop {
-            let task = {
-                let mut q = queue.lock();
-                match q.tasks.pop() {
-                    Some(t) => {
-                        q.active += 1;
-                        t
-                    }
-                    None if q.active == 0 => return,
-                    None => {
-                        drop(q);
-                        std::thread::yield_now();
-                        continue;
-                    }
-                }
-            };
-            self.run_segment(sim, task, queue, csm, counters);
-            queue.lock().active -= 1;
+        while let Some(task) = queue.next_task(worker) {
+            self.run_segment(worker, sim, task, queue, csm, counters);
+            queue.task_done();
         }
     }
 
     fn run_segment(
         &self,
+        worker: usize,
         sim: &mut Simulator<'_>,
         task: Task,
-        queue: &Mutex<Queue>,
+        queue: &WorkQueue<Task>,
         csm: &Mutex<ConservativeStateManager>,
         counters: &Counters,
     ) -> PathOutcome {
@@ -291,14 +283,14 @@ impl<'n> CoAnalysis<'n> {
             HaltReason::MonitorX { .. } => {
                 let pc = sim.read_bus(&self.iface.pc);
                 let state = sim.save_state();
-                let observation = csm.lock().observe_keyed(&pc_key(&pc), &state);
+                let observation = csm.lock().unwrap().observe_key(pc_key(&pc), &state);
                 match observation {
                     Observation::Covered => {
                         counters.skipped.fetch_add(1, Ordering::Relaxed);
                         PathOutcome::Covered
                     }
                     Observation::NewConservative(cons) => {
-                        let children = self.spawn_children(&cons, queue, counters);
+                        let children = self.spawn_children(worker, &cons, queue, counters);
                         PathOutcome::Split(children)
                     }
                 }
@@ -311,11 +303,14 @@ impl<'n> CoAnalysis<'n> {
     }
 
     /// Pushes one child task per concretization of the unknown monitored
-    /// control signals in the conservative state.
+    /// control signals in the conservative state, clamped to the remaining
+    /// `max_paths` budget; dropped children are counted, never silently
+    /// lost.
     fn spawn_children(
         &self,
+        worker: usize,
         cons: &SimState,
-        queue: &Mutex<Queue>,
+        queue: &WorkQueue<Task>,
         counters: &Counters,
     ) -> usize {
         let mut xs: Vec<NetId> = Vec::new();
@@ -335,35 +330,58 @@ impl<'n> CoAnalysis<'n> {
             }
         }
         xs.truncate(self.config.max_split_signals);
+        let combos = 1usize << xs.len();
 
-        if counters.created.load(Ordering::Relaxed) >= self.config.max_paths {
+        // claim budget from the path cap *before* materializing children so
+        // `paths_created` can never overshoot `max_paths`
+        let granted = loop {
+            let created = counters.created.load(Ordering::SeqCst);
+            let remaining = self.config.max_paths.saturating_sub(created);
+            let grant = combos.min(remaining);
+            if grant == 0 {
+                break 0;
+            }
+            if counters
+                .created
+                .compare_exchange(created, created + grant, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                break grant;
+            }
+        };
+        if granted < combos {
+            counters
+                .dropped
+                .fetch_add(combos - granted, Ordering::Relaxed);
+        }
+        if granted == 0 {
             return 0;
         }
-        let combos = 1usize << xs.len();
-        let mut children = Vec::with_capacity(combos);
-        for combo in 0..combos {
-            let forces = xs
-                .iter()
-                .enumerate()
-                .map(|(i, &net)| (net, Value::from_bool(combo >> i & 1 == 1)))
-                .collect();
-            children.push(Task {
-                state: cons.clone(),
-                forces,
-            });
-        }
-        counters.created.fetch_add(combos, Ordering::Relaxed);
-        queue.lock().tasks.extend(children);
-        combos
+        queue.push_local(
+            worker,
+            (0..granted).map(|combo| {
+                let forces = xs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &net)| (net, Value::from_bool(combo >> i & 1 == 1)))
+                    .collect();
+                Task {
+                    // cheap: copy-on-write pages, only dirty pages ever split
+                    state: cons.clone(),
+                    forces,
+                }
+            }),
+        );
+        granted
     }
 }
 
-/// Canonical CSM key for a PC value: decimal when fully known, the bit
-/// pattern otherwise.
-fn pc_key(pc: &Word) -> String {
+/// Canonical CSM key for a PC value: the integer when fully known, the
+/// bit pattern otherwise — no string formatting on the hot path.
+fn pc_key(pc: &Word) -> CsmKey {
     match pc.to_u64() {
-        Some(v) => v.to_string(),
-        None => pc.to_string(),
+        Some(v) => CsmKey::Concrete(v),
+        None => CsmKey::Pattern(pc.iter().copied().collect()),
     }
 }
 
@@ -427,6 +445,7 @@ mod tests {
         assert!(report.paths_created >= 3, "{report:?}");
         assert!(report.paths_skipped >= 1, "{report:?}");
         assert!(report.paths_finished >= 1, "{report:?}");
+        assert_eq!(report.paths_dropped, 0, "no cap hit: {report:?}");
         assert!(report.simulated_cycles > 0);
         assert_eq!(report.total_gates, nl.total_gate_count());
         assert!(report.exercisable_gates <= report.total_gates);
@@ -475,10 +494,38 @@ mod tests {
     }
 
     #[test]
+    fn paths_created_never_exceeds_max_paths() {
+        // regression: the cap used to be checked before the 2^n child count
+        // was known, so `paths_created` could overshoot by up to 2^n - 1
+        let (nl, iface) = branchy_design();
+        let cond = nl.find_net("cond_in").unwrap();
+        for cap in 1..=4usize {
+            let config = CoAnalysisConfig {
+                max_paths: cap,
+                ..CoAnalysisConfig::default()
+            };
+            let report =
+                CoAnalysis::new(&nl, iface.clone(), config).run(|sim| sim.poke(cond, Value::X));
+            assert!(
+                report.paths_created <= cap,
+                "cap {cap} overshot: {report:?}"
+            );
+            // the branch splits into 2 children; any cap that truncates the
+            // full exploration must show up in the dropped counter
+            if report.paths_created == cap && cap < 3 {
+                assert!(report.paths_dropped > 0, "cap {cap}: {report:?}");
+            }
+        }
+    }
+
+    #[test]
     fn pc_key_forms() {
-        assert_eq!(pc_key(&Word::from_u64(12, 8)), "12");
+        assert_eq!(pc_key(&Word::from_u64(12, 8)), CsmKey::Concrete(12));
         let mut w = Word::from_u64(0, 2);
         w.set_bit(1, Value::X);
-        assert_eq!(pc_key(&w), "2'bx0");
+        let CsmKey::Pattern(bits) = pc_key(&w) else {
+            panic!("partially-unknown PC must key by bit pattern");
+        };
+        assert_eq!(&*bits, &[Value::ZERO, Value::X]);
     }
 }

@@ -27,7 +27,8 @@
 mod csm;
 mod explore;
 mod report;
+pub mod sched;
 
-pub use csm::{ConservativeStateManager, CsmPolicy, Observation, StateConstraint};
+pub use csm::{ConservativeStateManager, CsmKey, CsmPolicy, Observation, StateConstraint};
 pub use explore::{CoAnalysis, CoAnalysisConfig, DesignInterface, PathOutcome};
 pub use report::CoAnalysisReport;

@@ -14,7 +14,12 @@ pub struct CoAnalysisReport {
     /// Gates that could be exercised by some execution of the application.
     pub exercisable_gates: usize,
     /// Execution paths created (pushed onto the worklist), root included.
+    /// Never exceeds the configured `max_paths` cap.
     pub paths_created: usize,
+    /// Children dropped because creating them would have exceeded the
+    /// `max_paths` cap. Non-zero means the exploration was truncated and
+    /// the exercisable-gate result is a lower bound.
+    pub paths_dropped: usize,
     /// Paths skipped because their halted state was covered by a
     /// conservative state.
     pub paths_skipped: usize,
@@ -46,6 +51,7 @@ impl CoAnalysisReport {
         profile: ToggleProfile,
         activity: Option<ActivityStats>,
         paths_created: usize,
+        paths_dropped: usize,
         paths_skipped: usize,
         paths_finished: usize,
         paths_budget_exhausted: usize,
@@ -59,6 +65,7 @@ impl CoAnalysisReport {
             total_gates: netlist.total_gate_count(),
             exercisable_gates: profile.exercisable_gate_count(netlist),
             paths_created,
+            paths_dropped,
             paths_skipped,
             paths_finished,
             paths_budget_exhausted,
@@ -80,9 +87,10 @@ impl CoAnalysisReport {
         100.0 * (self.total_gates - self.exercisable_gates) as f64 / self.total_gates as f64
     }
 
-    /// True when every path converged (nothing hit the cycle budget).
+    /// True when every path converged (nothing hit the cycle budget and no
+    /// child was dropped by the path cap).
     pub fn converged(&self) -> bool {
-        self.paths_budget_exhausted == 0
+        self.paths_budget_exhausted == 0 && self.paths_dropped == 0
     }
 }
 
@@ -118,6 +126,7 @@ mod tests {
             total_gates: 200,
             exercisable_gates: 150,
             paths_created: 3,
+            paths_dropped: 0,
             paths_skipped: 1,
             paths_finished: 2,
             paths_budget_exhausted: 0,

@@ -1,0 +1,257 @@
+//! Work-stealing task scheduler for parallel path exploration.
+//!
+//! Replaces the single shared `Mutex<Vec<Task>>` + `yield_now` spin loop:
+//! each worker owns a local deque it pushes and pops LIFO (children of the
+//! path it just split stay hot in its simulator's caches), a global injector
+//! seeds the root task, and an idle worker first drains the injector, then
+//! steals the *oldest* task from a peer (FIFO steal, so thieves take the
+//! shallowest — and typically largest — remaining subtree). Workers with no
+//! work park on a condvar instead of spinning.
+//!
+//! Termination detection uses a claim counter: [`WorkQueue::next_task`]
+//! counts a claim while a task is in flight and [`WorkQueue::task_done`]
+//! releases it. A worker that finds every queue empty *and* no claims
+//! outstanding knows no task can ever appear again (tasks are only produced
+//! by in-flight tasks), wakes every parked peer, and returns `None`.
+//! Producers notify under the same lock the sleepers wait on, so a push can
+//! never slip between a worker's last empty check and its park.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// A fixed-worker work-stealing queue of tasks of type `T`.
+#[derive(Debug)]
+pub struct WorkQueue<T> {
+    /// Global FIFO for work produced outside any worker (the root task).
+    injector: Mutex<VecDeque<T>>,
+    /// Per-worker deques: owner pops LIFO at the back, thieves FIFO at the
+    /// front.
+    locals: Box<[Mutex<VecDeque<T>>]>,
+    /// Tasks currently claimed by workers (popped but not yet `task_done`).
+    active: AtomicUsize,
+    /// Lock both producers (to notify) and idle consumers (to wait) take;
+    /// holding it while re-checking emptiness closes the lost-wakeup race.
+    gate: Mutex<()>,
+    cv: Condvar,
+    steals: AtomicU64,
+    parks: AtomicU64,
+}
+
+impl<T> WorkQueue<T> {
+    /// Creates a queue for `workers` workers (at least one).
+    pub fn new(workers: usize) -> WorkQueue<T> {
+        assert!(workers >= 1, "need at least one worker");
+        WorkQueue {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            active: AtomicUsize::new(0),
+            gate: Mutex::new(()),
+            cv: Condvar::new(),
+            steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of workers this queue was built for.
+    pub fn workers(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Pushes a task from outside any worker (used to seed the root task).
+    pub fn inject(&self, task: T) {
+        self.injector.lock().unwrap().push_back(task);
+        self.notify(false);
+    }
+
+    /// Pushes tasks onto `worker`'s own deque and wakes idle peers.
+    pub fn push_local(&self, worker: usize, tasks: impl IntoIterator<Item = T>) {
+        let mut pushed = 0usize;
+        {
+            let mut q = self.locals[worker].lock().unwrap();
+            for t in tasks {
+                q.push_back(t);
+                pushed += 1;
+            }
+        }
+        if pushed > 0 {
+            self.notify(pushed > 1);
+        }
+    }
+
+    /// Blocks until a task is available (claiming it) or exploration is
+    /// complete — every queue empty with no task in flight — in which case
+    /// it returns `None` and the worker should exit.
+    ///
+    /// Every `Some` return must be paired with a [`WorkQueue::task_done`]
+    /// call once the task (including any children it pushes) is finished.
+    pub fn next_task(&self, worker: usize) -> Option<T> {
+        loop {
+            // claim *before* popping so a concurrent worker never observes
+            // "queues empty and nothing active" while we hold the last task
+            self.active.fetch_add(1, Ordering::SeqCst);
+            if let Some(t) = self.try_pop(worker) {
+                return Some(t);
+            }
+            self.active.fetch_sub(1, Ordering::SeqCst);
+
+            let g = self.gate.lock().unwrap();
+            // re-check with the gate held: producers notify under this lock
+            // (between their push and their task_done), so any push we miss
+            // here still counts as an active claim and forces another pass
+            self.active.fetch_add(1, Ordering::SeqCst);
+            if let Some(t) = self.try_pop(worker) {
+                return Some(t);
+            }
+            if self.active.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // no queued work, no task in flight: nothing can appear
+                self.cv.notify_all();
+                return None;
+            }
+            self.parks.fetch_add(1, Ordering::Relaxed);
+            let _g = self.cv.wait(g).unwrap();
+        }
+    }
+
+    /// Releases the claim taken by [`WorkQueue::next_task`]; wakes all
+    /// parked workers when this was the last in-flight task so they can
+    /// observe termination.
+    pub fn task_done(&self) {
+        if self.active.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.notify(true);
+        }
+    }
+
+    /// Number of tasks taken from a peer's deque rather than the worker's
+    /// own or the injector.
+    pub fn steal_count(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Number of times a worker parked on the condvar.
+    pub fn park_count(&self) -> u64 {
+        self.parks.load(Ordering::Relaxed)
+    }
+
+    fn try_pop(&self, worker: usize) -> Option<T> {
+        if let Some(t) = self.locals[worker].lock().unwrap().pop_back() {
+            return Some(t);
+        }
+        if let Some(t) = self.injector.lock().unwrap().pop_front() {
+            return Some(t);
+        }
+        let n = self.locals.len();
+        for off in 1..n {
+            let victim = (worker + off) % n;
+            if let Some(t) = self.locals[victim].lock().unwrap().pop_front() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    fn notify(&self, all: bool) {
+        let _g = self.gate.lock().unwrap();
+        if all {
+            self.cv.notify_all();
+        } else {
+            self.cv.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn single_worker_drains_in_lifo_order() {
+        let q: WorkQueue<u32> = WorkQueue::new(1);
+        q.inject(0);
+        let root = q.next_task(0).unwrap();
+        assert_eq!(root, 0);
+        q.push_local(0, [1, 2, 3]);
+        q.task_done();
+        assert_eq!(q.next_task(0), Some(3), "owner pops its deque LIFO");
+        q.task_done();
+        assert_eq!(q.next_task(0), Some(2));
+        q.task_done();
+        assert_eq!(q.next_task(0), Some(1));
+        q.task_done();
+        assert_eq!(q.next_task(0), None, "drained queue terminates");
+    }
+
+    #[test]
+    fn thieves_steal_the_oldest_task() {
+        let q: WorkQueue<u32> = WorkQueue::new(2);
+        q.inject(0);
+        let _root = q.next_task(0).unwrap();
+        q.push_local(0, [1, 2, 3]);
+        assert_eq!(q.next_task(1), Some(1), "thief takes the FIFO end");
+        assert_eq!(q.steal_count(), 1);
+        q.task_done();
+        q.task_done();
+        assert_eq!(q.next_task(0), Some(3));
+        q.task_done();
+        assert_eq!(q.next_task(1), Some(2));
+        q.task_done();
+        assert_eq!(q.next_task(0), None);
+        assert_eq!(q.next_task(1), None);
+    }
+
+    /// A synthetic exploration: every task below a depth limit spawns two
+    /// children; all workers must between them process exactly the full
+    /// binary tree and then terminate without deadlock.
+    #[test]
+    fn parallel_tree_processes_every_task_and_terminates() {
+        const DEPTH: u32 = 10;
+        const WORKERS: usize = 4;
+        let q: WorkQueue<u32> = WorkQueue::new(WORKERS);
+        let processed = AtomicUsize::new(0);
+        q.inject(0);
+        std::thread::scope(|scope| {
+            for w in 0..WORKERS {
+                let q = &q;
+                let processed = &processed;
+                scope.spawn(move || {
+                    while let Some(depth) = q.next_task(w) {
+                        processed.fetch_add(1, Ordering::Relaxed);
+                        if depth + 1 < DEPTH {
+                            q.push_local(w, [depth + 1, depth + 1]);
+                        }
+                        q.task_done();
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            processed.load(Ordering::Relaxed),
+            (1usize << DEPTH) - 1,
+            "every node of the depth-{DEPTH} binary tree ran exactly once"
+        );
+    }
+
+    #[test]
+    fn idle_workers_park_rather_than_spin() {
+        let q: WorkQueue<u32> = WorkQueue::new(2);
+        q.inject(0);
+        std::thread::scope(|scope| {
+            for w in 0..2 {
+                let q = &q;
+                scope.spawn(move || {
+                    while let Some(t) = q.next_task(w) {
+                        if t == 0 {
+                            // hold the only task long enough that the other
+                            // worker must park instead of busy-waiting
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                        }
+                        q.task_done();
+                    }
+                });
+            }
+        });
+        assert!(q.park_count() >= 1, "the idle worker parked");
+    }
+}

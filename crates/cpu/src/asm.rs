@@ -67,15 +67,17 @@ pub fn first_pass(src: &str) -> Result<(Vec<Stmt>, HashMap<String, u64>), AsmErr
         while let Some(colon) = rest.find(':') {
             let (label, tail) = rest.split_at(colon);
             let label = label.trim();
-            if label.is_empty() || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
-            {
+            if label.is_empty() || !label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
                 return Err(AsmError::new(line_no, format!("bad label \"{label}\"")));
             }
             if labels
                 .insert(label.to_string(), stmts.len() as u64)
                 .is_some()
             {
-                return Err(AsmError::new(line_no, format!("duplicate label \"{label}\"")));
+                return Err(AsmError::new(
+                    line_no,
+                    format!("duplicate label \"{label}\""),
+                ));
             }
             rest = tail[1..].trim();
         }
@@ -124,11 +126,7 @@ pub fn parse_reg(arg: &str, prefix: &str, count: u32, line: usize) -> Result<u32
 /// # Errors
 ///
 /// Returns [`AsmError`] if the operand is neither a number nor a known label.
-pub fn parse_imm(
-    arg: &str,
-    labels: &HashMap<String, u64>,
-    line: usize,
-) -> Result<i64, AsmError> {
+pub fn parse_imm(arg: &str, labels: &HashMap<String, u64>, line: usize) -> Result<i64, AsmError> {
     if let Some(&v) = labels.get(arg) {
         return Ok(v as i64);
     }
@@ -161,7 +159,10 @@ pub fn parse_mem(
         .find('(')
         .ok_or_else(|| AsmError::new(line, format!("expected imm(reg), got \"{arg}\"")))?;
     if !arg.ends_with(')') {
-        return Err(AsmError::new(line, format!("expected imm(reg), got \"{arg}\"")));
+        return Err(AsmError::new(
+            line,
+            format!("expected imm(reg), got \"{arg}\""),
+        ));
     }
     let imm_str = arg[..open].trim();
     let imm = if imm_str.is_empty() {
@@ -182,7 +183,12 @@ pub fn expect_args(stmt: &Stmt, n: usize) -> Result<(), AsmError> {
     if stmt.args.len() != n {
         return Err(AsmError::new(
             stmt.line,
-            format!("{} expects {} operands, got {}", stmt.op, n, stmt.args.len()),
+            format!(
+                "{} expects {} operands, got {}",
+                stmt.op,
+                n,
+                stmt.args.len()
+            ),
         ));
     }
     Ok(())

@@ -146,9 +146,7 @@ pub const TEA_KEY: [u64; 4] = [0xa56b_abcd, 0x0000_f00d, 0xdead_beef, 0x0bad_c0d
 pub const TEA_DELTA: u64 = 0x9e37_79b9;
 
 /// Sorted lookup table for [`BINSEARCH`] (@8..24).
-pub const SEARCH_TABLE: [u64; 16] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53,
-];
+pub const SEARCH_TABLE: [u64; 16] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53];
 
 /// The benchmark named `name`.
 ///

@@ -133,7 +133,11 @@ mod tests {
     fn crc16_matches_reference() {
         let benches = extended_benchmarks();
         let iss = run(&benches[0]);
-        let words: Vec<u16> = benches[0].example_inputs.iter().map(|&v| v as u16).collect();
+        let words: Vec<u16> = benches[0]
+            .example_inputs
+            .iter()
+            .map(|&v| v as u16)
+            .collect();
         assert_eq!(iss.mem[1], crc16_ref(&words) as u32);
     }
 

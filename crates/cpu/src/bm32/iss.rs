@@ -95,22 +95,18 @@ impl Iss {
                     self.mem[addr as usize] = av;
                 }
             }
-            oc::BEQ
-                if av == bv => {
-                    next_pc = f.imm & 0x1ff;
-                }
-            oc::BNE
-                if av != bv => {
-                    next_pc = f.imm & 0x1ff;
-                }
-            oc::BLEZ
-                if (av as i32) <= 0 => {
-                    next_pc = f.imm & 0x1ff;
-                }
-            oc::BGTZ
-                if (av as i32) > 0 => {
-                    next_pc = f.imm & 0x1ff;
-                }
+            oc::BEQ if av == bv => {
+                next_pc = f.imm & 0x1ff;
+            }
+            oc::BNE if av != bv => {
+                next_pc = f.imm & 0x1ff;
+            }
+            oc::BLEZ if (av as i32) <= 0 => {
+                next_pc = f.imm & 0x1ff;
+            }
+            oc::BGTZ if (av as i32) > 0 => {
+                next_pc = f.imm & 0x1ff;
+            }
             oc::J => next_pc = f.imm & 0x1ff,
             oc::MULT => {
                 // the hardware multiplier is 32x16: low 16 bits of operand C
@@ -177,8 +173,8 @@ mod tests {
 
     #[test]
     fn multiplier() {
-        let p = assemble("li $1, 1000\n li $2, 999\n mult $1, $2\n mflo $3\n mfhi $4\n halt")
-            .unwrap();
+        let p =
+            assemble("li $1, 1000\n li $2, 999\n mult $1, $2\n mflo $3\n mfhi $4\n halt").unwrap();
         let mut iss = Iss::new(&p);
         assert!(iss.run(10));
         assert_eq!(iss.regs[3], 999_000);
@@ -187,8 +183,8 @@ mod tests {
 
     #[test]
     fn shifts() {
-        let p = assemble("li $1, -8\n sra $2, $1, 1\n srl $3, $1, 1\n sll $4, $1, 2\n halt")
-            .unwrap();
+        let p =
+            assemble("li $1, -8\n sra $2, $1, 1\n srl $3, $1, 1\n sll $4, $1, 2\n halt").unwrap();
         let mut iss = Iss::new(&p);
         assert!(iss.run(10));
         assert_eq!(iss.regs[2] as i32, -4);

@@ -198,8 +198,8 @@ pub fn build() -> Cpu {
     let writes_reg = any(
         &mut b,
         &[
-            is_li, is_addish, is_sub, is_andish, is_orish, is_xor, is_slt, is_sltu, is_sll,
-            is_srl, is_sra, is_lw, is_mflo, is_mfhi,
+            is_li, is_addish, is_sub, is_andish, is_orish, is_xor, is_slt, is_sltu, is_sll, is_srl,
+            is_sra, is_lw, is_mflo, is_mfhi,
         ],
     );
     let wr_en = b.and1(writes_reg, not_halt);

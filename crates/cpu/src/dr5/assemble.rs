@@ -10,7 +10,10 @@ fn enc(op: u32, a: u32, b: u32, c: u32, imm: u32) -> u32 {
 
 fn imm14_range(v: i64, line: usize) -> Result<u32, AsmError> {
     if !(-8192..=16383).contains(&v) {
-        return Err(AsmError::new(line, format!("immediate {v} out of 14-bit range")));
+        return Err(AsmError::new(
+            line,
+            format!("immediate {v} out of 14-bit range"),
+        ));
     }
     Ok((v as u32) & 0x3fff)
 }
@@ -39,10 +42,7 @@ pub fn assemble(src: &str) -> Result<Vec<u32>, AsmError> {
     stmts.iter().map(|s| encode(s, &labels)).collect()
 }
 
-fn encode(
-    stmt: &Stmt,
-    labels: &std::collections::HashMap<String, u64>,
-) -> Result<u32, AsmError> {
+fn encode(stmt: &Stmt, labels: &std::collections::HashMap<String, u64>) -> Result<u32, AsmError> {
     let line = stmt.line;
     let reg = |i: usize| parse_reg(&stmt.args[i], "x", 16, line);
     let imm = |i: usize| -> Result<u32, AsmError> {

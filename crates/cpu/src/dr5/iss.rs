@@ -92,30 +92,24 @@ impl Iss {
                     self.mem[addr as usize] = av;
                 }
             }
-            oc::BEQ
-                if av == bv => {
-                    next_pc = f.imm & 0x1ff;
-                }
-            oc::BNE
-                if av != bv => {
-                    next_pc = f.imm & 0x1ff;
-                }
-            oc::BLT
-                if (av as i32) < bv as i32 => {
-                    next_pc = f.imm & 0x1ff;
-                }
-            oc::BGE
-                if (av as i32) >= bv as i32 => {
-                    next_pc = f.imm & 0x1ff;
-                }
-            oc::BLTU
-                if av < bv => {
-                    next_pc = f.imm & 0x1ff;
-                }
-            oc::BGEU
-                if av >= bv => {
-                    next_pc = f.imm & 0x1ff;
-                }
+            oc::BEQ if av == bv => {
+                next_pc = f.imm & 0x1ff;
+            }
+            oc::BNE if av != bv => {
+                next_pc = f.imm & 0x1ff;
+            }
+            oc::BLT if (av as i32) < bv as i32 => {
+                next_pc = f.imm & 0x1ff;
+            }
+            oc::BGE if (av as i32) >= bv as i32 => {
+                next_pc = f.imm & 0x1ff;
+            }
+            oc::BLTU if av < bv => {
+                next_pc = f.imm & 0x1ff;
+            }
+            oc::BGEU if av >= bv => {
+                next_pc = f.imm & 0x1ff;
+            }
             oc::JAL => {
                 self.write_reg(f.a, link);
                 next_pc = f.imm & 0x1ff;
@@ -220,7 +214,10 @@ mod tests {
         .unwrap();
         let mut iss = Iss::new(&p);
         assert!(iss.run(30));
-        assert_eq!(iss.regs[3], 42, "trap must redirect before li x3, 99 commits");
+        assert_eq!(
+            iss.regs[3], 42,
+            "trap must redirect before li x3, 99 commits"
+        );
         assert_eq!(iss.csrs[4], 0, "mcause records the pending bit");
         assert_eq!(iss.csrs[5], 4, "mepc records the trapping pc");
     }

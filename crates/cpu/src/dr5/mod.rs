@@ -145,7 +145,9 @@ pub fn build() -> Cpu {
     let c_val = mux_tree(&mut b, &c_f, &rfq);
     let uses_imm = any(
         &mut b,
-        &[is_li, is_addi, is_andi, is_ori, is_xori, is_slli, is_srli, is_srai],
+        &[
+            is_li, is_addi, is_andi, is_ori, is_xori, is_slli, is_srli, is_srai,
+        ],
     );
     let opc = b.mux(uses_imm, &c_val, &imm);
 
@@ -209,8 +211,8 @@ pub fn build() -> Cpu {
     let writes_reg = any(
         &mut b,
         &[
-            is_li, is_addish, is_sub, is_andish, is_orish, is_xorish, is_slt, is_sltu,
-            is_sllish, is_srlish, is_sraish, is_lw, is_jump,
+            is_li, is_addish, is_sub, is_andish, is_orish, is_xorish, is_slt, is_sltu, is_sllish,
+            is_srlish, is_sraish, is_lw, is_jump,
         ],
     );
     let wr_en = b.and1(writes_reg, not_halt);

@@ -122,11 +122,7 @@ impl Cpu {
         self.prepare_symbolic(sim, program, data);
         let mut next_id = 0u32;
         for &a in &data.inputs {
-            sim.write_mem_word(
-                self.dmem,
-                a,
-                &Word::symbols(next_id, self.data_width),
-            );
+            sim.write_mem_word(self.dmem, a, &Word::symbols(next_id, self.data_width));
             next_id += self.data_width as u32;
         }
     }
@@ -237,10 +233,7 @@ mod tests {
         let mut sim = Simulator::new(&nl, SimConfig::default());
         let map = nl.net_name_map();
         for i in 0..4u64 {
-            sim.poke_bus(
-                &[map["sel[0]"], map["sel[1]"]],
-                &Word::from_u64(i, 2),
-            );
+            sim.poke_bus(&[map["sel[0]"], map["sel[1]"]], &Word::from_u64(i, 2));
             sim.settle();
             assert_eq!(
                 sim.read_bus_by_name("out", 8).unwrap().to_u64(),

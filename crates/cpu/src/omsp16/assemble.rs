@@ -37,16 +37,16 @@ pub fn assemble(src: &str) -> Result<Vec<u32>, AsmError> {
     Ok(out)
 }
 
-fn encode(
-    stmt: &Stmt,
-    labels: &std::collections::HashMap<String, u64>,
-) -> Result<u32, AsmError> {
+fn encode(stmt: &Stmt, labels: &std::collections::HashMap<String, u64>) -> Result<u32, AsmError> {
     let line = stmt.line;
     let reg = |i: usize| parse_reg(&stmt.args[i], "r", 8, line);
     let imm16 = |i: usize| -> Result<u16, AsmError> {
         let v = parse_imm(&stmt.args[i], labels, line)?;
         if !(-32768..=65535).contains(&v) {
-            return Err(AsmError::new(line, format!("immediate {v} out of 16-bit range")));
+            return Err(AsmError::new(
+                line,
+                format!("immediate {v} out of 16-bit range"),
+            ));
         }
         Ok(v as u16)
     };

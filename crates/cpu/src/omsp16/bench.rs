@@ -189,9 +189,7 @@ round:  addi r3, 0x9e37    ; sum += delta
 pub const TEA_KEY: [u64; 4] = [0x1c2d, 0x3e4f, 0x5a6b, 0x7c8d];
 
 /// Sorted lookup table used by [`BINSEARCH`] (concrete data @8..24).
-pub const SEARCH_TABLE: [u64; 16] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53,
-];
+pub const SEARCH_TABLE: [u64; 16] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53];
 
 /// The benchmark named `name` (Table 1 names, lower-case).
 ///
@@ -319,7 +317,7 @@ mod tests {
     fn binsearch_finds_key() {
         let iss = run_iss(&benchmark("binsearch"));
         assert_eq!(iss.mem[1], 5); // 13 is at index 5
-        // absent key
+                                   // absent key
         let b = benchmark("binsearch");
         let program = assemble(b.source).unwrap();
         let mut iss = Iss::new(&program);

@@ -189,7 +189,9 @@ pub fn build() -> Cpu {
     let v_next = select1(&mut b, zero1, &[(is_addish, v_add), (is_subish, v_sub)]);
     let sets_flags = any(
         &mut b,
-        &[is_addish, is_subish, is_andish, is_orish, is_xor, is_shl, is_shr],
+        &[
+            is_addish, is_subish, is_andish, is_orish, is_xor, is_shl, is_shr,
+        ],
     );
     let flags_we = b.and1(sets_flags, not_halt);
     let flags_next_bus = Bus::from_nets(vec![z_next, n_next, c_next, v_next]);
@@ -274,8 +276,8 @@ pub fn build() -> Cpu {
     let writes_reg = any(
         &mut b,
         &[
-            is_mov, is_movi, is_addish, sub_writes, is_andish, is_orish, is_xor, is_shl,
-            is_shr, is_ld,
+            is_mov, is_movi, is_addish, sub_writes, is_andish, is_orish, is_xor, is_shl, is_shr,
+            is_ld,
         ],
     );
     let wr_en = b.and1(writes_reg, not_halt);
@@ -373,7 +375,11 @@ mod tests {
     fn builds_and_validates() {
         let cpu = build();
         assert!(cpu.netlist.validate().is_ok());
-        assert!(cpu.netlist.total_gate_count() > 3000, "{}", cpu.netlist.total_gate_count());
+        assert!(
+            cpu.netlist.total_gate_count() > 3000,
+            "{}",
+            cpu.netlist.total_gate_count()
+        );
         assert_eq!(cpu.monitor_signals.len(), 4);
         assert_eq!(cpu.pc.len(), 9);
         assert_eq!(cpu.reg_nets.len(), 8);

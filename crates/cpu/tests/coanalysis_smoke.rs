@@ -18,9 +18,15 @@ fn div_coanalysis_converges_and_is_sound() {
     let analysis = CoAnalysis::new(&cpu.netlist, cpu.interface(), config);
     let report = analysis.run(|sim| cpu.prepare_symbolic(sim, &program, &bench.data));
 
-    assert!(report.converged(), "no path may exhaust its budget: {report}");
+    assert!(
+        report.converged(),
+        "no path may exhaust its budget: {report}"
+    );
     assert!(report.paths_created > 1, "div must split: {report}");
-    assert!(report.paths_skipped > 0, "conservative states must cover: {report}");
+    assert!(
+        report.paths_skipped > 0,
+        "conservative states must cover: {report}"
+    );
     assert!(
         report.exercisable_gates < report.total_gates,
         "some gates must be unexercisable: {report}"

@@ -40,8 +40,8 @@ fn arb_omsp16_program() -> impl Strategy<Value = String> {
 }
 
 fn arb_bm32_program() -> impl Strategy<Value = String> {
-    let instr = (0u8..14, 0u32..16, 0u32..16, 0u32..16, 0i64..64).prop_map(
-        |(op, a, b, c, imm)| match op {
+    let instr =
+        (0u8..14, 0u32..16, 0u32..16, 0u32..16, 0i64..64).prop_map(|(op, a, b, c, imm)| match op {
             0 => format!("li ${a}, {imm}"),
             1 => format!("add ${a}, ${b}, ${c}"),
             2 => format!("addi ${a}, ${b}, {imm}"),
@@ -56,8 +56,7 @@ fn arb_bm32_program() -> impl Strategy<Value = String> {
             11 => format!("sra ${a}, ${b}, {}", imm % 32),
             12 => format!("sw ${a}, {}(${b})", imm % 32),
             _ => format!("lw ${a}, {}(${b})", imm % 32),
-        },
-    );
+        });
     prop::collection::vec(instr, 1..40).prop_map(|mut lines| {
         let mut src = String::new();
         for r in 1..16 {
@@ -73,8 +72,8 @@ fn arb_bm32_program() -> impl Strategy<Value = String> {
 }
 
 fn arb_dr5_program() -> impl Strategy<Value = String> {
-    let instr = (0u8..14, 0u32..16, 0u32..16, 0u32..16, 0i64..64).prop_map(
-        |(op, a, b, c, imm)| match op {
+    let instr =
+        (0u8..14, 0u32..16, 0u32..16, 0u32..16, 0i64..64).prop_map(|(op, a, b, c, imm)| match op {
             0 => format!("li x{a}, {imm}"),
             1 => format!("add x{a}, x{b}, x{c}"),
             2 => format!("addi x{a}, x{b}, {imm}"),
@@ -89,8 +88,7 @@ fn arb_dr5_program() -> impl Strategy<Value = String> {
             11 => format!("srai x{a}, x{b}, {}", imm % 32),
             12 => format!("sw x{a}, {}(x{b})", imm % 32),
             _ => format!("lw x{a}, {}(x{b})", imm % 32),
-        },
-    );
+        });
     prop::collection::vec(instr, 1..40).prop_map(|mut lines| {
         let mut src = String::new();
         for r in 1..16 {
@@ -104,11 +102,7 @@ fn arb_dr5_program() -> impl Strategy<Value = String> {
 }
 
 /// Runs the gate-level netlist with zeroed registers/memory for `cycles`.
-fn run_gate_level<'a>(
-    cpu: &'a symsim_cpu::Cpu,
-    program: &[u32],
-    cycles: u64,
-) -> Simulator<'a> {
+fn run_gate_level<'a>(cpu: &'a symsim_cpu::Cpu, program: &[u32], cycles: u64) -> Simulator<'a> {
     let mut sim = Simulator::new(&cpu.netlist, SimConfig::default());
     for (i, &w) in program.iter().enumerate() {
         sim.write_mem_word(cpu.pmem, i, &Word::from_u64(w as u64, 32));

@@ -182,7 +182,11 @@ mod tests {
     #[test]
     fn gates_are_sound_over_concretizations() {
         for policy in [PropagationPolicy::Anonymous, PropagationPolicy::Tagged] {
-            let syms = [Value::symbol(0), Value::symbol_inverted(0), Value::symbol(1)];
+            let syms = [
+                Value::symbol(0),
+                Value::symbol_inverted(0),
+                Value::symbol(1),
+            ];
             let domain: Vec<Value> = ALL.iter().copied().chain(syms).collect();
             for &a in &domain {
                 for &b in &domain {

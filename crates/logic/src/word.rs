@@ -40,7 +40,11 @@ impl Word {
 
     /// The low `width` bits of `v` as known values.
     pub fn from_u64(v: u64, width: usize) -> Word {
-        Word((0..width).map(|i| Value::from_bool(v >> i & 1 == 1)).collect())
+        Word(
+            (0..width)
+                .map(|i| Value::from_bool(v >> i & 1 == 1))
+                .collect(),
+        )
     }
 
     /// Builds a word from individual bit values (LSB first).
@@ -50,7 +54,11 @@ impl Word {
 
     /// A word of fresh tagged symbols `first_id .. first_id + width`.
     pub fn symbols(first_id: u32, width: usize) -> Word {
-        Word((0..width).map(|i| Value::symbol(first_id + i as u32)).collect())
+        Word(
+            (0..width)
+                .map(|i| Value::symbol(first_id + i as u32))
+                .collect(),
+        )
     }
 
     /// Bus width in bits.
@@ -126,7 +134,11 @@ impl Word {
     ///
     /// Panics if the widths differ.
     pub fn merge(&self, other: &Word) -> Word {
-        assert_eq!(self.width(), other.width(), "merging words of unequal width");
+        assert_eq!(
+            self.width(),
+            other.width(),
+            "merging words of unequal width"
+        );
         Word(
             self.0
                 .iter()
@@ -142,7 +154,11 @@ impl Word {
     ///
     /// Panics if the widths differ.
     pub fn covers(&self, other: &Word) -> bool {
-        assert_eq!(self.width(), other.width(), "covering words of unequal width");
+        assert_eq!(
+            self.width(),
+            other.width(),
+            "covering words of unequal width"
+        );
         self.0.iter().zip(&other.0).all(|(a, b)| a.covers(*b))
     }
 

@@ -143,11 +143,9 @@ impl RtlBuilder {
     fn fresh_bus(&mut self, prefix: &str, width: usize) -> Bus {
         self.tmp += 1;
         let n = self.tmp;
-        Bus(
-            (0..width)
-                .map(|i| self.nl.add_net(format!("{prefix}_{n}[{i}]")))
-                .collect(),
-        )
+        Bus((0..width)
+            .map(|i| self.nl.add_net(format!("{prefix}_{n}[{i}]")))
+            .collect())
     }
 
     /// Declares a top-level input bus named `name[0..width]`.
@@ -299,32 +297,45 @@ impl RtlBuilder {
     /// Panics if widths differ (as do all two-operand bus helpers).
     pub fn and(&mut self, a: &Bus, b: &Bus) -> Bus {
         assert_eq!(a.width(), b.width());
-        Bus(a.0.iter().zip(&b.0).map(|(&x, &y)| self.and1(x, y)).collect())
+        Bus(a
+            .0
+            .iter()
+            .zip(&b.0)
+            .map(|(&x, &y)| self.and1(x, y))
+            .collect())
     }
 
     /// Bitwise OR.
     pub fn or(&mut self, a: &Bus, b: &Bus) -> Bus {
         assert_eq!(a.width(), b.width());
-        Bus(a.0.iter().zip(&b.0).map(|(&x, &y)| self.or1(x, y)).collect())
+        Bus(a
+            .0
+            .iter()
+            .zip(&b.0)
+            .map(|(&x, &y)| self.or1(x, y))
+            .collect())
     }
 
     /// Bitwise XOR.
     pub fn xor(&mut self, a: &Bus, b: &Bus) -> Bus {
         assert_eq!(a.width(), b.width());
-        Bus(a.0.iter().zip(&b.0).map(|(&x, &y)| self.xor1(x, y)).collect())
+        Bus(a
+            .0
+            .iter()
+            .zip(&b.0)
+            .map(|(&x, &y)| self.xor1(x, y))
+            .collect())
     }
 
     /// Bus mux: `when0` if `sel=0`, `when1` if `sel=1`.
     pub fn mux(&mut self, sel: NetId, when0: &Bus, when1: &Bus) -> Bus {
         assert_eq!(when0.width(), when1.width());
-        Bus(
-            when0
-                .0
-                .iter()
-                .zip(&when1.0)
-                .map(|(&a, &b)| self.mux1(sel, a, b))
-                .collect(),
-        )
+        Bus(when0
+            .0
+            .iter()
+            .zip(&when1.0)
+            .map(|(&a, &b)| self.mux1(sel, a, b))
+            .collect())
     }
 
     /// Replicates `bit` across `width` AND gates with `a` (masking).
@@ -440,22 +451,18 @@ impl RtlBuilder {
     pub fn shl_const(&mut self, a: &Bus, k: usize) -> Bus {
         let w = a.width();
         let z = self.zero();
-        Bus(
-            (0..w)
-                .map(|i| if i < k { z } else { a.bit(i - k) })
-                .collect(),
-        )
+        Bus((0..w)
+            .map(|i| if i < k { z } else { a.bit(i - k) })
+            .collect())
     }
 
     /// Logical shift right by a constant (zero fill).
     pub fn shr_const(&mut self, a: &Bus, k: usize) -> Bus {
         let w = a.width();
         let z = self.zero();
-        Bus(
-            (0..w)
-                .map(|i| if i + k < w { a.bit(i + k) } else { z })
-                .collect(),
-        )
+        Bus((0..w)
+            .map(|i| if i + k < w { a.bit(i + k) } else { z })
+            .collect())
     }
 
     /// Barrel shifter: left when `right = const false` semantics are chosen
@@ -479,11 +486,9 @@ impl RtlBuilder {
     pub fn sra_const(&mut self, a: &Bus, k: usize) -> Bus {
         let w = a.width();
         let sign = a.msb();
-        Bus(
-            (0..w)
-                .map(|i| if i + k < w { a.bit(i + k) } else { sign })
-                .collect(),
-        )
+        Bus((0..w)
+            .map(|i| if i + k < w { a.bit(i + k) } else { sign })
+            .collect())
     }
 
     /// Barrel shifter: arithmetic `a >> amt` (sign fill).
@@ -522,17 +527,17 @@ impl RtlBuilder {
     /// Zero-extends (or truncates) to `width`.
     pub fn zext(&mut self, a: &Bus, width: usize) -> Bus {
         let z = self.zero();
-        Bus((0..width).map(|i| if i < a.width() { a.bit(i) } else { z }).collect())
+        Bus((0..width)
+            .map(|i| if i < a.width() { a.bit(i) } else { z })
+            .collect())
     }
 
     /// Sign-extends (or truncates) to `width`.
     pub fn sext(&mut self, a: &Bus, width: usize) -> Bus {
         let msb = a.msb();
-        Bus(
-            (0..width)
-                .map(|i| if i < a.width() { a.bit(i) } else { msb })
-                .collect(),
-        )
+        Bus((0..width)
+            .map(|i| if i < a.width() { a.bit(i) } else { msb })
+            .collect())
     }
 
     // ---- multiplier ----
@@ -594,8 +599,17 @@ impl RtlBuilder {
     /// Panics if the width differs from the register or if already driven.
     pub fn drive_reg(&mut self, reg: RegHandle, d: &Bus) {
         let pending = &mut self.regs[reg.index];
-        assert_eq!(d.width(), pending.q.len(), "register {} width", pending.name);
-        assert!(pending.d.is_none(), "register {} driven twice", pending.name);
+        assert_eq!(
+            d.width(),
+            pending.q.len(),
+            "register {} width",
+            pending.name
+        );
+        assert!(
+            pending.d.is_none(),
+            "register {} driven twice",
+            pending.name
+        );
         pending.d = Some(d.0.clone());
     }
 
@@ -618,8 +632,7 @@ impl RtlBuilder {
     /// Adds a combinational read port; returns the data bus.
     pub fn mem_read(&mut self, mem: MemoryHandle, addr: &Bus) -> Bus {
         let data = self.fresh_bus("rdata", self.nl.memories()[mem.0 .0 as usize].width);
-        self.nl
-            .add_read_port(mem.0, addr.0.clone(), data.0.clone());
+        self.nl.add_read_port(mem.0, addr.0.clone(), data.0.clone());
         data
     }
 
@@ -644,9 +657,8 @@ impl RtlBuilder {
     pub fn finish(mut self) -> Result<Netlist, ValidateError> {
         let regs = std::mem::take(&mut self.regs);
         for r in regs {
-            let d = r
-                .d
-                .unwrap_or_else(|| panic!("register {} has no next-state driver", r.name));
+            let d =
+                r.d.unwrap_or_else(|| panic!("register {} has no next-state driver", r.name));
             for (i, (&dn, &qn)) in d.iter().zip(&r.q).enumerate() {
                 let init = if r.init_known {
                     Logic::from_bool(r.init >> i & 1 == 1)

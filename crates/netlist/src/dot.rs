@@ -69,11 +69,7 @@ pub fn to_dot(netlist: &Netlist, options: &DotOptions) -> String {
     for (mi, m) in netlist.memories().iter().enumerate() {
         for (pi, rp) in m.read_ports.iter().enumerate() {
             let node = format!("mem_{mi}_{pi}");
-            let _ = writeln!(
-                out,
-                "  {node} [shape=box3d, label=\"{}[{pi}]\"];",
-                m.name
-            );
+            let _ = writeln!(out, "  {node} [shape=box3d, label=\"{}[{pi}]\"];", m.name);
             for &d in &rp.data {
                 src[d.0 as usize] = Some(node.clone());
             }
@@ -81,7 +77,11 @@ pub fn to_dot(netlist: &Netlist, options: &DotOptions) -> String {
     }
     for (gi, (id, g)) in netlist.iter_gates().enumerate() {
         if gi >= limit {
-            let _ = writeln!(out, "  trunc [label=\"... {} more gates\"];", netlist.gate_count() - limit);
+            let _ = writeln!(
+                out,
+                "  trunc [label=\"... {} more gates\"];",
+                netlist.gate_count() - limit
+            );
             break;
         }
         let node = format!("g_{}", id.0);

@@ -192,7 +192,12 @@ impl Netlist {
     /// Panics if `data.len()` differs from the memory's word width.
     pub fn add_read_port(&mut self, mem: MemoryId, addr: Vec<NetId>, data: Vec<NetId>) {
         let m = &mut self.memories[mem.0 as usize];
-        assert_eq!(data.len(), m.width, "read data width mismatch on {}", m.name);
+        assert_eq!(
+            data.len(),
+            m.width,
+            "read data width mismatch on {}",
+            m.name
+        );
         m.read_ports.push(ReadPort { addr, data });
     }
 
@@ -203,7 +208,12 @@ impl Netlist {
     /// Panics if `data.len()` differs from the memory's word width.
     pub fn add_write_port(&mut self, mem: MemoryId, addr: Vec<NetId>, data: Vec<NetId>, we: NetId) {
         let m = &mut self.memories[mem.0 as usize];
-        assert_eq!(data.len(), m.width, "write data width mismatch on {}", m.name);
+        assert_eq!(
+            data.len(),
+            m.width,
+            "write data width mismatch on {}",
+            m.name
+        );
         m.write_ports.push(WritePort { addr, data, we });
     }
 

@@ -110,10 +110,7 @@ pub fn lint(netlist: &Netlist) -> Vec<Lint> {
     }
     for d in netlist.dffs() {
         if let Some(Driver::Gate(g)) = drivers[d.d.0 as usize] {
-            if matches!(
-                netlist.gate(g).kind,
-                CellKind::Const0 | CellKind::Const1
-            ) {
+            if matches!(netlist.gate(g).kind, CellKind::Const0 | CellKind::Const1) {
                 findings.push(Lint::ConstantFedDff {
                     q: d.q,
                     name: netlist.net_name(d.q).to_string(),
@@ -162,10 +159,18 @@ mod tests {
         nl.add_input(unused);
 
         let findings = lint(&nl);
-        assert!(findings.iter().any(|l| matches!(l, Lint::UndrivenNetRead { readers: 1, .. })));
-        assert!(findings.iter().any(|l| matches!(l, Lint::DanglingGateOutput { .. })));
-        assert!(findings.iter().any(|l| matches!(l, Lint::ConstantFedDff { .. })));
-        assert!(findings.iter().any(|l| matches!(l, Lint::UnusedInput { .. })));
+        assert!(findings
+            .iter()
+            .any(|l| matches!(l, Lint::UndrivenNetRead { readers: 1, .. })));
+        assert!(findings
+            .iter()
+            .any(|l| matches!(l, Lint::DanglingGateOutput { .. })));
+        assert!(findings
+            .iter()
+            .any(|l| matches!(l, Lint::ConstantFedDff { .. })));
+        assert!(findings
+            .iter()
+            .any(|l| matches!(l, Lint::UnusedInput { .. })));
         for finding in &findings {
             assert!(!finding.to_string().is_empty());
         }

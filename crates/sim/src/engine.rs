@@ -84,6 +84,26 @@ pub(crate) const REGION_ORDER: [Region; 5] = [
     Region::Symbolic,
 ];
 
+/// A compiled memory write port: the nets to sample at the clock edge,
+/// resolved once in [`Simulator::new`] so the cycle loop never walks the
+/// netlist structures.
+#[derive(Debug)]
+struct WritePortDesc {
+    mem: u32,
+    addr: Vec<NetId>,
+    data: Vec<NetId>,
+    we: NetId,
+}
+
+/// Per-cycle write-port sample; the `Word` buffers are allocated once and
+/// refilled in place every clock edge.
+#[derive(Debug)]
+struct WritePortSample {
+    addr: Word,
+    data: Word,
+    we: Value,
+}
+
 /// The event-driven gate-level simulator.
 ///
 /// One instance simulates one design; [`Simulator::load_state`] re-targets
@@ -97,9 +117,11 @@ pub struct Simulator<'n> {
     nodes: Vec<CombNode>,
     level: Vec<u32>,
     max_level: u32,
-    fanout: Vec<Vec<u32>>,       // net -> node indices reading it
-    driver_node: Vec<Option<u32>>, // net -> producing comb node
-    mem_readers: Vec<Vec<u32>>,  // memory -> its read-port node indices
+    fanout: Vec<Vec<u32>>,          // net -> node indices reading it
+    driver_node: Vec<Option<u32>>,  // net -> producing comb node
+    mem_readers: Vec<Vec<u32>>,     // memory -> its read-port node indices
+    dff_pairs: Vec<(NetId, NetId)>, // (q, d) sample order, fixed at compile
+    write_ports: Vec<WritePortDesc>,
     // mutable simulation state
     values: Vec<Value>,
     mems: Vec<MemArray>,
@@ -107,6 +129,9 @@ pub struct Simulator<'n> {
     // scheduling
     dirty: Vec<Vec<u32>>, // buckets by level
     in_queue: Vec<bool>,
+    // per-cycle scratch, reused so the clock loop allocates nothing
+    dff_scratch: Vec<Value>,
+    wp_scratch: Vec<WritePortSample>,
     // symbolic extensions
     forces: HashMap<u32, Value>,
     monitors: Vec<MonitorSpec>,
@@ -159,11 +184,10 @@ impl<'n> Simulator<'n> {
             let idx = index_of[&node] as usize;
             let ins = match node {
                 CombNode::Gate(g) => netlist.gate(g).inputs.clone(),
-                CombNode::MemRead { mem, port } => {
-                    netlist.memories()[mem.0 as usize].read_ports[port]
-                        .addr
-                        .clone()
-                }
+                CombNode::MemRead { mem, port } => netlist.memories()[mem.0 as usize].read_ports
+                    [port]
+                    .addr
+                    .clone(),
             };
             let mut l = 0;
             for pin in ins {
@@ -178,12 +202,7 @@ impl<'n> Simulator<'n> {
         let fanout: Vec<Vec<u32>> = netlist
             .fanout_map()
             .into_iter()
-            .map(|nodes_reading| {
-                nodes_reading
-                    .into_iter()
-                    .map(|n| index_of[&n])
-                    .collect()
-            })
+            .map(|nodes_reading| nodes_reading.into_iter().map(|n| index_of[&n]).collect())
             .collect();
 
         let mut mem_readers: Vec<Vec<u32>> = vec![Vec::new(); netlist.memories().len()];
@@ -197,11 +216,35 @@ impl<'n> Simulator<'n> {
         for d in netlist.dffs() {
             values[d.q.0 as usize] = Value::Logic(d.init);
         }
-        let mems = netlist
+        let mems: Vec<MemArray> = netlist
             .memories()
             .iter()
             .map(|m| MemArray::xs(m.depth, m.width))
             .collect();
+
+        let dff_pairs: Vec<(NetId, NetId)> = netlist.dffs().iter().map(|d| (d.q, d.d)).collect();
+        let write_ports: Vec<WritePortDesc> = netlist
+            .memories()
+            .iter()
+            .enumerate()
+            .flat_map(|(mi, m)| {
+                m.write_ports.iter().map(move |wp| WritePortDesc {
+                    mem: mi as u32,
+                    addr: wp.addr.clone(),
+                    data: wp.data.clone(),
+                    we: wp.we,
+                })
+            })
+            .collect();
+        let wp_scratch = write_ports
+            .iter()
+            .map(|d| WritePortSample {
+                addr: Word::xs(d.addr.len()),
+                data: Word::xs(d.data.len()),
+                we: Value::X,
+            })
+            .collect();
+        let dff_scratch = vec![Value::X; dff_pairs.len()];
 
         let mut sim = Simulator {
             netlist,
@@ -211,12 +254,16 @@ impl<'n> Simulator<'n> {
             fanout,
             driver_node,
             mem_readers,
+            dff_pairs,
+            write_ports,
             values,
             mems,
             cycle: 0,
             dirty: vec![Vec::new(); max_level as usize + 1],
             in_queue: vec![false; nodes.len()],
             nodes,
+            dff_scratch,
+            wp_scratch,
             forces: HashMap::new(),
             monitors: Vec::new(),
             finish_net: None,
@@ -562,13 +609,15 @@ impl<'n> Simulator<'n> {
                 self.set_value(out_net, out, true);
             }
             CombNode::MemRead { mem, port } => {
-                let rp = &self.netlist.memories()[mem.0 as usize].read_ports[port];
-                let addr_nets = rp.addr.clone();
-                let data_nets = rp.data.clone();
-                let addr = self.read_bus(&addr_nets);
+                // borrow the port description from the 'n netlist reference,
+                // not through &self, so no clone is needed while mutating
+                let nl: &'n Netlist = self.netlist;
+                let rp = &nl.memories()[mem.0 as usize].read_ports[port];
+                let addr = self.read_bus(&rp.addr);
                 let word = self.mem_read_resolve(mem.0 as usize, &addr);
                 if self.config.trace_events {
-                    let changed = data_nets
+                    let changed = rp
+                        .data
                         .iter()
                         .enumerate()
                         .any(|(i, &n)| self.values[n.0 as usize] != word.bit(i));
@@ -576,7 +625,7 @@ impl<'n> Simulator<'n> {
                         self.event_trace.push((self.cycle, idx));
                     }
                 }
-                for (i, &n) in data_nets.iter().enumerate() {
+                for (i, &n) in rp.data.iter().enumerate() {
                     self.set_value(n, word.bit(i), true);
                 }
             }
@@ -660,36 +709,35 @@ impl<'n> Simulator<'n> {
                     // complete any pending Active-region propagation from
                     // pokes/loads so the clock edge samples settled values
                     self.settle();
-                    // sample every flip-flop D and write port with pre-edge values
-                    let samples: Vec<(NetId, Value)> = self
-                        .netlist
-                        .dffs()
-                        .iter()
-                        .map(|d| (d.q, self.values[d.d.0 as usize]))
-                        .collect();
-                    let writes: Vec<(usize, Word, Word, Value)> = self
-                        .netlist
-                        .memories()
-                        .iter()
-                        .enumerate()
-                        .flat_map(|(mi, m)| {
-                            m.write_ports.iter().map(move |wp| (mi, wp))
-                        })
-                        .map(|(mi, wp)| {
-                            (
-                                mi,
-                                self.read_bus(&wp.addr),
-                                self.read_bus(&wp.data),
-                                self.values[wp.we.0 as usize].anonymize(),
-                            )
-                        })
-                        .collect();
-                    for (q, v) in samples {
+                    // sample every flip-flop D and write port with pre-edge
+                    // values into the scratch buffers (no allocation)
+                    let mut dffs = std::mem::take(&mut self.dff_scratch);
+                    dffs.clear();
+                    dffs.extend(
+                        self.dff_pairs
+                            .iter()
+                            .map(|&(_, d)| self.values[d.0 as usize]),
+                    );
+                    let mut wps = std::mem::take(&mut self.wp_scratch);
+                    for (desc, sample) in self.write_ports.iter().zip(wps.iter_mut()) {
+                        for (i, &n) in desc.addr.iter().enumerate() {
+                            sample.addr.set_bit(i, self.values[n.0 as usize]);
+                        }
+                        for (i, &n) in desc.data.iter().enumerate() {
+                            sample.data.set_bit(i, self.values[n.0 as usize]);
+                        }
+                        sample.we = self.values[desc.we.0 as usize].anonymize();
+                    }
+                    for (i, &v) in dffs.iter().enumerate() {
+                        let q = self.dff_pairs[i].0;
                         self.set_value(q, v, false);
                     }
-                    for (mi, addr, data, we) in writes {
-                        self.commit_mem_write(mi, &addr, &data, we);
+                    for (i, sample) in wps.iter().enumerate() {
+                        let mem = self.write_ports[i].mem as usize;
+                        self.commit_mem_write(mem, &sample.addr, &sample.data, sample.we);
                     }
+                    self.dff_scratch = dffs;
+                    self.wp_scratch = wps;
                 }
                 Region::Active => {
                     self.settle();
@@ -837,20 +885,11 @@ mod tests {
         for _ in 0..3 {
             sim.step_cycle();
         }
-        assert_eq!(
-            sim.read_bus_by_name("count", 4).unwrap().to_u64(),
-            Some(8)
-        );
+        assert_eq!(sim.read_bus_by_name("count", 4).unwrap().to_u64(), Some(8));
         sim.load_state(&snap);
-        assert_eq!(
-            sim.read_bus_by_name("count", 4).unwrap().to_u64(),
-            Some(5)
-        );
+        assert_eq!(sim.read_bus_by_name("count", 4).unwrap().to_u64(), Some(5));
         sim.step_cycle();
-        assert_eq!(
-            sim.read_bus_by_name("count", 4).unwrap().to_u64(),
-            Some(6)
-        );
+        assert_eq!(sim.read_bus_by_name("count", 4).unwrap().to_u64(), Some(6));
         // serialized round trip too
         let bytes = snap.encode();
         let back = SimState::decode(&bytes).unwrap();
@@ -986,12 +1025,11 @@ mod tests {
         let mut sim = Simulator::new(&nl, SimConfig::default());
         sim.write_mem_word(0, 1, &Word::from_u64(0x00, 8));
         let map = nl.net_name_map();
+        sim.poke_bus(&[map["addr[0]"], map["addr[1]"]], &Word::from_u64(1, 2));
         sim.poke_bus(
-            &[map["addr[0]"], map["addr[1]"]],
-            &Word::from_u64(1, 2),
-        );
-        sim.poke_bus(
-            &(0..8).map(|i| map[format!("data[{i}]").as_str()]).collect::<Vec<_>>(),
+            &(0..8)
+                .map(|i| map[format!("data[{i}]").as_str()])
+                .collect::<Vec<_>>(),
             &Word::from_u64(0xff, 8),
         );
         sim.poke(map["we"], Value::X);

@@ -87,12 +87,7 @@ impl FaultReport {
 /// The simulator is snapshotted once; each fault run restores the snapshot
 /// and forces the faulty net — no recompilation or restart (the advantage
 /// over testbench `force`/`release` flows the paper describes).
-pub fn grade<F>(
-    sim: &mut Simulator<'_>,
-    faults: &[StuckAt],
-    cycles: u64,
-    drive: F,
-) -> FaultReport
+pub fn grade<F>(sim: &mut Simulator<'_>, faults: &[StuckAt], cycles: u64, drive: F) -> FaultReport
 where
     F: Fn(&mut Simulator<'_>, u64),
 {
@@ -168,10 +163,7 @@ mod tests {
         // masked (y follows a through the OR regardless)
         assert!(report.detected >= 1);
         assert!(
-            report
-                .undetected
-                .iter()
-                .any(|f| !f.stuck_at_one),
+            report.undetected.iter().any(|f| !f.stuck_at_one),
             "the redundant AND's stuck-at-0 must be undetectable: {report:?}"
         );
         assert!(report.coverage_percent() < 100.0);

@@ -59,6 +59,8 @@ mod vcd;
 pub use activity::ActivityStats;
 pub use engine::{HaltReason, MonitorSpec, Region, SimConfig, Simulator};
 pub use observer::ToggleProfile;
-pub use state::{DecodeStateError, MemArray, SimState};
+pub use state::{
+    cow_clone_stats, reset_cow_clone_stats, DecodeStateError, MemArray, SimState, PAGE_WORDS,
+};
 pub use testbench::{Testbench, TestbenchError};
 pub use vcd::VcdWriter;

@@ -67,7 +67,11 @@ impl ToggleProfile {
     ///
     /// Panics if the profiles are from different designs.
     pub fn merge(&mut self, other: &ToggleProfile) {
-        assert_eq!(self.toggled.len(), other.toggled.len(), "profile size mismatch");
+        assert_eq!(
+            self.toggled.len(),
+            other.toggled.len(),
+            "profile size mismatch"
+        );
         for i in 0..self.toggled.len() {
             let disagree = self.baseline[i] != other.baseline[i];
             self.toggled[i] |= other.toggled[i] || disagree;

@@ -1,22 +1,83 @@
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use symsim_logic::{Value, Word};
 
-/// A memory array's contents: `depth` words of `width` bits, stored flat.
+/// Words per copy-on-write page of a [`MemArray`].
+///
+/// Snapshots and forked simulators share pages by reference; the first write
+/// into a shared page clones just that page. 64 words keeps a page at
+/// `64 * width * size_of::<Value>()` bytes — 4 KiB for a 64-bit-word memory —
+/// so fork cost is O(dirty pages), not O(memory).
+pub const PAGE_WORDS: usize = 64;
+
+static COW_PAGES_CLONED: AtomicU64 = AtomicU64::new(0);
+static COW_BYTES_CLONED: AtomicU64 = AtomicU64::new(0);
+
+/// `(pages, bytes)` cloned by copy-on-write page splits since process start
+/// (or the last [`reset_cow_clone_stats`]). Process-wide instrumentation for
+/// benchmarks asserting that fork cost scales with dirty pages.
+pub fn cow_clone_stats() -> (u64, u64) {
+    (
+        COW_PAGES_CLONED.load(Ordering::Relaxed),
+        COW_BYTES_CLONED.load(Ordering::Relaxed),
+    )
+}
+
+/// Resets the counters reported by [`cow_clone_stats`].
+pub fn reset_cow_clone_stats() {
+    COW_PAGES_CLONED.store(0, Ordering::Relaxed);
+    COW_BYTES_CLONED.store(0, Ordering::Relaxed);
+}
+
+/// A memory array's contents: `depth` words of `width` bits, stored in
+/// copy-on-write pages of [`PAGE_WORDS`] words.
+///
+/// Cloning a `MemArray` (directly, or via [`SimState`] snapshots) is
+/// O(pages) reference-count bumps; the underlying bits are shared until
+/// written. All mutation goes through [`MemArray::set_word`] /
+/// [`MemArray::merge_word`], which split only the touched page.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemArray {
     width: usize,
-    bits: Vec<Value>,
+    depth: usize,
+    pages: Vec<Arc<Vec<Value>>>,
 }
 
 impl MemArray {
     /// An all-`X` array.
     pub fn xs(depth: usize, width: usize) -> MemArray {
+        let mut pages = Vec::with_capacity(depth.div_ceil(PAGE_WORDS.max(1)));
+        let mut remaining = depth;
+        while remaining > 0 {
+            let words = remaining.min(PAGE_WORDS);
+            pages.push(Arc::new(vec![Value::X; words * width]));
+            remaining -= words;
+        }
         MemArray {
             width,
-            bits: vec![Value::X; depth * width],
+            depth,
+            pages,
         }
+    }
+
+    /// Rebuilds an array from flat bit contents (LSB of word 0 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len()` is not a multiple of `width` (for non-zero
+    /// widths).
+    pub fn from_flat(width: usize, bits: &[Value]) -> MemArray {
+        let depth = bits.len().checked_div(width).unwrap_or(0);
+        assert_eq!(depth * width, bits.len(), "flat contents not word-aligned");
+        let mut m = MemArray::xs(depth, width);
+        for (p, chunk) in bits.chunks(PAGE_WORDS * width.max(1)).enumerate() {
+            if width > 0 {
+                m.pages[p] = Arc::new(chunk.to_vec());
+            }
+        }
+        m
     }
 
     /// Word width in bits.
@@ -26,7 +87,47 @@ impl MemArray {
 
     /// Number of words.
     pub fn depth(&self) -> usize {
-        self.bits.len().checked_div(self.width).unwrap_or(0)
+        self.depth
+    }
+
+    /// Number of copy-on-write pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Total size of the array contents in bytes (shared or not).
+    pub fn content_bytes(&self) -> usize {
+        self.depth * self.width * std::mem::size_of::<Value>()
+    }
+
+    /// Pages whose contents are currently shared with at least one other
+    /// `MemArray` clone.
+    pub fn shared_page_count(&self) -> usize {
+        self.pages
+            .iter()
+            .filter(|p| Arc::strong_count(p) > 1)
+            .count()
+    }
+
+    #[inline]
+    fn locate(&self, addr: usize) -> (usize, usize) {
+        assert!(addr < self.depth, "memory address {addr} out of range");
+        (addr / PAGE_WORDS, (addr % PAGE_WORDS) * self.width)
+    }
+
+    /// Mutable access to the page holding `addr`, splitting it first if it
+    /// is shared (the copy-on-write step).
+    #[inline]
+    fn page_mut(&mut self, page: usize) -> &mut Vec<Value> {
+        let arc = &mut self.pages[page];
+        if Arc::strong_count(arc) > 1 {
+            COW_PAGES_CLONED.fetch_add(1, Ordering::Relaxed);
+            COW_BYTES_CLONED.fetch_add(
+                (arc.len() * std::mem::size_of::<Value>()) as u64,
+                Ordering::Relaxed,
+            );
+        }
+        Arc::make_mut(arc)
     }
 
     /// Reads word `addr`.
@@ -35,8 +136,22 @@ impl MemArray {
     ///
     /// Panics if `addr >= depth`.
     pub fn word(&self, addr: usize) -> Word {
-        let lo = addr * self.width;
-        self.bits[lo..lo + self.width].iter().copied().collect()
+        let (page, lo) = self.locate(addr);
+        self.pages[page][lo..lo + self.width]
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Reads bit `bit` of word `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn word_bit(&self, addr: usize, bit: usize) -> Value {
+        assert!(bit < self.width);
+        let (page, lo) = self.locate(addr);
+        self.pages[page][lo + bit]
     }
 
     /// Writes word `addr`.
@@ -46,9 +161,10 @@ impl MemArray {
     /// Panics if `addr >= depth` or the word width differs.
     pub fn set_word(&mut self, addr: usize, w: &Word) {
         assert_eq!(w.width(), self.width, "memory word width mismatch");
-        let lo = addr * self.width;
+        let (page, lo) = self.locate(addr);
+        let bits = self.page_mut(page);
         for (i, &v) in w.iter().enumerate() {
-            self.bits[lo + i] = v;
+            bits[lo + i] = v;
         }
     }
 
@@ -56,48 +172,70 @@ impl MemArray {
     /// unknown address or enable).
     pub fn merge_word(&mut self, addr: usize, w: &Word) {
         assert_eq!(w.width(), self.width, "memory word width mismatch");
-        let lo = addr * self.width;
+        let (page, lo) = self.locate(addr);
+        // skip the page split when the merge would not change anything
+        {
+            let bits = &self.pages[page];
+            if w.iter()
+                .enumerate()
+                .all(|(i, &v)| bits[lo + i].merge(v) == bits[lo + i])
+            {
+                return;
+            }
+        }
+        let bits = self.page_mut(page);
         for (i, &v) in w.iter().enumerate() {
-            self.bits[lo + i] = self.bits[lo + i].merge(v);
+            bits[lo + i] = bits[lo + i].merge(v);
         }
     }
 
-    /// Raw bit access (LSB of word 0 first).
-    pub fn bits(&self) -> &[Value] {
-        &self.bits
+    /// Iterates all bits, LSB of word 0 first.
+    pub fn iter_bits(&self) -> impl Iterator<Item = Value> + '_ {
+        self.pages.iter().flat_map(|p| p.iter().copied())
     }
 
-    /// Conservative join of two arrays of identical shape.
+    /// Conservative join of two arrays of identical shape. Pages shared
+    /// between the operands join to themselves and stay shared.
     ///
     /// # Panics
     ///
     /// Panics on shape mismatch.
     pub fn merge(&self, other: &MemArray) -> MemArray {
         assert_eq!(self.width, other.width);
-        assert_eq!(self.bits.len(), other.bits.len());
+        assert_eq!(self.depth, other.depth);
         MemArray {
             width: self.width,
-            bits: self
-                .bits
+            depth: self.depth,
+            pages: self
+                .pages
                 .iter()
-                .zip(&other.bits)
-                .map(|(a, b)| a.merge(*b))
+                .zip(&other.pages)
+                .map(|(a, b)| {
+                    if Arc::ptr_eq(a, b) {
+                        // merge is idempotent bitwise, so a shared page joins
+                        // to itself and the result can keep sharing it
+                        Arc::clone(a)
+                    } else {
+                        Arc::new(a.iter().zip(b.iter()).map(|(x, y)| x.merge(*y)).collect())
+                    }
+                })
                 .collect(),
         }
     }
 
-    /// Bitwise covering check (see [`Value::covers`]).
+    /// Bitwise covering check (see [`Value::covers`]). Shared pages are
+    /// skipped without comparing their contents.
     ///
     /// # Panics
     ///
     /// Panics on shape mismatch.
     pub fn covers(&self, other: &MemArray) -> bool {
         assert_eq!(self.width, other.width);
-        assert_eq!(self.bits.len(), other.bits.len());
-        self.bits
+        assert_eq!(self.depth, other.depth);
+        self.pages
             .iter()
-            .zip(&other.bits)
-            .all(|(a, b)| a.covers(*b))
+            .zip(&other.pages)
+            .all(|(a, b)| Arc::ptr_eq(a, b) || a.iter().zip(b.iter()).all(|(x, y)| x.covers(*y)))
     }
 }
 
@@ -108,6 +246,11 @@ impl MemArray {
 /// halts the simulation, and what `$initialize_state` reloads. Because the
 /// simulator halts only at region boundaries (quiescent points), the event
 /// queue is empty by construction and need not be serialized.
+///
+/// Snapshots are cheap to clone: memory contents live in copy-on-write pages
+/// (see [`MemArray`]), so cloning — and therefore forking a path-exploration
+/// child — costs O(net values + page references), with page contents copied
+/// lazily only when a fork writes them.
 ///
 /// `SimState` is also the object the Conservative State Manager merges:
 /// [`SimState::merge`] is the bitwise conservative join over nets and
@@ -131,7 +274,11 @@ impl SimState {
     ///
     /// Panics if the two states come from different designs.
     pub fn merge(&self, other: &SimState) -> SimState {
-        assert_eq!(self.values.len(), other.values.len(), "merging states of different designs");
+        assert_eq!(
+            self.values.len(),
+            other.values.len(),
+            "merging states of different designs"
+        );
         SimState {
             values: self
                 .values
@@ -156,7 +303,11 @@ impl SimState {
     ///
     /// Panics if the two states come from different designs.
     pub fn covers(&self, other: &SimState) -> bool {
-        assert_eq!(self.values.len(), other.values.len(), "covering states of different designs");
+        assert_eq!(
+            self.values.len(),
+            other.values.len(),
+            "covering states of different designs"
+        );
         self.values
             .iter()
             .zip(&other.values)
@@ -169,23 +320,29 @@ impl SimState {
         self.values.iter().filter(|v| v.is_unknown()).count()
     }
 
+    /// Bytes of net-value storage a snapshot owns outright (memory pages are
+    /// shared copy-on-write and excluded).
+    pub fn owned_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<Value>()
+    }
+
     /// Serializes to the compact binary form used for state dumps.
-    pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(self.values.len() + 64);
-        buf.put_u32_le(self.values.len() as u32);
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.values.len() + 64);
+        put_u32(&mut buf, self.values.len() as u32);
         for v in &self.values {
             encode_value(&mut buf, *v);
         }
-        buf.put_u32_le(self.mems.len() as u32);
+        put_u32(&mut buf, self.mems.len() as u32);
         for m in &self.mems {
-            buf.put_u32_le(m.width as u32);
-            buf.put_u32_le(m.bits.len() as u32);
-            for v in &m.bits {
-                encode_value(&mut buf, *v);
+            put_u32(&mut buf, m.width as u32);
+            put_u32(&mut buf, (m.depth * m.width) as u32);
+            for v in m.iter_bits() {
+                encode_value(&mut buf, v);
             }
         }
-        buf.put_u64_le(self.cycle);
-        buf.freeze()
+        buf.extend_from_slice(&self.cycle.to_le_bytes());
+        buf
     }
 
     /// Decodes a snapshot produced by [`SimState::encode`].
@@ -208,47 +365,57 @@ impl SimState {
             for _ in 0..len {
                 bits.push(decode_value(&mut data)?);
             }
-            mems.push(MemArray { width, bits });
+            if width > 0 && bits.len() % width != 0 {
+                return Err(DecodeStateError::Truncated);
+            }
+            mems.push(MemArray::from_flat(width, &bits));
         }
-        if data.remaining() < 8 {
+        if data.len() < 8 {
             return Err(DecodeStateError::Truncated);
         }
-        let cycle = data.get_u64_le();
-        Ok(SimState { values, mems, cycle })
+        let cycle = u64::from_le_bytes(data[..8].try_into().expect("length checked"));
+        Ok(SimState {
+            values,
+            mems,
+            cycle,
+        })
     }
 }
 
-fn encode_value(buf: &mut BytesMut, v: Value) {
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_value(buf: &mut Vec<u8>, v: Value) {
     match v {
-        Value::Logic(l) => buf.put_u8(l.to_code()),
+        Value::Logic(l) => buf.push(l.to_code()),
         Value::Sym(s) => {
-            buf.put_u8(if s.inverted { 5 } else { 4 });
-            buf.put_u32_le(s.id.0);
+            buf.push(if s.inverted { 5 } else { 4 });
+            put_u32(buf, s.id.0);
         }
     }
 }
 
 fn read_u32(data: &mut &[u8]) -> Result<u32, DecodeStateError> {
-    if data.remaining() < 4 {
+    if data.len() < 4 {
         return Err(DecodeStateError::Truncated);
     }
-    Ok(data.get_u32_le())
+    let v = u32::from_le_bytes(data[..4].try_into().expect("length checked"));
+    *data = &data[4..];
+    Ok(v)
 }
 
 fn decode_value(data: &mut &[u8]) -> Result<Value, DecodeStateError> {
-    if data.remaining() < 1 {
+    let Some((&code, rest)) = data.split_first() else {
         return Err(DecodeStateError::Truncated);
-    }
-    let code = data.get_u8();
+    };
+    *data = rest;
     match code {
         0..=3 => Ok(Value::Logic(
             symsim_logic::Logic::from_code(code).expect("code in range"),
         )),
         4 | 5 => {
-            if data.remaining() < 4 {
-                return Err(DecodeStateError::Truncated);
-            }
-            let id = data.get_u32_le();
+            let id = read_u32(data)?;
             Ok(if code == 5 {
                 Value::symbol_inverted(id)
             } else {
@@ -319,7 +486,7 @@ mod tests {
 
     #[test]
     fn decode_rejects_bad_code() {
-        let mut bytes = sample_state().encode().to_vec();
+        let mut bytes = sample_state().encode();
         bytes[4] = 0xff; // first value code
         assert_eq!(
             SimState::decode(&bytes),
@@ -351,5 +518,68 @@ mod tests {
         m.merge_word(2, &Word::from_u64(0b1000, 4));
         assert_eq!(m.word(2).bit(1), Value::X);
         assert_eq!(m.word(2).bit(3), Value::ONE);
+    }
+
+    #[test]
+    fn clone_shares_pages_until_written() {
+        // 256 words of 8 bits = 4 pages of 64 words
+        let mut a = MemArray::xs(256, 8);
+        for i in 0..256 {
+            a.set_word(i, &Word::from_u64(i as u64, 8));
+        }
+        let mut b = a.clone();
+        assert_eq!(a.page_count(), 4);
+        assert_eq!(a.shared_page_count(), 4);
+        reset_cow_clone_stats();
+        // one write into the clone splits exactly one page
+        b.set_word(70, &Word::from_u64(0xff, 8));
+        let (pages, bytes) = cow_clone_stats();
+        assert_eq!(pages, 1);
+        assert_eq!(
+            bytes as usize,
+            PAGE_WORDS * 8 * std::mem::size_of::<Value>()
+        );
+        assert_eq!(a.shared_page_count(), 3);
+        // the original is unaffected, the clone sees its write
+        assert_eq!(a.word(70).to_u64(), Some(70));
+        assert_eq!(b.word(70).to_u64(), Some(0xff));
+        // further writes to the same page split nothing new
+        b.set_word(71, &Word::from_u64(0xee, 8));
+        assert_eq!(cow_clone_stats().0, 1);
+    }
+
+    #[test]
+    fn merge_word_skips_split_when_covered() {
+        let a = MemArray::xs(64, 4);
+        let mut b = a.clone();
+        // merging into an all-X word changes nothing: no page split
+        reset_cow_clone_stats();
+        b.merge_word(3, &Word::from_u64(0b1010, 4));
+        assert_eq!(cow_clone_stats().0, 0);
+        assert_eq!(b.shared_page_count(), 1);
+    }
+
+    #[test]
+    fn from_flat_round_trips() {
+        let mut m = MemArray::xs(130, 3);
+        m.set_word(0, &Word::from_u64(5, 3));
+        m.set_word(129, &Word::from_u64(2, 3));
+        let flat: Vec<Value> = m.iter_bits().collect();
+        assert_eq!(flat.len(), 130 * 3);
+        let back = MemArray::from_flat(3, &flat);
+        assert_eq!(back, m);
+        assert_eq!(back.page_count(), 3);
+    }
+
+    #[test]
+    fn shared_pages_short_circuit_merge_and_covers() {
+        let mut a = MemArray::xs(128, 8);
+        a.set_word(0, &Word::from_u64(1, 8));
+        let b = a.clone();
+        assert!(a.covers(&b) && b.covers(&a));
+        let m = a.merge(&b);
+        // the merge of fully shared arrays shares every page with both
+        assert_eq!(m.shared_page_count(), m.page_count());
+        assert_eq!(m, a);
     }
 }

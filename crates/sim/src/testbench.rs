@@ -266,7 +266,8 @@ mod tests {
         let nl = design();
         let mut tb = Testbench::new(&nl, SimConfig::default());
         tb.set_reset("rst").unwrap();
-        tb.monitor_x(None, &["qo[0]", "qo[1]", "qo[2]", "qo[3]"]).unwrap();
+        tb.monitor_x(None, &["qo[0]", "qo[1]", "qo[2]", "qo[3]"])
+            .unwrap();
         tb.reset(2);
         // during reset q held 0 -> no halt; now drive X
         tb.drive_bus_x("din", 4).unwrap();
@@ -299,7 +300,10 @@ mod tests {
         tb.drive_bus_x("din", 4).unwrap();
         tb.run(3);
         tb.initialize_state(&snap).unwrap();
-        assert_eq!(tb.sim().read_bus_by_name("qo", 4).unwrap().to_u64(), Some(0));
+        assert_eq!(
+            tb.sim().read_bus_by_name("qo", 4).unwrap().to_u64(),
+            Some(0)
+        );
         assert!(tb.initialize_state(&snap[..3]).is_err());
     }
 

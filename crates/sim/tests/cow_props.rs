@@ -1,0 +1,261 @@
+//! Property tests for copy-on-write snapshot semantics: forks behave
+//! exactly like eager deep copies (bit-identical round trips, full write
+//! isolation) while cloning only the pages a fork actually dirties.
+
+use proptest::prelude::*;
+use symsim_logic::{Value, Word};
+use symsim_netlist::{NetId, Netlist, RtlBuilder};
+use symsim_sim::{
+    cow_clone_stats, reset_cow_clone_stats, MemArray, SimConfig, Simulator, PAGE_WORDS,
+};
+
+const DEPTH: usize = 256;
+const WIDTH: usize = 8;
+
+/// A naive eager-copy reference model of a memory array.
+#[derive(Debug, Clone, PartialEq)]
+struct Model(Vec<Vec<Value>>);
+
+impl Model {
+    fn xs() -> Model {
+        Model(vec![vec![Value::X; WIDTH]; DEPTH])
+    }
+
+    fn set(&mut self, addr: usize, w: &Word) {
+        self.0[addr] = w.iter().copied().collect();
+    }
+
+    fn merge(&mut self, addr: usize, w: &Word) {
+        for (i, &v) in w.iter().enumerate() {
+            self.0[addr][i] = self.0[addr][i].merge(v);
+        }
+    }
+
+    fn matches(&self, mem: &MemArray) -> bool {
+        (0..DEPTH).all(|a| {
+            mem.word(a)
+                .iter()
+                .zip(&self.0[a])
+                .all(|(got, want)| got == want)
+        })
+    }
+}
+
+/// `(merge?, addr, data)` — one randomized memory operation.
+fn arb_op() -> impl Strategy<Value = (bool, usize, u64)> {
+    (any::<bool>(), 0usize..DEPTH, 0u64..256)
+}
+
+fn apply(mem: &mut MemArray, model: &mut Model, &(merge, addr, data): &(bool, usize, u64)) {
+    let w = Word::from_u64(data, WIDTH);
+    if merge {
+        mem.merge_word(addr, &w);
+        model.merge(addr, &w);
+    } else {
+        mem.set_word(addr, &w);
+        model.set(addr, &w);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Two forks of a common base, each mutated independently, must match
+    /// independent eager deep copies — neither fork ever observes the
+    /// other's (or the base's) writes through a shared page.
+    #[test]
+    fn forked_memories_never_observe_each_others_writes(
+        seed in prop::collection::vec(arb_op(), 0..32),
+        ops_a in prop::collection::vec(arb_op(), 0..48),
+        ops_b in prop::collection::vec(arb_op(), 0..48),
+    ) {
+        let mut base = MemArray::xs(DEPTH, WIDTH);
+        let mut base_model = Model::xs();
+        for op in &seed {
+            apply(&mut base, &mut base_model, op);
+        }
+        let mut fork_a = base.clone();
+        let mut model_a = base_model.clone();
+        let mut fork_b = base.clone();
+        let mut model_b = base_model.clone();
+        // interleave the two forks' writes to stress page-split ordering
+        let mut ia = ops_a.iter();
+        let mut ib = ops_b.iter();
+        loop {
+            match (ia.next(), ib.next()) {
+                (None, None) => break,
+                (a, b) => {
+                    if let Some(op) = a {
+                        apply(&mut fork_a, &mut model_a, op);
+                    }
+                    if let Some(op) = b {
+                        apply(&mut fork_b, &mut model_b, op);
+                    }
+                }
+            }
+        }
+        prop_assert!(base_model.matches(&base), "base corrupted by fork writes");
+        prop_assert!(model_a.matches(&fork_a), "fork A diverged from eager copy");
+        prop_assert!(model_b.matches(&fork_b), "fork B diverged from eager copy");
+    }
+
+    /// A clone is bit-for-bit the same array until somebody writes.
+    #[test]
+    fn clone_is_bit_identical(ops in prop::collection::vec(arb_op(), 0..32)) {
+        let mut mem = MemArray::xs(DEPTH, WIDTH);
+        let mut model = Model::xs();
+        for op in &ops {
+            apply(&mut mem, &mut model, op);
+        }
+        let fork = mem.clone();
+        prop_assert_eq!(&fork, &mem);
+        prop_assert!(model.matches(&fork));
+        prop_assert!(fork.covers(&mem) && mem.covers(&fork));
+    }
+}
+
+/// `(Netlist, addr bus, wdata bus, we net, rdata bus)` for a single-port
+/// RAM: `depth` words of `width` bits with one sync write and one comb
+/// read port.
+fn ram_design(name: &str, depth: usize, width: usize) -> (Netlist, RamPorts) {
+    let addr_bits = depth.trailing_zeros() as usize;
+    let mut b = RtlBuilder::new(name);
+    let addr = b.input("addr", addr_bits);
+    let wdata = b.input("wdata", width);
+    let we = b.input("we", 1);
+    let m = b.memory("ram", depth, width);
+    let rdata = b.mem_read(m, &addr);
+    b.mem_write(m, &addr, &wdata, we.bit(0));
+    b.output("rdata", &rdata);
+    let ports = RamPorts {
+        addr: (0..addr_bits).map(|i| addr.bit(i)).collect(),
+        wdata: (0..width).map(|i| wdata.bit(i)).collect(),
+        we: we.bit(0),
+        rdata: (0..width).map(|i| rdata.bit(i)).collect(),
+    };
+    (b.finish().expect("ram design validates"), ports)
+}
+
+struct RamPorts {
+    addr: Vec<NetId>,
+    wdata: Vec<NetId>,
+    we: NetId,
+    rdata: Vec<NetId>,
+}
+
+fn write(sim: &mut Simulator<'_>, p: &RamPorts, addr: u64, data: u64) {
+    sim.poke_bus(&p.addr, &Word::from_u64(addr, p.addr.len()));
+    sim.poke_bus(&p.wdata, &Word::from_u64(data, p.wdata.len()));
+    sim.poke(p.we, Value::ONE);
+    sim.step_cycle();
+    sim.poke(p.we, Value::ZERO);
+}
+
+fn read(sim: &mut Simulator<'_>, p: &RamPorts, addr: u64) -> Word {
+    sim.poke_bus(&p.addr, &Word::from_u64(addr, p.addr.len()));
+    sim.settle();
+    sim.read_bus(&p.rdata)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Simulator-level round trip: save, mutate the live simulator, load
+    /// the snapshot back — the reloaded state re-encodes bit-exactly to
+    /// the bytes captured at save time.
+    #[test]
+    fn save_mutate_load_round_trips_bit_exactly(
+        before in prop::collection::vec((0u64..64, 0u64..65536), 1..8),
+        after in prop::collection::vec((0u64..64, 0u64..65536), 1..8),
+    ) {
+        let (nl, ports) = ram_design("roundtrip", 64, 16);
+        let mut sim = Simulator::new(&nl, SimConfig::default());
+        for &(a, d) in &before {
+            write(&mut sim, &ports, a, d);
+        }
+        let snapshot = sim.save_state();
+        let golden = snapshot.encode();
+        for &(a, d) in &after {
+            write(&mut sim, &ports, a, d);
+        }
+        sim.load_state(&snapshot);
+        prop_assert_eq!(sim.save_state().encode(), golden);
+    }
+
+    /// Two simulators forked from one snapshot are fully isolated: each
+    /// reads back its own writes, never the sibling's.
+    #[test]
+    fn forked_simulators_are_isolated(
+        seed in prop::collection::vec((0u64..64, 0u64..65536), 1..8),
+        addr in 0u64..64,
+        da in 0u64..65536,
+        db in 0u64..65536,
+    ) {
+        let (nl, ports) = ram_design("forked", 64, 16);
+        let mut sim_a = Simulator::new(&nl, SimConfig::default());
+        for &(a, d) in &seed {
+            write(&mut sim_a, &ports, a, d);
+        }
+        let snapshot = sim_a.save_state();
+        let mut sim_b = Simulator::new(&nl, SimConfig::default());
+        sim_b.load_state(&snapshot);
+        write(&mut sim_a, &ports, addr, da);
+        write(&mut sim_b, &ports, addr, db);
+        prop_assert_eq!(read(&mut sim_a, &ports, addr).to_u64(), Some(da));
+        prop_assert_eq!(read(&mut sim_b, &ports, addr).to_u64(), Some(db));
+    }
+}
+
+/// The acceptance criterion of the copy-on-write refactor, checked
+/// deterministically: forking a simulator with a 4 KB memory and touching
+/// a couple of words must clone at least 5x fewer bytes than an eager
+/// memory copy would.
+#[test]
+fn fork_clones_at_least_5x_fewer_bytes_than_eager_copy() {
+    // 2048 x 16 bits = 4 KB of memory contents
+    let (nl, ports) = ram_design("fourkb", 2048, 16);
+    let mut sim = Simulator::new(&nl, SimConfig::default());
+    for a in 0..2048 {
+        write(&mut sim, &ports, a, a & 0xffff);
+    }
+    let snapshot = sim.save_state();
+    let eager_bytes: usize = snapshot.mems.iter().map(MemArray::content_bytes).sum();
+
+    const FORKS: usize = 8;
+    reset_cow_clone_stats();
+    for i in 0..FORKS {
+        // a forked child: restore the snapshot, dirty two memory words
+        // (a typical path segment touches a handful of pages)
+        sim.load_state(&snapshot);
+        write(&mut sim, &ports, (i as u64) % 64, 0xdead);
+        write(&mut sim, &ports, 1024 + (i as u64) % 64, 0xbeef);
+    }
+    let (_, cow_bytes) = cow_clone_stats();
+    let per_fork = cow_bytes as usize / FORKS;
+    assert!(per_fork > 0, "forks must dirty at least one page");
+    assert!(
+        per_fork * 5 <= eager_bytes,
+        "CoW fork cloned {per_fork} B, eager copy is {eager_bytes} B: less than 5x reduction"
+    );
+}
+
+/// Page splits are bounded by the pages actually written, not the memory
+/// size: dirtying one word per fork clones exactly one page.
+#[test]
+fn one_dirty_word_clones_one_page() {
+    let (nl, ports) = ram_design("onepage", 2048, 16);
+    let mut sim = Simulator::new(&nl, SimConfig::default());
+    for a in 0..2048 {
+        write(&mut sim, &ports, a, 0x5a5a);
+    }
+    let snapshot = sim.save_state();
+    reset_cow_clone_stats();
+    sim.load_state(&snapshot);
+    write(&mut sim, &ports, 7, 0x1234);
+    let (pages, bytes) = cow_clone_stats();
+    assert_eq!(pages, 1, "exactly one page split");
+    assert_eq!(
+        bytes as usize,
+        PAGE_WORDS * 16 * std::mem::size_of::<Value>()
+    );
+}

@@ -129,7 +129,10 @@ fn zero_enum_budget_merges_whole_memory() {
     sim.poke(map["addr[1]"], Value::ZERO);
     sim.settle();
     // all words agree, so even the whole-array merge stays known
-    assert_eq!(sim.read_bus_by_name("rd", 4).unwrap().to_u64(), Some(0b1001));
+    assert_eq!(
+        sim.read_bus_by_name("rd", 4).unwrap().to_u64(),
+        Some(0b1001)
+    );
     sim.write_mem_word(0, 3, &Word::from_u64(0b1111, 4));
     sim.settle();
     // address {0,1} would not reach word 3, but budget 0 merges everything

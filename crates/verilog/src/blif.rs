@@ -115,7 +115,9 @@ pub fn parse_blif(src: &str) -> Result<Netlist, BlifError> {
     let mut saw_model = false;
     while let Some((line_no, text)) = it.next() {
         let mut words = text.split_whitespace();
-        let Some(keyword) = words.next() else { continue };
+        let Some(keyword) = words.next() else {
+            continue;
+        };
         match keyword {
             ".model" => {
                 if saw_model {
@@ -167,8 +169,10 @@ pub fn parse_blif(src: &str) -> Result<Netlist, BlifError> {
                     return Err(BlifError::new(*line_no, ".names needs signals"));
                 }
                 let output = get(&mut nl, signals[signals.len() - 1]);
-                let inputs: Vec<NetId> =
-                    signals[..signals.len() - 1].iter().map(|w| get(&mut nl, w)).collect();
+                let inputs: Vec<NetId> = signals[..signals.len() - 1]
+                    .iter()
+                    .map(|w| get(&mut nl, w))
+                    .collect();
                 // collect cover rows
                 let mut rows: Vec<(String, char)> = Vec::new();
                 while let Some((row_line, row)) = it.peek() {
@@ -338,7 +342,11 @@ pub fn write_blif(netlist: &Netlist) -> Result<String, BlifError> {
             .join(" ")
     );
     for g in netlist.gates() {
-        let Gate { kind, inputs, output } = g;
+        let Gate {
+            kind,
+            inputs,
+            output,
+        } = g;
         let ins: Vec<String> = inputs.iter().map(|&n| name(n)).collect();
         let _ = writeln!(out, ".names {} {}", ins.join(" "), name(*output));
         let cover: &[&str] = match kind {

@@ -153,8 +153,8 @@ fn lex(src: &str) -> Result<Lexer, ParseError> {
                 }
                 toks.push((line, Tok::Ident(src[start..j].to_string())));
             }
-            '(' | ')' | '{' | '}' | '[' | ']' | ',' | ';' | ':' | '.' | '#' | '=' | '~'
-            | '&' | '|' | '^' | '?' => {
+            '(' | ')' | '{' | '}' | '[' | ']' | ',' | ';' | ':' | '.' | '#' | '=' | '~' | '&'
+            | '|' | '^' | '?' => {
                 toks.push((line, Tok::Sym(c)));
             }
             other => {
@@ -339,11 +339,7 @@ pub fn parse_netlist(src: &str) -> Result<Netlist, ParseError> {
 /// `assign lhs = expr;` over scalar operands: `~ & ^ | ?:` with the usual
 /// Verilog precedence, parenthesization, bit-selects, and `1'b0`/`1'b1`
 /// literals. Elaborated directly to library gates.
-fn parse_assign(
-    lx: &mut Lexer,
-    nl: &mut Netlist,
-    nets: &mut NetTable,
-) -> Result<(), ParseError> {
+fn parse_assign(lx: &mut Lexer, nl: &mut Netlist, nets: &mut NetTable) -> Result<(), ParseError> {
     let lhs = parse_net_ref(lx, nl, nets)?;
     let lhs = single(lhs, lx, "assign target")?;
     lx.expect_sym('=')?;
@@ -393,35 +389,19 @@ fn parse_binary_chain(
     Ok(acc)
 }
 
-fn parse_or(
-    lx: &mut Lexer,
-    nl: &mut Netlist,
-    nets: &mut NetTable,
-) -> Result<NetId, ParseError> {
+fn parse_or(lx: &mut Lexer, nl: &mut Netlist, nets: &mut NetTable) -> Result<NetId, ParseError> {
     parse_binary_chain(lx, nl, nets, '|', CellKind::Or2, parse_xor)
 }
 
-fn parse_xor(
-    lx: &mut Lexer,
-    nl: &mut Netlist,
-    nets: &mut NetTable,
-) -> Result<NetId, ParseError> {
+fn parse_xor(lx: &mut Lexer, nl: &mut Netlist, nets: &mut NetTable) -> Result<NetId, ParseError> {
     parse_binary_chain(lx, nl, nets, '^', CellKind::Xor2, parse_and)
 }
 
-fn parse_and(
-    lx: &mut Lexer,
-    nl: &mut Netlist,
-    nets: &mut NetTable,
-) -> Result<NetId, ParseError> {
+fn parse_and(lx: &mut Lexer, nl: &mut Netlist, nets: &mut NetTable) -> Result<NetId, ParseError> {
     parse_binary_chain(lx, nl, nets, '&', CellKind::And2, parse_unary)
 }
 
-fn parse_unary(
-    lx: &mut Lexer,
-    nl: &mut Netlist,
-    nets: &mut NetTable,
-) -> Result<NetId, ParseError> {
+fn parse_unary(lx: &mut Lexer, nl: &mut Netlist, nets: &mut NetTable) -> Result<NetId, ParseError> {
     if lx.eat_sym('~') {
         let inner = parse_unary(lx, nl, nets)?;
         let out = fresh_expr_net(nl);
@@ -477,11 +457,7 @@ fn parse_net_ref(
     }
 }
 
-fn single(
-    pins: Vec<NetId>,
-    lx: &Lexer,
-    what: &str,
-) -> Result<NetId, ParseError> {
+fn single(pins: Vec<NetId>, lx: &Lexer, what: &str) -> Result<NetId, ParseError> {
     if pins.len() != 1 {
         return Err(lx.err(format!("{what} must be a single net")));
     }

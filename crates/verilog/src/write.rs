@@ -93,8 +93,7 @@ pub fn write_netlist(netlist: &Netlist) -> String {
                 );
             }
             _ => {
-                let ins: Vec<String> =
-                    g.inputs.iter().map(|&n| net_ref(netlist, n)).collect();
+                let ins: Vec<String> = g.inputs.iter().map(|&n| net_ref(netlist, n)).collect();
                 let _ = writeln!(
                     out,
                     "  {} g{} ({}, {});",

@@ -34,8 +34,14 @@ fn main() {
     println!("== conservative-state policies on omsp16/insort (Fig. 3) ==");
     for (label, policy) in [
         ("single uber-merge", CsmPolicy::SingleMerge),
-        ("multi-state, 2 slots", CsmPolicy::MultiState { max_states: 2 }),
-        ("multi-state, 4 slots", CsmPolicy::MultiState { max_states: 4 }),
+        (
+            "multi-state, 2 slots",
+            CsmPolicy::MultiState { max_states: 2 },
+        ),
+        (
+            "multi-state, 4 slots",
+            CsmPolicy::MultiState { max_states: 4 },
+        ),
     ] {
         let config = CoAnalysisConfig {
             policy,

@@ -11,7 +11,11 @@ use symsim_core::{CoAnalysis, CoAnalysisConfig};
 use symsim_logic::PropagationPolicy;
 use symsim_sim::{SimConfig, Simulator};
 
-fn coanalyze(kind: CpuKind, policy: PropagationPolicy, workers: usize) -> symsim_core::CoAnalysisReport {
+fn coanalyze(
+    kind: CpuKind,
+    policy: PropagationPolicy,
+    workers: usize,
+) -> symsim_core::CoAnalysisReport {
     let cpu = kind.build();
     let bench = kind.benchmark("div");
     let program = kind.assemble(bench.source);

@@ -25,8 +25,7 @@ fn concrete_run(
     sim.set_finish_net(cpu.finish);
     sim.arm_toggle_observer();
     let halt = sim.run(bench.max_cycles);
-    let mut words: Vec<symsim_logic::Word> =
-        (0..8).map(|a| cpu.read_data(&sim, a)).collect();
+    let mut words: Vec<symsim_logic::Word> = (0..8).map(|a| cpu.read_data(&sim, a)).collect();
     words.extend((0..cpu.reg_nets.len()).map(|r| cpu.read_reg(&sim, r)));
     let profile = sim.take_toggle_profile().expect("armed");
     (halt, words, profile)
@@ -49,9 +48,15 @@ fn validate(kind: CpuKind, bench_name: &str) {
     let (halt_a, words_a, concrete) = concrete_run(kind, bench_name, &cpu.netlist);
     let (halt_b, words_b, _) = concrete_run(kind, bench_name, &bespoke.netlist);
     assert_eq!(halt_a, HaltReason::Finished, "{}/{bench_name}", kind.name());
-    assert_eq!(halt_b, HaltReason::Finished, "bespoke {}/{bench_name}", kind.name());
     assert_eq!(
-        words_a, words_b,
+        halt_b,
+        HaltReason::Finished,
+        "bespoke {}/{bench_name}",
+        kind.name()
+    );
+    assert_eq!(
+        words_a,
+        words_b,
         "bespoke diverged on {}/{bench_name}",
         kind.name()
     );

@@ -12,7 +12,12 @@ fn cpus_round_trip_through_verilog() {
         let text = symsim_verilog::write_netlist(&cpu.netlist);
         let back = symsim_verilog::parse_netlist(&text)
             .unwrap_or_else(|e| panic!("{} reparse failed: {e}", kind.name()));
-        assert_eq!(back.gate_count(), cpu.netlist.gate_count(), "{}", kind.name());
+        assert_eq!(
+            back.gate_count(),
+            cpu.netlist.gate_count(),
+            "{}",
+            kind.name()
+        );
         assert_eq!(back.dff_count(), cpu.netlist.dff_count(), "{}", kind.name());
         assert_eq!(
             back.memories().len(),

@@ -1,0 +1,15 @@
+//! Serde facade for the sealed build environment.
+//!
+//! Provides the `Serialize`/`Deserialize` names (trait and derive-macro
+//! namespaces) that workspace types reference. The derives expand to nothing;
+//! no code in the workspace performs serde-based serialization, it only marks
+//! types for it. Swap this shim for the real `serde` when registry access is
+//! available.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
