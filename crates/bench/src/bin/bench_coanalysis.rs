@@ -2,66 +2,140 @@
 //! for the co-analysis engine, in the same spirit as the `tables` binary.
 //!
 //! ```text
-//! cargo run --release -p symsim-bench --bin bench_coanalysis
+//! cargo run --release -p symsim-bench --bin bench_coanalysis [-- --smoke]
 //! ```
 //!
-//! The JSON records, per (cpu, benchmark) pair, simulated cycles/second
-//! and explored paths/second, plus a snapshot section measuring the
-//! copy-on-write fork cost against the eager memory copy it replaced.
+//! Each (cpu, benchmark) pair runs twice — event-driven and hybrid
+//! batched dispatch — with a single worker so the explorations are
+//! deterministic and comparable. The binary *asserts* that both modes
+//! produce identical `paths_created`/`simulated_cycles`/exercisable-gate
+//! results (the batched kernel must only change speed, never results) and
+//! records both throughputs so the speedup is visible in-repo.
+//!
+//! `--smoke` runs only the smallest pair in `event` and `batch` modes and
+//! writes no file: the CI divergence check.
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
 use symsim_bench::{run_experiment, CpuKind};
-use symsim_core::CoAnalysisConfig;
-use symsim_sim::{cow_clone_stats, reset_cow_clone_stats, MemArray};
+use symsim_core::{CoAnalysisConfig, CoAnalysisReport};
+use symsim_sim::{cow_clone_stats, reset_cow_clone_stats, EvalMode, MemArray, SimConfig};
 
 /// The (cpu, benchmark) pairs measured: small enough to run in CI, big
-/// enough to exercise forking and the work-stealing scheduler.
+/// enough to exercise forking and level batching.
 const RUNS: [(CpuKind, &str); 3] = [
     (CpuKind::Omsp16, "div"),
     (CpuKind::Bm32, "insort"),
     (CpuKind::Dr5, "binsearch"),
 ];
 
+/// The pair used by `--smoke` (the fastest of [`RUNS`]).
+const SMOKE: (CpuKind, &str) = (CpuKind::Omsp16, "div");
+
+fn run_mode(kind: CpuKind, bench: &str, mode: EvalMode) -> CoAnalysisReport {
+    let config = CoAnalysisConfig {
+        // one worker: path creation order (and thus CSM coverage) is
+        // deterministic, so cross-mode identity is a meaningful check
+        workers: 1,
+        sim: SimConfig {
+            eval_mode: mode,
+            ..SimConfig::default()
+        },
+        ..CoAnalysisConfig::default()
+    };
+    run_experiment(kind, bench, config).report
+}
+
+/// Panics if `other` diverged from the event-mode reference — the batched
+/// kernel is only allowed to change *how fast* results arrive.
+fn assert_equivalent(
+    kind: CpuKind,
+    bench: &str,
+    event: &CoAnalysisReport,
+    other: &CoAnalysisReport,
+    mode: EvalMode,
+) {
+    let pair = format!("{}/{bench} ({})", kind.name(), mode.name());
+    assert_eq!(
+        event.paths_created, other.paths_created,
+        "{pair}: paths_created diverged from event mode"
+    );
+    assert_eq!(
+        event.simulated_cycles, other.simulated_cycles,
+        "{pair}: simulated_cycles diverged from event mode"
+    );
+    assert_eq!(
+        event.exercisable_gates, other.exercisable_gates,
+        "{pair}: exercisable_gates diverged from event mode"
+    );
+}
+
+fn entry(kind: CpuKind, bench: &str, mode: EvalMode, r: &CoAnalysisReport) -> String {
+    let secs = r.wall_time.as_secs_f64().max(1e-9);
+    format!(
+        "    {{ \"cpu\": \"{}\", \"bench\": \"{}\", \"eval_mode\": \"{}\", \
+         \"paths_created\": {}, \"paths_dropped\": {}, \"simulated_cycles\": {}, \
+         \"batched_level_evals\": {}, \"event_evals\": {}, \"wall_seconds\": {:.6}, \
+         \"cycles_per_sec\": {:.1}, \"paths_per_sec\": {:.1} }}",
+        kind.name(),
+        bench,
+        mode.name(),
+        r.paths_created,
+        r.paths_dropped,
+        r.simulated_cycles,
+        r.batched_level_evals,
+        r.event_evals,
+        secs,
+        r.simulated_cycles as f64 / secs,
+        r.paths_simulated as f64 / secs,
+    )
+}
+
 fn main() {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get().min(4))
-        .unwrap_or(1);
-    let mut entries = String::new();
-    for (i, (kind, bench)) in RUNS.iter().enumerate() {
+    if std::env::args().any(|a| a == "--smoke") {
+        let (kind, bench) = SMOKE;
         eprintln!(
-            "co-analysis: {} / {bench} ({workers} workers)...",
+            "smoke: {} / {bench} in event and batch modes...",
             kind.name()
         );
-        let config = CoAnalysisConfig {
-            workers,
-            ..CoAnalysisConfig::default()
-        };
-        let r = run_experiment(*kind, bench, config);
-        let secs = r.report.wall_time.as_secs_f64().max(1e-9);
-        if i > 0 {
-            entries.push_str(",\n");
-        }
-        write!(
-            entries,
-            "    {{ \"cpu\": \"{}\", \"bench\": \"{}\", \"paths_created\": {}, \
-             \"paths_dropped\": {}, \"simulated_cycles\": {}, \"wall_seconds\": {:.6}, \
-             \"cycles_per_sec\": {:.1}, \"paths_per_sec\": {:.1} }}",
+        let event = run_mode(kind, bench, EvalMode::Event);
+        let batch = run_mode(kind, bench, EvalMode::Batch);
+        assert_equivalent(kind, bench, &event, &batch, EvalMode::Batch);
+        eprintln!(
+            "smoke ok: {} cycles, {} gates exercisable in both modes",
+            event.simulated_cycles, event.exercisable_gates
+        );
+        return;
+    }
+
+    let mut entries = Vec::new();
+    for (kind, bench) in RUNS {
+        eprintln!("co-analysis: {} / {bench} (event)...", kind.name());
+        let event = run_mode(kind, bench, EvalMode::Event);
+        eprintln!("co-analysis: {} / {bench} (hybrid)...", kind.name());
+        let hybrid = run_mode(kind, bench, EvalMode::Hybrid);
+        assert_equivalent(kind, bench, &event, &hybrid, EvalMode::Hybrid);
+        let speedup =
+            event.wall_time.as_secs_f64().max(1e-9) / hybrid.wall_time.as_secs_f64().max(1e-9);
+        eprintln!(
+            "  {} / {bench}: {:.1} -> {:.1} cycles/sec ({speedup:.2}x)",
             kind.name(),
-            bench,
-            r.report.paths_created,
-            r.report.paths_dropped,
-            r.report.simulated_cycles,
-            secs,
-            r.report.simulated_cycles as f64 / secs,
-            r.report.paths_simulated as f64 / secs,
-        )
-        .expect("write to string");
+            event.simulated_cycles as f64 / event.wall_time.as_secs_f64().max(1e-9),
+            hybrid.simulated_cycles as f64 / hybrid.wall_time.as_secs_f64().max(1e-9),
+        );
+        entries.push(entry(kind, bench, EvalMode::Event, &event));
+        entries.push(entry(kind, bench, EvalMode::Hybrid, &hybrid));
+    }
+    let mut runs = String::new();
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            runs.push_str(",\n");
+        }
+        runs.push_str(e);
     }
 
     let snap = snapshot_cost();
-    let json = format!("{{\n  \"runs\": [\n{entries}\n  ],\n  \"snapshot\": {snap}\n}}\n");
+    let json = format!("{{\n  \"runs\": [\n{runs}\n  ],\n  \"snapshot\": {snap}\n}}\n");
     std::fs::write("BENCH_coanalysis.json", &json).expect("write BENCH_coanalysis.json");
     eprintln!("wrote BENCH_coanalysis.json");
     print!("{json}");

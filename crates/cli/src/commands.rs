@@ -5,7 +5,7 @@ use std::fs;
 use symsim_core::{CoAnalysis, CoAnalysisConfig, CsmPolicy, DesignInterface};
 use symsim_logic::Word;
 use symsim_netlist::{Netlist, NetlistStats};
-use symsim_sim::{HaltReason, MonitorSpec, SimConfig, Simulator, ToggleProfile};
+use symsim_sim::{EvalMode, HaltReason, MonitorSpec, SimConfig, Simulator, ToggleProfile};
 
 use crate::args::Args;
 use crate::files;
@@ -22,11 +22,13 @@ usage:
                   [--inputs a,b,...] [--data a=v,...] [--constraints file]
                   [--policy single|multi:N] [--workers N] [--max-cycles N]
                   [--max-paths N] [--profile-out profile.txt] [--power yes]
-                  [--tagged yes]
+                  [--tagged yes] [--eval-mode event|batch|hybrid]
+                  [--batch-threshold PCT]
   symsim bespoke  <design.v> --profile profile.txt [--out bespoke.v]
   symsim simulate <design.v> --program app.hex --finish <net>
                   [--cycles N] [--pmem pmem] [--dmem dmem] [--data a=v,...]
                   [--watch net,net,...] [--vcd out.vcd]
+                  [--eval-mode event|batch|hybrid]
   symsim fault    <design.v> --program app.hex [--cycles N]
                   [--pmem pmem] [--dmem dmem] [--data a=v,...]
                   [--max-faults N] [--observe net,net,...]
@@ -207,6 +209,24 @@ impl Setup {
     }
 }
 
+fn parse_eval_mode(spec: Option<&str>) -> Result<EvalMode, String> {
+    match spec {
+        None => Ok(EvalMode::default()),
+        Some(s) => s.parse().map_err(|e| format!("--eval-mode: {e}")),
+    }
+}
+
+fn parse_batch_threshold(args: &Args) -> Result<u8, String> {
+    let pct = args.get_usize(
+        "batch-threshold",
+        usize::from(SimConfig::default().batch_threshold_pct),
+    )?;
+    u8::try_from(pct)
+        .ok()
+        .filter(|&p| p <= 100)
+        .ok_or_else(|| format!("--batch-threshold: expected a percentage 0-100, got {pct}"))
+}
+
 fn parse_policy(spec: Option<&str>) -> Result<CsmPolicy, String> {
     match spec {
         None | Some("single") => Ok(CsmPolicy::SingleMerge),
@@ -277,6 +297,8 @@ fn analyze(args: &Args) -> Result<(), String> {
             } else {
                 symsim_logic::PropagationPolicy::Anonymous
             },
+            eval_mode: parse_eval_mode(args.get("eval-mode"))?,
+            batch_threshold_pct: parse_batch_threshold(args)?,
             ..SimConfig::default()
         },
         policy: parse_policy(args.get("policy"))?,
@@ -354,7 +376,11 @@ fn simulate(args: &Args) -> Result<(), String> {
     let finish = files::resolve_net(&netlist, args.require("finish")?)?;
     let cycles = args.get_u64("cycles", 100_000)?;
 
-    let mut sim = Simulator::new(&netlist, SimConfig::default());
+    let sim_config = SimConfig {
+        eval_mode: parse_eval_mode(args.get("eval-mode"))?,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(&netlist, sim_config);
     setup.apply(&mut sim, false, false);
     for &inp in netlist.inputs() {
         sim.poke(inp, symsim_logic::Value::ZERO);
@@ -495,5 +521,27 @@ mod tests {
             CsmPolicy::MultiState { max_states: 3 }
         );
         assert!(parse_policy(Some("weird")).is_err());
+    }
+
+    #[test]
+    fn eval_mode_parsing() {
+        assert_eq!(parse_eval_mode(None).unwrap(), EvalMode::default());
+        assert_eq!(parse_eval_mode(Some("event")).unwrap(), EvalMode::Event);
+        assert_eq!(parse_eval_mode(Some("batch")).unwrap(), EvalMode::Batch);
+        assert_eq!(parse_eval_mode(Some("hybrid")).unwrap(), EvalMode::Hybrid);
+        assert!(parse_eval_mode(Some("turbo")).is_err());
+    }
+
+    #[test]
+    fn batch_threshold_parsing() {
+        let ok = Args::parse(&["--batch-threshold".into(), "35".into()]).unwrap();
+        assert_eq!(parse_batch_threshold(&ok).unwrap(), 35);
+        let default = Args::parse(&[]).unwrap();
+        assert_eq!(
+            parse_batch_threshold(&default).unwrap(),
+            SimConfig::default().batch_threshold_pct
+        );
+        let over = Args::parse(&["--batch-threshold".into(), "101".into()]).unwrap();
+        assert!(parse_batch_threshold(&over).is_err());
     }
 }

@@ -100,6 +100,8 @@ struct Counters {
     budget_exhausted: AtomicUsize,
     simulated: AtomicUsize,
     cycles: AtomicUsize,
+    batched_level_evals: AtomicUsize,
+    event_evals: AtomicUsize,
 }
 
 /// Algorithm 1 of the paper: symbolic hardware-software co-analysis.
@@ -174,6 +176,13 @@ impl<'n> CoAnalysis<'n> {
                 scope.spawn(move || {
                     let mut sim = self.make_sim(prepare);
                     self.worker_loop(w, &mut sim, queue, csm, counters);
+                    let (batched, scalar) = sim.eval_stats();
+                    counters
+                        .batched_level_evals
+                        .fetch_add(batched as usize, Ordering::Relaxed);
+                    counters
+                        .event_evals
+                        .fetch_add(scalar as usize, Ordering::Relaxed);
                     if let Some(p) = sim.take_toggle_profile() {
                         profiles.lock().unwrap().push(p);
                     }
@@ -209,6 +218,8 @@ impl<'n> CoAnalysis<'n> {
             counters.simulated.load(Ordering::Relaxed),
             counters.cycles.load(Ordering::Relaxed) as u64,
             csm.distinct_pcs(),
+            counters.batched_level_evals.load(Ordering::Relaxed) as u64,
+            counters.event_evals.load(Ordering::Relaxed) as u64,
             start.elapsed(),
         )
     }

@@ -34,6 +34,12 @@ pub struct CoAnalysisReport {
     pub simulated_cycles: u64,
     /// Distinct PCs at which conservative states were recorded.
     pub distinct_pcs: usize,
+    /// Level tapes run by the batched evaluation kernel, summed over all
+    /// workers (zero under [`symsim_sim::EvalMode::Event`]).
+    pub batched_level_evals: u64,
+    /// Scalar node evaluations (event-driven gates, memory reads, and
+    /// symbolic-lane fallbacks), summed over all workers.
+    pub event_evals: u64,
     /// Wall-clock time of the analysis.
     pub wall_time: Duration,
     /// The merged per-net toggle profile (input to bespoke generation).
@@ -58,6 +64,8 @@ impl CoAnalysisReport {
         paths_simulated: usize,
         simulated_cycles: u64,
         distinct_pcs: usize,
+        batched_level_evals: u64,
+        event_evals: u64,
         wall_time: Duration,
     ) -> CoAnalysisReport {
         CoAnalysisReport {
@@ -72,6 +80,8 @@ impl CoAnalysisReport {
             paths_simulated,
             simulated_cycles,
             distinct_pcs,
+            batched_level_evals,
+            event_evals,
             wall_time,
             profile,
             activity,
@@ -133,6 +143,8 @@ mod tests {
             paths_simulated: 3,
             simulated_cycles: 99,
             distinct_pcs: 2,
+            batched_level_evals: 7,
+            event_evals: 42,
             wall_time: Duration::from_millis(5),
             profile,
             activity: None,

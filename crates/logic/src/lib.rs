@@ -41,6 +41,7 @@ mod value;
 mod word;
 
 pub mod ops;
+pub mod plane;
 
 pub use scalar::Logic;
 pub use value::{PropagationPolicy, Sym, SymId, Value};

@@ -183,6 +183,50 @@ impl Netlist {
         Ok(order)
     }
 
+    /// The logic level of each combinational node, indexed in
+    /// [`Netlist::comb_nodes`] order: sources (nodes fed only by flip-flops,
+    /// inputs, or undriven nets) are level 0, and every other node sits one
+    /// past its deepest combinational input.
+    ///
+    /// This is the levelization the batched evaluation kernel compiles its
+    /// per-level instruction tapes from: all nodes of one level are mutually
+    /// independent, so a level can be evaluated in any order — including 64
+    /// gates at a time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ValidateError::CombinationalCycle`] if no levelization
+    /// exists.
+    pub fn comb_levels(&self) -> Result<Vec<u32>, ValidateError> {
+        let order = self.comb_topo_order()?;
+        let nodes = self.comb_nodes();
+        let index_of: HashMap<CombNode, usize> =
+            nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let drivers = self.drivers();
+        let comb_driver = |net: NetId| -> Option<usize> {
+            match drivers[net.0 as usize] {
+                Some(Driver::Gate(g)) => index_of.get(&CombNode::Gate(g)).copied(),
+                Some(Driver::MemoryRead { mem, port }) => {
+                    index_of.get(&CombNode::MemRead { mem, port }).copied()
+                }
+                _ => None,
+            }
+        };
+        let mut level = vec![0u32; nodes.len()];
+        for node in order {
+            let idx = index_of[&node];
+            let (ins, _) = self.comb_node_pins(node);
+            let mut l = 0;
+            for pin in ins {
+                if let Some(p) = comb_driver(pin) {
+                    l = l.max(level[p] + 1);
+                }
+            }
+            level[idx] = l;
+        }
+        Ok(level)
+    }
+
     /// For each net, the combinational nodes reading it. Used by the
     /// event-driven simulator to schedule fanout on value changes.
     pub fn fanout_map(&self) -> Vec<Vec<CombNode>> {
@@ -228,6 +272,21 @@ mod tests {
             vec![CombNode::Gate(GateId(1)), CombNode::Gate(GateId(0))]
         );
         assert!(nl.validate().is_ok());
+    }
+
+    #[test]
+    fn levels_follow_depth() {
+        let mut nl = Netlist::new("lvl");
+        let a = nl.add_net("a");
+        let b = nl.add_net("b");
+        let c = nl.add_net("c");
+        let d = nl.add_net("d");
+        nl.add_input(a);
+        nl.add_input(b);
+        // gate 0: c = a & b (level 0); gate 1: d = !c (level 1)
+        nl.add_gate(CellKind::And2, &[a, b], c);
+        nl.add_gate(CellKind::Not, &[c], d);
+        assert_eq!(nl.comb_levels().unwrap(), vec![0, 1]);
     }
 
     #[test]

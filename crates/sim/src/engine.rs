@@ -1,11 +1,50 @@
 use std::collections::HashMap;
 
-use symsim_logic::{ops, PropagationPolicy, Value, Word};
-use symsim_netlist::{CombNode, Driver, NetId, Netlist};
+use symsim_logic::{ops, plane, plane::Lanes, PropagationPolicy, Value, Word};
+use symsim_netlist::{CellKind, CombNode, Driver, NetId, Netlist};
 
 use crate::activity::ActivityStats;
 use crate::observer::ToggleProfile;
 use crate::state::{MemArray, SimState};
+
+/// How the Active region propagates values (see [`Simulator::settle`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvalMode {
+    /// Pure event-driven: only dirty nodes are evaluated, one at a time.
+    Event,
+    /// Pure levelized: any level with a pending event runs its full
+    /// bit-packed instruction tape, 64 gates per word-op.
+    Batch,
+    /// Event-driven below the activity threshold, batched above it
+    /// (the default: dense propagation waves — reset, clock edges — run
+    /// packed, sparse ripples stay event-driven).
+    #[default]
+    Hybrid,
+}
+
+impl EvalMode {
+    /// The CLI spelling of this mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            EvalMode::Event => "event",
+            EvalMode::Batch => "batch",
+            EvalMode::Hybrid => "hybrid",
+        }
+    }
+}
+
+impl std::str::FromStr for EvalMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<EvalMode, String> {
+        match s {
+            "event" => Ok(EvalMode::Event),
+            "batch" => Ok(EvalMode::Batch),
+            "hybrid" => Ok(EvalMode::Hybrid),
+            other => Err(format!("expected event, batch, or hybrid, got \"{other}\"")),
+        }
+    }
+}
 
 /// Simulator configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,6 +57,15 @@ pub struct SimConfig {
     /// Record the evaluation-event trace (used by the baseline-equivalence
     /// regression check of paper §5.0.1).
     pub trace_events: bool,
+    /// Active-region dispatch: event-driven, batched, or hybrid.
+    /// All modes produce identical values, traces, and observer results;
+    /// they differ only in evaluation strategy.
+    pub eval_mode: EvalMode,
+    /// Hybrid-mode activity threshold in percent: a level runs its batched
+    /// tape when at least this share of its nodes have pending events.
+    /// `0` batches any level with a pending event (like [`EvalMode::Batch`]);
+    /// `100` requires a fully dirty level.
+    pub batch_threshold_pct: u8,
 }
 
 impl Default for SimConfig {
@@ -26,6 +74,11 @@ impl Default for SimConfig {
             policy: PropagationPolicy::Anonymous,
             max_addr_enum_bits: 10,
             trace_events: false,
+            eval_mode: EvalMode::default(),
+            // measured sweet spot on the omsp16/bm32/dr5 benchmarks: the
+            // batched tape wins even at low dirty fractions because lean
+            // write-back makes a skipped batch nearly free
+            batch_threshold_pct: 5,
         }
     }
 }
@@ -104,6 +157,76 @@ struct WritePortSample {
     we: Value,
 }
 
+/// Up to 64 gates of one level, evaluated by one word-op per gate kind
+/// present over bit-packed planes. Lanes are kind-sorted, so `kinds` is a
+/// short run-length list of `(kind, lane mask)` segments — full 64-lane
+/// occupancy amortizes the per-batch dispatch far better than one batch
+/// per (level, kind) would.
+///
+/// `node` holds the comb-node index per lane (for event traces and the
+/// scalar fallback), `out` the output net per lane. The batch's operand
+/// planes live in [`Simulator::packed`] (4 [`PackedOp`]s per batch).
+#[derive(Debug)]
+struct GateBatch {
+    kinds: Vec<(CellKind, u64)>,
+    node: Vec<u32>,
+    out: Vec<u32>,
+}
+
+/// One packed batch operand: 64 lanes of two bitplanes plus an inexact
+/// mask (`sym`) marking lanes whose scalar value the planes cannot
+/// represent — tagged symbols and high-impedance `Z`.
+///
+/// These are *caches maintained event-style*: whenever a net's value
+/// changes, [`Simulator::update_packed`] patches the one bit of every
+/// operand reading that net (the subscriber list is compiled next to the
+/// fanout map). Running a batch therefore needs no gather at all — it is
+/// a handful of word-ops plus a change-mask-driven write-back.
+#[derive(Debug, Default, Clone, Copy)]
+struct PackedOp {
+    val: u64,
+    unk: u64,
+    sym: u64,
+}
+
+impl PackedOp {
+    #[inline]
+    fn lanes(self) -> Lanes {
+        Lanes {
+            val: self.val,
+            unk: self.unk,
+        }
+    }
+}
+
+/// The compiled instruction tape of one logic level: a contiguous range of
+/// kind-sorted [`GateBatch`]es in [`Simulator::batches`], plus the level's
+/// total comb-node count (the denominator of the hybrid activity
+/// threshold). Memory-read nodes stay scalar — their conservative-merge
+/// semantics are not plane-packable.
+#[derive(Debug, Default, Clone, Copy)]
+struct LevelTape {
+    first_batch: u32,
+    batch_count: u32,
+    node_count: usize,
+}
+
+/// One subscription of a net to a batch operand bit:
+/// `batch << 8 | operand << 6 | lane`, where operand 0-2 are the input
+/// pins and [`SUB_OUT`] is the output plane.
+type PackedSub = u32;
+
+const SUB_OUT: u32 = 3;
+
+/// [`Simulator::batch_dirty`] bit: a node of the batch was scheduled
+/// event-style (its level's dirty bucket is complete, so the level may
+/// still drain event-by-event below the activity threshold).
+const DIRTY_SCHED: u8 = 1;
+/// [`Simulator::batch_dirty`] bit: an operand changed via the batched
+/// write-back, which skips per-node scheduling — the level's bucket is
+/// incomplete and the level *must* run its tape.
+const DIRTY_LEAN: u8 = 2;
+
 /// The event-driven gate-level simulator.
 ///
 /// One instance simulates one design; [`Simulator::load_state`] re-targets
@@ -117,23 +240,50 @@ pub struct Simulator<'n> {
     nodes: Vec<CombNode>,
     level: Vec<u32>,
     max_level: u32,
-    fanout: Vec<Vec<u32>>,          // net -> node indices reading it
+    // net -> node indices reading it, flattened CSR: the reader list of
+    // net `n` is `fanout_list[fanout_start[n]..fanout_start[n + 1]]`
+    fanout_start: Vec<u32>,
+    fanout_list: Vec<u32>,
     driver_node: Vec<Option<u32>>,  // net -> producing comb node
     mem_readers: Vec<Vec<u32>>,     // memory -> its read-port node indices
     dff_pairs: Vec<(NetId, NetId)>, // (q, d) sample order, fixed at compile
     write_ports: Vec<WritePortDesc>,
+    tapes: Vec<LevelTape>,   // per-level ranges into `batches`
+    batches: Vec<GateBatch>, // all gate batches, level-major
+    packed: Vec<PackedOp>,   // 4 operand planes per batch, flat
+    node_batch: Vec<u32>,    // node -> owning batch (u32::MAX for MemReads)
+    batch_dirty: Vec<u8>,    // batch -> DIRTY_SCHED | DIRTY_LEAN bits
+    // net -> its memory-read readers only (CSR like `fanout_*`): the one
+    // fanout class the batched write-back must still schedule explicitly
+    memread_fanout_start: Vec<u32>,
+    memread_fanout_list: Vec<u32>,
+    // net -> batch operand bits mirroring it (see `PackedSub`), flattened
+    // CSR like `fanout_*`; only maintained when `maintain_packed` (batch
+    // dispatch is possible)
+    subs_start: Vec<u32>,
+    subs_list: Vec<PackedSub>,
+    maintain_packed: bool,
     // mutable simulation state
     values: Vec<Value>,
     mems: Vec<MemArray>,
     cycle: u64,
+    // lazily computed conservative merge of *all* words of each memory,
+    // serving reads whose address is fully unknown (AddrSet::All)
+    mem_all_merge: Vec<Option<Word>>,
     // scheduling
     dirty: Vec<Vec<u32>>, // buckets by level
     in_queue: Vec<bool>,
+    // dispatch statistics: batched tape runs vs scalar node evaluations
+    batched_level_evals: u64,
+    event_evals: u64,
     // per-cycle scratch, reused so the clock loop allocates nothing
     dff_scratch: Vec<Value>,
     wp_scratch: Vec<WritePortSample>,
-    // symbolic extensions
+    // symbolic extensions; `forced` mirrors the force map's keys as a
+    // bitmap so the per-change hot paths never hash on the common
+    // (unforced) case
     forces: HashMap<u32, Value>,
+    forced: Vec<bool>,
     monitors: Vec<MonitorSpec>,
     finish_net: Option<NetId>,
     profile: Option<ToggleProfile>,
@@ -152,10 +302,11 @@ impl<'n> Simulator<'n> {
     /// Panics if the netlist has a combinational cycle (run
     /// [`Netlist::validate`] first for a `Result`).
     pub fn new(netlist: &'n Netlist, config: SimConfig) -> Simulator<'n> {
-        let order = netlist
-            .comb_topo_order()
+        // stable node indexing: comb_nodes() order; levels from the netlist
+        let level = netlist
+            .comb_levels()
             .expect("netlist has a combinational cycle");
-        // stable node indexing: use comb_nodes() order, levels via topo order
+        let max_level = level.iter().copied().max().unwrap_or(0);
         let nodes = netlist.comb_nodes();
         let index_of: HashMap<CombNode, u32> = nodes
             .iter()
@@ -178,32 +329,27 @@ impl<'n> Simulator<'n> {
             })
             .collect();
 
-        let mut level = vec![0u32; nodes.len()];
-        let mut max_level = 0;
-        for &node in &order {
-            let idx = index_of[&node] as usize;
-            let ins = match node {
-                CombNode::Gate(g) => netlist.gate(g).inputs.clone(),
-                CombNode::MemRead { mem, port } => netlist.memories()[mem.0 as usize].read_ports
-                    [port]
-                    .addr
-                    .clone(),
-            };
-            let mut l = 0;
-            for pin in ins {
-                if let Some(p) = driver_node[pin.0 as usize] {
-                    l = l.max(level[p as usize] + 1);
-                }
-            }
-            level[idx] = l;
-            max_level = max_level.max(l);
-        }
+        let (tapes, batches, node_batch, packed_subs) =
+            compile_tapes(netlist, &nodes, &level, max_level);
+        let (subs_start, subs_list) = flatten_csr(&packed_subs);
 
         let fanout: Vec<Vec<u32>> = netlist
             .fanout_map()
             .into_iter()
             .map(|nodes_reading| nodes_reading.into_iter().map(|n| index_of[&n]).collect())
             .collect();
+        let (fanout_start, fanout_list) = flatten_csr(&fanout);
+        let memread_fanout: Vec<Vec<u32>> = fanout
+            .iter()
+            .map(|readers| {
+                readers
+                    .iter()
+                    .copied()
+                    .filter(|&n| matches!(nodes[n as usize], CombNode::MemRead { .. }))
+                    .collect()
+            })
+            .collect();
+        let (memread_fanout_start, memread_fanout_list) = flatten_csr(&memread_fanout);
 
         let mut mem_readers: Vec<Vec<u32>> = vec![Vec::new(); netlist.memories().len()];
         for (i, &node) in nodes.iter().enumerate() {
@@ -246,21 +392,39 @@ impl<'n> Simulator<'n> {
             .collect();
         let dff_scratch = vec![Value::X; dff_pairs.len()];
 
+        let mem_count = netlist.memories().len();
+        let packed = vec![PackedOp::default(); batches.len() * 4];
+        let batch_dirty = vec![DIRTY_SCHED; batches.len()];
         let mut sim = Simulator {
             netlist,
             config,
             level,
             max_level,
-            fanout,
+            fanout_start,
+            fanout_list,
+            memread_fanout_start,
+            memread_fanout_list,
             driver_node,
             mem_readers,
             dff_pairs,
             write_ports,
+            tapes,
+            batches,
+            packed,
+            node_batch,
+            batch_dirty,
+            subs_start,
+            subs_list,
+            maintain_packed: config.eval_mode != EvalMode::Event,
+            forced: vec![false; values.len()],
             values,
             mems,
             cycle: 0,
+            mem_all_merge: vec![None; mem_count],
             dirty: vec![Vec::new(); max_level as usize + 1],
             in_queue: vec![false; nodes.len()],
+            batched_level_evals: 0,
+            event_evals: 0,
             nodes,
             dff_scratch,
             wp_scratch,
@@ -273,6 +437,7 @@ impl<'n> Simulator<'n> {
             region_trace: Vec::new(),
             trace_regions: false,
         };
+        sim.rebuild_packed();
         sim.schedule_all();
         sim
     }
@@ -390,8 +555,12 @@ impl<'n> Simulator<'n> {
     /// with state save/restore and needs no recompilation.
     pub fn force(&mut self, net: NetId, value: Value) {
         self.forces.insert(net.0, value);
+        self.forced[net.0 as usize] = true;
         if self.values[net.0 as usize] != value {
             self.values[net.0 as usize] = value;
+            if self.maintain_packed {
+                self.update_packed::<false>(net.0, value);
+            }
             self.mark_toggled(net);
             self.schedule_fanout(net);
         }
@@ -402,6 +571,7 @@ impl<'n> Simulator<'n> {
         let nets: Vec<u32> = self.forces.keys().copied().collect();
         self.forces.clear();
         for n in nets {
+            self.forced[n as usize] = false;
             if let Some(node) = self.driver_node[n as usize] {
                 self.schedule_node(node);
             }
@@ -418,6 +588,8 @@ impl<'n> Simulator<'n> {
     /// Panics on out-of-range memory index or address.
     pub fn write_mem_word(&mut self, mem_index: usize, addr: usize, word: &Word) {
         self.mems[mem_index].set_word(addr, word);
+        // an overwrite can remove information from the all-words merge
+        self.mem_all_merge[mem_index] = None;
         self.schedule_mem_readers(mem_index);
     }
 
@@ -486,10 +658,41 @@ impl<'n> Simulator<'n> {
             "snapshot is from a different design"
         );
         assert_eq!(state.mems.len(), self.mems.len());
+        for &n in self.forces.keys() {
+            self.forced[n as usize] = false;
+        }
         self.forces.clear();
-        self.values.clone_from(&state.values);
+        if self.maintain_packed {
+            // diff against the incoming snapshot and patch only the operand
+            // bits of nets that actually differ: exploration restores
+            // closely-related states, so this is far cheaper than a full
+            // rebuild of the packed caches per fork
+            for (net, (cur, new)) in self.values.iter_mut().zip(&state.values).enumerate() {
+                if *cur != *new {
+                    *cur = *new;
+                    let v = *cur;
+                    // inlined `update_packed` is blocked by the borrow of
+                    // `self.values`; patch through disjoint fields instead
+                    let (vb, ub) = plane::encode(v);
+                    let sym = matches!(v, Value::Sym(_)) || v == Value::Z;
+                    let s = self.subs_start[net] as usize;
+                    let e = self.subs_start[net + 1] as usize;
+                    for k in s..e {
+                        let r = self.subs_list[k];
+                        let m = 1u64 << (r & 63);
+                        let p = &mut self.packed[(r >> 6) as usize];
+                        p.val = p.val & !m | if vb { m } else { 0 };
+                        p.unk = p.unk & !m | if ub { m } else { 0 };
+                        p.sym = p.sym & !m | if sym { m } else { 0 };
+                    }
+                }
+            }
+        } else {
+            self.values.clone_from(&state.values);
+        }
         self.mems.clone_from(&state.mems);
         self.cycle = state.cycle;
+        self.mem_all_merge.iter_mut().for_each(|m| *m = None);
         // snapshots are quiescent; nothing to settle
         for bucket in &mut self.dirty {
             bucket.clear();
@@ -509,15 +712,21 @@ impl<'n> Simulator<'n> {
         if !self.in_queue[idx as usize] {
             self.in_queue[idx as usize] = true;
             self.dirty[self.level[idx as usize] as usize].push(idx);
+            // a scheduled gate makes its batch stale, whatever the cause
+            // (operand change, force release, explicit re-schedule)
+            let b = self.node_batch[idx as usize];
+            if b != u32::MAX {
+                self.batch_dirty[b as usize] |= DIRTY_SCHED;
+            }
         }
     }
 
     fn schedule_fanout(&mut self, net: NetId) {
-        let readers = std::mem::take(&mut self.fanout[net.0 as usize]);
-        for &node in &readers {
-            self.schedule_node(node);
+        let s = self.fanout_start[net.0 as usize] as usize;
+        let e = self.fanout_start[net.0 as usize + 1] as usize;
+        for k in s..e {
+            self.schedule_node(self.fanout_list[k]);
         }
-        self.fanout[net.0 as usize] = readers;
     }
 
     fn schedule_mem_readers(&mut self, mem_index: usize) {
@@ -554,35 +763,248 @@ impl<'n> Simulator<'n> {
     }
 
     fn set_value(&mut self, net: NetId, value: Value, from_eval: bool) {
-        let value = match self.forces.get(&net.0) {
-            Some(&f) if from_eval => f,
-            _ => value,
+        // the bitmap keeps the (overwhelmingly common) unforced case free
+        // of a hash lookup
+        let value = if from_eval && self.forced[net.0 as usize] {
+            self.forces[&net.0]
+        } else {
+            value
         };
-        let slot = &mut self.values[net.0 as usize];
-        if *slot != value {
-            *slot = value;
+        if self.values[net.0 as usize] != value {
+            self.values[net.0 as usize] = value;
+            if self.maintain_packed {
+                self.update_packed::<false>(net.0, value);
+            }
             self.mark_toggled(net);
             self.schedule_fanout(net);
         }
     }
 
+    /// Patches the one bit of every batch operand plane mirroring `net`.
+    /// This is the event-style maintenance of the packed caches: paid once
+    /// per value *change* (alongside fanout scheduling, and proportional to
+    /// the same fanout count), so [`Simulator::run_batch`] never gathers.
+    ///
+    /// With `MARK`, every subscribing batch is also flagged [`DIRTY_LEAN`]:
+    /// the batched write-back uses this in place of per-node fanout
+    /// scheduling, so a dense wave cascades level-to-level through batch
+    /// dirty bits alone.
+    #[inline]
+    fn update_packed<const MARK: bool>(&mut self, net: u32, v: Value) {
+        let (vb, ub) = plane::encode(v);
+        // lanes the planes cannot represent exactly: tagged symbols (whose
+        // identity scalar evaluation must preserve) and high-impedance Z
+        // (which folds to unknown, hiding e.g. a Z -> X output transition)
+        let sym = matches!(v, Value::Sym(_)) || v == Value::Z;
+        let s = self.subs_start[net as usize] as usize;
+        let e = self.subs_start[net as usize + 1] as usize;
+        for k in s..e {
+            let r = self.subs_list[k];
+            // `r >> 6` is the flat operand index `batch * 4 + op`
+            let m = 1u64 << (r & 63);
+            let p = &mut self.packed[(r >> 6) as usize];
+            p.val = p.val & !m | if vb { m } else { 0 };
+            p.unk = p.unk & !m | if ub { m } else { 0 };
+            p.sym = p.sym & !m | if sym { m } else { 0 };
+            if MARK {
+                self.batch_dirty[(r >> 8) as usize] |= DIRTY_LEAN;
+            }
+        }
+    }
+
+    /// Rebuilds every batch operand cache from the scalar store
+    /// (construction).
+    fn rebuild_packed(&mut self) {
+        if !self.maintain_packed {
+            return;
+        }
+        for net in 0..self.values.len() {
+            if self.subs_start[net] != self.subs_start[net + 1] {
+                let v = self.values[net];
+                self.update_packed::<false>(net as u32, v);
+            }
+        }
+    }
+
+    /// `(batched_level_evals, event_evals)`: level tapes run batched, and
+    /// scalar node evaluations (event-driven gates, memory reads, and
+    /// symbolic-lane fallbacks) since construction.
+    pub fn eval_stats(&self) -> (u64, u64) {
+        (self.batched_level_evals, self.event_evals)
+    }
+
     /// Propagates all pending events to quiescence (the Active region).
     /// Returns the number of node evaluations performed.
+    ///
+    /// Dispatch is hybrid (see [`EvalMode`]): a level whose dirty fraction
+    /// reaches the activity threshold runs its compiled bit-packed tape —
+    /// re-evaluating a clean gate is idempotent, and change detection keeps
+    /// traces/observers identical to the event-driven path — otherwise the
+    /// level drains event-by-event. Forced nets keep their overrides in
+    /// both paths (the batched write-back consults the force map).
     pub fn settle(&mut self) -> usize {
         let mut evals = 0;
+        let batch_ok = self.config.eval_mode != EvalMode::Event;
         for lvl in 0..=self.max_level as usize {
             // nodes only schedule strictly higher levels, so one ascending
             // pass reaches quiescence; same-level insertions are drained here
-            while let Some(idx) = self.dirty[lvl].pop() {
-                self.in_queue[idx as usize] = false;
-                self.eval_node(idx);
-                evals += 1;
+            let tape = self.tapes[lvl];
+            let (first, last) = (
+                tape.first_batch as usize,
+                (tape.first_batch + tape.batch_count) as usize,
+            );
+            let mut stale = 0u8;
+            if batch_ok {
+                for &d in &self.batch_dirty[first..last] {
+                    stale |= d;
+                }
+            }
+            // DIRTY_LEAN forces the tape: upstream changes propagated via
+            // batch bits alone, so the bucket under-counts this level
+            let use_batch = batch_ok
+                && tape.batch_count > 0
+                && (self.config.eval_mode == EvalMode::Batch
+                    || stale & DIRTY_LEAN != 0
+                    || self.dirty[lvl].len() * 100
+                        >= tape.node_count * usize::from(self.config.batch_threshold_pct));
+            if use_batch {
+                if stale != 0 || !self.dirty[lvl].is_empty() {
+                    evals += self.run_level_batch(lvl);
+                }
+            } else {
+                while let Some(idx) = self.dirty[lvl].pop() {
+                    self.in_queue[idx as usize] = false;
+                    self.eval_node(idx);
+                    evals += 1;
+                }
+                if stale != 0 {
+                    // every stale batch here was scheduled (DIRTY_SCHED
+                    // only — lean bits force the tape), and the drain above
+                    // just evaluated those nodes scalar
+                    self.batch_dirty[first..last].fill(0);
+                }
             }
         }
         evals
     }
 
+    /// Runs one level's compiled tape: drain the dirty bucket (scalar-eval
+    /// any non-gate nodes in it), then evaluate every gate batch of the
+    /// level with word-ops. Returns the number of nodes evaluated.
+    fn run_level_batch(&mut self, lvl: usize) -> usize {
+        let mut evals = 0;
+        // drain pending events for this level: gates are covered by the
+        // tape; memory-read nodes are not plane-packable and stay scalar
+        let mut bucket = std::mem::take(&mut self.dirty[lvl]);
+        for &idx in &bucket {
+            self.in_queue[idx as usize] = false;
+            if matches!(self.nodes[idx as usize], CombNode::MemRead { .. }) {
+                self.eval_node(idx);
+                evals += 1;
+            }
+        }
+        bucket.clear();
+        self.dirty[lvl] = bucket;
+
+        let tape = self.tapes[lvl];
+        for bi in tape.first_batch..tape.first_batch + tape.batch_count {
+            // only batches with a changed operand since their last run can
+            // produce new outputs; the rest skip without touching planes
+            if self.batch_dirty[bi as usize] != 0 {
+                self.batch_dirty[bi as usize] = 0;
+                evals += self.run_batch(bi as usize);
+            }
+        }
+        self.batched_level_evals += 1;
+        evals
+    }
+
+    /// Evaluates up to 64 gates with one word-op per kind present over the
+    /// batch's pre-packed operand planes, then writes back only the lanes whose
+    /// output actually changed — found in bulk by diffing the new planes
+    /// against the cached output planes, so unchanged lanes cost nothing.
+    /// Lanes carrying tagged symbols fall back to scalar evaluation to
+    /// preserve symbol identity under [`PropagationPolicy::Tagged`].
+    fn run_batch(&mut self, bi: usize) -> usize {
+        use symsim_netlist::CellKind as K;
+        let n = self.batches[bi].out.len();
+        let used = if n == 64 { !0u64 } else { (1u64 << n) - 1 };
+        let [p0, p1, p2, po]: [PackedOp; 4] = self.packed[bi * 4..bi * 4 + 4]
+            .try_into()
+            .expect("4 operand planes per batch");
+        let symmask = (p0.sym | p1.sym | p2.sym) & used;
+        // lanes are kind-sorted, so this is one word-op evaluation per
+        // kind present (usually 1-3), merged by disjoint lane masks
+        let mut y = Lanes { val: 0, unk: 0 };
+        for &(kind, mask) in &self.batches[bi].kinds {
+            let yk = match kind {
+                K::Const0 => Lanes::ZEROS,
+                K::Const1 => Lanes::ONES,
+                K::Buf => plane::buf(p0.lanes()),
+                K::Not => plane::not(p0.lanes()),
+                K::And2 => plane::and2(p0.lanes(), p1.lanes()),
+                K::Or2 => plane::or2(p0.lanes(), p1.lanes()),
+                K::Nand2 => plane::nand2(p0.lanes(), p1.lanes()),
+                K::Nor2 => plane::nor2(p0.lanes(), p1.lanes()),
+                K::Xor2 => plane::xor2(p0.lanes(), p1.lanes()),
+                K::Xnor2 => plane::xnor2(p0.lanes(), p1.lanes()),
+                K::Mux2 => plane::mux2(p0.lanes(), p1.lanes(), p2.lanes()),
+            };
+            y.val |= yk.val & mask;
+            y.unk |= yk.unk & mask;
+        }
+        // a lane must be revisited when its planes differ from the cached
+        // output planes, or when its stored output is inexact (the planes
+        // fold symbols/Z to unknown, hiding e.g. Sym -> X transitions)
+        let diff = ((y.val ^ po.val) | (y.unk ^ po.unk) | po.sym) & used & !symmask;
+        if symmask | diff == 0 {
+            return n;
+        }
+        let trace = self.config.trace_events;
+
+        let mut m = symmask;
+        while m != 0 {
+            let i = m.trailing_zeros();
+            m &= m - 1;
+            // a tagged symbol feeds this lane: scalar evaluation keeps
+            // its identity (e.g. s XOR s = 0 under the Tagged policy)
+            let node = self.batches[bi].node[i as usize];
+            self.eval_node(node);
+        }
+        let mut m = diff;
+        while m != 0 {
+            let i = m.trailing_zeros();
+            m &= m - 1;
+            let net = self.batches[bi].out[i as usize];
+            let mut v = y.get(i);
+            if self.forced[net as usize] {
+                // a forced output keeps its override, exactly like the
+                // scalar path's `set_value(.., from_eval = true)`
+                v = self.forces[&net];
+            }
+            if self.values[net as usize] != v {
+                if trace {
+                    let node = self.batches[bi].node[i as usize];
+                    self.event_trace.push((self.cycle, node));
+                }
+                self.values[net as usize] = v;
+                // lean write-back: subscribing batches are flagged by
+                // `update_packed`, so gate fanout needs no per-node
+                // scheduling — only memory-read readers stay event-driven
+                self.update_packed::<true>(net, v);
+                self.mark_toggled(NetId(net));
+                let ms = self.memread_fanout_start[net as usize] as usize;
+                let me = self.memread_fanout_start[net as usize + 1] as usize;
+                for k in ms..me {
+                    self.schedule_node(self.memread_fanout_list[k]);
+                }
+            }
+        }
+        n
+    }
+
     fn eval_node(&mut self, idx: u32) {
+        self.event_evals += 1;
         let policy = self.config.policy;
         match self.nodes[idx as usize] {
             CombNode::Gate(g) => {
@@ -634,7 +1056,12 @@ impl<'n> Simulator<'n> {
 
     /// Resolves a memory read at a possibly-unknown address: the
     /// conservative merge of every word the address could select.
-    fn mem_read_resolve(&self, mem_index: usize, addr: &Word) -> Word {
+    ///
+    /// The fully-unknown-address case (`AddrSet::All`) is served from a
+    /// per-memory cache of the all-words merge, maintained incrementally by
+    /// [`Simulator::commit_mem_write`] — without it, every event on such a
+    /// read port rescans the whole array (O(depth) per event).
+    fn mem_read_resolve(&mut self, mem_index: usize, addr: &Word) -> Word {
         let mem = &self.mems[mem_index];
         match enumerate_addresses(addr, mem.depth(), self.config.max_addr_enum_bits) {
             AddrSet::None => Word::xs(mem.width()),
@@ -652,14 +1079,22 @@ impl<'n> Simulator<'n> {
                     }
                 }
             }
-            AddrSet::All => {
-                let mut acc = mem.word(0);
-                for a in 1..mem.depth() {
-                    acc = acc.merge(&mem.word(a));
-                }
-                acc
-            }
+            AddrSet::All => self.mem_all_merge(mem_index),
         }
+    }
+
+    /// The conservative merge of every word of memory `mem_index`, cached.
+    fn mem_all_merge(&mut self, mem_index: usize) -> Word {
+        if let Some(w) = &self.mem_all_merge[mem_index] {
+            return w.clone();
+        }
+        let mem = &self.mems[mem_index];
+        let mut acc = mem.word(0);
+        for a in 1..mem.depth() {
+            acc = acc.merge(&mem.word(a));
+        }
+        self.mem_all_merge[mem_index] = Some(acc.clone());
+        acc
     }
 
     fn commit_mem_write(&mut self, mem_index: usize, addr: &Word, data: &Word, we: Value) {
@@ -684,10 +1119,21 @@ impl<'n> Simulator<'n> {
                         self.mems[mem_index].merge_word(a, data);
                     }
                 }
+                if exact {
+                    // the overwrite can remove information: recompute lazily
+                    self.mem_all_merge[mem_index] = None;
+                } else if let Some(w) = self.mem_all_merge[mem_index].take() {
+                    // merging `data` into any word only widens the all-words
+                    // merge by exactly `merge(data)`: join is incremental
+                    self.mem_all_merge[mem_index] = Some(w.merge(data));
+                }
             }
             AddrSet::All => {
                 for a in 0..depth {
                     self.mems[mem_index].merge_word(a, data);
+                }
+                if let Some(w) = self.mem_all_merge[mem_index].take() {
+                    self.mem_all_merge[mem_index] = Some(w.merge(data));
                 }
             }
         }
@@ -798,6 +1244,94 @@ impl<'n> Simulator<'n> {
         }
         HaltReason::MaxCycles
     }
+}
+
+/// Flattens a per-key adjacency list into CSR form: `list[start[k]..
+/// start[k + 1]]` holds key `k`'s entries. The hot loops walk these once
+/// per value change, where the nested-`Vec` form costs a pointer chase
+/// per key.
+fn flatten_csr<T: Copy>(nested: &[Vec<T>]) -> (Vec<u32>, Vec<T>) {
+    let mut start = Vec::with_capacity(nested.len() + 1);
+    let mut list = Vec::with_capacity(nested.iter().map(Vec::len).sum());
+    start.push(0);
+    for row in nested {
+        list.extend_from_slice(row);
+        start.push(list.len() as u32);
+    }
+    (start, list)
+}
+
+/// Compiles the levelized netlist into per-level instruction tapes: each
+/// level's gates sorted by kind and chunked into [`GateBatch`]es of up to
+/// 64 lanes, so [`Simulator::run_level_batch`] evaluates a level with a
+/// handful of word-ops instead of per-gate dispatch. Alongside the batches
+/// it builds the net -> operand-bit subscriber map that keeps the batch
+/// operand planes current (see [`Simulator::update_packed`]).
+fn compile_tapes(
+    netlist: &Netlist,
+    nodes: &[CombNode],
+    level: &[u32],
+    max_level: u32,
+) -> (
+    Vec<LevelTape>,
+    Vec<GateBatch>,
+    Vec<u32>,
+    Vec<Vec<PackedSub>>,
+) {
+    let mut tapes = vec![LevelTape::default(); max_level as usize + 1];
+    let mut batches: Vec<GateBatch> = Vec::new();
+    let mut node_batch = vec![u32::MAX; nodes.len()];
+    let mut subs: Vec<Vec<PackedSub>> = vec![Vec::new(); netlist.net_count()];
+    let mut gates_per_level: Vec<Vec<u32>> = vec![Vec::new(); max_level as usize + 1];
+    for (i, &node) in nodes.iter().enumerate() {
+        let lvl = level[i] as usize;
+        tapes[lvl].node_count += 1;
+        if matches!(node, CombNode::Gate(_)) {
+            gates_per_level[lvl].push(i as u32);
+        }
+    }
+    let kind_of = |i: u32| {
+        let CombNode::Gate(g) = nodes[i as usize] else {
+            unreachable!("gates_per_level holds only gate nodes")
+        };
+        netlist.gate(g).kind
+    };
+    for (lvl, mut gate_nodes) in gates_per_level.into_iter().enumerate() {
+        tapes[lvl].first_batch = batches.len() as u32;
+        // kind-major, node-index-minor: full 64-lane batches that span few
+        // distinct kinds (one masked evaluation per kind present), in a
+        // stable order
+        gate_nodes.sort_by_key(|&i| (kind_of(i), i));
+        for chunk in gate_nodes.chunks(64) {
+            let bi = batches.len() as u32;
+            let mut batch = GateBatch {
+                kinds: Vec::new(),
+                node: Vec::with_capacity(chunk.len()),
+                out: Vec::with_capacity(chunk.len()),
+            };
+            for (lane, &ni) in chunk.iter().enumerate() {
+                let CombNode::Gate(g) = nodes[ni as usize] else {
+                    unreachable!()
+                };
+                let gate = netlist.gate(g);
+                batch.node.push(ni);
+                batch.out.push(gate.output.0);
+                node_batch[ni as usize] = bi;
+                match batch.kinds.last_mut() {
+                    Some((k, mask)) if *k == gate.kind => *mask |= 1 << lane,
+                    _ => batch.kinds.push((gate.kind, 1 << lane)),
+                }
+                let lane = lane as u32;
+                subs[gate.output.0 as usize].push(bi << 8 | SUB_OUT << 6 | lane);
+                for (pin, p) in gate.inputs.iter().enumerate() {
+                    subs[p.0 as usize].push(bi << 8 | (pin as u32) << 6 | lane);
+                }
+            }
+            batches.push(batch);
+        }
+        tapes[lvl].batch_count = batches.len() as u32 - tapes[lvl].first_batch;
+    }
+    (tapes, batches, node_batch, subs)
 }
 
 enum AddrSet {
