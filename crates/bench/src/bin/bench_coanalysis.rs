@@ -12,13 +12,24 @@
 //! results (the batched kernel must only change speed, never results) and
 //! records both throughputs so the speedup is visible in-repo.
 //!
-//! `--smoke` runs only the smallest pair in `event` and `batch` modes and
-//! writes no file: the CI divergence check.
+//! Modes and observability flags:
+//!
+//! * `--smoke` runs only the smallest pair in `event` and `batch` modes and
+//!   writes no bench file: the CI divergence check.
+//! * `--pair cpu/bench` (e.g. `dr5/binsearch`) runs that single pair once
+//!   (`--eval-mode`, default hybrid) and prints the report as JSON.
+//! * `--log-format pretty|json`, `--log-level L` configure the trace layer;
+//!   `--heartbeat-secs S` emits NDJSON progress (to `--progress-out` or
+//!   stderr); `--metrics-out FILE` writes the metrics snapshot of the last
+//!   run. Every run gets a fresh registry — one registry serves one run, so
+//!   cross-mode identity checks stay exact.
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use symsim_bench::{run_experiment, CpuKind};
 use symsim_core::{CoAnalysisConfig, CoAnalysisReport};
+use symsim_obs::{info, Heartbeat, HeartbeatOut, MetricsRegistry};
 use symsim_sim::{cow_clone_stats, reset_cow_clone_stats, EvalMode, MemArray, SimConfig};
 
 /// The (cpu, benchmark) pairs measured: small enough to run in CI, big
@@ -32,7 +43,80 @@ const RUNS: [(CpuKind, &str); 3] = [
 /// The pair used by `--smoke` (the fastest of [`RUNS`]).
 const SMOKE: (CpuKind, &str) = (CpuKind::Omsp16, "div");
 
-fn run_mode(kind: CpuKind, bench: &str, mode: EvalMode) -> CoAnalysisReport {
+#[derive(Default)]
+struct Opts {
+    smoke: bool,
+    pair: Option<(CpuKind, String)>,
+    eval_mode: Option<EvalMode>,
+    metrics_out: Option<String>,
+    heartbeat_secs: f64,
+    progress_out: Option<String>,
+}
+
+fn parse_cpu(name: &str) -> CpuKind {
+    match name {
+        "omsp16" => CpuKind::Omsp16,
+        "bm32" => CpuKind::Bm32,
+        "dr5" => CpuKind::Dr5,
+        other => panic!("unknown cpu \"{other}\" (expected omsp16, bm32, or dr5)"),
+    }
+}
+
+fn parse_opts() -> Opts {
+    let mut opts = Opts::default();
+    let mut level = symsim_obs::Level::Info;
+    let mut format = symsim_obs::LogFormat::Pretty;
+    let mut args = std::env::args().skip(1);
+    let value = |flag: &str, args: &mut dyn Iterator<Item = String>| -> String {
+        args.next()
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--pair" => {
+                let spec = value("--pair", &mut args);
+                let (cpu, bench) = spec
+                    .split_once('/')
+                    .unwrap_or_else(|| panic!("--pair expects cpu/bench, got \"{spec}\""));
+                opts.pair = Some((parse_cpu(cpu), bench.to_string()));
+            }
+            "--eval-mode" => {
+                opts.eval_mode = Some(
+                    value("--eval-mode", &mut args)
+                        .parse()
+                        .expect("--eval-mode"),
+                );
+            }
+            "--metrics-out" => opts.metrics_out = Some(value("--metrics-out", &mut args)),
+            "--heartbeat-secs" => {
+                opts.heartbeat_secs = value("--heartbeat-secs", &mut args)
+                    .parse()
+                    .expect("--heartbeat-secs");
+            }
+            "--progress-out" => opts.progress_out = Some(value("--progress-out", &mut args)),
+            "--log-level" => {
+                level = value("--log-level", &mut args)
+                    .parse()
+                    .expect("--log-level")
+            }
+            "--log-format" => {
+                format = value("--log-format", &mut args)
+                    .parse()
+                    .expect("--log-format");
+            }
+            other => panic!("unknown flag \"{other}\""),
+        }
+    }
+    symsim_obs::trace::init(level, format, None);
+    opts
+}
+
+/// Runs one (cpu, bench, mode) co-analysis with a fresh registry and,
+/// when requested, a heartbeat. Successive runs append to `--progress-out`
+/// so one invocation yields one NDJSON stream.
+fn run_mode(kind: CpuKind, bench: &str, mode: EvalMode, opts: &Opts) -> CoAnalysisReport {
+    let registry = Arc::new(MetricsRegistry::new(1));
     let config = CoAnalysisConfig {
         // one worker: path creation order (and thus CSM coverage) is
         // deterministic, so cross-mode identity is a meaningful check
@@ -41,9 +125,37 @@ fn run_mode(kind: CpuKind, bench: &str, mode: EvalMode) -> CoAnalysisReport {
             eval_mode: mode,
             ..SimConfig::default()
         },
+        metrics: Some(Arc::clone(&registry)),
         ..CoAnalysisConfig::default()
     };
-    run_experiment(kind, bench, config).report
+    let heartbeat = if opts.heartbeat_secs > 0.0 {
+        let out = match &opts.progress_out {
+            Some(path) => {
+                let file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .expect("open --progress-out");
+                HeartbeatOut::Writer(Box::new(file))
+            }
+            None => HeartbeatOut::Stderr,
+        };
+        Some(Heartbeat::start(
+            Arc::clone(&registry),
+            Duration::from_secs_f64(opts.heartbeat_secs),
+            out,
+        ))
+    } else {
+        None
+    };
+    let report = run_experiment(kind, bench, config).report;
+    if let Some(hb) = heartbeat {
+        hb.stop();
+    }
+    if let Some(path) = &opts.metrics_out {
+        std::fs::write(path, report.metrics.to_json()).expect("write --metrics-out");
+    }
+    report
 }
 
 /// Panics if `other` diverged from the event-mode reference — the batched
@@ -76,7 +188,7 @@ fn entry(kind: CpuKind, bench: &str, mode: EvalMode, r: &CoAnalysisReport) -> St
         "    {{ \"cpu\": \"{}\", \"bench\": \"{}\", \"eval_mode\": \"{}\", \
          \"paths_created\": {}, \"paths_dropped\": {}, \"simulated_cycles\": {}, \
          \"batched_level_evals\": {}, \"event_evals\": {}, \"wall_seconds\": {:.6}, \
-         \"cycles_per_sec\": {:.1}, \"paths_per_sec\": {:.1} }}",
+         \"cycles_per_sec\": {:.1}, \"paths_per_sec\": {:.1}, \"metrics\": {} }}",
         kind.name(),
         bench,
         mode.name(),
@@ -88,20 +200,38 @@ fn entry(kind: CpuKind, bench: &str, mode: EvalMode, r: &CoAnalysisReport) -> St
         secs,
         r.simulated_cycles as f64 / secs,
         r.paths_simulated as f64 / secs,
+        r.metrics.to_json_compact(),
     )
 }
 
 fn main() {
-    if std::env::args().any(|a| a == "--smoke") {
+    let opts = parse_opts();
+
+    if let Some((kind, bench)) = &opts.pair {
+        let mode = opts.eval_mode.unwrap_or(EvalMode::Hybrid);
+        info!(
+            "bench",
+            { cpu = kind.name(), bench = bench.as_str(), mode = mode.name() },
+            "single-pair co-analysis: {} / {bench} ({})", kind.name(), mode.name()
+        );
+        let report = run_mode(*kind, bench, mode, &opts);
+        println!("{}", report.to_json());
+        return;
+    }
+
+    if opts.smoke {
         let (kind, bench) = SMOKE;
-        eprintln!(
+        info!(
+            "bench",
             "smoke: {} / {bench} in event and batch modes...",
             kind.name()
         );
-        let event = run_mode(kind, bench, EvalMode::Event);
-        let batch = run_mode(kind, bench, EvalMode::Batch);
+        let event = run_mode(kind, bench, EvalMode::Event, &opts);
+        let batch = run_mode(kind, bench, EvalMode::Batch, &opts);
         assert_equivalent(kind, bench, &event, &batch, EvalMode::Batch);
-        eprintln!(
+        info!(
+            "bench",
+            { cycles = event.simulated_cycles, exercisable = event.exercisable_gates },
             "smoke ok: {} cycles, {} gates exercisable in both modes",
             event.simulated_cycles, event.exercisable_gates
         );
@@ -110,14 +240,19 @@ fn main() {
 
     let mut entries = Vec::new();
     for (kind, bench) in RUNS {
-        eprintln!("co-analysis: {} / {bench} (event)...", kind.name());
-        let event = run_mode(kind, bench, EvalMode::Event);
-        eprintln!("co-analysis: {} / {bench} (hybrid)...", kind.name());
-        let hybrid = run_mode(kind, bench, EvalMode::Hybrid);
+        info!("bench", "co-analysis: {} / {bench} (event)...", kind.name());
+        let event = run_mode(kind, bench, EvalMode::Event, &opts);
+        info!(
+            "bench",
+            "co-analysis: {} / {bench} (hybrid)...",
+            kind.name()
+        );
+        let hybrid = run_mode(kind, bench, EvalMode::Hybrid, &opts);
         assert_equivalent(kind, bench, &event, &hybrid, EvalMode::Hybrid);
         let speedup =
             event.wall_time.as_secs_f64().max(1e-9) / hybrid.wall_time.as_secs_f64().max(1e-9);
-        eprintln!(
+        info!(
+            "bench",
             "  {} / {bench}: {:.1} -> {:.1} cycles/sec ({speedup:.2}x)",
             kind.name(),
             event.simulated_cycles as f64 / event.wall_time.as_secs_f64().max(1e-9),
@@ -137,7 +272,7 @@ fn main() {
     let snap = snapshot_cost();
     let json = format!("{{\n  \"runs\": [\n{runs}\n  ],\n  \"snapshot\": {snap}\n}}\n");
     std::fs::write("BENCH_coanalysis.json", &json).expect("write BENCH_coanalysis.json");
-    eprintln!("wrote BENCH_coanalysis.json");
+    info!("bench", "wrote BENCH_coanalysis.json");
     print!("{json}");
 }
 

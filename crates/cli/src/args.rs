@@ -53,6 +53,15 @@ impl Args {
                 .map_err(|_| format!("--{name}: bad number \"{v}\"")),
         }
     }
+
+    pub fn get_f64(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: bad number \"{v}\"")),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -70,6 +79,7 @@ mod tests {
         assert_eq!(a.get("pc"), Some("pc"));
         assert_eq!(a.get_usize("workers", 1).unwrap(), 4);
         assert_eq!(a.get_usize("missing", 7).unwrap(), 7);
+        assert_eq!(a.get_f64("missing-f", 0.5).unwrap(), 0.5);
         assert!(a.require("nope").is_err());
     }
 

@@ -1,10 +1,13 @@
 //! Subcommand implementations.
 
 use std::fs;
+use std::sync::Arc;
+use std::time::Duration;
 
 use symsim_core::{CoAnalysis, CoAnalysisConfig, CsmPolicy, DesignInterface};
 use symsim_logic::Word;
 use symsim_netlist::{Netlist, NetlistStats};
+use symsim_obs::{info, warn, Heartbeat, HeartbeatOut, Level, LogFormat, MetricsRegistry};
 use symsim_sim::{EvalMode, HaltReason, MonitorSpec, SimConfig, Simulator, ToggleProfile};
 
 use crate::args::Args;
@@ -34,6 +37,15 @@ usage:
                   [--max-faults N] [--observe net,net,...]
   symsim convert  <design.{v,blif}> --out <design.{v,blif}>
 
+every command also accepts the observability flags:
+  --log-level error|warn|info|debug|trace   (default info)
+  --log-format pretty|json                  (default pretty; json makes
+                                             diagnostics NDJSON and analyze
+                                             print its report as JSON)
+  --metrics-out FILE      (analyze) write the end-of-run metrics snapshot
+  --heartbeat-secs S      (analyze) emit NDJSON progress every S seconds
+  --progress-out FILE     (analyze) heartbeat destination (default stderr)
+
 designs are read as BLIF when the file ends in .blif, else as structural
 Verilog";
 
@@ -41,21 +53,70 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
     let Some((cmd, rest)) = argv.split_first() else {
         return Err(USAGE.into());
     };
+    if matches!(cmd.as_str(), "help" | "--help" | "-h") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let args = Args::parse(rest)?;
+    init_obs(&args)?;
     match cmd.as_str() {
-        "stats" => stats(&Args::parse(rest)?),
-        "lint" => lint_cmd(&Args::parse(rest)?),
-        "dot" => dot_cmd(&Args::parse(rest)?),
-        "analyze" => analyze(&Args::parse(rest)?),
-        "bespoke" => bespoke(&Args::parse(rest)?),
-        "simulate" => simulate(&Args::parse(rest)?),
-        "fault" => fault_cmd(&Args::parse(rest)?),
-        "convert" => convert(&Args::parse(rest)?),
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            Ok(())
-        }
+        "stats" => stats(&args),
+        "lint" => lint_cmd(&args),
+        "dot" => dot_cmd(&args),
+        "analyze" => analyze(&args),
+        "bespoke" => bespoke(&args),
+        "simulate" => simulate(&args),
+        "fault" => fault_cmd(&args),
+        "convert" => convert(&args),
         other => Err(format!("unknown command \"{other}\"\n{USAGE}")),
     }
+}
+
+/// Whether `--log-format json` is active (machine-parseable output mode).
+fn json_mode(args: &Args) -> bool {
+    args.get("log-format") == Some("json")
+}
+
+/// Installs the trace sink from `--log-level` / `--log-format` before the
+/// command runs. Without the flags this matches the built-in default
+/// (pretty, info, stderr), so diagnostics look unchanged.
+fn init_obs(args: &Args) -> Result<(), String> {
+    let level: Level = args
+        .get("log-level")
+        .unwrap_or("info")
+        .parse()
+        .map_err(|e| format!("--log-level: {e}"))?;
+    let format: LogFormat = args
+        .get("log-format")
+        .unwrap_or("pretty")
+        .parse()
+        .map_err(|e| format!("--log-format: {e}"))?;
+    symsim_obs::trace::init(level, format, None);
+    Ok(())
+}
+
+/// Starts the heartbeat thread when `--heartbeat-secs` is given; records go
+/// to `--progress-out` or stderr.
+fn start_heartbeat(
+    args: &Args,
+    registry: &Arc<MetricsRegistry>,
+) -> Result<Option<Heartbeat>, String> {
+    let secs = args.get_f64("heartbeat-secs", 0.0)?;
+    if secs <= 0.0 {
+        return Ok(None);
+    }
+    let out = match args.get("progress-out") {
+        Some(path) => {
+            let file = fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            HeartbeatOut::Writer(Box::new(std::io::BufWriter::new(file)))
+        }
+        None => HeartbeatOut::Stderr,
+    };
+    Ok(Some(Heartbeat::start(
+        Arc::clone(registry),
+        Duration::from_secs_f64(secs),
+        out,
+    )))
 }
 
 /// Reads a design in either supported format, selected by extension
@@ -121,7 +182,7 @@ fn dot_cmd(args: &Args) -> Result<(), String> {
     match args.get("out") {
         Some(path) => {
             fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
-            println!("wrote {path}");
+            info!("dot", "wrote {path}");
         }
         None => print!("{text}"),
     }
@@ -290,6 +351,8 @@ fn analyze(args: &Args) -> Result<(), String> {
     // --tagged yes: inputs become identified symbols and gates simplify on
     // recombination (paper Fig. 4 left)
     let tagged = args.get("tagged").is_some();
+    let workers = args.get_usize("workers", 1)?.max(1);
+    let registry = Arc::new(MetricsRegistry::new(workers));
     let config = CoAnalysisConfig {
         sim: SimConfig {
             policy: if tagged {
@@ -306,36 +369,65 @@ fn analyze(args: &Args) -> Result<(), String> {
         max_cycles_per_segment: args.get_u64("max-cycles", 200_000)?,
         max_paths: args.get_usize("max-paths", 100_000)?,
         max_split_signals: args.get_usize("max-split", 6)?,
-        workers: args.get_usize("workers", 1)?,
+        workers,
         activity_weights: if args.get("power").is_some() {
             Some(symsim_power::switching_weights(&netlist))
         } else {
             None
         },
+        metrics: Some(Arc::clone(&registry)),
     };
 
+    let heartbeat = start_heartbeat(args, &registry)?;
     let analysis = CoAnalysis::new(&netlist, iface, config);
     let report = analysis.run(|sim| setup.apply(sim, true, tagged));
-    println!("{report}");
+    if let Some(hb) = heartbeat {
+        hb.stop();
+    }
+
+    if json_mode(args) {
+        println!("{}", report.to_json());
+    } else {
+        println!("{report}");
+        println!(
+            "paths: {} dropped by the path cap; evals: {} batched-level, {} event",
+            report.paths_dropped, report.batched_level_evals, report.event_evals
+        );
+    }
     if !report.converged() {
-        eprintln!(
-            "warning: {} paths exhausted the cycle budget — raise --max-cycles",
+        warn!(
+            "analyze",
+            { budget_exhausted = report.paths_budget_exhausted, dropped = report.paths_dropped },
+            "{} paths exhausted the cycle budget — raise --max-cycles",
             report.paths_budget_exhausted
         );
     }
     if let Some(power) = symsim_power::PowerReport::from_report(&report) {
-        println!("power: {power}");
         let slack = symsim_power::timing_slack(&netlist, &report.profile);
-        println!(
-            "timing: exercised depth {} of {} levels ({:.0}% headroom)",
-            slack.exercised_depth,
-            slack.design_depth,
-            slack.headroom() * 100.0
-        );
+        if json_mode(args) {
+            info!("analyze.power", "power: {power}");
+            info!(
+                "analyze.timing",
+                { exercised_depth = slack.exercised_depth, design_depth = slack.design_depth },
+                "exercised depth {} of {} levels", slack.exercised_depth, slack.design_depth
+            );
+        } else {
+            println!("power: {power}");
+            println!(
+                "timing: exercised depth {} of {} levels ({:.0}% headroom)",
+                slack.exercised_depth,
+                slack.design_depth,
+                slack.headroom() * 100.0
+            );
+        }
+    }
+    if let Some(out) = args.get("metrics-out") {
+        fs::write(out, report.metrics.to_json()).map_err(|e| format!("cannot write {out}: {e}"))?;
+        info!("analyze", "wrote metrics snapshot to {out}");
     }
     if let Some(out) = args.get("profile-out") {
         fs::write(out, report.profile.to_text()).map_err(|e| format!("cannot write {out}: {e}"))?;
-        println!("wrote activity profile to {out}");
+        info!("analyze", "wrote activity profile to {out}");
     }
     Ok(())
 }
@@ -365,7 +457,7 @@ fn bespoke(args: &Args) -> Result<(), String> {
     if let Some(out) = args.get("out") {
         fs::write(out, symsim_verilog::write_netlist(&result.netlist))
             .map_err(|e| format!("cannot write {out}: {e}"))?;
-        println!("wrote bespoke netlist to {out}");
+        info!("bespoke", "wrote bespoke netlist to {out}");
     }
     Ok(())
 }
@@ -412,7 +504,7 @@ fn simulate(args: &Args) -> Result<(), String> {
                 break;
             }
         }
-        println!("wrote waveform to {vcd_path}");
+        info!("simulate", "wrote waveform to {vcd_path}");
         reason
     } else {
         sim.run(cycles)
@@ -440,7 +532,9 @@ fn convert(args: &Args) -> Result<(), String> {
         symsim_verilog::write_netlist(&netlist)
     };
     fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
-    println!(
+    info!(
+        "convert",
+        { gates = netlist.gate_count(), dffs = netlist.dff_count() },
         "wrote {out} ({} gates, {} flip-flops)",
         netlist.gate_count(),
         netlist.dff_count()
@@ -468,7 +562,9 @@ fn fault_cmd(args: &Args) -> Result<(), String> {
         // deterministic thinning keeps the sample spread across the design
         let stride = faults.len().div_ceil(max_faults);
         faults = faults.into_iter().step_by(stride).collect();
-        println!(
+        info!(
+            "fault",
+            { graded = faults.len() },
             "grading a deterministic sample of {} faults (--max-faults)",
             faults.len()
         );

@@ -23,7 +23,9 @@ fn main() -> ExitCode {
     match commands::dispatch(&argv) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("symsim: {e}");
+            // routed through the trace layer so --log-format json keeps even
+            // failures machine-parseable (one NDJSON line on stderr)
+            symsim_obs::error!("symsim", "{e}");
             ExitCode::FAILURE
         }
     }

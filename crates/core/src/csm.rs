@@ -1,7 +1,9 @@
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use symsim_logic::Value;
 use symsim_netlist::NetId;
+use symsim_obs::{debug, CounterId, GaugeId, MetricsRegistry};
 use symsim_sim::SimState;
 
 /// How conservative states are formed (paper Fig. 3).
@@ -130,6 +132,10 @@ pub struct ConservativeStateManager {
     covered: usize,
     widenings: usize,
     cover_checks_elided: usize,
+    /// Mirrors the counters above into the shared registry. The CSM is
+    /// accessed under the explorer's lock, so shard 0 is single-writer here
+    /// and `gauge_set` for the repository-size gauges is safe.
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl ConservativeStateManager {
@@ -147,6 +153,14 @@ impl ConservativeStateManager {
     /// Installs application constraints applied to every formed state.
     pub fn set_constraints(&mut self, constraints: Vec<StateConstraint>) {
         self.constraints = constraints;
+    }
+
+    /// Mirrors observation/coverage/widening counts and repository-size
+    /// gauges into `registry` (shard 0) on every [`observe`] call.
+    ///
+    /// [`observe`]: ConservativeStateManager::observe
+    pub fn set_metrics(&mut self, registry: Arc<MetricsRegistry>) {
+        self.metrics = Some(registry);
     }
 
     /// The active policy.
@@ -202,6 +216,17 @@ impl ConservativeStateManager {
         self.cover_checks_elided += elided;
         if covered {
             self.covered += 1;
+            if let Some(m) = &self.metrics {
+                let shard = m.shard(0);
+                shard.inc(CounterId::CsmObservations);
+                shard.add(CounterId::CsmCoverChecksElided, elided as u64);
+                shard.inc(CounterId::CsmCovered);
+            }
+            debug!(
+                "csm.cover",
+                { unknown_bits = incoming_unknowns },
+                "state subset-covered; path requires no further simulation"
+            );
             return Observation::Covered;
         }
         self.widenings += 1;
@@ -241,7 +266,21 @@ impl ConservativeStateManager {
             }
             entry[formed_index] = Slot::new(constrained);
         }
-        Observation::NewConservative(entry[formed_index].state.clone())
+        let formed = entry[formed_index].state.clone();
+        if let Some(m) = &self.metrics {
+            let shard = m.shard(0);
+            shard.inc(CounterId::CsmObservations);
+            shard.add(CounterId::CsmCoverChecksElided, elided as u64);
+            shard.inc(CounterId::CsmWidenings);
+            shard.gauge_set(GaugeId::CsmStoredStates, self.stored_states() as i64);
+            shard.gauge_set(GaugeId::CsmDistinctPcs, self.distinct_pcs() as i64);
+        }
+        debug!(
+            "csm.widen",
+            { slot = formed_index, unknown_bits = unknown_count(&formed) },
+            "formed conservative superstate; simulation continues from it"
+        );
+        Observation::NewConservative(formed)
     }
 }
 

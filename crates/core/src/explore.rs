@@ -1,9 +1,12 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use symsim_logic::{Value, Word};
 use symsim_netlist::{NetId, Netlist};
+use symsim_obs::{
+    debug, info, trace, CounterId, GaugeId, HistogramId, MetricsRegistry, DIRTY_PCT_BUCKETS,
+};
 use symsim_sim::{HaltReason, MonitorSpec, SimConfig, SimState, Simulator, ToggleProfile};
 
 use crate::csm::{ConservativeStateManager, CsmKey, CsmPolicy, Observation, StateConstraint};
@@ -54,6 +57,11 @@ pub struct CoAnalysisConfig {
     /// [`symsim_sim::ActivityStats`] and the report carries the merged
     /// statistics (for peak-power/energy analysis).
     pub activity_weights: Option<Vec<f64>>,
+    /// Shared metrics registry for live progress (heartbeat) visibility.
+    /// When `None` the run creates a private one; the final snapshot is
+    /// embedded in the report either way. A registry must serve exactly
+    /// one run: reusing it across runs sums their counters.
+    pub metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl Default for CoAnalysisConfig {
@@ -67,6 +75,7 @@ impl Default for CoAnalysisConfig {
             max_split_signals: 6,
             workers: 1,
             activity_weights: None,
+            metrics: None,
         }
     }
 }
@@ -91,18 +100,9 @@ struct Task {
     forces: Vec<(NetId, Value)>,
 }
 
-#[derive(Debug, Default)]
-struct Counters {
-    created: AtomicUsize,
-    dropped: AtomicUsize,
-    skipped: AtomicUsize,
-    finished: AtomicUsize,
-    budget_exhausted: AtomicUsize,
-    simulated: AtomicUsize,
-    cycles: AtomicUsize,
-    batched_level_evals: AtomicUsize,
-    event_evals: AtomicUsize,
-}
+// the engine and the registry accumulate the dirty-fraction distribution
+// with the same decile bucket layout; folding relies on that
+const _: () = assert!(DIRTY_PCT_BUCKETS == symsim_sim::DIRTY_PCT_BUCKETS);
 
 /// Algorithm 1 of the paper: symbolic hardware-software co-analysis.
 ///
@@ -142,21 +142,37 @@ impl<'n> CoAnalysis<'n> {
         F: Fn(&mut Simulator<'_>) + Sync,
     {
         let start = Instant::now();
-        let counters = Counters::default();
+        let _span = trace::span("analysis");
+        let workers = self.config.workers.max(1);
+        let registry = self
+            .config
+            .metrics
+            .clone()
+            .unwrap_or_else(|| Arc::new(MetricsRegistry::new(workers)));
+        // the path cap is enforced with a CAS grant loop on this dedicated
+        // counter; every grant is mirrored into the sharded registry, so the
+        // sharded sum equals the clamp total exactly
+        let created = AtomicUsize::new(0);
         let csm = Mutex::new({
             let mut c = ConservativeStateManager::new(self.config.policy);
             c.set_constraints(self.config.constraints.clone());
+            c.set_metrics(Arc::clone(&registry));
             c
         });
+        info!(
+            "analysis.start",
+            { design = self.netlist.name.as_str(), workers = workers, max_paths = self.config.max_paths },
+            "co-analysis of {} starting", self.netlist.name
+        );
 
         // root task from a freshly prepared simulator
         let root_state = {
             let mut sim = self.make_sim(&prepare);
             sim.save_state()
         };
-        counters.created.fetch_add(1, Ordering::Relaxed);
-        let workers = self.config.workers.max(1);
-        let queue: WorkQueue<Task> = WorkQueue::new(workers);
+        created.fetch_add(1, Ordering::Relaxed);
+        registry.shard(0).inc(CounterId::PathsCreated);
+        let queue: WorkQueue<Task> = WorkQueue::with_metrics(workers, Arc::clone(&registry));
         queue.inject(Task {
             state: root_state,
             forces: Vec::new(),
@@ -169,20 +185,24 @@ impl<'n> CoAnalysis<'n> {
             for w in 0..workers {
                 let queue = &queue;
                 let csm = &csm;
-                let counters = &counters;
+                let created = &created;
+                let registry = &registry;
                 let profiles = &profiles;
                 let activities = &activities;
                 let prepare = &prepare;
                 scope.spawn(move || {
                     let mut sim = self.make_sim(prepare);
-                    self.worker_loop(w, &mut sim, queue, csm, counters);
-                    let (batched, scalar) = sim.eval_stats();
-                    counters
-                        .batched_level_evals
-                        .fetch_add(batched as usize, Ordering::Relaxed);
-                    counters
-                        .event_evals
-                        .fetch_add(scalar as usize, Ordering::Relaxed);
+                    self.worker_loop(w, &mut sim, queue, csm, created, registry);
+                    // engine statistics are plain fields (no hot-path
+                    // atomics); each worker drains its own once at exit
+                    let stats = sim.engine_stats();
+                    let shard = registry.shard(w);
+                    shard.add(CounterId::BatchedLevelEvals, stats.batched_level_evals);
+                    shard.add(CounterId::EventEvals, stats.event_evals);
+                    shard.add(CounterId::ForcedWrites, stats.forced_writes);
+                    for (bucket, &n) in stats.dirty_pct_hist.iter().enumerate() {
+                        shard.observe_bucket(HistogramId::DirtyFractionPct, bucket, n);
+                    }
                     if let Some(p) = sim.take_toggle_profile() {
                         profiles.lock().unwrap().push(p);
                     }
@@ -206,22 +226,29 @@ impl<'n> CoAnalysis<'n> {
             first
         });
         let csm = csm.into_inner().unwrap();
-        CoAnalysisReport::assemble(
-            self.netlist,
-            profile,
-            activity,
-            counters.created.load(Ordering::Relaxed),
-            counters.dropped.load(Ordering::Relaxed),
-            counters.skipped.load(Ordering::Relaxed),
-            counters.finished.load(Ordering::Relaxed),
-            counters.budget_exhausted.load(Ordering::Relaxed),
-            counters.simulated.load(Ordering::Relaxed),
-            counters.cycles.load(Ordering::Relaxed) as u64,
-            csm.distinct_pcs(),
-            counters.batched_level_evals.load(Ordering::Relaxed) as u64,
-            counters.event_evals.load(Ordering::Relaxed) as u64,
-            start.elapsed(),
-        )
+        // the repository-size gauges are updated on widenings only; pin them
+        // to the authoritative values before the final snapshot
+        registry
+            .shard(0)
+            .gauge_set(GaugeId::CsmStoredStates, csm.stored_states() as i64);
+        registry
+            .shard(0)
+            .gauge_set(GaugeId::CsmDistinctPcs, csm.distinct_pcs() as i64);
+        let metrics = registry.snapshot();
+        let report =
+            CoAnalysisReport::assemble(self.netlist, profile, activity, metrics, start.elapsed());
+        info!(
+            "analysis.done",
+            {
+                paths_created = report.paths_created,
+                paths_skipped = report.paths_skipped,
+                paths_finished = report.paths_finished,
+                cycles = report.simulated_cycles,
+                distinct_pcs = report.distinct_pcs
+            },
+            "co-analysis of {} done in {:?}", report.design, report.wall_time
+        );
+        report
     }
 
     fn make_sim<F>(&self, prepare: &F) -> Simulator<'n>
@@ -246,14 +273,16 @@ impl<'n> CoAnalysis<'n> {
         sim: &mut Simulator<'_>,
         queue: &WorkQueue<Task>,
         csm: &Mutex<ConservativeStateManager>,
-        counters: &Counters,
+        created: &AtomicUsize,
+        registry: &Arc<MetricsRegistry>,
     ) {
         while let Some(task) = queue.next_task(worker) {
-            self.run_segment(worker, sim, task, queue, csm, counters);
+            self.run_segment(worker, sim, task, queue, csm, created, registry);
             queue.task_done();
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_segment(
         &self,
         worker: usize,
@@ -261,9 +290,12 @@ impl<'n> CoAnalysis<'n> {
         task: Task,
         queue: &WorkQueue<Task>,
         csm: &Mutex<ConservativeStateManager>,
-        counters: &Counters,
+        created: &AtomicUsize,
+        registry: &Arc<MetricsRegistry>,
     ) -> PathOutcome {
-        counters.simulated.fetch_add(1, Ordering::Relaxed);
+        let _span = trace::span("segment");
+        let shard = registry.shard(worker);
+        shard.inc(CounterId::PathsSimulated);
         sim.load_state(&task.state);
         let seg_start = sim.cycle();
 
@@ -284,11 +316,21 @@ impl<'n> CoAnalysis<'n> {
         };
         let outcome = match reason {
             HaltReason::Finished => {
-                counters.finished.fetch_add(1, Ordering::Relaxed);
+                shard.inc(CounterId::PathsFinished);
+                debug!(
+                    "path.complete",
+                    { worker = worker },
+                    "path ran the application to completion"
+                );
                 PathOutcome::Finished
             }
             HaltReason::MaxCycles => {
-                counters.budget_exhausted.fetch_add(1, Ordering::Relaxed);
+                shard.inc(CounterId::PathsBudgetExhausted);
+                debug!(
+                    "path.budget",
+                    { worker = worker, budget = self.config.max_cycles_per_segment },
+                    "path abandoned on the per-segment cycle budget"
+                );
                 PathOutcome::Budget
             }
             HaltReason::MonitorX { .. } => {
@@ -297,19 +339,24 @@ impl<'n> CoAnalysis<'n> {
                 let observation = csm.lock().unwrap().observe_key(pc_key(&pc), &state);
                 match observation {
                     Observation::Covered => {
-                        counters.skipped.fetch_add(1, Ordering::Relaxed);
+                        shard.inc(CounterId::PathsSkipped);
+                        debug!(
+                            "path.skip",
+                            { worker = worker },
+                            "halted state covered; path skipped"
+                        );
                         PathOutcome::Covered
                     }
                     Observation::NewConservative(cons) => {
-                        let children = self.spawn_children(worker, &cons, queue, counters);
+                        let children = self.spawn_children(worker, &cons, queue, created, registry);
                         PathOutcome::Split(children)
                     }
                 }
             }
         };
-        counters
-            .cycles
-            .fetch_add((sim.cycle() - seg_start) as usize, Ordering::Relaxed);
+        let seg_cycles = sim.cycle() - seg_start;
+        shard.add(CounterId::Cycles, seg_cycles);
+        shard.observe(HistogramId::SegmentCycles, seg_cycles);
         outcome
     }
 
@@ -322,7 +369,8 @@ impl<'n> CoAnalysis<'n> {
         worker: usize,
         cons: &SimState,
         queue: &WorkQueue<Task>,
-        counters: &Counters,
+        created: &AtomicUsize,
+        registry: &Arc<MetricsRegistry>,
     ) -> usize {
         let mut xs: Vec<NetId> = Vec::new();
         if let Some(q) = self.iface.monitor.qualifier {
@@ -346,28 +394,33 @@ impl<'n> CoAnalysis<'n> {
         // claim budget from the path cap *before* materializing children so
         // `paths_created` can never overshoot `max_paths`
         let granted = loop {
-            let created = counters.created.load(Ordering::SeqCst);
-            let remaining = self.config.max_paths.saturating_sub(created);
+            let so_far = created.load(Ordering::SeqCst);
+            let remaining = self.config.max_paths.saturating_sub(so_far);
             let grant = combos.min(remaining);
             if grant == 0 {
                 break 0;
             }
-            if counters
-                .created
-                .compare_exchange(created, created + grant, Ordering::SeqCst, Ordering::SeqCst)
+            if created
+                .compare_exchange(so_far, so_far + grant, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
             {
                 break grant;
             }
         };
+        let shard = registry.shard(worker);
         if granted < combos {
-            counters
-                .dropped
-                .fetch_add(combos - granted, Ordering::Relaxed);
+            shard.add(CounterId::PathsDropped, (combos - granted) as u64);
         }
+        debug!(
+            "path.fork",
+            { worker = worker, children = granted, dropped = combos - granted },
+            "path split at a non-deterministic branch"
+        );
         if granted == 0 {
             return 0;
         }
+        shard.add(CounterId::PathsCreated, granted as u64);
+        shard.observe(HistogramId::SplitFanout, granted as u64);
         queue.push_local(
             worker,
             (0..granted).map(|combo| {
@@ -527,6 +580,41 @@ mod tests {
                 assert!(report.paths_dropped > 0, "cap {cap}: {report:?}");
             }
         }
+    }
+
+    #[test]
+    fn report_fields_match_metrics_snapshot() {
+        let (nl, iface) = branchy_design();
+        let cond = nl.find_net("cond_in").unwrap();
+        let registry = Arc::new(MetricsRegistry::new(4));
+        let config = CoAnalysisConfig {
+            workers: 4,
+            metrics: Some(Arc::clone(&registry)),
+            ..CoAnalysisConfig::default()
+        };
+        let report = CoAnalysis::new(&nl, iface, config).run(|sim| sim.poke(cond, Value::X));
+        let m = &report.metrics;
+        assert_eq!(m.counter("paths_created"), report.paths_created as u64);
+        assert_eq!(m.counter("paths_dropped"), report.paths_dropped as u64);
+        assert_eq!(m.counter("paths_skipped"), report.paths_skipped as u64);
+        assert_eq!(m.counter("paths_finished"), report.paths_finished as u64);
+        assert_eq!(m.counter("cycles"), report.simulated_cycles);
+        assert_eq!(m.counter("batched_level_evals"), report.batched_level_evals);
+        assert_eq!(m.counter("event_evals"), report.event_evals);
+        // the live registry agrees with the embedded snapshot
+        assert_eq!(
+            registry.counter_total(CounterId::PathsCreated),
+            report.paths_created as u64
+        );
+        // every claimed path was released and every queue drained
+        assert_eq!(m.gauge("paths_live"), 0);
+        assert_eq!(m.gauge("paths_queued"), 0);
+        // the CSM gauges carry the authoritative end-of-run values
+        assert_eq!(m.gauge("csm_distinct_pcs"), report.distinct_pcs as i64);
+        // a segment ran for every simulated path
+        let hist = &m.histograms[HistogramId::SegmentCycles as usize];
+        assert_eq!(hist.name, "segment_cycles");
+        assert_eq!(hist.samples, report.paths_simulated as u64);
     }
 
     #[test]

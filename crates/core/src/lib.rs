@@ -20,6 +20,12 @@
 //! The entry point is [`CoAnalysis::run`]; see the `symsim-cpu` crate for
 //! complete processor setups and the repository examples for end-to-end
 //! flows.
+//!
+//! Every stage is instrumented through [`symsim_obs`]: pass a shared
+//! [`symsim_obs::MetricsRegistry`] in [`CoAnalysisConfig::metrics`] to watch
+//! a run live (heartbeat), or read the final snapshot embedded in
+//! [`CoAnalysisReport::metrics`]. The report's path/cycle fields are
+//! populated *from* that snapshot, so the two always agree.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,6 +1,7 @@
 use std::time::Duration;
 
 use symsim_netlist::Netlist;
+use symsim_obs::{JsonObject, MetricsSnapshot};
 use symsim_sim::{ActivityStats, ToggleProfile};
 
 /// The output of a co-analysis run: the exercisable-gate dichotomy and the
@@ -47,44 +48,41 @@ pub struct CoAnalysisReport {
     /// Merged switching-activity statistics (present when
     /// `CoAnalysisConfig::activity_weights` was set).
     pub activity: Option<ActivityStats>,
+    /// Full end-of-run metrics snapshot. The path/cycle fields above are
+    /// *populated from* this snapshot, so `metrics.counter("paths_created")
+    /// == paths_created as u64` holds by construction.
+    pub metrics: MetricsSnapshot,
 }
 
 impl CoAnalysisReport {
-    /// Assembles a report from raw exploration results.
-    #[allow(clippy::too_many_arguments)]
+    /// Assembles a report from an end-of-run metrics snapshot: every path
+    /// and cycle statistic is read from `metrics`, making the report and
+    /// the `--metrics-out` file consistent by construction.
     pub(crate) fn assemble(
         netlist: &Netlist,
         profile: ToggleProfile,
         activity: Option<ActivityStats>,
-        paths_created: usize,
-        paths_dropped: usize,
-        paths_skipped: usize,
-        paths_finished: usize,
-        paths_budget_exhausted: usize,
-        paths_simulated: usize,
-        simulated_cycles: u64,
-        distinct_pcs: usize,
-        batched_level_evals: u64,
-        event_evals: u64,
+        metrics: MetricsSnapshot,
         wall_time: Duration,
     ) -> CoAnalysisReport {
         CoAnalysisReport {
             design: netlist.name.clone(),
             total_gates: netlist.total_gate_count(),
             exercisable_gates: profile.exercisable_gate_count(netlist),
-            paths_created,
-            paths_dropped,
-            paths_skipped,
-            paths_finished,
-            paths_budget_exhausted,
-            paths_simulated,
-            simulated_cycles,
-            distinct_pcs,
-            batched_level_evals,
-            event_evals,
+            paths_created: metrics.counter("paths_created") as usize,
+            paths_dropped: metrics.counter("paths_dropped") as usize,
+            paths_skipped: metrics.counter("paths_skipped") as usize,
+            paths_finished: metrics.counter("paths_finished") as usize,
+            paths_budget_exhausted: metrics.counter("paths_budget_exhausted") as usize,
+            paths_simulated: metrics.counter("paths_simulated") as usize,
+            simulated_cycles: metrics.counter("cycles"),
+            distinct_pcs: metrics.gauge("csm_distinct_pcs") as usize,
+            batched_level_evals: metrics.counter("batched_level_evals"),
+            event_evals: metrics.counter("event_evals"),
             wall_time,
             profile,
             activity,
+            metrics,
         }
     }
 
@@ -102,6 +100,30 @@ impl CoAnalysisReport {
     pub fn converged(&self) -> bool {
         self.paths_budget_exhausted == 0 && self.paths_dropped == 0
     }
+
+    /// The report as a single-line JSON object, embedding the full metrics
+    /// snapshot under `"metrics"`.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str("design", &self.design)
+            .u64("total_gates", self.total_gates as u64)
+            .u64("exercisable_gates", self.exercisable_gates as u64)
+            .f64("reduction_percent", self.reduction_percent())
+            .bool("converged", self.converged())
+            .u64("paths_created", self.paths_created as u64)
+            .u64("paths_dropped", self.paths_dropped as u64)
+            .u64("paths_skipped", self.paths_skipped as u64)
+            .u64("paths_finished", self.paths_finished as u64)
+            .u64("paths_budget_exhausted", self.paths_budget_exhausted as u64)
+            .u64("paths_simulated", self.paths_simulated as u64)
+            .u64("simulated_cycles", self.simulated_cycles)
+            .u64("distinct_pcs", self.distinct_pcs as u64)
+            .u64("batched_level_evals", self.batched_level_evals)
+            .u64("event_evals", self.event_evals)
+            .f64("wall_time_s", self.wall_time.as_secs_f64())
+            .raw("metrics", &self.metrics.to_json_compact());
+        o.finish()
+    }
 }
 
 impl std::fmt::Display for CoAnalysisReport {
@@ -109,16 +131,20 @@ impl std::fmt::Display for CoAnalysisReport {
         write!(
             f,
             "{}: {} / {} gates exercisable ({:.2}% reduction); paths {} created, \
-             {} skipped, {} finished; {} cycles in {:?}",
+             {} dropped, {} skipped, {} finished; {} cycles in {:?}; \
+             evals {} batched-level / {} event",
             self.design,
             self.exercisable_gates,
             self.total_gates,
             self.reduction_percent(),
             self.paths_created,
+            self.paths_dropped,
             self.paths_skipped,
             self.paths_finished,
             self.simulated_cycles,
-            self.wall_time
+            self.wall_time,
+            self.batched_level_evals,
+            self.event_evals,
         )
     }
 }
@@ -148,9 +174,15 @@ mod tests {
             wall_time: Duration::from_millis(5),
             profile,
             activity: None,
+            metrics: MetricsSnapshot::default(),
         };
         assert!((report.reduction_percent() - 25.0).abs() < 1e-9);
         assert!(report.converged());
         assert!(report.to_string().contains("25.00% reduction"));
+        assert!(report.to_string().contains("0 dropped"));
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"paths_created\":3"));
+        assert!(json.contains("\"metrics\":{"));
     }
 }

@@ -18,7 +18,9 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+
+use symsim_obs::{CounterId, GaugeId, MetricsRegistry};
 
 /// A fixed-worker work-stealing queue of tasks of type `T`.
 #[derive(Debug)]
@@ -36,6 +38,9 @@ pub struct WorkQueue<T> {
     cv: Condvar,
     steals: AtomicU64,
     parks: AtomicU64,
+    /// When present, the queue maintains the `paths_queued`/`paths_live`
+    /// gauges and mirrors steal/park counts (heartbeat visibility).
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 impl<T> WorkQueue<T> {
@@ -50,6 +55,18 @@ impl<T> WorkQueue<T> {
             cv: Condvar::new(),
             steals: AtomicU64::new(0),
             parks: AtomicU64::new(0),
+            metrics: None,
+        }
+    }
+
+    /// [`WorkQueue::new`] plus live gauge/counter maintenance in
+    /// `registry`: queue depth and in-flight tasks as up/down gauges,
+    /// steals and parks as counters, each update on the acting worker's
+    /// shard.
+    pub fn with_metrics(workers: usize, registry: Arc<MetricsRegistry>) -> WorkQueue<T> {
+        WorkQueue {
+            metrics: Some(registry),
+            ..WorkQueue::new(workers)
         }
     }
 
@@ -61,6 +78,9 @@ impl<T> WorkQueue<T> {
     /// Pushes a task from outside any worker (used to seed the root task).
     pub fn inject(&self, task: T) {
         self.injector.lock().unwrap().push_back(task);
+        if let Some(m) = &self.metrics {
+            m.shard(0).gauge_add(GaugeId::PathsQueued, 1);
+        }
         self.notify(false);
     }
 
@@ -75,6 +95,10 @@ impl<T> WorkQueue<T> {
             }
         }
         if pushed > 0 {
+            if let Some(m) = &self.metrics {
+                m.shard(worker)
+                    .gauge_add(GaugeId::PathsQueued, pushed as i64);
+            }
             self.notify(pushed > 1);
         }
     }
@@ -91,6 +115,7 @@ impl<T> WorkQueue<T> {
             // "queues empty and nothing active" while we hold the last task
             self.active.fetch_add(1, Ordering::SeqCst);
             if let Some(t) = self.try_pop(worker) {
+                self.note_claimed(worker);
                 return Some(t);
             }
             self.active.fetch_sub(1, Ordering::SeqCst);
@@ -101,6 +126,7 @@ impl<T> WorkQueue<T> {
             // here still counts as an active claim and forces another pass
             self.active.fetch_add(1, Ordering::SeqCst);
             if let Some(t) = self.try_pop(worker) {
+                self.note_claimed(worker);
                 return Some(t);
             }
             if self.active.fetch_sub(1, Ordering::SeqCst) == 1 {
@@ -109,7 +135,20 @@ impl<T> WorkQueue<T> {
                 return None;
             }
             self.parks.fetch_add(1, Ordering::Relaxed);
+            if let Some(m) = &self.metrics {
+                m.shard(worker).inc(CounterId::SchedParks);
+            }
             let _g = self.cv.wait(g).unwrap();
+        }
+    }
+
+    /// A task moved from a queue into a worker's hands: one fewer queued,
+    /// one more live.
+    fn note_claimed(&self, worker: usize) {
+        if let Some(m) = &self.metrics {
+            let shard = m.shard(worker);
+            shard.gauge_add(GaugeId::PathsQueued, -1);
+            shard.gauge_add(GaugeId::PathsLive, 1);
         }
     }
 
@@ -117,6 +156,9 @@ impl<T> WorkQueue<T> {
     /// parked workers when this was the last in-flight task so they can
     /// observe termination.
     pub fn task_done(&self) {
+        if let Some(m) = &self.metrics {
+            m.shard(0).gauge_add(GaugeId::PathsLive, -1);
+        }
         if self.active.fetch_sub(1, Ordering::SeqCst) == 1 {
             self.notify(true);
         }
@@ -145,6 +187,9 @@ impl<T> WorkQueue<T> {
             let victim = (worker + off) % n;
             if let Some(t) = self.locals[victim].lock().unwrap().pop_front() {
                 self.steals.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = &self.metrics {
+                    m.shard(worker).inc(CounterId::SchedSteals);
+                }
                 return Some(t);
             }
         }
@@ -231,6 +276,31 @@ mod tests {
             (1usize << DEPTH) - 1,
             "every node of the depth-{DEPTH} binary tree ran exactly once"
         );
+    }
+
+    #[test]
+    fn metrics_gauges_settle_to_zero_and_mirror_steals() {
+        let registry = Arc::new(MetricsRegistry::new(2));
+        let q: WorkQueue<u32> = WorkQueue::with_metrics(2, Arc::clone(&registry));
+        q.inject(0);
+        assert_eq!(registry.gauge_total(GaugeId::PathsQueued), 1);
+        let _root = q.next_task(0).unwrap();
+        assert_eq!(registry.gauge_total(GaugeId::PathsQueued), 0);
+        assert_eq!(registry.gauge_total(GaugeId::PathsLive), 1);
+        q.push_local(0, [1, 2, 3]);
+        assert_eq!(registry.gauge_total(GaugeId::PathsQueued), 3);
+        assert_eq!(q.next_task(1), Some(1), "thief takes the FIFO end");
+        assert_eq!(registry.counter_total(CounterId::SchedSteals), 1);
+        q.task_done();
+        q.task_done();
+        assert_eq!(q.next_task(0), Some(3));
+        q.task_done();
+        assert_eq!(q.next_task(1), Some(2));
+        q.task_done();
+        assert_eq!(q.next_task(0), None);
+        assert_eq!(q.next_task(1), None);
+        assert_eq!(registry.gauge_total(GaugeId::PathsQueued), 0);
+        assert_eq!(registry.gauge_total(GaugeId::PathsLive), 0);
     }
 
     #[test]

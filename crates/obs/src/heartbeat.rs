@@ -1,0 +1,249 @@
+//! Periodic NDJSON progress records from a shared [`MetricsRegistry`].
+//!
+//! One record per interval plus a guaranteed final record on shutdown, so
+//! a run shorter than the interval still emits at least one line. Schema:
+//! `docs/schema/heartbeat.schema.json`.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::json::JsonObject;
+use crate::metrics::{CounterId, GaugeId, MetricsRegistry};
+
+/// Where heartbeat records go.
+pub enum HeartbeatOut {
+    /// One NDJSON line per beat on standard error.
+    Stderr,
+    /// One NDJSON line per beat to the given writer (`--progress-out`).
+    Writer(Box<dyn Write + Send>),
+}
+
+impl std::fmt::Debug for HeartbeatOut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            HeartbeatOut::Stderr => "Stderr",
+            HeartbeatOut::Writer(_) => "Writer(..)",
+        })
+    }
+}
+
+/// Handle to a running heartbeat thread; emits the final record and joins
+/// on [`Heartbeat::stop`] or drop.
+#[derive(Debug)]
+pub struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    /// Spawns the heartbeat thread. `interval` is clamped to ≥ 10 ms.
+    pub fn start(
+        registry: Arc<MetricsRegistry>,
+        interval: Duration,
+        out: HeartbeatOut,
+    ) -> Heartbeat {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_thread = stop.clone();
+        let interval = interval.max(Duration::from_millis(10));
+        let handle = std::thread::Builder::new()
+            .name("symsim-heartbeat".into())
+            .spawn(move || beat_loop(&registry, interval, out, &stop_thread))
+            .expect("spawn heartbeat thread");
+        Heartbeat {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Signals the thread, which emits one final record (`"final": true`)
+    /// and exits; blocks until it has.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn beat_loop(
+    registry: &MetricsRegistry,
+    interval: Duration,
+    mut out: HeartbeatOut,
+    stop: &AtomicBool,
+) {
+    let started = Instant::now();
+    let mut seq = 0u64;
+    let mut last = Snapshot::take(registry, started);
+    loop {
+        // sleep in short slices so stop() returns promptly
+        let deadline = Instant::now() + interval;
+        let mut stopped = false;
+        while Instant::now() < deadline {
+            if stop.load(Ordering::Acquire) {
+                stopped = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10).min(interval));
+        }
+        let now = Snapshot::take(registry, started);
+        emit(
+            &mut out,
+            seq,
+            &last,
+            &now,
+            stopped || stop.load(Ordering::Acquire),
+        );
+        seq += 1;
+        last = now;
+        if stopped || stop.load(Ordering::Acquire) {
+            return;
+        }
+    }
+}
+
+/// The quantities a record reports, sampled atomically enough for progress
+/// display (individual metrics are relaxed reads).
+struct Snapshot {
+    elapsed_s: f64,
+    cycles: u64,
+    paths_created: u64,
+    paths_skipped: u64,
+    paths_finished: u64,
+    paths_live: i64,
+    paths_queued: i64,
+    csm_states: i64,
+    csm_pcs: i64,
+    steals: u64,
+    worker_cycles: Vec<u64>,
+}
+
+impl Snapshot {
+    fn take(registry: &MetricsRegistry, started: Instant) -> Snapshot {
+        Snapshot {
+            elapsed_s: started.elapsed().as_secs_f64(),
+            cycles: registry.counter_total(CounterId::Cycles),
+            paths_created: registry.counter_total(CounterId::PathsCreated),
+            paths_skipped: registry.counter_total(CounterId::PathsSkipped),
+            paths_finished: registry.counter_total(CounterId::PathsFinished),
+            paths_live: registry.gauge_total(GaugeId::PathsLive),
+            paths_queued: registry.gauge_total(GaugeId::PathsQueued),
+            csm_states: registry.gauge_total(GaugeId::CsmStoredStates),
+            csm_pcs: registry.gauge_total(GaugeId::CsmDistinctPcs),
+            steals: registry.counter_total(CounterId::SchedSteals),
+            worker_cycles: registry.counter_per_shard(CounterId::Cycles),
+        }
+    }
+}
+
+fn emit(out: &mut HeartbeatOut, seq: u64, last: &Snapshot, now: &Snapshot, fin: bool) {
+    let dt = (now.elapsed_s - last.elapsed_s).max(1e-9);
+    let cps = (now.cycles.saturating_sub(last.cycles)) as f64 / dt;
+    // per-worker share of the cycles simulated this interval: a cheap
+    // utilization proxy (idle or parked workers show 0)
+    let interval_cycles: Vec<u64> = now
+        .worker_cycles
+        .iter()
+        .zip(last.worker_cycles.iter().chain(std::iter::repeat(&0)))
+        .map(|(n, l)| n.saturating_sub(*l))
+        .collect();
+    let mut o = JsonObject::new();
+    o.str("type", "heartbeat")
+        .u64("seq", seq)
+        .f64("elapsed_s", now.elapsed_s)
+        .u64("cycles", now.cycles)
+        .f64("cycles_per_sec", cps)
+        .u64("paths_created", now.paths_created)
+        .u64("paths_skipped", now.paths_skipped)
+        .u64("paths_finished", now.paths_finished)
+        .i64("paths_live", now.paths_live)
+        .i64("paths_queued", now.paths_queued)
+        .i64("csm_states", now.csm_states)
+        .i64("csm_distinct_pcs", now.csm_pcs)
+        .u64("sched_steals", now.steals)
+        .u64_array("worker_cycles", &interval_cycles)
+        .bool("final", fin);
+    let line = o.finish();
+    match out {
+        HeartbeatOut::Stderr => eprintln!("{line}"),
+        HeartbeatOut::Writer(w) => {
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Mutex;
+
+    use super::*;
+
+    /// A `Write` the test can inspect after the heartbeat thread exits.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sub_interval_run_still_emits_a_final_record() {
+        let registry = Arc::new(MetricsRegistry::new(2));
+        registry.shard(0).add(CounterId::Cycles, 123);
+        registry.shard(1).inc(CounterId::PathsCreated);
+        let buf = SharedBuf::default();
+        let hb = Heartbeat::start(
+            registry,
+            Duration::from_secs(3600),
+            HeartbeatOut::Writer(Box::new(buf.clone())),
+        );
+        hb.stop();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(!lines.is_empty(), "at least one NDJSON record: {text:?}");
+        let last = lines.last().unwrap();
+        assert!(last.contains("\"type\":\"heartbeat\""), "{last}");
+        assert!(last.contains("\"cycles\":123"), "{last}");
+        assert!(last.contains("\"paths_created\":1"), "{last}");
+        assert!(last.contains("\"final\":true"), "{last}");
+        assert!(last.starts_with('{') && last.ends_with('}'), "{last}");
+    }
+
+    #[test]
+    fn periodic_records_report_interval_throughput() {
+        let registry = Arc::new(MetricsRegistry::new(1));
+        let buf = SharedBuf::default();
+        let hb = Heartbeat::start(
+            registry.clone(),
+            Duration::from_millis(20),
+            HeartbeatOut::Writer(Box::new(buf.clone())),
+        );
+        registry.shard(0).add(CounterId::Cycles, 1000);
+        std::thread::sleep(Duration::from_millis(90));
+        hb.stop();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 2, "periodic + final records: {text:?}");
+        assert!(text.contains("\"cycles\":1000"), "{text}");
+        assert!(text.contains("\"worker_cycles\":["), "{text}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Minimal JSON emission helpers (the build environment has no serde_json;
+//! the workspace writes JSON by hand, as `bench_coanalysis` already does).
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An order-preserving single-line JSON object builder for NDJSON records.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    body: String,
+}
+
+impl JsonObject {
+    /// An empty object.
+    pub fn new() -> JsonObject {
+        JsonObject::default()
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        self.body.push('"');
+        self.body.push_str(&escape_json(key));
+        self.body.push_str("\":");
+    }
+
+    /// Adds a string member.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut JsonObject {
+        self.key(key);
+        self.body.push('"');
+        self.body.push_str(&escape_json(value));
+        self.body.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer member.
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut JsonObject {
+        self.key(key);
+        self.body.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a signed integer member.
+    pub fn i64(&mut self, key: &str, value: i64) -> &mut JsonObject {
+        self.key(key);
+        self.body.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a float member (fixed 6-decimal form: valid JSON, never NaN —
+    /// non-finite inputs are clamped to 0).
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut JsonObject {
+        self.key(key);
+        let v = if value.is_finite() { value } else { 0.0 };
+        self.body.push_str(&format!("{v:.6}"));
+        self
+    }
+
+    /// Adds a boolean member.
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut JsonObject {
+        self.key(key);
+        self.body.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds an array of unsigned integers.
+    pub fn u64_array(&mut self, key: &str, values: &[u64]) -> &mut JsonObject {
+        self.key(key);
+        self.body.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.body.push(',');
+            }
+            self.body.push_str(&v.to_string());
+        }
+        self.body.push(']');
+        self
+    }
+
+    /// Adds a pre-serialized JSON value verbatim (caller guarantees
+    /// validity).
+    pub fn raw(&mut self, key: &str, json: &str) -> &mut JsonObject {
+        self.key(key);
+        self.body.push_str(json);
+        self
+    }
+
+    /// The finished single-line object.
+    pub fn finish(&self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+        assert_eq!(escape_json("plain"), "plain");
+    }
+
+    #[test]
+    fn builds_ordered_objects() {
+        let mut o = JsonObject::new();
+        o.str("type", "heartbeat")
+            .u64("seq", 3)
+            .f64("elapsed_s", 1.5)
+            .bool("final", false)
+            .i64("delta", -2)
+            .u64_array("worker_cycles", &[1, 2]);
+        assert_eq!(
+            o.finish(),
+            "{\"type\":\"heartbeat\",\"seq\":3,\"elapsed_s\":1.500000,\
+             \"final\":false,\"delta\":-2,\"worker_cycles\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_stay_valid_json() {
+        let mut o = JsonObject::new();
+        o.f64("x", f64::NAN);
+        assert_eq!(o.finish(), "{\"x\":0.000000}");
+    }
+}

@@ -1,0 +1,406 @@
+//! Leveled spans and events — a self-contained `tracing`-style facade.
+//!
+//! The dispatcher is process-global: the CLI (or a bench binary) calls
+//! [`init`] once from its flags, and every crate below emits through the
+//! [`crate::event!`] macros. A disabled call site costs one relaxed atomic
+//! load and a predictable branch; no fields are formatted unless the level
+//! is enabled.
+//!
+//! Spans are thread-local and purely contextual: [`span`] pushes a name
+//! onto the current thread's stack, events record the dotted stack path,
+//! and the guard emits a `span.close` event with the elapsed time (at
+//! [`Level::Trace`]) when dropped.
+
+use std::cell::RefCell;
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::{escape_json, JsonObject};
+
+/// Event severity, most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or user-visible failures.
+    Error = 1,
+    /// Suspicious conditions the run survives (non-convergence, caps hit).
+    Warn = 2,
+    /// Progress milestones and results.
+    Info = 3,
+    /// Per-path lifecycle and CSM decisions.
+    Debug = 4,
+    /// Per-segment spans and engine internals.
+    Trace = 5,
+}
+
+impl Level {
+    /// Lower-case name, as spelled in `--log-level` and JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+impl std::str::FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s {
+            "error" => Ok(Level::Error),
+            "warn" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!(
+                "expected error, warn, info, debug, or trace, got \"{other}\""
+            )),
+        }
+    }
+}
+
+/// Output format of the trace layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogFormat {
+    /// Human-readable single-line text.
+    #[default]
+    Pretty,
+    /// One JSON object per line (NDJSON), machine-parseable end to end.
+    Json,
+}
+
+impl std::str::FromStr for LogFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<LogFormat, String> {
+        match s {
+            "pretty" => Ok(LogFormat::Pretty),
+            "json" => Ok(LogFormat::Json),
+            other => Err(format!("expected pretty or json, got \"{other}\"")),
+        }
+    }
+}
+
+/// A typed event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String.
+    Str(String),
+}
+
+macro_rules! from_uint {
+    ($($t:ty),*) => { $(impl From<$t> for FieldValue {
+        fn from(v: $t) -> FieldValue { FieldValue::U64(v as u64) }
+    })* };
+}
+from_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! from_int {
+    ($($t:ty),*) => { $(impl From<$t> for FieldValue {
+        fn from(v: $t) -> FieldValue { FieldValue::I64(v as i64) }
+    })* };
+}
+from_int!(i8, i16, i32, i64, isize);
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> FieldValue {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> FieldValue {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> FieldValue {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> FieldValue {
+        FieldValue::Str(v)
+    }
+}
+
+impl FieldValue {
+    fn json(&self) -> String {
+        match self {
+            FieldValue::U64(v) => v.to_string(),
+            FieldValue::I64(v) => v.to_string(),
+            FieldValue::F64(v) if v.is_finite() => format!("{v:.6}"),
+            FieldValue::F64(_) => "0".into(),
+            FieldValue::Bool(v) => v.to_string(),
+            FieldValue::Str(s) => format!("\"{}\"", escape_json(s)),
+        }
+    }
+
+    fn pretty(&self) -> String {
+        match self {
+            FieldValue::U64(v) => v.to_string(),
+            FieldValue::I64(v) => v.to_string(),
+            FieldValue::F64(v) => format!("{v:.3}"),
+            FieldValue::Bool(v) => v.to_string(),
+            FieldValue::Str(s) => s.clone(),
+        }
+    }
+}
+
+/// `Info` unless [`init`] raises or lowers it; `eprintln!` diagnostics the
+/// trace layer replaced were always-on, so warnings must stay visible by
+/// default.
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+struct SinkState {
+    format: LogFormat,
+    /// `None` writes to stderr.
+    out: Option<Box<dyn Write + Send>>,
+}
+
+static SINK: Mutex<Option<SinkState>> = Mutex::new(None);
+
+fn start_instant() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// (Re)configures the trace layer. `out = None` keeps stderr. Unlike
+/// `tracing`'s global-default, re-initialization is allowed: the CLI
+/// installs a default sink before argument parsing and upgrades it once
+/// `--log-format`/`--log-level` are known.
+pub fn init(level: Level, format: LogFormat, out: Option<Box<dyn Write + Send>>) {
+    start_instant();
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+    *SINK.lock().unwrap() = Some(SinkState { format, out });
+}
+
+/// True when events at `level` are emitted — the one-atomic-load guard the
+/// [`crate::event!`] macros use before formatting anything.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// The currently configured maximum level.
+pub fn max_level() -> Level {
+    match MAX_LEVEL.load(Ordering::Relaxed) {
+        1 => Level::Error,
+        2 => Level::Warn,
+        3 => Level::Info,
+        4 => Level::Debug,
+        _ => Level::Trace,
+    }
+}
+
+/// Formats one event line. Pure — unit tests target this directly.
+pub fn format_line(
+    format: LogFormat,
+    elapsed_s: f64,
+    level: Level,
+    target: &str,
+    span: Option<&str>,
+    msg: &str,
+    fields: &[(&str, FieldValue)],
+) -> String {
+    match format {
+        LogFormat::Json => {
+            let mut o = JsonObject::new();
+            o.str("type", "log")
+                .f64("ts_s", elapsed_s)
+                .str("level", level.name())
+                .str("target", target);
+            if let Some(span) = span {
+                o.str("span", span);
+            }
+            o.str("msg", msg);
+            if !fields.is_empty() {
+                let mut f = JsonObject::new();
+                for (k, v) in fields {
+                    f.raw(k, &v.json());
+                }
+                o.raw("fields", &f.finish());
+            }
+            o.finish()
+        }
+        LogFormat::Pretty => {
+            let mut line = format!(
+                "[{elapsed_s:9.3}s {:5} {target}]",
+                level.name().to_uppercase()
+            );
+            if let Some(span) = span {
+                line.push_str(&format!(" ({span})"));
+            }
+            line.push(' ');
+            line.push_str(msg);
+            if !fields.is_empty() {
+                let kv: Vec<String> = fields
+                    .iter()
+                    .map(|(k, v)| format!("{k}={}", v.pretty()))
+                    .collect();
+                line.push_str(&format!(" {{{}}}", kv.join(" ")));
+            }
+            line
+        }
+    }
+}
+
+/// Emits one event. Call through the [`crate::event!`] macros, which guard
+/// with [`enabled`] so arguments are never formatted for disabled levels.
+pub fn emit(level: Level, target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    let elapsed = start_instant().elapsed().as_secs_f64();
+    let span = SPAN_STACK.with(|s| {
+        let s = s.borrow();
+        if s.is_empty() {
+            None
+        } else {
+            Some(s.join("."))
+        }
+    });
+    let mut sink = SINK.lock().unwrap();
+    let format = sink.as_ref().map_or(LogFormat::Pretty, |s| s.format);
+    let line = format_line(format, elapsed, level, target, span.as_deref(), msg, fields);
+    match sink.as_mut().and_then(|s| s.out.as_mut()) {
+        Some(w) => {
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+        None => eprintln!("{line}"),
+    }
+}
+
+/// An RAII span: pushes `target` onto the thread's span stack so nested
+/// events carry context; the guard pops on drop and, at [`Level::Trace`],
+/// emits a `span.close` event with the span's wall time.
+pub fn span(target: &'static str) -> SpanGuard {
+    SPAN_STACK.with(|s| s.borrow_mut().push(target));
+    SpanGuard {
+        target,
+        start: enabled(Level::Trace).then(Instant::now),
+    }
+}
+
+/// Guard returned by [`span`]; see there.
+#[must_use = "a span ends when its guard drops"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    target: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let us = start.elapsed().as_micros() as u64;
+            crate::event!(
+                Level::Trace,
+                "span.close",
+                { elapsed_us = us },
+                "{} closed",
+                self.target
+            );
+        }
+        SPAN_STACK.with(|s| {
+            let popped = s.borrow_mut().pop();
+            debug_assert_eq!(popped, Some(self.target), "span stack imbalance");
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_ordering_and_parsing() {
+        assert!(Level::Error < Level::Trace);
+        assert_eq!("debug".parse::<Level>().unwrap(), Level::Debug);
+        assert!("loud".parse::<Level>().is_err());
+        assert_eq!("json".parse::<LogFormat>().unwrap(), LogFormat::Json);
+        assert!("xml".parse::<LogFormat>().is_err());
+    }
+
+    #[test]
+    fn json_lines_are_single_line_objects() {
+        let line = format_line(
+            LogFormat::Json,
+            1.25,
+            Level::Info,
+            "path.fork",
+            Some("analysis.segment"),
+            "forked \"quoted\"",
+            &[
+                ("worker", FieldValue::U64(2)),
+                ("note", FieldValue::Str("a\nb".into())),
+            ],
+        );
+        assert!(!line.contains('\n'), "{line}");
+        assert!(line.starts_with("{\"type\":\"log\""), "{line}");
+        assert!(line.contains("\"level\":\"info\""), "{line}");
+        assert!(line.contains("\"span\":\"analysis.segment\""), "{line}");
+        assert!(line.contains("\"msg\":\"forked \\\"quoted\\\"\""), "{line}");
+        assert!(
+            line.contains("\"fields\":{\"worker\":2,\"note\":\"a\\nb\"}"),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn pretty_lines_carry_level_target_and_fields() {
+        let line = format_line(
+            LogFormat::Pretty,
+            0.5,
+            Level::Warn,
+            "analyze",
+            None,
+            "3 paths exhausted the cycle budget",
+            &[("budget", FieldValue::U64(200))],
+        );
+        assert!(line.contains("WARN"), "{line}");
+        assert!(line.contains("analyze"), "{line}");
+        assert!(line.contains("cycle budget"), "{line}");
+        assert!(line.contains("{budget=200}"), "{line}");
+    }
+
+    #[test]
+    fn span_stack_nests_and_unwinds() {
+        let outer = span("outer");
+        {
+            let inner = span("inner");
+            SPAN_STACK.with(|s| assert_eq!(*s.borrow(), vec!["outer", "inner"]));
+            drop(inner);
+        }
+        SPAN_STACK.with(|s| assert_eq!(*s.borrow(), vec!["outer"]));
+        drop(outer);
+        SPAN_STACK.with(|s| assert!(s.borrow().is_empty()));
+    }
+
+    #[test]
+    fn field_value_conversions() {
+        assert_eq!(FieldValue::from(3usize), FieldValue::U64(3));
+        assert_eq!(FieldValue::from(-1i32), FieldValue::I64(-1));
+        assert_eq!(FieldValue::from(true), FieldValue::Bool(true));
+        assert_eq!(FieldValue::from("s"), FieldValue::Str("s".into()));
+        assert_eq!(FieldValue::F64(f64::NAN).json(), "0");
+    }
+}

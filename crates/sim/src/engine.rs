@@ -227,6 +227,29 @@ const DIRTY_SCHED: u8 = 1;
 /// incomplete and the level *must* run its tape.
 const DIRTY_LEAN: u8 = 2;
 
+/// Buckets of [`EngineStats::dirty_pct_hist`]: ten deciles (`0-9 %` …
+/// `90-99 %`) plus the exactly-100% bucket. The layout matches
+/// `symsim_obs`'s `dirty_fraction_pct` histogram, so the explorer can fold
+/// the counts in bucket-for-bucket.
+pub const DIRTY_PCT_BUCKETS: usize = 11;
+
+/// Per-simulator evaluation statistics since construction — plain counters
+/// a worker drains into the shared metrics registry once at the end of its
+/// exploration (see [`Simulator::engine_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Level tapes run by the batched kernel.
+    pub batched_level_evals: u64,
+    /// Scalar node evaluations (event-driven gates, memory reads, and
+    /// symbolic-lane fallbacks).
+    pub event_evals: u64,
+    /// Evaluation writes overridden by an active force (path steering).
+    pub forced_writes: u64,
+    /// Histogram of the dirty fraction (percent of nodes with pending
+    /// events) of each dispatched level, bucketed `min(pct / 10, 10)`.
+    pub dirty_pct_hist: [u64; DIRTY_PCT_BUCKETS],
+}
+
 /// The event-driven gate-level simulator.
 ///
 /// One instance simulates one design; [`Simulator::load_state`] re-targets
@@ -273,9 +296,15 @@ pub struct Simulator<'n> {
     // scheduling
     dirty: Vec<Vec<u32>>, // buckets by level
     in_queue: Vec<bool>,
-    // dispatch statistics: batched tape runs vs scalar node evaluations
+    // dispatch statistics: batched tape runs vs scalar node evaluations,
+    // force-overridden eval writes, and the dirty-fraction decile histogram
+    // (see `EngineStats`) — plain fields, not atomics: each simulator is
+    // single-threaded and the explorer drains them into the shared metrics
+    // registry once per worker, keeping the hot loop free of shared writes
     batched_level_evals: u64,
     event_evals: u64,
+    forced_writes: u64,
+    dirty_pct_hist: [u64; DIRTY_PCT_BUCKETS],
     // per-cycle scratch, reused so the clock loop allocates nothing
     dff_scratch: Vec<Value>,
     wp_scratch: Vec<WritePortSample>,
@@ -425,6 +454,8 @@ impl<'n> Simulator<'n> {
             in_queue: vec![false; nodes.len()],
             batched_level_evals: 0,
             event_evals: 0,
+            forced_writes: 0,
+            dirty_pct_hist: [0; DIRTY_PCT_BUCKETS],
             nodes,
             dff_scratch,
             wp_scratch,
@@ -766,6 +797,7 @@ impl<'n> Simulator<'n> {
         // the bitmap keeps the (overwhelmingly common) unforced case free
         // of a hash lookup
         let value = if from_eval && self.forced[net.0 as usize] {
+            self.forced_writes += 1;
             self.forces[&net.0]
         } else {
             value
@@ -833,6 +865,17 @@ impl<'n> Simulator<'n> {
         (self.batched_level_evals, self.event_evals)
     }
 
+    /// Full evaluation statistics since construction (a superset of
+    /// [`Simulator::eval_stats`]).
+    pub fn engine_stats(&self) -> EngineStats {
+        EngineStats {
+            batched_level_evals: self.batched_level_evals,
+            event_evals: self.event_evals,
+            forced_writes: self.forced_writes,
+            dirty_pct_hist: self.dirty_pct_hist,
+        }
+    }
+
     /// Propagates all pending events to quiescence (the Active region).
     /// Returns the number of node evaluations performed.
     ///
@@ -867,6 +910,12 @@ impl<'n> Simulator<'n> {
                     || stale & DIRTY_LEAN != 0
                     || self.dirty[lvl].len() * 100
                         >= tape.node_count * usize::from(self.config.batch_threshold_pct));
+            if stale != 0 || !self.dirty[lvl].is_empty() {
+                // dirty-fraction distribution of dispatched levels: a plain
+                // array increment, so always-on costs nothing measurable
+                let pct = self.dirty[lvl].len() * 100 / tape.node_count.max(1);
+                self.dirty_pct_hist[(pct / 10).min(DIRTY_PCT_BUCKETS - 1)] += 1;
+            }
             if use_batch {
                 if stale != 0 || !self.dirty[lvl].is_empty() {
                     evals += self.run_level_batch(lvl);

@@ -57,7 +57,9 @@ mod testbench;
 mod vcd;
 
 pub use activity::ActivityStats;
-pub use engine::{EvalMode, HaltReason, MonitorSpec, Region, SimConfig, Simulator};
+pub use engine::{
+    EngineStats, EvalMode, HaltReason, MonitorSpec, Region, SimConfig, Simulator, DIRTY_PCT_BUCKETS,
+};
 pub use observer::ToggleProfile;
 pub use state::{
     cow_clone_stats, reset_cow_clone_stats, DecodeStateError, MemArray, SimState, PAGE_WORDS,

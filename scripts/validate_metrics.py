@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Validate symsim observability output against the checked-in schemas.
+
+Stdlib-only validator for the JSON-Schema subset the schemas under
+docs/schema/ actually use: type, enum, minimum, required, properties,
+additionalProperties (boolean), items, and local $ref into /definitions.
+
+Usage:
+    validate_metrics.py <schema.json> <file> [--ndjson]
+
+With --ndjson every non-empty line of <file> is validated as one
+instance (the heartbeat stream); otherwise the whole file is one JSON
+document (the metrics snapshot). Exits non-zero on the first failure.
+"""
+
+import json
+import sys
+
+TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "integer": int,
+    # bool is an int subclass in Python; excluded explicitly below
+    "number": (int, float),
+}
+
+
+def resolve_ref(schema, root):
+    """Follow a local ``#/definitions/...`` reference, if present."""
+    ref = schema.get("$ref")
+    if ref is None:
+        return schema
+    if not ref.startswith("#/"):
+        raise ValueError(f"unsupported $ref {ref!r} (only local refs)")
+    node = root
+    for part in ref[2:].split("/"):
+        node = node[part]
+    return node
+
+
+def check(value, schema, root, path):
+    schema = resolve_ref(schema, root)
+
+    expected = schema.get("type")
+    if expected is not None:
+        py = TYPES[expected]
+        ok = isinstance(value, py)
+        if expected in ("integer", "number") and isinstance(value, bool):
+            ok = False
+        if not ok:
+            fail(path, f"expected {expected}, got {type(value).__name__}")
+
+    if "enum" in schema and value not in schema["enum"]:
+        fail(path, f"{value!r} not in {schema['enum']}")
+
+    if "minimum" in schema and isinstance(value, (int, float)) and not isinstance(value, bool):
+        if value < schema["minimum"]:
+            fail(path, f"{value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                fail(path, f"missing required key {key!r}")
+        props = schema.get("properties", {})
+        for key, sub in props.items():
+            if key in value:
+                check(value[key], sub, root, f"{path}.{key}")
+        if schema.get("additionalProperties") is False:
+            extra = sorted(set(value) - set(props))
+            if extra:
+                fail(path, f"unexpected keys {extra}")
+
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            check(item, schema["items"], root, f"{path}[{i}]")
+
+
+def fail(path, message):
+    sys.exit(f"validate_metrics: FAIL at {path}: {message}")
+
+
+def main(argv):
+    if len(argv) not in (3, 4) or (len(argv) == 4 and argv[3] != "--ndjson"):
+        sys.exit(__doc__)
+    schema_path, data_path = argv[1], argv[2]
+    with open(schema_path, encoding="utf-8") as f:
+        schema = json.load(f)
+
+    if len(argv) == 4:  # --ndjson: one instance per line
+        with open(data_path, encoding="utf-8") as f:
+            lines = [ln for ln in f.read().splitlines() if ln.strip()]
+        if not lines:
+            sys.exit(f"validate_metrics: FAIL: {data_path} has no records")
+        for n, line in enumerate(lines, 1):
+            try:
+                value = json.loads(line)
+            except json.JSONDecodeError as e:
+                sys.exit(f"validate_metrics: FAIL: {data_path}:{n}: not JSON: {e}")
+            check(value, schema, schema, f"{data_path}:{n}")
+        print(f"validate_metrics: OK: {len(lines)} record(s) in {data_path}")
+    else:
+        with open(data_path, encoding="utf-8") as f:
+            try:
+                value = json.load(f)
+            except json.JSONDecodeError as e:
+                sys.exit(f"validate_metrics: FAIL: {data_path}: not JSON: {e}")
+        check(value, schema, schema, data_path)
+        print(f"validate_metrics: OK: {data_path}")
+
+
+if __name__ == "__main__":
+    main(sys.argv)
