@@ -23,13 +23,21 @@
 //!   stderr); `--metrics-out FILE` writes the metrics snapshot of the last
 //!   run. Every run gets a fresh registry — one registry serves one run, so
 //!   cross-mode identity checks stay exact.
+//! * `--trace-out FILE` records the run trace (`docs/schema/trace.schema.json`);
+//!   successive runs overwrite it, so the file holds the last run's trace.
+//!   Each bench entry carries a `trace` section (event/drop/byte counts) for
+//!   its own run. In `--smoke` the flag additionally runs a best-of-3
+//!   traced-vs-untraced comparison and asserts the tracing-off run stays
+//!   within noise (the dormant hooks must cost nothing measurable).
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use symsim_bench::{run_experiment, CpuKind};
 use symsim_core::{CoAnalysisConfig, CoAnalysisReport};
-use symsim_obs::{info, Heartbeat, HeartbeatOut, MetricsRegistry};
+use symsim_obs::{
+    info, tracefile, Heartbeat, HeartbeatOut, MetricsRegistry, TraceSink, TraceStats,
+};
 use symsim_sim::{cow_clone_stats, reset_cow_clone_stats, EvalMode, MemArray, SimConfig};
 
 /// The (cpu, benchmark) pairs measured: small enough to run in CI, big
@@ -51,6 +59,7 @@ struct Opts {
     metrics_out: Option<String>,
     heartbeat_secs: f64,
     progress_out: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_cpu(name: &str) -> CpuKind {
@@ -95,6 +104,7 @@ fn parse_opts() -> Opts {
                     .expect("--heartbeat-secs");
             }
             "--progress-out" => opts.progress_out = Some(value("--progress-out", &mut args)),
+            "--trace-out" => opts.trace_out = Some(value("--trace-out", &mut args)),
             "--log-level" => {
                 level = value("--log-level", &mut args)
                     .parse()
@@ -112,11 +122,28 @@ fn parse_opts() -> Opts {
     opts
 }
 
+/// One `run_mode` result: the report plus, when the run was traced, the
+/// sink's final event/drop/byte counts.
+struct RunResult {
+    report: CoAnalysisReport,
+    trace: Option<TraceStats>,
+}
+
 /// Runs one (cpu, bench, mode) co-analysis with a fresh registry and,
 /// when requested, a heartbeat. Successive runs append to `--progress-out`
-/// so one invocation yields one NDJSON stream.
-fn run_mode(kind: CpuKind, bench: &str, mode: EvalMode, opts: &Opts) -> CoAnalysisReport {
+/// so one invocation yields one NDJSON stream. With `traced` set and
+/// `--trace-out` given, the run writes a fresh trace to that path
+/// (successive traced runs overwrite it).
+fn run_mode(kind: CpuKind, bench: &str, mode: EvalMode, opts: &Opts, traced: bool) -> RunResult {
     let registry = Arc::new(MetricsRegistry::new(1));
+    let sink = match (&opts.trace_out, traced) {
+        (Some(path), true) => {
+            let sink = TraceSink::to_file(path, 1).expect("create --trace-out");
+            tracefile::install_global(&sink);
+            Some(sink)
+        }
+        _ => None,
+    };
     let config = CoAnalysisConfig {
         // one worker: path creation order (and thus CSM coverage) is
         // deterministic, so cross-mode identity is a meaningful check
@@ -126,6 +153,7 @@ fn run_mode(kind: CpuKind, bench: &str, mode: EvalMode, opts: &Opts) -> CoAnalys
             ..SimConfig::default()
         },
         metrics: Some(Arc::clone(&registry)),
+        trace: sink.clone(),
         ..CoAnalysisConfig::default()
     };
     let heartbeat = if opts.heartbeat_secs > 0.0 {
@@ -155,7 +183,11 @@ fn run_mode(kind: CpuKind, bench: &str, mode: EvalMode, opts: &Opts) -> CoAnalys
     if let Some(path) = &opts.metrics_out {
         std::fs::write(path, report.metrics.to_json()).expect("write --metrics-out");
     }
-    report
+    let trace = sink.map(|sink| {
+        tracefile::clear_global();
+        sink.finish()
+    });
+    RunResult { report, trace }
 }
 
 /// Panics if `other` diverged from the event-mode reference — the batched
@@ -182,13 +214,22 @@ fn assert_equivalent(
     );
 }
 
-fn entry(kind: CpuKind, bench: &str, mode: EvalMode, r: &CoAnalysisReport) -> String {
+fn entry(kind: CpuKind, bench: &str, mode: EvalMode, run: &RunResult) -> String {
+    let r = &run.report;
     let secs = r.wall_time.as_secs_f64().max(1e-9);
+    let trace = match &run.trace {
+        Some(t) => format!(
+            "{{ \"events\": {}, \"dropped\": {}, \"bytes\": {} }}",
+            t.events, t.dropped, t.bytes
+        ),
+        None => "null".to_string(),
+    };
     format!(
         "    {{ \"cpu\": \"{}\", \"bench\": \"{}\", \"eval_mode\": \"{}\", \
          \"paths_created\": {}, \"paths_dropped\": {}, \"simulated_cycles\": {}, \
          \"batched_level_evals\": {}, \"event_evals\": {}, \"wall_seconds\": {:.6}, \
-         \"cycles_per_sec\": {:.1}, \"paths_per_sec\": {:.1}, \"metrics\": {} }}",
+         \"cycles_per_sec\": {:.1}, \"paths_per_sec\": {:.1}, \"trace\": {trace}, \
+         \"metrics\": {} }}",
         kind.name(),
         bench,
         mode.name(),
@@ -214,8 +255,16 @@ fn main() {
             { cpu = kind.name(), bench = bench.as_str(), mode = mode.name() },
             "single-pair co-analysis: {} / {bench} ({})", kind.name(), mode.name()
         );
-        let report = run_mode(*kind, bench, mode, &opts);
-        println!("{}", report.to_json());
+        let run = run_mode(*kind, bench, mode, &opts, true);
+        if let Some(t) = &run.trace {
+            info!(
+                "bench",
+                { events = t.events, dropped = t.dropped, bytes = t.bytes },
+                "wrote run trace ({} events, {} dropped, {} bytes)",
+                t.events, t.dropped, t.bytes
+            );
+        }
+        println!("{}", run.report.to_json());
         return;
     }
 
@@ -226,8 +275,8 @@ fn main() {
             "smoke: {} / {bench} in event and batch modes...",
             kind.name()
         );
-        let event = run_mode(kind, bench, EvalMode::Event, &opts);
-        let batch = run_mode(kind, bench, EvalMode::Batch, &opts);
+        let event = run_mode(kind, bench, EvalMode::Event, &opts, false).report;
+        let batch = run_mode(kind, bench, EvalMode::Batch, &opts, false).report;
         assert_equivalent(kind, bench, &event, &batch, EvalMode::Batch);
         info!(
             "bench",
@@ -235,28 +284,32 @@ fn main() {
             "smoke ok: {} cycles, {} gates exercisable in both modes",
             event.simulated_cycles, event.exercisable_gates
         );
+        if opts.trace_out.is_some() {
+            smoke_trace_check(kind, bench, &event, &opts);
+        }
         return;
     }
 
     let mut entries = Vec::new();
     for (kind, bench) in RUNS {
         info!("bench", "co-analysis: {} / {bench} (event)...", kind.name());
-        let event = run_mode(kind, bench, EvalMode::Event, &opts);
+        let event = run_mode(kind, bench, EvalMode::Event, &opts, true);
         info!(
             "bench",
             "co-analysis: {} / {bench} (hybrid)...",
             kind.name()
         );
-        let hybrid = run_mode(kind, bench, EvalMode::Hybrid, &opts);
-        assert_equivalent(kind, bench, &event, &hybrid, EvalMode::Hybrid);
-        let speedup =
-            event.wall_time.as_secs_f64().max(1e-9) / hybrid.wall_time.as_secs_f64().max(1e-9);
+        let hybrid = run_mode(kind, bench, EvalMode::Hybrid, &opts, true);
+        assert_equivalent(kind, bench, &event.report, &hybrid.report, EvalMode::Hybrid);
+        let event_secs = event.report.wall_time.as_secs_f64().max(1e-9);
+        let hybrid_secs = hybrid.report.wall_time.as_secs_f64().max(1e-9);
+        let speedup = event_secs / hybrid_secs;
         info!(
             "bench",
             "  {} / {bench}: {:.1} -> {:.1} cycles/sec ({speedup:.2}x)",
             kind.name(),
-            event.simulated_cycles as f64 / event.wall_time.as_secs_f64().max(1e-9),
-            hybrid.simulated_cycles as f64 / hybrid.wall_time.as_secs_f64().max(1e-9),
+            event.report.simulated_cycles as f64 / event_secs,
+            hybrid.report.simulated_cycles as f64 / hybrid_secs,
         );
         entries.push(entry(kind, bench, EvalMode::Event, &event));
         entries.push(entry(kind, bench, EvalMode::Hybrid, &hybrid));
@@ -274,6 +327,46 @@ fn main() {
     std::fs::write("BENCH_coanalysis.json", &json).expect("write BENCH_coanalysis.json");
     info!("bench", "wrote BENCH_coanalysis.json");
     print!("{json}");
+}
+
+/// The `--smoke --trace-out` check: best-of-3 untraced vs best-of-3 traced
+/// batch runs of the smoke pair. Asserts the traced run reproduces the
+/// reference results and records cleanly (events, no drops), and that the
+/// untraced run stays within noise — tracing can only ever *add* work, so
+/// an untraced run slower than the traced one beyond noise means the
+/// dormant hooks are paying real hot-path cost.
+fn smoke_trace_check(kind: CpuKind, bench: &str, reference: &CoAnalysisReport, opts: &Opts) {
+    let best_of_3 = |traced: bool| {
+        let mut wall = Duration::MAX;
+        let mut last = None;
+        for _ in 0..3 {
+            let run = run_mode(kind, bench, EvalMode::Batch, opts, traced);
+            wall = wall.min(run.report.wall_time);
+            last = Some(run);
+        }
+        (wall, last.expect("best_of_3 ran"))
+    };
+    let (off_wall, off_run) = best_of_3(false);
+    let (on_wall, on_run) = best_of_3(true);
+    assert_equivalent(kind, bench, reference, &off_run.report, EvalMode::Batch);
+    assert_equivalent(kind, bench, reference, &on_run.report, EvalMode::Batch);
+    let stats = on_run.trace.expect("traced smoke run yields trace stats");
+    assert!(stats.events > 0, "smoke trace recorded no events");
+    assert_eq!(stats.dropped, 0, "smoke trace dropped records");
+    let off_s = off_wall.as_secs_f64();
+    let on_s = on_wall.as_secs_f64();
+    assert!(
+        off_s <= on_s * 1.25 + 0.1,
+        "tracing-off smoke run slower than traced run beyond noise: \
+         off={off_s:.3}s on={on_s:.3}s"
+    );
+    info!(
+        "bench",
+        { events = stats.events, bytes = stats.bytes },
+        "smoke trace ok: best-of-3 {off_s:.3}s untraced vs {on_s:.3}s traced; \
+         {} events / {} bytes",
+        stats.events, stats.bytes
+    );
 }
 
 /// Measures snapshot cost on the omsp16 core: bytes an eager memory copy

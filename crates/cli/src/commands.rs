@@ -7,7 +7,9 @@ use std::time::Duration;
 use symsim_core::{CoAnalysis, CoAnalysisConfig, CsmPolicy, DesignInterface};
 use symsim_logic::Word;
 use symsim_netlist::{Netlist, NetlistStats};
-use symsim_obs::{info, warn, Heartbeat, HeartbeatOut, Level, LogFormat, MetricsRegistry};
+use symsim_obs::{
+    info, tracefile, warn, Heartbeat, HeartbeatOut, Level, LogFormat, MetricsRegistry, TraceSink,
+};
 use symsim_sim::{EvalMode, HaltReason, MonitorSpec, SimConfig, Simulator, ToggleProfile};
 
 use crate::args::Args;
@@ -36,6 +38,8 @@ usage:
                   [--pmem pmem] [--dmem dmem] [--data a=v,...]
                   [--max-faults N] [--observe net,net,...]
   symsim convert  <design.{v,blif}> --out <design.{v,blif}>
+  symsim trace    summarize|lineage|hotspots|export-chrome <run.trace>
+                  [--top N] [--max-lines N] [--out FILE]
 
 every command also accepts the observability flags:
   --log-level error|warn|info|debug|trace   (default info)
@@ -45,6 +49,9 @@ every command also accepts the observability flags:
   --metrics-out FILE      (analyze) write the end-of-run metrics snapshot
   --heartbeat-secs S      (analyze) emit NDJSON progress every S seconds
   --progress-out FILE     (analyze) heartbeat destination (default stderr)
+  --trace-out FILE        (analyze, simulate) record an NDJSON run trace:
+                          path forks/outcomes, CSM decisions, span and
+                          phase timings — inspect with symsim trace
 
 designs are read as BLIF when the file ends in .blif, else as structural
 Verilog";
@@ -68,6 +75,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "simulate" => simulate(&args),
         "fault" => fault_cmd(&args),
         "convert" => convert(&args),
+        "trace" => crate::trace_cmd::trace_cmd(&args),
         other => Err(format!("unknown command \"{other}\"\n{USAGE}")),
     }
 }
@@ -93,6 +101,34 @@ fn init_obs(args: &Args) -> Result<(), String> {
         .map_err(|e| format!("--log-format: {e}"))?;
     symsim_obs::trace::init(level, format, None);
     Ok(())
+}
+
+/// Opens the `--trace-out` run-trace sink and installs it as the global
+/// span target. Returns `None` (and installs nothing) without the flag.
+fn start_trace(args: &Args, workers: usize) -> Result<Option<Arc<TraceSink>>, String> {
+    let Some(path) = args.get("trace-out") else {
+        return Ok(None);
+    };
+    let sink =
+        TraceSink::to_file(path, workers).map_err(|e| format!("cannot create {path}: {e}"))?;
+    tracefile::install_global(&sink);
+    Ok(Some(sink))
+}
+
+/// Merges, flushes, and uninstalls the run-trace sink; logs its totals.
+fn finish_trace(args: &Args, sink: Option<Arc<TraceSink>>) {
+    let Some(sink) = sink else { return };
+    tracefile::clear_global();
+    let stats = sink.finish();
+    let path = args.get("trace-out").unwrap_or("?");
+    info!(
+        "trace",
+        { events = stats.events, dropped = stats.dropped, bytes = stats.bytes },
+        "wrote run trace to {path} ({} events, {} dropped, {} bytes)",
+        stats.events,
+        stats.dropped,
+        stats.bytes
+    );
 }
 
 /// Starts the heartbeat thread when `--heartbeat-secs` is given; records go
@@ -353,6 +389,7 @@ fn analyze(args: &Args) -> Result<(), String> {
     let tagged = args.get("tagged").is_some();
     let workers = args.get_usize("workers", 1)?.max(1);
     let registry = Arc::new(MetricsRegistry::new(workers));
+    let trace_sink = start_trace(args, workers)?;
     let config = CoAnalysisConfig {
         sim: SimConfig {
             policy: if tagged {
@@ -376,6 +413,7 @@ fn analyze(args: &Args) -> Result<(), String> {
             None
         },
         metrics: Some(Arc::clone(&registry)),
+        trace: trace_sink.clone(),
     };
 
     let heartbeat = start_heartbeat(args, &registry)?;
@@ -384,6 +422,7 @@ fn analyze(args: &Args) -> Result<(), String> {
     if let Some(hb) = heartbeat {
         hb.stop();
     }
+    finish_trace(args, trace_sink);
 
     if json_mode(args) {
         println!("{}", report.to_json());
@@ -468,6 +507,10 @@ fn simulate(args: &Args) -> Result<(), String> {
     let finish = files::resolve_net(&netlist, args.require("finish")?)?;
     let cycles = args.get_u64("cycles", 100_000)?;
 
+    let trace_sink = start_trace(args, 1)?;
+    if let Some(sink) = &trace_sink {
+        sink.emit_meta(&netlist.name, 1);
+    }
     let sim_config = SimConfig {
         eval_mode: parse_eval_mode(args.get("eval-mode"))?,
         ..SimConfig::default()
@@ -479,6 +522,7 @@ fn simulate(args: &Args) -> Result<(), String> {
     }
     sim.set_finish_net(finish);
     sim.settle();
+    let run_span = symsim_obs::trace::span("simulate");
     let reason = if let Some(vcd_path) = args.get("vcd") {
         // waveform-enabled run: sample the watched nets every cycle
         let watch_nets: Vec<_> = match args.get("watch") {
@@ -509,6 +553,8 @@ fn simulate(args: &Args) -> Result<(), String> {
     } else {
         sim.run(cycles)
     };
+    drop(run_span);
+    finish_trace(args, trace_sink);
     match reason {
         HaltReason::Finished => println!("finished after {} cycles", sim.cycle()),
         other => println!("stopped ({other:?}) after {} cycles", sim.cycle()),

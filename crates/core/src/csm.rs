@@ -3,7 +3,7 @@ use std::sync::Arc;
 
 use symsim_logic::Value;
 use symsim_netlist::NetId;
-use symsim_obs::{debug, CounterId, GaugeId, MetricsRegistry};
+use symsim_obs::{debug, CounterId, GaugeId, HistogramId, MetricsRegistry};
 use symsim_sim::SimState;
 
 /// How conservative states are formed (paper Fig. 3).
@@ -75,6 +75,24 @@ impl From<u64> for CsmKey {
     }
 }
 
+impl std::fmt::Display for CsmKey {
+    /// `0x`-hex for concrete PCs; `b` + the bit pattern MSB-first (the
+    /// storage order is LSB-first) otherwise — the format trace records and
+    /// hot-spot tables key fork sites by.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsmKey::Concrete(pc) => write!(f, "0x{pc:x}"),
+            CsmKey::Pattern(bits) => {
+                f.write_str("b")?;
+                for v in bits.iter().rev() {
+                    write!(f, "{v}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
 /// One stored conservative state plus its cached unknown-bit count, the
 /// basis of the early-out subset check: `a.covers(b)` requires every
 /// unknown bit of `b` to be unknown in `a`, so a stored state with fewer
@@ -136,6 +154,11 @@ pub struct ConservativeStateManager {
     /// accessed under the explorer's lock, so shard 0 is single-writer here
     /// and `gauge_set` for the repository-size gauges is safe.
     metrics: Option<Arc<MetricsRegistry>>,
+    /// When set (and metrics are attached), the subset check and the widen
+    /// are individually timed into the `phase_csm_check_us` /
+    /// `phase_csm_widen_us` histograms. Off by default so the hot path
+    /// takes no timestamps.
+    profile: bool,
 }
 
 impl ConservativeStateManager {
@@ -161,6 +184,12 @@ impl ConservativeStateManager {
     /// [`observe`]: ConservativeStateManager::observe
     pub fn set_metrics(&mut self, registry: Arc<MetricsRegistry>) {
         self.metrics = Some(registry);
+    }
+
+    /// Enables per-observation phase timing (subset check vs. widen) into
+    /// the metrics histograms. No-op unless metrics are also attached.
+    pub fn set_profile(&mut self, on: bool) {
+        self.profile = on;
     }
 
     /// The active policy.
@@ -200,6 +229,8 @@ impl ConservativeStateManager {
     /// (co-analysis keys by the PC bit pattern when the PC carries `X`s).
     pub fn observe_key(&mut self, key: CsmKey, state: &SimState) -> Observation {
         self.observations += 1;
+        let profile = self.profile && self.metrics.is_some();
+        let check_t0 = profile.then(std::time::Instant::now);
         let incoming_unknowns = unknown_count(state);
         let entry = self.table.entry(key).or_default();
         // early-out: covering requires unknown(cover) ⊇ unknown(covered),
@@ -214,6 +245,14 @@ impl ConservativeStateManager {
             slot.state.covers(state)
         });
         self.cover_checks_elided += elided;
+        if let Some(t0) = check_t0 {
+            if let Some(m) = &self.metrics {
+                m.shard(0).observe(
+                    HistogramId::PhaseCsmCheckUs,
+                    t0.elapsed().as_micros() as u64,
+                );
+            }
+        }
         if covered {
             self.covered += 1;
             if let Some(m) = &self.metrics {
@@ -230,6 +269,7 @@ impl ConservativeStateManager {
             return Observation::Covered;
         }
         self.widenings += 1;
+        let widen_t0 = profile.then(std::time::Instant::now);
         let formed_index = match self.policy {
             CsmPolicy::SingleMerge => {
                 if entry.is_empty() {
@@ -274,6 +314,12 @@ impl ConservativeStateManager {
             shard.inc(CounterId::CsmWidenings);
             shard.gauge_set(GaugeId::CsmStoredStates, self.stored_states() as i64);
             shard.gauge_set(GaugeId::CsmDistinctPcs, self.distinct_pcs() as i64);
+            if let Some(t0) = widen_t0 {
+                shard.observe(
+                    HistogramId::PhaseCsmWidenUs,
+                    t0.elapsed().as_micros() as u64,
+                );
+            }
         }
         debug!(
             "csm.widen",
@@ -440,6 +486,14 @@ mod tests {
             "slot 1 must not have been clobbered"
         );
         assert!(matches!(csm.observe(0, &s_a2), Observation::Covered));
+    }
+
+    #[test]
+    fn csm_keys_render_for_trace_records() {
+        assert_eq!(CsmKey::Concrete(0x1f4).to_string(), "0x1f4");
+        // pattern storage is LSB-first; rendering is MSB-first
+        let k = CsmKey::Pattern(Box::new([Value::ZERO, Value::ONE, Value::X]));
+        assert_eq!(k.to_string(), "bx10");
     }
 
     #[test]

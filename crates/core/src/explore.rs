@@ -5,7 +5,8 @@ use std::time::Instant;
 use symsim_logic::{Value, Word};
 use symsim_netlist::{NetId, Netlist};
 use symsim_obs::{
-    debug, info, trace, CounterId, GaugeId, HistogramId, MetricsRegistry, DIRTY_PCT_BUCKETS,
+    debug, info, trace, tracefile, CounterId, GaugeId, HistogramId, MetricsRegistry, TraceSink,
+    DIRTY_PCT_BUCKETS,
 };
 use symsim_sim::{HaltReason, MonitorSpec, SimConfig, SimState, Simulator, ToggleProfile};
 
@@ -62,6 +63,14 @@ pub struct CoAnalysisConfig {
     /// embedded in the report either way. A registry must serve exactly
     /// one run: reusing it across runs sums their counters.
     pub metrics: Option<Arc<MetricsRegistry>>,
+    /// Run-trace sink (`--trace-out`): every path fork, CSM decision, and
+    /// path outcome is recorded as an NDJSON event, and per-segment phase
+    /// timing (restore/exec/save/CSM, plus engine settle/batch/event time)
+    /// is both carried on the `path_end` records and observed into the
+    /// `phase_*_us` histograms. `None` keeps the hot path free of
+    /// timestamps entirely. The caller owns the sink's lifecycle
+    /// ([`TraceSink::finish`] merges and flushes the shards).
+    pub trace: Option<Arc<TraceSink>>,
 }
 
 impl Default for CoAnalysisConfig {
@@ -76,6 +85,7 @@ impl Default for CoAnalysisConfig {
             workers: 1,
             activity_weights: None,
             metrics: None,
+            trace: None,
         }
     }
 }
@@ -96,6 +106,12 @@ pub enum PathOutcome {
 
 #[derive(Debug)]
 struct Task {
+    /// Trace-visible path identity. Ids are grants from the `created`
+    /// counter: the root takes 0 and a fork's children take the contiguous
+    /// range its CAS grant claimed, so ids are unique without any extra
+    /// synchronization and the lineage tree is reconstructible from the
+    /// fork records alone.
+    id: u64,
     state: SimState,
     forces: Vec<(NetId, Value)>,
 }
@@ -157,8 +173,12 @@ impl<'n> CoAnalysis<'n> {
             let mut c = ConservativeStateManager::new(self.config.policy);
             c.set_constraints(self.config.constraints.clone());
             c.set_metrics(Arc::clone(&registry));
+            c.set_profile(self.config.trace.is_some());
             c
         });
+        if let Some(tr) = &self.config.trace {
+            tr.emit_meta(&self.netlist.name, workers);
+        }
         info!(
             "analysis.start",
             { design = self.netlist.name.as_str(), workers = workers, max_paths = self.config.max_paths },
@@ -174,6 +194,7 @@ impl<'n> CoAnalysis<'n> {
         registry.shard(0).inc(CounterId::PathsCreated);
         let queue: WorkQueue<Task> = WorkQueue::with_metrics(workers, Arc::clone(&registry));
         queue.inject(Task {
+            id: 0,
             state: root_state,
             forces: Vec::new(),
         });
@@ -191,6 +212,9 @@ impl<'n> CoAnalysis<'n> {
                 let activities = &activities;
                 let prepare = &prepare;
                 scope.spawn(move || {
+                    if self.config.trace.is_some() {
+                        tracefile::set_thread_worker(w as i64);
+                    }
                     let mut sim = self.make_sim(prepare);
                     self.worker_loop(w, &mut sim, queue, csm, created, registry);
                     // engine statistics are plain fields (no hot-path
@@ -255,7 +279,10 @@ impl<'n> CoAnalysis<'n> {
     where
         F: Fn(&mut Simulator<'_>),
     {
-        let mut sim = Simulator::new(self.netlist, self.config.sim);
+        let mut sim_config = self.config.sim;
+        // tracing needs the engine's settle/batch/event timers
+        sim_config.profile_phases |= self.config.trace.is_some();
+        let mut sim = Simulator::new(self.netlist, sim_config);
         prepare(&mut sim);
         sim.settle();
         sim.monitor_x(self.iface.monitor.clone());
@@ -276,8 +303,22 @@ impl<'n> CoAnalysis<'n> {
         created: &AtomicUsize,
         registry: &Arc<MetricsRegistry>,
     ) {
-        while let Some(task) = queue.next_task(worker) {
-            self.run_segment(worker, sim, task, queue, csm, created, registry);
+        let tracing = self.config.trace.is_some();
+        loop {
+            // time spent waiting on (or stealing from) the scheduler is a
+            // phase of its own; the final pop that observes shutdown is not
+            // recorded because there is no segment to attribute it to
+            let wait_t0 = tracing.then(Instant::now);
+            let Some(task) = queue.next_task(worker) else {
+                break;
+            };
+            let wait_us = elapsed_us(wait_t0);
+            if tracing {
+                registry
+                    .shard(worker)
+                    .observe(HistogramId::PhaseSchedWaitUs, wait_us);
+            }
+            self.run_segment(worker, sim, task, wait_us, queue, csm, created, registry);
             queue.task_done();
         }
     }
@@ -288,18 +329,31 @@ impl<'n> CoAnalysis<'n> {
         worker: usize,
         sim: &mut Simulator<'_>,
         task: Task,
+        wait_us: u64,
         queue: &WorkQueue<Task>,
         csm: &Mutex<ConservativeStateManager>,
         created: &AtomicUsize,
         registry: &Arc<MetricsRegistry>,
     ) -> PathOutcome {
         let _span = trace::span("segment");
+        let tr = self.config.trace.as_deref();
         let shard = registry.shard(worker);
         shard.inc(CounterId::PathsSimulated);
+        let seg_t0 = tr.map(|_| Instant::now());
+        let engine_before = tr.map(|_| sim.engine_stats());
+
+        let restore_t0 = tr.map(|_| Instant::now());
         sim.load_state(&task.state);
+        let restore_us = elapsed_us(restore_t0);
         let seg_start = sim.cycle();
+        if let Some(t) = tr {
+            t.emit(worker as i64, "path_start", |o| {
+                o.u64("path", task.id).u64("cycle", seg_start);
+            });
+        }
 
         // steer the non-deterministic branch down this task's outcome
+        let exec_t0 = tr.map(|_| Instant::now());
         let mut pending: Option<HaltReason> = None;
         if !task.forces.is_empty() {
             for &(net, value) in &task.forces {
@@ -314,6 +368,9 @@ impl<'n> CoAnalysis<'n> {
             Some(r) => r,
             None => sim.run(self.config.max_cycles_per_segment),
         };
+        let exec_us = elapsed_us(exec_t0);
+        let mut save_us = 0u64;
+        let mut csm_us = 0u64;
         let outcome = match reason {
             HaltReason::Finished => {
                 shard.inc(CounterId::PathsFinished);
@@ -335,11 +392,26 @@ impl<'n> CoAnalysis<'n> {
             }
             HaltReason::MonitorX { .. } => {
                 let pc = sim.read_bus(&self.iface.pc);
+                let save_t0 = tr.map(|_| Instant::now());
                 let state = sim.save_state();
-                let observation = csm.lock().unwrap().observe_key(pc_key(&pc), &state);
+                save_us = elapsed_us(save_t0);
+                let key = pc_key(&pc);
+                // the key renders to a string only when tracing
+                let pc_label = tr.map(|_| key.to_string());
+                let csm_t0 = tr.map(|_| Instant::now());
+                let observation = csm.lock().unwrap().observe_key(key, &state);
+                csm_us = elapsed_us(csm_t0);
                 match observation {
                     Observation::Covered => {
                         shard.inc(CounterId::PathsSkipped);
+                        if let Some(t) = tr {
+                            t.emit(worker as i64, "csm", |o| {
+                                o.u64("path", task.id)
+                                    .str("pc", pc_label.as_deref().unwrap_or(""))
+                                    .str("kind", "cover")
+                                    .u64("dur_us", csm_us);
+                            });
+                        }
                         debug!(
                             "path.skip",
                             { worker = worker },
@@ -348,7 +420,23 @@ impl<'n> CoAnalysis<'n> {
                         PathOutcome::Covered
                     }
                     Observation::NewConservative(cons) => {
-                        let children = self.spawn_children(worker, &cons, queue, created, registry);
+                        if let Some(t) = tr {
+                            t.emit(worker as i64, "csm", |o| {
+                                o.u64("path", task.id)
+                                    .str("pc", pc_label.as_deref().unwrap_or(""))
+                                    .str("kind", "widen")
+                                    .u64("dur_us", csm_us);
+                            });
+                        }
+                        let children = self.spawn_children(
+                            worker,
+                            task.id,
+                            pc_label.as_deref(),
+                            &cons,
+                            queue,
+                            created,
+                            registry,
+                        );
                         PathOutcome::Split(children)
                     }
                 }
@@ -357,6 +445,42 @@ impl<'n> CoAnalysis<'n> {
         let seg_cycles = sim.cycle() - seg_start;
         shard.add(CounterId::Cycles, seg_cycles);
         shard.observe(HistogramId::SegmentCycles, seg_cycles);
+        if let Some(t) = tr {
+            // engine-internal phase time is the delta of the simulator's
+            // plain ns accumulators across the segment
+            let before = engine_before.expect("taken when tracing");
+            let after = sim.engine_stats();
+            let settle_us = after.settle_ns.saturating_sub(before.settle_ns) / 1_000;
+            let batch_us = after.batch_eval_ns.saturating_sub(before.batch_eval_ns) / 1_000;
+            let event_us = after.event_eval_ns.saturating_sub(before.event_eval_ns) / 1_000;
+            let seg_us = elapsed_us(seg_t0);
+            shard.observe(HistogramId::PhaseSettleUs, settle_us);
+            shard.observe(HistogramId::PhaseBatchEvalUs, batch_us);
+            shard.observe(HistogramId::PhaseEventEvalUs, event_us);
+            shard.observe(HistogramId::PhaseRestoreUs, restore_us);
+            if save_us > 0 {
+                shard.observe(HistogramId::PhaseSaveUs, save_us);
+            }
+            let children = match outcome {
+                PathOutcome::Split(n) => n as u64,
+                _ => 0,
+            };
+            t.emit(worker as i64, "path_end", |o| {
+                o.u64("path", task.id)
+                    .str("outcome", outcome_name(outcome))
+                    .u64("cycles", seg_cycles)
+                    .u64("children", children)
+                    .u64("restore_us", restore_us)
+                    .u64("exec_us", exec_us)
+                    .u64("save_us", save_us)
+                    .u64("csm_us", csm_us)
+                    .u64("settle_us", settle_us)
+                    .u64("batch_us", batch_us)
+                    .u64("event_us", event_us)
+                    .u64("wait_us", wait_us)
+                    .u64("seg_us", seg_us);
+            });
+        }
         outcome
     }
 
@@ -364,9 +488,12 @@ impl<'n> CoAnalysis<'n> {
     /// control signals in the conservative state, clamped to the remaining
     /// `max_paths` budget; dropped children are counted, never silently
     /// lost.
+    #[allow(clippy::too_many_arguments)]
     fn spawn_children(
         &self,
         worker: usize,
+        parent: u64,
+        pc_label: Option<&str>,
         cons: &SimState,
         queue: &WorkQueue<Task>,
         created: &AtomicUsize,
@@ -392,19 +519,20 @@ impl<'n> CoAnalysis<'n> {
         let combos = 1usize << xs.len();
 
         // claim budget from the path cap *before* materializing children so
-        // `paths_created` can never overshoot `max_paths`
-        let granted = loop {
+        // `paths_created` can never overshoot `max_paths`; the claimed range
+        // `first..first + granted` doubles as the children's path ids
+        let (first, granted) = loop {
             let so_far = created.load(Ordering::SeqCst);
             let remaining = self.config.max_paths.saturating_sub(so_far);
             let grant = combos.min(remaining);
             if grant == 0 {
-                break 0;
+                break (so_far, 0);
             }
             if created
                 .compare_exchange(so_far, so_far + grant, Ordering::SeqCst, Ordering::SeqCst)
                 .is_ok()
             {
-                break grant;
+                break (so_far, grant);
             }
         };
         let shard = registry.shard(worker);
@@ -421,6 +549,20 @@ impl<'n> CoAnalysis<'n> {
         }
         shard.add(CounterId::PathsCreated, granted as u64);
         shard.observe(HistogramId::SplitFanout, granted as u64);
+        if let Some(t) = self.config.trace.as_deref() {
+            // one record per fork: child `first + i` takes branch combo `i`
+            // (bit j of `i` is the value forced on `signals[j]`), so the
+            // per-child assignment needs no per-child records
+            let signals: Vec<u64> = xs.iter().map(|n| n.0 as u64).collect();
+            t.emit(worker as i64, "fork", |o| {
+                o.u64("parent", parent)
+                    .str("pc", pc_label.unwrap_or(""))
+                    .u64("first", first as u64)
+                    .u64("n", granted as u64)
+                    .u64("want", combos as u64)
+                    .u64_array("signals", &signals);
+            });
+        }
         queue.push_local(
             worker,
             (0..granted).map(|combo| {
@@ -430,6 +572,7 @@ impl<'n> CoAnalysis<'n> {
                     .map(|(i, &net)| (net, Value::from_bool(combo >> i & 1 == 1)))
                     .collect();
                 Task {
+                    id: (first + combo) as u64,
                     // cheap: copy-on-write pages, only dirty pages ever split
                     state: cons.clone(),
                     forces,
@@ -437,6 +580,22 @@ impl<'n> CoAnalysis<'n> {
             }),
         );
         granted
+    }
+}
+
+/// Microseconds since `t0`, or 0 when phase timing is off.
+fn elapsed_us(t0: Option<Instant>) -> u64 {
+    t0.map_or(0, |t| t.elapsed().as_micros() as u64)
+}
+
+/// The stable outcome name used in `path_end` trace records
+/// ([`symsim_obs::tracefile::Outcome`] parses these back).
+fn outcome_name(outcome: PathOutcome) -> &'static str {
+    match outcome {
+        PathOutcome::Finished => "finished",
+        PathOutcome::Covered => "covered",
+        PathOutcome::Split(_) => "split",
+        PathOutcome::Budget => "budget",
     }
 }
 
@@ -615,6 +774,69 @@ mod tests {
         let hist = &m.histograms[HistogramId::SegmentCycles as usize];
         assert_eq!(hist.name, "segment_cycles");
         assert_eq!(hist.samples, report.paths_simulated as u64);
+    }
+
+    #[test]
+    fn traced_run_reconstructs_lineage_and_matches_report() {
+        /// A `Write` the test can inspect after the run.
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for SharedBuf {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let (nl, iface) = branchy_design();
+        let cond = nl.find_net("cond_in").unwrap();
+        let buf = SharedBuf::default();
+        let sink = Arc::new(symsim_obs::TraceSink::new(2, Box::new(buf.clone())));
+        let config = CoAnalysisConfig {
+            workers: 2,
+            trace: Some(Arc::clone(&sink)),
+            ..CoAnalysisConfig::default()
+        };
+        let report = CoAnalysis::new(&nl, iface, config).run(|sim| sim.poke(cond, Value::X));
+        let stats = sink.finish();
+        assert!(stats.events > 0);
+        assert_eq!(stats.dropped, 0);
+
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let trace = symsim_obs::Trace::parse(&text).expect("trace parses");
+        let (design, workers) = trace.meta().expect("meta record");
+        assert_eq!(design, "branchy");
+        assert_eq!(workers, 2);
+        // the traced totals equal the report's exactly
+        assert_eq!(trace.paths_created(), report.paths_created as u64);
+        assert_eq!(trace.total_cycles(), report.simulated_cycles);
+        let oc = trace.outcome_counts();
+        assert_eq!(oc.finished, report.paths_finished as u64);
+        assert_eq!(oc.covered, report.paths_skipped as u64);
+        assert_eq!(oc.total(), report.paths_simulated as u64);
+        // the lineage is a tree rooted at path 0: the root has no fork
+        // parent and every other ended path has exactly one
+        let lineage = trace.lineage();
+        assert!(!lineage.parent.contains_key(&0), "root must be parentless");
+        for r in &trace.records {
+            if let symsim_obs::TraceRecord::PathEnd { path, .. } = r {
+                if *path != 0 {
+                    assert!(
+                        lineage.parent.contains_key(path),
+                        "path {path} has no fork parent"
+                    );
+                }
+            }
+        }
+        // forks happen at the branchy design's single branch PC
+        let hotspots = trace.fork_hotspots();
+        assert!(!hotspots.is_empty());
+        // phase timings were recorded (exec covers the whole run loop)
+        let phases = trace.phase_table();
+        assert!(phases.iter().any(|(name, _)| *name == "exec"));
     }
 
     #[test]

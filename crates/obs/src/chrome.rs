@@ -1,0 +1,339 @@
+//! Chrome Trace Event (Perfetto-loadable) export of a parsed [`Trace`].
+//!
+//! Mapping: workers become tracks (`thread_name` metadata, tid = worker
+//! index + 2 so the coordinating thread gets tid 1), each simulated
+//! segment becomes a complete `"X"` slice on its worker's track, each
+//! path's lifetime (creation at its fork → `path_end`) becomes an async
+//! `"b"`/`"e"` span so queue latency is visible, spans recorded by
+//! [`crate::trace::span`] become `"B"`/`"E"` duration events, and fork /
+//! widen→cover edges become `"s"`/`"f"` flow events. Schema:
+//! `docs/schema/chrome_trace.schema.json`.
+
+use std::collections::HashMap;
+
+use crate::json::JsonObject;
+use crate::tracefile::{CsmEvent, Trace, TraceRecord};
+
+const PID: u64 = 1;
+
+/// tid for a trace worker index (`-1` → 1, worker 0 → 2, …).
+fn tid(w: i64) -> u64 {
+    (w + 2).max(1) as u64
+}
+
+struct Events {
+    out: Vec<String>,
+}
+
+impl Events {
+    fn push(&mut self, fill: impl FnOnce(&mut JsonObject)) {
+        let mut o = JsonObject::new();
+        fill(&mut o);
+        self.out.push(o.finish());
+    }
+}
+
+/// Renders `trace` as a Trace Event JSON document (object form, with a
+/// `traceEvents` array), loadable in Perfetto / `chrome://tracing`.
+pub fn export_chrome(trace: &Trace) -> String {
+    let mut ev = Events { out: Vec::new() };
+
+    let design = trace.meta().map(|(d, _)| d.to_owned());
+    ev.push(|o| {
+        let mut args = JsonObject::new();
+        args.str(
+            "name",
+            &design
+                .as_deref()
+                .map(|d| format!("symsim {d}"))
+                .unwrap_or_else(|| "symsim".to_owned()),
+        );
+        o.str("name", "process_name")
+            .str("ph", "M")
+            .u64("ts", 0)
+            .u64("pid", PID)
+            .raw("args", &args.finish());
+    });
+
+    // one thread_name metadata record per track seen anywhere in the trace
+    let mut tracks: Vec<i64> = trace
+        .records
+        .iter()
+        .filter_map(|r| match r {
+            TraceRecord::SpanOpen { w, .. }
+            | TraceRecord::SpanClose { w, .. }
+            | TraceRecord::PathStart { w, .. }
+            | TraceRecord::Fork { w, .. }
+            | TraceRecord::Csm { w, .. }
+            | TraceRecord::PathEnd { w, .. } => Some(*w),
+            _ => None,
+        })
+        .collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    for &w in &tracks {
+        ev.push(|o| {
+            let mut args = JsonObject::new();
+            args.str(
+                "name",
+                &if w < 0 {
+                    "main".to_owned()
+                } else {
+                    format!("worker {w}")
+                },
+            );
+            o.str("name", "thread_name")
+                .str("ph", "M")
+                .u64("ts", 0)
+                .u64("pid", PID)
+                .u64("tid", tid(w))
+                .raw("args", &args.finish());
+        });
+    }
+
+    // index path starts (for X slices, async begins, and flow targets)
+    let mut starts: HashMap<u64, (u64, i64, u64)> = HashMap::new(); // path → (ts, w, cycle)
+    for r in &trace.records {
+        if let TraceRecord::PathStart {
+            ts_us,
+            w,
+            path,
+            cycle,
+        } = r
+        {
+            starts.entry(*path).or_insert((*ts_us, *w, *cycle));
+        }
+    }
+    // creation time/track per path (fork record), for async span begins
+    let mut created: HashMap<u64, (u64, i64, u64)> = HashMap::new(); // child → (ts, w, parent)
+    for r in &trace.records {
+        if let TraceRecord::Fork {
+            ts_us,
+            w,
+            parent,
+            first,
+            n,
+            ..
+        } = r
+        {
+            for child in *first..*first + *n {
+                created.entry(child).or_insert((*ts_us, *w, *parent));
+            }
+        }
+    }
+    // most recent widen per PC, for widen→cover flow sources
+    let mut last_widen: HashMap<&str, (u64, i64)> = HashMap::new();
+    let mut cover_seq = 0u64;
+
+    for r in &trace.records {
+        match r {
+            TraceRecord::SpanOpen { ts_us, w, name, .. } => ev.push(|o| {
+                o.str("name", name)
+                    .str("cat", "span")
+                    .str("ph", "B")
+                    .u64("ts", *ts_us)
+                    .u64("pid", PID)
+                    .u64("tid", tid(*w));
+            }),
+            TraceRecord::SpanClose { ts_us, w, name, .. } => ev.push(|o| {
+                o.str("name", name)
+                    .str("cat", "span")
+                    .str("ph", "E")
+                    .u64("ts", *ts_us)
+                    .u64("pid", PID)
+                    .u64("tid", tid(*w));
+            }),
+            TraceRecord::Fork {
+                ts_us,
+                w,
+                first,
+                n,
+                pc,
+                ..
+            } => {
+                // async span begin + fork flow source for each child
+                for child in *first..*first + *n {
+                    ev.push(|o| {
+                        o.str("name", "path")
+                            .str("cat", "path")
+                            .str("ph", "b")
+                            .u64("id", child)
+                            .u64("ts", *ts_us)
+                            .u64("pid", PID)
+                            .u64("tid", tid(*w));
+                    });
+                    if starts.contains_key(&child) {
+                        ev.push(|o| {
+                            let mut args = JsonObject::new();
+                            args.str("pc", pc);
+                            o.str("name", "fork")
+                                .str("cat", "fork")
+                                .str("ph", "s")
+                                .u64("id", child)
+                                .u64("ts", *ts_us)
+                                .u64("pid", PID)
+                                .u64("tid", tid(*w))
+                                .raw("args", &args.finish());
+                        });
+                    }
+                }
+            }
+            TraceRecord::PathStart { ts_us, w, path, .. } => {
+                if created.contains_key(path) {
+                    ev.push(|o| {
+                        o.str("name", "fork")
+                            .str("cat", "fork")
+                            .str("ph", "f")
+                            .str("bp", "e")
+                            .u64("id", *path)
+                            .u64("ts", *ts_us)
+                            .u64("pid", PID)
+                            .u64("tid", tid(*w));
+                    });
+                } else {
+                    // root: its lifetime starts when it starts running
+                    ev.push(|o| {
+                        o.str("name", "path")
+                            .str("cat", "path")
+                            .str("ph", "b")
+                            .u64("id", *path)
+                            .u64("ts", *ts_us)
+                            .u64("pid", PID)
+                            .u64("tid", tid(*w));
+                    });
+                }
+            }
+            TraceRecord::Csm {
+                ts_us, w, pc, kind, ..
+            } => match kind {
+                CsmEvent::Widen => {
+                    last_widen.insert(pc.as_str(), (*ts_us, *w));
+                }
+                CsmEvent::Cover => {
+                    if let Some(&(widen_ts, widen_w)) = last_widen.get(pc.as_str()) {
+                        cover_seq += 1;
+                        let id = cover_seq;
+                        ev.push(|o| {
+                            let mut args = JsonObject::new();
+                            args.str("pc", pc);
+                            o.str("name", "cover")
+                                .str("cat", "cover")
+                                .str("ph", "s")
+                                .u64("id", id)
+                                .u64("ts", widen_ts)
+                                .u64("pid", PID)
+                                .u64("tid", tid(widen_w))
+                                .raw("args", &args.finish());
+                        });
+                        ev.push(|o| {
+                            o.str("name", "cover")
+                                .str("cat", "cover")
+                                .str("ph", "f")
+                                .str("bp", "e")
+                                .u64("id", id)
+                                .u64("ts", *ts_us)
+                                .u64("pid", PID)
+                                .u64("tid", tid(*w));
+                        });
+                    }
+                }
+            },
+            TraceRecord::PathEnd {
+                ts_us,
+                w,
+                path,
+                outcome,
+                cycles,
+                phases,
+                ..
+            } => {
+                let (start_ts, start_w) = match starts.get(path) {
+                    Some(&(ts, sw, _)) => (ts, sw),
+                    None => (ts_us.saturating_sub(phases.seg_us), *w),
+                };
+                ev.push(|o| {
+                    let mut args = JsonObject::new();
+                    args.str("outcome", outcome.name())
+                        .u64("cycles", *cycles)
+                        .u64("wait_us", phases.wait_us);
+                    o.str("name", &format!("path {path}"))
+                        .str("cat", "segment")
+                        .str("ph", "X")
+                        .u64("ts", start_ts)
+                        .u64("dur", ts_us.saturating_sub(start_ts).max(1))
+                        .u64("pid", PID)
+                        .u64("tid", tid(start_w))
+                        .raw("args", &args.finish());
+                });
+                ev.push(|o| {
+                    o.str("name", "path")
+                        .str("cat", "path")
+                        .str("ph", "e")
+                        .u64("id", *path)
+                        .u64("ts", *ts_us)
+                        .u64("pid", PID)
+                        .u64("tid", tid(*w));
+                });
+            }
+            TraceRecord::Meta { .. } | TraceRecord::Summary { .. } => {}
+        }
+    }
+
+    let mut doc = String::from("{\"traceEvents\":[");
+    for (i, e) in ev.out.iter().enumerate() {
+        if i > 0 {
+            doc.push(',');
+        }
+        doc.push('\n');
+        doc.push_str(e);
+    }
+    doc.push_str("\n],\"displayTimeUnit\":\"ms\"}");
+    doc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    const FIXTURE: &str = concat!(
+        "{\"ev\":\"meta\",\"ts_us\":0,\"w\":-1,\"version\":1,\"design\":\"dr5\",\"workers\":2}\n",
+        "{\"ev\":\"span_open\",\"ts_us\":1,\"w\":-1,\"name\":\"analysis\",\"depth\":0}\n",
+        "{\"ev\":\"path_start\",\"ts_us\":2,\"w\":0,\"path\":0,\"cycle\":0}\n",
+        "{\"ev\":\"csm\",\"ts_us\":3,\"w\":0,\"path\":0,\"pc\":\"0x10\",\"kind\":\"widen\",\"dur_us\":1}\n",
+        "{\"ev\":\"fork\",\"ts_us\":4,\"w\":0,\"parent\":0,\"pc\":\"0x10\",\"first\":1,\"n\":2,\"want\":2,\"signals\":[5]}\n",
+        "{\"ev\":\"path_end\",\"ts_us\":5,\"w\":0,\"path\":0,\"outcome\":\"split\",\"cycles\":9,\"children\":2,\"seg_us\":3}\n",
+        "{\"ev\":\"path_start\",\"ts_us\":6,\"w\":1,\"path\":1,\"cycle\":9}\n",
+        "{\"ev\":\"csm\",\"ts_us\":7,\"w\":1,\"path\":1,\"pc\":\"0x10\",\"kind\":\"cover\",\"dur_us\":1}\n",
+        "{\"ev\":\"path_end\",\"ts_us\":8,\"w\":1,\"path\":1,\"outcome\":\"covered\",\"cycles\":4,\"seg_us\":2}\n",
+        "{\"ev\":\"span_close\",\"ts_us\":9,\"w\":-1,\"name\":\"analysis\",\"depth\":0,\"dur_us\":8}\n",
+        "{\"ev\":\"summary\",\"ts_us\":10,\"w\":-1,\"events\":10,\"dropped\":0,\"bytes\":100}\n",
+    );
+
+    #[test]
+    fn export_is_valid_trace_event_json() {
+        let trace = Trace::parse(FIXTURE).unwrap();
+        let doc = export_chrome(&trace);
+        let v = JsonValue::parse(&doc).expect("chrome export parses as JSON");
+        let events = v
+            .get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("traceEvents array");
+        assert!(!events.is_empty());
+        let mut phases: Vec<&str> = Vec::new();
+        for e in events {
+            assert!(e.get("name").and_then(JsonValue::as_str).is_some());
+            let ph = e.get("ph").and_then(JsonValue::as_str).unwrap();
+            assert!(e.get("pid").and_then(JsonValue::as_u64).is_some());
+            assert!(e.get("ts").is_some());
+            phases.push(ph);
+        }
+        for want in ["M", "B", "E", "X", "b", "e", "s", "f"] {
+            assert!(phases.contains(&want), "missing ph {want:?}: {phases:?}");
+        }
+        // two X slices (one per segment), flows for fork and cover
+        assert_eq!(phases.iter().filter(|p| **p == "X").count(), 2);
+        assert!(doc.contains("\"thread_name\""));
+        assert!(doc.contains("worker 1"));
+    }
+}

@@ -5,8 +5,7 @@
 //! `docs/schema/heartbeat.schema.json`.
 
 use std::io::Write;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -34,7 +33,7 @@ impl std::fmt::Debug for HeartbeatOut {
 /// on [`Heartbeat::stop`] or drop.
 #[derive(Debug)]
 pub struct Heartbeat {
-    stop: Arc<AtomicBool>,
+    stop: Arc<(Mutex<bool>, Condvar)>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -45,8 +44,8 @@ impl Heartbeat {
         interval: Duration,
         out: HeartbeatOut,
     ) -> Heartbeat {
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop_thread = stop.clone();
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let stop_thread = Arc::clone(&stop);
         let interval = interval.max(Duration::from_millis(10));
         let handle = std::thread::Builder::new()
             .name("symsim-heartbeat".into())
@@ -65,7 +64,11 @@ impl Heartbeat {
     }
 
     fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Release);
+        {
+            let (lock, cv) = &*self.stop;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -82,33 +85,32 @@ fn beat_loop(
     registry: &MetricsRegistry,
     interval: Duration,
     mut out: HeartbeatOut,
-    stop: &AtomicBool,
+    stop: &(Mutex<bool>, Condvar),
 ) {
     let started = Instant::now();
     let mut seq = 0u64;
     let mut last = Snapshot::take(registry, started);
+    let (lock, cv) = stop;
+    let mut stopped = lock.lock().unwrap();
     loop {
-        // sleep in short slices so stop() returns promptly
+        // condvar wait with a deadline: stop() wakes us immediately, and
+        // emitting while still holding the lock means the final record can
+        // never race a late periodic one — whichever record observes the
+        // flag set is, by construction, the last record emitted
         let deadline = Instant::now() + interval;
-        let mut stopped = false;
-        while Instant::now() < deadline {
-            if stop.load(Ordering::Acquire) {
-                stopped = true;
+        while !*stopped {
+            let now = Instant::now();
+            if now >= deadline {
                 break;
             }
-            std::thread::sleep(Duration::from_millis(10).min(interval));
+            stopped = cv.wait_timeout(stopped, deadline - now).unwrap().0;
         }
+        let fin = *stopped;
         let now = Snapshot::take(registry, started);
-        emit(
-            &mut out,
-            seq,
-            &last,
-            &now,
-            stopped || stop.load(Ordering::Acquire),
-        );
+        emit(&mut out, seq, &last, &now, fin);
         seq += 1;
         last = now;
-        if stopped || stop.load(Ordering::Acquire) {
+        if fin {
             return;
         }
     }

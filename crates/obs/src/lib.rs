@@ -23,6 +23,13 @@
 //!   records (elapsed, cycles/sec, live/queued paths, CSM size, per-worker
 //!   cycle counts) from a shared registry, plus a guaranteed final record
 //!   on shutdown so even sub-interval runs produce at least one line.
+//! * [`tracefile`] — the run-trace subsystem: a sharded, drop-counted
+//!   NDJSON writer ([`TraceSink`]) recording the causal exploration events
+//!   (forks, CSM decisions, path outcomes with per-phase timing) from
+//!   which the full path-lineage tree is reconstructible, plus the reader
+//!   and aggregation helpers ([`Trace`]) behind `symsim trace`; [`chrome`]
+//!   renders a parsed trace as Chrome Trace Event JSON for Perfetto, and
+//!   [`profile`] names the timed phases and their registry histograms.
 //!
 //! The NDJSON record and metrics-snapshot schemas are checked in under
 //! `docs/schema/` and validated in CI by `scripts/validate_metrics.py`.
@@ -30,18 +37,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chrome;
 mod heartbeat;
 mod json;
 mod metrics;
+pub mod profile;
 pub mod trace;
+pub mod tracefile;
 
+pub use chrome::export_chrome;
 pub use heartbeat::{Heartbeat, HeartbeatOut};
-pub use json::{escape_json, JsonObject};
+pub use json::{escape_json, JsonObject, JsonValue};
 pub use metrics::{
     CounterId, GaugeId, HistogramId, HistogramSnapshot, MetricShard, MetricsRegistry,
     MetricsSnapshot, DIRTY_PCT_BUCKETS,
 };
+pub use profile::{Phase, PhaseTotals};
 pub use trace::{Level, LogFormat};
+pub use tracefile::{Trace, TraceRecord, TraceSink, TraceStats};
 
 /// Emits a structured event when `level` is enabled.
 ///

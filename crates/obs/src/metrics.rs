@@ -104,9 +104,25 @@ pub enum HistogramId {
     SplitFanout,
     /// Cycles simulated per path segment.
     SegmentCycles,
+    /// Engine settle (Active-region propagation) time per segment, µs.
+    PhaseSettleUs,
+    /// Snapshot save time per halted segment, µs.
+    PhaseSaveUs,
+    /// Snapshot restore time per segment, µs.
+    PhaseRestoreUs,
+    /// CSM subset (cover) check time per observation, µs.
+    PhaseCsmCheckUs,
+    /// CSM merge/widen time per widening, µs.
+    PhaseCsmWidenUs,
+    /// Scheduler wait (time blocked in `next_task`) per claim, µs.
+    PhaseSchedWaitUs,
+    /// Batched level-tape evaluation time per segment, µs.
+    PhaseBatchEvalUs,
+    /// Scalar event-driven evaluation time per segment, µs.
+    PhaseEventEvalUs,
 }
 
-const HISTOGRAM_COUNT: usize = HistogramId::SegmentCycles as usize + 1;
+const HISTOGRAM_COUNT: usize = HistogramId::PhaseEventEvalUs as usize + 1;
 
 /// Bucket count of [`HistogramId::DirtyFractionPct`]: ten deciles plus the
 /// exactly-100% bucket.
@@ -114,15 +130,38 @@ pub const DIRTY_PCT_BUCKETS: usize = 11;
 
 /// Inclusive upper bounds per histogram; values above the last bound land
 /// in one extra overflow bucket.
+/// Power-of-two µs bounds shared by every phase-timing histogram: sub-µs
+/// phases land in the first bucket, anything past ~1 ms in the overflow.
+const PHASE_US_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024];
+
 const HISTOGRAM_BOUNDS: [&[u64]; HISTOGRAM_COUNT] = [
     // deciles: <=9 → 0-9%, …, <=99 → 90-99%, overflow bucket = exactly 100%
     &[9, 19, 29, 39, 49, 59, 69, 79, 89, 99],
     &[1, 2, 4, 8, 16, 32, 64],
     &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024],
+    PHASE_US_BOUNDS,
+    PHASE_US_BOUNDS,
+    PHASE_US_BOUNDS,
+    PHASE_US_BOUNDS,
+    PHASE_US_BOUNDS,
+    PHASE_US_BOUNDS,
+    PHASE_US_BOUNDS,
+    PHASE_US_BOUNDS,
 ];
 
-const HISTOGRAM_NAMES: [&str; HISTOGRAM_COUNT] =
-    ["dirty_fraction_pct", "split_fanout", "segment_cycles"];
+const HISTOGRAM_NAMES: [&str; HISTOGRAM_COUNT] = [
+    "dirty_fraction_pct",
+    "split_fanout",
+    "segment_cycles",
+    "phase_settle_us",
+    "phase_snapshot_save_us",
+    "phase_snapshot_restore_us",
+    "phase_csm_check_us",
+    "phase_csm_widen_us",
+    "phase_sched_wait_us",
+    "phase_batch_eval_us",
+    "phase_event_eval_us",
+];
 
 /// Largest bucket array any histogram needs (bounds + overflow):
 /// `segment_cycles` with its 11 bounds.

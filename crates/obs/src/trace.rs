@@ -291,12 +291,29 @@ pub fn emit(level: Level, target: &str, msg: &str, fields: &[(&str, FieldValue)]
 
 /// An RAII span: pushes `target` onto the thread's span stack so nested
 /// events carry context; the guard pops on drop and, at [`Level::Trace`],
-/// emits a `span.close` event with the span's wall time.
+/// emits a `span.close` event with the span's wall time. When a run-trace
+/// sink is installed ([`crate::tracefile::install_global`]) the open and
+/// close are additionally recorded as `span_open`/`span_close` trace
+/// records, so CLI-level spans appear in the Chrome export.
 pub fn span(target: &'static str) -> SpanGuard {
-    SPAN_STACK.with(|s| s.borrow_mut().push(target));
+    let depth = SPAN_STACK.with(|s| {
+        let mut s = s.borrow_mut();
+        s.push(target);
+        (s.len() - 1) as u64
+    });
+    let traced = crate::tracefile::global_enabled();
+    if traced {
+        crate::tracefile::with_global(|sink| {
+            sink.emit(crate::tracefile::thread_worker(), "span_open", |o| {
+                o.str("name", target).u64("depth", depth);
+            });
+        });
+    }
     SpanGuard {
         target,
-        start: enabled(Level::Trace).then(Instant::now),
+        depth,
+        traced,
+        start: (traced || enabled(Level::Trace)).then(Instant::now),
     }
 }
 
@@ -305,13 +322,27 @@ pub fn span(target: &'static str) -> SpanGuard {
 #[derive(Debug)]
 pub struct SpanGuard {
     target: &'static str,
+    depth: u64,
+    traced: bool,
     start: Option<Instant>,
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        if let Some(start) = self.start {
-            let us = start.elapsed().as_micros() as u64;
+        let us = self
+            .start
+            .map(|s| s.elapsed().as_micros() as u64)
+            .unwrap_or(0);
+        if self.traced {
+            crate::tracefile::with_global(|sink| {
+                sink.emit(crate::tracefile::thread_worker(), "span_close", |o| {
+                    o.str("name", self.target)
+                        .u64("depth", self.depth)
+                        .u64("dur_us", us);
+                });
+            });
+        }
+        if self.start.is_some() && enabled(Level::Trace) {
             crate::event!(
                 Level::Trace,
                 "span.close",
@@ -393,6 +424,63 @@ mod tests {
         SPAN_STACK.with(|s| assert_eq!(*s.borrow(), vec!["outer"]));
         drop(outer);
         SPAN_STACK.with(|s| assert!(s.borrow().is_empty()));
+    }
+
+    #[test]
+    fn nested_spans_record_ordered_open_close_into_the_trace_sink() {
+        use crate::tracefile::{self, TraceRecord, TraceSink};
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let _serial = tracefile::TEST_GLOBAL_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let buf = SharedBuf::default();
+        let sink = Arc::new(TraceSink::new(1, Box::new(buf.clone())));
+        tracefile::install_global(&sink);
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+            }
+        }
+        tracefile::clear_global();
+        sink.finish();
+
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let trace = crate::tracefile::Trace::parse(&text).unwrap();
+        let spans: Vec<(&str, &str, u64)> = trace
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::SpanOpen { name, depth, .. } => Some(("open", name.as_str(), *depth)),
+                TraceRecord::SpanClose { name, depth, .. } => {
+                    Some(("close", name.as_str(), *depth))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            spans,
+            vec![
+                ("open", "outer", 0),
+                ("open", "inner", 1),
+                ("close", "inner", 1),
+                ("close", "outer", 0),
+            ],
+            "nested spans close innermost-first with matching depths"
+        );
     }
 
     #[test]

@@ -66,6 +66,10 @@ pub struct SimConfig {
     /// `0` batches any level with a pending event (like [`EvalMode::Batch`]);
     /// `100` requires a fully dirty level.
     pub batch_threshold_pct: u8,
+    /// Time settle and its batch/event dispatch paths (nanosecond fields in
+    /// [`EngineStats`]). Off by default: no timestamps are taken on the hot
+    /// path unless a profiler or trace sink asked for them.
+    pub profile_phases: bool,
 }
 
 impl Default for SimConfig {
@@ -79,6 +83,7 @@ impl Default for SimConfig {
             // batched tape wins even at low dirty fractions because lean
             // write-back makes a skipped batch nearly free
             batch_threshold_pct: 5,
+            profile_phases: false,
         }
     }
 }
@@ -248,6 +253,15 @@ pub struct EngineStats {
     /// Histogram of the dirty fraction (percent of nodes with pending
     /// events) of each dispatched level, bucketed `min(pct / 10, 10)`.
     pub dirty_pct_hist: [u64; DIRTY_PCT_BUCKETS],
+    /// Wall time inside [`Simulator::settle`], ns. Zero unless
+    /// [`SimConfig::profile_phases`] is set.
+    pub settle_ns: u64,
+    /// Wall time of batched level-tape dispatches within settle, ns. Zero
+    /// unless [`SimConfig::profile_phases`] is set.
+    pub batch_eval_ns: u64,
+    /// Wall time of scalar event-driven drains within settle, ns. Zero
+    /// unless [`SimConfig::profile_phases`] is set.
+    pub event_eval_ns: u64,
 }
 
 /// The event-driven gate-level simulator.
@@ -305,6 +319,11 @@ pub struct Simulator<'n> {
     event_evals: u64,
     forced_writes: u64,
     dirty_pct_hist: [u64; DIRTY_PCT_BUCKETS],
+    // phase-profiler accumulators (ns); written only when
+    // `config.profile_phases` — the default hot path takes no timestamps
+    settle_ns: u64,
+    batch_eval_ns: u64,
+    event_eval_ns: u64,
     // per-cycle scratch, reused so the clock loop allocates nothing
     dff_scratch: Vec<Value>,
     wp_scratch: Vec<WritePortSample>,
@@ -456,6 +475,9 @@ impl<'n> Simulator<'n> {
             event_evals: 0,
             forced_writes: 0,
             dirty_pct_hist: [0; DIRTY_PCT_BUCKETS],
+            settle_ns: 0,
+            batch_eval_ns: 0,
+            event_eval_ns: 0,
             nodes,
             dff_scratch,
             wp_scratch,
@@ -873,6 +895,9 @@ impl<'n> Simulator<'n> {
             event_evals: self.event_evals,
             forced_writes: self.forced_writes,
             dirty_pct_hist: self.dirty_pct_hist,
+            settle_ns: self.settle_ns,
+            batch_eval_ns: self.batch_eval_ns,
+            event_eval_ns: self.event_eval_ns,
         }
     }
 
@@ -886,7 +911,18 @@ impl<'n> Simulator<'n> {
     /// level drains event-by-event. Forced nets keep their overrides in
     /// both paths (the batched write-back consults the force map).
     pub fn settle(&mut self) -> usize {
+        if !self.config.profile_phases {
+            return self.settle_inner();
+        }
+        let t0 = std::time::Instant::now();
+        let evals = self.settle_inner();
+        self.settle_ns += t0.elapsed().as_nanos() as u64;
+        evals
+    }
+
+    fn settle_inner(&mut self) -> usize {
         let mut evals = 0;
+        let profile = self.config.profile_phases;
         let batch_ok = self.config.eval_mode != EvalMode::Event;
         for lvl in 0..=self.max_level as usize {
             // nodes only schedule strictly higher levels, so one ascending
@@ -918,13 +954,25 @@ impl<'n> Simulator<'n> {
             }
             if use_batch {
                 if stale != 0 || !self.dirty[lvl].is_empty() {
-                    evals += self.run_level_batch(lvl);
+                    if profile {
+                        let t = std::time::Instant::now();
+                        evals += self.run_level_batch(lvl);
+                        self.batch_eval_ns += t.elapsed().as_nanos() as u64;
+                    } else {
+                        evals += self.run_level_batch(lvl);
+                    }
                 }
             } else {
-                while let Some(idx) = self.dirty[lvl].pop() {
-                    self.in_queue[idx as usize] = false;
-                    self.eval_node(idx);
-                    evals += 1;
+                if !self.dirty[lvl].is_empty() {
+                    let t = profile.then(std::time::Instant::now);
+                    while let Some(idx) = self.dirty[lvl].pop() {
+                        self.in_queue[idx as usize] = false;
+                        self.eval_node(idx);
+                        evals += 1;
+                    }
+                    if let Some(t) = t {
+                        self.event_eval_ns += t.elapsed().as_nanos() as u64;
+                    }
                 }
                 if stale != 0 {
                     // every stale batch here was scheduled (DIRTY_SCHED

@@ -3,14 +3,16 @@
 
 Stdlib-only validator for the JSON-Schema subset the schemas under
 docs/schema/ actually use: type, enum, minimum, required, properties,
-additionalProperties (boolean), items, and local $ref into /definitions.
+additionalProperties (boolean), items, oneOf, and local $ref into
+/definitions.
 
 Usage:
     validate_metrics.py <schema.json> <file> [--ndjson]
 
 With --ndjson every non-empty line of <file> is validated as one
-instance (the heartbeat stream); otherwise the whole file is one JSON
-document (the metrics snapshot). Exits non-zero on the first failure.
+instance (the heartbeat stream or a --trace-out run trace); otherwise
+the whole file is one JSON document (the metrics snapshot or a Chrome
+trace export). Exits non-zero on the first failure.
 """
 
 import json
@@ -40,8 +42,24 @@ def resolve_ref(schema, root):
     return node
 
 
+class Invalid(Exception):
+    """One instance failed validation (message carries path + reason)."""
+
+
 def check(value, schema, root, path):
     schema = resolve_ref(schema, root)
+
+    if "oneOf" in schema:
+        matches = []
+        for i, sub in enumerate(schema["oneOf"]):
+            try:
+                check(value, sub, root, f"{path}(oneOf[{i}])")
+            except Invalid:
+                continue
+            matches.append(i)
+        if len(matches) != 1:
+            which = f"branches {matches}" if matches else "no branch"
+            fail(path, f"oneOf: {which} matched (need exactly one)")
 
     expected = schema.get("type")
     if expected is not None:
@@ -78,7 +96,7 @@ def check(value, schema, root, path):
 
 
 def fail(path, message):
-    sys.exit(f"validate_metrics: FAIL at {path}: {message}")
+    raise Invalid(f"validate_metrics: FAIL at {path}: {message}")
 
 
 def main(argv):
@@ -98,7 +116,10 @@ def main(argv):
                 value = json.loads(line)
             except json.JSONDecodeError as e:
                 sys.exit(f"validate_metrics: FAIL: {data_path}:{n}: not JSON: {e}")
-            check(value, schema, schema, f"{data_path}:{n}")
+            try:
+                check(value, schema, schema, f"{data_path}:{n}")
+            except Invalid as e:
+                sys.exit(str(e))
         print(f"validate_metrics: OK: {len(lines)} record(s) in {data_path}")
     else:
         with open(data_path, encoding="utf-8") as f:
@@ -106,7 +127,10 @@ def main(argv):
                 value = json.load(f)
             except json.JSONDecodeError as e:
                 sys.exit(f"validate_metrics: FAIL: {data_path}: not JSON: {e}")
-        check(value, schema, schema, data_path)
+        try:
+            check(value, schema, schema, data_path)
+        except Invalid as e:
+            sys.exit(str(e))
         print(f"validate_metrics: OK: {data_path}")
 
 

@@ -1,0 +1,142 @@
+//! Regression test for the run-trace contract: a trace recorded during
+//! co-analysis must reconstruct the complete path lineage — every traced
+//! path except the root has exactly one fork parent, outcome events
+//! partition the created paths, and the trace's totals equal the
+//! `CoAnalysisReport` and live registry numbers exactly.
+//!
+//! Runs two (cpu, benchmark) pairs, sequentially and with four workers.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+use symsim_bench::{run_experiment, CpuKind};
+use symsim_core::CoAnalysisConfig;
+use symsim_obs::{CounterId, MetricsRegistry, Trace, TraceRecord, TraceSink};
+
+const PAIRS: [(CpuKind, &str); 2] = [(CpuKind::Omsp16, "div"), (CpuKind::Bm32, "insort")];
+
+/// A `Write` the test can inspect after the run.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(b);
+        Ok(b.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn traced_runs_reconstruct_the_full_path_lineage() {
+    for (kind, bench) in PAIRS {
+        for workers in [1usize, 4] {
+            let buf = SharedBuf::default();
+            let sink = Arc::new(TraceSink::new(workers, Box::new(buf.clone())));
+            let registry = Arc::new(MetricsRegistry::new(workers));
+            let config = CoAnalysisConfig {
+                workers,
+                metrics: Some(Arc::clone(&registry)),
+                trace: Some(Arc::clone(&sink)),
+                ..CoAnalysisConfig::default()
+            };
+            let report = run_experiment(kind, bench, config).report;
+            let stats = sink.finish();
+            let ctx = format!("{}/{bench} x{workers}", kind.name());
+            assert_eq!(stats.dropped, 0, "{ctx}: records dropped");
+
+            let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+            let trace = Trace::parse(&text).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+
+            // meta + summary bracket the stream
+            let (design, w) = trace.meta().expect("meta record");
+            assert!(!design.is_empty(), "{ctx}");
+            assert_eq!(w as usize, workers, "{ctx}: meta worker count");
+            let summary = trace.summary().expect("summary record");
+            assert_eq!(summary.events, stats.events, "{ctx}: summary events");
+
+            // fork child-id ranges never overlap, and never claim the root
+            let mut forked: HashSet<u64> = HashSet::new();
+            for r in &trace.records {
+                if let TraceRecord::Fork { first, n, .. } = r {
+                    for child in *first..*first + *n {
+                        assert!(forked.insert(child), "{ctx}: path {child} forked twice");
+                        assert_ne!(child, 0, "{ctx}: root cannot be a fork child");
+                    }
+                }
+            }
+
+            // every traced path except the root has exactly one fork parent
+            let lineage = trace.lineage();
+            let mut ended: HashSet<u64> = HashSet::new();
+            for r in &trace.records {
+                if let TraceRecord::PathEnd { path, .. } = r {
+                    assert!(ended.insert(*path), "{ctx}: path {path} ended twice");
+                    if *path != 0 {
+                        assert!(
+                            lineage.parent.contains_key(path),
+                            "{ctx}: path {path} has no fork parent"
+                        );
+                    }
+                }
+            }
+            assert!(ended.contains(&0), "{ctx}: the root path never ended");
+            assert!(
+                !lineage.parent.contains_key(&0),
+                "{ctx}: the root must be parentless"
+            );
+
+            // outcome events partition the created paths: every created
+            // path is simulated exactly once and ends with one outcome
+            let oc = trace.outcome_counts();
+            assert_eq!(
+                ended.len() as u64,
+                report.paths_created as u64,
+                "{ctx}: one path_end per created path"
+            );
+            assert_eq!(
+                oc.total(),
+                report.paths_simulated as u64,
+                "{ctx}: outcomes partition the simulated paths"
+            );
+            assert_eq!(oc.finished, report.paths_finished as u64, "{ctx}: finished");
+            assert_eq!(oc.covered, report.paths_skipped as u64, "{ctx}: covered");
+            assert_eq!(
+                oc.budget, report.paths_budget_exhausted as u64,
+                "{ctx}: budget-exhausted"
+            );
+
+            // the trace's aggregate totals equal the report's and the live
+            // registry's exactly
+            assert_eq!(
+                trace.paths_created(),
+                report.paths_created as u64,
+                "{ctx}: paths_created from lineage"
+            );
+            assert_eq!(
+                trace.paths_created(),
+                registry.counter_total(CounterId::PathsCreated),
+                "{ctx}: paths_created vs registry"
+            );
+            assert_eq!(
+                trace.total_cycles(),
+                report.simulated_cycles,
+                "{ctx}: per-path cycle counts sum to the run total"
+            );
+
+            // per-worker attribution agrees with the registry shards
+            let per_shard = registry.counter_per_shard(CounterId::Cycles);
+            for ws in trace.worker_stats() {
+                if ws.worker >= 0 {
+                    assert_eq!(
+                        ws.cycles, per_shard[ws.worker as usize],
+                        "{ctx}: worker {} cycle attribution",
+                        ws.worker
+                    );
+                }
+            }
+        }
+    }
+}
