@@ -5,17 +5,21 @@
 //! cargo run --release -p symsim-bench --bin bench_coanalysis [-- --smoke]
 //! ```
 //!
-//! Each (cpu, benchmark) pair runs twice — event-driven and hybrid
-//! batched dispatch — with a single worker so the explorations are
-//! deterministic and comparable. The binary *asserts* that both modes
-//! produce identical `paths_created`/`simulated_cycles`/exercisable-gate
-//! results (the batched kernel must only change speed, never results) and
-//! records both throughputs so the speedup is visible in-repo.
+//! Each (cpu, benchmark) pair runs three times — event-driven, hybrid
+//! batched dispatch, and path-cohort lane evaluation — with a single
+//! worker so the explorations are deterministic and comparable. The
+//! binary *asserts* that all modes produce identical
+//! `paths_created`/`simulated_cycles`/exercisable-gate results (the
+//! batched and cohort kernels must only change speed, never results) and
+//! records every throughput so the speedups are visible in-repo. Cohort
+//! runs additionally carry a `cohort` section per entry: cohorts formed,
+//! mean/max lane occupancy, and scalar spills.
 //!
 //! Modes and observability flags:
 //!
-//! * `--smoke` runs only the smallest pair in `event` and `batch` modes and
-//!   writes no bench file: the CI divergence check.
+//! * `--smoke` runs only the smallest pair in `event`, `batch`, and
+//!   `cohort` modes and writes no bench file: the CI divergence check
+//!   (cohort results are asserted identical to event mode).
 //! * `--pair cpu/bench` (e.g. `dr5/binsearch`) runs that single pair once
 //!   (`--eval-mode`, default hybrid) and prints the report as JSON.
 //! * `--log-format pretty|json`, `--log-level L` configure the trace layer;
@@ -209,9 +213,52 @@ fn assert_equivalent(
         "{pair}: simulated_cycles diverged from event mode"
     );
     assert_eq!(
+        event.paths_skipped, other.paths_skipped,
+        "{pair}: paths_skipped diverged from event mode"
+    );
+    assert_eq!(
+        event.metrics.counter("csm_widenings"),
+        other.metrics.counter("csm_widenings"),
+        "{pair}: csm_widenings diverged from event mode"
+    );
+    assert_eq!(
         event.exercisable_gates, other.exercisable_gates,
         "{pair}: exercisable_gates diverged from event mode"
     );
+}
+
+/// The per-entry `cohort` section: lane-packing effectiveness read from
+/// the run's metrics snapshot. `null` when the run formed no cohorts
+/// (event/hybrid entries, or a cohort run that never forked).
+fn cohort_section(r: &CoAnalysisReport) -> String {
+    let formed = r.metrics.counter("cohorts_formed");
+    if formed == 0 {
+        return "null".to_string();
+    }
+    let members = r.metrics.counter("cohort_member_paths");
+    let spills = r.metrics.counter("cohort_lane_spills");
+    // highest non-empty bucket of the occupancy histogram bounds the
+    // largest cohort actually packed
+    let max_occupancy = r
+        .metrics
+        .histograms
+        .iter()
+        .find(|h| h.name == "cohort_lane_occupancy")
+        .map_or(0, |h| {
+            h.counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, _)| h.bounds.get(i).copied().unwrap_or(64))
+                .max()
+                .unwrap_or(0)
+        });
+    format!(
+        "{{ \"cohorts_formed\": {formed}, \"member_paths\": {members}, \
+         \"mean_occupancy\": {:.2}, \"max_occupancy\": {max_occupancy}, \
+         \"lane_spills\": {spills} }}",
+        members as f64 / formed as f64,
+    )
 }
 
 fn entry(kind: CpuKind, bench: &str, mode: EvalMode, run: &RunResult) -> String {
@@ -229,7 +276,7 @@ fn entry(kind: CpuKind, bench: &str, mode: EvalMode, run: &RunResult) -> String 
          \"paths_created\": {}, \"paths_dropped\": {}, \"simulated_cycles\": {}, \
          \"batched_level_evals\": {}, \"event_evals\": {}, \"wall_seconds\": {:.6}, \
          \"cycles_per_sec\": {:.1}, \"paths_per_sec\": {:.1}, \"trace\": {trace}, \
-         \"metrics\": {} }}",
+         \"cohort\": {}, \"metrics\": {} }}",
         kind.name(),
         bench,
         mode.name(),
@@ -241,6 +288,7 @@ fn entry(kind: CpuKind, bench: &str, mode: EvalMode, run: &RunResult) -> String 
         secs,
         r.simulated_cycles as f64 / secs,
         r.paths_simulated as f64 / secs,
+        cohort_section(r),
         r.metrics.to_json_compact(),
     )
 }
@@ -272,16 +320,22 @@ fn main() {
         let (kind, bench) = SMOKE;
         info!(
             "bench",
-            "smoke: {} / {bench} in event and batch modes...",
+            "smoke: {} / {bench} in event, batch, and cohort modes...",
             kind.name()
         );
         let event = run_mode(kind, bench, EvalMode::Event, &opts, false).report;
         let batch = run_mode(kind, bench, EvalMode::Batch, &opts, false).report;
         assert_equivalent(kind, bench, &event, &batch, EvalMode::Batch);
+        let cohort = run_mode(kind, bench, EvalMode::Cohort, &opts, false).report;
+        assert_equivalent(kind, bench, &event, &cohort, EvalMode::Cohort);
+        assert!(
+            cohort.metrics.counter("cohorts_formed") > 0,
+            "smoke: cohort mode never packed a lane cohort"
+        );
         info!(
             "bench",
             { cycles = event.simulated_cycles, exercisable = event.exercisable_gates },
-            "smoke ok: {} cycles, {} gates exercisable in both modes",
+            "smoke ok: {} cycles, {} gates exercisable in all three modes",
             event.simulated_cycles, event.exercisable_gates
         );
         if opts.trace_out.is_some() {
@@ -301,18 +355,29 @@ fn main() {
         );
         let hybrid = run_mode(kind, bench, EvalMode::Hybrid, &opts, true);
         assert_equivalent(kind, bench, &event.report, &hybrid.report, EvalMode::Hybrid);
-        let event_secs = event.report.wall_time.as_secs_f64().max(1e-9);
-        let hybrid_secs = hybrid.report.wall_time.as_secs_f64().max(1e-9);
-        let speedup = event_secs / hybrid_secs;
         info!(
             "bench",
-            "  {} / {bench}: {:.1} -> {:.1} cycles/sec ({speedup:.2}x)",
+            "co-analysis: {} / {bench} (cohort)...",
+            kind.name()
+        );
+        let cohort = run_mode(kind, bench, EvalMode::Cohort, &opts, true);
+        assert_equivalent(kind, bench, &event.report, &cohort.report, EvalMode::Cohort);
+        let event_secs = event.report.wall_time.as_secs_f64().max(1e-9);
+        let hybrid_secs = hybrid.report.wall_time.as_secs_f64().max(1e-9);
+        let cohort_secs = cohort.report.wall_time.as_secs_f64().max(1e-9);
+        info!(
+            "bench",
+            "  {} / {bench}: {:.1} -> {:.1} (hybrid, {:.2}x) -> {:.1} (cohort, {:.2}x) cycles/sec",
             kind.name(),
             event.report.simulated_cycles as f64 / event_secs,
             hybrid.report.simulated_cycles as f64 / hybrid_secs,
+            event_secs / hybrid_secs,
+            cohort.report.simulated_cycles as f64 / cohort_secs,
+            event_secs / cohort_secs,
         );
         entries.push(entry(kind, bench, EvalMode::Event, &event));
         entries.push(entry(kind, bench, EvalMode::Hybrid, &hybrid));
+        entries.push(entry(kind, bench, EvalMode::Cohort, &cohort));
     }
     let mut runs = String::new();
     for (i, e) in entries.iter().enumerate() {

@@ -27,13 +27,13 @@ usage:
                   [--inputs a,b,...] [--data a=v,...] [--constraints file]
                   [--policy single|multi:N] [--workers N] [--max-cycles N]
                   [--max-paths N] [--profile-out profile.txt] [--power yes]
-                  [--tagged yes] [--eval-mode event|batch|hybrid]
+                  [--tagged yes] [--eval-mode event|batch|hybrid|cohort]
                   [--batch-threshold PCT]
   symsim bespoke  <design.v> --profile profile.txt [--out bespoke.v]
   symsim simulate <design.v> --program app.hex --finish <net>
                   [--cycles N] [--pmem pmem] [--dmem dmem] [--data a=v,...]
                   [--watch net,net,...] [--vcd out.vcd]
-                  [--eval-mode event|batch|hybrid]
+                  [--eval-mode event|batch|hybrid|cohort]
   symsim fault    <design.v> --program app.hex [--cycles N]
                   [--pmem pmem] [--dmem dmem] [--data a=v,...]
                   [--max-faults N] [--observe net,net,...]
@@ -671,6 +671,7 @@ mod tests {
         assert_eq!(parse_eval_mode(Some("event")).unwrap(), EvalMode::Event);
         assert_eq!(parse_eval_mode(Some("batch")).unwrap(), EvalMode::Batch);
         assert_eq!(parse_eval_mode(Some("hybrid")).unwrap(), EvalMode::Hybrid);
+        assert_eq!(parse_eval_mode(Some("cohort")).unwrap(), EvalMode::Cohort);
         assert!(parse_eval_mode(Some("turbo")).is_err());
     }
 

@@ -2,17 +2,19 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use symsim_logic::{Value, Word};
+use symsim_logic::{plane::Lanes, Value, Word};
 use symsim_netlist::{NetId, Netlist};
 use symsim_obs::{
     debug, info, trace, tracefile, CounterId, GaugeId, HistogramId, MetricsRegistry, TraceSink,
     DIRTY_PCT_BUCKETS,
 };
-use symsim_sim::{HaltReason, MonitorSpec, SimConfig, SimState, Simulator, ToggleProfile};
+use symsim_sim::{
+    CohortLaneEnd, EvalMode, HaltReason, MonitorSpec, SimConfig, SimState, Simulator, ToggleProfile,
+};
 
 use crate::csm::{ConservativeStateManager, CsmKey, CsmPolicy, Observation, StateConstraint};
 use crate::report::CoAnalysisReport;
-use crate::sched::WorkQueue;
+use crate::sched::{TaskWeight, WorkQueue};
 
 /// The handful of design-specific facts co-analysis needs — everything else
 /// is design-agnostic (the point of the paper). The `symsim-cpu` crate
@@ -114,6 +116,74 @@ struct Task {
     id: u64,
     state: SimState,
     forces: Vec<(NetId, Value)>,
+    /// Cycle budget override: a lane spilled out of a cohort continues
+    /// with what remains of the segment budget it already partly consumed
+    /// (`None` = the full per-segment budget).
+    budget: Option<u64>,
+    /// Cycles this path already consumed inside a cohort before spilling;
+    /// folded into the segment's cycle accounting so the path's totals
+    /// match a never-spilled (event-mode) run exactly.
+    carried: u64,
+}
+
+impl Task {
+    fn fresh(id: u64, state: SimState, forces: Vec<(NetId, Value)>) -> Task {
+        Task {
+            id,
+            state,
+            forces,
+            budget: None,
+            carried: 0,
+        }
+    }
+}
+
+/// Up to 64 sibling paths from one fork, simulated together in cohort
+/// eval mode. Lane `l` is path `first + l` taking branch combination
+/// `base_combo + l` over `signals`.
+#[derive(Debug)]
+struct CohortTask {
+    first: u64,
+    base_combo: usize,
+    n: usize,
+    state: SimState,
+    signals: Vec<NetId>,
+}
+
+/// A quiescent `$monitor_x` halt state awaiting its CSM observation —
+/// produced by cohort lane demux so the observation happens at the same
+/// scheduler position (and therefore in the same DFS order) as the
+/// equivalent event-mode segment's inline observation.
+#[derive(Debug)]
+struct ObserveTask {
+    id: u64,
+    state: SimState,
+    /// Segment cycles the lane consumed, for the `path_end` record.
+    cycles: u64,
+}
+
+/// A schedulable work item. Event/batch/hybrid modes only ever queue
+/// `Seg`; cohort mode adds cohort simulation items and deferred CSM
+/// observations. With one worker the LIFO pop order over these items
+/// reproduces event mode's depth-first CSM observation sequence exactly
+/// (cohort items push their per-lane continuations in ascending lane
+/// order, so the highest lane — the one event mode would pop first —
+/// resolves first).
+#[derive(Debug)]
+enum Work {
+    Seg(Task),
+    Cohort(CohortTask),
+    Observe(ObserveTask),
+}
+
+impl TaskWeight for Work {
+    /// A cohort carries all of its member paths; everything else is one.
+    fn weight(&self) -> usize {
+        match self {
+            Work::Cohort(c) => c.n,
+            Work::Seg(_) | Work::Observe(_) => 1,
+        }
+    }
 }
 
 // the engine and the registry accumulate the dirty-fraction distribution
@@ -192,12 +262,8 @@ impl<'n> CoAnalysis<'n> {
         };
         created.fetch_add(1, Ordering::Relaxed);
         registry.shard(0).inc(CounterId::PathsCreated);
-        let queue: WorkQueue<Task> = WorkQueue::with_metrics(workers, Arc::clone(&registry));
-        queue.inject(Task {
-            id: 0,
-            state: root_state,
-            forces: Vec::new(),
-        });
+        let queue: WorkQueue<Work> = WorkQueue::with_metrics(workers, Arc::clone(&registry));
+        queue.inject(Work::Seg(Task::fresh(0, root_state, Vec::new())));
 
         let profiles = Mutex::new(Vec::<ToggleProfile>::new());
         let activities = Mutex::new(Vec::<symsim_sim::ActivityStats>::new());
@@ -298,7 +364,7 @@ impl<'n> CoAnalysis<'n> {
         &self,
         worker: usize,
         sim: &mut Simulator<'_>,
-        queue: &WorkQueue<Task>,
+        queue: &WorkQueue<Work>,
         csm: &Mutex<ConservativeStateManager>,
         created: &AtomicUsize,
         registry: &Arc<MetricsRegistry>,
@@ -309,7 +375,7 @@ impl<'n> CoAnalysis<'n> {
             // phase of its own; the final pop that observes shutdown is not
             // recorded because there is no segment to attribute it to
             let wait_t0 = tracing.then(Instant::now);
-            let Some(task) = queue.next_task(worker) else {
+            let Some(work) = queue.next_task(worker) else {
                 break;
             };
             let wait_us = elapsed_us(wait_t0);
@@ -318,8 +384,19 @@ impl<'n> CoAnalysis<'n> {
                     .shard(worker)
                     .observe(HistogramId::PhaseSchedWaitUs, wait_us);
             }
-            self.run_segment(worker, sim, task, wait_us, queue, csm, created, registry);
-            queue.task_done();
+            let weight = work.weight();
+            match work {
+                Work::Seg(task) => {
+                    self.run_segment(worker, sim, task, wait_us, queue, csm, created, registry);
+                }
+                Work::Cohort(task) => {
+                    self.run_cohort(worker, sim, task, queue, registry);
+                }
+                Work::Observe(task) => {
+                    self.run_observe(worker, task, queue, csm, created, registry);
+                }
+            }
+            queue.task_done(weight);
         }
     }
 
@@ -330,7 +407,7 @@ impl<'n> CoAnalysis<'n> {
         sim: &mut Simulator<'_>,
         task: Task,
         wait_us: u64,
-        queue: &WorkQueue<Task>,
+        queue: &WorkQueue<Work>,
         csm: &Mutex<ConservativeStateManager>,
         created: &AtomicUsize,
         registry: &Arc<MetricsRegistry>,
@@ -346,10 +423,14 @@ impl<'n> CoAnalysis<'n> {
         sim.load_state(&task.state);
         let restore_us = elapsed_us(restore_t0);
         let seg_start = sim.cycle();
-        if let Some(t) = tr {
-            t.emit(worker as i64, "path_start", |o| {
-                o.u64("path", task.id).u64("cycle", seg_start);
-            });
+        // a spilled lane's path_start was already emitted when its cohort
+        // began; its continuation is the same traced segment
+        if task.carried == 0 {
+            if let Some(t) = tr {
+                t.emit(worker as i64, "path_start", |o| {
+                    o.u64("path", task.id).u64("cycle", seg_start);
+                });
+            }
         }
 
         // steer the non-deterministic branch down this task's outcome
@@ -366,7 +447,7 @@ impl<'n> CoAnalysis<'n> {
 
         let reason = match pending.take() {
             Some(r) => r,
-            None => sim.run(self.config.max_cycles_per_segment),
+            None => sim.run(task.budget.unwrap_or(self.config.max_cycles_per_segment)),
         };
         let exec_us = elapsed_us(exec_t0);
         let mut save_us = 0u64;
@@ -442,7 +523,9 @@ impl<'n> CoAnalysis<'n> {
                 }
             }
         };
-        let seg_cycles = sim.cycle() - seg_start;
+        // a spilled lane's cohort cycles are carried into its continuation
+        // so each path's cycle totals match a never-spilled run
+        let seg_cycles = (sim.cycle() - seg_start) + task.carried;
         shard.add(CounterId::Cycles, seg_cycles);
         shard.observe(HistogramId::SegmentCycles, seg_cycles);
         if let Some(t) = tr {
@@ -484,10 +567,220 @@ impl<'n> CoAnalysis<'n> {
         outcome
     }
 
+    /// Simulates all member lanes of a cohort in one bit-plane pass, then
+    /// demuxes each lane back into its own path outcome: finished/budget
+    /// lanes close immediately, `$monitor_x` lanes queue an [`ObserveTask`]
+    /// for their CSM observation, and spilled lanes queue a scalar
+    /// continuation [`Task`] carrying the remaining segment budget.
+    /// Continuations are pushed in ascending lane order so the LIFO pop
+    /// resolves the highest lane first — the order event mode's scalar
+    /// children would have run in.
+    ///
+    /// When the pack eligibility checks fail (symbol-carrying base state,
+    /// non-anonymous policy, ...) the members fall back to exact scalar
+    /// segments, also in lane order.
+    fn run_cohort(
+        &self,
+        worker: usize,
+        sim: &mut Simulator<'_>,
+        task: CohortTask,
+        queue: &WorkQueue<Work>,
+        registry: &Arc<MetricsRegistry>,
+    ) {
+        let _span = trace::span("cohort");
+        let tr = self.config.trace.as_deref();
+        let shard = registry.shard(worker);
+        let forces_of = |lane: usize| -> Vec<(NetId, Value)> {
+            let combo = task.base_combo + lane;
+            task.signals
+                .iter()
+                .enumerate()
+                .map(|(j, &net)| (net, Value::from_bool(combo >> j & 1 == 1)))
+                .collect()
+        };
+        let Some(mut cohort) = sim.cohort_pack(&task.state, task.n) else {
+            debug!(
+                "cohort.fallback",
+                { worker = worker, members = task.n },
+                "cohort ineligible; members run as scalar segments"
+            );
+            queue.push_local(
+                worker,
+                (0..task.n).map(|l| {
+                    Work::Seg(Task::fresh(
+                        task.first + l as u64,
+                        task.state.clone(),
+                        forces_of(l),
+                    ))
+                }),
+            );
+            return;
+        };
+        shard.inc(CounterId::CohortsFormed);
+        shard.add(CounterId::CohortMemberPaths, task.n as u64);
+        shard.observe(HistogramId::CohortLaneOccupancy, task.n as u64);
+        if let Some(t) = tr {
+            let members: Vec<u64> = (0..task.n).map(|l| task.first + l as u64).collect();
+            t.emit(worker as i64, "cohort", |o| {
+                o.u64("first", task.first)
+                    .u64("n", task.n as u64)
+                    .u64_array("members", &members);
+            });
+            for &id in &members {
+                t.emit(worker as i64, "path_start", |o| {
+                    o.u64("path", id).u64("cycle", task.state.cycle);
+                });
+            }
+        }
+        // steer each lane down its branch combination: signal `j` carries
+        // bit `j` of the lane's combo
+        for (j, &net) in task.signals.iter().enumerate() {
+            let mut lanes = Lanes::ZEROS;
+            for l in 0..task.n {
+                let bit = (task.base_combo + l) >> j & 1 == 1;
+                lanes.set(l as u32, Value::from_bool(bit));
+            }
+            sim.cohort_force(&mut cohort, net, lanes);
+        }
+        sim.cohort_run(&mut cohort, self.config.max_cycles_per_segment);
+        debug!(
+            "cohort.done",
+            { worker = worker, members = task.n },
+            "cohort settled all member lanes"
+        );
+        let mut continuations: Vec<Work> = Vec::new();
+        for l in 0..task.n {
+            let id = task.first + l as u64;
+            let lane_cycles = cohort.lane_cycles(l);
+            let close = |outcome: PathOutcome, counter: CounterId| {
+                shard.inc(CounterId::PathsSimulated);
+                shard.inc(counter);
+                shard.add(CounterId::Cycles, lane_cycles);
+                shard.observe(HistogramId::SegmentCycles, lane_cycles);
+                if let Some(t) = tr {
+                    t.emit(worker as i64, "path_end", |o| {
+                        o.u64("path", id)
+                            .str("outcome", outcome_name(outcome))
+                            .u64("cycles", lane_cycles)
+                            .u64("children", 0);
+                    });
+                }
+            };
+            match cohort.outcome(l) {
+                CohortLaneEnd::Finished => close(PathOutcome::Finished, CounterId::PathsFinished),
+                CohortLaneEnd::Budget => {
+                    close(PathOutcome::Budget, CounterId::PathsBudgetExhausted);
+                }
+                CohortLaneEnd::MonitorX => {
+                    shard.inc(CounterId::PathsSimulated);
+                    shard.add(CounterId::Cycles, lane_cycles);
+                    shard.observe(HistogramId::SegmentCycles, lane_cycles);
+                    continuations.push(Work::Observe(ObserveTask {
+                        id,
+                        state: sim.cohort_unpack(&cohort, l),
+                        cycles: lane_cycles,
+                    }));
+                }
+                CohortLaneEnd::Spilled => {
+                    // the continuation does all of this segment's counting
+                    // (PathsSimulated, Cycles, SegmentCycles) via `carried`
+                    shard.inc(CounterId::CohortLaneSpills);
+                    let total = 1 + self.config.max_cycles_per_segment;
+                    continuations.push(Work::Seg(Task {
+                        id,
+                        state: sim.cohort_unpack(&cohort, l),
+                        forces: Vec::new(),
+                        budget: Some(total.saturating_sub(lane_cycles)),
+                        carried: lane_cycles,
+                    }));
+                }
+                CohortLaneEnd::Running => unreachable!("cohort_run ends every lane"),
+            }
+        }
+        queue.push_local(worker, continuations);
+    }
+
+    /// Resolves a deferred CSM observation for a cohort lane's halt state:
+    /// the covered/widen decision, skip accounting, and child spawning —
+    /// exactly the `MonitorX` tail of [`CoAnalysis::run_segment`], at the
+    /// same depth-first scheduler position.
+    fn run_observe(
+        &self,
+        worker: usize,
+        task: ObserveTask,
+        queue: &WorkQueue<Work>,
+        csm: &Mutex<ConservativeStateManager>,
+        created: &AtomicUsize,
+        registry: &Arc<MetricsRegistry>,
+    ) {
+        let tr = self.config.trace.as_deref();
+        let shard = registry.shard(worker);
+        let pc: Word = self
+            .iface
+            .pc
+            .iter()
+            .map(|&n| task.state.values[n.0 as usize])
+            .collect();
+        let key = pc_key(&pc);
+        let pc_label = tr.map(|_| key.to_string());
+        let csm_t0 = tr.map(|_| Instant::now());
+        let observation = csm.lock().unwrap().observe_key(key, &task.state);
+        let csm_us = elapsed_us(csm_t0);
+        let (outcome, children) = match observation {
+            Observation::Covered => {
+                shard.inc(CounterId::PathsSkipped);
+                if let Some(t) = tr {
+                    t.emit(worker as i64, "csm", |o| {
+                        o.u64("path", task.id)
+                            .str("pc", pc_label.as_deref().unwrap_or(""))
+                            .str("kind", "cover")
+                            .u64("dur_us", csm_us);
+                    });
+                }
+                debug!(
+                    "path.skip",
+                    { worker = worker },
+                    "halted state covered; path skipped"
+                );
+                (PathOutcome::Covered, 0)
+            }
+            Observation::NewConservative(cons) => {
+                if let Some(t) = tr {
+                    t.emit(worker as i64, "csm", |o| {
+                        o.u64("path", task.id)
+                            .str("pc", pc_label.as_deref().unwrap_or(""))
+                            .str("kind", "widen")
+                            .u64("dur_us", csm_us);
+                    });
+                }
+                let n = self.spawn_children(
+                    worker,
+                    task.id,
+                    pc_label.as_deref(),
+                    &cons,
+                    queue,
+                    created,
+                    registry,
+                );
+                (PathOutcome::Split(n), n)
+            }
+        };
+        if let Some(t) = tr {
+            t.emit(worker as i64, "path_end", |o| {
+                o.u64("path", task.id)
+                    .str("outcome", outcome_name(outcome))
+                    .u64("cycles", task.cycles)
+                    .u64("children", children as u64)
+                    .u64("csm_us", csm_us);
+            });
+        }
+    }
+
     /// Pushes one child task per concretization of the unknown monitored
     /// control signals in the conservative state, clamped to the remaining
     /// `max_paths` budget; dropped children are counted, never silently
-    /// lost.
+    /// lost. In cohort eval mode, sibling children are packed into cohort
+    /// work items (up to 64 lanes each) instead of individual segments.
     #[allow(clippy::too_many_arguments)]
     fn spawn_children(
         &self,
@@ -495,7 +788,7 @@ impl<'n> CoAnalysis<'n> {
         parent: u64,
         pc_label: Option<&str>,
         cons: &SimState,
-        queue: &WorkQueue<Task>,
+        queue: &WorkQueue<Work>,
         created: &AtomicUsize,
         registry: &Arc<MetricsRegistry>,
     ) -> usize {
@@ -517,6 +810,11 @@ impl<'n> CoAnalysis<'n> {
         }
         xs.truncate(self.config.max_split_signals);
         let combos = 1usize << xs.len();
+        let shard = registry.shard(worker);
+        // the fan-out histogram records the branch's actual concretization
+        // count at fork time, before the path cap clamps it — the signal
+        // cohort sizing (and lane-occupancy analysis) depends on
+        shard.observe(HistogramId::SplitFanout, combos as u64);
 
         // claim budget from the path cap *before* materializing children so
         // `paths_created` can never overshoot `max_paths`; the claimed range
@@ -535,7 +833,6 @@ impl<'n> CoAnalysis<'n> {
                 break (so_far, grant);
             }
         };
-        let shard = registry.shard(worker);
         if granted < combos {
             shard.add(CounterId::PathsDropped, (combos - granted) as u64);
         }
@@ -548,7 +845,6 @@ impl<'n> CoAnalysis<'n> {
             return 0;
         }
         shard.add(CounterId::PathsCreated, granted as u64);
-        shard.observe(HistogramId::SplitFanout, granted as u64);
         if let Some(t) = self.config.trace.as_deref() {
             // one record per fork: child `first + i` takes branch combo `i`
             // (bit j of `i` is the value forced on `signals[j]`), so the
@@ -563,22 +859,55 @@ impl<'n> CoAnalysis<'n> {
                     .u64_array("signals", &signals);
             });
         }
-        queue.push_local(
-            worker,
-            (0..granted).map(|combo| {
-                let forces = xs
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &net)| (net, Value::from_bool(combo >> i & 1 == 1)))
-                    .collect();
-                Task {
-                    id: (first + combo) as u64,
-                    // cheap: copy-on-write pages, only dirty pages ever split
-                    state: cons.clone(),
-                    forces,
+        let cohort_ok = self.config.sim.eval_mode == EvalMode::Cohort
+            && granted >= 2
+            && self.config.activity_weights.is_none();
+        if cohort_ok {
+            // pack siblings into 64-lane cohorts, chunks in ascending combo
+            // order: LIFO pops the highest chunk (then the highest lane)
+            // first, matching the scalar pop order combo-for-combo
+            let mut items: Vec<Work> = Vec::new();
+            let mut base = 0usize;
+            while base < granted {
+                let n = (granted - base).min(64);
+                if n >= 2 {
+                    items.push(Work::Cohort(CohortTask {
+                        first: (first + base) as u64,
+                        base_combo: base,
+                        n,
+                        // cheap: copy-on-write pages, only dirty pages split
+                        state: cons.clone(),
+                        signals: xs.clone(),
+                    }));
+                } else {
+                    let forces = xs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &net)| (net, Value::from_bool(base >> i & 1 == 1)))
+                        .collect();
+                    items.push(Work::Seg(Task::fresh(
+                        (first + base) as u64,
+                        cons.clone(),
+                        forces,
+                    )));
                 }
-            }),
-        );
+                base += n;
+            }
+            queue.push_local(worker, items);
+        } else {
+            queue.push_local(
+                worker,
+                (0..granted).map(|combo| {
+                    let forces = xs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &net)| (net, Value::from_bool(combo >> i & 1 == 1)))
+                        .collect();
+                    // cheap: copy-on-write pages, only dirty pages ever split
+                    Work::Seg(Task::fresh((first + combo) as u64, cons.clone(), forces))
+                }),
+            );
+        }
         granted
     }
 }
@@ -702,6 +1031,55 @@ mod tests {
         // exercisable sets converge to the same fixpoint on this design
         assert_eq!(seq.exercisable_gates, par.exercisable_gates);
         assert_eq!(seq.paths_finished, par.paths_finished);
+    }
+
+    #[test]
+    fn cohort_mode_matches_event_mode_exactly() {
+        let (nl, iface) = branchy_design();
+        let cond = nl.find_net("cond_in").unwrap();
+        let run = |mode: EvalMode| {
+            let registry = Arc::new(MetricsRegistry::new(1));
+            let config = CoAnalysisConfig {
+                sim: SimConfig {
+                    eval_mode: mode,
+                    ..SimConfig::default()
+                },
+                metrics: Some(Arc::clone(&registry)),
+                ..CoAnalysisConfig::default()
+            };
+            let report =
+                CoAnalysis::new(&nl, iface.clone(), config).run(|sim| sim.poke(cond, Value::X));
+            (report, registry)
+        };
+        let (event, _) = run(EvalMode::Event);
+        let (cohort, reg) = run(EvalMode::Cohort);
+        assert_eq!(event.paths_created, cohort.paths_created);
+        assert_eq!(event.paths_skipped, cohort.paths_skipped);
+        assert_eq!(event.paths_finished, cohort.paths_finished);
+        assert_eq!(event.paths_simulated, cohort.paths_simulated);
+        assert_eq!(event.paths_dropped, cohort.paths_dropped);
+        assert_eq!(event.simulated_cycles, cohort.simulated_cycles);
+        assert_eq!(
+            event.metrics.counter("csm_widenings"),
+            cohort.metrics.counter("csm_widenings")
+        );
+        assert_eq!(event.exercisable_gates, cohort.exercisable_gates);
+        // the branch forks 2 children: every fork forms one 2-lane cohort
+        assert!(reg.counter_total(CounterId::CohortsFormed) > 0);
+        assert_eq!(
+            reg.counter_total(CounterId::CohortMemberPaths),
+            2 * reg.counter_total(CounterId::CohortsFormed)
+        );
+        // segment-cycle distributions agree sample-for-sample
+        let (es, cs) = (event.metrics, cohort.metrics);
+        assert_eq!(
+            es.histograms[HistogramId::SegmentCycles as usize],
+            cs.histograms[HistogramId::SegmentCycles as usize]
+        );
+        assert_eq!(
+            es.histograms[HistogramId::SplitFanout as usize],
+            cs.histograms[HistogramId::SplitFanout as usize]
+        );
     }
 
     #[test]

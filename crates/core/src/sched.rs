@@ -22,6 +22,20 @@ use std::sync::{Arc, Condvar, Mutex};
 
 use symsim_obs::{CounterId, GaugeId, MetricsRegistry};
 
+/// How many *paths* a work item represents, for gauge accounting.
+///
+/// The `paths_queued`/`paths_live` gauges promise path counts, not work-item
+/// counts, so heartbeats stay comparable across eval modes. A scalar segment
+/// weighs 1; a cohort work item carrying `n` member paths weighs `n`. The
+/// scheduler itself is weight-agnostic — claims and termination detection
+/// still count work items — only the gauges scale.
+pub trait TaskWeight {
+    /// Number of member paths this work item represents (default 1).
+    fn weight(&self) -> usize {
+        1
+    }
+}
+
 /// A fixed-worker work-stealing queue of tasks of type `T`.
 #[derive(Debug)]
 pub struct WorkQueue<T> {
@@ -75,11 +89,34 @@ impl<T> WorkQueue<T> {
         self.locals.len()
     }
 
+    /// Number of tasks taken from a peer's deque rather than the worker's
+    /// own or the injector.
+    pub fn steal_count(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Number of times a worker parked on the condvar.
+    pub fn park_count(&self) -> u64 {
+        self.parks.load(Ordering::Relaxed)
+    }
+
+    fn notify(&self, all: bool) {
+        let _g = self.gate.lock().unwrap();
+        if all {
+            self.cv.notify_all();
+        } else {
+            self.cv.notify_one();
+        }
+    }
+}
+
+impl<T: TaskWeight> WorkQueue<T> {
     /// Pushes a task from outside any worker (used to seed the root task).
     pub fn inject(&self, task: T) {
+        let w = task.weight() as i64;
         self.injector.lock().unwrap().push_back(task);
         if let Some(m) = &self.metrics {
-            m.shard(0).gauge_add(GaugeId::PathsQueued, 1);
+            m.shard(0).gauge_add(GaugeId::PathsQueued, w);
         }
         self.notify(false);
     }
@@ -87,17 +124,18 @@ impl<T> WorkQueue<T> {
     /// Pushes tasks onto `worker`'s own deque and wakes idle peers.
     pub fn push_local(&self, worker: usize, tasks: impl IntoIterator<Item = T>) {
         let mut pushed = 0usize;
+        let mut weight = 0i64;
         {
             let mut q = self.locals[worker].lock().unwrap();
             for t in tasks {
+                weight += t.weight() as i64;
                 q.push_back(t);
                 pushed += 1;
             }
         }
         if pushed > 0 {
             if let Some(m) = &self.metrics {
-                m.shard(worker)
-                    .gauge_add(GaugeId::PathsQueued, pushed as i64);
+                m.shard(worker).gauge_add(GaugeId::PathsQueued, weight);
             }
             self.notify(pushed > 1);
         }
@@ -115,7 +153,7 @@ impl<T> WorkQueue<T> {
             // "queues empty and nothing active" while we hold the last task
             self.active.fetch_add(1, Ordering::SeqCst);
             if let Some(t) = self.try_pop(worker) {
-                self.note_claimed(worker);
+                self.note_claimed(worker, t.weight());
                 return Some(t);
             }
             self.active.fetch_sub(1, Ordering::SeqCst);
@@ -126,7 +164,7 @@ impl<T> WorkQueue<T> {
             // here still counts as an active claim and forces another pass
             self.active.fetch_add(1, Ordering::SeqCst);
             if let Some(t) = self.try_pop(worker) {
-                self.note_claimed(worker);
+                self.note_claimed(worker, t.weight());
                 return Some(t);
             }
             if self.active.fetch_sub(1, Ordering::SeqCst) == 1 {
@@ -142,37 +180,29 @@ impl<T> WorkQueue<T> {
         }
     }
 
-    /// A task moved from a queue into a worker's hands: one fewer queued,
-    /// one more live.
-    fn note_claimed(&self, worker: usize) {
+    /// A task moved from a queue into a worker's hands: its member paths
+    /// leave `paths_queued` and enter `paths_live`.
+    fn note_claimed(&self, worker: usize, weight: usize) {
         if let Some(m) = &self.metrics {
             let shard = m.shard(worker);
-            shard.gauge_add(GaugeId::PathsQueued, -1);
-            shard.gauge_add(GaugeId::PathsLive, 1);
+            shard.gauge_add(GaugeId::PathsQueued, -(weight as i64));
+            shard.gauge_add(GaugeId::PathsLive, weight as i64);
         }
     }
 
     /// Releases the claim taken by [`WorkQueue::next_task`]; wakes all
     /// parked workers when this was the last in-flight task so they can
-    /// observe termination.
-    pub fn task_done(&self) {
+    /// observe termination. `weight` must be the finished task's
+    /// [`TaskWeight::weight`] so `paths_live` nets back out what
+    /// `next_task` added (a cohort's continuation tasks count separately —
+    /// they were pushed with their own weights).
+    pub fn task_done(&self, weight: usize) {
         if let Some(m) = &self.metrics {
-            m.shard(0).gauge_add(GaugeId::PathsLive, -1);
+            m.shard(0).gauge_add(GaugeId::PathsLive, -(weight as i64));
         }
         if self.active.fetch_sub(1, Ordering::SeqCst) == 1 {
             self.notify(true);
         }
-    }
-
-    /// Number of tasks taken from a peer's deque rather than the worker's
-    /// own or the injector.
-    pub fn steal_count(&self) -> u64 {
-        self.steals.load(Ordering::Relaxed)
-    }
-
-    /// Number of times a worker parked on the condvar.
-    pub fn park_count(&self) -> u64 {
-        self.parks.load(Ordering::Relaxed)
     }
 
     fn try_pop(&self, worker: usize) -> Option<T> {
@@ -195,21 +225,14 @@ impl<T> WorkQueue<T> {
         }
         None
     }
-
-    fn notify(&self, all: bool) {
-        let _g = self.gate.lock().unwrap();
-        if all {
-            self.cv.notify_all();
-        } else {
-            self.cv.notify_one();
-        }
-    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+
+    impl TaskWeight for u32 {}
 
     #[test]
     fn single_worker_drains_in_lifo_order() {
@@ -218,13 +241,13 @@ mod tests {
         let root = q.next_task(0).unwrap();
         assert_eq!(root, 0);
         q.push_local(0, [1, 2, 3]);
-        q.task_done();
+        q.task_done(1);
         assert_eq!(q.next_task(0), Some(3), "owner pops its deque LIFO");
-        q.task_done();
+        q.task_done(1);
         assert_eq!(q.next_task(0), Some(2));
-        q.task_done();
+        q.task_done(1);
         assert_eq!(q.next_task(0), Some(1));
-        q.task_done();
+        q.task_done(1);
         assert_eq!(q.next_task(0), None, "drained queue terminates");
     }
 
@@ -236,12 +259,12 @@ mod tests {
         q.push_local(0, [1, 2, 3]);
         assert_eq!(q.next_task(1), Some(1), "thief takes the FIFO end");
         assert_eq!(q.steal_count(), 1);
-        q.task_done();
-        q.task_done();
+        q.task_done(1);
+        q.task_done(1);
         assert_eq!(q.next_task(0), Some(3));
-        q.task_done();
+        q.task_done(1);
         assert_eq!(q.next_task(1), Some(2));
-        q.task_done();
+        q.task_done(1);
         assert_eq!(q.next_task(0), None);
         assert_eq!(q.next_task(1), None);
     }
@@ -266,7 +289,7 @@ mod tests {
                         if depth + 1 < DEPTH {
                             q.push_local(w, [depth + 1, depth + 1]);
                         }
-                        q.task_done();
+                        q.task_done(1);
                     }
                 });
             }
@@ -291,14 +314,59 @@ mod tests {
         assert_eq!(registry.gauge_total(GaugeId::PathsQueued), 3);
         assert_eq!(q.next_task(1), Some(1), "thief takes the FIFO end");
         assert_eq!(registry.counter_total(CounterId::SchedSteals), 1);
-        q.task_done();
-        q.task_done();
+        q.task_done(1);
+        q.task_done(1);
         assert_eq!(q.next_task(0), Some(3));
-        q.task_done();
+        q.task_done(1);
         assert_eq!(q.next_task(1), Some(2));
-        q.task_done();
+        q.task_done(1);
         assert_eq!(q.next_task(0), None);
         assert_eq!(q.next_task(1), None);
+        assert_eq!(registry.gauge_total(GaugeId::PathsQueued), 0);
+        assert_eq!(registry.gauge_total(GaugeId::PathsLive), 0);
+    }
+
+    /// A work item carrying several member paths (a cohort).
+    #[derive(Debug, PartialEq)]
+    struct Weighted(usize);
+
+    impl TaskWeight for Weighted {
+        fn weight(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn gauges_count_member_paths_not_work_items() {
+        let registry = Arc::new(MetricsRegistry::new(1));
+        let q: WorkQueue<Weighted> = WorkQueue::with_metrics(1, Arc::clone(&registry));
+        q.inject(Weighted(1));
+        assert_eq!(registry.gauge_total(GaugeId::PathsQueued), 1);
+        let root = q.next_task(0).unwrap();
+        assert_eq!(registry.gauge_total(GaugeId::PathsLive), 1);
+        // the root forks 8 children packed into one 5-lane cohort plus 3
+        // scalar segments: queued must read 8 paths, not 4 work items
+        q.push_local(0, [Weighted(5), Weighted(1), Weighted(1), Weighted(1)]);
+        assert_eq!(registry.gauge_total(GaugeId::PathsQueued), 8);
+        q.task_done(root.weight());
+        assert_eq!(registry.gauge_total(GaugeId::PathsLive), 0);
+        let cohort = q.next_task(0).unwrap();
+        assert_eq!(cohort, Weighted(1), "owner pops LIFO");
+        q.task_done(cohort.weight());
+        let t = q.next_task(0).unwrap();
+        q.task_done(t.weight());
+        let t = q.next_task(0).unwrap();
+        q.task_done(t.weight());
+        let cohort = q.next_task(0).unwrap();
+        assert_eq!(cohort, Weighted(5));
+        assert_eq!(registry.gauge_total(GaugeId::PathsQueued), 0);
+        assert_eq!(
+            registry.gauge_total(GaugeId::PathsLive),
+            5,
+            "a claimed cohort holds all member paths live"
+        );
+        q.task_done(cohort.weight());
+        assert_eq!(q.next_task(0), None);
         assert_eq!(registry.gauge_total(GaugeId::PathsQueued), 0);
         assert_eq!(registry.gauge_total(GaugeId::PathsLive), 0);
     }
@@ -317,7 +385,7 @@ mod tests {
                             // worker must park instead of busy-waiting
                             std::thread::sleep(std::time::Duration::from_millis(20));
                         }
-                        q.task_done();
+                        q.task_done(1);
                     }
                 });
             }

@@ -66,6 +66,61 @@ impl Lanes {
         self.val = self.val & !(1 << i) | u64::from(vb) << i;
         self.unk = self.unk & !(1 << i) | u64::from(ub) << i;
     }
+
+    /// Every lane broadcast to the same value (`Z`/symbols fold to unknown).
+    #[inline]
+    pub fn broadcast(v: Value) -> Lanes {
+        let (vb, ub) = encode(v);
+        Lanes {
+            val: if vb { !0 } else { 0 },
+            unk: if ub { !0 } else { 0 },
+        }
+    }
+
+    /// Lane-wise select: lanes where `mask` is set come from `a`, the rest
+    /// from `b`. Both planes are selected together, so normalization is
+    /// preserved.
+    #[inline]
+    pub fn select(mask: u64, a: Lanes, b: Lanes) -> Lanes {
+        Lanes {
+            val: (a.val & mask) | (b.val & !mask),
+            unk: (a.unk & mask) | (b.unk & !mask),
+        }
+    }
+
+    /// Masked writeback: lanes where `mask` is set take `new`'s bits, all
+    /// other lanes keep `self`'s bits exactly. This is the cohort engine's
+    /// lane-mask invariant: a masked-out (dead) lane can never be disturbed
+    /// by a live lane's update.
+    #[inline]
+    #[must_use]
+    pub fn merge_masked(self, new: Lanes, mask: u64) -> Lanes {
+        Lanes::select(mask, new, self)
+    }
+
+    /// Lanes whose value differs between `self` and `other` (either plane).
+    #[inline]
+    pub fn diff_mask(self, other: Lanes) -> u64 {
+        (self.val ^ other.val) | (self.unk ^ other.unk)
+    }
+
+    /// Lanes carrying an unknown (`X`, or folded `Z`/symbol).
+    #[inline]
+    pub fn unknown_mask(self) -> u64 {
+        self.unk
+    }
+
+    /// Lanes carrying a known `1`.
+    #[inline]
+    pub fn known_ones(self) -> u64 {
+        self.val & !self.unk
+    }
+
+    /// Lanes carrying a known `0`.
+    #[inline]
+    pub fn known_zeros(self) -> u64 {
+        !self.val & !self.unk
+    }
 }
 
 /// Encodes one value as `(val, unk)` bits, folding `Z` and symbols into
@@ -247,5 +302,46 @@ mod tests {
         assert_eq!(Lanes::ONES.get(17), Value::ONE);
         assert_eq!(Lanes::ZEROS.get(17), Value::ZERO);
         assert_eq!(not(Lanes::ONES), Lanes::ZEROS);
+    }
+
+    #[test]
+    fn broadcast_fills_all_lanes() {
+        for &v in &DOMAIN {
+            let l = Lanes::broadcast(v);
+            assert!(normalized(l));
+            let folded = if v == Value::Z { Value::X } else { v };
+            assert_eq!(l.get(0), folded);
+            assert_eq!(l.get(63), folded);
+        }
+    }
+
+    #[test]
+    fn merge_masked_keeps_dead_lanes() {
+        let old = pack(&[Value::ZERO, Value::ONE, Value::X, Value::ONE]);
+        let new = pack(&[Value::ONE, Value::X, Value::ZERO, Value::ZERO]);
+        let merged = old.merge_masked(new, 0b0101);
+        assert_eq!(merged.get(0), Value::ONE, "live lane takes the new value");
+        assert_eq!(merged.get(1), Value::ONE, "dead lane keeps the old value");
+        assert_eq!(merged.get(2), Value::ZERO);
+        assert_eq!(merged.get(3), Value::ONE);
+        assert!(normalized(merged));
+    }
+
+    #[test]
+    fn reduction_masks_partition_lanes() {
+        let l = pack(&[Value::ZERO, Value::ONE, Value::X, Value::Z]);
+        assert_eq!(l.unknown_mask() & 0xf, 0b1100);
+        assert_eq!(l.known_ones() & 0xf, 0b0010);
+        assert_eq!(l.known_zeros() & 0xf, 0b0001);
+        // the three masks partition the lane space
+        assert_eq!(l.unknown_mask() ^ l.known_ones() ^ l.known_zeros(), !0);
+    }
+
+    #[test]
+    fn diff_mask_finds_changed_lanes() {
+        let a = pack(&[Value::ZERO, Value::ONE, Value::X]);
+        let b = pack(&[Value::ONE, Value::ONE, Value::ZERO]);
+        assert_eq!(a.diff_mask(b) & 0b111, 0b101);
+        assert_eq!(a.diff_mask(a), 0);
     }
 }

@@ -94,4 +94,30 @@ proptest! {
             prop_assert_eq!(lanes.get(i as u32), want);
         }
     }
+
+    /// Lane-masked writeback never leaks across the mask: after
+    /// `old.merge_masked(new, live)`, every dead lane reads back `old`'s
+    /// value bit-exactly and every live lane reads back `new`'s — the
+    /// invariant the cohort engine relies on to freeze halted paths while
+    /// their siblings keep settling.
+    #[test]
+    fn masked_writeback_never_leaks(
+        vold in arb_plane(),
+        vnew in arb_plane(),
+        live in any::<u64>(),
+    ) {
+        let old = plane::pack(&vold);
+        let new = plane::pack(&vnew);
+        let merged = old.merge_masked(new, live);
+        prop_assert_eq!(merged.val & merged.unk, 0, "normalization broken");
+        for i in 0..64u32 {
+            if live >> i & 1 == 1 {
+                prop_assert_eq!(merged.get(i), new.get(i), "live lane {} lost its update", i);
+            } else {
+                prop_assert_eq!(merged.get(i), old.get(i), "masked lane {} was disturbed", i);
+            }
+        }
+        // changed-lane detection respects the mask the same way
+        prop_assert_eq!(old.diff_mask(merged) & !live, 0, "diff outside the live mask");
+    }
 }

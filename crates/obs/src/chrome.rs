@@ -64,6 +64,7 @@ pub fn export_chrome(trace: &Trace) -> String {
             | TraceRecord::SpanClose { w, .. }
             | TraceRecord::PathStart { w, .. }
             | TraceRecord::Fork { w, .. }
+            | TraceRecord::Cohort { w, .. }
             | TraceRecord::Csm { w, .. }
             | TraceRecord::PathEnd { w, .. } => Some(*w),
             _ => None,
@@ -203,6 +204,18 @@ pub fn export_chrome(trace: &Trace) -> String {
                     });
                 }
             }
+            TraceRecord::Cohort { ts_us, w, n, .. } => ev.push(|o| {
+                let mut args = JsonObject::new();
+                args.u64("lanes", *n);
+                o.str("name", "cohort")
+                    .str("cat", "cohort")
+                    .str("ph", "i")
+                    .str("s", "t")
+                    .u64("ts", *ts_us)
+                    .u64("pid", PID)
+                    .u64("tid", tid(*w))
+                    .raw("args", &args.finish());
+            }),
             TraceRecord::Csm {
                 ts_us, w, pc, kind, ..
             } => match kind {

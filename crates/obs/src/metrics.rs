@@ -46,6 +46,15 @@ pub enum CounterId {
     SchedSteals,
     /// Times a worker parked on the scheduler condvar.
     SchedParks,
+    /// Path cohorts packed for lane evaluation (one per cohort work item
+    /// that passed the pack eligibility checks).
+    CohortsFormed,
+    /// Member paths carried by formed cohorts (mean lane occupancy is
+    /// `cohort_member_paths / cohorts_formed`).
+    CohortMemberPaths,
+    /// Cohort lanes spilled back to scalar segments on a fully-unknown
+    /// memory address.
+    CohortLaneSpills,
 }
 
 /// Display/JSON names, indexed by [`CounterId`] discriminant.
@@ -66,8 +75,11 @@ const COUNTER_NAMES: [&str; COUNTERS] = [
     "csm_cover_checks_elided",
     "sched_steals",
     "sched_parks",
+    "cohorts_formed",
+    "cohort_member_paths",
+    "cohort_lane_spills",
 ];
-const COUNTERS: usize = CounterId::SchedParks as usize + 1;
+const COUNTERS: usize = CounterId::CohortLaneSpills as usize + 1;
 
 /// Up/down gauges (additive across shards; see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,7 +112,9 @@ pub enum HistogramId {
     /// this locally with the same layout (see [`DIRTY_PCT_BUCKETS`]) and
     /// the explorer folds it in bucket-for-bucket.
     DirtyFractionPct,
-    /// Children materialized per path split.
+    /// Fork fan-out: branch concretizations (`2^n` for `n` enumerated
+    /// unknown control signals) per fork site, recorded *before* the
+    /// `max_paths` clamp — the signal cohort sizing depends on.
     SplitFanout,
     /// Cycles simulated per path segment.
     SegmentCycles,
@@ -120,9 +134,11 @@ pub enum HistogramId {
     PhaseBatchEvalUs,
     /// Scalar event-driven evaluation time per segment, µs.
     PhaseEventEvalUs,
+    /// Member paths per formed cohort (lane occupancy).
+    CohortLaneOccupancy,
 }
 
-const HISTOGRAM_COUNT: usize = HistogramId::PhaseEventEvalUs as usize + 1;
+const HISTOGRAM_COUNT: usize = HistogramId::CohortLaneOccupancy as usize + 1;
 
 /// Bucket count of [`HistogramId::DirtyFractionPct`]: ten deciles plus the
 /// exactly-100% bucket.
@@ -147,6 +163,8 @@ const HISTOGRAM_BOUNDS: [&[u64]; HISTOGRAM_COUNT] = [
     PHASE_US_BOUNDS,
     PHASE_US_BOUNDS,
     PHASE_US_BOUNDS,
+    // lane occupancy: powers of two up to the 64-lane plane width
+    &[1, 2, 4, 8, 16, 32, 64],
 ];
 
 const HISTOGRAM_NAMES: [&str; HISTOGRAM_COUNT] = [
@@ -161,6 +179,7 @@ const HISTOGRAM_NAMES: [&str; HISTOGRAM_COUNT] = [
     "phase_sched_wait_us",
     "phase_batch_eval_us",
     "phase_event_eval_us",
+    "cohort_lane_occupancy",
 ];
 
 /// Largest bucket array any histogram needs (bounds + overflow):

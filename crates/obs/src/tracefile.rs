@@ -423,6 +423,17 @@ pub enum TraceRecord {
         want: u64,
         signals: Vec<u64>,
     },
+    /// Sibling paths `members` (ids `first..first+n`) were packed into one
+    /// lane cohort and simulated together in a single bit-plane pass
+    /// (cohort eval mode). Per-path `path_start`/`path_end` records still
+    /// bracket each member's trajectory.
+    Cohort {
+        ts_us: u64,
+        w: i64,
+        first: u64,
+        n: u64,
+        members: Vec<u64>,
+    },
     /// A CSM decision for path `path` halting at `pc`.
     Csm {
         ts_us: u64,
@@ -525,6 +536,25 @@ impl TraceRecord {
                     signals,
                 })
             }
+            "cohort" => {
+                let members = match v.get("members").and_then(JsonValue::as_array) {
+                    Some(items) => items
+                        .iter()
+                        .map(|s| {
+                            s.as_u64()
+                                .ok_or_else(|| "cohort: non-integer member id".to_string())
+                        })
+                        .collect::<Result<Vec<u64>, String>>()?,
+                    None => Vec::new(),
+                };
+                Ok(TraceRecord::Cohort {
+                    ts_us,
+                    w,
+                    first: req_u64(&v, "first", &ev)?,
+                    n: req_u64(&v, "n", &ev)?,
+                    members,
+                })
+            }
             "csm" => Ok(TraceRecord::Csm {
                 ts_us,
                 w,
@@ -572,6 +602,7 @@ impl TraceRecord {
             | TraceRecord::SpanClose { ts_us, .. }
             | TraceRecord::PathStart { ts_us, .. }
             | TraceRecord::Fork { ts_us, .. }
+            | TraceRecord::Cohort { ts_us, .. }
             | TraceRecord::Csm { ts_us, .. }
             | TraceRecord::PathEnd { ts_us, .. }
             | TraceRecord::Summary { ts_us, .. } => *ts_us,

@@ -7,6 +7,10 @@ use crate::activity::ActivityStats;
 use crate::observer::ToggleProfile;
 use crate::state::{MemArray, SimState};
 
+mod cohort;
+
+pub use cohort::{CohortLaneEnd, PathCohort};
+
 /// How the Active region propagates values (see [`Simulator::settle`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum EvalMode {
@@ -20,6 +24,12 @@ pub enum EvalMode {
     /// packed, sparse ripples stay event-driven).
     #[default]
     Hybrid,
+    /// Path-cohort evaluation: the explorer packs up to 64 sibling paths
+    /// forked from one snapshot into the lane dimension and settles them
+    /// together (see [`PathCohort`]). Scalar segments (the root path, and
+    /// any lane spilled out of a cohort) run exactly like [`EvalMode::
+    /// Hybrid`]; reports stay bit-identical to event mode.
+    Cohort,
 }
 
 impl EvalMode {
@@ -29,6 +39,7 @@ impl EvalMode {
             EvalMode::Event => "event",
             EvalMode::Batch => "batch",
             EvalMode::Hybrid => "hybrid",
+            EvalMode::Cohort => "cohort",
         }
     }
 }
@@ -41,7 +52,10 @@ impl std::str::FromStr for EvalMode {
             "event" => Ok(EvalMode::Event),
             "batch" => Ok(EvalMode::Batch),
             "hybrid" => Ok(EvalMode::Hybrid),
-            other => Err(format!("expected event, batch, or hybrid, got \"{other}\"")),
+            "cohort" => Ok(EvalMode::Cohort),
+            other => Err(format!(
+                "expected event, batch, hybrid, or cohort, got \"{other}\""
+            )),
         }
     }
 }

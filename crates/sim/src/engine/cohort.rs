@@ -1,0 +1,747 @@
+//! Path-cohort evaluation: up to 64 *sibling paths* in the lane dimension.
+//!
+//! PR 2's batched kernel packs 64 gates of one path into a [`Lanes`] word;
+//! this module re-purposes the same two-plane algebra in the other
+//! direction — one net, 64 paths. Children forked from one snapshot share
+//! every bit of state except the handful of forced control signals, so a
+//! [`PathCohort`] broadcasts the fork snapshot into per-net planes, forces
+//! each member's branch combo into its own lane, and settles all members
+//! with one event-driven pass per node. Per-lane live masks gate every
+//! writeback, so a lane that halts (`$monitor_x`), finishes, spills, or
+//! exhausts the segment budget freezes exactly at its halt state while its
+//! siblings keep running — [`Lanes::merge_masked`] is the invariant that
+//! makes the frozen state unpackable bit-exactly later.
+//!
+//! # Exactness contract
+//!
+//! A cohort run must be indistinguishable from running each member lane
+//! through the scalar segment protocol (`force* → settle → step_cycle →
+//! release_all → run(budget)`):
+//!
+//! - Gate evaluation is levelized event-driven, so each node is evaluated
+//!   at most once per settle with final inputs — no glitches, and the
+//!   plane gate functions agree with the scalar `ops` lane-for-lane on
+//!   `Logic` values (the `plane_props` differential tests).
+//! - Memory reads and write commits are resolved *per lane* against the
+//!   lane's own copy-on-write [`MemArray`]s with the same conservative
+//!   address-enumeration semantics as the scalar engine.
+//! - Toggle marking is change-driven in both engines, so the union of the
+//!   member lanes' marks equals the union of the equivalent scalar runs.
+//!
+//! To keep the contract simple the planes must stay *exact*, which rules
+//! out values they fold ([`Value::Z`], tagged symbols): [`Simulator::
+//! cohort_pack`] refuses a base state containing them and requires the
+//! [`PropagationPolicy::Anonymous`] policy. Under that gate no `Z`/symbol
+//! can appear mid-run either — gates never produce them from `Logic`
+//! inputs, forces are concrete, and memory merges of `Logic` values stay
+//! `Logic` — so the fold in [`Lanes::set`] is the identity throughout.
+//!
+//! # Divergence and spilling
+//!
+//! A memory read whose address is unknown beyond `max_addr_enum_bits`
+//! (`AddrSet::All`) is the one event whose scalar cost the cohort cannot
+//! amortize: the scalar engine serves it from a per-memory all-words-merge
+//! cache, while a cohort would rescan the lane's array on every such
+//! event. The lane's read is served exactly (one O(depth) merge), the lane
+//! is flagged, and at the *end of the cycle* — a quiescent region boundary
+//! — it is masked out with [`CohortLaneEnd::Spilled`]. The explorer
+//! unpacks it into an ordinary scalar segment carrying the remaining cycle
+//! budget, so the spilled path's trajectory (and even its budget horizon)
+//! is still bit-identical to event mode.
+
+use symsim_logic::{plane::Lanes, PropagationPolicy, Value, Word};
+use symsim_netlist::{CombNode, NetId};
+
+use super::{enumerate_addresses, AddrSet, Simulator};
+use crate::state::{MemArray, SimState};
+
+/// How one member lane of a finished cohort run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CohortLaneEnd {
+    /// Still live (only observable before [`Simulator::cohort_run`]
+    /// returns).
+    Running,
+    /// A monitored control-flow signal went unknown: the lane's unpacked
+    /// state awaits a CSM observation, exactly like a scalar
+    /// [`HaltReason::MonitorX`].
+    MonitorX,
+    /// The finish net asserted: the application completed on this lane.
+    Finished,
+    /// The segment cycle budget ran out with the lane still live.
+    Budget,
+    /// The lane diverged on a fully-unknown memory address and was masked
+    /// out at the end of that cycle; its unpacked state must continue as a
+    /// scalar segment with the remaining budget.
+    Spilled,
+}
+
+/// Per-write-port plane sample (the cohort analogue of the scalar
+/// `WritePortSample`), refilled in place every clock edge.
+#[derive(Debug)]
+struct WpPlanes {
+    addr: Vec<Lanes>,
+    data: Vec<Lanes>,
+    we: Lanes,
+}
+
+/// Up to 64 sibling paths packed lane-wise over per-net [`Lanes`] planes.
+///
+/// Created by [`Simulator::cohort_pack`], steered with
+/// [`Simulator::cohort_force`], run by [`Simulator::cohort_run`], and read
+/// back per lane with [`Simulator::cohort_unpack`]. The cohort owns *all*
+/// of its mutable state — the simulator's own scalar state is never
+/// touched (except the shared toggle profile, whose marking is
+/// change-driven and therefore union-exact), so the same simulator keeps
+/// serving scalar segments between cohort runs.
+#[derive(Debug)]
+pub struct PathCohort {
+    /// Member lane count (2..=64).
+    n: usize,
+    /// Live-lane mask; bit `i` clear means lane `i` is frozen.
+    live: u64,
+    /// Shared cycle counter (all live lanes advance in lock-step).
+    cycle: u64,
+    /// The snapshot cycle the cohort was packed at.
+    start_cycle: u64,
+    /// One plane per net, broadcast from the fork snapshot.
+    planes: Vec<Lanes>,
+    /// Cohort-local force bitmap (per net) and force planes.
+    forced: Vec<bool>,
+    force_planes: std::collections::HashMap<u32, Lanes>,
+    /// Per-lane copy-on-write memories (`[lane][mem]`).
+    lane_mems: Vec<Vec<MemArray>>,
+    outcomes: Vec<CohortLaneEnd>,
+    halt_cycle: Vec<u64>,
+    /// Event scheduling over the union of all lanes' dirty sets.
+    dirty: Vec<Vec<u32>>,
+    in_queue: Vec<bool>,
+    /// Per-cycle scratch, allocated once per cohort.
+    dff_scratch: Vec<Lanes>,
+    wp_scratch: Vec<WpPlanes>,
+    mem_scratch: Vec<Lanes>,
+    /// Masks computed in the Symbolic region, committed at the lane-end
+    /// boundary (after `release` for the forced first step).
+    pending_finish: u64,
+    pending_halt: u64,
+    spill_pending: u64,
+}
+
+impl PathCohort {
+    /// Member lane count.
+    pub fn lanes(&self) -> usize {
+        self.n
+    }
+
+    /// Mask of lanes still live (zero after [`Simulator::cohort_run`]).
+    pub fn live_mask(&self) -> u64 {
+        self.live
+    }
+
+    /// The shared cycle counter.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// How lane `lane` ended ([`CohortLaneEnd::Running`] before the run
+    /// completes).
+    pub fn outcome(&self, lane: usize) -> CohortLaneEnd {
+        self.outcomes[lane]
+    }
+
+    /// The cycle lane `lane` was masked out at (its unpacked snapshot's
+    /// cycle counter).
+    pub fn halt_cycle(&self, lane: usize) -> u64 {
+        self.halt_cycle[lane]
+    }
+
+    /// Cycles lane `lane` consumed inside the cohort.
+    pub fn lane_cycles(&self, lane: usize) -> u64 {
+        self.halt_cycle[lane] - self.start_cycle
+    }
+
+    /// Freezes every lane in `ends` with the given end, recording the halt
+    /// cycle. Precedence among simultaneous ends is the caller's order.
+    fn freeze(&mut self, mask: u64, end: CohortLaneEnd) {
+        let mut m = mask;
+        while m != 0 {
+            let lane = m.trailing_zeros() as usize;
+            m &= m - 1;
+            self.outcomes[lane] = end;
+            self.halt_cycle[lane] = self.cycle;
+        }
+        self.live &= !mask;
+    }
+
+    /// Applies the pending Symbolic-region verdicts: finish beats halt
+    /// beats spill, all restricted to still-live lanes.
+    fn commit_lane_ends(&mut self) {
+        let fin = self.pending_finish & self.live;
+        let halt = self.pending_halt & self.live & !fin;
+        let spill = self.spill_pending & self.live & !fin & !halt;
+        self.freeze(fin, CohortLaneEnd::Finished);
+        self.freeze(halt, CohortLaneEnd::MonitorX);
+        self.freeze(spill, CohortLaneEnd::Spilled);
+        self.pending_finish = 0;
+        self.pending_halt = 0;
+        self.spill_pending = 0;
+    }
+}
+
+impl<'n> Simulator<'n> {
+    /// Packs `base` into an `n`-lane cohort: every net's plane broadcasts
+    /// the snapshot value, every lane gets its own copy-on-write clone of
+    /// the snapshot memories (O(page refs) each).
+    ///
+    /// Returns `None` when cohort evaluation cannot be exact: fewer than 2
+    /// or more than 64 lanes, a non-[`Anonymous`](PropagationPolicy::
+    /// Anonymous) policy, a base state carrying `Z`/symbol values (the
+    /// planes fold those), an attached activity observer (whose per-cycle
+    /// weighting is per-path, not union-shaped), or per-event tracing.
+    /// The caller falls back to scalar segments in that case.
+    pub fn cohort_pack(&self, base: &SimState, n: usize) -> Option<PathCohort> {
+        if !(2..=64).contains(&n)
+            || self.config.policy != PropagationPolicy::Anonymous
+            || self.activity.is_some()
+            || self.config.trace_events
+        {
+            return None;
+        }
+        if base.values.iter().any(|&v| !plane_exact(v)) {
+            return None;
+        }
+        debug_assert!(
+            base.mems.iter().all(|m| m.iter_bits().all(plane_exact)),
+            "cohort base memories must be Z/symbol-free (see module docs)"
+        );
+        let planes: Vec<Lanes> = base.values.iter().map(|&v| Lanes::broadcast(v)).collect();
+        let wp_scratch = self
+            .write_ports
+            .iter()
+            .map(|d| WpPlanes {
+                addr: vec![Lanes::ZEROS; d.addr.len()],
+                data: vec![Lanes::ZEROS; d.data.len()],
+                we: Lanes::ZEROS,
+            })
+            .collect();
+        Some(PathCohort {
+            n,
+            live: if n == 64 { !0 } else { (1u64 << n) - 1 },
+            cycle: base.cycle,
+            start_cycle: base.cycle,
+            planes,
+            forced: vec![false; base.values.len()],
+            force_planes: std::collections::HashMap::new(),
+            lane_mems: vec![base.mems.clone(); n],
+            outcomes: vec![CohortLaneEnd::Running; n],
+            halt_cycle: vec![base.cycle; n],
+            dirty: vec![Vec::new(); self.max_level as usize + 1],
+            in_queue: vec![false; self.nodes.len()],
+            dff_scratch: vec![Lanes::ZEROS; self.dff_pairs.len()],
+            wp_scratch,
+            mem_scratch: Vec::new(),
+            pending_finish: 0,
+            pending_halt: 0,
+            spill_pending: 0,
+        })
+    }
+
+    /// Forces `net` to a per-lane value pattern (lane `i` takes
+    /// `lanes.get(i)`), the cohort analogue of [`Simulator::force`] applied
+    /// to every member at once. The override holds until the first cycle
+    /// completes (cohort_run releases it, like the scalar segment
+    /// protocol).
+    pub fn cohort_force(&mut self, c: &mut PathCohort, net: NetId, lanes: Lanes) {
+        c.forced[net.0 as usize] = true;
+        c.force_planes.insert(net.0, lanes);
+        self.cohort_write(c, net.0, lanes, false);
+    }
+
+    /// Runs the cohort through one forced cycle (mirroring `settle →
+    /// step_cycle → release_all`) and then up to `max_cycles` further
+    /// cycles, freezing lanes as they finish, halt, or spill; any lane
+    /// still live afterwards ends as [`CohortLaneEnd::Budget`]. On return
+    /// every lane has a final [`CohortLaneEnd`] and
+    /// [`Simulator::cohort_unpack`] yields its quiescent snapshot.
+    pub fn cohort_run(&mut self, c: &mut PathCohort, max_cycles: u64) {
+        let t0 = self.config.profile_phases.then(std::time::Instant::now);
+        self.cohort_settle(c);
+        self.cohort_step(c);
+        self.cohort_release(c);
+        c.commit_lane_ends();
+        let mut steps = 0u64;
+        while c.live != 0 && steps < max_cycles {
+            self.cohort_step(c);
+            c.commit_lane_ends();
+            steps += 1;
+        }
+        let budget = c.live;
+        c.freeze(budget, CohortLaneEnd::Budget);
+        if let Some(t) = t0 {
+            self.settle_ns += t.elapsed().as_nanos() as u64;
+        }
+    }
+
+    /// Unpacks lane `lane` into an ordinary quiescent [`SimState`]: each
+    /// net's value from the lane's plane bits, the lane's own memories
+    /// (copy-on-write, O(page refs)), and the cycle the lane froze at.
+    pub fn cohort_unpack(&self, c: &PathCohort, lane: usize) -> SimState {
+        assert!(lane < c.n, "lane out of range");
+        SimState {
+            values: (0..c.planes.len())
+                .map(|i| c.planes[i].get(lane as u32))
+                .collect(),
+            mems: c.lane_mems[lane].clone(),
+            cycle: c.halt_cycle[lane],
+        }
+    }
+
+    /// One clock cycle over all live lanes, mirroring
+    /// [`Simulator::step_cycle`]'s region order: NBA (settle, sample DFF
+    /// d-planes and write ports pre-edge, commit), Active (settle), then
+    /// the Symbolic-region checks, whose verdicts land in the pending
+    /// masks (committed by the caller at the lane-end boundary).
+    fn cohort_step(&mut self, c: &mut PathCohort) {
+        // Nba: settle pending propagation, sample pre-edge, then commit
+        self.cohort_settle(c);
+        for i in 0..self.dff_pairs.len() {
+            let d = self.dff_pairs[i].1;
+            c.dff_scratch[i] = c.planes[d.0 as usize];
+        }
+        for pi in 0..self.write_ports.len() {
+            for bi in 0..self.write_ports[pi].addr.len() {
+                let net = self.write_ports[pi].addr[bi].0 as usize;
+                c.wp_scratch[pi].addr[bi] = c.planes[net];
+            }
+            for bi in 0..self.write_ports[pi].data.len() {
+                let net = self.write_ports[pi].data[bi].0 as usize;
+                c.wp_scratch[pi].data[bi] = c.planes[net];
+            }
+            let we = self.write_ports[pi].we.0 as usize;
+            c.wp_scratch[pi].we = c.planes[we];
+        }
+        for i in 0..self.dff_pairs.len() {
+            let q = self.dff_pairs[i].0;
+            let v = c.dff_scratch[i];
+            // like the scalar `set_value(q, v, false)`: DFF commits bypass
+            // force overrides
+            self.cohort_write(c, q.0, v, false);
+        }
+        for pi in 0..self.write_ports.len() {
+            let mem_index = self.write_ports[pi].mem as usize;
+            let max_bits = self.config.max_addr_enum_bits;
+            let mut any_write = false;
+            let mut m = c.live;
+            while m != 0 {
+                let lane = m.trailing_zeros();
+                m &= m - 1;
+                let we = c.wp_scratch[pi].we.get(lane);
+                if we == Value::ZERO {
+                    continue;
+                }
+                let addr: Word = c.wp_scratch[pi].addr.iter().map(|l| l.get(lane)).collect();
+                let data: Word = c.wp_scratch[pi].data.iter().map(|l| l.get(lane)).collect();
+                commit_lane_mem_write(
+                    &mut c.lane_mems[lane as usize][mem_index],
+                    &addr,
+                    &data,
+                    we,
+                    max_bits,
+                );
+                any_write = true;
+            }
+            if any_write {
+                // per-node scheduling is shared across lanes: re-evaluating
+                // a read whose lane did not write is idempotent
+                self.cohort_schedule_mem_readers(c, mem_index);
+            }
+        }
+        // Active
+        self.cohort_settle(c);
+        // Inactive and Monitor are empty/inline, as in the scalar engine.
+        // Symbolic: advance the shared counter, then the per-lane checks
+        c.cycle += 1;
+        self.cohort_check_symbolic(c);
+    }
+
+    /// The per-lane Symbolic-region verdicts of [`Simulator::
+    /// check_symbolic_region`], as plane reductions: finish lanes are the
+    /// finish net's known-ones; a monitor halts a lane when its qualifier
+    /// is unknown, or known-1 (or absent) with any watched signal unknown.
+    fn cohort_check_symbolic(&self, c: &mut PathCohort) {
+        let live = c.live;
+        let mut finished = 0u64;
+        if let Some(f) = self.finish_net {
+            finished = c.planes[f.0 as usize].known_ones() & live;
+        }
+        let mut halt = 0u64;
+        for spec in &self.monitors {
+            let mut sig_unk = 0u64;
+            for &s in &spec.signals {
+                sig_unk |= c.planes[s.0 as usize].unknown_mask();
+            }
+            halt |= match spec.qualifier {
+                None => sig_unk,
+                Some(q) => {
+                    let ql = c.planes[q.0 as usize];
+                    ql.unknown_mask() | (ql.known_ones() & sig_unk)
+                }
+            };
+        }
+        c.pending_finish |= finished;
+        c.pending_halt |= halt & live & !finished;
+    }
+
+    /// Releases all cohort forces and re-evaluates the affected drivers
+    /// (the cohort analogue of [`Simulator::release_all`]).
+    fn cohort_release(&mut self, c: &mut PathCohort) {
+        let nets: Vec<u32> = c.force_planes.keys().copied().collect();
+        c.force_planes.clear();
+        for n in nets {
+            c.forced[n as usize] = false;
+            if let Some(node) = self.driver_node[n as usize] {
+                self.cohort_schedule_node(c, node);
+            }
+        }
+        self.cohort_settle(c);
+    }
+
+    /// Drains the cohort dirty buckets level-ascending to quiescence. Like
+    /// the scalar settle, nodes only schedule strictly higher levels
+    /// within a pass, so one ascending sweep suffices; each node is
+    /// evaluated once over all 64 lanes.
+    fn cohort_settle(&mut self, c: &mut PathCohort) {
+        for lvl in 0..=self.max_level as usize {
+            while let Some(idx) = c.dirty[lvl].pop() {
+                c.in_queue[idx as usize] = false;
+                self.cohort_eval_node(c, idx);
+            }
+        }
+    }
+
+    fn cohort_schedule_node(&self, c: &mut PathCohort, idx: u32) {
+        if !c.in_queue[idx as usize] {
+            c.in_queue[idx as usize] = true;
+            c.dirty[self.level[idx as usize] as usize].push(idx);
+        }
+    }
+
+    fn cohort_schedule_fanout(&self, c: &mut PathCohort, net: u32) {
+        let s = self.fanout_start[net as usize] as usize;
+        let e = self.fanout_start[net as usize + 1] as usize;
+        for k in s..e {
+            self.cohort_schedule_node(c, self.fanout_list[k]);
+        }
+    }
+
+    fn cohort_schedule_mem_readers(&self, c: &mut PathCohort, mem_index: usize) {
+        for &node in &self.mem_readers[mem_index] {
+            self.cohort_schedule_node(c, node);
+        }
+    }
+
+    /// Lane-masked writeback of `y` to `net`: only live lanes whose value
+    /// actually changed are patched ([`Lanes::merge_masked`]), dead lanes
+    /// are untouched by construction, and any change marks the toggle
+    /// profile and schedules the net's fanout — the cohort mirror of
+    /// [`Simulator::set_value`], including the force override on
+    /// evaluation writes.
+    fn cohort_write(&mut self, c: &mut PathCohort, net: u32, y: Lanes, from_eval: bool) {
+        let y = if from_eval && c.forced[net as usize] {
+            self.forced_writes += 1;
+            c.force_planes[&net]
+        } else {
+            y
+        };
+        let old = c.planes[net as usize];
+        let changed = old.diff_mask(y) & c.live;
+        if changed == 0 {
+            return;
+        }
+        c.planes[net as usize] = old.merge_masked(y, changed);
+        self.mark_toggled(NetId(net));
+        self.cohort_schedule_fanout(c, net);
+    }
+
+    /// Evaluates one node over all 64 lanes: gates via the plane algebra
+    /// (one word-op evaluates every member path at once), memory reads
+    /// per live lane against the lane's own memories.
+    fn cohort_eval_node(&mut self, c: &mut PathCohort, idx: u32) {
+        self.event_evals += 1;
+        match self.nodes[idx as usize] {
+            CombNode::Gate(g) => {
+                use symsim_logic::plane;
+                use symsim_netlist::CellKind as K;
+                let gate = self.netlist.gate(g);
+                let p = |i: usize| c.planes[gate.inputs[i].0 as usize];
+                let y = match gate.kind {
+                    K::Const0 => Lanes::ZEROS,
+                    K::Const1 => Lanes::ONES,
+                    K::Buf => plane::buf(p(0)),
+                    K::Not => plane::not(p(0)),
+                    K::And2 => plane::and2(p(0), p(1)),
+                    K::Or2 => plane::or2(p(0), p(1)),
+                    K::Nand2 => plane::nand2(p(0), p(1)),
+                    K::Nor2 => plane::nor2(p(0), p(1)),
+                    K::Xor2 => plane::xor2(p(0), p(1)),
+                    K::Xnor2 => plane::xnor2(p(0), p(1)),
+                    K::Mux2 => plane::mux2(p(0), p(1), p(2)),
+                };
+                let out = gate.output.0;
+                self.cohort_write(c, out, y, true);
+            }
+            CombNode::MemRead { mem, port } => {
+                let nl = self.netlist;
+                let mem_index = mem.0 as usize;
+                let rp = &nl.memories()[mem_index].read_ports[port];
+                let max_bits = self.config.max_addr_enum_bits;
+                let mut out = std::mem::take(&mut c.mem_scratch);
+                out.clear();
+                out.extend(rp.data.iter().map(|&n| c.planes[n.0 as usize]));
+                let mut m = c.live;
+                while m != 0 {
+                    let lane = m.trailing_zeros();
+                    m &= m - 1;
+                    let addr: Word = rp
+                        .addr
+                        .iter()
+                        .map(|&a| c.planes[a.0 as usize].get(lane))
+                        .collect();
+                    let (word, was_all) =
+                        resolve_lane_read(&c.lane_mems[lane as usize][mem_index], &addr, max_bits);
+                    if was_all {
+                        // exact this cycle, unamortizable from here on:
+                        // spill the lane at the next region boundary
+                        c.spill_pending |= 1 << lane;
+                    }
+                    debug_assert!(
+                        word.iter().all(|&v| plane_exact(v)),
+                        "cohort memories must stay Z/symbol-free"
+                    );
+                    for (i, l) in out.iter_mut().enumerate() {
+                        l.set(lane, word.bit(i));
+                    }
+                }
+                for (i, &nid) in rp.data.iter().enumerate() {
+                    let y = out[i];
+                    self.cohort_write(c, nid.0, y, true);
+                }
+                c.mem_scratch = out;
+            }
+        }
+    }
+}
+
+/// True when the planes represent `v` exactly (`Logic` values only).
+#[inline]
+fn plane_exact(v: Value) -> bool {
+    !matches!(v, Value::Sym(_)) && v != Value::Z
+}
+
+/// One lane's memory read: the conservative merge of every word the
+/// address could select, with the same enumeration semantics as
+/// [`Simulator::mem_read_resolve`] but no all-words cache — the second
+/// return flags the `AddrSet::All` case so the caller can spill the lane.
+fn resolve_lane_read(mem: &MemArray, addr: &Word, max_enum_bits: u32) -> (Word, bool) {
+    match enumerate_addresses(addr, mem.depth(), max_enum_bits) {
+        AddrSet::None => (Word::xs(mem.width()), false),
+        AddrSet::Some(addrs) => {
+            let mut it = addrs.into_iter();
+            let mut acc = match it.next() {
+                None => return (Word::xs(mem.width()), false),
+                Some(a0) => mem.word(a0),
+            };
+            for a in it {
+                acc = acc.merge(&mem.word(a));
+            }
+            (acc, false)
+        }
+        AddrSet::All => {
+            let mut acc = mem.word(0);
+            for a in 1..mem.depth() {
+                acc = acc.merge(&mem.word(a));
+            }
+            (acc, true)
+        }
+    }
+}
+
+/// One lane's write commit, mirroring [`Simulator::commit_mem_write`]
+/// (minus the all-words-merge cache, which cohorts do not maintain). The
+/// caller has already filtered `we == 0`.
+fn commit_lane_mem_write(mem: &mut MemArray, addr: &Word, data: &Word, we: Value, max_bits: u32) {
+    let certain = we == Value::ONE;
+    let depth = mem.depth();
+    match enumerate_addresses(addr, depth, max_bits) {
+        AddrSet::None => {}
+        AddrSet::Some(addrs) => {
+            let exact = certain && !addr.has_unknown();
+            for a in addrs {
+                if exact {
+                    mem.set_word(a, data);
+                } else {
+                    mem.merge_word(a, data);
+                }
+            }
+        }
+        AddrSet::All => {
+            for a in 0..depth {
+                mem.merge_word(a, data);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{EvalMode, HaltReason, MonitorSpec, SimConfig};
+    use super::*;
+    use symsim_logic::plane;
+    use symsim_netlist::{Netlist, RtlBuilder};
+
+    /// A branchy mini-CPU shape: 3-bit PC, a conditional jump at PC==2 on
+    /// an X input, a memory written along the way, finish at PC==6 (so the
+    /// fall-through lane finishes one cycle after the taken lane re-halts
+    /// at the branch).
+    fn branchy() -> (Netlist, NetId, NetId, NetId) {
+        let mut b = RtlBuilder::new("cohort_branchy");
+        let cond_in = b.input("cond_in", 1);
+        let pc = b.reg("pc", 3, 0);
+        let pcq = pc.q.clone();
+        let one3 = b.const_word(1, 3);
+        let next_seq = b.add(&pcq, &one3);
+        let two = b.const_word(2, 3);
+        let at_branch_raw = b.eq(&pcq, &two);
+        let at_branch = b.name_net("is_branch", at_branch_raw);
+        let target = b.const_word(0, 3);
+        let taken_raw = b.and1(at_branch, cond_in.bit(0));
+        let taken = b.name_net("taken", taken_raw);
+        let next = b.mux(taken, &next_seq, &target);
+        b.drive_reg(pc, &next);
+        let m = b.memory("scratch", 8, 3);
+        let one = b.one();
+        b.mem_write(m, &pcq, &pcq, one);
+        let rd = b.mem_read(m, &pcq);
+        b.output("rd", &rd);
+        let six = b.const_word(6, 3);
+        let done_raw = b.eq(&pcq, &six);
+        let done = b.name_net("done", done_raw);
+        b.output("done_out", &symsim_netlist::Bus::from_nets(vec![done]));
+        let nl = b.finish().unwrap();
+        let map = nl.net_name_map();
+        let (qual, sig, fin) = (map["is_branch"], map["taken"], map["done"]);
+        (nl, qual, sig, fin)
+    }
+
+    fn prepared(nl: &Netlist, mode: EvalMode) -> Simulator<'_> {
+        let mut sim = Simulator::new(
+            nl,
+            SimConfig {
+                eval_mode: mode,
+                ..SimConfig::default()
+            },
+        );
+        let cond = nl.find_net("cond_in").unwrap();
+        sim.poke(cond, Value::X);
+        sim.settle();
+        sim
+    }
+
+    /// Cohort lanes must retrace the scalar segment protocol bit-exactly:
+    /// run the fork's children scalar (force → settle → step → release →
+    /// run) and compare every lane's unpacked snapshot.
+    #[test]
+    fn cohort_lanes_match_scalar_segments() {
+        let (nl, qual, sig, fin) = branchy();
+        let mut sim = prepared(&nl, EvalMode::Cohort);
+        sim.monitor_x(MonitorSpec {
+            qualifier: Some(qual),
+            signals: vec![sig],
+        });
+        sim.set_finish_net(fin);
+        // run to the branch halt to get a fork snapshot
+        let reason = sim.run(100);
+        assert!(matches!(reason, HaltReason::MonitorX { .. }), "{reason:?}");
+        let cons = sim.save_state();
+
+        // scalar reference: child `i` forces taken = bit 0 of i
+        let mut scalar_states = Vec::new();
+        for combo in 0..2u64 {
+            sim.load_state(&cons);
+            sim.force(sig, Value::from_bool(combo & 1 == 1));
+            sim.settle();
+            let pending = sim.step_cycle();
+            sim.release_all();
+            let reason = match pending {
+                Some(r) => r,
+                None => sim.run(100),
+            };
+            scalar_states.push((reason, sim.save_state()));
+        }
+
+        // cohort: both children in one pass
+        let mut c = sim.cohort_pack(&cons, 2).expect("cohort eligible");
+        let mut lanes = Lanes::ZEROS;
+        lanes.set(1, Value::ONE);
+        sim.cohort_force(&mut c, sig, lanes);
+        sim.cohort_run(&mut c, 100);
+        for (lane, (reason, want)) in scalar_states.iter().enumerate() {
+            let got = sim.cohort_unpack(&c, lane);
+            let end = c.outcome(lane);
+            match reason {
+                HaltReason::Finished => assert_eq!(end, CohortLaneEnd::Finished),
+                HaltReason::MaxCycles => assert_eq!(end, CohortLaneEnd::Budget),
+                HaltReason::MonitorX { .. } => assert_eq!(end, CohortLaneEnd::MonitorX),
+            }
+            assert_eq!(got.cycle, want.cycle, "lane {lane} halt cycle");
+            assert_eq!(got, *want, "lane {lane} diverged from its scalar run");
+        }
+    }
+
+    #[test]
+    fn pack_refuses_inexact_bases() {
+        let (nl, _, _, _) = branchy();
+        let sim = prepared(&nl, EvalMode::Cohort);
+        let mut base = SimState {
+            values: vec![Value::ZERO; nl.net_count()],
+            mems: vec![MemArray::xs(8, 3)],
+            cycle: 0,
+        };
+        assert!(sim.cohort_pack(&base, 1).is_none(), "n < 2");
+        assert!(sim.cohort_pack(&base, 65).is_none(), "n > 64");
+        assert!(sim.cohort_pack(&base, 2).is_some());
+        base.values[0] = Value::symbol(3);
+        assert!(sim.cohort_pack(&base, 2).is_none(), "symbol in base");
+        base.values[0] = Value::Z;
+        assert!(sim.cohort_pack(&base, 2).is_none(), "Z in base");
+    }
+
+    #[test]
+    fn masked_lanes_stay_frozen_after_halt() {
+        let (nl, qual, sig, fin) = branchy();
+        let mut sim = prepared(&nl, EvalMode::Cohort);
+        sim.monitor_x(MonitorSpec {
+            qualifier: Some(qual),
+            signals: vec![sig],
+        });
+        sim.set_finish_net(fin);
+        let reason = sim.run(100);
+        assert!(matches!(reason, HaltReason::MonitorX { .. }));
+        let cons = sim.save_state();
+        let mut c = sim.cohort_pack(&cons, 2).expect("cohort eligible");
+        let mut lanes = Lanes::ZEROS;
+        lanes.set(1, Value::ONE);
+        sim.cohort_force(&mut c, sig, lanes);
+        sim.cohort_run(&mut c, 100);
+        // the taken lane loops back to the branch and halts again; the
+        // not-taken lane runs to finish later — at different cycles
+        assert_eq!(c.live_mask(), 0, "all lanes must end");
+        let a = sim.cohort_unpack(&c, 0);
+        let b = sim.cohort_unpack(&c, 1);
+        assert_ne!(a.cycle, b.cycle, "lanes halt at different cycles");
+        // a frozen lane's planes must be internally consistent: re-packing
+        // its unpacked state round-trips every net
+        for (i, &v) in a.values.iter().enumerate() {
+            assert_eq!(plane::pack(&[v]).get(0), v, "net {i}");
+        }
+    }
+}

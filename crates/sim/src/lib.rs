@@ -58,7 +58,8 @@ mod vcd;
 
 pub use activity::ActivityStats;
 pub use engine::{
-    EngineStats, EvalMode, HaltReason, MonitorSpec, Region, SimConfig, Simulator, DIRTY_PCT_BUCKETS,
+    CohortLaneEnd, EngineStats, EvalMode, HaltReason, MonitorSpec, PathCohort, Region, SimConfig,
+    Simulator, DIRTY_PCT_BUCKETS,
 };
 pub use observer::ToggleProfile;
 pub use state::{

@@ -4,7 +4,7 @@
 //! registry snapshot, and any drift (a path counted in one place but not
 //! the other, cycles double-counted by a worker) is a bug.
 //!
-//! Runs two (cpu, benchmark) pairs through all three evaluation modes.
+//! Runs two (cpu, benchmark) pairs through all four evaluation modes.
 
 use std::sync::Arc;
 
@@ -14,7 +14,12 @@ use symsim_obs::{CounterId, GaugeId, MetricsRegistry};
 use symsim_sim::{EvalMode, SimConfig};
 
 const PAIRS: [(CpuKind, &str); 2] = [(CpuKind::Omsp16, "div"), (CpuKind::Bm32, "insort")];
-const MODES: [EvalMode; 3] = [EvalMode::Event, EvalMode::Batch, EvalMode::Hybrid];
+const MODES: [EvalMode; 4] = [
+    EvalMode::Event,
+    EvalMode::Batch,
+    EvalMode::Hybrid,
+    EvalMode::Cohort,
+];
 
 #[test]
 fn registry_counters_match_report_fields_across_eval_modes() {
@@ -86,10 +91,18 @@ fn registry_counters_match_report_fields_across_eval_modes() {
                     report.batched_level_evals, 0,
                     "{ctx}: event mode must not run level tapes"
                 ),
-                EvalMode::Batch | EvalMode::Hybrid => assert!(
+                // cohort mode's scalar segments (the root, spilled lanes)
+                // dispatch exactly like hybrid
+                EvalMode::Batch | EvalMode::Hybrid | EvalMode::Cohort => assert!(
                     report.batched_level_evals > 0,
                     "{ctx}: batched dispatch never engaged"
                 ),
+            }
+            if mode == EvalMode::Cohort {
+                assert!(
+                    registry.counter_total(CounterId::CohortsFormed) > 0,
+                    "{ctx}: no cohorts formed in cohort mode"
+                );
             }
 
             // the snapshot embedded in the report agrees with the registry
@@ -105,7 +118,11 @@ fn registry_counters_match_report_fields_across_eval_modes() {
             );
 
             // every claimed path was released, every queue drained, and the
-            // CSM gauges carry the authoritative end-of-run values
+            // CSM gauges carry the authoritative end-of-run values. This is
+            // also the cohort-aware gauge regression: cohort work items add
+            // their *member path* count to `paths_live`/`paths_queued`
+            // (TaskWeight), so any work-item-vs-path mismatch in the
+            // weighted accounting leaves a nonzero residue here.
             assert_eq!(
                 registry.gauge_total(GaugeId::PathsLive),
                 0,
