@@ -5,21 +5,25 @@
 //! cargo run --release -p symsim-bench --bin bench_coanalysis [-- --smoke]
 //! ```
 //!
-//! Each (cpu, benchmark) pair runs three times — event-driven, hybrid
-//! batched dispatch, and path-cohort lane evaluation — with a single
-//! worker so the explorations are deterministic and comparable. The
-//! binary *asserts* that all modes produce identical
+//! Each (cpu, benchmark) pair runs four times — event-driven, hybrid
+//! batched dispatch, path-cohort lane evaluation, and the compiled native
+//! kernel — with a single worker so the explorations are deterministic and
+//! comparable. The binary *asserts* that all modes produce identical
 //! `paths_created`/`simulated_cycles`/exercisable-gate results (the
-//! batched and cohort kernels must only change speed, never results) and
-//! records every throughput so the speedups are visible in-repo. Cohort
-//! runs additionally carry a `cohort` section per entry: cohorts formed,
-//! mean/max lane occupancy, and scalar spills.
+//! batched, cohort, and compiled kernels must only change speed, never
+//! results) and records every throughput so the speedups are visible
+//! in-repo. Cohort runs additionally carry a `cohort` section per entry
+//! (cohorts formed, mean/max lane occupancy, scalar spills); compiled runs
+//! carry a `compiled` section (kernel settles, cache hit/miss, and the
+//! cold-start wall time of the run that paid codegen — the measured entry
+//! itself runs on a warm cache, so `rustc` cost is excluded).
 //!
 //! Modes and observability flags:
 //!
-//! * `--smoke` runs only the smallest pair in `event`, `batch`, and
-//!   `cohort` modes and writes no bench file: the CI divergence check
-//!   (cohort results are asserted identical to event mode).
+//! * `--smoke` runs only the smallest pair in `event`, `batch`, `cohort`,
+//!   and `compiled` modes and writes no bench file: the CI divergence check
+//!   (all results are asserted identical to event mode, and the second
+//!   compiled run must hit the kernel cache).
 //! * `--pair cpu/bench` (e.g. `dr5/binsearch`) runs that single pair once
 //!   (`--eval-mode`, default hybrid) and prints the report as JSON.
 //! * `--log-format pretty|json`, `--log-level L` configure the trace layer;
@@ -261,7 +265,35 @@ fn cohort_section(r: &CoAnalysisReport) -> String {
     )
 }
 
-fn entry(kind: CpuKind, bench: &str, mode: EvalMode, run: &RunResult) -> String {
+/// The per-entry `compiled` section: native-kernel effectiveness read from
+/// the run's report. `null` for runs that never touched the compiled
+/// backend. `cold_wall_s` is the wall time of the cache-cold run that paid
+/// codegen + `rustc` (the measured entry runs warm).
+fn compiled_section(r: &CoAnalysisReport, cold_wall_s: Option<f64>) -> String {
+    let hits = r.metrics.counter("compiled_cache_hits");
+    let misses = r.metrics.counter("compiled_cache_misses");
+    if r.compiled_evals == 0 && hits == 0 && misses == 0 {
+        return "null".to_string();
+    }
+    let cold = match cold_wall_s {
+        Some(s) => format!("{s:.6}"),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{ \"effective_eval_mode\": \"{}\", \"kernel_settles\": {}, \
+         \"cache_hits\": {hits}, \"cache_misses\": {misses}, \
+         \"cold_wall_seconds\": {cold} }}",
+        r.eval_mode, r.compiled_evals,
+    )
+}
+
+fn entry(
+    kind: CpuKind,
+    bench: &str,
+    mode: EvalMode,
+    run: &RunResult,
+    cold_wall_s: Option<f64>,
+) -> String {
     let r = &run.report;
     let secs = r.wall_time.as_secs_f64().max(1e-9);
     let trace = match &run.trace {
@@ -276,7 +308,7 @@ fn entry(kind: CpuKind, bench: &str, mode: EvalMode, run: &RunResult) -> String 
          \"paths_created\": {}, \"paths_dropped\": {}, \"simulated_cycles\": {}, \
          \"batched_level_evals\": {}, \"event_evals\": {}, \"wall_seconds\": {:.6}, \
          \"cycles_per_sec\": {:.1}, \"paths_per_sec\": {:.1}, \"trace\": {trace}, \
-         \"cohort\": {}, \"metrics\": {} }}",
+         \"cohort\": {}, \"compiled\": {}, \"metrics\": {} }}",
         kind.name(),
         bench,
         mode.name(),
@@ -289,6 +321,7 @@ fn entry(kind: CpuKind, bench: &str, mode: EvalMode, run: &RunResult) -> String 
         r.simulated_cycles as f64 / secs,
         r.paths_simulated as f64 / secs,
         cohort_section(r),
+        compiled_section(r, cold_wall_s),
         r.metrics.to_json_compact(),
     )
 }
@@ -320,7 +353,7 @@ fn main() {
         let (kind, bench) = SMOKE;
         info!(
             "bench",
-            "smoke: {} / {bench} in event, batch, and cohort modes...",
+            "smoke: {} / {bench} in event, batch, cohort, and compiled modes...",
             kind.name()
         );
         let event = run_mode(kind, bench, EvalMode::Event, &opts, false).report;
@@ -332,10 +365,31 @@ fn main() {
             cohort.metrics.counter("cohorts_formed") > 0,
             "smoke: cohort mode never packed a lane cohort"
         );
+        // first compiled run may pay codegen; second must hit the cache
+        let cold = run_mode(kind, bench, EvalMode::Compiled, &opts, false).report;
+        assert_equivalent(kind, bench, &event, &cold, EvalMode::Compiled);
+        let warm = run_mode(kind, bench, EvalMode::Compiled, &opts, false).report;
+        assert_equivalent(kind, bench, &event, &warm, EvalMode::Compiled);
+        if warm.eval_mode == "compiled" {
+            assert!(
+                warm.compiled_evals > 0,
+                "smoke: compiled mode never ran the native kernel"
+            );
+            assert_eq!(
+                warm.metrics.counter("compiled_cache_hits"),
+                1,
+                "smoke: second compiled run missed the kernel cache"
+            );
+        } else {
+            info!(
+                "bench",
+                "smoke: no usable rustc, compiled legs degraded to hybrid"
+            );
+        }
         info!(
             "bench",
             { cycles = event.simulated_cycles, exercisable = event.exercisable_gates },
-            "smoke ok: {} cycles, {} gates exercisable in all three modes",
+            "smoke ok: {} cycles, {} gates exercisable in all four modes",
             event.simulated_cycles, event.exercisable_gates
         );
         if opts.trace_out.is_some() {
@@ -362,22 +416,50 @@ fn main() {
         );
         let cohort = run_mode(kind, bench, EvalMode::Cohort, &opts, true);
         assert_equivalent(kind, bench, &event.report, &cohort.report, EvalMode::Cohort);
+        info!(
+            "bench",
+            "co-analysis: {} / {bench} (compiled, cold then warm)...",
+            kind.name()
+        );
+        // the cold run pays codegen + rustc and primes the kernel cache; the
+        // warm run is the recorded entry, so the benchmark measures steady
+        // state and the one-time compile cost is reported separately
+        let compiled_cold = run_mode(kind, bench, EvalMode::Compiled, &opts, false);
+        let compiled = run_mode(kind, bench, EvalMode::Compiled, &opts, true);
+        assert_equivalent(
+            kind,
+            bench,
+            &event.report,
+            &compiled.report,
+            EvalMode::Compiled,
+        );
         let event_secs = event.report.wall_time.as_secs_f64().max(1e-9);
         let hybrid_secs = hybrid.report.wall_time.as_secs_f64().max(1e-9);
         let cohort_secs = cohort.report.wall_time.as_secs_f64().max(1e-9);
+        let compiled_secs = compiled.report.wall_time.as_secs_f64().max(1e-9);
         info!(
             "bench",
-            "  {} / {bench}: {:.1} -> {:.1} (hybrid, {:.2}x) -> {:.1} (cohort, {:.2}x) cycles/sec",
+            "  {} / {bench}: {:.1} -> {:.1} (hybrid, {:.2}x) -> {:.1} (cohort, {:.2}x) \
+             -> {:.1} (compiled, {:.2}x) cycles/sec",
             kind.name(),
             event.report.simulated_cycles as f64 / event_secs,
             hybrid.report.simulated_cycles as f64 / hybrid_secs,
             event_secs / hybrid_secs,
             cohort.report.simulated_cycles as f64 / cohort_secs,
             event_secs / cohort_secs,
+            compiled.report.simulated_cycles as f64 / compiled_secs,
+            event_secs / compiled_secs,
         );
-        entries.push(entry(kind, bench, EvalMode::Event, &event));
-        entries.push(entry(kind, bench, EvalMode::Hybrid, &hybrid));
-        entries.push(entry(kind, bench, EvalMode::Cohort, &cohort));
+        entries.push(entry(kind, bench, EvalMode::Event, &event, None));
+        entries.push(entry(kind, bench, EvalMode::Hybrid, &hybrid, None));
+        entries.push(entry(kind, bench, EvalMode::Cohort, &cohort, None));
+        entries.push(entry(
+            kind,
+            bench,
+            EvalMode::Compiled,
+            &compiled,
+            Some(compiled_cold.report.wall_time.as_secs_f64()),
+        ));
     }
     let mut runs = String::new();
     for (i, e) in entries.iter().enumerate() {

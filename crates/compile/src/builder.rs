@@ -1,0 +1,112 @@
+//! The kernel cache and the `rustc` build step.
+//!
+//! Built dylibs live under one directory, keyed by design content hash
+//! (see `hash`): `kernel-<hash>.so` next to the `kernel-<hash>.rs` it was
+//! built from (kept for debugging). A cache hit skips codegen and `rustc`
+//! entirely — the dominant cost — so repeat runs of the same design pay
+//! only the dlopen. Writes go through a pid-suffixed temp file and a
+//! rename, so concurrent builders of the same design race benignly.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::{Mutex, OnceLock};
+
+/// The `rustc` to invoke: `$SYMSIM_RUSTC` when set (tests point it at a
+/// bogus path to exercise the fallback), else `rustc` from `$PATH`.
+pub fn rustc_binary() -> String {
+    std::env::var("SYMSIM_RUSTC").unwrap_or_else(|_| "rustc".into())
+}
+
+/// The kernel cache directory: `$SYMSIM_KERNEL_CACHE` when set, else
+/// `<tmp>/symsim-kernel-cache`.
+pub fn cache_dir() -> PathBuf {
+    match std::env::var_os("SYMSIM_KERNEL_CACHE") {
+        Some(dir) if !dir.is_empty() => PathBuf::from(dir),
+        _ => std::env::temp_dir().join("symsim-kernel-cache"),
+    }
+}
+
+static VERSION_MEMO: OnceLock<Mutex<HashMap<String, Result<String, String>>>> = OnceLock::new();
+
+/// `rustc --version` of the configured toolchain, memoized per process;
+/// `Err` means there is no usable toolchain and the caller must fall back
+/// to the interpreter.
+///
+/// The probe spawns a subprocess (usually through a rustup shim) and costs
+/// tens of milliseconds — more than an entire cache-hit prepare — so each
+/// distinct `rustc` is probed once per process and every later prepare
+/// pays only the dlopen.
+pub fn rustc_version(rustc: &str) -> Result<String, String> {
+    let memo = VERSION_MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(r) = memo.lock().unwrap().get(rustc) {
+        return r.clone();
+    }
+    let r = probe_rustc_version(rustc);
+    memo.lock().unwrap().insert(rustc.to_string(), r.clone());
+    r
+}
+
+fn probe_rustc_version(rustc: &str) -> Result<String, String> {
+    let out = Command::new(rustc)
+        .arg("--version")
+        .output()
+        .map_err(|e| format!("cannot run {rustc}: {e}"))?;
+    if !out.status.success() {
+        return Err(format!("{rustc} --version failed ({})", out.status));
+    }
+    Ok(String::from_utf8_lossy(&out.stdout).trim().to_string())
+}
+
+/// Dylib path for a design hash inside `dir`.
+pub fn dylib_path(dir: &Path, hash: u64) -> PathBuf {
+    dir.join(format!("kernel-{hash:016x}.so"))
+}
+
+/// Compiles `source` to `dylib` with the configured `rustc`.
+///
+/// The generated crate is `no_std` + `panic = abort`, so the build needs
+/// nothing beyond libcore and links in well under a second of non-rustc
+/// overhead; optimization level 2 is where the straight-line settle code
+/// gets its store-to-load forwarding and mask combining.
+pub fn build(rustc: &str, dir: &Path, hash: u64, source: &str) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let src_path = dir.join(format!("kernel-{hash:016x}.rs"));
+    std::fs::write(&src_path, source)
+        .map_err(|e| format!("cannot write {}: {e}", src_path.display()))?;
+    let out_path = dylib_path(dir, hash);
+    let tmp_path = dir.join(format!("kernel-{hash:016x}.so.tmp{}", std::process::id()));
+    let out = Command::new(rustc)
+        .args([
+            "--edition",
+            "2021",
+            "--crate-type",
+            "cdylib",
+            "--crate-name",
+            "symsim_kernel",
+            "-C",
+            "opt-level=2",
+            "-C",
+            "panic=abort",
+            "-C",
+            "debuginfo=0",
+            "-o",
+        ])
+        .arg(&tmp_path)
+        .arg(&src_path)
+        .output()
+        .map_err(|e| format!("cannot run {rustc}: {e}"))?;
+    if !out.status.success() {
+        let _ = std::fs::remove_file(&tmp_path);
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        let head: String = stderr.lines().take(12).collect::<Vec<_>>().join("\n");
+        return Err(format!(
+            "{rustc} failed on {} ({}):\n{head}",
+            src_path.display(),
+            out.status
+        ));
+    }
+    std::fs::rename(&tmp_path, &out_path)
+        .map_err(|e| format!("cannot move kernel into cache: {e}"))?;
+    Ok(out_path)
+}

@@ -1,0 +1,589 @@
+//! Lowering the levelized comb DAG to straight-line Rust.
+//!
+//! The generated kernel evaluates the *entire* netlist once per settle over
+//! bit planes in a *codegen-chosen layout*: net `n` lives at plane bit
+//! [`Plan::net_pos`]`[n]` (word `pos / 64`, bit `pos % 64`), in two parallel
+//! arrays (`val` / `unk`) with the same encoding as `symsim_logic::plane` —
+//! `val` set for a known 1, `unk` set for anything inexact (X; the engine
+//! only hands the kernel states where Z/symbols are indistinguishable from
+//! X under the active policy). The layout exists for the activity gating
+//! below: positions are assigned so each chunk's outputs are consecutive
+//! bits (one or two plane words per chunk) and non-gate nets (inputs, DFF
+//! outputs, memory-read data) keep netlist id order, which the RTL builder
+//! allocates bus-contiguously. Nets that change together therefore share
+//! plane words, and the dirty-word bitmap stays as sparse as the underlying
+//! net-level activity instead of smearing a handful of changed nets across
+//! most of the plane.
+//!
+//! Levels become functions: every gate input is, by the levelization
+//! invariant, produced at a strictly lower level, so a level function loads
+//! its source bits from the planes, computes each gate with the branch-free
+//! two-plane formulas specialized to 0/1 words, and stores all outputs
+//! grouped per plane word at the end (read-modify-write once per word, not
+//! once per gate). Constants are folded at codegen time: `Const0`/`Const1`
+//! and any gate whose inputs are all known fold to literal bits in the
+//! store masks, and partially-constant operands are substituted as `0`/`1`
+//! literals for `rustc` to fold. Memory read ports cannot be lowered (their
+//! semantics live in the engine's conservative-address machinery), so each
+//! level that contains read ports gets a numbered *segment callback*: the
+//! kernel calls back into the engine, which resolves those ports exactly
+//! and patches the planes before the next level function runs.
+//!
+//! Settles are activity-gated at *plane-word* granularity: the caller
+//! passes a dirty bitmap `dw` with one bit per plane word (bit `w` set ⟺
+//! some net in word `w` changed since the last kernel settle). Each chunk
+//! is guarded by a codegen-time mask of the plane words it loads — if none
+//! are dirty its inputs are unchanged, its outputs still hold the previous
+//! (identical) result, and the chunk returns immediately. Chunks that do
+//! run compare every stored word against its prior contents and mark the
+//! changed ones dirty, so activity propagates level by level exactly as in
+//! the event-driven engine, but 64 nets at a time.
+
+use symsim_netlist::{CellKind, CombNode, Netlist};
+
+/// Identifies one memory read port inside a segment callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemReadRef {
+    /// Memory index (`MemoryId.0`).
+    pub mem: u32,
+    /// Read-port index within the memory.
+    pub port: u32,
+}
+
+/// The level/segment schedule shared by codegen and the engine: both sides
+/// derive it from the same netlist, so the segment indices the kernel
+/// passes to the callback agree with the engine's port lists by
+/// construction.
+#[derive(Debug)]
+pub struct Plan {
+    /// Plane words per array: `ceil(net_count / 64)`.
+    pub words: usize,
+    /// `segments[s]` = read ports the engine must resolve when the kernel
+    /// issues callback `s`. Ordered by level, then netlist port order.
+    pub segments: Vec<Vec<MemReadRef>>,
+    /// Comb levels, highest used level + 1.
+    pub levels: usize,
+    /// Net id → plane bit position (a permutation of `0..net_count`): gate
+    /// outputs first, in (level, emission-chunk) order, then every other
+    /// net in id order. See the module docs for why.
+    pub net_pos: Vec<u32>,
+    /// Per level: gate ids (indices into `netlist.gates()`).
+    gate_levels: Vec<Vec<usize>>,
+    /// Per level: the segment index fired at that level, if any.
+    segment_at_level: Vec<Option<usize>>,
+}
+
+/// Plane word index of plane bit position `p`.
+#[inline]
+pub const fn plane_word(p: u32) -> usize {
+    (p >> 6) as usize
+}
+
+/// Bit index of plane bit position `p` within its plane word.
+#[inline]
+pub const fn plane_bit(p: u32) -> u32 {
+    p & 63
+}
+
+/// Length of the dirty-word bitmap for `words` plane words: one bit per
+/// plane word.
+#[inline]
+pub const fn dirty_words(words: usize) -> usize {
+    words.div_ceil(64)
+}
+
+/// Builds the level/segment schedule. Fails on cyclic netlists.
+pub fn plan(netlist: &Netlist) -> Result<Plan, String> {
+    let levels = netlist
+        .comb_levels()
+        .map_err(|e| format!("netlist not compilable: {e}"))?;
+    let nodes = netlist.comb_nodes();
+    let depth = levels.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+    let mut gate_levels: Vec<Vec<usize>> = vec![Vec::new(); depth];
+    let mut mem_levels: Vec<Vec<MemReadRef>> = vec![Vec::new(); depth];
+    for (idx, node) in nodes.iter().enumerate() {
+        let l = levels[idx] as usize;
+        match *node {
+            CombNode::Gate(g) => gate_levels[l].push(g.0 as usize),
+            CombNode::MemRead { mem, port } => mem_levels[l].push(MemReadRef {
+                mem: mem.0,
+                port: port as u32,
+            }),
+        }
+    }
+    let mut segments = Vec::new();
+    let mut segment_at_level = vec![None; depth];
+    for (l, ports) in mem_levels.into_iter().enumerate() {
+        if !ports.is_empty() {
+            segment_at_level[l] = Some(segments.len());
+            segments.push(ports);
+        }
+    }
+    // plane layout: chunk outputs consecutive, everything else in id order
+    // (bus-contiguous by RTL-builder construction)
+    let mut net_pos = vec![u32::MAX; netlist.net_count()];
+    let mut next = 0u32;
+    for level in &gate_levels {
+        for &g in level {
+            net_pos[netlist.gates()[g].output.0 as usize] = next;
+            next += 1;
+        }
+    }
+    for pos in &mut net_pos {
+        if *pos == u32::MAX {
+            *pos = next;
+            next += 1;
+        }
+    }
+    Ok(Plan {
+        words: netlist.net_count().div_ceil(64),
+        segments,
+        levels: depth,
+        net_pos,
+        gate_levels,
+        segment_at_level,
+    })
+}
+
+/// Magic word leading `SYMSIM_KERNEL_META` ("SYMKERN2"). The digit is the
+/// ABI revision: rev 2 added the dirty-word bitmap parameter, and bumping
+/// the magic makes kernels built for the old ABI fail META validation
+/// instead of being called with the wrong signature.
+pub const KERNEL_MAGIC: u64 = 0x5359_4d4b_4552_4e32;
+
+/// Largest number of gates lowered into one function. Two forces push it
+/// down: `rustc`'s per-function passes stay fast, and — more importantly —
+/// the activity-gating guard only skips a chunk when *none* of its input
+/// plane words are dirty, so smaller chunks have far tighter input masks
+/// and skip far more often. With the plane layout packing each chunk's
+/// outputs into consecutive bits, 32 gates means a chunk stores to at most
+/// two plane words, and its input mask names producer chunks, not
+/// arbitrary nets. 32 measured best on the evaluation CPUs.
+const CHUNK: usize = 32;
+
+/// What a gate operand lowers to: a `0`/`1` literal (folded constant) or a
+/// named 0-or-1 local.
+#[derive(Clone)]
+enum Op {
+    Lit(bool),
+    Var(String),
+}
+
+impl Op {
+    fn expr(&self) -> String {
+        match self {
+            Op::Lit(false) => "0".into(),
+            Op::Lit(true) => "1".into(),
+            Op::Var(v) => v.clone(),
+        }
+    }
+}
+
+/// Statistics the build log reports.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LowerStats {
+    /// Gates emitted as native word ops.
+    pub gates_emitted: usize,
+    /// Gates fully folded to constant bits at codegen time.
+    pub gates_folded: usize,
+}
+
+/// Emits the complete kernel source for `netlist` under `plan`.
+pub fn emit(netlist: &Netlist, plan: &Plan, design_hash: u64) -> (String, LowerStats) {
+    let words = plan.words;
+    let mut stats = LowerStats::default();
+
+    // constant lattice: Some(bit) once a net is known at codegen time
+    let mut konst: Vec<Option<bool>> = vec![None; netlist.net_count()];
+    for level in &plan.gate_levels {
+        for &g in level {
+            let gate = &netlist.gates()[g];
+            let ins: Vec<Option<bool>> = gate
+                .inputs
+                .iter()
+                .map(|pin| konst[pin.0 as usize])
+                .collect();
+            konst[gate.output.0 as usize] = fold(gate.kind, &ins);
+        }
+    }
+
+    let mut src = String::with_capacity(1 << 16);
+    src.push_str(&format!(
+        "// generated by symsim-compile; do not edit\n\
+         #![no_std]\n\
+         #![allow(unused_parens, unused_variables, unused_mut, clippy::all)]\n\
+         \n\
+         #[panic_handler]\n\
+         fn panic(_: &core::panic::PanicInfo) -> ! {{\n    loop {{}}\n}}\n\
+         \n\
+         /// [magic, design_hash, plane_words, segment_count]\n\
+         #[no_mangle]\n\
+         pub static SYMSIM_KERNEL_META: [u64; 4] = [{KERNEL_MAGIC:#x}, {design_hash:#x}, {words}, {segs}];\n\n",
+        segs = plan.segments.len(),
+    ));
+
+    let mut fn_names: Vec<Vec<String>> = vec![Vec::new(); plan.levels];
+    for (l, gates) in plan.gate_levels.iter().enumerate() {
+        for (c, chunk) in gates.chunks(CHUNK).enumerate() {
+            let name = format!("l{l}_{c}");
+            emit_chunk(
+                &mut src,
+                &name,
+                netlist,
+                chunk,
+                &konst,
+                &plan.net_pos,
+                words,
+                &mut stats,
+            );
+            fn_names[l].push(name);
+        }
+    }
+
+    // entry point: levels in ascending order, segment callbacks interleaved
+    src.push_str(
+        "/// Settles the whole netlist once. `dw` is the dirty-word bitmap\n\
+         /// (one bit per plane word), seeded by the caller with the words\n\
+         /// that changed since the last settle; the kernel adds the words it\n\
+         /// changes. `cb(ctx, seg)` must resolve the memory read ports of\n\
+         /// segment `seg`, patch the planes in place, and mark the plane\n\
+         /// words it changes in `dw`.\n\
+         #[no_mangle]\n\
+         pub unsafe extern \"C\" fn symsim_settle(\n\
+         \x20   pv: *mut u64,\n\
+         \x20   pu: *mut u64,\n\
+         \x20   dw: *mut u64,\n\
+         \x20   ctx: *mut core::ffi::c_void,\n\
+         \x20   cb: unsafe extern \"C\" fn(*mut core::ffi::c_void, u32),\n\
+         ) {\n",
+    );
+    for (l, names) in fn_names.iter().enumerate() {
+        for name in names {
+            src.push_str(&format!("    {name}(pv, pu, dw);\n"));
+        }
+        if let Some(seg) = plan.segment_at_level[l] {
+            src.push_str(&format!("    cb(ctx, {seg});\n"));
+        }
+    }
+    src.push_str("}\n");
+    (src, stats)
+}
+
+/// Codegen-time constant evaluation over fully-known inputs.
+fn fold(kind: CellKind, ins: &[Option<bool>]) -> Option<bool> {
+    let all = || -> Option<Vec<bool>> { ins.iter().copied().collect() };
+    match kind {
+        CellKind::Const0 => Some(false),
+        CellKind::Const1 => Some(true),
+        CellKind::Buf => ins[0],
+        CellKind::Not => ins[0].map(|a| !a),
+        CellKind::And2 => all().map(|v| v[0] & v[1]),
+        CellKind::Or2 => all().map(|v| v[0] | v[1]),
+        CellKind::Nand2 => all().map(|v| !(v[0] & v[1])),
+        CellKind::Nor2 => all().map(|v| !(v[0] | v[1])),
+        CellKind::Xor2 => all().map(|v| v[0] ^ v[1]),
+        CellKind::Xnor2 => all().map(|v| !(v[0] ^ v[1])),
+        // mux folds when sel and the selected input are known
+        CellKind::Mux2 => match ins[0] {
+            Some(false) => ins[1],
+            Some(true) => ins[2],
+            None => match (ins[1], ins[2]) {
+                // sel unknown but both inputs agree
+                (Some(a), Some(b)) if a == b => Some(a),
+                _ => None,
+            },
+        },
+    }
+}
+
+/// One level chunk: load sources, compute gates, store outputs per word.
+#[allow(clippy::too_many_arguments)]
+fn emit_chunk(
+    src: &mut String,
+    name: &str,
+    netlist: &Netlist,
+    gates: &[usize],
+    konst: &[Option<bool>],
+    net_pos: &[u32],
+    words: usize,
+    stats: &mut LowerStats,
+) {
+    use std::collections::HashMap;
+    use std::fmt::Write;
+
+    let mut loads = String::new();
+    let mut body = String::new();
+    let mut loaded: HashMap<u32, (Op, Op)> = HashMap::new();
+    // (word, bit, val op, unk op) for the store pass
+    let mut outs: Vec<(usize, u32, Op, Op)> = Vec::with_capacity(gates.len());
+
+    let mut fetch = |net: u32, loads: &mut String| -> (Op, Op) {
+        if let Some(b) = konst[net as usize] {
+            return (Op::Lit(b), Op::Lit(false));
+        }
+        loaded
+            .entry(net)
+            .or_insert_with(|| {
+                let p = net_pos[net as usize];
+                let (w, b) = (plane_word(p), plane_bit(p));
+                let _ = writeln!(
+                    loads,
+                    "    let n{net}_v = (pv[{w}] >> {b}) & 1;\n    let n{net}_u = (pu[{w}] >> {b}) & 1;",
+                );
+                (Op::Var(format!("n{net}_v")), Op::Var(format!("n{net}_u")))
+            })
+            .clone()
+    };
+
+    for &g in gates {
+        let gate = &netlist.gates()[g];
+        let out = gate.output.0;
+        let p = net_pos[out as usize];
+        let (w, b) = (plane_word(p), plane_bit(p));
+        if let Some(k) = konst[out as usize] {
+            stats.gates_folded += 1;
+            outs.push((w, b, Op::Lit(k), Op::Lit(false)));
+            continue;
+        }
+        stats.gates_emitted += 1;
+        let ins: Vec<(Op, Op)> = gate
+            .inputs
+            .iter()
+            .map(|pin| fetch(pin.0, &mut loads))
+            .collect();
+        let (ov, ou) = emit_gate(&mut body, g, gate.kind, &ins);
+        outs.push((w, b, ov, ou));
+    }
+
+    // skip guard: if none of the plane words this chunk loads are dirty,
+    // its inputs are byte-identical to the last settle and the outputs it
+    // would store are already in the planes. All-constant chunks get no
+    // guard (nothing to read; their stores are idempotent and must land at
+    // least once).
+    let dwords = dirty_words(words);
+    let mut in_mask = vec![0u64; dwords];
+    for &net in loaded.keys() {
+        let w = plane_word(net_pos[net as usize]);
+        in_mask[w >> 6] |= 1u64 << (w & 63);
+    }
+    let mut guard = String::new();
+    let terms: Vec<String> = in_mask
+        .iter()
+        .enumerate()
+        .filter(|&(_, &m)| m != 0)
+        .map(|(i, &m)| format!("(dw[{i}] & {m:#x})"))
+        .collect();
+    if !terms.is_empty() {
+        let _ = writeln!(
+            guard,
+            "    if ({}) == 0 {{\n        return;\n    }}",
+            terms.join(" | ")
+        );
+    }
+
+    let mut store = String::new();
+    outs.sort_by_key(|&(w, b, _, _)| (w, b));
+    let mut i = 0;
+    while i < outs.len() {
+        let w = outs[i].0;
+        let mut clear = 0u64;
+        let (mut lit_v, mut lit_u) = (0u64, 0u64);
+        let (mut terms_v, mut terms_u) = (String::new(), String::new());
+        while i < outs.len() && outs[i].0 == w {
+            let (_, b, ref ov, ref ou) = outs[i];
+            clear |= 1u64 << b;
+            match ov {
+                Op::Lit(true) => lit_v |= 1u64 << b,
+                Op::Lit(false) => {}
+                Op::Var(v) => {
+                    let _ = write!(terms_v, " | ({v} << {b})");
+                }
+            }
+            match ou {
+                Op::Lit(true) => lit_u |= 1u64 << b,
+                Op::Lit(false) => {}
+                Op::Var(u) => {
+                    let _ = write!(terms_u, " | ({u} << {b})");
+                }
+            }
+            i += 1;
+        }
+        // snapshot, store, then mark the word dirty if anything changed so
+        // downstream chunks see the activity
+        let _ = writeln!(
+            store,
+            "    let o{w}_v = pv[{w}];\n    let o{w}_u = pu[{w}];"
+        );
+        let _ = writeln!(
+            store,
+            "    pv[{w}] = (pv[{w}] & !{clear:#x}u64) | {lit_v:#x}{terms_v};"
+        );
+        let _ = writeln!(
+            store,
+            "    pu[{w}] = (pu[{w}] & !{clear:#x}u64) | {lit_u:#x}{terms_u};"
+        );
+        let _ = writeln!(
+            store,
+            "    if ((pv[{w}] ^ o{w}_v) | (pu[{w}] ^ o{w}_u)) != 0 {{\n        dw[{dwi}] |= {bit:#x}u64;\n    }}",
+            dwi = w >> 6,
+            bit = 1u64 << (w & 63),
+        );
+    }
+
+    let _ = write!(
+        src,
+        "unsafe fn {name}(pv: *mut u64, pu: *mut u64, dw: *mut u64) {{\n\
+         \x20   let pv = core::slice::from_raw_parts_mut(pv, {words});\n\
+         \x20   let pu = core::slice::from_raw_parts_mut(pu, {words});\n\
+         \x20   let dw = core::slice::from_raw_parts_mut(dw, {dwords});\n\
+         {guard}{loads}{body}{store}}}\n\n",
+    );
+}
+
+/// Emits the two-plane formula for one gate; returns the output operands.
+///
+/// All operands are `u64` values that are provably 0 or 1; `^ 1` is
+/// logical NOT. The formulas mirror `symsim_logic::plane` bit for bit.
+fn emit_gate(body: &mut String, g: usize, kind: CellKind, ins: &[(Op, Op)]) -> (Op, Op) {
+    use std::fmt::Write;
+    let var = |s: String| Op::Var(s);
+    match kind {
+        CellKind::Const0 | CellKind::Const1 => unreachable!("consts always fold"),
+        CellKind::Buf => ins[0].clone(),
+        CellKind::Not => {
+            let (av, au) = (ins[0].0.expr(), ins[0].1.expr());
+            let _ = writeln!(body, "    let g{g}_v = ({av} ^ 1) & ({au} ^ 1);");
+            (var(format!("g{g}_v")), ins[0].1.clone())
+        }
+        CellKind::And2 | CellKind::Nand2 => {
+            let (av, au) = (ins[0].0.expr(), ins[0].1.expr());
+            let (bv, bu) = (ins[1].0.expr(), ins[1].1.expr());
+            let _ = writeln!(body, "    let g{g}_v = {av} & {bv};");
+            let _ = writeln!(
+                body,
+                "    let g{g}_u = ({au} | {bu}) & ({av} | {au}) & ({bv} | {bu});"
+            );
+            invert_if(body, g, kind == CellKind::Nand2)
+        }
+        CellKind::Or2 | CellKind::Nor2 => {
+            let (av, au) = (ins[0].0.expr(), ins[0].1.expr());
+            let (bv, bu) = (ins[1].0.expr(), ins[1].1.expr());
+            let _ = writeln!(body, "    let g{g}_v = {av} | {bv};");
+            let _ = writeln!(
+                body,
+                "    let g{g}_u = ({au} | {bu}) & (({av} | {bv}) ^ 1);"
+            );
+            invert_if(body, g, kind == CellKind::Nor2)
+        }
+        CellKind::Xor2 | CellKind::Xnor2 => {
+            let (av, au) = (ins[0].0.expr(), ins[0].1.expr());
+            let (bv, bu) = (ins[1].0.expr(), ins[1].1.expr());
+            let _ = writeln!(body, "    let g{g}_u = {au} | {bu};");
+            let _ = writeln!(body, "    let g{g}_v = ({av} ^ {bv}) & (g{g}_u ^ 1);");
+            invert_if(body, g, kind == CellKind::Xnor2)
+        }
+        CellKind::Mux2 => {
+            let (sv, su) = (ins[0].0.expr(), ins[0].1.expr());
+            let (av, au) = (ins[1].0.expr(), ins[1].1.expr());
+            let (bv, bu) = (ins[2].0.expr(), ins[2].1.expr());
+            let _ = writeln!(body, "    let g{g}_ks = {su} ^ 1;");
+            let _ = writeln!(
+                body,
+                "    let g{g}_ag = ({au} ^ 1) & ({bu} ^ 1) & (({av} ^ {bv}) ^ 1);"
+            );
+            let _ = writeln!(body, "    let g{g}_pa = g{g}_ks & ({sv} ^ 1);");
+            let _ = writeln!(body, "    let g{g}_pb = g{g}_ks & {sv};");
+            let _ = writeln!(
+                body,
+                "    let g{g}_v = (g{g}_pa & {av}) | (g{g}_pb & {bv}) | ({su} & g{g}_ag & {av});"
+            );
+            let _ = writeln!(
+                body,
+                "    let g{g}_u = (g{g}_pa & {au}) | (g{g}_pb & {bu}) | ({su} & (g{g}_ag ^ 1));"
+            );
+            (var(format!("g{g}_v")), var(format!("g{g}_u")))
+        }
+    }
+}
+
+/// Wraps a just-emitted `(g{g}_v, g{g}_u)` pair in a NOT when `invert`.
+fn invert_if(body: &mut String, g: usize, invert: bool) -> (Op, Op) {
+    use std::fmt::Write;
+    if invert {
+        let _ = writeln!(body, "    let g{g}_nv = (g{g}_v ^ 1) & (g{g}_u ^ 1);");
+        (Op::Var(format!("g{g}_nv")), Op::Var(format!("g{g}_u")))
+    } else {
+        (Op::Var(format!("g{g}_v")), Op::Var(format!("g{g}_u")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symsim_netlist::{CellKind, Netlist};
+
+    fn sample() -> Netlist {
+        let mut n = Netlist::new("sample");
+        let a = n.add_net("a");
+        let b = n.add_net("b");
+        let one = n.add_net("one");
+        let x = n.add_net("x");
+        let y = n.add_net("y");
+        n.add_input(a);
+        n.add_input(b);
+        n.add_gate(CellKind::Const1, &[], one);
+        n.add_gate(CellKind::And2, &[a, one], x); // folds to buf(a)
+        n.add_gate(CellKind::Xor2, &[x, b], y);
+        n
+    }
+
+    #[test]
+    fn plan_shapes_levels_and_words() {
+        let n = sample();
+        let p = plan(&n).unwrap();
+        assert_eq!(p.words, 1);
+        assert_eq!(p.levels, 3);
+        assert!(p.segments.is_empty());
+        // layout: gate outputs (one, x, y) in level order, then inputs
+        // (a, b) in id order — and it is a permutation
+        assert_eq!(p.net_pos, vec![3, 4, 0, 1, 2]);
+        let mut seen = p.net_pos.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..n.net_count() as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn emit_folds_constants_and_names_the_abi() {
+        let n = sample();
+        let p = plan(&n).unwrap();
+        let (src, stats) = emit(&n, &p, 0xdead_beef);
+        assert!(src.contains("SYMSIM_KERNEL_META"));
+        assert!(src.contains("pub unsafe extern \"C\" fn symsim_settle"));
+        assert!(src.contains("0xdeadbeef"));
+        assert_eq!(stats.gates_folded, 1, "Const1 folds");
+        assert_eq!(stats.gates_emitted, 2);
+        // the folded constant lands in a literal store mask, not a compute
+        assert!(!src.contains("Const"));
+        // chunks with loads are guarded on the dirty bitmap and mark the
+        // words they change
+        assert!(src.contains("(dw[0] & "), "skip guard present");
+        assert!(src.contains("dw[0] |= "), "change marking present");
+    }
+
+    #[test]
+    fn memread_levels_become_segments() {
+        let mut n = Netlist::new("m");
+        let a = n.add_net("a");
+        let d = n.add_net("d");
+        let y = n.add_net("y");
+        n.add_input(a);
+        let m = n.add_memory("ram", 4, 1);
+        n.add_read_port(m, vec![a], vec![d]);
+        n.add_gate(CellKind::Not, &[d], y);
+        let p = plan(&n).unwrap();
+        assert_eq!(p.segments.len(), 1);
+        assert_eq!(p.segments[0], vec![MemReadRef { mem: 0, port: 0 }]);
+        let (src, _) = emit(&n, &p, 1);
+        assert!(src.contains("cb(ctx, 0);"));
+    }
+}

@@ -1,0 +1,115 @@
+//! Design content hashing for the kernel cache.
+//!
+//! The cache key must change whenever the *generated code* would change:
+//! the netlist structure the codegen reads (gates, read-port wiring, net
+//! count), the codegen itself ([`CODEGEN_VERSION`]), and the `rustc` that
+//! builds the dylib. Everything else — net names, memory contents, write
+//! ports, DFF init values — is runtime state the kernel never sees, so it
+//! deliberately stays out of the key and repeat runs of the same design
+//! hit the cache.
+
+use symsim_netlist::Netlist;
+
+/// Bumped on every change to the generated source layout or ABI, so stale
+/// cached dylibs from older builds can never be loaded.
+pub const CODEGEN_VERSION: u64 = 3;
+
+/// 64-bit FNV-1a, the workspace's standard dependency-free hash.
+#[derive(Debug)]
+pub struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Fnv {
+        Fnv(Self::OFFSET)
+    }
+
+    /// Folds a byte slice into the hash.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Fnv {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Folds one word into the hash (little-endian bytes).
+    pub fn word(&mut self, w: u64) -> &mut Fnv {
+        self.bytes(&w.to_le_bytes())
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv {
+    fn default() -> Fnv {
+        Fnv::new()
+    }
+}
+
+/// Content hash of everything the generated kernel depends on.
+pub fn design_hash(netlist: &Netlist, rustc_version: &str) -> u64 {
+    let mut h = Fnv::new();
+    h.word(CODEGEN_VERSION);
+    h.bytes(rustc_version.as_bytes());
+    h.word(netlist.net_count() as u64);
+    h.word(netlist.gate_count() as u64);
+    for gate in netlist.gates() {
+        h.word(gate.kind as u64);
+        h.word(gate.inputs.len() as u64);
+        for pin in &gate.inputs {
+            h.word(u64::from(pin.0));
+        }
+        h.word(u64::from(gate.output.0));
+    }
+    // read-port wiring shapes the segment schedule and the mem-data mask
+    h.word(netlist.memories().len() as u64);
+    for mem in netlist.memories() {
+        h.word(mem.read_ports.len() as u64);
+        for rp in &mem.read_ports {
+            h.word(rp.addr.len() as u64);
+            for pin in &rp.addr {
+                h.word(u64::from(pin.0));
+            }
+            h.word(rp.data.len() as u64);
+            for pin in &rp.data {
+                h.word(u64::from(pin.0));
+            }
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symsim_netlist::CellKind;
+
+    fn tiny() -> Netlist {
+        let mut n = Netlist::new("t");
+        let a = n.add_net("a");
+        let b = n.add_net("b");
+        let y = n.add_net("y");
+        n.add_input(a);
+        n.add_input(b);
+        n.add_gate(CellKind::And2, &[a, b], y);
+        n
+    }
+
+    #[test]
+    fn hash_is_stable_and_structure_sensitive() {
+        let n = tiny();
+        assert_eq!(design_hash(&n, "rustc 1.0"), design_hash(&n, "rustc 1.0"));
+        assert_ne!(design_hash(&n, "rustc 1.0"), design_hash(&n, "rustc 2.0"));
+        let mut m = tiny();
+        let z = m.add_net("z");
+        let y = m.find_net("y").unwrap();
+        m.add_gate(CellKind::Not, &[y], z);
+        assert_ne!(design_hash(&n, "rustc 1.0"), design_hash(&m, "rustc 1.0"));
+    }
+}

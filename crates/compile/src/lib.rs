@@ -1,0 +1,347 @@
+//! Compiled netlist backend.
+//!
+//! Lowers a levelized combinational DAG to a self-contained Rust source
+//! file implementing the whole two-plane settle pass as straight-line
+//! code (one function per level chunk, gate kinds specialized to direct
+//! word ops, constants folded, fanout wired as direct plane writes),
+//! builds it into a `cdylib` by invoking `rustc` at runtime, caches the
+//! result under a design-content-hash key, and loads it via `dlopen`.
+//!
+//! The engine drives the kernel through [`CompiledKernel::run`]: the
+//! kernel settles level by level over `val`/`unk` bit planes laid out in a
+//! codegen-chosen net→bit permutation ([`CompiledKernel::net_positions`],
+//! chosen so co-changing nets share plane words) and calls back once per
+//! *segment* — a level containing memory read ports — so the engine can
+//! resolve those ports exactly (conservative X-address semantics and all)
+//! and patch the planes before higher levels consume the data nets.
+//!
+//! Work is activity-gated at plane-word granularity: the caller seeds a
+//! dirty-word bitmap (one bit per plane word) with the words that changed
+//! since the last kernel settle, and each generated chunk skips itself
+//! when none of the words it loads are dirty, marking the words it changes
+//! so activity propagates down the levels (see `codegen` for the scheme).
+//!
+//! Everything `unsafe` about the scheme (the FFI boundary, `dlopen`, the
+//! callback trampoline) is confined to this crate; `symsim-sim` keeps its
+//! `#![forbid(unsafe_code)]`.
+
+#![warn(missing_docs)]
+
+mod builder;
+mod codegen;
+mod hash;
+mod loader;
+
+use std::os::raw::c_void;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use symsim_netlist::Netlist;
+
+pub use codegen::{dirty_words, plane_bit, plane_word, MemReadRef};
+pub use hash::{design_hash, CODEGEN_VERSION};
+
+/// How a kernel came to be, for logs and metrics.
+#[derive(Debug, Clone)]
+pub struct BuildInfo {
+    /// Design content hash (also the cache key).
+    pub design_hash: u64,
+    /// `true` when the dylib came from the cache (zero codegen cost).
+    pub cache_hit: bool,
+    /// Codegen + `rustc` wall time in µs (0 on a cache hit).
+    pub codegen_us: u64,
+    /// dlopen + validation wall time in µs.
+    pub load_us: u64,
+    /// Where the dylib lives.
+    pub dylib_path: PathBuf,
+    /// Generated source size in bytes (0 on a cache hit).
+    pub source_bytes: usize,
+    /// Gates lowered to native word ops.
+    pub gates_emitted: usize,
+    /// Gates folded to constants at codegen time.
+    pub gates_folded: usize,
+    /// Comb levels in the schedule.
+    pub levels: usize,
+}
+
+/// Options for [`CompiledKernel::prepare`].
+#[derive(Debug, Clone, Default)]
+pub struct PrepareOpts {
+    /// Cache directory override (else `$SYMSIM_KERNEL_CACHE`, else a
+    /// fixed directory under the system temp dir).
+    pub cache_dir: Option<PathBuf>,
+    /// Rebuild even when a cached dylib exists.
+    pub force_rebuild: bool,
+}
+
+/// A native settle kernel for one design, shareable across workers.
+#[derive(Debug)]
+pub struct CompiledKernel {
+    kernel: loader::LoadedKernel,
+    segments: Vec<Vec<MemReadRef>>,
+    net_pos: Vec<u32>,
+    words: usize,
+    info: BuildInfo,
+}
+
+/// Engine-side segment callback: `(segment, pv, pu, dw)` — resolve the
+/// memory read ports of `segment` against the planes, marking changed
+/// words dirty.
+pub type SegmentFn<'a> = dyn FnMut(u32, &mut [u64], &mut [u64], &mut [u64]) + 'a;
+
+/// Callback context smuggled through the `extern "C"` boundary.
+struct CbCtx<'a> {
+    pv: *mut u64,
+    pu: *mut u64,
+    dw: *mut u64,
+    words: usize,
+    dwords: usize,
+    on_segment: &'a mut SegmentFn<'a>,
+}
+
+/// Re-materializes the plane and dirty-bitmap slices and forwards to the
+/// engine closure.
+///
+/// Safety contract: `ctx` is the `CbCtx` passed to `symsim_settle` by
+/// [`CompiledKernel::run`] and is only ever called while that frame is
+/// live; the generated kernel holds no slice over the planes or bitmap
+/// across the callback (each level function re-derives and drops its own),
+/// so these three exclusive borrows are the only live ones.
+unsafe extern "C" fn trampoline(ctx: *mut c_void, seg: u32) {
+    let ctx = &mut *(ctx as *mut CbCtx<'_>);
+    let pv = std::slice::from_raw_parts_mut(ctx.pv, ctx.words);
+    let pu = std::slice::from_raw_parts_mut(ctx.pu, ctx.words);
+    let dw = std::slice::from_raw_parts_mut(ctx.dw, ctx.dwords);
+    (ctx.on_segment)(seg, pv, pu, dw);
+}
+
+impl CompiledKernel {
+    /// Lowers, builds (or fetches from cache), and loads the kernel for
+    /// `netlist`.
+    ///
+    /// # Errors
+    ///
+    /// Anything that prevents getting a validated native kernel — no
+    /// usable `rustc`, codegen-incompatible netlist, build failure,
+    /// dlopen failure — comes back as a message; callers are expected to
+    /// fall back to interpreted evaluation.
+    pub fn prepare(netlist: &Netlist, opts: &PrepareOpts) -> Result<CompiledKernel, String> {
+        let rustc = builder::rustc_binary();
+        let version = builder::rustc_version(&rustc)?;
+        let hash = hash::design_hash(netlist, &version);
+        let plan = codegen::plan(netlist)?;
+        let dir = opts.cache_dir.clone().unwrap_or_else(builder::cache_dir);
+        let dylib = builder::dylib_path(&dir, hash);
+
+        let cache_hit = dylib.is_file() && !opts.force_rebuild;
+        let mut codegen_us = 0;
+        let mut source_bytes = 0;
+        let mut stats = codegen::LowerStats::default();
+        if !cache_hit {
+            let t0 = Instant::now();
+            let (source, s) = codegen::emit(netlist, &plan, hash);
+            stats = s;
+            source_bytes = source.len();
+            builder::build(&rustc, &dir, hash, &source)?;
+            codegen_us = t0.elapsed().as_micros() as u64;
+        }
+
+        let t0 = Instant::now();
+        let kernel = loader::load(&dylib, hash, plan.words)?;
+        let load_us = t0.elapsed().as_micros() as u64;
+        if kernel.segments != plan.segments.len() {
+            return Err(format!(
+                "{}: segment count mismatch (kernel {}, plan {})",
+                dylib.display(),
+                kernel.segments,
+                plan.segments.len()
+            ));
+        }
+        Ok(CompiledKernel {
+            kernel,
+            net_pos: plan.net_pos,
+            words: plan.words,
+            info: BuildInfo {
+                design_hash: hash,
+                cache_hit,
+                codegen_us,
+                load_us,
+                dylib_path: dylib,
+                source_bytes,
+                gates_emitted: stats.gates_emitted,
+                gates_folded: stats.gates_folded,
+                levels: plan.levels,
+            },
+            segments: plan.segments,
+        })
+    }
+
+    /// Plane words per array (`ceil(net_count / 64)`).
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Net id → plane bit position: the layout this kernel was generated
+    /// for (a permutation of `0..net_count`, chosen for dirty-word
+    /// locality — see `codegen`). Callers must place net `n` at plane word
+    /// [`plane_word`]`(pos[n])`, bit [`plane_bit`]`(pos[n])`.
+    pub fn net_positions(&self) -> &[u32] {
+        &self.net_pos
+    }
+
+    /// Read ports to resolve per segment callback, in firing order.
+    pub fn segments(&self) -> &[Vec<MemReadRef>] {
+        &self.segments
+    }
+
+    /// Build provenance (cache hit, timings, dylib path).
+    pub fn info(&self) -> &BuildInfo {
+        &self.info
+    }
+
+    /// Runs one settle pass over the planes.
+    ///
+    /// `dw` is the dirty-word bitmap ([`dirty_words`]`(words)` long): the
+    /// caller seeds it with the plane words that changed since the last
+    /// kernel settle (all-ones for a from-scratch settle); chunks whose
+    /// input words are all clean are skipped, and the kernel marks every
+    /// word it changes. On return `dw` covers everything this pass
+    /// changed — the caller owns resetting it.
+    ///
+    /// `on_segment(seg, pv, pu, dw)` is invoked once per memory-read
+    /// level, in ascending level order; it must resolve the read ports
+    /// named by [`CompiledKernel::segments`]`[seg]`, write their data-net
+    /// bits into the planes it is handed, and mark the plane words it
+    /// changes in `dw`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the plane slices are not exactly [`CompiledKernel::words`]
+    /// long or `dw` is not [`dirty_words`]`(words)` long.
+    pub fn run(
+        &self,
+        pv: &mut [u64],
+        pu: &mut [u64],
+        dw: &mut [u64],
+        on_segment: &mut SegmentFn<'_>,
+    ) {
+        assert_eq!(pv.len(), self.words, "val plane width");
+        assert_eq!(pu.len(), self.words, "unk plane width");
+        assert_eq!(dw.len(), dirty_words(self.words), "dirty bitmap width");
+        let mut ctx = CbCtx {
+            pv: pv.as_mut_ptr(),
+            pu: pu.as_mut_ptr(),
+            dw: dw.as_mut_ptr(),
+            words: self.words,
+            dwords: dw.len(),
+            on_segment,
+        };
+        // Safety: the pointers outlive the call, the kernel was validated
+        // against this plane width, and the trampoline contract above
+        // governs the callback's borrows.
+        unsafe {
+            (self.kernel.settle)(
+                ctx.pv,
+                ctx.pu,
+                ctx.dw,
+                std::ptr::addr_of_mut!(ctx) as *mut c_void,
+                trampoline,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symsim_netlist::CellKind;
+
+    fn cache_opts(tag: &str) -> PrepareOpts {
+        PrepareOpts {
+            cache_dir: Some(std::env::temp_dir().join(format!("symsim-kernel-test-{tag}"))),
+            force_rebuild: false,
+        }
+    }
+
+    /// xor/and pair over two inputs: enough to see real plane math.
+    fn pair() -> Netlist {
+        let mut n = Netlist::new("pair");
+        let a = n.add_net("a");
+        let b = n.add_net("b");
+        let x = n.add_net("x");
+        let y = n.add_net("y");
+        n.add_input(a);
+        n.add_input(b);
+        n.add_gate(CellKind::Xor2, &[a, b], x);
+        n.add_gate(CellKind::And2, &[x, b], y);
+        n
+    }
+
+    #[test]
+    fn builds_runs_and_caches() {
+        let n = pair();
+        let opts = cache_opts("build");
+        let _ = std::fs::remove_dir_all(opts.cache_dir.as_ref().unwrap());
+        let k = match CompiledKernel::prepare(&n, &opts) {
+            Ok(k) => k,
+            // machines without a toolchain exercise the fallback path
+            Err(e) if e.contains("cannot run") => return,
+            Err(e) => panic!("prepare: {e}"),
+        };
+        assert!(!k.info().cache_hit);
+        assert!(k.info().codegen_us > 0);
+        assert_eq!(k.words(), 1);
+
+        // nets a=0, b=1, x=2, y=3 live wherever the layout put them
+        let bit = |n: usize| 1u64 << k.net_positions()[n];
+        let (a, b, x, y) = (bit(0), bit(1), bit(2), bit(3));
+
+        // drive a=1, b=1 → x=0, y=0
+        let mut pv = vec![a | b];
+        let mut pu = vec![0u64];
+        let mut dw = vec![!0u64];
+        k.run(&mut pv, &mut pu, &mut dw, &mut |_, _, _, _| {
+            panic!("no segments expected")
+        });
+        assert_eq!(pu[0], 0, "all known");
+        assert_eq!(pv[0] & (x | y), 0, "x = 1^1 = 0, y = 0&1 = 0");
+
+        // a=1, b unknown → x unknown, y unknown (b=1 would give y=x=X)
+        let mut pv = vec![a];
+        let mut pu = vec![b];
+        let mut dw = vec![!0u64];
+        k.run(&mut pv, &mut pu, &mut dw, &mut |_, _, _, _| {
+            panic!("no segments expected")
+        });
+        assert_eq!(pu[0] & (x | y), x | y, "unknown b poisons x and y");
+        assert_ne!(dw[0] & 0b1, 0, "kernel marks the word it changed");
+
+        // activity gating: with a clean bitmap the chunks skip themselves
+        // and the planes are left exactly as they are
+        dw[0] = 0;
+        pv[0] = !0;
+        pu[0] = !0;
+        k.run(&mut pv, &mut pu, &mut dw, &mut |_, _, _, _| {
+            panic!("no segments expected")
+        });
+        assert_eq!(
+            (pv[0], pu[0], dw[0]),
+            (!0, !0, 0),
+            "clean settle is a no-op"
+        );
+
+        // second prepare hits the cache
+        let k2 = CompiledKernel::prepare(&n, &opts).expect("cached prepare");
+        assert!(k2.info().cache_hit);
+        assert_eq!(k2.info().codegen_us, 0);
+    }
+
+    #[test]
+    fn missing_toolchain_is_an_error_not_a_panic() {
+        // run in-process with a poisoned env? No: env vars are process
+        // globals and tests share the process, so point at the binary via
+        // the builder API instead.
+        let err = builder::rustc_version("/nonexistent/symsim-rustc-missing").unwrap_err();
+        assert!(err.contains("cannot run"), "{err}");
+    }
+}

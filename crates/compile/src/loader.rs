@@ -1,0 +1,129 @@
+//! Loading a built kernel dylib.
+//!
+//! This is the one place in the workspace that talks to the dynamic
+//! linker. The libc entry points are declared by hand (the build
+//! environment is offline, so no `libloading`); handles are deliberately
+//! never closed — a kernel stays mapped for the life of the process, which
+//! is exactly the lifetime of the `Arc<CompiledKernel>` the workers share,
+//! and closing would invalidate function pointers other threads may still
+//! hold.
+
+use std::ffi::CString;
+use std::os::raw::{c_char, c_int, c_void};
+use std::path::Path;
+
+use crate::codegen::KERNEL_MAGIC;
+
+#[cfg(unix)]
+extern "C" {
+    fn dlopen(filename: *const c_char, flag: c_int) -> *mut c_void;
+    fn dlsym(handle: *mut c_void, symbol: *const c_char) -> *mut c_void;
+    fn dlerror() -> *mut c_char;
+}
+
+#[cfg(unix)]
+const RTLD_NOW: c_int = 2;
+
+/// ABI of the generated entry point: val plane, unk plane, dirty-word
+/// bitmap, callback context, segment callback.
+pub type SettleFn = unsafe extern "C" fn(
+    *mut u64,
+    *mut u64,
+    *mut u64,
+    *mut c_void,
+    unsafe extern "C" fn(*mut c_void, u32),
+);
+
+/// A loaded, validated kernel dylib.
+#[derive(Debug)]
+pub struct LoadedKernel {
+    /// The `symsim_settle` entry point.
+    pub settle: SettleFn,
+    /// Segment callbacks the kernel fires per settle.
+    pub segments: usize,
+}
+
+// The handle is never exposed and the function pointer targets immutable
+// mapped code; calling it from any thread is safe by the generated code's
+// construction (it only touches the buffers passed in).
+unsafe impl Send for LoadedKernel {}
+unsafe impl Sync for LoadedKernel {}
+
+#[cfg(unix)]
+fn last_dl_error() -> String {
+    // Safety: dlerror returns a thread-local NUL-terminated string or null.
+    unsafe {
+        let msg = dlerror();
+        if msg.is_null() {
+            "unknown dlopen error".into()
+        } else {
+            std::ffi::CStr::from_ptr(msg).to_string_lossy().into_owned()
+        }
+    }
+}
+
+/// Opens `path`, resolves the ABI symbols, and validates the embedded
+/// metadata against the expected design hash.
+#[cfg(unix)]
+pub fn load(path: &Path, expect_hash: u64, expect_words: usize) -> Result<LoadedKernel, String> {
+    let cpath = CString::new(path.as_os_str().as_encoded_bytes())
+        .map_err(|_| "kernel path contains a NUL byte".to_string())?;
+    // Safety: dlopen/dlsym with valid NUL-terminated strings; the returned
+    // pointers are checked before use.
+    unsafe {
+        let handle = dlopen(cpath.as_ptr(), RTLD_NOW);
+        if handle.is_null() {
+            return Err(format!("dlopen({}): {}", path.display(), last_dl_error()));
+        }
+        let meta_sym = CString::new("SYMSIM_KERNEL_META").unwrap();
+        let meta = dlsym(handle, meta_sym.as_ptr());
+        if meta.is_null() {
+            return Err(format!(
+                "{}: missing SYMSIM_KERNEL_META: {}",
+                path.display(),
+                last_dl_error()
+            ));
+        }
+        let meta = *(meta as *const [u64; 4]);
+        if meta[0] != KERNEL_MAGIC {
+            return Err(format!(
+                "{}: bad kernel magic {:#x}",
+                path.display(),
+                meta[0]
+            ));
+        }
+        if meta[1] != expect_hash {
+            return Err(format!(
+                "{}: design hash mismatch (kernel {:#x}, expected {expect_hash:#x})",
+                path.display(),
+                meta[1]
+            ));
+        }
+        if meta[2] as usize != expect_words {
+            return Err(format!(
+                "{}: plane width mismatch (kernel {} words, expected {expect_words})",
+                path.display(),
+                meta[2]
+            ));
+        }
+        let entry_sym = CString::new("symsim_settle").unwrap();
+        let entry = dlsym(handle, entry_sym.as_ptr());
+        if entry.is_null() {
+            return Err(format!(
+                "{}: missing symsim_settle: {}",
+                path.display(),
+                last_dl_error()
+            ));
+        }
+        Ok(LoadedKernel {
+            settle: std::mem::transmute::<*mut c_void, SettleFn>(entry),
+            segments: meta[3] as usize,
+        })
+    }
+}
+
+/// Non-unix hosts have no dlopen; the engine falls back to the interpreter.
+#[cfg(not(unix))]
+pub fn load(_path: &Path, _expect_hash: u64, _expect_words: usize) -> Result<LoadedKernel, String> {
+    Err("compiled kernels require a unix host (dlopen)".into())
+}

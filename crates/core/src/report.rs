@@ -41,6 +41,13 @@ pub struct CoAnalysisReport {
     /// Scalar node evaluations (event-driven gates, memory reads, and
     /// symbolic-lane fallbacks), summed over all workers.
     pub event_evals: u64,
+    /// Native compiled-kernel settle passes, summed over all workers (zero
+    /// unless the run executed under [`symsim_sim::EvalMode::Compiled`]).
+    pub compiled_evals: u64,
+    /// The evaluation mode the run *actually* executed under. This is the
+    /// effective mode: a `--eval-mode compiled` run that could not build a
+    /// native kernel (no toolchain, codegen failure) reports `"hybrid"`.
+    pub eval_mode: String,
     /// Wall-clock time of the analysis.
     pub wall_time: Duration,
     /// The merged per-net toggle profile (input to bespoke generation).
@@ -63,6 +70,7 @@ impl CoAnalysisReport {
         profile: ToggleProfile,
         activity: Option<ActivityStats>,
         metrics: MetricsSnapshot,
+        eval_mode: &str,
         wall_time: Duration,
     ) -> CoAnalysisReport {
         CoAnalysisReport {
@@ -79,6 +87,8 @@ impl CoAnalysisReport {
             distinct_pcs: metrics.gauge("csm_distinct_pcs") as usize,
             batched_level_evals: metrics.counter("batched_level_evals"),
             event_evals: metrics.counter("event_evals"),
+            compiled_evals: metrics.counter("compiled_evals"),
+            eval_mode: eval_mode.to_string(),
             wall_time,
             profile,
             activity,
@@ -120,6 +130,8 @@ impl CoAnalysisReport {
             .u64("distinct_pcs", self.distinct_pcs as u64)
             .u64("batched_level_evals", self.batched_level_evals)
             .u64("event_evals", self.event_evals)
+            .u64("compiled_evals", self.compiled_evals)
+            .str("eval_mode", &self.eval_mode)
             .f64("wall_time_s", self.wall_time.as_secs_f64())
             .raw("metrics", &self.metrics.to_json_compact());
         o.finish()
@@ -171,6 +183,8 @@ mod tests {
             distinct_pcs: 2,
             batched_level_evals: 7,
             event_evals: 42,
+            compiled_evals: 0,
+            eval_mode: "hybrid".into(),
             wall_time: Duration::from_millis(5),
             profile,
             activity: None,

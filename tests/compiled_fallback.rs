@@ -1,0 +1,74 @@
+//! Graceful degradation of the compiled backend: when no usable `rustc`
+//! exists, an `--eval-mode compiled` analysis must still complete — in
+//! hybrid interpretation — log the fallback warning, and report its
+//! effective `eval_mode` truthfully.
+//!
+//! `SYMSIM_RUSTC` is process-global, which is why this test lives in its
+//! own test binary: nothing else in the process may want a real toolchain.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use symsim_bench::{run_experiment, CpuKind};
+use symsim_core::CoAnalysisConfig;
+use symsim_obs::{trace, Level, LogFormat};
+use symsim_sim::{EvalMode, SimConfig};
+
+/// A `Write` the trace layer can own while the test keeps reading it.
+#[derive(Clone)]
+struct Capture(Arc<Mutex<Vec<u8>>>);
+
+impl Write for Capture {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn config(mode: EvalMode) -> CoAnalysisConfig {
+    CoAnalysisConfig {
+        workers: 1,
+        sim: SimConfig {
+            eval_mode: mode,
+            ..SimConfig::default()
+        },
+        ..CoAnalysisConfig::default()
+    }
+}
+
+#[test]
+fn missing_toolchain_degrades_to_hybrid() {
+    std::env::set_var("SYMSIM_RUSTC", "/nonexistent/rustc-for-fallback-test");
+    let sink = Capture(Arc::new(Mutex::new(Vec::new())));
+    trace::init(Level::Warn, LogFormat::Json, Some(Box::new(sink.clone())));
+
+    let report = run_experiment(CpuKind::Omsp16, "div", config(EvalMode::Compiled)).report;
+
+    // the run completed, in the interpreter, and says so
+    assert_eq!(
+        report.eval_mode, "hybrid",
+        "effective mode must be disclosed"
+    );
+    assert_eq!(report.compiled_evals, 0, "no kernel can have run");
+    assert!(report.paths_finished > 0, "analysis did not complete");
+    assert!(
+        report.batched_level_evals > 0,
+        "hybrid fallback never engaged batched dispatch"
+    );
+
+    let log = String::from_utf8(sink.0.lock().unwrap().clone()).unwrap();
+    assert!(
+        log.contains("compile.fallback"),
+        "fallback warning not logged:\n{log}"
+    );
+
+    // and the degraded run is still the same analysis
+    let event = run_experiment(CpuKind::Omsp16, "div", config(EvalMode::Event)).report;
+    assert_eq!(report.exercisable_gates, event.exercisable_gates);
+    assert_eq!(report.total_gates, event.total_gates);
+    assert_eq!(report.simulated_cycles, event.simulated_cycles);
+    assert_eq!(report.paths_created, event.paths_created);
+}
