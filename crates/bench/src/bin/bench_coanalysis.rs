@@ -5,10 +5,11 @@
 //! cargo run --release -p symsim-bench --bin bench_coanalysis [-- --smoke]
 //! ```
 //!
-//! Each (cpu, benchmark) pair runs four times — event-driven, hybrid
-//! batched dispatch, path-cohort lane evaluation, and the compiled native
-//! kernel — with a single worker so the explorations are deterministic and
-//! comparable. The binary *asserts* that all modes produce identical
+//! Each (cpu, benchmark) pair runs five times — event-driven, hybrid
+//! batched dispatch, path-cohort lane evaluation, the compiled native
+//! kernel, and a hybrid run under the adaptive CSM policy — with a single
+//! worker so the explorations are deterministic and comparable. The binary
+//! *asserts* that the four eval modes produce identical
 //! `paths_created`/`simulated_cycles`/exercisable-gate results (the
 //! batched, cohort, and compiled kernels must only change speed, never
 //! results) and records every throughput so the speedups are visible
@@ -25,7 +26,12 @@
 //!   (all results are asserted identical to event mode, and the second
 //!   compiled run must hit the kernel cache).
 //! * `--pair cpu/bench` (e.g. `dr5/binsearch`) runs that single pair once
-//!   (`--eval-mode`, default hybrid) and prints the report as JSON.
+//!   (`--eval-mode`, default hybrid; `--csm-policy single|multi:N|adaptive`,
+//!   default single) and prints the report as JSON.
+//! * The adaptive leg asserts the exercisable-gate verdict is bit-identical
+//!   to the single-merge runs on every pair, and that `paths_created` drops
+//!   by at least 15% on bm32/insort and dr5/binsearch (each entry carries a
+//!   `csm` section with the policy's demotion/prune/pre-split-kill counts).
 //! * `--log-format pretty|json`, `--log-level L` configure the trace layer;
 //!   `--heartbeat-secs S` emits NDJSON progress (to `--progress-out` or
 //!   stderr); `--metrics-out FILE` writes the metrics snapshot of the last
@@ -42,7 +48,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use symsim_bench::{run_experiment, CpuKind};
-use symsim_core::{CoAnalysisConfig, CoAnalysisReport};
+use symsim_core::{CoAnalysisConfig, CoAnalysisReport, CsmPolicy};
 use symsim_obs::{
     info, tracefile, Heartbeat, HeartbeatOut, MetricsRegistry, TraceSink, TraceStats,
 };
@@ -64,10 +70,27 @@ struct Opts {
     smoke: bool,
     pair: Option<(CpuKind, String)>,
     eval_mode: Option<EvalMode>,
+    csm_policy: Option<CsmPolicy>,
     metrics_out: Option<String>,
     heartbeat_secs: f64,
     progress_out: Option<String>,
     trace_out: Option<String>,
+}
+
+fn parse_policy_spec(spec: &str) -> CsmPolicy {
+    match spec {
+        "single" => CsmPolicy::SingleMerge,
+        "adaptive" => CsmPolicy::adaptive(),
+        other => {
+            let n = other
+                .strip_prefix("multi:")
+                .and_then(|n| n.parse().ok())
+                .unwrap_or_else(|| {
+                    panic!("--csm-policy: expected single, multi:N, or adaptive, got \"{other}\"")
+                });
+            CsmPolicy::MultiState { max_states: n }
+        }
+    }
 }
 
 fn parse_cpu(name: &str) -> CpuKind {
@@ -104,6 +127,9 @@ fn parse_opts() -> Opts {
                         .parse()
                         .expect("--eval-mode"),
                 );
+            }
+            "--csm-policy" => {
+                opts.csm_policy = Some(parse_policy_spec(&value("--csm-policy", &mut args)));
             }
             "--metrics-out" => opts.metrics_out = Some(value("--metrics-out", &mut args)),
             "--heartbeat-secs" => {
@@ -142,7 +168,14 @@ struct RunResult {
 /// so one invocation yields one NDJSON stream. With `traced` set and
 /// `--trace-out` given, the run writes a fresh trace to that path
 /// (successive traced runs overwrite it).
-fn run_mode(kind: CpuKind, bench: &str, mode: EvalMode, opts: &Opts, traced: bool) -> RunResult {
+fn run_mode(
+    kind: CpuKind,
+    bench: &str,
+    mode: EvalMode,
+    policy: CsmPolicy,
+    opts: &Opts,
+    traced: bool,
+) -> RunResult {
     let registry = Arc::new(MetricsRegistry::new(1));
     let sink = match (&opts.trace_out, traced) {
         (Some(path), true) => {
@@ -160,6 +193,7 @@ fn run_mode(kind: CpuKind, bench: &str, mode: EvalMode, opts: &Opts, traced: boo
             eval_mode: mode,
             ..SimConfig::default()
         },
+        policy,
         metrics: Some(Arc::clone(&registry)),
         trace: sink.clone(),
         ..CoAnalysisConfig::default()
@@ -287,10 +321,34 @@ fn compiled_section(r: &CoAnalysisReport, cold_wall_s: Option<f64>) -> String {
     )
 }
 
+/// The per-entry `csm` section: which policy governed the run and what the
+/// Conservative State Manager did with it — repository size, cover/widen
+/// traffic, adaptive demotions, subsumption prunes, pre-split kills, and
+/// constraint conflicts.
+fn csm_section(r: &CoAnalysisReport, policy: CsmPolicy) -> String {
+    format!(
+        "{{ \"policy\": \"{}\", \"stored_states\": {}, \"distinct_pcs\": {}, \
+         \"observations\": {}, \"covered\": {}, \"widenings\": {}, \
+         \"policy_demotions\": {}, \"slots_pruned\": {}, \
+         \"paths_killed_presplit\": {}, \"constraint_conflicts\": {} }}",
+        policy.name(),
+        r.metrics.gauge("csm_stored_states"),
+        r.metrics.gauge("csm_distinct_pcs"),
+        r.metrics.counter("csm_observations"),
+        r.metrics.counter("csm_covered"),
+        r.metrics.counter("csm_widenings"),
+        r.csm_policy_demotions,
+        r.csm_slots_pruned,
+        r.paths_killed_presplit,
+        r.csm_constraint_conflicts,
+    )
+}
+
 fn entry(
     kind: CpuKind,
     bench: &str,
     mode: EvalMode,
+    policy: CsmPolicy,
     run: &RunResult,
     cold_wall_s: Option<f64>,
 ) -> String {
@@ -308,7 +366,7 @@ fn entry(
          \"paths_created\": {}, \"paths_dropped\": {}, \"simulated_cycles\": {}, \
          \"batched_level_evals\": {}, \"event_evals\": {}, \"wall_seconds\": {:.6}, \
          \"cycles_per_sec\": {:.1}, \"paths_per_sec\": {:.1}, \"trace\": {trace}, \
-         \"cohort\": {}, \"compiled\": {}, \"metrics\": {} }}",
+         \"cohort\": {}, \"compiled\": {}, \"csm\": {}, \"metrics\": {} }}",
         kind.name(),
         bench,
         mode.name(),
@@ -322,6 +380,7 @@ fn entry(
         r.paths_simulated as f64 / secs,
         cohort_section(r),
         compiled_section(r, cold_wall_s),
+        csm_section(r, policy),
         r.metrics.to_json_compact(),
     )
 }
@@ -336,7 +395,8 @@ fn main() {
             { cpu = kind.name(), bench = bench.as_str(), mode = mode.name() },
             "single-pair co-analysis: {} / {bench} ({})", kind.name(), mode.name()
         );
-        let run = run_mode(*kind, bench, mode, &opts, true);
+        let policy = opts.csm_policy.unwrap_or(CsmPolicy::SingleMerge);
+        let run = run_mode(*kind, bench, mode, policy, &opts, true);
         if let Some(t) = &run.trace {
             info!(
                 "bench",
@@ -356,19 +416,20 @@ fn main() {
             "smoke: {} / {bench} in event, batch, cohort, and compiled modes...",
             kind.name()
         );
-        let event = run_mode(kind, bench, EvalMode::Event, &opts, false).report;
-        let batch = run_mode(kind, bench, EvalMode::Batch, &opts, false).report;
+        let single = CsmPolicy::SingleMerge;
+        let event = run_mode(kind, bench, EvalMode::Event, single, &opts, false).report;
+        let batch = run_mode(kind, bench, EvalMode::Batch, single, &opts, false).report;
         assert_equivalent(kind, bench, &event, &batch, EvalMode::Batch);
-        let cohort = run_mode(kind, bench, EvalMode::Cohort, &opts, false).report;
+        let cohort = run_mode(kind, bench, EvalMode::Cohort, single, &opts, false).report;
         assert_equivalent(kind, bench, &event, &cohort, EvalMode::Cohort);
         assert!(
             cohort.metrics.counter("cohorts_formed") > 0,
             "smoke: cohort mode never packed a lane cohort"
         );
         // first compiled run may pay codegen; second must hit the cache
-        let cold = run_mode(kind, bench, EvalMode::Compiled, &opts, false).report;
+        let cold = run_mode(kind, bench, EvalMode::Compiled, single, &opts, false).report;
         assert_equivalent(kind, bench, &event, &cold, EvalMode::Compiled);
-        let warm = run_mode(kind, bench, EvalMode::Compiled, &opts, false).report;
+        let warm = run_mode(kind, bench, EvalMode::Compiled, single, &opts, false).report;
         assert_equivalent(kind, bench, &event, &warm, EvalMode::Compiled);
         if warm.eval_mode == "compiled" {
             assert!(
@@ -386,6 +447,25 @@ fn main() {
                 "smoke: no usable rustc, compiled legs degraded to hybrid"
             );
         }
+        // the adaptive CSM may prune paths but must land on the identical
+        // exercisable-gate verdict
+        let adaptive = run_mode(
+            kind,
+            bench,
+            EvalMode::Hybrid,
+            CsmPolicy::adaptive(),
+            &opts,
+            false,
+        )
+        .report;
+        assert_eq!(
+            event.exercisable_gates, adaptive.exercisable_gates,
+            "smoke: adaptive CSM changed the exercisable-gate result"
+        );
+        assert!(
+            adaptive.paths_created <= event.paths_created,
+            "smoke: adaptive CSM created more paths than single-merge"
+        );
         info!(
             "bench",
             { cycles = event.simulated_cycles, exercisable = event.exercisable_gates },
@@ -401,20 +481,21 @@ fn main() {
     let mut entries = Vec::new();
     for (kind, bench) in RUNS {
         info!("bench", "co-analysis: {} / {bench} (event)...", kind.name());
-        let event = run_mode(kind, bench, EvalMode::Event, &opts, true);
+        let single = CsmPolicy::SingleMerge;
+        let event = run_mode(kind, bench, EvalMode::Event, single, &opts, true);
         info!(
             "bench",
             "co-analysis: {} / {bench} (hybrid)...",
             kind.name()
         );
-        let hybrid = run_mode(kind, bench, EvalMode::Hybrid, &opts, true);
+        let hybrid = run_mode(kind, bench, EvalMode::Hybrid, single, &opts, true);
         assert_equivalent(kind, bench, &event.report, &hybrid.report, EvalMode::Hybrid);
         info!(
             "bench",
             "co-analysis: {} / {bench} (cohort)...",
             kind.name()
         );
-        let cohort = run_mode(kind, bench, EvalMode::Cohort, &opts, true);
+        let cohort = run_mode(kind, bench, EvalMode::Cohort, single, &opts, true);
         assert_equivalent(kind, bench, &event.report, &cohort.report, EvalMode::Cohort);
         info!(
             "bench",
@@ -424,8 +505,8 @@ fn main() {
         // the cold run pays codegen + rustc and primes the kernel cache; the
         // warm run is the recorded entry, so the benchmark measures steady
         // state and the one-time compile cost is reported separately
-        let compiled_cold = run_mode(kind, bench, EvalMode::Compiled, &opts, false);
-        let compiled = run_mode(kind, bench, EvalMode::Compiled, &opts, true);
+        let compiled_cold = run_mode(kind, bench, EvalMode::Compiled, single, &opts, false);
+        let compiled = run_mode(kind, bench, EvalMode::Compiled, single, &opts, true);
         assert_equivalent(
             kind,
             bench,
@@ -433,6 +514,41 @@ fn main() {
             &compiled.report,
             EvalMode::Compiled,
         );
+        info!(
+            "bench",
+            "co-analysis: {} / {bench} (adaptive csm)...",
+            kind.name()
+        );
+        // the adaptive leg is allowed — expected — to diverge on path counts:
+        // pre-split subsumption kills sibling paths the single-merge CSM
+        // would simulate. What it may never change is the verdict.
+        let adaptive = run_mode(
+            kind,
+            bench,
+            EvalMode::Hybrid,
+            CsmPolicy::adaptive(),
+            &opts,
+            true,
+        );
+        assert_eq!(
+            event.report.exercisable_gates,
+            adaptive.report.exercisable_gates,
+            "{}/{bench}: adaptive CSM changed the exercisable-gate result",
+            kind.name()
+        );
+        if matches!(
+            (kind, bench),
+            (CpuKind::Bm32, "insort") | (CpuKind::Dr5, "binsearch")
+        ) {
+            let base = event.report.paths_created;
+            let adapted = adaptive.report.paths_created;
+            assert!(
+                (adapted as f64) <= base as f64 * 0.85,
+                "{}/{bench}: adaptive paths_created {adapted} is not >=15% below \
+                 single-merge {base}",
+                kind.name()
+            );
+        }
         let event_secs = event.report.wall_time.as_secs_f64().max(1e-9);
         let hybrid_secs = hybrid.report.wall_time.as_secs_f64().max(1e-9);
         let cohort_secs = cohort.report.wall_time.as_secs_f64().max(1e-9);
@@ -450,15 +566,34 @@ fn main() {
             compiled.report.simulated_cycles as f64 / compiled_secs,
             event_secs / compiled_secs,
         );
-        entries.push(entry(kind, bench, EvalMode::Event, &event, None));
-        entries.push(entry(kind, bench, EvalMode::Hybrid, &hybrid, None));
-        entries.push(entry(kind, bench, EvalMode::Cohort, &cohort, None));
+        info!(
+            "bench",
+            "  {} / {bench}: adaptive csm {} -> {} paths_created ({} killed pre-split, \
+             {} demotions)",
+            kind.name(),
+            event.report.paths_created,
+            adaptive.report.paths_created,
+            adaptive.report.paths_killed_presplit,
+            adaptive.report.csm_policy_demotions,
+        );
+        entries.push(entry(kind, bench, EvalMode::Event, single, &event, None));
+        entries.push(entry(kind, bench, EvalMode::Hybrid, single, &hybrid, None));
+        entries.push(entry(kind, bench, EvalMode::Cohort, single, &cohort, None));
         entries.push(entry(
             kind,
             bench,
             EvalMode::Compiled,
+            single,
             &compiled,
             Some(compiled_cold.report.wall_time.as_secs_f64()),
+        ));
+        entries.push(entry(
+            kind,
+            bench,
+            EvalMode::Hybrid,
+            CsmPolicy::adaptive(),
+            &adaptive,
+            None,
         ));
     }
     let mut runs = String::new();
@@ -487,7 +622,14 @@ fn smoke_trace_check(kind: CpuKind, bench: &str, reference: &CoAnalysisReport, o
         let mut wall = Duration::MAX;
         let mut last = None;
         for _ in 0..3 {
-            let run = run_mode(kind, bench, EvalMode::Batch, opts, traced);
+            let run = run_mode(
+                kind,
+                bench,
+                EvalMode::Batch,
+                CsmPolicy::SingleMerge,
+                opts,
+                traced,
+            );
             wall = wall.min(run.report.wall_time);
             last = Some(run);
         }

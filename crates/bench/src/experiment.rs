@@ -127,7 +127,7 @@ pub fn run_experiment(
     let bench = kind.benchmark(bench_name);
     let program = kind.assemble(bench.source);
     config.max_cycles_per_segment = bench.max_cycles;
-    let analysis = CoAnalysis::new(&cpu.netlist, cpu.interface(), config);
+    let analysis = CoAnalysis::new(&cpu.netlist, cpu.interface(), config).expect("valid config");
     let report = analysis.run(|sim| cpu.prepare_symbolic(sim, &program, &bench.data));
     let bespoke = symsim_bespoke::generate(&cpu.netlist, &report.profile);
     ExperimentResult {

@@ -261,7 +261,8 @@ pub fn fig4_ablation() -> String {
                 max_cycles_per_segment: budget,
                 ..CoAnalysisConfig::default()
             };
-            let analysis = CoAnalysis::new(&cpu.netlist, cpu.interface(), config);
+            let analysis =
+                CoAnalysis::new(&cpu.netlist, cpu.interface(), config).expect("valid config");
             let report = analysis.run(|sim| {
                 if tagged_inputs {
                     cpu.prepare_symbolic_tagged(sim, &program, &data);
@@ -307,7 +308,8 @@ pub fn ext_table() -> String {
                 max_paths: 20_000,
                 ..CoAnalysisConfig::default()
             };
-            let analysis = CoAnalysis::new(&cpu.netlist, cpu.interface(), config);
+            let analysis =
+                CoAnalysis::new(&cpu.netlist, cpu.interface(), config).expect("valid config");
             let report = analysis.run(|sim| cpu.prepare_symbolic(sim, &program, &bench.data));
             let _ = writeln!(
                 out,
@@ -351,7 +353,8 @@ pub fn scaling_table() -> String {
             max_cycles_per_segment: bench.max_cycles,
             ..CoAnalysisConfig::default()
         };
-        let analysis = CoAnalysis::new(&cpu.netlist, cpu.interface(), config);
+        let analysis =
+            CoAnalysis::new(&cpu.netlist, cpu.interface(), config).expect("valid config");
         let report = analysis.run(|sim| {
             cpu.prepare_symbolic(sim, &program, &bench.data);
             // narrow the unknowns: only the low k bits of each input word
@@ -407,7 +410,8 @@ pub fn power_table() -> String {
             activity_weights: Some(symsim_power::switching_weights(&cpu.netlist)),
             ..CoAnalysisConfig::default()
         };
-        let analysis = CoAnalysis::new(&cpu.netlist, cpu.interface(), config);
+        let analysis =
+            CoAnalysis::new(&cpu.netlist, cpu.interface(), config).expect("valid config");
         let report = analysis.run(|sim| cpu.prepare_symbolic(sim, &program, &bench.data));
         let power = symsim_power::PowerReport::from_report(&report).expect("activity");
         let activity = report.activity.as_ref().expect("activity");
@@ -442,7 +446,8 @@ pub fn validate() -> String {
             max_cycles_per_segment: bench.max_cycles,
             ..CoAnalysisConfig::default()
         };
-        let analysis = CoAnalysis::new(&cpu.netlist, cpu.interface(), config);
+        let analysis =
+            CoAnalysis::new(&cpu.netlist, cpu.interface(), config).expect("valid config");
         let report = analysis.run(|sim| cpu.prepare_symbolic(sim, &program, &bench.data));
         let bespoke = symsim_bespoke::generate(&cpu.netlist, &report.profile);
 

@@ -25,7 +25,9 @@ usage:
                   --monitor control_signals.ini
                   [--qualifier <net>] [--pmem pmem] [--dmem dmem]
                   [--inputs a,b,...] [--data a=v,...] [--constraints file]
-                  [--policy single|multi:N] [--workers N] [--max-cycles N]
+                  [--csm-policy single|multi:N|adaptive] [--csm-max-states N]
+                  [--csm-demote-widenings N] [--csm-demote-obs N]
+                  [--workers N] [--max-cycles N]
                   [--max-paths N] [--profile-out profile.txt] [--power yes]
                   [--tagged yes] [--eval-mode event|batch|hybrid|cohort|compiled]
                   [--batch-threshold PCT]
@@ -328,14 +330,37 @@ fn parse_batch_threshold(args: &Args) -> Result<u8, String> {
         .ok_or_else(|| format!("--batch-threshold: expected a percentage 0-100, got {pct}"))
 }
 
-fn parse_policy(spec: Option<&str>) -> Result<CsmPolicy, String> {
+fn parse_policy(args: &Args) -> Result<CsmPolicy, String> {
+    // --csm-policy is the canonical spelling; --policy remains an alias
+    let spec = args.get("csm-policy").or_else(|| args.get("policy"));
     match spec {
         None | Some("single") => Ok(CsmPolicy::SingleMerge),
+        Some("adaptive") => {
+            let CsmPolicy::Adaptive {
+                max_states,
+                demote_widenings,
+                demote_observations,
+            } = CsmPolicy::adaptive()
+            else {
+                unreachable!("CsmPolicy::adaptive() is the Adaptive variant")
+            };
+            Ok(CsmPolicy::Adaptive {
+                max_states: args.get_usize("csm-max-states", max_states)?.max(1),
+                demote_widenings: args
+                    .get_usize("csm-demote-widenings", demote_widenings)?
+                    .max(1),
+                demote_observations: args
+                    .get_usize("csm-demote-obs", demote_observations)?
+                    .max(1),
+            })
+        }
         Some(multi) => {
             let n = multi
                 .strip_prefix("multi:")
                 .and_then(|n| n.parse().ok())
-                .ok_or_else(|| format!("--policy: expected single or multi:N, got \"{multi}\""))?;
+                .ok_or_else(|| {
+                    format!("--csm-policy: expected single, multi:N, or adaptive, got \"{multi}\"")
+                })?;
             Ok(CsmPolicy::MultiState { max_states: n })
         }
     }
@@ -405,7 +430,7 @@ fn analyze(args: &Args) -> Result<(), String> {
             batch_threshold_pct: parse_batch_threshold(args)?,
             ..SimConfig::default()
         },
-        policy: parse_policy(args.get("policy"))?,
+        policy: parse_policy(args)?,
         constraints,
         max_cycles_per_segment: args.get_u64("max-cycles", 200_000)?,
         max_paths: args.get_usize("max-paths", 100_000)?,
@@ -421,7 +446,7 @@ fn analyze(args: &Args) -> Result<(), String> {
     };
 
     let heartbeat = start_heartbeat(args, &registry)?;
-    let analysis = CoAnalysis::new(&netlist, iface, config);
+    let analysis = CoAnalysis::new(&netlist, iface, config)?;
     let report = analysis.run(|sim| setup.apply(sim, true, tagged));
     if let Some(hb) = heartbeat {
         hb.stop();
@@ -700,16 +725,48 @@ mod tests {
 
     #[test]
     fn policy_parsing() {
-        assert_eq!(parse_policy(None).unwrap(), CsmPolicy::SingleMerge);
+        let parse = |argv: &[&str]| {
+            let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+            parse_policy(&Args::parse(&argv).unwrap())
+        };
+        assert_eq!(parse(&[]).unwrap(), CsmPolicy::SingleMerge);
         assert_eq!(
-            parse_policy(Some("single")).unwrap(),
+            parse(&["--csm-policy", "single"]).unwrap(),
             CsmPolicy::SingleMerge
         );
         assert_eq!(
-            parse_policy(Some("multi:3")).unwrap(),
+            parse(&["--csm-policy", "multi:3"]).unwrap(),
             CsmPolicy::MultiState { max_states: 3 }
         );
-        assert!(parse_policy(Some("weird")).is_err());
+        // --policy stays as a compatible alias
+        assert_eq!(
+            parse(&["--policy", "multi:2"]).unwrap(),
+            CsmPolicy::MultiState { max_states: 2 }
+        );
+        assert_eq!(
+            parse(&["--csm-policy", "adaptive"]).unwrap(),
+            CsmPolicy::adaptive()
+        );
+        assert_eq!(
+            parse(&[
+                "--csm-policy",
+                "adaptive",
+                "--csm-max-states",
+                "6",
+                "--csm-demote-widenings",
+                "3",
+                "--csm-demote-obs",
+                "9",
+            ])
+            .unwrap(),
+            CsmPolicy::Adaptive {
+                max_states: 6,
+                demote_widenings: 3,
+                demote_observations: 9
+            }
+        );
+        assert!(parse(&["--csm-policy", "weird"]).is_err());
+        assert!(parse(&["--csm-policy", "adaptive", "--csm-max-states", "x"]).is_err());
     }
 
     #[test]

@@ -93,8 +93,23 @@ pub fn parse_constraints(
             "1" => Value::ONE,
             other => return Err(format!("constraint line {}: bad value \"{other}\"", i + 1)),
         };
+        if let Some(prev) = out
+            .iter()
+            .find(|c: &&symsim_core::StateConstraint| c.net == net && c.value != value)
+        {
+            return Err(format!(
+                "constraint line {}: \"{}\" already constrained to {} (cannot also be {})",
+                i + 1,
+                name.trim(),
+                prev.value,
+                value
+            ));
+        }
         out.push(symsim_core::StateConstraint { net, value });
     }
+    // the full validity check (range, known values) runs again inside
+    // CoAnalysis::new; doing it here gives the error a file/line context
+    symsim_core::validate_constraints(&out, netlist.net_count())?;
     Ok(out)
 }
 
@@ -191,6 +206,25 @@ mod tests {
         assert_eq!(m.split, vec!["branch_cond"]);
         assert!(parse_monitor_file("qualifier a\n").is_err());
         assert!(parse_monitor_file("bogus x\nsignal s\n").is_err());
+    }
+
+    #[test]
+    fn constraint_files_reject_conflicts() {
+        let nl = {
+            let mut b = symsim_netlist::RtlBuilder::new("t");
+            let a = b.input("a", 1);
+            b.output("y", &a);
+            b.finish().unwrap()
+        };
+        assert_eq!(parse_constraints("a = 1\n", &nl).unwrap().len(), 1);
+        // duplicates that agree are harmless
+        assert_eq!(parse_constraints("a = 1\na = 1\n", &nl).unwrap().len(), 2);
+        // regression: a net pinned to both values used to slip through and
+        // silently let the last line win
+        let err = parse_constraints("a = 0\na = 1\n", &nl).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(parse_constraints("a = 2\n", &nl).is_err());
+        assert!(parse_constraints("nope = 1\n", &nl).is_err());
     }
 
     #[test]

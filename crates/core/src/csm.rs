@@ -3,7 +3,7 @@ use std::sync::Arc;
 
 use symsim_logic::Value;
 use symsim_netlist::NetId;
-use symsim_obs::{debug, CounterId, GaugeId, HistogramId, MetricsRegistry};
+use symsim_obs::{debug, warn, CounterId, GaugeId, HistogramId, MetricsRegistry};
 use symsim_sim::SimState;
 
 /// How conservative states are formed (paper Fig. 3).
@@ -19,6 +19,14 @@ use symsim_sim::SimState;
 ///   one is free; afterwards the closest existing state (fewest newly-
 ///   unknown bits) absorbs the newcomer. Less over-approximation, more
 ///   simulated paths.
+/// * [`CsmPolicy::Adaptive`] — per-PC policy selection driven by the
+///   observation/widening counters the trace subsystem surfaced: every PC
+///   entry starts out multi-state (precision while cold), and once its
+///   counters cross the demotion thresholds the entry collapses to the
+///   single-merge uber-state (cheap convergence where forking is hot).
+///   Sibling slots let the explorer kill split children whose forced start
+///   state is already covered ([`ConservativeStateManager::covered_presplit`]),
+///   which is where the path-count reduction comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CsmPolicy {
     /// One merged superstate per PC.
@@ -29,6 +37,38 @@ pub enum CsmPolicy {
         /// Slots per PC (must be ≥ 1).
         max_states: usize,
     },
+    /// Per-PC policy: multi-state while cold, demoted to single-merge when
+    /// the entry's counters cross either threshold.
+    Adaptive {
+        /// Slots per PC before demotion (must be ≥ 1).
+        max_states: usize,
+        /// Widenings at one PC that trigger demotion.
+        demote_widenings: usize,
+        /// Observations at one PC that trigger demotion.
+        demote_observations: usize,
+    },
+}
+
+impl CsmPolicy {
+    /// The adaptive policy with its default thresholds (the values the
+    /// `--csm-policy adaptive` CLI flag and the benchmarks use).
+    pub fn adaptive() -> CsmPolicy {
+        CsmPolicy::Adaptive {
+            max_states: 4,
+            demote_widenings: 2,
+            demote_observations: 32,
+        }
+    }
+
+    /// Stable policy family name (`single`, `multi`, `adaptive`) used in
+    /// bench sections and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CsmPolicy::SingleMerge => "single",
+            CsmPolicy::MultiState { .. } => "multi",
+            CsmPolicy::Adaptive { .. } => "adaptive",
+        }
+    }
 }
 
 /// An application constraint pinning a net to a known value in every
@@ -44,6 +84,41 @@ pub struct StateConstraint {
     pub value: Value,
 }
 
+/// Validates a constraint set against a design of `net_count` nets: every
+/// net must be in range, every pinned value known, and no net may be pinned
+/// to two different values. [`ConservativeStateManager::set_constraints`]
+/// runs this, and `CoAnalysis::new` runs it up front so a bad constraint is
+/// an error before exploration rather than a panic in the middle of it.
+pub fn validate_constraints(
+    constraints: &[StateConstraint],
+    net_count: usize,
+) -> Result<(), String> {
+    for (i, c) in constraints.iter().enumerate() {
+        if c.net.0 as usize >= net_count {
+            return Err(format!(
+                "constraint {} pins net {} but the design has only {} nets",
+                i, c.net.0, net_count
+            ));
+        }
+        if !c.value.is_known() {
+            return Err(format!(
+                "constraint {} pins net {} to an unknown value (must be 0 or 1)",
+                i, c.net.0
+            ));
+        }
+        if let Some(prev) = constraints[..i]
+            .iter()
+            .find(|p| p.net == c.net && p.value != c.value)
+        {
+            return Err(format!(
+                "net {} is constrained to both {} and {}",
+                c.net.0, prev.value, c.value
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Result of presenting a halted state to the CSM.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Observation {
@@ -53,6 +128,17 @@ pub enum Observation {
     /// A new, more conservative superstate was formed; simulation must
     /// continue from it (Algorithm 1 lines 22-24).
     NewConservative(SimState),
+}
+
+/// An adaptive-policy demotion performed by the last
+/// [`ConservativeStateManager::observe_key`] call, handed to the explorer
+/// (via [`ConservativeStateManager::take_demotion`]) so the trace record
+/// carries the observing path's context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyDemotion {
+    /// Sibling slots merged away by the collapse (0 when the entry held a
+    /// single slot already and only the policy flag flipped).
+    pub slots_collapsed: usize,
 }
 
 /// Index of a conservative-state repository entry: the program-counter
@@ -102,16 +188,42 @@ impl std::fmt::Display for CsmKey {
 struct Slot {
     state: SimState,
     unknown_bits: usize,
+    /// The widening sequence number that last formed this slot's value —
+    /// i.e. the fork event whose children enumerate this value's
+    /// concretizations. The pre-split check kills a queued child only
+    /// against slots formed *after* the child's own fork, which keeps the
+    /// delegation of coverage obligations well-founded (always forward in
+    /// formation order, grounded at the run's final widening, whose
+    /// children nothing can kill).
+    seq: usize,
 }
 
 impl Slot {
-    fn new(state: SimState) -> Slot {
+    fn new(state: SimState, seq: usize) -> Slot {
         let unknown_bits = unknown_count(&state);
         Slot {
             state,
             unknown_bits,
+            seq,
         }
     }
+}
+
+/// One PC's repository entry: its conservative-state slots plus the per-PC
+/// counters the adaptive policy demotes on.
+#[derive(Debug, Clone, Default)]
+struct Entry {
+    slots: Vec<Slot>,
+    /// States presented at this PC.
+    observations: usize,
+    /// Widenings performed at this PC.
+    widenings: usize,
+    /// An adaptive entry that crossed a demotion threshold; behaves as
+    /// single-merge from then on.
+    demoted: bool,
+    /// Slot index of the most recent widening, used by the subsumption
+    /// pruning pass.
+    formed: usize,
 }
 
 fn unknown_count(state: &SimState) -> usize {
@@ -145,11 +257,20 @@ fn unknown_count(state: &SimState) -> usize {
 pub struct ConservativeStateManager {
     policy: CsmPolicy,
     constraints: Vec<StateConstraint>,
-    table: HashMap<CsmKey, Vec<Slot>>,
+    table: HashMap<CsmKey, Entry>,
     observations: usize,
     covered: usize,
     widenings: usize,
     cover_checks_elided: usize,
+    slots_pruned: usize,
+    policy_demotions: usize,
+    constraint_conflicts: usize,
+    /// The conflict warning is emitted once per run; later conflicts only
+    /// count.
+    conflict_warned: bool,
+    /// Demotion performed by the last `observe_key`, until the explorer
+    /// collects it for its trace record.
+    last_demotion: Option<PolicyDemotion>,
     /// Mirrors the counters above into the shared registry. The CSM is
     /// accessed under the explorer's lock, so shard 0 is single-writer here
     /// and `gauge_set` for the repository-size gauges is safe.
@@ -164,8 +285,11 @@ pub struct ConservativeStateManager {
 impl ConservativeStateManager {
     /// Creates a CSM with the given formation policy.
     pub fn new(policy: CsmPolicy) -> ConservativeStateManager {
-        if let CsmPolicy::MultiState { max_states } = policy {
-            assert!(max_states >= 1, "MultiState needs at least one slot");
+        match policy {
+            CsmPolicy::MultiState { max_states } | CsmPolicy::Adaptive { max_states, .. } => {
+                assert!(max_states >= 1, "the policy needs at least one slot");
+            }
+            CsmPolicy::SingleMerge => {}
         }
         ConservativeStateManager {
             policy,
@@ -173,9 +297,18 @@ impl ConservativeStateManager {
         }
     }
 
-    /// Installs application constraints applied to every formed state.
-    pub fn set_constraints(&mut self, constraints: Vec<StateConstraint>) {
+    /// Installs application constraints applied to every formed state,
+    /// validated against a design of `net_count` nets (see
+    /// [`validate_constraints`]). A constraint naming a net outside the
+    /// state is an error here rather than an index panic mid-exploration.
+    pub fn set_constraints(
+        &mut self,
+        constraints: Vec<StateConstraint>,
+        net_count: usize,
+    ) -> Result<(), String> {
+        validate_constraints(&constraints, net_count)?;
         self.constraints = constraints;
+        Ok(())
     }
 
     /// Mirrors observation/coverage/widening counts and repository-size
@@ -204,7 +337,7 @@ impl ConservativeStateManager {
 
     /// Total states currently stored.
     pub fn stored_states(&self) -> usize {
-        self.table.values().map(Vec::len).sum()
+        self.table.values().map(|e| e.slots.len()).sum()
     }
 
     /// `(observations, covered, widenings)` counters.
@@ -218,6 +351,31 @@ impl ConservativeStateManager {
         self.cover_checks_elided
     }
 
+    /// Stored states absorbed by a sibling slot that widened enough to
+    /// cover them (cross-slot subsumption pruning).
+    pub fn slots_pruned(&self) -> usize {
+        self.slots_pruned
+    }
+
+    /// Adaptive-policy PC entries demoted to single-merge.
+    pub fn policy_demotions(&self) -> usize {
+        self.policy_demotions
+    }
+
+    /// Observations rejected because the state contradicted a constraint.
+    pub fn constraint_conflicts(&self) -> usize {
+        self.constraint_conflicts
+    }
+
+    /// The demotion performed by the last [`observe_key`] call, if any.
+    /// Consuming: the explorer calls this (under the same lock) to emit the
+    /// `demote` trace record with the observing path's identity.
+    ///
+    /// [`observe_key`]: ConservativeStateManager::observe_key
+    pub fn take_demotion(&mut self) -> Option<PolicyDemotion> {
+        self.last_demotion.take()
+    }
+
     /// Presents a state halted at `pc` to the CSM (Algorithm 1 lines 20-27):
     /// covered states are skipped; otherwise a widened conservative
     /// superstate is stored and returned for continued simulation.
@@ -229,15 +387,43 @@ impl ConservativeStateManager {
     /// (co-analysis keys by the PC bit pattern when the PC carries `X`s).
     pub fn observe_key(&mut self, key: CsmKey, state: &SimState) -> Observation {
         self.observations += 1;
+        // a state contradicting a designer constraint is infeasible: the
+        // over-approximation concretized a value the constraint rules out.
+        // Treat it as covered — merging it in and re-pinning the bit would
+        // leave the incoming state never covered and the same PC widening
+        // on every visit (livelock)
+        if let Some((net, pinned)) = self.constraint_conflict(state) {
+            self.constraint_conflicts += 1;
+            self.covered += 1;
+            if !self.conflict_warned {
+                self.conflict_warned = true;
+                warn!(
+                    "csm.conflict",
+                    { net = net.0 as u64, pinned = pinned.to_string() },
+                    "observed state contradicts the constraint pinning net {} to {}; \
+                     treating such states as infeasible (counted in \
+                     csm_constraint_conflicts, warned once)",
+                    net.0, pinned
+                );
+            }
+            if let Some(m) = &self.metrics {
+                let shard = m.shard(0);
+                shard.inc(CounterId::CsmObservations);
+                shard.inc(CounterId::CsmCovered);
+                shard.inc(CounterId::CsmConstraintConflicts);
+            }
+            return Observation::Covered;
+        }
         let profile = self.profile && self.metrics.is_some();
         let check_t0 = profile.then(std::time::Instant::now);
         let incoming_unknowns = unknown_count(state);
         let entry = self.table.entry(key).or_default();
+        entry.observations += 1;
         // early-out: covering requires unknown(cover) ⊇ unknown(covered),
         // so a slot with fewer unknown bits cannot cover and is skipped
         // without touching its state
         let mut elided = 0usize;
-        let covered = entry.iter().any(|slot| {
+        let covered = entry.slots.iter().any(|slot| {
             if slot.unknown_bits < incoming_unknowns {
                 elided += 1;
                 return false;
@@ -269,49 +455,99 @@ impl ConservativeStateManager {
             return Observation::Covered;
         }
         self.widenings += 1;
+        entry.widenings += 1;
         let widen_t0 = profile.then(std::time::Instant::now);
-        let formed_index = match self.policy {
-            CsmPolicy::SingleMerge => {
-                if entry.is_empty() {
-                    entry.push(Slot::new(state.clone()));
-                } else {
-                    let merged = entry[0].state.merge(state);
-                    entry[0] = Slot::new(merged);
-                    entry.truncate(1);
+        // resolve this entry's effective slot budget; adaptive entries that
+        // cross a demotion threshold collapse to single-merge first
+        let mut demoted_now = false;
+        let cap = match self.policy {
+            CsmPolicy::SingleMerge => 1,
+            CsmPolicy::MultiState { max_states } => max_states,
+            CsmPolicy::Adaptive {
+                max_states,
+                demote_widenings,
+                demote_observations,
+            } => {
+                if !entry.demoted
+                    && (entry.widenings >= demote_widenings
+                        || entry.observations >= demote_observations)
+                {
+                    entry.demoted = true;
+                    demoted_now = true;
                 }
-                0
-            }
-            CsmPolicy::MultiState { max_states } => {
-                if entry.len() < max_states {
-                    entry.push(Slot::new(state.clone()));
-                    entry.len() - 1
+                if entry.demoted {
+                    1
                 } else {
-                    // absorb into the closest state (fewest newly-unknown bits)
-                    let best = (0..entry.len())
-                        .min_by_key(|&i| widening_cost(&entry[i].state, state))
-                        .expect("max_states >= 1");
-                    let merged = entry[best].state.merge(state);
-                    entry[best] = Slot::new(merged);
-                    best
+                    max_states
                 }
             }
+        };
+        // the value formed by this call carries this widening's sequence
+        // number: its children belong to fork event `seq`
+        let seq = self.widenings;
+        if demoted_now {
+            let collapsed = entry.slots.len().saturating_sub(1);
+            if collapsed > 0 {
+                let mut merged = entry.slots[0].state.clone();
+                for slot in &entry.slots[1..] {
+                    merged = merged.merge(&slot.state);
+                }
+                entry.slots.clear();
+                entry.slots.push(Slot::new(merged, seq));
+            }
+            entry.formed = 0;
+            self.policy_demotions += 1;
+            self.last_demotion = Some(PolicyDemotion {
+                slots_collapsed: collapsed,
+            });
+            debug!(
+                "csm.demote",
+                { widenings = entry.widenings, slots_collapsed = collapsed },
+                "hot PC demoted to single-merge"
+            );
+        }
+        let formed_index = if entry.slots.len() < cap {
+            entry.slots.push(Slot::new(state.clone(), seq));
+            entry.slots.len() - 1
+        } else {
+            // absorb into the closest state (fewest newly-unknown bits)
+            let best = (0..entry.slots.len())
+                .min_by_key(|&i| widening_cost(&entry.slots[i].state, state))
+                .expect("at least one slot");
+            let merged = entry.slots[best].state.merge(state);
+            entry.slots[best] = Slot::new(merged, seq);
+            best
         };
         // constraints narrow the formed state before further simulation;
         // store the constrained state in the slot it was formed in so
         // coverage checks see it
         if !self.constraints.is_empty() {
-            let mut constrained = entry[formed_index].state.clone();
+            let mut constrained = entry.slots[formed_index].state.clone();
             for c in &self.constraints {
-                constrained.values[c.net.0 as usize] = c.value;
+                // in range by set_constraints validation
+                if let Some(v) = constrained.values.get_mut(c.net.0 as usize) {
+                    *v = c.value;
+                }
             }
-            entry[formed_index] = Slot::new(constrained);
+            entry.slots[formed_index] = Slot::new(constrained, seq);
         }
-        let formed = entry[formed_index].state.clone();
+        entry.formed = formed_index;
+        // cross-slot subsumption: a widened slot may now cover siblings,
+        // which would otherwise sit in the entry forever inflating
+        // csm_stored_states and wasting a cover check per observation
+        let pruned = prune_covered_siblings(entry);
+        self.slots_pruned += pruned;
+        let formed = entry.slots[entry.formed].state.clone();
+        let formed_index = entry.formed;
         if let Some(m) = &self.metrics {
             let shard = m.shard(0);
             shard.inc(CounterId::CsmObservations);
             shard.add(CounterId::CsmCoverChecksElided, elided as u64);
             shard.inc(CounterId::CsmWidenings);
+            if demoted_now {
+                shard.inc(CounterId::CsmPolicyDemotions);
+            }
+            shard.add(CounterId::CsmSlotsPruned, pruned as u64);
             shard.gauge_set(GaugeId::CsmStoredStates, self.stored_states() as i64);
             shard.gauge_set(GaugeId::CsmDistinctPcs, self.distinct_pcs() as i64);
             if let Some(t0) = widen_t0 {
@@ -328,6 +564,92 @@ impl ConservativeStateManager {
         );
         Observation::NewConservative(formed)
     }
+
+    /// Pre-split path subsumption (adaptive policy only): whether `state` —
+    /// a queued split child's forced start state at the fork PC — is covered
+    /// by a conservative state formed *after* the child's own fork event
+    /// `born_seq`. Such a later formation merged in everything the child's
+    /// parent state held, so the child's concretizations — and, by
+    /// monotonicity, its toggle activity — are enumerated by the later
+    /// fork's own children. The explorer kills the stale child when it is
+    /// dequeued, before it costs a segment (the halt-time cover check would
+    /// only catch it one full segment later, at its next halt).
+    ///
+    /// The strictly-after rule is what keeps the scheme sound: coverage
+    /// obligations are only ever delegated forward in formation order, so
+    /// delegation chains are grounded at the key's final widening, whose
+    /// children nothing can kill. Allowing kills by *earlier* formed states
+    /// as well would let two children delegate to each other's fork and
+    /// both die with their shared concretizations never simulated.
+    pub fn covered_presplit(&self, key: &CsmKey, state: &SimState, born_seq: usize) -> bool {
+        if !matches!(self.policy, CsmPolicy::Adaptive { .. }) {
+            // legacy policies keep their exact path counts
+            return false;
+        }
+        let Some(entry) = self.table.get(key) else {
+            return false;
+        };
+        let incoming_unknowns = unknown_count(state);
+        entry.slots.iter().any(|slot| {
+            slot.seq > born_seq
+                && slot.unknown_bits >= incoming_unknowns
+                && slot.state.covers(state)
+        })
+    }
+
+    /// The sequence number of the most recent widening — the fork event id
+    /// stamped on split children spawned from it, read under the same lock
+    /// as the [`ConservativeStateManager::observe_key`] call that formed
+    /// the state.
+    pub fn formation_seq(&self) -> usize {
+        self.widenings
+    }
+
+    /// The first constraint the state's observed values contradict, if any.
+    /// An unknown observed bit is never a conflict — the constraint simply
+    /// narrows it when the state is formed.
+    fn constraint_conflict(&self, state: &SimState) -> Option<(NetId, Value)> {
+        self.constraints
+            .iter()
+            .find(|c| {
+                state
+                    .values
+                    .get(c.net.0 as usize)
+                    .is_some_and(|v| v.is_known() && *v != c.value)
+            })
+            .map(|c| (c.net, c.value))
+    }
+}
+
+/// Removes every slot covered by the just-widened one, fixing up
+/// `entry.formed`; returns how many were absorbed.
+fn prune_covered_siblings(entry: &mut Entry) -> usize {
+    if entry.slots.len() < 2 {
+        return 0;
+    }
+    let formed = entry.formed;
+    let formed_unknowns = entry.slots[formed].unknown_bits;
+    let mut pruned = 0;
+    let mut i = 0;
+    while i < entry.slots.len() {
+        // the same early-out as the cover check: fewer unknown bits in the
+        // formed slot means it cannot cover slot i
+        if i != entry.formed
+            && formed_unknowns >= entry.slots[i].unknown_bits
+            && entry.slots[entry.formed]
+                .state
+                .covers(&entry.slots[i].state)
+        {
+            entry.slots.remove(i);
+            if i < entry.formed {
+                entry.formed -= 1;
+            }
+            pruned += 1;
+        } else {
+            i += 1;
+        }
+    }
+    pruned
 }
 
 /// Unknown-bit count of the state that merging `incoming` into `existing`
@@ -406,6 +728,67 @@ mod tests {
     }
 
     #[test]
+    fn pattern_keys_hold_multi_state_slots() {
+        // an X-bearing PC must get the same multi-slot treatment as a
+        // concrete one: distinct states coexist instead of uber-merging
+        let mut csm = ConservativeStateManager::new(CsmPolicy::MultiState { max_states: 2 });
+        let key = || CsmKey::Pattern(Box::new([Value::X, Value::ONE]));
+        let s_0xx = state(&[Value::X, Value::X, Value::ZERO]);
+        let s_100 = state(&[Value::ZERO, Value::ZERO, Value::ONE]);
+        csm.observe_key(key(), &s_0xx);
+        csm.observe_key(key(), &s_100);
+        assert_eq!(csm.distinct_pcs(), 1);
+        assert_eq!(csm.stored_states(), 2);
+        let s_010 = state(&[Value::ZERO, Value::ONE, Value::ZERO]);
+        assert!(matches!(
+            csm.observe_key(key(), &s_010),
+            Observation::Covered
+        ));
+        // a concrete key with the same numeric flavor stays separate
+        assert!(matches!(
+            csm.observe_key(CsmKey::Concrete(1), &s_010),
+            Observation::NewConservative(_)
+        ));
+        assert_eq!(csm.distinct_pcs(), 2);
+    }
+
+    #[test]
+    fn pattern_keys_demote_independently_under_adaptive() {
+        // each PC entry demotes on its own counters: a hot pattern key
+        // collapses to one slot while a cold concrete key keeps precision
+        let policy = CsmPolicy::Adaptive {
+            max_states: 2,
+            demote_widenings: 3,
+            demote_observations: 100,
+        };
+        let mut csm = ConservativeStateManager::new(policy);
+        let hot = || CsmKey::Pattern(Box::new([Value::X, Value::ZERO]));
+        let a = state(&[Value::ZERO, Value::ZERO, Value::ZERO]);
+        let b = state(&[Value::ONE, Value::ONE, Value::ZERO]);
+        let c = state(&[Value::ZERO, Value::ONE, Value::ONE]);
+        csm.observe_key(hot(), &a); // widening 1: slot 0
+        csm.observe_key(hot(), &b); // widening 2: slot 1
+        assert_eq!(csm.stored_states(), 2);
+        assert!(csm.take_demotion().is_none());
+        // widening 3 crosses the threshold: slots collapse to one
+        let Observation::NewConservative(merged) = csm.observe_key(hot(), &c) else {
+            panic!("c is not covered")
+        };
+        assert_eq!(
+            csm.take_demotion(),
+            Some(PolicyDemotion { slots_collapsed: 1 })
+        );
+        assert_eq!(csm.policy_demotions(), 1);
+        assert_eq!(csm.stored_states(), 1);
+        assert!(merged.covers(&a) && merged.covers(&b) && merged.covers(&c));
+        // the cold concrete entry still opens fresh slots
+        csm.observe(7, &a);
+        csm.observe(7, &b);
+        assert_eq!(csm.stored_states(), 3);
+        assert_eq!(csm.policy_demotions(), 1, "cold PC must not demote");
+    }
+
+    #[test]
     fn unknown_count_elides_impossible_cover_checks() {
         let mut csm = ConservativeStateManager::new(CsmPolicy::MultiState { max_states: 2 });
         // slot with zero unknown bits
@@ -446,14 +829,75 @@ mod tests {
     }
 
     #[test]
+    fn widened_slot_absorbs_covered_siblings() {
+        // regression: absorption used to leave a sibling slot in place even
+        // when the merged slot now covered it, inflating csm_stored_states
+        // and wasting a cover check on every later observation
+        let mut csm = ConservativeStateManager::new(CsmPolicy::MultiState { max_states: 2 });
+        let s_000 = state(&[Value::ZERO, Value::ZERO, Value::ZERO]);
+        let s_011 = state(&[Value::ONE, Value::ONE, Value::ZERO]);
+        csm.observe(0, &s_000); // slot 0: 000
+        csm.observe(0, &s_011); // slot 1: 011
+        assert_eq!(csm.stored_states(), 2);
+        // 101 is closest to slot 1? widening costs: merge(000,101)=X0X (2),
+        // merge(011,101)=XX1 -> cost 2; tie goes to slot 0 => X0X. That
+        // does not cover slot 1 (011). Use a state that makes one slot
+        // swallow the other: 110 -> merge(000,110)=XX0 covers neither;
+        // merge(011,110)=X1X covers nothing. Instead widen slot 0 with a
+        // state whose merge covers slot 1: 111 -> merge(000,111)=XXX
+        let s_111 = state(&[Value::ONE, Value::ONE, Value::ONE]);
+        let Observation::NewConservative(c) = csm.observe(0, &s_111) else {
+            panic!()
+        };
+        if unknown_count(&c) == 3 {
+            // the formed slot became XXX: it must have absorbed the sibling
+            assert_eq!(csm.stored_states(), 1, "covered sibling not pruned");
+            assert!(csm.slots_pruned() >= 1);
+        }
+        // regardless of which slot absorbed, every past state stays covered
+        for s in [&s_000, &s_011, &s_111] {
+            assert!(matches!(csm.observe(0, s), Observation::Covered));
+        }
+    }
+
+    #[test]
+    fn pruning_keeps_formed_slot_index_valid() {
+        // force a prune of a slot *before* the formed one and check the
+        // next observation still lands correctly (the formed index must be
+        // fixed up when earlier slots are removed)
+        let mut csm = ConservativeStateManager::new(CsmPolicy::MultiState { max_states: 3 });
+        let s_100 = state(&[Value::ZERO, Value::ZERO, Value::ONE]);
+        let s_001 = state(&[Value::ONE, Value::ZERO, Value::ZERO]);
+        let s_011 = state(&[Value::ONE, Value::ONE, Value::ZERO]);
+        csm.observe(0, &s_100); // slot 0
+        csm.observe(0, &s_001); // slot 1
+        csm.observe(0, &s_011); // slot 2 -> covered? no: 011 vs 001 differ
+        let stored_before = csm.stored_states();
+        // widen slot 1/2 region into XXX via a far state; whichever slot
+        // forms XXX covers (and prunes) the others
+        let s_x = state(&[Value::X, Value::X, Value::X]);
+        let Observation::NewConservative(c) = csm.observe(0, &s_x) else {
+            panic!()
+        };
+        assert_eq!(unknown_count(&c), 3);
+        assert_eq!(csm.stored_states(), 1, "XXX covers all siblings");
+        assert!(csm.slots_pruned() >= stored_before - 1);
+        assert!(matches!(csm.observe(0, &s_100), Observation::Covered));
+    }
+
+    #[test]
     fn constraints_pin_bits() {
         let mut csm = ConservativeStateManager::new(CsmPolicy::SingleMerge);
-        csm.set_constraints(vec![StateConstraint {
-            net: NetId(1),
-            value: Value::ZERO,
-        }]);
+        csm.set_constraints(
+            vec![StateConstraint {
+                net: NetId(1),
+                value: Value::ZERO,
+            }],
+            2,
+        )
+        .unwrap();
         let a = state(&[Value::ZERO, Value::ZERO]);
-        let b = state(&[Value::ONE, Value::ONE]);
+        let b = state(&[Value::ONE, Value::X]);
         csm.observe(0, &a);
         let Observation::NewConservative(c) = csm.observe(0, &b) else {
             panic!()
@@ -463,14 +907,127 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_constraints_are_rejected() {
+        // regression: a constraint naming a net outside the state width
+        // used to panic on an unchecked index in the middle of exploration;
+        // it must be a proper error at installation time instead
+        let mut csm = ConservativeStateManager::new(CsmPolicy::SingleMerge);
+        let err = csm
+            .set_constraints(
+                vec![StateConstraint {
+                    net: NetId(9),
+                    value: Value::ONE,
+                }],
+                2,
+            )
+            .unwrap_err();
+        assert!(err.contains("net 9"), "{err}");
+        assert!(err.contains("2 nets"), "{err}");
+        // nothing was installed; observing 2-bit states cannot panic
+        let s = state(&[Value::ZERO, Value::ONE]);
+        assert!(matches!(
+            csm.observe(0, &s),
+            Observation::NewConservative(_)
+        ));
+    }
+
+    #[test]
+    fn conflicting_and_unknown_constraints_are_rejected() {
+        assert!(validate_constraints(
+            &[
+                StateConstraint {
+                    net: NetId(0),
+                    value: Value::ZERO
+                },
+                StateConstraint {
+                    net: NetId(0),
+                    value: Value::ONE
+                },
+            ],
+            4
+        )
+        .unwrap_err()
+        .contains("both"));
+        assert!(validate_constraints(
+            &[StateConstraint {
+                net: NetId(0),
+                value: Value::X
+            }],
+            4
+        )
+        .unwrap_err()
+        .contains("unknown"));
+        // duplicates agreeing on the value are harmless
+        validate_constraints(
+            &[
+                StateConstraint {
+                    net: NetId(1),
+                    value: Value::ONE,
+                },
+                StateConstraint {
+                    net: NetId(1),
+                    value: Value::ONE,
+                },
+            ],
+            4,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn contradicting_observation_terminates_instead_of_livelocking() {
+        // regression: a state whose observed value contradicts a constraint
+        // used to re-widen its PC forever — the merge set the bit to X, the
+        // constraint pinned it back, and the state was never covered. It
+        // must be treated as infeasible (covered) and counted
+        let mut csm = ConservativeStateManager::new(CsmPolicy::SingleMerge);
+        csm.set_constraints(
+            vec![StateConstraint {
+                net: NetId(1),
+                value: Value::ZERO,
+            }],
+            2,
+        )
+        .unwrap();
+        let feasible = state(&[Value::ZERO, Value::ZERO]);
+        let contradicting = state(&[Value::ZERO, Value::ONE]);
+        assert!(matches!(
+            csm.observe(0, &feasible),
+            Observation::NewConservative(_)
+        ));
+        let (_, _, widenings_before) = csm.stats();
+        // every visit of the contradicting state is terminal, never a widen
+        for _ in 0..3 {
+            assert!(matches!(
+                csm.observe(0, &contradicting),
+                Observation::Covered
+            ));
+        }
+        let (_, _, widenings_after) = csm.stats();
+        assert_eq!(widenings_before, widenings_after, "livelock: PC re-widened");
+        assert_eq!(csm.constraint_conflicts(), 3);
+        // an unknown observed bit is narrowed, not a conflict
+        let unknown_bit = state(&[Value::ONE, Value::X]);
+        let Observation::NewConservative(c) = csm.observe(0, &unknown_bit) else {
+            panic!("unknown bit must widen, not conflict")
+        };
+        assert_eq!(c.values[1], Value::ZERO);
+        assert_eq!(csm.constraint_conflicts(), 3);
+    }
+
+    #[test]
     fn constraints_with_multi_state_update_the_formed_slot() {
         // regression: the constrained state must land in the slot that
         // absorbed the observation, not blindly in the last slot
         let mut csm = ConservativeStateManager::new(CsmPolicy::MultiState { max_states: 2 });
-        csm.set_constraints(vec![StateConstraint {
-            net: NetId(2),
-            value: Value::ZERO,
-        }]);
+        csm.set_constraints(
+            vec![StateConstraint {
+                net: NetId(2),
+                value: Value::ZERO,
+            }],
+            3,
+        )
+        .unwrap();
         let s_a = state(&[Value::ZERO, Value::ZERO, Value::ZERO]);
         let s_b = state(&[Value::ONE, Value::ONE, Value::ZERO]);
         csm.observe(0, &s_a); // slot 0
@@ -486,6 +1043,113 @@ mod tests {
             "slot 1 must not have been clobbered"
         );
         assert!(matches!(csm.observe(0, &s_a2), Observation::Covered));
+    }
+
+    #[test]
+    fn presplit_kills_only_by_later_formed_states() {
+        // a queued child may only be killed by a conservative state formed
+        // strictly after its own fork: delegation runs forward in formation
+        // order and is grounded at the key's final widening, whose children
+        // nothing can kill
+        let policy = CsmPolicy::Adaptive {
+            max_states: 1,
+            demote_widenings: 100,
+            demote_observations: 100,
+        };
+        let mut csm = ConservativeStateManager::new(policy);
+        let key = CsmKey::Concrete(0);
+        let s_001 = state(&[Value::ZERO, Value::ZERO, Value::ONE]);
+        let s_101 = state(&[Value::ONE, Value::ZERO, Value::ONE]);
+        csm.observe(0, &s_001); // widening 1 forms 001
+        let born = csm.formation_seq();
+        assert_eq!(born, 1);
+        // children of the fork that just formed are never killed by it
+        assert!(!csm.covered_presplit(&key, &s_001, born));
+        csm.observe(0, &s_101); // widening 2 merges to X01
+                                // the child queued at widening 1 is now stale: widening 2's own
+                                // children enumerate its concretizations
+        assert!(csm.covered_presplit(&key, &s_001, born));
+        // children born at widening 2 are the live frontier: not killable
+        assert!(!csm.covered_presplit(&key, &s_001, csm.formation_seq()));
+        // unknown PC entries never kill
+        assert!(!csm.covered_presplit(&CsmKey::Concrete(9), &s_001, 0));
+    }
+
+    #[test]
+    fn presplit_is_an_adaptive_only_optimization() {
+        // SingleMerge and MultiState keep their exact legacy path counts:
+        // covered_presplit never fires for them even when a later-formed
+        // state covers the queued child
+        let key = CsmKey::Concrete(0);
+        let s_001 = state(&[Value::ZERO, Value::ZERO, Value::ONE]);
+        let s_101 = state(&[Value::ONE, Value::ZERO, Value::ONE]);
+        for policy in [
+            CsmPolicy::SingleMerge,
+            CsmPolicy::MultiState { max_states: 1 },
+        ] {
+            let mut csm = ConservativeStateManager::new(policy);
+            csm.observe(0, &s_001);
+            csm.observe(0, &s_101); // merges to X01, which covers 001
+            assert!(
+                !csm.covered_presplit(&key, &s_001, 0),
+                "{policy:?} must never kill"
+            );
+        }
+    }
+
+    #[test]
+    fn demotion_fold_kills_stale_children_from_earlier_forks() {
+        // the demoted single slot carries the demotion widening's sequence
+        // number and covers every pre-fold slot, so children queued by
+        // earlier forks at this key become killable — the demoted fork's
+        // own children enumerate their concretizations
+        let policy = CsmPolicy::Adaptive {
+            max_states: 2,
+            demote_widenings: 3,
+            demote_observations: 100,
+        };
+        let mut csm = ConservativeStateManager::new(policy);
+        let key = CsmKey::Concrete(0);
+        let a = state(&[Value::ZERO, Value::ZERO, Value::ZERO]);
+        let b = state(&[Value::ONE, Value::ONE, Value::ZERO]);
+        let c = state(&[Value::ZERO, Value::ONE, Value::ONE]);
+        csm.observe(0, &a); // widening 1: slot 0 = 000
+        let born_first = csm.formation_seq();
+        csm.observe(0, &b); // widening 2: slot 1 = 110
+        csm.observe(0, &c); // widening 3: demotes, folds to XX0, absorbs c
+        assert_eq!(csm.policy_demotions(), 1);
+        // children of the first two forks are stale against the demoted
+        // slot (seq 3), which covers everything they would explore
+        assert!(csm.covered_presplit(&key, &a, born_first));
+        assert!(csm.covered_presplit(&key, &b, born_first));
+        // children of the demotion fork itself stay alive
+        assert!(!csm.covered_presplit(&key, &a, csm.formation_seq()));
+    }
+
+    #[test]
+    fn adaptive_demoted_entry_behaves_as_single_merge() {
+        let policy = CsmPolicy::Adaptive {
+            max_states: 3,
+            demote_widenings: 2,
+            demote_observations: 100,
+        };
+        let mut csm = ConservativeStateManager::new(policy);
+        assert_eq!(policy.name(), "adaptive");
+        let a = state(&[Value::ZERO, Value::ZERO]);
+        let b = state(&[Value::ONE, Value::ZERO]);
+        let c = state(&[Value::ZERO, Value::ONE]);
+        csm.observe(0, &a);
+        csm.observe(0, &b); // widening 2: demotes, collapses to merge
+        assert_eq!(csm.stored_states(), 1);
+        assert_eq!(csm.policy_demotions(), 1);
+        // post-demotion the entry uber-merges like SingleMerge
+        let Observation::NewConservative(m) = csm.observe(0, &c) else {
+            panic!()
+        };
+        assert_eq!(csm.stored_states(), 1);
+        assert!(m.values[0].is_x() && m.values[1].is_x());
+        // demotion happens once per entry
+        assert_eq!(csm.policy_demotions(), 1);
     }
 
     #[test]

@@ -13,7 +13,9 @@ use symsim_sim::{
     CohortLaneEnd, EvalMode, HaltReason, MonitorSpec, SimConfig, SimState, Simulator, ToggleProfile,
 };
 
-use crate::csm::{ConservativeStateManager, CsmKey, CsmPolicy, Observation, StateConstraint};
+use crate::csm::{
+    validate_constraints, ConservativeStateManager, CsmKey, CsmPolicy, Observation, StateConstraint,
+};
 use crate::report::CoAnalysisReport;
 use crate::sched::{TaskWeight, WorkQueue};
 
@@ -105,6 +107,11 @@ pub enum PathOutcome {
     Split(usize),
     /// The per-segment cycle budget ran out.
     Budget,
+    /// Killed at dequeue by pre-split subsumption (adaptive policy only):
+    /// a conservative state formed after this child's fork covered its
+    /// start state, so the path was never simulated — it consumed a path
+    /// id but no segment, and emits no `path_start`/`path_end` records.
+    Killed,
 }
 
 #[derive(Debug)]
@@ -125,6 +132,14 @@ struct Task {
     /// folded into the segment's cycle accounting so the path's totals
     /// match a never-spilled (event-mode) run exactly.
     carried: u64,
+    /// The fork this child came from: the CSM key it split at and the
+    /// formation sequence number of the conservative state it split from.
+    /// Consulted once at dequeue for pre-split subsumption (adaptive
+    /// policy): a state formed after `born_seq` that covers this child's
+    /// forced start state makes it redundant. `None` for the root, for
+    /// spilled-lane continuations, and for lanes already screened by
+    /// their cohort.
+    fork: Option<(CsmKey, usize)>,
 }
 
 impl Task {
@@ -135,6 +150,19 @@ impl Task {
             forces,
             budget: None,
             carried: 0,
+            fork: None,
+        }
+    }
+
+    fn forked(
+        id: u64,
+        state: SimState,
+        forces: Vec<(NetId, Value)>,
+        fork: (CsmKey, usize),
+    ) -> Task {
+        Task {
+            fork: Some(fork),
+            ..Task::fresh(id, state, forces)
         }
     }
 }
@@ -149,6 +177,10 @@ struct CohortTask {
     n: usize,
     state: SimState,
     signals: Vec<NetId>,
+    /// Fork provenance for the dequeue-time pre-split subsumption screen,
+    /// as in [`Task::fork`]; `None` once the member lanes have been
+    /// screened (re-packed survivor runs).
+    fork: Option<(CsmKey, usize)>,
 }
 
 /// A quiescent `$monitor_x` halt state awaiting its CSM observation —
@@ -206,16 +238,22 @@ pub struct CoAnalysis<'n> {
 
 impl<'n> CoAnalysis<'n> {
     /// Prepares a co-analysis of `netlist` with the given interface.
+    ///
+    /// The configured constraints are validated against the design here —
+    /// a constraint naming a net outside the netlist, pinning an unknown
+    /// value, or contradicting another constraint is an error up front
+    /// rather than a panic in the middle of exploration.
     pub fn new(
         netlist: &'n Netlist,
         iface: DesignInterface,
         config: CoAnalysisConfig,
-    ) -> CoAnalysis<'n> {
-        CoAnalysis {
+    ) -> Result<CoAnalysis<'n>, String> {
+        validate_constraints(&config.constraints, netlist.net_count())?;
+        Ok(CoAnalysis {
             netlist,
             iface,
             config,
-        }
+        })
     }
 
     /// Runs the complete co-analysis.
@@ -237,12 +275,14 @@ impl<'n> CoAnalysis<'n> {
             .clone()
             .unwrap_or_else(|| Arc::new(MetricsRegistry::new(workers)));
         // the path cap is enforced with a CAS grant loop on this dedicated
-        // counter; every grant is mirrored into the sharded registry, so the
-        // sharded sum equals the clamp total exactly
+        // counter; the `paths_created` counter in the registry is bumped
+        // when a path starts simulating instead, so children killed by
+        // pre-split subsumption consume id budget but are never counted
         let created = AtomicUsize::new(0);
         let csm = Mutex::new({
             let mut c = ConservativeStateManager::new(self.config.policy);
-            c.set_constraints(self.config.constraints.clone());
+            c.set_constraints(self.config.constraints.clone(), self.netlist.net_count())
+                .expect("constraints were validated in CoAnalysis::new");
             c.set_metrics(Arc::clone(&registry));
             c.set_profile(self.config.trace.is_some());
             c
@@ -272,7 +312,6 @@ impl<'n> CoAnalysis<'n> {
             sim.save_state()
         };
         created.fetch_add(1, Ordering::Relaxed);
-        registry.shard(0).inc(CounterId::PathsCreated);
         let queue: WorkQueue<Work> = WorkQueue::with_metrics(workers, Arc::clone(&registry));
         queue.inject(Work::Seg(Task::fresh(0, root_state, Vec::new())));
 
@@ -463,7 +502,7 @@ impl<'n> CoAnalysis<'n> {
                     self.run_segment(worker, sim, task, wait_us, queue, csm, created, registry);
                 }
                 Work::Cohort(task) => {
-                    self.run_cohort(worker, sim, task, queue, registry);
+                    self.run_cohort(worker, sim, task, queue, csm, registry);
                 }
                 Work::Observe(task) => {
                     self.run_observe(worker, task, queue, csm, created, registry);
@@ -488,7 +527,46 @@ impl<'n> CoAnalysis<'n> {
         let _span = trace::span("segment");
         let tr = self.config.trace.as_deref();
         let shard = registry.shard(worker);
+        // dequeue-time pre-split subsumption: under depth-first pop order
+        // a sibling's subtree runs to exhaustion before this queued child
+        // comes up, and the widenings it caused at the fork PC may by now
+        // cover this child's start state — kill it before it costs a
+        // segment. `covered_presplit` only ever fires under the adaptive
+        // policy; the gate here just avoids the probe clone elsewhere
+        if let Some((key, born_seq)) = &task.fork {
+            if matches!(self.config.policy, CsmPolicy::Adaptive { .. }) {
+                let csm_t0 = tr.map(|_| Instant::now());
+                let mut probe = task.state.clone();
+                for &(net, value) in &task.forces {
+                    probe.values[net.0 as usize] = value;
+                }
+                let covered = csm.lock().unwrap().covered_presplit(key, &probe, *born_seq);
+                if covered {
+                    shard.inc(CounterId::PathsKilledPresplit);
+                    if let Some(t) = tr {
+                        let pc_label = key.to_string();
+                        t.emit(worker as i64, "csm", |o| {
+                            o.u64("path", task.id)
+                                .str("pc", &pc_label)
+                                .str("kind", "kill")
+                                .u64("dur_us", elapsed_us(csm_t0));
+                        });
+                    }
+                    debug!(
+                        "path.presplit_kill",
+                        { worker = worker, path = task.id },
+                        "queued child covered by a later-formed conservative state"
+                    );
+                    return PathOutcome::Killed;
+                }
+            }
+        }
         shard.inc(CounterId::PathsSimulated);
+        // a path is "created" when it actually starts simulating; spilled
+        // cohort lanes (carried > 0) were counted when their cohort began
+        if task.carried == 0 {
+            shard.inc(CounterId::PathsCreated);
+        }
         let seg_t0 = tr.map(|_| Instant::now());
         let engine_before = tr.map(|_| sim.engine_stats());
 
@@ -553,7 +631,11 @@ impl<'n> CoAnalysis<'n> {
                 // the key renders to a string only when tracing
                 let pc_label = tr.map(|_| key.to_string());
                 let csm_t0 = tr.map(|_| Instant::now());
-                let observation = csm.lock().unwrap().observe_key(key, &state);
+                let (observation, demotion, born_seq) = {
+                    let mut guard = csm.lock().unwrap();
+                    let obs = guard.observe_key(key.clone(), &state);
+                    (obs, guard.take_demotion(), guard.formation_seq())
+                };
                 csm_us = elapsed_us(csm_t0);
                 match observation {
                     Observation::Covered => {
@@ -581,12 +663,23 @@ impl<'n> CoAnalysis<'n> {
                                     .str("kind", "widen")
                                     .u64("dur_us", csm_us);
                             });
+                            if let Some(d) = demotion {
+                                t.emit(worker as i64, "csm", |o| {
+                                    o.u64("path", task.id)
+                                        .str("pc", pc_label.as_deref().unwrap_or(""))
+                                        .str("kind", "demote")
+                                        .u64("slots", d.slots_collapsed as u64)
+                                        .u64("dur_us", 0);
+                                });
+                            }
                         }
                         let children = self.spawn_children(
                             worker,
                             task.id,
                             pc_label.as_deref(),
+                            &key,
                             &cons,
+                            born_seq,
                             queue,
                             created,
                             registry,
@@ -652,12 +745,14 @@ impl<'n> CoAnalysis<'n> {
     /// When the pack eligibility checks fail (symbol-carrying base state,
     /// non-anonymous policy, ...) the members fall back to exact scalar
     /// segments, also in lane order.
+    #[allow(clippy::too_many_arguments)]
     fn run_cohort(
         &self,
         worker: usize,
         sim: &mut Simulator<'_>,
         task: CohortTask,
         queue: &WorkQueue<Work>,
+        csm: &Mutex<ConservativeStateManager>,
         registry: &Arc<MetricsRegistry>,
     ) {
         let _span = trace::span("cohort");
@@ -671,6 +766,85 @@ impl<'n> CoAnalysis<'n> {
                 .map(|(j, &net)| (net, Value::from_bool(combo >> j & 1 == 1)))
                 .collect()
         };
+        // dequeue-time pre-split subsumption, lane by lane (the cohort
+        // analogue of the screen at the top of `run_segment`): when any
+        // lane is killed, the survivors are re-queued as maximal
+        // contiguous lane runs with the check spent (`fork: None`) so the
+        // bit-plane pass only carries lanes that still matter
+        if let Some((key, born_seq)) = &task.fork {
+            if matches!(self.config.policy, CsmPolicy::Adaptive { .. }) {
+                let survivors: Vec<usize> = {
+                    let guard = csm.lock().unwrap();
+                    let mut probe = task.state.clone();
+                    (0..task.n)
+                        .filter(|&l| {
+                            let combo = task.base_combo + l;
+                            for (j, &net) in task.signals.iter().enumerate() {
+                                probe.values[net.0 as usize] =
+                                    Value::from_bool(combo >> j & 1 == 1);
+                            }
+                            !guard.covered_presplit(key, &probe, *born_seq)
+                        })
+                        .collect()
+                };
+                let killed = task.n - survivors.len();
+                if killed > 0 {
+                    shard.add(CounterId::PathsKilledPresplit, killed as u64);
+                    debug!(
+                        "path.presplit_kill",
+                        { worker = worker, killed = killed, members = task.n },
+                        "cohort lanes covered by a later-formed conservative state"
+                    );
+                    if let Some(t) = tr {
+                        let pc_label = key.to_string();
+                        let mut alive = vec![false; task.n];
+                        for &l in &survivors {
+                            alive[l] = true;
+                        }
+                        for (l, alive) in alive.iter().enumerate() {
+                            if !alive {
+                                t.emit(worker as i64, "csm", |o| {
+                                    o.u64("path", task.first + l as u64)
+                                        .str("pc", &pc_label)
+                                        .str("kind", "kill")
+                                        .u64("dur_us", 0);
+                                });
+                            }
+                        }
+                    }
+                    let mut items: Vec<Work> = Vec::new();
+                    let mut idx = 0usize;
+                    while idx < survivors.len() {
+                        let mut len = 1usize;
+                        while idx + len < survivors.len()
+                            && survivors[idx + len] == survivors[idx] + len
+                        {
+                            len += 1;
+                        }
+                        if len >= 2 {
+                            items.push(Work::Cohort(CohortTask {
+                                first: task.first + survivors[idx] as u64,
+                                base_combo: task.base_combo + survivors[idx],
+                                n: len,
+                                state: task.state.clone(),
+                                signals: task.signals.clone(),
+                                fork: None,
+                            }));
+                        } else {
+                            let l = survivors[idx];
+                            items.push(Work::Seg(Task::fresh(
+                                task.first + l as u64,
+                                task.state.clone(),
+                                forces_of(l),
+                            )));
+                        }
+                        idx += len;
+                    }
+                    queue.push_local(worker, items);
+                    return;
+                }
+            }
+        }
         let Some(mut cohort) = sim.cohort_pack(&task.state, task.n) else {
             debug!(
                 "cohort.fallback",
@@ -691,6 +865,9 @@ impl<'n> CoAnalysis<'n> {
         };
         shard.inc(CounterId::CohortsFormed);
         shard.add(CounterId::CohortMemberPaths, task.n as u64);
+        // every member lane starts simulating here (spilled lanes continue
+        // in a Seg with `carried > 0`, which does not re-count)
+        shard.add(CounterId::PathsCreated, task.n as u64);
         shard.observe(HistogramId::CohortLaneOccupancy, task.n as u64);
         if let Some(t) = tr {
             let members: Vec<u64> = (0..task.n).map(|l| task.first + l as u64).collect();
@@ -765,6 +942,7 @@ impl<'n> CoAnalysis<'n> {
                         forces: Vec::new(),
                         budget: Some(total.saturating_sub(lane_cycles)),
                         carried: lane_cycles,
+                        fork: None,
                     }));
                 }
                 CohortLaneEnd::Running => unreachable!("cohort_run ends every lane"),
@@ -797,7 +975,11 @@ impl<'n> CoAnalysis<'n> {
         let key = pc_key(&pc);
         let pc_label = tr.map(|_| key.to_string());
         let csm_t0 = tr.map(|_| Instant::now());
-        let observation = csm.lock().unwrap().observe_key(key, &task.state);
+        let (observation, demotion, born_seq) = {
+            let mut guard = csm.lock().unwrap();
+            let obs = guard.observe_key(key.clone(), &task.state);
+            (obs, guard.take_demotion(), guard.formation_seq())
+        };
         let csm_us = elapsed_us(csm_t0);
         let (outcome, children) = match observation {
             Observation::Covered => {
@@ -825,12 +1007,23 @@ impl<'n> CoAnalysis<'n> {
                             .str("kind", "widen")
                             .u64("dur_us", csm_us);
                     });
+                    if let Some(d) = demotion {
+                        t.emit(worker as i64, "csm", |o| {
+                            o.u64("path", task.id)
+                                .str("pc", pc_label.as_deref().unwrap_or(""))
+                                .str("kind", "demote")
+                                .u64("slots", d.slots_collapsed as u64)
+                                .u64("dur_us", 0);
+                        });
+                    }
                 }
                 let n = self.spawn_children(
                     worker,
                     task.id,
                     pc_label.as_deref(),
+                    &key,
                     &cons,
+                    born_seq,
                     queue,
                     created,
                     registry,
@@ -852,15 +1045,22 @@ impl<'n> CoAnalysis<'n> {
     /// Pushes one child task per concretization of the unknown monitored
     /// control signals in the conservative state, clamped to the remaining
     /// `max_paths` budget; dropped children are counted, never silently
-    /// lost. In cohort eval mode, sibling children are packed into cohort
-    /// work items (up to 64 lanes each) instead of individual segments.
+    /// lost. Each child carries its fork's CSM key and formation sequence
+    /// number (`born_seq`) so the dequeue-time pre-split subsumption screen
+    /// can kill it if a conservative state formed after this fork covers
+    /// its start state (`paths_killed_presplit`) — the halt-time cover
+    /// check would only catch that one full segment later. In cohort eval
+    /// mode, siblings are packed into cohort work items (up to 64 lanes
+    /// each) instead of individual segments.
     #[allow(clippy::too_many_arguments)]
     fn spawn_children(
         &self,
         worker: usize,
         parent: u64,
         pc_label: Option<&str>,
+        key: &CsmKey,
         cons: &SimState,
+        born_seq: usize,
         queue: &WorkQueue<Work>,
         created: &AtomicUsize,
         registry: &Arc<MetricsRegistry>,
@@ -884,10 +1084,11 @@ impl<'n> CoAnalysis<'n> {
         xs.truncate(self.config.max_split_signals);
         let combos = 1usize << xs.len();
         let shard = registry.shard(worker);
-        // the fan-out histogram records the branch's actual concretization
-        // count at fork time, before the path cap clamps it — the signal
-        // cohort sizing (and lane-occupancy analysis) depends on
+        // the fan-out histogram records the branch's concretization count
+        // at fork time, before the path cap clamps it — the cohort sizing
+        // (and lane-occupancy analysis) depends on it
         shard.observe(HistogramId::SplitFanout, combos as u64);
+        let want = combos;
 
         // claim budget from the path cap *before* materializing children so
         // `paths_created` can never overshoot `max_paths`; the claimed range
@@ -895,7 +1096,7 @@ impl<'n> CoAnalysis<'n> {
         let (first, granted) = loop {
             let so_far = created.load(Ordering::SeqCst);
             let remaining = self.config.max_paths.saturating_sub(so_far);
-            let grant = combos.min(remaining);
+            let grant = want.min(remaining);
             if grant == 0 {
                 break (so_far, 0);
             }
@@ -906,22 +1107,25 @@ impl<'n> CoAnalysis<'n> {
                 break (so_far, grant);
             }
         };
-        if granted < combos {
-            shard.add(CounterId::PathsDropped, (combos - granted) as u64);
+        if granted < want {
+            shard.add(CounterId::PathsDropped, (want - granted) as u64);
         }
         debug!(
             "path.fork",
-            { worker = worker, children = granted, dropped = combos - granted },
+            { worker = worker, children = granted, dropped = want - granted },
             "path split at a non-deterministic branch"
         );
         if granted == 0 {
             return 0;
         }
-        shard.add(CounterId::PathsCreated, granted as u64);
+        // `paths_created` is counted when a child actually starts (or when
+        // its cohort packs), not here: children killed by the dequeue-time
+        // subsumption screen consume id budget but are never counted
         if let Some(t) = self.config.trace.as_deref() {
-            // one record per fork: child `first + i` takes branch combo `i`
-            // (bit j of `i` is the value forced on `signals[j]`), so the
-            // per-child assignment needs no per-child records
+            // one record per fork: child `first + i` takes branch
+            // combination `i` in ascending order (bit j of a combo is the
+            // value forced on `signals[j]`), so the per-child assignment
+            // needs no per-child records
             let signals: Vec<u64> = xs.iter().map(|n| n.0 as u64).collect();
             t.emit(worker as i64, "fork", |o| {
                 o.u64("parent", parent)
@@ -932,52 +1136,61 @@ impl<'n> CoAnalysis<'n> {
                     .u64_array("signals", &signals);
             });
         }
+        let fork = (key.clone(), born_seq);
         let cohort_ok = self.config.sim.eval_mode == EvalMode::Cohort
             && granted >= 2
             && self.config.activity_weights.is_none();
         if cohort_ok {
-            // pack siblings into 64-lane cohorts, chunks in ascending combo
-            // order: LIFO pops the highest chunk (then the highest lane)
-            // first, matching the scalar pop order combo-for-combo
+            // chunk the children into 64-lane cohorts (lane `l` of a chunk
+            // is combo `base_combo + l`), chunks in ascending combo order:
+            // LIFO pops the highest chunk (then the highest lane) first,
+            // matching the scalar pop order combo-for-combo
             let mut items: Vec<Work> = Vec::new();
-            let mut base = 0usize;
-            while base < granted {
-                let n = (granted - base).min(64);
-                if n >= 2 {
+            let mut idx = 0usize;
+            while idx < granted {
+                let len = (granted - idx).min(64);
+                if len >= 2 {
                     items.push(Work::Cohort(CohortTask {
-                        first: (first + base) as u64,
-                        base_combo: base,
-                        n,
+                        first: (first + idx) as u64,
+                        base_combo: idx,
+                        n: len,
                         // cheap: copy-on-write pages, only dirty pages split
                         state: cons.clone(),
                         signals: xs.clone(),
+                        fork: Some(fork.clone()),
                     }));
                 } else {
                     let forces = xs
                         .iter()
                         .enumerate()
-                        .map(|(i, &net)| (net, Value::from_bool(base >> i & 1 == 1)))
+                        .map(|(i, &net)| (net, Value::from_bool(idx >> i & 1 == 1)))
                         .collect();
-                    items.push(Work::Seg(Task::fresh(
-                        (first + base) as u64,
+                    items.push(Work::Seg(Task::forked(
+                        (first + idx) as u64,
                         cons.clone(),
                         forces,
+                        fork.clone(),
                     )));
                 }
-                base += n;
+                idx += len;
             }
             queue.push_local(worker, items);
         } else {
             queue.push_local(
                 worker,
-                (0..granted).map(|combo| {
+                (0..granted).map(|i| {
                     let forces = xs
                         .iter()
                         .enumerate()
-                        .map(|(i, &net)| (net, Value::from_bool(combo >> i & 1 == 1)))
+                        .map(|(j, &net)| (net, Value::from_bool(i >> j & 1 == 1)))
                         .collect();
                     // cheap: copy-on-write pages, only dirty pages ever split
-                    Work::Seg(Task::fresh((first + combo) as u64, cons.clone(), forces))
+                    Work::Seg(Task::forked(
+                        (first + i) as u64,
+                        cons.clone(),
+                        forces,
+                        fork.clone(),
+                    ))
                 }),
             );
         }
@@ -998,6 +1211,8 @@ fn outcome_name(outcome: PathOutcome) -> &'static str {
         PathOutcome::Covered => "covered",
         PathOutcome::Split(_) => "split",
         PathOutcome::Budget => "budget",
+        // killed paths never simulate, so no `path_end` carries this name
+        PathOutcome::Killed => "killed",
     }
 }
 
@@ -1060,7 +1275,7 @@ mod tests {
             max_cycles_per_segment: 100,
             ..CoAnalysisConfig::default()
         };
-        let analysis = CoAnalysis::new(&nl, iface, config);
+        let analysis = CoAnalysis::new(&nl, iface, config).unwrap();
         let cond = nl.find_net("cond_in").unwrap();
         let report = analysis.run(|sim| {
             sim.poke(cond, Value::X);
@@ -1080,7 +1295,7 @@ mod tests {
     #[test]
     fn concrete_condition_yields_single_path() {
         let (nl, iface) = branchy_design();
-        let analysis = CoAnalysis::new(&nl, iface, CoAnalysisConfig::default());
+        let analysis = CoAnalysis::new(&nl, iface, CoAnalysisConfig::default()).unwrap();
         let cond = nl.find_net("cond_in").unwrap();
         let report = analysis.run(|sim| {
             sim.poke(cond, Value::ZERO);
@@ -1095,12 +1310,15 @@ mod tests {
         let (nl, iface) = branchy_design();
         let cond = nl.find_net("cond_in").unwrap();
         let seq = CoAnalysis::new(&nl, iface.clone(), CoAnalysisConfig::default())
+            .unwrap()
             .run(|sim| sim.poke(cond, Value::X));
         let par_cfg = CoAnalysisConfig {
             workers: 4,
             ..CoAnalysisConfig::default()
         };
-        let par = CoAnalysis::new(&nl, iface, par_cfg).run(|sim| sim.poke(cond, Value::X));
+        let par = CoAnalysis::new(&nl, iface, par_cfg)
+            .unwrap()
+            .run(|sim| sim.poke(cond, Value::X));
         // exercisable sets converge to the same fixpoint on this design
         assert_eq!(seq.exercisable_gates, par.exercisable_gates);
         assert_eq!(seq.paths_finished, par.paths_finished);
@@ -1120,8 +1338,9 @@ mod tests {
                 metrics: Some(Arc::clone(&registry)),
                 ..CoAnalysisConfig::default()
             };
-            let report =
-                CoAnalysis::new(&nl, iface.clone(), config).run(|sim| sim.poke(cond, Value::X));
+            let report = CoAnalysis::new(&nl, iface.clone(), config)
+                .unwrap()
+                .run(|sim| sim.poke(cond, Value::X));
             (report, registry)
         };
         let (event, _) = run(EvalMode::Event);
@@ -1163,7 +1382,9 @@ mod tests {
             max_paths: 1,
             ..CoAnalysisConfig::default()
         };
-        let report = CoAnalysis::new(&nl, iface, config).run(|sim| sim.poke(cond, Value::X));
+        let report = CoAnalysis::new(&nl, iface, config)
+            .unwrap()
+            .run(|sim| sim.poke(cond, Value::X));
         assert_eq!(report.paths_created, 1);
     }
 
@@ -1178,8 +1399,9 @@ mod tests {
                 max_paths: cap,
                 ..CoAnalysisConfig::default()
             };
-            let report =
-                CoAnalysis::new(&nl, iface.clone(), config).run(|sim| sim.poke(cond, Value::X));
+            let report = CoAnalysis::new(&nl, iface.clone(), config)
+                .unwrap()
+                .run(|sim| sim.poke(cond, Value::X));
             assert!(
                 report.paths_created <= cap,
                 "cap {cap} overshot: {report:?}"
@@ -1202,7 +1424,9 @@ mod tests {
             metrics: Some(Arc::clone(&registry)),
             ..CoAnalysisConfig::default()
         };
-        let report = CoAnalysis::new(&nl, iface, config).run(|sim| sim.poke(cond, Value::X));
+        let report = CoAnalysis::new(&nl, iface, config)
+            .unwrap()
+            .run(|sim| sim.poke(cond, Value::X));
         let m = &report.metrics;
         assert_eq!(m.counter("paths_created"), report.paths_created as u64);
         assert_eq!(m.counter("paths_dropped"), report.paths_dropped as u64);
@@ -1251,7 +1475,9 @@ mod tests {
             trace: Some(Arc::clone(&sink)),
             ..CoAnalysisConfig::default()
         };
-        let report = CoAnalysis::new(&nl, iface, config).run(|sim| sim.poke(cond, Value::X));
+        let report = CoAnalysis::new(&nl, iface, config)
+            .unwrap()
+            .run(|sim| sim.poke(cond, Value::X));
         let stats = sink.finish();
         assert!(stats.events > 0);
         assert_eq!(stats.dropped, 0);

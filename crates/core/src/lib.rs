@@ -35,6 +35,9 @@ mod explore;
 mod report;
 pub mod sched;
 
-pub use csm::{ConservativeStateManager, CsmKey, CsmPolicy, Observation, StateConstraint};
+pub use csm::{
+    validate_constraints, ConservativeStateManager, CsmKey, CsmPolicy, Observation, PolicyDemotion,
+    StateConstraint,
+};
 pub use explore::{CoAnalysis, CoAnalysisConfig, DesignInterface, PathOutcome};
 pub use report::CoAnalysisReport;

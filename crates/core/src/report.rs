@@ -31,6 +31,18 @@ pub struct CoAnalysisReport {
     pub paths_budget_exhausted: usize,
     /// Path segments actually simulated.
     pub paths_simulated: usize,
+    /// Split children never enqueued because a sibling conservative state
+    /// already covered their forced start state (pre-split subsumption).
+    pub paths_killed_presplit: usize,
+    /// Adaptive-policy PC entries that crossed a demotion threshold and
+    /// collapsed to the single-merge uber-state.
+    pub csm_policy_demotions: usize,
+    /// Stored conservative states absorbed by a sibling slot that widened
+    /// enough to cover them.
+    pub csm_slots_pruned: usize,
+    /// Observations rejected as infeasible because a known value
+    /// contradicted a designer constraint.
+    pub csm_constraint_conflicts: usize,
     /// Total cycles simulated across all paths.
     pub simulated_cycles: u64,
     /// Distinct PCs at which conservative states were recorded.
@@ -83,6 +95,10 @@ impl CoAnalysisReport {
             paths_finished: metrics.counter("paths_finished") as usize,
             paths_budget_exhausted: metrics.counter("paths_budget_exhausted") as usize,
             paths_simulated: metrics.counter("paths_simulated") as usize,
+            paths_killed_presplit: metrics.counter("paths_killed_presplit") as usize,
+            csm_policy_demotions: metrics.counter("csm_policy_demotions") as usize,
+            csm_slots_pruned: metrics.counter("csm_slots_pruned") as usize,
+            csm_constraint_conflicts: metrics.counter("csm_constraint_conflicts") as usize,
             simulated_cycles: metrics.counter("cycles"),
             distinct_pcs: metrics.gauge("csm_distinct_pcs") as usize,
             batched_level_evals: metrics.counter("batched_level_evals"),
@@ -126,6 +142,13 @@ impl CoAnalysisReport {
             .u64("paths_finished", self.paths_finished as u64)
             .u64("paths_budget_exhausted", self.paths_budget_exhausted as u64)
             .u64("paths_simulated", self.paths_simulated as u64)
+            .u64("paths_killed_presplit", self.paths_killed_presplit as u64)
+            .u64("csm_policy_demotions", self.csm_policy_demotions as u64)
+            .u64("csm_slots_pruned", self.csm_slots_pruned as u64)
+            .u64(
+                "csm_constraint_conflicts",
+                self.csm_constraint_conflicts as u64,
+            )
             .u64("simulated_cycles", self.simulated_cycles)
             .u64("distinct_pcs", self.distinct_pcs as u64)
             .u64("batched_level_evals", self.batched_level_evals)
@@ -179,6 +202,10 @@ mod tests {
             paths_finished: 2,
             paths_budget_exhausted: 0,
             paths_simulated: 3,
+            paths_killed_presplit: 0,
+            csm_policy_demotions: 0,
+            csm_slots_pruned: 0,
+            csm_constraint_conflicts: 0,
             simulated_cycles: 99,
             distinct_pcs: 2,
             batched_level_evals: 7,

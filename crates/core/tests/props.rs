@@ -28,7 +28,12 @@ proptest! {
     /// state is always Covered (the CSM never forgets).
     #[test]
     fn csm_never_forgets(states in arb_states(12, 12), pcs in prop::collection::vec(0u64..3, 12)) {
-        for policy in [CsmPolicy::SingleMerge, CsmPolicy::MultiState { max_states: 3 }] {
+        for policy in [
+            CsmPolicy::SingleMerge,
+            CsmPolicy::MultiState { max_states: 3 },
+            CsmPolicy::adaptive(),
+            CsmPolicy::Adaptive { max_states: 3, demote_widenings: 2, demote_observations: 4 },
+        ] {
             let mut csm = ConservativeStateManager::new(policy);
             for (s, pc) in states.iter().zip(&pcs) {
                 let _ = csm.observe(*pc, s);
@@ -45,7 +50,11 @@ proptest! {
     /// Every formed conservative state covers the state that triggered it.
     #[test]
     fn formed_states_cover_trigger(states in arb_states(12, 12)) {
-        for policy in [CsmPolicy::SingleMerge, CsmPolicy::MultiState { max_states: 2 }] {
+        for policy in [
+            CsmPolicy::SingleMerge,
+            CsmPolicy::MultiState { max_states: 2 },
+            CsmPolicy::Adaptive { max_states: 2, demote_widenings: 3, demote_observations: 6 },
+        ] {
             let mut csm = ConservativeStateManager::new(policy);
             for s in &states {
                 if let Observation::NewConservative(c) = csm.observe(0, s) {
@@ -73,14 +82,42 @@ proptest! {
     #[test]
     fn constraints_always_hold(states in arb_states(8, 10), pin in 0u32..8) {
         let mut csm = ConservativeStateManager::new(CsmPolicy::SingleMerge);
-        csm.set_constraints(vec![StateConstraint {
-            net: NetId(pin),
-            value: Value::ONE,
-        }]);
+        csm.set_constraints(
+            vec![StateConstraint {
+                net: NetId(pin),
+                value: Value::ONE,
+            }],
+            8,
+        )
+        .unwrap();
         for s in &states {
             if let Observation::NewConservative(c) = csm.observe(0, s) {
                 prop_assert_eq!(c.values[pin as usize], Value::ONE);
             }
+        }
+    }
+
+    /// Adaptive entries keep at most `max_states` slots before demotion and
+    /// exactly one after; pruning never breaks the budget either.
+    #[test]
+    fn adaptive_stored_state_budgets(
+        states in arb_states(8, 16),
+        slots in 1usize..4,
+        demote_widenings in 1usize..6,
+        demote_observations in 2usize..20,
+    ) {
+        let policy = CsmPolicy::Adaptive {
+            max_states: slots,
+            demote_widenings,
+            demote_observations,
+        };
+        let mut csm = ConservativeStateManager::new(policy);
+        for s in &states {
+            let _ = csm.observe(0, s);
+            prop_assert!(csm.stored_states() <= slots);
+        }
+        if csm.policy_demotions() > 0 {
+            prop_assert_eq!(csm.stored_states(), 1, "demoted entry must hold one slot");
         }
     }
 
@@ -100,6 +137,142 @@ proptest! {
                 prop_assert!(covered, "coverage regressed");
             }
             covered_once = covered_once || covered;
+        }
+    }
+}
+
+mod adaptive_soundness {
+    use super::*;
+    use symsim_core::{CoAnalysis, CoAnalysisConfig, DesignInterface};
+    use symsim_netlist::{Bus, Netlist, RtlBuilder};
+    use symsim_sim::MonitorSpec;
+
+    /// A miniature processor family: 4-bit PC counting up with one or two
+    /// non-deterministic backward branches (at PC 2 → 0 and optionally
+    /// PC 4 → 1), finishing at PC 6 — enough structure for the adaptive
+    /// policy to open multi-state slots, demote, and pre-split-kill.
+    fn design(two_branches: bool) -> (Netlist, DesignInterface) {
+        let mut b = RtlBuilder::new(if two_branches {
+            "adaptive2"
+        } else {
+            "adaptive1"
+        });
+        let cond_a = b.input("cond_a", 1);
+        let cond_b = two_branches.then(|| b.input("cond_b", 1));
+        let pc = b.reg("pc", 4, 0);
+        let pcq = pc.q.clone();
+        let one4 = b.const_word(1, 4);
+        let next_seq = b.add(&pcq, &one4);
+        let two = b.const_word(2, 4);
+        let at_a = b.eq(&pcq, &two);
+        let taken_a_raw = b.and1(at_a, cond_a.bit(0));
+        let taken_a = b.name_net("taken_a", taken_a_raw);
+        let target0 = b.const_word(0, 4);
+        let mut next = b.mux(taken_a, &next_seq, &target0);
+        let mut qualifier = at_a;
+        if let Some(cb) = &cond_b {
+            let four = b.const_word(4, 4);
+            let at_b = b.eq(&pcq, &four);
+            let taken_b_raw = b.and1(at_b, cb.bit(0));
+            let taken_b = b.name_net("taken_b", taken_b_raw);
+            let target1 = b.const_word(1, 4);
+            next = b.mux(taken_b, &next, &target1);
+            qualifier = b.or1(qualifier, at_b);
+        }
+        b.name_net("is_branch", qualifier);
+        b.drive_reg(pc, &next);
+        let six = b.const_word(6, 4);
+        let done_raw = b.eq(&pcq, &six);
+        let done = b.name_net("done", done_raw);
+        let done_b = Bus::from_nets(vec![done]);
+        b.output("done_out", &done_b);
+        let nl = b.finish().unwrap();
+        let map = nl.net_name_map();
+        let mut signals = vec![map["taken_a"]];
+        if two_branches {
+            signals.push(map["taken_b"]);
+        }
+        let iface = DesignInterface {
+            pc: (0..4).map(|i| map[format!("pc[{i}]").as_str()]).collect(),
+            monitor: MonitorSpec {
+                qualifier: Some(map["is_branch"]),
+                signals,
+            },
+            split_signals: None,
+            finish: map["done"],
+        };
+        (nl, iface)
+    }
+
+    proptest! {
+        // each case runs two full co-analyses; a handful of cases keeps the
+        // debug-mode runtime reasonable while still sweeping the thresholds
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Adaptive-mode reports stay sound: whatever the thresholds, the
+        /// single-merge over-approximation covers everything the adaptive
+        /// run toggled — the adaptive exercisable-gate set never contains a
+        /// gate the uber-conservative baseline ruled exercisable-free.
+        #[test]
+        fn adaptive_reports_stay_sound(
+            two_branches in any::<bool>(),
+            max_states in 1usize..5,
+            demote_widenings in 1usize..6,
+            demote_observations in 1usize..40,
+        ) {
+            let (nl, iface) = design(two_branches);
+            let conds: Vec<_> = ["cond_a", "cond_b"]
+                .iter()
+                .filter_map(|n| nl.find_net(n))
+                .collect();
+            let run = |policy: CsmPolicy| {
+                let config = CoAnalysisConfig {
+                    policy,
+                    max_cycles_per_segment: 500,
+                    ..CoAnalysisConfig::default()
+                };
+                CoAnalysis::new(&nl, iface.clone(), config)
+                    .unwrap()
+                    .run(|sim| {
+                        for &c in &conds {
+                            sim.poke(c, Value::X);
+                        }
+                    })
+            };
+            let single = run(CsmPolicy::SingleMerge);
+            let adaptive = run(CsmPolicy::Adaptive {
+                max_states,
+                demote_widenings,
+                demote_observations,
+            });
+            // the superset check: single-merge's toggle activity covers the
+            // adaptive run's, so its exercisable set is a superset too
+            prop_assert!(
+                single.profile.covers_activity(&adaptive.profile),
+                "adaptive run toggled a gate single-merge ruled out \
+                 (max_states={max_states}, widen={demote_widenings}, obs={demote_observations})"
+            );
+            prop_assert!(adaptive.exercisable_gates <= single.exercisable_gates);
+            prop_assert!(adaptive.converged(), "{adaptive:?}");
+            prop_assert!(single.converged(), "{single:?}");
+            // both runs finish the application on at least one path
+            prop_assert!(adaptive.paths_finished >= 1);
+            // the new report fields mirror the metrics snapshot
+            prop_assert_eq!(
+                adaptive.paths_killed_presplit as u64,
+                adaptive.metrics.counter("paths_killed_presplit")
+            );
+            prop_assert_eq!(
+                adaptive.csm_policy_demotions as u64,
+                adaptive.metrics.counter("csm_policy_demotions")
+            );
+            // a single-slot budget forms the same conservative states as
+            // single-merge; pre-split subsumption may only remove redundant
+            // children, so the verdict is identical and paths never grow
+            if max_states == 1 {
+                prop_assert!(adaptive.paths_created <= single.paths_created);
+                prop_assert_eq!(adaptive.exercisable_gates, single.exercisable_gates);
+            }
         }
     }
 }

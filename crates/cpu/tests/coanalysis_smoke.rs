@@ -15,7 +15,7 @@ fn div_coanalysis_converges_and_is_sound() {
         max_cycles_per_segment: bench.max_cycles,
         ..CoAnalysisConfig::default()
     };
-    let analysis = CoAnalysis::new(&cpu.netlist, cpu.interface(), config);
+    let analysis = CoAnalysis::new(&cpu.netlist, cpu.interface(), config).expect("valid config");
     let report = analysis.run(|sim| cpu.prepare_symbolic(sim, &program, &bench.data));
 
     assert!(

@@ -51,6 +51,7 @@ fn blink_keeps_peripherals_exercisable() {
             ..CoAnalysisConfig::default()
         };
         CoAnalysis::new(&cpu.netlist, cpu.interface(), config)
+            .expect("valid config")
             .run(|sim| cpu.prepare_symbolic(sim, &program, &bench.data))
     };
     let blink = run(&omsp16::extended_benchmarks()[2]);
@@ -154,6 +155,7 @@ fn crc16_coanalysis_is_sound_on_omsp16() {
         ..CoAnalysisConfig::default()
     };
     let report = CoAnalysis::new(&cpu.netlist, cpu.interface(), config)
+        .expect("valid config")
         .run(|sim| cpu.prepare_symbolic(sim, &program, &bench.data));
     assert!(report.converged(), "{report}");
     assert!(report.paths_created > 1, "bit tests split: {report}");

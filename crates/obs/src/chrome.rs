@@ -250,6 +250,30 @@ pub fn export_chrome(trace: &Trace) -> String {
                         });
                     }
                 }
+                CsmEvent::Demote => ev.push(|o| {
+                    let mut args = JsonObject::new();
+                    args.str("pc", pc);
+                    o.str("name", "demote")
+                        .str("cat", "csm")
+                        .str("ph", "i")
+                        .str("s", "t")
+                        .u64("ts", *ts_us)
+                        .u64("pid", PID)
+                        .u64("tid", tid(*w))
+                        .raw("args", &args.finish());
+                }),
+                CsmEvent::Kill => ev.push(|o| {
+                    let mut args = JsonObject::new();
+                    args.str("pc", pc);
+                    o.str("name", "kill")
+                        .str("cat", "csm")
+                        .str("ph", "i")
+                        .str("s", "t")
+                        .u64("ts", *ts_us)
+                        .u64("pid", PID)
+                        .u64("tid", tid(*w))
+                        .raw("args", &args.finish());
+                }),
             },
             TraceRecord::PathEnd {
                 ts_us,

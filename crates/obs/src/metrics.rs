@@ -62,6 +62,19 @@ pub enum CounterId {
     CompiledCacheHits,
     /// Compiled-kernel cache misses that triggered codegen + `rustc`.
     CompiledCacheMisses,
+    /// Adaptive-policy PC entries collapsed from multi-state to the
+    /// single-merge uber-state (one per demoted PC).
+    CsmPolicyDemotions,
+    /// Stored conservative states absorbed by a sibling slot that widened
+    /// enough to cover them (cross-slot subsumption pruning).
+    CsmSlotsPruned,
+    /// Observations rejected because the halted state contradicted an
+    /// application constraint (the state is infeasible; treated as covered
+    /// so widening terminates).
+    CsmConstraintConflicts,
+    /// Split children never enqueued because their forced start state was
+    /// already covered by a sibling conservative state at the fork PC.
+    PathsKilledPresplit,
 }
 
 /// Display/JSON names, indexed by [`CounterId`] discriminant.
@@ -88,8 +101,12 @@ const COUNTER_NAMES: [&str; COUNTERS] = [
     "compiled_evals",
     "compiled_cache_hits",
     "compiled_cache_misses",
+    "csm_policy_demotions",
+    "csm_slots_pruned",
+    "csm_constraint_conflicts",
+    "paths_killed_presplit",
 ];
-const COUNTERS: usize = CounterId::CompiledCacheMisses as usize + 1;
+const COUNTERS: usize = CounterId::PathsKilledPresplit as usize + 1;
 
 /// Up/down gauges (additive across shards; see module docs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

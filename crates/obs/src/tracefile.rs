@@ -325,6 +325,13 @@ pub enum CsmEvent {
     Cover,
     /// The halt state widened (or seeded) the stored state for its PC.
     Widen,
+    /// An adaptive-policy PC entry crossed its demotion threshold and
+    /// collapsed its multi-state slots into one single-merge uber-state.
+    Demote,
+    /// A queued split child was killed at dequeue: a conservative state
+    /// formed after its fork already covered its start state, so it was
+    /// never simulated (no `path_start`/`path_end` records exist for it).
+    Kill,
 }
 
 impl CsmEvent {
@@ -333,6 +340,8 @@ impl CsmEvent {
         match self {
             CsmEvent::Cover => "cover",
             CsmEvent::Widen => "widen",
+            CsmEvent::Demote => "demote",
+            CsmEvent::Kill => "kill",
         }
     }
 
@@ -341,6 +350,8 @@ impl CsmEvent {
         match s {
             "cover" => Some(CsmEvent::Cover),
             "widen" => Some(CsmEvent::Widen),
+            "demote" => Some(CsmEvent::Demote),
+            "kill" => Some(CsmEvent::Kill),
             _ => None,
         }
     }
@@ -817,19 +828,15 @@ impl Trace {
             .sum()
     }
 
-    /// Paths created: every `fork` child plus one root per `path_start`
-    /// without a fork parent.
+    /// Paths created: one `path_start` record per path that began
+    /// simulating (spilled cohort lanes do not re-start). Fork children
+    /// killed by pre-split subsumption hold an id in the fork record's
+    /// range but never start, matching the run's `paths_created` counter.
     pub fn paths_created(&self) -> u64 {
-        let lineage = self.lineage();
-        let roots = self
-            .records
+        self.records
             .iter()
-            .filter(|r| {
-                matches!(r, TraceRecord::PathEnd { path, .. }
-                    if !lineage.parent.contains_key(path))
-            })
-            .count() as u64;
-        roots + lineage.parent.len() as u64
+            .filter(|r| matches!(r, TraceRecord::PathStart { .. }))
+            .count() as u64
     }
 
     /// Lineage tree from the `fork` records.
@@ -979,6 +986,9 @@ mod tests {
                 .u64("seg_us", 55)
                 .u64("wait_us", 5);
         });
+        sink.emit(1, "path_start", |o| {
+            o.u64("path", 1).u64("cycle", 100);
+        });
         sink.emit(1, "csm", |o| {
             o.u64("path", 1)
                 .str("pc", "0x4400")
@@ -990,6 +1000,9 @@ mod tests {
                 .str("outcome", "finished")
                 .u64("cycles", 60)
                 .u64("seg_us", 30);
+        });
+        sink.emit(0, "path_start", |o| {
+            o.u64("path", 2).u64("cycle", 100);
         });
         sink.emit(0, "csm", |o| {
             o.u64("path", 2)
@@ -1011,20 +1024,20 @@ mod tests {
         let sink = TraceSink::new(2, Box::new(buf.clone()));
         emit_fixture(&sink);
         let stats = sink.finish();
-        assert_eq!(stats.events, 8);
+        assert_eq!(stats.events, 10);
         assert_eq!(stats.dropped, 0);
         assert!(stats.bytes > 0);
         assert_eq!(stats, sink.finish(), "finish is idempotent");
         sink.emit(0, "csm", |o| {
             o.u64("path", 9);
         });
-        assert_eq!(sink.finish().events, 8, "post-finish emits are ignored");
+        assert_eq!(sink.finish().events, 10, "post-finish emits are ignored");
 
         let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         let trace = Trace::parse(&text).unwrap();
         assert_eq!(trace.meta(), Some(("dr5", 2)));
         let summary = trace.summary().unwrap();
-        assert_eq!(summary.events, 8);
+        assert_eq!(summary.events, 10);
         assert_eq!(summary.bytes, stats.bytes);
 
         let outcomes = trace.outcome_counts();

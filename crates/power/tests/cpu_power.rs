@@ -14,7 +14,7 @@ fn analyze(bench_name: &str) -> (symsim_cpu::Cpu, symsim_core::CoAnalysisReport)
         activity_weights: Some(switching_weights(&cpu.netlist)),
         ..CoAnalysisConfig::default()
     };
-    let analysis = CoAnalysis::new(&cpu.netlist, cpu.interface(), config);
+    let analysis = CoAnalysis::new(&cpu.netlist, cpu.interface(), config).expect("valid config");
     let report = analysis.run(|sim| cpu.prepare_symbolic(sim, &program, &bench.data));
     (cpu, report)
 }

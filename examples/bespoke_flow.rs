@@ -31,7 +31,7 @@ fn main() {
         workers: 4,
         ..CoAnalysisConfig::default()
     };
-    let analysis = CoAnalysis::new(&cpu.netlist, cpu.interface(), config);
+    let analysis = CoAnalysis::new(&cpu.netlist, cpu.interface(), config).expect("valid config");
     let report = analysis.run(|sim| cpu.prepare_symbolic(sim, &program, &bench.data));
     println!("{report}");
 

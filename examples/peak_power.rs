@@ -34,7 +34,8 @@ fn main() {
             activity_weights: Some(switching_weights(&cpu.netlist)),
             ..CoAnalysisConfig::default()
         };
-        let analysis = CoAnalysis::new(&cpu.netlist, cpu.interface(), config);
+        let analysis =
+            CoAnalysis::new(&cpu.netlist, cpu.interface(), config).expect("valid config");
         let report = analysis.run(|sim| cpu.prepare_symbolic(sim, &program, &bench.data));
         let power = PowerReport::from_report(&report).expect("activity collected");
         let activity = report.activity.as_ref().expect("activity collected");

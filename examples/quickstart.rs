@@ -58,7 +58,8 @@ fn main() {
 
     // Algorithm 1: all inputs X, explore every path, accumulate activity.
     let cond = netlist.find_net("cond_in").expect("input exists");
-    let analysis = CoAnalysis::new(&netlist, iface, CoAnalysisConfig::default());
+    let analysis =
+        CoAnalysis::new(&netlist, iface, CoAnalysisConfig::default()).expect("valid config");
     let report = analysis.run(|sim| sim.poke(cond, Value::X));
 
     println!("{report}");

@@ -1,0 +1,73 @@
+//! Adaptive-CSM acceptance regression on the real processors: the
+//! adaptive policy must land on the *bit-identical* exercisable-gate
+//! verdict as single-merge while pruning a substantial share of the
+//! redundant split children before they cost simulation.
+//!
+//! These are the headline numbers `bench_coanalysis` asserts during the
+//! full benchmark run, pinned here as a plain `cargo test` so the
+//! guarantee survives without running the bench binary.
+
+use symsim_bench::{run_experiment, CpuKind};
+use symsim_core::{CoAnalysisConfig, CsmPolicy};
+
+fn run(kind: CpuKind, bench: &str, policy: CsmPolicy) -> symsim_bench::ExperimentResult {
+    run_experiment(
+        kind,
+        bench,
+        CoAnalysisConfig {
+            policy,
+            ..CoAnalysisConfig::default()
+        },
+    )
+}
+
+/// Gate identity plus the ≥15% `paths_created` reduction on the two pairs
+/// where pre-split subsumption bites hardest.
+#[test]
+fn adaptive_prunes_paths_without_changing_the_verdict() {
+    for (kind, bench) in [(CpuKind::Bm32, "insort"), (CpuKind::Dr5, "binsearch")] {
+        let single = run(kind, bench, CsmPolicy::SingleMerge);
+        let adaptive = run(kind, bench, CsmPolicy::adaptive());
+        assert!(single.report.converged() && adaptive.report.converged());
+        assert_eq!(
+            adaptive.report.exercisable_gates,
+            single.report.exercisable_gates,
+            "{}/{bench}: adaptive changed the exercisable-gate verdict",
+            kind.name(),
+        );
+        assert!(
+            single
+                .report
+                .profile
+                .covers_activity(&adaptive.report.profile),
+            "{}/{bench}: adaptive toggled a gate single-merge ruled out",
+            kind.name(),
+        );
+        let created = adaptive.report.paths_created;
+        let baseline = single.report.paths_created;
+        assert!(
+            (created as f64) <= (baseline as f64) * 0.85,
+            "{}/{bench}: adaptive paths_created {created} is not >=15% below \
+             single-merge's {baseline}",
+            kind.name(),
+        );
+        assert!(
+            adaptive.report.paths_killed_presplit > 0,
+            "{}/{bench}: expected pre-split kills to fire",
+            kind.name(),
+        );
+    }
+}
+
+/// On the smoke pair the adaptive policy demotes early and must reproduce
+/// single-merge's exploration exactly — same verdict, no extra paths.
+#[test]
+fn adaptive_never_exceeds_single_merge_on_the_smoke_pair() {
+    let single = run(CpuKind::Omsp16, "div", CsmPolicy::SingleMerge);
+    let adaptive = run(CpuKind::Omsp16, "div", CsmPolicy::adaptive());
+    assert_eq!(
+        adaptive.report.exercisable_gates,
+        single.report.exercisable_gates
+    );
+    assert!(adaptive.report.paths_created <= single.report.paths_created);
+}

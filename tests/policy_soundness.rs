@@ -28,7 +28,7 @@ fn coanalyze(
         max_cycles_per_segment: bench.max_cycles,
         ..CoAnalysisConfig::default()
     };
-    let analysis = CoAnalysis::new(&cpu.netlist, cpu.interface(), config);
+    let analysis = CoAnalysis::new(&cpu.netlist, cpu.interface(), config).expect("valid config");
     analysis.run(|sim| {
         if policy == PropagationPolicy::Tagged {
             cpu.prepare_symbolic_tagged(sim, &program, &bench.data);
