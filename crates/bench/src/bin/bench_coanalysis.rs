@@ -43,6 +43,15 @@
 //!   its own run. In `--smoke` the flag additionally runs a best-of-3
 //!   traced-vs-untraced comparison and asserts the tracing-off run stays
 //!   within noise (the dormant hooks must cost nothing measurable).
+//! * Each pair additionally runs once in event mode with first-exercise
+//!   attribution on (`--attribution` enables it for `--pair` runs too). The
+//!   attributed run must match the event reference exactly, its attributed
+//!   net count must equal the toggle profile's, and its entry carries a
+//!   `provenance` section (attributed/reset counts and the cycles/paths to
+//!   50/90/100% coverage). `--smoke` adds a best-of-3
+//!   attributed-vs-unattributed comparison asserting the attribution-off
+//!   run stays within noise — the one-shot first-toggle hook must be free
+//!   when the flag is off.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -75,6 +84,7 @@ struct Opts {
     heartbeat_secs: f64,
     progress_out: Option<String>,
     trace_out: Option<String>,
+    attribution: bool,
 }
 
 fn parse_policy_spec(spec: &str) -> CsmPolicy {
@@ -139,6 +149,7 @@ fn parse_opts() -> Opts {
             }
             "--progress-out" => opts.progress_out = Some(value("--progress-out", &mut args)),
             "--trace-out" => opts.trace_out = Some(value("--trace-out", &mut args)),
+            "--attribution" => opts.attribution = true,
             "--log-level" => {
                 level = value("--log-level", &mut args)
                     .parse()
@@ -175,6 +186,7 @@ fn run_mode(
     policy: CsmPolicy,
     opts: &Opts,
     traced: bool,
+    attribution: bool,
 ) -> RunResult {
     let registry = Arc::new(MetricsRegistry::new(1));
     let sink = match (&opts.trace_out, traced) {
@@ -191,6 +203,7 @@ fn run_mode(
         workers: 1,
         sim: SimConfig {
             eval_mode: mode,
+            attribution,
             ..SimConfig::default()
         },
         policy,
@@ -344,6 +357,34 @@ fn csm_section(r: &CoAnalysisReport, policy: CsmPolicy) -> String {
     )
 }
 
+/// The per-entry `provenance` section: first-exercise attribution counts
+/// and coverage-convergence statistics. `null` for unattributed runs.
+fn provenance_section(r: &CoAnalysisReport) -> String {
+    let Some(p) = &r.provenance else {
+        return "null".to_string();
+    };
+    let mut s = format!(
+        "{{ \"attributed\": {}, \"reset\": {}, \"coverage_samples\": {}",
+        p.attributed_count(),
+        p.reset_count(),
+        p.samples().len(),
+    );
+    if let Some(c) = p.convergence() {
+        s.push_str(&format!(
+            ", \"cycles_to_50\": {}, \"cycles_to_90\": {}, \"cycles_to_100\": {}, \
+             \"paths_to_50\": {}, \"paths_to_90\": {}, \"paths_to_100\": {}",
+            c.cycles_to_50,
+            c.cycles_to_90,
+            c.cycles_to_100,
+            c.paths_to_50,
+            c.paths_to_90,
+            c.paths_to_100,
+        ));
+    }
+    s.push_str(" }");
+    s
+}
+
 fn entry(
     kind: CpuKind,
     bench: &str,
@@ -366,7 +407,8 @@ fn entry(
          \"paths_created\": {}, \"paths_dropped\": {}, \"simulated_cycles\": {}, \
          \"batched_level_evals\": {}, \"event_evals\": {}, \"wall_seconds\": {:.6}, \
          \"cycles_per_sec\": {:.1}, \"paths_per_sec\": {:.1}, \"trace\": {trace}, \
-         \"cohort\": {}, \"compiled\": {}, \"csm\": {}, \"metrics\": {} }}",
+         \"cohort\": {}, \"compiled\": {}, \"csm\": {}, \"provenance\": {}, \
+         \"metrics\": {} }}",
         kind.name(),
         bench,
         mode.name(),
@@ -381,6 +423,7 @@ fn entry(
         cohort_section(r),
         compiled_section(r, cold_wall_s),
         csm_section(r, policy),
+        provenance_section(r),
         r.metrics.to_json_compact(),
     )
 }
@@ -396,7 +439,7 @@ fn main() {
             "single-pair co-analysis: {} / {bench} ({})", kind.name(), mode.name()
         );
         let policy = opts.csm_policy.unwrap_or(CsmPolicy::SingleMerge);
-        let run = run_mode(*kind, bench, mode, policy, &opts, true);
+        let run = run_mode(*kind, bench, mode, policy, &opts, true, opts.attribution);
         if let Some(t) = &run.trace {
             info!(
                 "bench",
@@ -417,19 +460,19 @@ fn main() {
             kind.name()
         );
         let single = CsmPolicy::SingleMerge;
-        let event = run_mode(kind, bench, EvalMode::Event, single, &opts, false).report;
-        let batch = run_mode(kind, bench, EvalMode::Batch, single, &opts, false).report;
+        let event = run_mode(kind, bench, EvalMode::Event, single, &opts, false, false).report;
+        let batch = run_mode(kind, bench, EvalMode::Batch, single, &opts, false, false).report;
         assert_equivalent(kind, bench, &event, &batch, EvalMode::Batch);
-        let cohort = run_mode(kind, bench, EvalMode::Cohort, single, &opts, false).report;
+        let cohort = run_mode(kind, bench, EvalMode::Cohort, single, &opts, false, false).report;
         assert_equivalent(kind, bench, &event, &cohort, EvalMode::Cohort);
         assert!(
             cohort.metrics.counter("cohorts_formed") > 0,
             "smoke: cohort mode never packed a lane cohort"
         );
         // first compiled run may pay codegen; second must hit the cache
-        let cold = run_mode(kind, bench, EvalMode::Compiled, single, &opts, false).report;
+        let cold = run_mode(kind, bench, EvalMode::Compiled, single, &opts, false, false).report;
         assert_equivalent(kind, bench, &event, &cold, EvalMode::Compiled);
-        let warm = run_mode(kind, bench, EvalMode::Compiled, single, &opts, false).report;
+        let warm = run_mode(kind, bench, EvalMode::Compiled, single, &opts, false, false).report;
         assert_equivalent(kind, bench, &event, &warm, EvalMode::Compiled);
         if warm.eval_mode == "compiled" {
             assert!(
@@ -456,6 +499,7 @@ fn main() {
             CsmPolicy::adaptive(),
             &opts,
             false,
+            false,
         )
         .report;
         assert_eq!(
@@ -466,6 +510,20 @@ fn main() {
             adaptive.paths_created <= event.paths_created,
             "smoke: adaptive CSM created more paths than single-merge"
         );
+        // attribution must not perturb results, must attribute every
+        // toggled net, and must cost nothing when off
+        let attributed = run_mode(kind, bench, EvalMode::Event, single, &opts, false, true).report;
+        assert_equivalent(kind, bench, &event, &attributed, EvalMode::Event);
+        let prov = attributed
+            .provenance
+            .as_ref()
+            .expect("smoke: attributed run yields no provenance");
+        assert_eq!(
+            prov.attributed_count(),
+            attributed.profile.toggled_count(),
+            "smoke: attribution missed toggled nets"
+        );
+        smoke_attribution_check(kind, bench, &event, &opts);
         info!(
             "bench",
             { cycles = event.simulated_cycles, exercisable = event.exercisable_gates },
@@ -482,20 +540,20 @@ fn main() {
     for (kind, bench) in RUNS {
         info!("bench", "co-analysis: {} / {bench} (event)...", kind.name());
         let single = CsmPolicy::SingleMerge;
-        let event = run_mode(kind, bench, EvalMode::Event, single, &opts, true);
+        let event = run_mode(kind, bench, EvalMode::Event, single, &opts, true, false);
         info!(
             "bench",
             "co-analysis: {} / {bench} (hybrid)...",
             kind.name()
         );
-        let hybrid = run_mode(kind, bench, EvalMode::Hybrid, single, &opts, true);
+        let hybrid = run_mode(kind, bench, EvalMode::Hybrid, single, &opts, true, false);
         assert_equivalent(kind, bench, &event.report, &hybrid.report, EvalMode::Hybrid);
         info!(
             "bench",
             "co-analysis: {} / {bench} (cohort)...",
             kind.name()
         );
-        let cohort = run_mode(kind, bench, EvalMode::Cohort, single, &opts, true);
+        let cohort = run_mode(kind, bench, EvalMode::Cohort, single, &opts, true, false);
         assert_equivalent(kind, bench, &event.report, &cohort.report, EvalMode::Cohort);
         info!(
             "bench",
@@ -505,8 +563,8 @@ fn main() {
         // the cold run pays codegen + rustc and primes the kernel cache; the
         // warm run is the recorded entry, so the benchmark measures steady
         // state and the one-time compile cost is reported separately
-        let compiled_cold = run_mode(kind, bench, EvalMode::Compiled, single, &opts, false);
-        let compiled = run_mode(kind, bench, EvalMode::Compiled, single, &opts, true);
+        let compiled_cold = run_mode(kind, bench, EvalMode::Compiled, single, &opts, false, false);
+        let compiled = run_mode(kind, bench, EvalMode::Compiled, single, &opts, true, false);
         assert_equivalent(
             kind,
             bench,
@@ -529,6 +587,7 @@ fn main() {
             CsmPolicy::adaptive(),
             &opts,
             true,
+            false,
         );
         assert_eq!(
             event.report.exercisable_gates,
@@ -547,6 +606,49 @@ fn main() {
                 "{}/{bench}: adaptive paths_created {adapted} is not >=15% below \
                  single-merge {base}",
                 kind.name()
+            );
+        }
+        info!(
+            "bench",
+            "co-analysis: {} / {bench} (event, attributed)...",
+            kind.name()
+        );
+        // first-exercise attribution must not perturb the exploration and
+        // must account for every net the toggle profile marks
+        let attributed = run_mode(kind, bench, EvalMode::Event, single, &opts, false, true);
+        assert_equivalent(
+            kind,
+            bench,
+            &event.report,
+            &attributed.report,
+            EvalMode::Event,
+        );
+        let prov = attributed.report.provenance.as_ref().unwrap_or_else(|| {
+            panic!(
+                "{}/{bench}: attributed run yields no provenance",
+                kind.name()
+            )
+        });
+        assert_eq!(
+            prov.attributed_count(),
+            attributed.report.profile.toggled_count(),
+            "{}/{bench}: attribution missed toggled nets",
+            kind.name()
+        );
+        if let Some(c) = prov.convergence() {
+            info!(
+                "bench",
+                "  {} / {bench}: {} nets attributed ({} at reset); 50/90/100% coverage \
+                 after {}/{}/{} cycles, {}/{}/{} paths",
+                kind.name(),
+                prov.attributed_count(),
+                prov.reset_count(),
+                c.cycles_to_50,
+                c.cycles_to_90,
+                c.cycles_to_100,
+                c.paths_to_50,
+                c.paths_to_90,
+                c.paths_to_100,
             );
         }
         let event_secs = event.report.wall_time.as_secs_f64().max(1e-9);
@@ -595,6 +697,14 @@ fn main() {
             &adaptive,
             None,
         ));
+        entries.push(entry(
+            kind,
+            bench,
+            EvalMode::Event,
+            single,
+            &attributed,
+            None,
+        ));
     }
     let mut runs = String::new();
     for (i, e) in entries.iter().enumerate() {
@@ -629,6 +739,7 @@ fn smoke_trace_check(kind: CpuKind, bench: &str, reference: &CoAnalysisReport, o
                 CsmPolicy::SingleMerge,
                 opts,
                 traced,
+                false,
             );
             wall = wall.min(run.report.wall_time);
             last = Some(run);
@@ -655,6 +766,60 @@ fn smoke_trace_check(kind: CpuKind, bench: &str, reference: &CoAnalysisReport, o
         "smoke trace ok: best-of-3 {off_s:.3}s untraced vs {on_s:.3}s traced; \
          {} events / {} bytes",
         stats.events, stats.bytes
+    );
+}
+
+/// The `--smoke` attribution-cost check: best-of-3 unattributed vs
+/// best-of-3 attributed batch runs of the smoke pair. The attributed run
+/// must reproduce the reference results; the attribution-off run must stay
+/// within noise of the attributed one — the one-shot first-toggle hook is
+/// behind an `Option` check, so with the flag off it must cost nothing
+/// measurable.
+fn smoke_attribution_check(kind: CpuKind, bench: &str, reference: &CoAnalysisReport, opts: &Opts) {
+    let best_of_3 = |attribution: bool| {
+        let mut wall = Duration::MAX;
+        let mut last = None;
+        for _ in 0..3 {
+            let run = run_mode(
+                kind,
+                bench,
+                EvalMode::Batch,
+                CsmPolicy::SingleMerge,
+                opts,
+                false,
+                attribution,
+            );
+            wall = wall.min(run.report.wall_time);
+            last = Some(run);
+        }
+        (wall, last.expect("best_of_3 ran"))
+    };
+    let (off_wall, off_run) = best_of_3(false);
+    let (on_wall, on_run) = best_of_3(true);
+    assert_equivalent(kind, bench, reference, &off_run.report, EvalMode::Batch);
+    assert_equivalent(kind, bench, reference, &on_run.report, EvalMode::Batch);
+    let on_prov = on_run
+        .report
+        .provenance
+        .as_ref()
+        .expect("attributed smoke run yields provenance");
+    assert!(
+        off_run.report.provenance.is_none(),
+        "unattributed run grew a provenance map"
+    );
+    let off_s = off_wall.as_secs_f64();
+    let on_s = on_wall.as_secs_f64();
+    assert!(
+        off_s <= on_s * 1.25 + 0.1,
+        "attribution-off smoke run slower than attributed run beyond noise: \
+         off={off_s:.3}s on={on_s:.3}s"
+    );
+    info!(
+        "bench",
+        { attributed = on_prov.attributed_count() as u64 },
+        "smoke attribution ok: best-of-3 {off_s:.3}s off vs {on_s:.3}s on; \
+         {} nets attributed",
+        on_prov.attributed_count()
     );
 }
 

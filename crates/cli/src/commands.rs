@@ -4,7 +4,10 @@ use std::fs;
 use std::sync::Arc;
 use std::time::Duration;
 
-use symsim_core::{CoAnalysis, CoAnalysisConfig, CsmPolicy, DesignInterface};
+use symsim_core::{
+    replay_witness, CoAnalysis, CoAnalysisConfig, CoAnalysisReport, CsmPolicy, DesignInterface,
+    Witness,
+};
 use symsim_logic::Word;
 use symsim_netlist::{Netlist, NetlistStats};
 use symsim_obs::{
@@ -30,7 +33,17 @@ usage:
                   [--workers N] [--max-cycles N]
                   [--max-paths N] [--profile-out profile.txt] [--power yes]
                   [--tagged yes] [--eval-mode event|batch|hybrid|cohort|compiled]
-                  [--batch-threshold PCT]
+                  [--batch-threshold PCT] [--attribution yes]
+  symsim explain  <design.v> ... (same flags as analyze) [--net <net>]
+                  [--witness-out witness.json]
+                  (run with first-exercise attribution and print the chosen
+                  net's provenance: winning path, cycle, fork lineage, and
+                  the branch decisions that reach it; default --net is the
+                  hardest-won net — the latest first-exercise cycle)
+  symsim replay   <design.v> --witness witness.json
+                  (re-execute a witness deterministically in event mode and
+                  check the net toggles at the witnessed cycle; exits
+                  nonzero when the replay does not reproduce the toggle)
   symsim bespoke  <design.v> --profile profile.txt [--out bespoke.v]
   symsim simulate <design.v> --program app.hex --finish <net>
                   [--cycles N] [--pmem pmem] [--dmem dmem] [--data a=v,...]
@@ -43,8 +56,8 @@ usage:
                   (build the native settle kernel --eval-mode compiled uses,
                   priming the cache; reports cache hit/miss and timings)
   symsim convert  <design.{v,blif}> --out <design.{v,blif}>
-  symsim trace    summarize|lineage|hotspots|export-chrome <run.trace>
-                  [--top N] [--max-lines N] [--out FILE]
+  symsim trace    summarize|lineage|hotspots|coverage|export-chrome
+                  <run.trace> [--top N] [--max-lines N] [--out FILE]
 
 every command also accepts the observability flags:
   --log-level error|warn|info|debug|trace   (default info)
@@ -76,6 +89,8 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "lint" => lint_cmd(&args),
         "dot" => dot_cmd(&args),
         "analyze" => analyze(&args),
+        "explain" => explain(&args),
+        "replay" => replay_cmd(&args),
         "bespoke" => bespoke(&args),
         "simulate" => simulate(&args),
         "fault" => fault_cmd(&args),
@@ -366,9 +381,16 @@ fn parse_policy(args: &Args) -> Result<CsmPolicy, String> {
     }
 }
 
-fn analyze(args: &Args) -> Result<(), String> {
-    let netlist = load_netlist(args)?;
-    let setup = Setup::from_args(args, &netlist)?;
+/// The shared co-analysis run behind `analyze` and `explain`: builds the
+/// design interface and configuration from the flags, runs the exploration
+/// (with first-exercise attribution when `attribution` is set), and returns
+/// the report after tearing down the heartbeat and trace sink.
+fn run_coanalysis(
+    args: &Args,
+    netlist: &Netlist,
+    attribution: bool,
+) -> Result<CoAnalysisReport, String> {
+    let setup = Setup::from_args(args, netlist)?;
 
     let monitor_path = args.require("monitor")?;
     let monitor_text =
@@ -379,13 +401,13 @@ fn analyze(args: &Args) -> Result<(), String> {
         .map(String::from)
         .or(monitor.qualifier.clone())
     {
-        Some(name) => Some(files::resolve_net(&netlist, &name)?),
+        Some(name) => Some(files::resolve_net(netlist, &name)?),
         None => None,
     };
     let signals = monitor
         .signals
         .iter()
-        .map(|s| files::resolve_net(&netlist, s))
+        .map(|s| files::resolve_net(netlist, s))
         .collect::<Result<Vec<_>, _>>()?;
     let split_signals = if monitor.split.is_empty() {
         None
@@ -394,22 +416,22 @@ fn analyze(args: &Args) -> Result<(), String> {
             monitor
                 .split
                 .iter()
-                .map(|s| files::resolve_net(&netlist, s))
+                .map(|s| files::resolve_net(netlist, s))
                 .collect::<Result<Vec<_>, _>>()?,
         )
     };
     let iface = DesignInterface {
-        pc: files::resolve_bus(&netlist, args.require("pc")?)?,
+        pc: files::resolve_bus(netlist, args.require("pc")?)?,
         monitor: MonitorSpec { qualifier, signals },
         split_signals,
-        finish: files::resolve_net(&netlist, args.require("finish")?)?,
+        finish: files::resolve_net(netlist, args.require("finish")?)?,
     };
 
     let constraints = match args.get("constraints") {
         None => Vec::new(),
         Some(path) => {
             let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            files::parse_constraints(&text, &netlist)?
+            files::parse_constraints(&text, netlist)?
         }
     };
 
@@ -428,6 +450,7 @@ fn analyze(args: &Args) -> Result<(), String> {
             },
             eval_mode: parse_eval_mode(args.get("eval-mode"))?,
             batch_threshold_pct: parse_batch_threshold(args)?,
+            attribution,
             ..SimConfig::default()
         },
         policy: parse_policy(args)?,
@@ -437,7 +460,7 @@ fn analyze(args: &Args) -> Result<(), String> {
         max_split_signals: args.get_usize("max-split", 6)?,
         workers,
         activity_weights: if args.get("power").is_some() {
-            Some(symsim_power::switching_weights(&netlist))
+            Some(symsim_power::switching_weights(netlist))
         } else {
             None
         },
@@ -446,12 +469,18 @@ fn analyze(args: &Args) -> Result<(), String> {
     };
 
     let heartbeat = start_heartbeat(args, &registry)?;
-    let analysis = CoAnalysis::new(&netlist, iface, config)?;
+    let analysis = CoAnalysis::new(netlist, iface, config)?;
     let report = analysis.run(|sim| setup.apply(sim, true, tagged));
     if let Some(hb) = heartbeat {
         hb.stop();
     }
     finish_trace(args, trace_sink);
+    Ok(report)
+}
+
+fn analyze(args: &Args) -> Result<(), String> {
+    let netlist = load_netlist(args)?;
+    let report = run_coanalysis(args, &netlist, args.get("attribution").is_some())?;
 
     if json_mode(args) {
         println!("{}", report.to_json());
@@ -461,6 +490,24 @@ fn analyze(args: &Args) -> Result<(), String> {
             "paths: {} dropped by the path cap; evals: {} batched-level, {} event",
             report.paths_dropped, report.batched_level_evals, report.event_evals
         );
+        if let Some(p) = &report.provenance {
+            match p.convergence() {
+                Some(c) => println!(
+                    "provenance: {} nets attributed ({} at reset); 50/90/100% coverage \
+                     after {}/{}/{} cycles",
+                    p.attributed_count(),
+                    p.reset_count(),
+                    c.cycles_to_50,
+                    c.cycles_to_90,
+                    c.cycles_to_100
+                ),
+                None => println!(
+                    "provenance: {} nets attributed ({} at reset)",
+                    p.attributed_count(),
+                    p.reset_count()
+                ),
+            }
+        }
     }
     if !report.converged() {
         warn!(
@@ -498,6 +545,105 @@ fn analyze(args: &Args) -> Result<(), String> {
         info!("analyze", "wrote activity profile to {out}");
     }
     Ok(())
+}
+
+/// Runs the co-analysis with first-exercise attribution and prints one
+/// net's provenance: the winning `(path, cycle, fork PC)`, the full fork
+/// lineage with its forced branch decisions, and the replay prescription.
+/// Defaults to the hardest-won net (latest first-exercise cycle).
+fn explain(args: &Args) -> Result<(), String> {
+    let netlist = load_netlist(args)?;
+    let report = run_coanalysis(args, &netlist, true)?;
+    let prov = report
+        .provenance
+        .as_ref()
+        .ok_or("attributed run produced no provenance map")?;
+    let attribution = match args.get("net") {
+        Some(name) => {
+            let net = files::resolve_net(&netlist, name)?;
+            prov.attribution(net).ok_or_else(|| {
+                format!("net \"{name}\" never toggles: it is unexercisable under this application")
+            })?
+        }
+        None => prov
+            .deepest()
+            .ok_or("no nets were attributed — nothing to explain")?,
+    };
+    let net_name = netlist.net_name(attribution.net);
+
+    println!(
+        "{}: net {} (id {}) is first exercised at cycle {} by path {} (fork {})",
+        prov.design(),
+        net_name,
+        attribution.net.0,
+        attribution.cycle,
+        attribution.path,
+        attribution.pc
+    );
+    if attribution.reset {
+        println!("  reset attribution: the net was already unknown when the observer armed");
+    }
+    let hops = prov
+        .lineage(attribution.path)
+        .ok_or("winning path has no recorded fork lineage")?;
+    println!("  lineage ({} hops):", hops.len());
+    for hop in &hops {
+        let forces: Vec<String> = hop
+            .forces
+            .iter()
+            .map(|&(net, bit)| format!("{}={}", netlist.net_name(net), u8::from(bit)))
+            .collect();
+        if forces.is_empty() {
+            println!("    path {} @ {}", hop.path, hop.pc);
+        } else {
+            println!(
+                "    path {} @ {} forcing {}",
+                hop.path,
+                hop.pc,
+                forces.join(", ")
+            );
+        }
+    }
+    let witness = prov
+        .witness(attribution.net, net_name)
+        .ok_or("cannot extract a witness for the attributed net")?;
+    println!(
+        "  prescription: load the fork snapshot (cycle {}), force {} signal(s), \
+         run to cycle {}",
+        witness.snapshot.cycle,
+        witness.forces.len(),
+        witness.cycle
+    );
+    if let Some(out) = args.get("witness-out") {
+        let mut text = witness.to_json();
+        text.push('\n');
+        fs::write(out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+        info!("explain", "wrote witness to {out}");
+    }
+    Ok(())
+}
+
+/// Replays a witness produced by `explain --witness-out` against the design
+/// and fails unless the net re-toggles at the witnessed cycle.
+fn replay_cmd(args: &Args) -> Result<(), String> {
+    let netlist = load_netlist(args)?;
+    let path = args.require("witness")?;
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let witness = Witness::from_json(text.trim()).map_err(|e| format!("{path}: {e}"))?;
+    let result = replay_witness(&netlist, &witness)?;
+    println!(
+        "replay {} (net {} \"{}\", {}): {}",
+        witness.design,
+        witness.net.0,
+        witness.net_name,
+        if witness.reset { "reset" } else { "toggle" },
+        result
+    );
+    if result.ok() {
+        Ok(())
+    } else {
+        Err(format!("replay did not reproduce the witness: {result}"))
+    }
 }
 
 fn bespoke(args: &Args) -> Result<(), String> {

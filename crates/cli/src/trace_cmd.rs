@@ -1,7 +1,7 @@
 //! `symsim trace` — offline analysis of run traces recorded with
 //! `--trace-out`.
 //!
-//! Four actions over a parsed [`Trace`]:
+//! Five actions over a parsed [`Trace`]:
 //!
 //! * `summarize`    — run overview: outcomes, cycles, phase-time table,
 //!   per-worker utilization, and the sink's own event/drop accounting.
@@ -9,8 +9,11 @@
 //!   records, one line per path with its outcome and cycle count.
 //! * `hotspots`     — fork sites ranked by children spawned, plus the
 //!   phase-time table (where did the wall-clock go).
+//! * `coverage`     — the coverage timeline of an attributed run
+//!   (`--attribution yes`) as TSV: one row per growth step of the
+//!   covered-net count, with the paths/cycles invested to reach it.
 //! * `export-chrome` — the Chrome Trace Event (Perfetto-loadable) JSON
-//!   rendering of the trace.
+//!   rendering of the trace (coverage becomes a counter track).
 
 use std::collections::HashMap;
 use std::fs;
@@ -20,10 +23,9 @@ use symsim_obs::{export_chrome, info, Trace, TraceRecord};
 use crate::args::Args;
 
 pub fn trace_cmd(args: &Args) -> Result<(), String> {
-    let action = args
-        .positional
-        .first()
-        .ok_or("trace: expected an action: summarize, lineage, hotspots, or export-chrome")?;
+    let action = args.positional.first().ok_or(
+        "trace: expected an action: summarize, lineage, hotspots, coverage, or export-chrome",
+    )?;
     let path = args
         .positional
         .get(1)
@@ -33,6 +35,7 @@ pub fn trace_cmd(args: &Args) -> Result<(), String> {
         "summarize" => summarize(&trace),
         "lineage" => lineage(&trace, args.get_usize("max-lines", 200)?),
         "hotspots" => hotspots(&trace, args.get_usize("top", 10)?),
+        "coverage" => coverage(&trace),
         "export-chrome" => {
             let doc = export_chrome(&trace);
             match args.get("out") {
@@ -45,7 +48,8 @@ pub fn trace_cmd(args: &Args) -> Result<(), String> {
             Ok(())
         }
         other => Err(format!(
-            "trace: unknown action \"{other}\" (expected summarize, lineage, hotspots, or export-chrome)"
+            "trace: unknown action \"{other}\" (expected summarize, lineage, hotspots, \
+             coverage, or export-chrome)"
         )),
     }
 }
@@ -187,6 +191,39 @@ fn lineage(trace: &Trace, max_lines: usize) -> Result<(), String> {
     Ok(())
 }
 
+/// The coverage timeline as TSV (`paths  cycles  covered  total  pct`),
+/// one row per growth step, followed by the per-net first-exercise dump
+/// when the trace carries `cover_first` records.
+fn coverage(trace: &Trace) -> Result<(), String> {
+    let curve = trace.coverage_curve();
+    if curve.is_empty() {
+        return Err(
+            "trace has no coverage records — record it from an --attribution yes run".into(),
+        );
+    }
+    println!("paths\tcycles\tcovered\ttotal\tpct");
+    for p in &curve {
+        let pct = if p.total > 0 {
+            p.covered as f64 * 100.0 / p.total as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{}\t{}\t{}\t{}\t{pct:.2}",
+            p.paths, p.cycles, p.covered, p.total
+        );
+    }
+    let firsts = trace.cover_firsts();
+    if !firsts.is_empty() {
+        println!();
+        println!("net\tpath\tcycle\tpc");
+        for f in &firsts {
+            println!("{}\t{}\t{}\t{}", f.net, f.path, f.cycle, f.pc);
+        }
+    }
+    Ok(())
+}
+
 fn hotspots(trace: &Trace, top: usize) -> Result<(), String> {
     let sites = trace.fork_hotspots();
     if sites.is_empty() {
@@ -214,7 +251,9 @@ mod tests {
         "{\"ev\":\"fork\",\"ts_us\":4,\"w\":0,\"parent\":0,\"pc\":\"0x10\",\"first\":1,\"n\":1,\"want\":2,\"signals\":[5]}\n",
         "{\"ev\":\"path_end\",\"ts_us\":5,\"w\":0,\"path\":0,\"outcome\":\"split\",\"cycles\":9,\"children\":1,\"seg_us\":3}\n",
         "{\"ev\":\"path_start\",\"ts_us\":6,\"w\":0,\"path\":1,\"cycle\":9}\n",
+        "{\"ev\":\"coverage\",\"ts_us\":7,\"w\":0,\"paths\":1,\"cycles\":9,\"covered\":30,\"total\":64}\n",
         "{\"ev\":\"path_end\",\"ts_us\":8,\"w\":0,\"path\":1,\"outcome\":\"finished\",\"cycles\":4,\"seg_us\":2}\n",
+        "{\"ev\":\"cover_first\",\"ts_us\":9,\"w\":-1,\"net\":5,\"path\":1,\"cycle\":12,\"pc\":\"0x10\"}\n",
     );
 
     #[test]
@@ -223,6 +262,16 @@ mod tests {
         summarize(&trace).unwrap();
         lineage(&trace, 100).unwrap();
         hotspots(&trace, 5).unwrap();
+        coverage(&trace).unwrap();
+    }
+
+    #[test]
+    fn coverage_requires_an_attributed_trace() {
+        // first line only: a trace with no coverage records
+        let head = FIXTURE.lines().next().unwrap();
+        let trace = Trace::parse(head).unwrap();
+        let err = coverage(&trace).unwrap_err();
+        assert!(err.contains("--attribution"), "{err}");
     }
 
     #[test]

@@ -160,6 +160,72 @@ fn full_workflow_through_the_cli() {
         "quotient mismatch: {stdout}"
     );
 
+    // attributed analysis: provenance summary, coverage-bearing run trace
+    let trace_path = dir.join("run.trace");
+    let (ok, stdout, stderr) = symsim(&[
+        "analyze",
+        design.to_str().unwrap(),
+        "--program",
+        program.to_str().unwrap(),
+        "--monitor",
+        monitor.to_str().unwrap(),
+        "--pc",
+        "pc",
+        "--finish",
+        "finish",
+        "--inputs",
+        "0,1",
+        "--attribution",
+        "yes",
+        "--trace-out",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "attributed analyze failed: {stderr}");
+    assert!(stdout.contains("provenance:"), "{stdout}");
+    let trace_text = fs::read_to_string(&trace_path).expect("trace written");
+    assert!(trace_text.contains("\"ev\":\"coverage\""), "{trace_text}");
+    assert!(trace_text.contains("\"ev\":\"cover_first\""));
+
+    // coverage timeline from the recorded trace
+    let (ok, stdout, stderr) = symsim(&["trace", "coverage", trace_path.to_str().unwrap()]);
+    assert!(ok, "trace coverage failed: {stderr}");
+    assert!(stdout.starts_with("paths\tcycles\tcovered"), "{stdout}");
+
+    // explain the hardest-won net and dump its witness
+    let witness_path = dir.join("witness.json");
+    let (ok, stdout, stderr) = symsim(&[
+        "explain",
+        design.to_str().unwrap(),
+        "--program",
+        program.to_str().unwrap(),
+        "--monitor",
+        monitor.to_str().unwrap(),
+        "--pc",
+        "pc",
+        "--finish",
+        "finish",
+        "--inputs",
+        "0,1",
+        "--witness-out",
+        witness_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "explain failed: {stderr}");
+    assert!(stdout.contains("first exercised at cycle"), "{stdout}");
+    assert!(stdout.contains("lineage"), "{stdout}");
+    assert!(stdout.contains("prescription:"), "{stdout}");
+    let witness_text = fs::read_to_string(&witness_path).expect("witness written");
+    assert!(witness_text.contains("symsim-witness-v1"));
+
+    // and the witness replays deterministically
+    let (ok, stdout, stderr) = symsim(&[
+        "replay",
+        design.to_str().unwrap(),
+        "--witness",
+        witness_path.to_str().unwrap(),
+    ]);
+    assert!(ok, "replay failed: {stderr}\n{stdout}");
+    assert!(stdout.contains("as witnessed"), "{stdout}");
+
     // fault grading with the application as the test stimulus
     let (ok, stdout, stderr) = symsim(&[
         "fault",

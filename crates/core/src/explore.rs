@@ -16,6 +16,7 @@ use symsim_sim::{
 use crate::csm::{
     validate_constraints, ConservativeStateManager, CsmKey, CsmPolicy, Observation, StateConstraint,
 };
+use crate::provenance::Collector;
 use crate::report::CoAnalysisReport;
 use crate::sched::{TaskWeight, WorkQueue};
 
@@ -311,6 +312,14 @@ impl<'n> CoAnalysis<'n> {
             let mut sim = self.make_sim(&prepare, compiled.as_ref());
             sim.save_state()
         };
+        // the provenance collector seeds synthetic reset attributions from
+        // the root snapshot — the same values ToggleProfile::baseline marks
+        // toggled at arm time, since workers prepare deterministically
+        let prov = self
+            .config
+            .sim
+            .attribution
+            .then(|| Mutex::new(Collector::new(&self.netlist.name, root_state.clone())));
         created.fetch_add(1, Ordering::Relaxed);
         let queue: WorkQueue<Work> = WorkQueue::with_metrics(workers, Arc::clone(&registry));
         queue.inject(Work::Seg(Task::fresh(0, root_state, Vec::new())));
@@ -328,12 +337,13 @@ impl<'n> CoAnalysis<'n> {
                 let activities = &activities;
                 let prepare = &prepare;
                 let compiled = &compiled;
+                let prov = &prov;
                 scope.spawn(move || {
                     if self.config.trace.is_some() {
                         tracefile::set_thread_worker(w as i64);
                     }
                     let mut sim = self.make_sim(prepare, compiled.as_ref());
-                    self.worker_loop(w, &mut sim, queue, csm, created, registry);
+                    self.worker_loop(w, &mut sim, queue, csm, created, registry, prov.as_ref());
                     // engine statistics are plain fields (no hot-path
                     // atomics); each worker drains its own once at exit
                     let stats = sim.engine_stats();
@@ -377,11 +387,21 @@ impl<'n> CoAnalysis<'n> {
             .shard(0)
             .gauge_set(GaugeId::CsmDistinctPcs, csm.distinct_pcs() as i64);
         let metrics = registry.snapshot();
+        // resolve provenance winners and dump the end-of-run cover_first
+        // records before the caller finishes the trace sink
+        let provenance = prov.map(|p| {
+            let map = p.into_inner().unwrap().resolve();
+            if let Some(t) = &self.config.trace {
+                map.emit_cover_first(t);
+            }
+            map
+        });
         let report = CoAnalysisReport::assemble(
             self.netlist,
             profile,
             activity,
             metrics,
+            provenance,
             eval_mode.name(),
             start.elapsed(),
         );
@@ -472,6 +492,7 @@ impl<'n> CoAnalysis<'n> {
         sim
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn worker_loop(
         &self,
         worker: usize,
@@ -480,6 +501,7 @@ impl<'n> CoAnalysis<'n> {
         csm: &Mutex<ConservativeStateManager>,
         created: &AtomicUsize,
         registry: &Arc<MetricsRegistry>,
+        prov: Option<&Mutex<Collector>>,
     ) {
         let tracing = self.config.trace.is_some();
         loop {
@@ -499,13 +521,15 @@ impl<'n> CoAnalysis<'n> {
             let weight = work.weight();
             match work {
                 Work::Seg(task) => {
-                    self.run_segment(worker, sim, task, wait_us, queue, csm, created, registry);
+                    self.run_segment(
+                        worker, sim, task, wait_us, queue, csm, created, registry, prov,
+                    );
                 }
                 Work::Cohort(task) => {
-                    self.run_cohort(worker, sim, task, queue, csm, registry);
+                    self.run_cohort(worker, sim, task, queue, csm, registry, prov);
                 }
                 Work::Observe(task) => {
-                    self.run_observe(worker, task, queue, csm, created, registry);
+                    self.run_observe(worker, task, queue, csm, created, registry, prov);
                 }
             }
             queue.task_done(weight);
@@ -523,6 +547,7 @@ impl<'n> CoAnalysis<'n> {
         csm: &Mutex<ConservativeStateManager>,
         created: &AtomicUsize,
         registry: &Arc<MetricsRegistry>,
+        prov: Option<&Mutex<Collector>>,
     ) -> PathOutcome {
         let _span = trace::span("segment");
         let tr = self.config.trace.as_deref();
@@ -683,6 +708,7 @@ impl<'n> CoAnalysis<'n> {
                             queue,
                             created,
                             registry,
+                            prov,
                         );
                         PathOutcome::Split(children)
                     }
@@ -694,6 +720,24 @@ impl<'n> CoAnalysis<'n> {
         let seg_cycles = (sim.cycle() - seg_start) + task.carried;
         shard.add(CounterId::Cycles, seg_cycles);
         shard.observe(HistogramId::SegmentCycles, seg_cycles);
+        if let Some(p) = prov {
+            // drain this segment's first-toggle buffer; a spilled-lane
+            // continuation (carried > 0) was already counted as a path when
+            // its cohort packed, so it only contributes cycles here
+            let obs: Vec<(u64, NetId, u64)> = sim
+                .take_first_toggles()
+                .unwrap_or_default()
+                .into_iter()
+                .map(|(net, cycle)| (task.id, net, cycle))
+                .collect();
+            p.lock().unwrap().submit(
+                &obs,
+                u64::from(task.carried == 0),
+                seg_cycles,
+                worker as i64,
+                tr,
+            );
+        }
         if let Some(t) = tr {
             // engine-internal phase time is the delta of the simulator's
             // plain ns accumulators across the segment
@@ -754,6 +798,7 @@ impl<'n> CoAnalysis<'n> {
         queue: &WorkQueue<Work>,
         csm: &Mutex<ConservativeStateManager>,
         registry: &Arc<MetricsRegistry>,
+        prov: Option<&Mutex<Collector>>,
     ) {
         let _span = trace::span("cohort");
         let tr = self.config.trace.as_deref();
@@ -948,6 +993,27 @@ impl<'n> CoAnalysis<'n> {
                 CohortLaneEnd::Running => unreachable!("cohort_run ends every lane"),
             }
         }
+        if let Some(p) = prov {
+            // demux the cohort's per-lane first-toggle log: lane `l` is path
+            // `first + l`. Spilled lanes defer their cycle accounting to the
+            // scalar continuation (which carries them), matching the Cycles
+            // counter; all member paths count now, matching PathsCreated.
+            let mut obs: Vec<(u64, NetId, u64)> = Vec::new();
+            for (net, lanes, cycle) in cohort.take_first_toggles() {
+                for l in 0..task.n {
+                    if lanes >> l & 1 == 1 {
+                        obs.push((task.first + l as u64, NetId(net), cycle));
+                    }
+                }
+            }
+            let closed_cycles: u64 = (0..task.n)
+                .filter(|&l| !matches!(cohort.outcome(l), CohortLaneEnd::Spilled))
+                .map(|l| cohort.lane_cycles(l))
+                .sum();
+            p.lock()
+                .unwrap()
+                .submit(&obs, task.n as u64, closed_cycles, worker as i64, tr);
+        }
         queue.push_local(worker, continuations);
     }
 
@@ -955,6 +1021,7 @@ impl<'n> CoAnalysis<'n> {
     /// the covered/widen decision, skip accounting, and child spawning —
     /// exactly the `MonitorX` tail of [`CoAnalysis::run_segment`], at the
     /// same depth-first scheduler position.
+    #[allow(clippy::too_many_arguments)]
     fn run_observe(
         &self,
         worker: usize,
@@ -963,6 +1030,7 @@ impl<'n> CoAnalysis<'n> {
         csm: &Mutex<ConservativeStateManager>,
         created: &AtomicUsize,
         registry: &Arc<MetricsRegistry>,
+        prov: Option<&Mutex<Collector>>,
     ) {
         let tr = self.config.trace.as_deref();
         let shard = registry.shard(worker);
@@ -1027,6 +1095,7 @@ impl<'n> CoAnalysis<'n> {
                     queue,
                     created,
                     registry,
+                    prov,
                 );
                 (PathOutcome::Split(n), n)
             }
@@ -1064,6 +1133,7 @@ impl<'n> CoAnalysis<'n> {
         queue: &WorkQueue<Work>,
         created: &AtomicUsize,
         registry: &Arc<MetricsRegistry>,
+        prov: Option<&Mutex<Collector>>,
     ) -> usize {
         let mut xs: Vec<NetId> = Vec::new();
         if let Some(q) = self.iface.monitor.qualifier {
@@ -1117,6 +1187,19 @@ impl<'n> CoAnalysis<'n> {
         );
         if granted == 0 {
             return 0;
+        }
+        if let Some(p) = prov {
+            // one fork record reconstructs every child: child `first + i`
+            // takes combination `i`, and the conservative state is a
+            // copy-on-write clone shared with the child tasks below
+            p.lock().unwrap().record_fork(
+                parent,
+                key.to_string(),
+                first as u64,
+                granted as u64,
+                xs.clone(),
+                cons.clone(),
+            );
         }
         // `paths_created` is counted when a child actually starts (or when
         // its cohort packs), not here: children killed by the dequeue-time
@@ -1514,6 +1597,61 @@ mod tests {
         // phase timings were recorded (exec covers the whole run loop)
         let phases = trace.phase_table();
         assert!(phases.iter().any(|(name, _)| *name == "exec"));
+    }
+
+    #[test]
+    fn attribution_resolves_and_replays() {
+        let (nl, iface) = branchy_design();
+        let cond = nl.find_net("cond_in").unwrap();
+        let config = CoAnalysisConfig {
+            sim: SimConfig {
+                attribution: true,
+                ..SimConfig::default()
+            },
+            ..CoAnalysisConfig::default()
+        };
+        let report = CoAnalysis::new(&nl, iface, config)
+            .unwrap()
+            .run(|sim| sim.poke(cond, Value::X));
+        let prov = report.provenance.as_ref().expect("attribution was on");
+        // the provenance map covers exactly the toggled nets
+        assert_eq!(prov.attributed_count(), report.profile.toggled_count());
+        for a in prov.attributions() {
+            assert!(report.profile.is_toggled(a.net), "net {}", a.net.0);
+        }
+        // synthetic reset attributions are exactly the baseline unknowns
+        let resets: Vec<NetId> = prov
+            .attributions()
+            .iter()
+            .filter(|a| a.reset)
+            .map(|a| a.net)
+            .collect();
+        assert_eq!(resets, report.profile.baseline_unknowns());
+        // every attribution has a lineage and a witness that replays to the
+        // recorded cycle
+        for a in prov.attributions() {
+            assert!(prov.lineage(a.path).is_some(), "path {}", a.path);
+            let w = prov.witness(a.net, nl.net_name(a.net)).unwrap();
+            let back = crate::provenance::Witness::from_json(&w.to_json()).unwrap();
+            let replay = crate::provenance::replay_witness(&nl, &back).unwrap();
+            assert!(
+                replay.ok(),
+                "net {} ({}): {replay}",
+                a.net.0,
+                nl.net_name(a.net)
+            );
+        }
+        // the coverage curve ends at the attributed count
+        let last = prov.samples().last().unwrap();
+        assert_eq!(last.covered as usize, prov.attributed_count());
+        let conv = prov.convergence().unwrap();
+        assert!(conv.cycles_to_50 <= conv.cycles_to_100);
+        // an unattributed run carries no map
+        let (nl2, iface2) = branchy_design();
+        let plain = CoAnalysis::new(&nl2, iface2, CoAnalysisConfig::default())
+            .unwrap()
+            .run(|sim| sim.poke(nl2.find_net("cond_in").unwrap(), Value::X));
+        assert!(plain.provenance.is_none());
     }
 
     #[test]

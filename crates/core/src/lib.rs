@@ -32,6 +32,7 @@
 
 mod csm;
 mod explore;
+mod provenance;
 mod report;
 pub mod sched;
 
@@ -40,4 +41,8 @@ pub use csm::{
     StateConstraint,
 };
 pub use explore::{CoAnalysis, CoAnalysisConfig, DesignInterface, PathOutcome};
+pub use provenance::{
+    replay_witness, Attribution, Convergence, CoverageSample, LineageHop, ProvenanceMap,
+    ReplayReport, Witness,
+};
 pub use report::CoAnalysisReport;

@@ -1,0 +1,855 @@
+//! First-exercise provenance: which path, at which cycle, through which
+//! fork lineage first toggled each net.
+//!
+//! The exercisable/unexercisable dichotomy the paper produces is a bare
+//! verdict; this module makes it auditable. During an attributed run
+//! ([`symsim_sim::SimConfig::attribution`]) every worker drains its
+//! per-segment first-toggle observations into a shared [`Collector`], which
+//! resolves them into a [`ProvenanceMap`]: the winning `(path, cycle, fork
+//! PC)` per net, the coverage-over-time curve, and enough fork state to
+//! serialize a [`Witness`] — a self-contained prescription that
+//! [`replay_witness`] re-executes deterministically in plain event mode,
+//! asserting the net toggles at the recorded cycle.
+//!
+//! Winner resolution is deterministic across eval modes and worker counts
+//! where it can be: the winner is the lexicographic minimum of
+//! `(cycle, path id)` over all observations, and nets that were already
+//! unknown at arm time carry a synthetic `reset` attribution (path 0 at the
+//! root snapshot's cycle) so every toggled net has a provenance entry.
+
+use std::fmt;
+
+use symsim_logic::Value;
+use symsim_netlist::{NetId, Netlist};
+use symsim_obs::{JsonObject, JsonValue, TraceSink};
+use symsim_sim::{EvalMode, SimConfig, SimState, Simulator};
+
+/// Sentinel for "no observation yet": loses to every real `(cycle, path)`.
+const UNSEEN: (u64, u64) = (u64::MAX, u64::MAX);
+
+/// One fork's provenance: enough to reconstruct any child's start state and
+/// forced branch decisions (child `first + i` takes combination `i`, bit `j`
+/// of a combination being the value forced on `signals[j]`).
+#[derive(Debug, Clone)]
+struct ForkRec {
+    parent: u64,
+    pc: String,
+    first: u64,
+    n: u64,
+    signals: Vec<NetId>,
+    state: SimState,
+}
+
+/// A point on the coverage-over-time curve: after `paths` path segments and
+/// `cycles` simulated cycles, `covered` nets had toggled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoverageSample {
+    /// Path segments completed when the sample was taken.
+    pub paths: u64,
+    /// Cycles simulated across all paths when the sample was taken.
+    pub cycles: u64,
+    /// Distinct nets attributed (toggled at least once, reset included).
+    pub covered: u64,
+}
+
+/// Accumulates per-segment first-toggle observations during a run.
+///
+/// Shared behind a mutex by all workers; contention is negligible because
+/// each segment submits once (a drained vector), not per toggle.
+#[derive(Debug)]
+pub(crate) struct Collector {
+    design: String,
+    /// Per-net winning observation as `(cycle, path)`; [`UNSEEN`] when the
+    /// net has not toggled.
+    winners: Vec<(u64, u64)>,
+    /// Nets attributed to reset: already unknown in the root snapshot.
+    reset: Vec<bool>,
+    forks: Vec<ForkRec>,
+    samples: Vec<CoverageSample>,
+    covered: u64,
+    paths_done: u64,
+    cycles_done: u64,
+    root: SimState,
+}
+
+impl Collector {
+    /// Starts a collector over the prepared root snapshot, seeding a
+    /// synthetic `reset` attribution (path 0, root cycle) for every net that
+    /// is already unknown — exactly the nets
+    /// [`symsim_sim::ToggleProfile::baseline`] marks toggled with no `mark`
+    /// event, so `explain` never meets a toggled-but-unattributed net.
+    pub(crate) fn new(design: &str, root: SimState) -> Collector {
+        let mut winners = vec![UNSEEN; root.values.len()];
+        let mut reset = vec![false; root.values.len()];
+        let mut covered = 0u64;
+        for (i, v) in root.values.iter().enumerate() {
+            if v.is_unknown() {
+                winners[i] = (root.cycle, 0);
+                reset[i] = true;
+                covered += 1;
+            }
+        }
+        let samples = vec![CoverageSample {
+            paths: 0,
+            cycles: 0,
+            covered,
+        }];
+        Collector {
+            design: design.to_string(),
+            winners,
+            reset,
+            forks: Vec::new(),
+            samples,
+            covered,
+            paths_done: 0,
+            cycles_done: 0,
+            root,
+        }
+    }
+
+    /// Folds one segment's (or cohort's) drained first-toggle observations
+    /// into the winner table, advances the coverage curve, and emits a
+    /// `coverage` trace record whenever the covered count grew.
+    ///
+    /// The winner is the lexicographic minimum of `(cycle, path)`, so ties
+    /// at the same cycle break deterministically toward the lower path id,
+    /// and the synthetic reset attribution (path 0 at the root cycle) can
+    /// never be displaced by a real observation at the same point.
+    pub(crate) fn submit(
+        &mut self,
+        toggles: &[(u64, NetId, u64)],
+        paths_delta: u64,
+        cycles_delta: u64,
+        worker: i64,
+        tr: Option<&TraceSink>,
+    ) {
+        self.paths_done += paths_delta;
+        self.cycles_done += cycles_delta;
+        let before = self.covered;
+        for &(path, net, cycle) in toggles {
+            let slot = &mut self.winners[net.0 as usize];
+            if *slot == UNSEEN {
+                self.covered += 1;
+            }
+            let cand = (cycle, path);
+            if cand < *slot {
+                *slot = cand;
+                // a real observation displacing the reset seed would be a
+                // pre-root toggle, which cannot happen; keep the flag in
+                // sync anyway so a corrupted input degrades gracefully
+                self.reset[net.0 as usize] = false;
+            }
+        }
+        if self.covered > before {
+            let sample = CoverageSample {
+                paths: self.paths_done,
+                cycles: self.cycles_done,
+                covered: self.covered,
+            };
+            self.samples.push(sample);
+            if let Some(t) = tr {
+                let total = self.winners.len() as u64;
+                t.emit(worker, "coverage", |o| {
+                    o.u64("paths", sample.paths)
+                        .u64("cycles", sample.cycles)
+                        .u64("covered", sample.covered)
+                        .u64("total", total);
+                });
+            }
+        }
+    }
+
+    /// Records one fork's provenance (called from the explorer's
+    /// `spawn_children`). The conservative state is a copy-on-write clone,
+    /// so keeping it costs O(net values), not O(memory).
+    pub(crate) fn record_fork(
+        &mut self,
+        parent: u64,
+        pc: String,
+        first: u64,
+        n: u64,
+        signals: Vec<NetId>,
+        state: SimState,
+    ) {
+        self.forks.push(ForkRec {
+            parent,
+            pc,
+            first,
+            n,
+            signals,
+            state,
+        });
+    }
+
+    /// Resolves the accumulated observations into the final map.
+    pub(crate) fn resolve(mut self) -> ProvenanceMap {
+        // workers record forks in arrival order; sort by the (disjoint)
+        // granted id ranges so lineage lookups can binary-search
+        self.forks.sort_by_key(|f| f.first);
+        let mut attributions = Vec::new();
+        for (i, &(cycle, path)) in self.winners.iter().enumerate() {
+            if (cycle, path) == UNSEEN {
+                continue;
+            }
+            let net = NetId(i as u32);
+            let reset = self.reset[i];
+            let pc = if reset {
+                "reset".to_string()
+            } else if path == 0 {
+                "root".to_string()
+            } else {
+                fork_of(&self.forks, path)
+                    .map(|f| f.pc.clone())
+                    .unwrap_or_else(|| "root".to_string())
+            };
+            attributions.push(Attribution {
+                net,
+                path,
+                cycle,
+                reset,
+                pc,
+            });
+        }
+        ProvenanceMap {
+            design: self.design,
+            total_nets: self.winners.len(),
+            attributions,
+            samples: self.samples,
+            forks: self.forks,
+            root: self.root,
+        }
+    }
+}
+
+/// Binary search for the fork whose granted id range contains `path`.
+fn fork_of(forks: &[ForkRec], path: u64) -> Option<&ForkRec> {
+    let idx = forks.partition_point(|f| f.first <= path);
+    let f = &forks[..idx].last()?;
+    (path < f.first + f.n).then_some(*f)
+}
+
+/// One net's first-exercise verdict: the winning path and cycle, and the
+/// CSM key (PC) of the fork that spawned the winning path — or the synthetic
+/// markers `"reset"` (unknown at arm time) and `"root"` (toggled on path 0
+/// before any fork).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribution {
+    /// The attributed net.
+    pub net: NetId,
+    /// The path that first toggled it (0 for root and reset attributions).
+    pub path: u64,
+    /// Absolute cycle of the first toggle (the root snapshot's cycle for
+    /// reset attributions).
+    pub cycle: u64,
+    /// True when the net was already unknown when the observer armed.
+    pub reset: bool,
+    /// Rendered CSM key of the winning path's fork, `"root"`, or `"reset"`.
+    pub pc: String,
+}
+
+/// One hop of a winning path's fork lineage, root first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineageHop {
+    /// The path id at this hop.
+    pub path: u64,
+    /// Rendered CSM key of the fork that created this path (`"root"` for
+    /// path 0).
+    pub pc: String,
+    /// The branch decisions forced onto this path at its fork.
+    pub forces: Vec<(NetId, bool)>,
+}
+
+/// Coverage-convergence statistics: cycles/paths needed to reach fractions
+/// of the final covered-net count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Convergence {
+    /// Cycles simulated when 50% of the final coverage was reached.
+    pub cycles_to_50: u64,
+    /// Cycles simulated when 90% of the final coverage was reached.
+    pub cycles_to_90: u64,
+    /// Cycles simulated when 100% of the final coverage was reached.
+    pub cycles_to_100: u64,
+    /// Path segments completed when 50% of the final coverage was reached.
+    pub paths_to_50: u64,
+    /// Path segments completed when 90% of the final coverage was reached.
+    pub paths_to_90: u64,
+    /// Path segments completed when 100% of the final coverage was reached.
+    pub paths_to_100: u64,
+}
+
+/// The resolved provenance of an attributed run: per-net winners, the
+/// coverage curve, and the fork records needed to extract witnesses.
+#[derive(Debug, Clone)]
+pub struct ProvenanceMap {
+    design: String,
+    total_nets: usize,
+    /// Ascending by net id.
+    attributions: Vec<Attribution>,
+    samples: Vec<CoverageSample>,
+    forks: Vec<ForkRec>,
+    root: SimState,
+}
+
+impl ProvenanceMap {
+    /// The design the run analyzed.
+    pub fn design(&self) -> &str {
+        &self.design
+    }
+
+    /// Number of nets in the design.
+    pub fn total_nets(&self) -> usize {
+        self.total_nets
+    }
+
+    /// All attributions, ascending by net id.
+    pub fn attributions(&self) -> &[Attribution] {
+        &self.attributions
+    }
+
+    /// The attribution of `net`, if it ever toggled.
+    pub fn attribution(&self, net: NetId) -> Option<&Attribution> {
+        self.attributions
+            .binary_search_by_key(&net.0, |a| a.net.0)
+            .ok()
+            .map(|i| &self.attributions[i])
+    }
+
+    /// Number of attributed (covered) nets.
+    pub fn attributed_count(&self) -> usize {
+        self.attributions.len()
+    }
+
+    /// Number of nets carrying the synthetic reset attribution.
+    pub fn reset_count(&self) -> usize {
+        self.attributions.iter().filter(|a| a.reset).count()
+    }
+
+    /// The coverage-over-time curve (first sample is the reset seed).
+    pub fn samples(&self) -> &[CoverageSample] {
+        &self.samples
+    }
+
+    /// The non-reset attribution with the latest first-exercise cycle
+    /// (ties broken by the highest net id) — the "hardest-won" net, and the
+    /// default subject of `symsim explain`.
+    pub fn deepest(&self) -> Option<&Attribution> {
+        self.attributions
+            .iter()
+            .filter(|a| !a.reset)
+            .max_by_key(|a| (a.cycle, a.net.0))
+            .or_else(|| self.attributions.last())
+    }
+
+    /// Convergence statistics over the coverage curve; `None` when nothing
+    /// was covered.
+    pub fn convergence(&self) -> Option<Convergence> {
+        let final_covered = self.samples.last()?.covered;
+        if final_covered == 0 {
+            return None;
+        }
+        let at = |percent: u64| {
+            let target = (final_covered * percent).div_ceil(100);
+            self.samples
+                .iter()
+                .find(|s| s.covered >= target)
+                .map_or((0, 0), |s| (s.cycles, s.paths))
+        };
+        let (cycles_to_50, paths_to_50) = at(50);
+        let (cycles_to_90, paths_to_90) = at(90);
+        let (cycles_to_100, paths_to_100) = at(100);
+        Some(Convergence {
+            cycles_to_50,
+            cycles_to_90,
+            cycles_to_100,
+            paths_to_50,
+            paths_to_90,
+            paths_to_100,
+        })
+    }
+
+    /// The fork lineage of `path`, root hop first. `None` when a non-root
+    /// path has no recorded fork (which would indicate a corrupted map).
+    pub fn lineage(&self, path: u64) -> Option<Vec<LineageHop>> {
+        let mut hops = Vec::new();
+        let mut cur = path;
+        while cur != 0 {
+            let fork = fork_of(&self.forks, cur)?;
+            hops.push(LineageHop {
+                path: cur,
+                pc: fork.pc.clone(),
+                forces: child_forces(fork, cur),
+            });
+            cur = fork.parent;
+        }
+        hops.push(LineageHop {
+            path: 0,
+            pc: "root".to_string(),
+            forces: Vec::new(),
+        });
+        hops.reverse();
+        Some(hops)
+    }
+
+    /// Extracts a self-contained witness for `net`: the winning path's start
+    /// snapshot and forced branch decisions, replayable with
+    /// [`replay_witness`]. `None` when the net never toggled.
+    pub fn witness(&self, net: NetId, net_name: &str) -> Option<Witness> {
+        let a = self.attribution(net)?;
+        let (snapshot, forces, pc) = if a.reset || a.path == 0 {
+            (self.root.clone(), Vec::new(), a.pc.clone())
+        } else {
+            let fork = fork_of(&self.forks, a.path)?;
+            (fork.state.clone(), child_forces(fork, a.path), a.pc.clone())
+        };
+        Some(Witness {
+            design: self.design.clone(),
+            net,
+            net_name: net_name.to_string(),
+            reset: a.reset,
+            cycle: a.cycle,
+            path: a.path,
+            pc,
+            forces,
+            snapshot,
+        })
+    }
+
+    /// Emits one `cover_first` trace record per attribution (ascending net
+    /// id) — the end-of-run provenance dump, attributed to the merge lane
+    /// (`w = -1`) like the sink's own summary records.
+    pub fn emit_cover_first(&self, tr: &TraceSink) {
+        for a in &self.attributions {
+            tr.emit(-1, "cover_first", |o| {
+                o.u64("net", a.net.0 as u64)
+                    .u64("path", a.path)
+                    .u64("cycle", a.cycle)
+                    .str("pc", &a.pc);
+            });
+        }
+    }
+}
+
+/// The branch decisions a fork forces onto child `path`: bit `j` of the
+/// child's combination is the value forced on `signals[j]`.
+fn child_forces(fork: &ForkRec, path: u64) -> Vec<(NetId, bool)> {
+    let combo = path - fork.first;
+    fork.signals
+        .iter()
+        .enumerate()
+        .map(|(j, &net)| (net, combo >> j & 1 == 1))
+        .collect()
+}
+
+/// A self-contained, deterministic prescription for re-exercising one net:
+/// the winning path's start snapshot, the branch decisions forced at its
+/// fork, and the expected first-toggle cycle.
+///
+/// Serialized as single-line JSON (`symsim-witness-v1`) with the snapshot
+/// embedded as base64 of [`SimState::encode`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Witness {
+    /// Design name (checked against the netlist at replay).
+    pub design: String,
+    /// The net the witness exercises.
+    pub net: NetId,
+    /// Human-readable name of the net.
+    pub net_name: String,
+    /// True for a synthetic reset attribution: the net was already unknown
+    /// in the snapshot, so "replay" just re-checks that fact.
+    pub reset: bool,
+    /// Expected absolute cycle of the net's first toggle.
+    pub cycle: u64,
+    /// The winning path's id (provenance only; replay does not need it).
+    pub path: u64,
+    /// Rendered CSM key of the winning fork (`"root"`/`"reset"`).
+    pub pc: String,
+    /// Branch decisions to force before running (empty for root/reset).
+    pub forces: Vec<(NetId, bool)>,
+    /// The start snapshot to load.
+    pub snapshot: SimState,
+}
+
+impl Witness {
+    /// Serializes the witness as single-line JSON.
+    pub fn to_json(&self) -> String {
+        let mut forces = String::from("[");
+        for (i, (net, bit)) in self.forces.iter().enumerate() {
+            if i > 0 {
+                forces.push(',');
+            }
+            forces.push_str(&format!("[{},{}]", net.0, u8::from(*bit)));
+        }
+        forces.push(']');
+        let mut o = JsonObject::new();
+        o.str("schema", "symsim-witness-v1")
+            .str("design", &self.design)
+            .u64("net", self.net.0 as u64)
+            .str("net_name", &self.net_name)
+            .str("kind", if self.reset { "reset" } else { "toggle" })
+            .u64("cycle", self.cycle)
+            .u64("path", self.path)
+            .str("pc", &self.pc)
+            .raw("forces", &forces)
+            .str("snapshot", &b64_encode(&self.snapshot.encode()));
+        o.finish()
+    }
+
+    /// Parses the format produced by [`Witness::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first structural problem.
+    pub fn from_json(text: &str) -> Result<Witness, String> {
+        let v = JsonValue::parse(text)?;
+        let str_field = |key: &str| -> Result<String, String> {
+            v.get(key)
+                .and_then(JsonValue::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("witness missing string field \"{key}\""))
+        };
+        let u64_field = |key: &str| -> Result<u64, String> {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("witness missing integer field \"{key}\""))
+        };
+        let schema = str_field("schema")?;
+        if schema != "symsim-witness-v1" {
+            return Err(format!("unsupported witness schema \"{schema}\""));
+        }
+        let kind = str_field("kind")?;
+        let reset = match kind.as_str() {
+            "reset" => true,
+            "toggle" => false,
+            other => return Err(format!("unknown witness kind \"{other}\"")),
+        };
+        let mut forces = Vec::new();
+        for item in v
+            .get("forces")
+            .and_then(JsonValue::as_array)
+            .ok_or("witness missing \"forces\" array")?
+        {
+            let pair = item.as_array().ok_or("force entry is not a pair")?;
+            let net = pair
+                .first()
+                .and_then(JsonValue::as_u64)
+                .ok_or("force entry missing net id")?;
+            let bit = pair
+                .get(1)
+                .and_then(JsonValue::as_u64)
+                .ok_or("force entry missing value")?;
+            forces.push((NetId(net as u32), bit != 0));
+        }
+        let snapshot_b64 = str_field("snapshot")?;
+        let snapshot = SimState::decode(&b64_decode(&snapshot_b64)?)
+            .map_err(|e| format!("witness snapshot: {e}"))?;
+        Ok(Witness {
+            design: str_field("design")?,
+            net: NetId(u64_field("net")? as u32),
+            net_name: str_field("net_name")?,
+            reset,
+            cycle: u64_field("cycle")?,
+            path: u64_field("path")?,
+            pc: str_field("pc")?,
+            forces,
+            snapshot,
+        })
+    }
+}
+
+/// The result of replaying a witness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// The cycle the witness claims the net first toggles at.
+    pub expected_cycle: u64,
+    /// The cycle the replay actually observed the net's first toggle at
+    /// (`None`: it never toggled within the replay budget).
+    pub observed_cycle: Option<u64>,
+    /// Cycles the replay simulated past the snapshot.
+    pub cycles_run: u64,
+}
+
+impl ReplayReport {
+    /// Did the replay reproduce the witnessed toggle exactly?
+    pub fn ok(&self) -> bool {
+        self.observed_cycle == Some(self.expected_cycle)
+    }
+}
+
+impl fmt::Display for ReplayReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.observed_cycle {
+            Some(c) if self.ok() => {
+                write!(f, "toggled at cycle {c} as witnessed ({} cycles run)", {
+                    self.cycles_run
+                })
+            }
+            Some(c) => write!(
+                f,
+                "toggled at cycle {c}, witness claims {} ({} cycles run)",
+                self.expected_cycle, self.cycles_run
+            ),
+            None => write!(
+                f,
+                "never toggled within {} cycles, witness claims {}",
+                self.cycles_run, self.expected_cycle
+            ),
+        }
+    }
+}
+
+/// Re-executes a witness deterministically in plain event mode: loads the
+/// snapshot, forces the fork's branch decisions, steps one cycle, and runs
+/// until just past the witnessed cycle — no monitors and no finish net, so
+/// nothing can halt the replay early and the evolution up to the witnessed
+/// cycle is identical to the original segment's in every eval mode.
+///
+/// For a `reset` witness the check is static: the net must already be
+/// unknown in the snapshot.
+///
+/// # Errors
+///
+/// Returns a message when the witness does not fit the netlist (wrong
+/// design, out-of-range net, snapshot shape mismatch) — distinct from a
+/// replay that runs but fails to reproduce the toggle, which is reported
+/// through [`ReplayReport`].
+pub fn replay_witness(netlist: &Netlist, witness: &Witness) -> Result<ReplayReport, String> {
+    if witness.design != netlist.name {
+        return Err(format!(
+            "witness is for design \"{}\", netlist is \"{}\"",
+            witness.design, netlist.name
+        ));
+    }
+    if witness.snapshot.values.len() != netlist.net_count() {
+        return Err(format!(
+            "witness snapshot has {} nets, netlist has {}",
+            witness.snapshot.values.len(),
+            netlist.net_count()
+        ));
+    }
+    if witness.net.0 as usize >= netlist.net_count() {
+        return Err(format!("witness net {} out of range", witness.net.0));
+    }
+    for &(net, _) in &witness.forces {
+        if net.0 as usize >= netlist.net_count() {
+            return Err(format!("witness force net {} out of range", net.0));
+        }
+    }
+    if witness.reset {
+        let observed = witness.snapshot.values[witness.net.0 as usize]
+            .is_unknown()
+            .then_some(witness.cycle);
+        return Ok(ReplayReport {
+            expected_cycle: witness.cycle,
+            observed_cycle: observed,
+            cycles_run: 0,
+        });
+    }
+    if witness.cycle < witness.snapshot.cycle {
+        return Err(format!(
+            "witness cycle {} precedes its snapshot's cycle {}",
+            witness.cycle, witness.snapshot.cycle
+        ));
+    }
+    let config = SimConfig {
+        eval_mode: EvalMode::Event,
+        attribution: true,
+        ..SimConfig::default()
+    };
+    let mut sim = Simulator::new(netlist, config);
+    sim.load_state(&witness.snapshot);
+    sim.arm_toggle_observer();
+    if !witness.forces.is_empty() {
+        for &(net, bit) in &witness.forces {
+            sim.force(net, Value::from_bool(bit));
+        }
+        sim.settle();
+        // the original segment steps the forced cycle before releasing; a
+        // halt here only means the monitor would have fired again, which
+        // the replay ignores
+        let _ = sim.step_cycle();
+        sim.release_all();
+    }
+    // a toggle stamped cycle K happens while the counter reads K, i.e.
+    // during the step that advances K -> K+1: run until the counter passes
+    // the witnessed cycle
+    let remaining = (witness.cycle + 1).saturating_sub(sim.cycle());
+    if remaining > 0 {
+        let _ = sim.run(remaining);
+    }
+    let cycles_run = sim.cycle() - witness.snapshot.cycle;
+    let observed = sim
+        .take_first_toggles()
+        .unwrap_or_default()
+        .into_iter()
+        .find(|&(net, _)| net == witness.net)
+        .map(|(_, cycle)| cycle);
+    Ok(ReplayReport {
+        expected_cycle: witness.cycle,
+        observed_cycle: observed,
+        cycles_run,
+    })
+}
+
+const B64_ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Standard base64 with padding (the build has no base64 crate; snapshots
+/// embed in witness JSON as text).
+fn b64_encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [
+            chunk[0],
+            *chunk.get(1).unwrap_or(&0),
+            *chunk.get(2).unwrap_or(&0),
+        ];
+        let v = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+        out.push(B64_ALPHABET[(v >> 18 & 63) as usize] as char);
+        out.push(B64_ALPHABET[(v >> 12 & 63) as usize] as char);
+        out.push(if chunk.len() > 1 {
+            B64_ALPHABET[(v >> 6 & 63) as usize] as char
+        } else {
+            '='
+        });
+        out.push(if chunk.len() > 2 {
+            B64_ALPHABET[(v & 63) as usize] as char
+        } else {
+            '='
+        });
+    }
+    out
+}
+
+/// Decodes the output of [`b64_encode`].
+fn b64_decode(text: &str) -> Result<Vec<u8>, String> {
+    let digits: Vec<u8> = text
+        .bytes()
+        .filter(|&b| b != b'=' && !b.is_ascii_whitespace())
+        .map(|b| match b {
+            b'A'..=b'Z' => Ok(b - b'A'),
+            b'a'..=b'z' => Ok(b - b'a' + 26),
+            b'0'..=b'9' => Ok(b - b'0' + 52),
+            b'+' => Ok(62),
+            b'/' => Ok(63),
+            other => Err(format!("invalid base64 byte 0x{other:02x}")),
+        })
+        .collect::<Result<_, _>>()?;
+    if digits.len() % 4 == 1 {
+        return Err("truncated base64".to_string());
+    }
+    let mut out = Vec::with_capacity(digits.len() * 3 / 4);
+    for chunk in digits.chunks(4) {
+        let mut v = 0u32;
+        for (i, &d) in chunk.iter().enumerate() {
+            v |= u32::from(d) << (18 - 6 * i);
+        }
+        out.push((v >> 16) as u8);
+        if chunk.len() > 2 {
+            out.push((v >> 8) as u8);
+        }
+        if chunk.len() > 3 {
+            out.push(v as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_state(values: Vec<Value>, cycle: u64) -> SimState {
+        SimState {
+            values,
+            mems: Vec::new(),
+            cycle,
+        }
+    }
+
+    #[test]
+    fn base64_round_trips() {
+        for len in 0..32usize {
+            let data: Vec<u8> = (0..len as u8).map(|b| b.wrapping_mul(37)).collect();
+            let enc = b64_encode(&data);
+            assert_eq!(enc.len() % 4, 0);
+            assert_eq!(b64_decode(&enc).unwrap(), data, "len {len}");
+        }
+        assert_eq!(b64_encode(b"sym"), "c3lt");
+        assert!(b64_decode("a!b").is_err());
+        assert!(b64_decode("abcde").is_err());
+    }
+
+    #[test]
+    fn winner_is_lexicographic_min_and_reset_sticks() {
+        let root = tiny_state(vec![Value::ZERO, Value::X, Value::ZERO], 10);
+        let mut c = Collector::new("t", root);
+        // net 1 was unknown at arm: reset attribution at the root cycle
+        assert_eq!(c.covered, 1);
+        c.submit(&[(3, NetId(0), 20), (3, NetId(1), 10)], 1, 5, 0, None);
+        // a later path with an earlier cycle wins; same cycle loses on id
+        c.submit(&[(7, NetId(0), 15), (2, NetId(0), 15)], 2, 5, 0, None);
+        let map = c.resolve();
+        let a0 = map.attribution(NetId(0)).unwrap();
+        assert_eq!((a0.cycle, a0.path), (15, 2));
+        let a1 = map.attribution(NetId(1)).unwrap();
+        assert!(a1.reset);
+        assert_eq!((a1.cycle, a1.path), (10, 0));
+        assert_eq!(a1.pc, "reset");
+        assert!(map.attribution(NetId(2)).is_none());
+        assert_eq!(map.attributed_count(), 2);
+        assert_eq!(map.reset_count(), 1);
+        // the deepest attribution is the non-reset latest cycle
+        assert_eq!(map.deepest().unwrap().net, NetId(0));
+    }
+
+    #[test]
+    fn lineage_and_witness_follow_fork_records() {
+        let root = tiny_state(vec![Value::ZERO; 4], 0);
+        let fork_state = tiny_state(vec![Value::ZERO; 4], 30);
+        let mut c = Collector::new("t", root);
+        c.record_fork(
+            0,
+            "0x10".into(),
+            1,
+            4,
+            vec![NetId(2), NetId(3)],
+            fork_state.clone(),
+        );
+        c.record_fork(3, "0x20".into(), 5, 2, vec![NetId(2)], fork_state);
+        c.submit(&[(6, NetId(1), 44)], 1, 14, 0, None);
+        let map = c.resolve();
+        let hops = map.lineage(6).unwrap();
+        assert_eq!(hops.len(), 3);
+        assert_eq!(hops[0].path, 0);
+        assert_eq!(hops[1].path, 3);
+        // path 3 is child combo 2 of the first fork: signals (2,3) forced
+        // to bits (0,1)
+        assert_eq!(hops[1].forces, vec![(NetId(2), false), (NetId(3), true)]);
+        assert_eq!(hops[2].path, 6);
+        assert_eq!(hops[2].forces, vec![(NetId(2), true)]);
+        let w = map.witness(NetId(1), "n1").unwrap();
+        assert_eq!(w.cycle, 44);
+        assert_eq!(w.forces, vec![(NetId(2), true)]);
+        assert_eq!(w.snapshot.cycle, 30);
+        // JSON round trip preserves everything
+        let back = Witness::from_json(&w.to_json()).unwrap();
+        assert_eq!(back, w);
+        assert!(Witness::from_json("{}").is_err());
+    }
+
+    #[test]
+    fn convergence_reads_the_curve() {
+        let root = tiny_state(vec![Value::ZERO; 100], 0);
+        let mut c = Collector::new("t", root);
+        let nets: Vec<(u64, NetId, u64)> = (0..50).map(|i| (1, NetId(i), 5)).collect();
+        c.submit(&nets, 1, 10, 0, None);
+        let more: Vec<(u64, NetId, u64)> = (50..100).map(|i| (2, NetId(i), 15)).collect();
+        c.submit(&more, 1, 10, 0, None);
+        let map = c.resolve();
+        assert_eq!(map.samples().last().unwrap().covered, 100);
+        let conv = map.convergence().unwrap();
+        assert_eq!(conv.cycles_to_50, 10);
+        assert_eq!(conv.paths_to_50, 1);
+        assert_eq!(conv.cycles_to_100, 20);
+        assert_eq!(conv.paths_to_100, 2);
+    }
+}

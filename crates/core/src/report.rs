@@ -4,6 +4,8 @@ use symsim_netlist::Netlist;
 use symsim_obs::{JsonObject, MetricsSnapshot};
 use symsim_sim::{ActivityStats, ToggleProfile};
 
+use crate::provenance::ProvenanceMap;
+
 /// The output of a co-analysis run: the exercisable-gate dichotomy and the
 /// path statistics of the paper's Tables 3-4 / Figures 5-6.
 #[derive(Debug, Clone)]
@@ -67,6 +69,10 @@ pub struct CoAnalysisReport {
     /// Merged switching-activity statistics (present when
     /// `CoAnalysisConfig::activity_weights` was set).
     pub activity: Option<ActivityStats>,
+    /// First-exercise provenance: per-net winning `(path, cycle, fork PC)`,
+    /// the coverage-over-time curve, and witness extraction (present when
+    /// [`symsim_sim::SimConfig::attribution`] was set).
+    pub provenance: Option<ProvenanceMap>,
     /// Full end-of-run metrics snapshot. The path/cycle fields above are
     /// *populated from* this snapshot, so `metrics.counter("paths_created")
     /// == paths_created as u64` holds by construction.
@@ -82,6 +88,7 @@ impl CoAnalysisReport {
         profile: ToggleProfile,
         activity: Option<ActivityStats>,
         metrics: MetricsSnapshot,
+        provenance: Option<ProvenanceMap>,
         eval_mode: &str,
         wall_time: Duration,
     ) -> CoAnalysisReport {
@@ -108,6 +115,7 @@ impl CoAnalysisReport {
             wall_time,
             profile,
             activity,
+            provenance,
             metrics,
         }
     }
@@ -155,8 +163,23 @@ impl CoAnalysisReport {
             .u64("event_evals", self.event_evals)
             .u64("compiled_evals", self.compiled_evals)
             .str("eval_mode", &self.eval_mode)
-            .f64("wall_time_s", self.wall_time.as_secs_f64())
-            .raw("metrics", &self.metrics.to_json_compact());
+            .f64("wall_time_s", self.wall_time.as_secs_f64());
+        if let Some(p) = &self.provenance {
+            let mut po = JsonObject::new();
+            po.u64("attributed", p.attributed_count() as u64)
+                .u64("reset", p.reset_count() as u64)
+                .u64("coverage_samples", p.samples().len() as u64);
+            if let Some(c) = p.convergence() {
+                po.u64("cycles_to_50", c.cycles_to_50)
+                    .u64("cycles_to_90", c.cycles_to_90)
+                    .u64("cycles_to_100", c.cycles_to_100)
+                    .u64("paths_to_50", c.paths_to_50)
+                    .u64("paths_to_90", c.paths_to_90)
+                    .u64("paths_to_100", c.paths_to_100);
+            }
+            o.raw("provenance", &po.finish());
+        }
+        o.raw("metrics", &self.metrics.to_json_compact());
         o.finish()
     }
 }
@@ -215,6 +238,7 @@ mod tests {
             wall_time: Duration::from_millis(5),
             profile,
             activity: None,
+            provenance: None,
             metrics: MetricsSnapshot::default(),
         };
         assert!((report.reduction_percent() - 25.0).abs() < 1e-9);

@@ -5,8 +5,10 @@
 //! segment becomes a complete `"X"` slice on its worker's track, each
 //! path's lifetime (creation at its fork → `path_end`) becomes an async
 //! `"b"`/`"e"` span so queue latency is visible, spans recorded by
-//! [`crate::trace::span`] become `"B"`/`"E"` duration events, and fork /
-//! widen→cover edges become `"s"`/`"f"` flow events. Schema:
+//! [`crate::trace::span`] become `"B"`/`"E"` duration events, fork /
+//! widen→cover edges become `"s"`/`"f"` flow events, coverage-timeline
+//! samples become a `"C"` counter track ("covered nets"), and
+//! first-exercise attributions become `"i"` instant events. Schema:
 //! `docs/schema/chrome_trace.schema.json`.
 
 use std::collections::HashMap;
@@ -66,7 +68,8 @@ pub fn export_chrome(trace: &Trace) -> String {
             | TraceRecord::Fork { w, .. }
             | TraceRecord::Cohort { w, .. }
             | TraceRecord::Csm { w, .. }
-            | TraceRecord::PathEnd { w, .. } => Some(*w),
+            | TraceRecord::PathEnd { w, .. }
+            | TraceRecord::CoverFirst { w, .. } => Some(*w),
             _ => None,
         })
         .collect();
@@ -312,6 +315,38 @@ pub fn export_chrome(trace: &Trace) -> String {
                         .u64("tid", tid(*w));
                 });
             }
+            TraceRecord::Coverage { ts_us, covered, .. } => ev.push(|o| {
+                let mut args = JsonObject::new();
+                args.u64("covered", *covered);
+                o.str("name", "covered nets")
+                    .str("cat", "coverage")
+                    .str("ph", "C")
+                    .u64("ts", *ts_us)
+                    .u64("pid", PID)
+                    .raw("args", &args.finish());
+            }),
+            TraceRecord::CoverFirst {
+                ts_us,
+                w,
+                net,
+                path,
+                cycle,
+                pc,
+            } => ev.push(|o| {
+                let mut args = JsonObject::new();
+                args.u64("net", *net)
+                    .u64("path", *path)
+                    .u64("cycle", *cycle)
+                    .str("pc", pc);
+                o.str("name", "first_exercise")
+                    .str("cat", "coverage")
+                    .str("ph", "i")
+                    .str("s", "p")
+                    .u64("ts", *ts_us)
+                    .u64("pid", PID)
+                    .u64("tid", tid(*w))
+                    .raw("args", &args.finish());
+            }),
             TraceRecord::Meta { .. } | TraceRecord::Summary { .. } => {}
         }
     }
@@ -343,8 +378,10 @@ mod tests {
         "{\"ev\":\"path_start\",\"ts_us\":6,\"w\":1,\"path\":1,\"cycle\":9}\n",
         "{\"ev\":\"csm\",\"ts_us\":7,\"w\":1,\"path\":1,\"pc\":\"0x10\",\"kind\":\"cover\",\"dur_us\":1}\n",
         "{\"ev\":\"path_end\",\"ts_us\":8,\"w\":1,\"path\":1,\"outcome\":\"covered\",\"cycles\":4,\"seg_us\":2}\n",
+        "{\"ev\":\"coverage\",\"ts_us\":8,\"w\":-1,\"paths\":2,\"cycles\":13,\"covered\":40,\"total\":64}\n",
+        "{\"ev\":\"cover_first\",\"ts_us\":8,\"w\":-1,\"net\":7,\"path\":1,\"cycle\":11,\"pc\":\"0x10\"}\n",
         "{\"ev\":\"span_close\",\"ts_us\":9,\"w\":-1,\"name\":\"analysis\",\"depth\":0,\"dur_us\":8}\n",
-        "{\"ev\":\"summary\",\"ts_us\":10,\"w\":-1,\"events\":10,\"dropped\":0,\"bytes\":100}\n",
+        "{\"ev\":\"summary\",\"ts_us\":10,\"w\":-1,\"events\":12,\"dropped\":0,\"bytes\":100}\n",
     );
 
     #[test]
@@ -365,7 +402,7 @@ mod tests {
             assert!(e.get("ts").is_some());
             phases.push(ph);
         }
-        for want in ["M", "B", "E", "X", "b", "e", "s", "f"] {
+        for want in ["M", "B", "E", "X", "b", "e", "s", "f", "C", "i"] {
             assert!(phases.contains(&want), "missing ph {want:?}: {phases:?}");
         }
         // two X slices (one per segment), flows for fork and cover

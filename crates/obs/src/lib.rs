@@ -54,7 +54,7 @@ pub use metrics::{
 };
 pub use profile::{Phase, PhaseTotals};
 pub use trace::{Level, LogFormat};
-pub use tracefile::{Trace, TraceRecord, TraceSink, TraceStats};
+pub use tracefile::{CoveragePoint, FirstExercise, Trace, TraceRecord, TraceSink, TraceStats};
 
 /// Emits a structured event when `level` is enabled.
 ///

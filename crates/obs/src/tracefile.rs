@@ -17,7 +17,8 @@
 //! anywhere unless a sink is installed.
 //!
 //! Record taxonomy (`"ev"` field): `meta`, `span_open`, `span_close`,
-//! `path_start`, `fork`, `csm`, `path_end`, `summary`. Schema:
+//! `path_start`, `fork`, `cohort`, `csm`, `path_end`, `coverage`,
+//! `cover_first`, `summary`. Schema:
 //! `docs/schema/trace.schema.json`. The same module reads traces back
 //! ([`Trace`]) and derives the lineage tree and hot-spot aggregates the
 //! `symsim trace` subcommand prints.
@@ -465,6 +466,29 @@ pub enum TraceRecord {
         children: u64,
         phases: SegmentPhases,
     },
+    /// A point on the coverage-over-time curve (attributed runs only):
+    /// after `paths` segments and `cycles` simulated cycles, `covered` of
+    /// `total` nets had toggled.
+    Coverage {
+        ts_us: u64,
+        w: i64,
+        paths: u64,
+        cycles: u64,
+        covered: u64,
+        total: u64,
+    },
+    /// The first-exercise verdict for one net (attributed runs only,
+    /// emitted at end of run in ascending net order): path `path` first
+    /// toggled net `net` at cycle `cycle`; `pc` is the winning path's fork
+    /// key, or the synthetic `"root"`/`"reset"` markers.
+    CoverFirst {
+        ts_us: u64,
+        w: i64,
+        net: u64,
+        path: u64,
+        cycle: u64,
+        pc: String,
+    },
     /// Trailing totals written by [`TraceSink::finish`].
     Summary {
         ts_us: u64,
@@ -595,6 +619,22 @@ impl TraceRecord {
                     seg_us: opt_u64(&v, "seg_us"),
                 },
             }),
+            "coverage" => Ok(TraceRecord::Coverage {
+                ts_us,
+                w,
+                paths: req_u64(&v, "paths", &ev)?,
+                cycles: req_u64(&v, "cycles", &ev)?,
+                covered: req_u64(&v, "covered", &ev)?,
+                total: req_u64(&v, "total", &ev)?,
+            }),
+            "cover_first" => Ok(TraceRecord::CoverFirst {
+                ts_us,
+                w,
+                net: req_u64(&v, "net", &ev)?,
+                path: req_u64(&v, "path", &ev)?,
+                cycle: req_u64(&v, "cycle", &ev)?,
+                pc: req_str(&v, "pc", &ev)?,
+            }),
             "summary" => Ok(TraceRecord::Summary {
                 ts_us,
                 events: req_u64(&v, "events", &ev)?,
@@ -616,6 +656,8 @@ impl TraceRecord {
             | TraceRecord::Cohort { ts_us, .. }
             | TraceRecord::Csm { ts_us, .. }
             | TraceRecord::PathEnd { ts_us, .. }
+            | TraceRecord::Coverage { ts_us, .. }
+            | TraceRecord::CoverFirst { ts_us, .. }
             | TraceRecord::Summary { ts_us, .. } => *ts_us,
         }
     }
@@ -650,6 +692,34 @@ pub struct ForkSite {
     pub forks: u64,
     /// Children materialized across those forks.
     pub children: u64,
+}
+
+/// One point of the coverage-over-time curve, from a `coverage` record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoveragePoint {
+    /// Wall time of the sample, µs from sink creation.
+    pub ts_us: u64,
+    /// Path segments completed.
+    pub paths: u64,
+    /// Cycles simulated across all paths.
+    pub cycles: u64,
+    /// Nets attributed (toggled at least once).
+    pub covered: u64,
+    /// Total nets in the design.
+    pub total: u64,
+}
+
+/// One net's first-exercise verdict, from a `cover_first` record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FirstExercise {
+    /// The attributed net id.
+    pub net: u64,
+    /// The winning path.
+    pub path: u64,
+    /// Absolute cycle of the first toggle.
+    pub cycle: u64,
+    /// The winning path's fork PC, `"root"`, or `"reset"`.
+    pub pc: String,
 }
 
 /// Per-worker activity aggregated from `path_start`/`path_end` records.
@@ -922,6 +992,54 @@ impl Trace {
         table
     }
 
+    /// The coverage-over-time curve from the `coverage` records, in file
+    /// order (monotonic in `covered` by construction).
+    pub fn coverage_curve(&self) -> Vec<CoveragePoint> {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Coverage {
+                    ts_us,
+                    paths,
+                    cycles,
+                    covered,
+                    total,
+                    ..
+                } => Some(CoveragePoint {
+                    ts_us: *ts_us,
+                    paths: *paths,
+                    cycles: *cycles,
+                    covered: *covered,
+                    total: *total,
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The per-net first-exercise verdicts from the `cover_first` records,
+    /// in file (= ascending net) order.
+    pub fn cover_firsts(&self) -> Vec<FirstExercise> {
+        self.records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::CoverFirst {
+                    net,
+                    path,
+                    cycle,
+                    pc,
+                    ..
+                } => Some(FirstExercise {
+                    net: *net,
+                    path: *path,
+                    cycle: *cycle,
+                    pc: pc.clone(),
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Per-worker segments/cycles/busy/wait, ascending worker index.
     pub fn worker_stats(&self) -> Vec<WorkerStat> {
         let mut by_w: HashMap<i64, WorkerStat> = HashMap::new();
@@ -1016,6 +1134,18 @@ mod tests {
                 .u64("cycles", 40)
                 .u64("seg_us", 20);
         });
+        sink.emit(0, "coverage", |o| {
+            o.u64("paths", 3)
+                .u64("cycles", 200)
+                .u64("covered", 90)
+                .u64("total", 120);
+        });
+        sink.emit(-1, "cover_first", |o| {
+            o.u64("net", 7)
+                .u64("path", 1)
+                .u64("cycle", 130)
+                .str("pc", "0x4400");
+        });
     }
 
     #[test]
@@ -1024,20 +1154,20 @@ mod tests {
         let sink = TraceSink::new(2, Box::new(buf.clone()));
         emit_fixture(&sink);
         let stats = sink.finish();
-        assert_eq!(stats.events, 10);
+        assert_eq!(stats.events, 12);
         assert_eq!(stats.dropped, 0);
         assert!(stats.bytes > 0);
         assert_eq!(stats, sink.finish(), "finish is idempotent");
         sink.emit(0, "csm", |o| {
             o.u64("path", 9);
         });
-        assert_eq!(sink.finish().events, 10, "post-finish emits are ignored");
+        assert_eq!(sink.finish().events, 12, "post-finish emits are ignored");
 
         let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
         let trace = Trace::parse(&text).unwrap();
         assert_eq!(trace.meta(), Some(("dr5", 2)));
         let summary = trace.summary().unwrap();
-        assert_eq!(summary.events, 10);
+        assert_eq!(summary.events, 12);
         assert_eq!(summary.bytes, stats.bytes);
 
         let outcomes = trace.outcome_counts();
@@ -1062,6 +1192,15 @@ mod tests {
 
         let table = trace.phase_table();
         assert_eq!(table[0], ("exec", 40));
+
+        let curve = trace.coverage_curve();
+        assert_eq!(curve.len(), 1);
+        assert_eq!((curve[0].covered, curve[0].total), (90, 120));
+        let firsts = trace.cover_firsts();
+        assert_eq!(firsts.len(), 1);
+        assert_eq!(firsts[0].net, 7);
+        assert_eq!(firsts[0].cycle, 130);
+        assert_eq!(firsts[0].pc, "0x4400");
 
         let workers = trace.worker_stats();
         assert_eq!(workers.len(), 2);

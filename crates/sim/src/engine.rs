@@ -96,6 +96,12 @@ pub struct SimConfig {
     /// [`EngineStats`]). Off by default: no timestamps are taken on the hot
     /// path unless a profiler or trace sink asked for them.
     pub profile_phases: bool,
+    /// First-exercise attribution: when the toggle observer is armed, also
+    /// record the *cycle* of each net's first toggle since the last drain
+    /// (see [`Simulator::take_first_toggles`]). Off by default: the
+    /// dormant branch costs one `Option` check already paid by the profile
+    /// itself, and no per-net buffer is allocated.
+    pub attribution: bool,
 }
 
 impl Default for SimConfig {
@@ -110,8 +116,19 @@ impl Default for SimConfig {
             // write-back makes a skipped batch nearly free
             batch_threshold_pct: 5,
             profile_phases: false,
+            attribution: false,
         }
     }
+}
+
+/// Per-segment first-toggle buffer (see [`SimConfig::attribution`]): for
+/// each net, the cycle of its first [`Simulator::mark_toggled`] since the
+/// last drain (`u64::MAX` = untouched), plus the touched-net list so a
+/// drain is O(touched), not O(nets).
+#[derive(Debug)]
+struct AttrBuf {
+    first: Vec<u64>,
+    touched: Vec<u32>,
 }
 
 /// A `$monitor_x` registration: halt when any of `signals` is unknown,
@@ -417,6 +434,7 @@ pub struct Simulator<'n> {
     finish_net: Option<NetId>,
     profile: Option<ToggleProfile>,
     activity: Option<ActivityStats>,
+    attr: Option<AttrBuf>,
     event_trace: Vec<(u64, u32)>,
     region_trace: Vec<(u64, Region)>,
     trace_regions: bool,
@@ -621,6 +639,7 @@ impl<'n> Simulator<'n> {
             finish_net: None,
             profile: None,
             activity: None,
+            attr: None,
             event_trace: Vec::new(),
             region_trace: Vec::new(),
             trace_regions: false,
@@ -907,6 +926,12 @@ impl<'n> Simulator<'n> {
     /// unknown — marks the net toggled.
     pub fn arm_toggle_observer(&mut self) {
         self.profile = Some(ToggleProfile::baseline(&self.values));
+        if self.config.attribution {
+            self.attr = Some(AttrBuf {
+                first: vec![u64::MAX; self.values.len()],
+                touched: Vec::new(),
+            });
+        }
     }
 
     /// The accumulated toggle profile, if armed.
@@ -917,6 +942,26 @@ impl<'n> Simulator<'n> {
     /// Removes and returns the toggle profile.
     pub fn take_toggle_profile(&mut self) -> Option<ToggleProfile> {
         self.profile.take()
+    }
+
+    /// Drains the first-toggle attribution buffer: every net toggled since
+    /// the last drain (or since [`Simulator::arm_toggle_observer`]) with
+    /// the cycle of its *first* toggle, in toggle order. Returns `None`
+    /// when [`SimConfig::attribution`] is off. The buffer resets, so the
+    /// explorer can call this once per path segment and attribute each
+    /// batch to the segment's path.
+    pub fn take_first_toggles(&mut self) -> Option<Vec<(NetId, u64)>> {
+        let a = self.attr.as_mut()?;
+        let out: Vec<(NetId, u64)> = a
+            .touched
+            .iter()
+            .map(|&n| (NetId(n), a.first[n as usize]))
+            .collect();
+        for &n in &a.touched {
+            a.first[n as usize] = u64::MAX;
+        }
+        a.touched.clear();
+        Some(out)
     }
 
     // ---- state save / restore ----
@@ -1075,6 +1120,13 @@ impl<'n> Simulator<'n> {
         }
         if let Some(a) = &mut self.activity {
             a.record(net);
+        }
+        if let Some(f) = &mut self.attr {
+            let i = net.0 as usize;
+            if f.first[i] == u64::MAX {
+                f.first[i] = self.cycle;
+                f.touched.push(net.0);
+            }
         }
     }
 

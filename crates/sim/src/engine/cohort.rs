@@ -124,6 +124,20 @@ pub struct PathCohort {
     pending_finish: u64,
     pending_halt: u64,
     spill_pending: u64,
+    /// First-exercise attribution state (see `SimConfig::attribution`);
+    /// `None` when attribution is off, so the write hot path pays nothing.
+    attr: Option<CohortAttr>,
+}
+
+/// Per-cohort first-toggle recording: which lanes of each net have already
+/// been attributed, plus the `(net, new_lanes, cycle)` log in toggle order.
+/// The cohort records into its own log — never the simulator's scalar
+/// buffer, whose cycle counter is unrelated mid-cohort — and the explorer
+/// demuxes lane bits back to path ids after the run.
+#[derive(Debug)]
+struct CohortAttr {
+    seen: Vec<u64>,
+    log: Vec<(u32, u64, u64)>,
 }
 
 impl PathCohort {
@@ -157,6 +171,17 @@ impl PathCohort {
     /// Cycles lane `lane` consumed inside the cohort.
     pub fn lane_cycles(&self, lane: usize) -> u64 {
         self.halt_cycle[lane] - self.start_cycle
+    }
+
+    /// Drains the first-exercise log recorded during
+    /// [`Simulator::cohort_run`]: `(net, lane_mask, cycle)` entries, each
+    /// marking the first toggle of `net` on the lanes of `lane_mask`, in
+    /// toggle order. Empty when [`super::SimConfig::attribution`] is off.
+    pub fn take_first_toggles(&mut self) -> Vec<(u32, u64, u64)> {
+        self.attr
+            .as_mut()
+            .map(|a| std::mem::take(&mut a.log))
+            .unwrap_or_default()
     }
 
     /// Freezes every lane in `ends` with the given end, recording the halt
@@ -242,6 +267,10 @@ impl<'n> Simulator<'n> {
             pending_finish: 0,
             pending_halt: 0,
             spill_pending: 0,
+            attr: self.attr.as_ref().map(|_| CohortAttr {
+                seen: vec![0; base.values.len()],
+                log: Vec::new(),
+            }),
         })
     }
 
@@ -458,7 +487,20 @@ impl<'n> Simulator<'n> {
             return;
         }
         c.planes[net as usize] = old.merge_masked(y, changed);
-        self.mark_toggled(NetId(net));
+        // the scalar `mark_toggled` minus the parts a cohort cannot have:
+        // activity observers are refused at pack time, and first-exercise
+        // attribution goes to the cohort's own per-lane log (the scalar
+        // buffer's cycle counter is unrelated mid-cohort)
+        if let Some(p) = &mut self.profile {
+            p.mark(NetId(net));
+        }
+        if let Some(a) = &mut c.attr {
+            let new = changed & !a.seen[net as usize];
+            if new != 0 {
+                a.seen[net as usize] |= new;
+                a.log.push((net, new, c.cycle));
+            }
+        }
         self.cohort_schedule_fanout(c, net);
     }
 

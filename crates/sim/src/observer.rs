@@ -59,6 +59,20 @@ impl ToggleProfile {
         self.toggled.iter().filter(|&&t| t).count()
     }
 
+    /// Nets [`ToggleProfile::baseline`] marked toggled *at arm time*
+    /// because they already carried an unknown. These toggles have no
+    /// `mark` event — and therefore no first-exercise observation — so
+    /// provenance consumers must seed them with a synthetic `reset`
+    /// attribution instead of expecting a recorded toggle.
+    pub fn baseline_unknowns(&self) -> Vec<NetId> {
+        self.baseline
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.is_unknown())
+            .map(|(i, _)| NetId(i as u32))
+            .collect()
+    }
+
     /// Merges activity from another path's profile (Algorithm 1 lines
     /// 29-32): a net is toggled if it toggled on either path, or if the two
     /// paths disagree about its constant value.

@@ -1,0 +1,105 @@
+//! Witness replay round-trip: for a deterministic sample of attributed
+//! nets per (cpu, benchmark) pair, extract the witness, serialize it
+//! through its JSON wire format, and re-execute it with [`replay_witness`]
+//! — the net must re-toggle at exactly the witnessed cycle. This is the
+//! soundness check on the whole provenance chain: winner resolution, fork
+//! snapshot capture, forced-branch reconstruction, and the replay
+//! protocol itself.
+
+use std::sync::Arc;
+
+use symsim_bench::{run_experiment, CpuKind};
+use symsim_core::{replay_witness, CoAnalysisConfig, CoAnalysisReport, Witness};
+use symsim_obs::MetricsRegistry;
+use symsim_sim::SimConfig;
+
+const PAIRS: [(CpuKind, &str); 2] = [(CpuKind::Omsp16, "div"), (CpuKind::Dr5, "binsearch")];
+
+/// Nets sampled per pair (deterministic stride over the attribution list).
+const SAMPLES: usize = 12;
+
+fn attributed_run(kind: CpuKind, bench: &str) -> CoAnalysisReport {
+    let registry = Arc::new(MetricsRegistry::new(1));
+    let config = CoAnalysisConfig {
+        workers: 1,
+        sim: SimConfig {
+            attribution: true,
+            ..SimConfig::default()
+        },
+        metrics: Some(Arc::clone(&registry)),
+        ..CoAnalysisConfig::default()
+    };
+    run_experiment(kind, bench, config).report
+}
+
+#[test]
+fn sampled_witnesses_replay_at_the_recorded_cycle() {
+    for (kind, bench) in PAIRS {
+        let cpu = kind.build();
+        let report = attributed_run(kind, bench);
+        let prov = report
+            .provenance
+            .as_ref()
+            .expect("attributed run yields provenance");
+        let attributions = prov.attributions();
+        assert!(
+            attributions.len() >= SAMPLES,
+            "{}/{bench}: only {} attributions",
+            kind.name(),
+            attributions.len()
+        );
+        // deterministic stride sample spread across the net-id range,
+        // always including the hardest-won net (the explain default)
+        let stride = attributions.len() / SAMPLES;
+        let mut picks: Vec<_> = (0..SAMPLES).map(|i| &attributions[i * stride]).collect();
+        picks.push(prov.deepest().expect("deepest attribution exists"));
+        let mut replayed_forks = 0usize;
+        for a in picks {
+            let name = cpu.netlist.net_name(a.net).to_string();
+            let witness = prov
+                .witness(a.net, &name)
+                .expect("attributed net yields a witness");
+            // the wire format is lossless
+            let wire = witness.to_json();
+            let back = Witness::from_json(&wire).expect("witness JSON parses");
+            assert_eq!(back, witness, "{}/{bench}: wire round trip", kind.name());
+            // and the prescription reproduces the toggle exactly
+            let result = replay_witness(&cpu.netlist, &back)
+                .unwrap_or_else(|e| panic!("{}/{bench} {name}: {e}", kind.name()));
+            assert!(
+                result.ok(),
+                "{}/{bench}: witness for {name} (path {}, pc {}) failed: {result}",
+                kind.name(),
+                a.path,
+                a.pc
+            );
+            if !witness.forces.is_empty() {
+                replayed_forks += 1;
+            }
+        }
+        // the sample must exercise the interesting case: witnesses that
+        // load a mid-exploration fork snapshot and force branch decisions
+        assert!(
+            replayed_forks > 0,
+            "{}/{bench}: sample never hit a forked witness",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn replay_rejects_mismatched_designs() {
+    let (kind, bench) = PAIRS[0];
+    let report = attributed_run(kind, bench);
+    let prov = report.provenance.as_ref().unwrap();
+    let a = prov.deepest().unwrap();
+    let cpu = kind.build();
+    let witness = prov
+        .witness(a.net, cpu.netlist.net_name(a.net))
+        .expect("witness extracts");
+    // replaying against a different netlist is a structural error, not a
+    // failed replay
+    let other = CpuKind::Dr5.build();
+    let err = replay_witness(&other.netlist, &witness).unwrap_err();
+    assert!(err.contains("design"), "unexpected error: {err}");
+}
