@@ -102,6 +102,15 @@ pub struct ExperimentResult {
     pub report: CoAnalysisReport,
     /// Bespoke pruning results (gate counts, area).
     pub bespoke: BespokeReport,
+    /// Design-structure content hash (run-ledger identity; the program is
+    /// assembled inside [`run_experiment`], so the fingerprints are
+    /// exposed here rather than recomputable by the caller).
+    pub design_hash: u64,
+    /// Program-image content hash.
+    pub program_hash: u64,
+    /// Canonical configuration string
+    /// ([`symsim_core::fingerprint::config_string`]) of the run.
+    pub config: String,
 }
 
 impl ExperimentResult {
@@ -127,6 +136,9 @@ pub fn run_experiment(
     let bench = kind.benchmark(bench_name);
     let program = kind.assemble(bench.source);
     config.max_cycles_per_segment = bench.max_cycles;
+    let design_hash = symsim_core::fingerprint::design_fingerprint(&cpu.netlist);
+    let program_hash = symsim_core::fingerprint::program_fingerprint(&program);
+    let config_str = symsim_core::fingerprint::config_string(&config);
     let analysis = CoAnalysis::new(&cpu.netlist, cpu.interface(), config).expect("valid config");
     let report = analysis.run(|sim| cpu.prepare_symbolic(sim, &program, &bench.data));
     let bespoke = symsim_bespoke::generate(&cpu.netlist, &report.profile);
@@ -135,6 +147,9 @@ pub fn run_experiment(
         bench: bench.name,
         report,
         bespoke: bespoke.report,
+        design_hash,
+        program_hash,
+        config: config_str,
     }
 }
 

@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 mod experiment;
+pub mod noise;
 mod tables;
 
 pub use experiment::{run_experiment, sweep, CpuKind, ExperimentResult};

@@ -1,0 +1,71 @@
+//! Shared best-of-N / noise-band helpers for the bench overhead checks.
+//!
+//! Three smoke checks (traced-vs-untraced, attribution off-vs-on, and
+//! ledger on-vs-off) share the same shape: run each configuration three
+//! times, keep the best wall time, and assert the supposedly-free
+//! configuration stays within the repo's one smoke noise band
+//! ([`symsim_obs::stats::within_smoke_noise`] — 25% relative + 0.1 s
+//! absolute, the same allowance the `symsim runs diff` perf gate uses as
+//! its band floor). This module is that shape, written once.
+
+use std::time::Duration;
+
+use symsim_obs::stats;
+
+/// Runs `f` three times; returns the best (minimum) wall time in seconds
+/// and the last result. Taking the *minimum* discards scheduler noise —
+/// a run can only be slowed down by interference, never sped up.
+pub fn best_of_3<T>(mut f: impl FnMut() -> (Duration, T)) -> (f64, T) {
+    let mut best = Duration::MAX;
+    let mut last = None;
+    for _ in 0..3 {
+        let (wall, result) = f();
+        best = best.min(wall);
+        last = Some(result);
+    }
+    (best.as_secs_f64(), last.expect("best_of_3 ran"))
+}
+
+/// Asserts `candidate_s` stays within the shared smoke noise band of
+/// `reference_s`; `what` names the configuration pair in the panic
+/// message (e.g. `"tracing-off vs traced"`).
+///
+/// # Panics
+///
+/// Panics when the candidate exceeds the band — meaning the configuration
+/// that is supposed to be free is paying measurable hot-path cost.
+pub fn assert_within_noise(what: &str, reference_s: f64, candidate_s: f64) {
+    assert!(
+        stats::within_smoke_noise(reference_s, candidate_s),
+        "{what}: {candidate_s:.3}s exceeds the noise band of {reference_s:.3}s \
+         (allowance: {}% + {}s)",
+        stats::SMOKE_NOISE_REL * 100.0,
+        stats::SMOKE_NOISE_ABS_S,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_of_3_keeps_minimum_wall_and_last_result() {
+        let mut calls = 0;
+        let walls = [30, 10, 20];
+        let (best, last) = best_of_3(|| {
+            let w = Duration::from_millis(walls[calls]);
+            calls += 1;
+            (w, calls)
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(last, 3);
+        assert!((best - 0.010).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_assert_matches_the_historic_band() {
+        assert_within_noise("ok", 1.0, 1.3);
+        let r = std::panic::catch_unwind(|| assert_within_noise("bad", 1.0, 1.4));
+        assert!(r.is_err());
+    }
+}

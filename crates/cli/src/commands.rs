@@ -58,6 +58,23 @@ usage:
   symsim convert  <design.{v,blif}> --out <design.{v,blif}>
   symsim trace    summarize|lineage|hotspots|coverage|export-chrome
                   <run.trace> [--top N] [--max-lines N] [--out FILE]
+  symsim runs     list|show|diff|regressions [--ledger FILE]
+                  (query the persistent run ledger; see below)
+                  runs list                 one line per recorded run
+                  runs show [N|last]        full record N (1-based, default last)
+                  runs diff [BASE] [CUR]    compare run CUR (default last)
+                  [--against FILE]          against run BASE, or without BASE
+                  [--mad-k K] [--rel PCT]   against the median of all earlier
+                                            same-fingerprint runs; exits
+                                            nonzero on verdict drift or a
+                                            perf regression beyond the
+                                            MAD noise band (K sigmas, PCT%
+                                            relative floor); --against
+                                            diffs against a baseline ledger
+                                            file (e.g. the CI baseline)
+                  runs regressions          diff every run against its
+                                            predecessors; exits nonzero on
+                                            verdict drift
 
 every command also accepts the observability flags:
   --log-level error|warn|info|debug|trace   (default info)
@@ -65,6 +82,9 @@ every command also accepts the observability flags:
                                              diagnostics NDJSON and analyze
                                              print its report as JSON)
   --metrics-out FILE      (analyze) write the end-of-run metrics snapshot
+  --ledger FILE|off       (analyze, explain) where to append the run-ledger
+                          record (default $SYMSIM_LEDGER, else
+                          .symsim/ledger.ndjson; off disables)
   --heartbeat-secs S      (analyze) emit NDJSON progress every S seconds
   --progress-out FILE     (analyze) heartbeat destination (default stderr)
   --trace-out FILE        (analyze, simulate) record an NDJSON run trace:
@@ -97,6 +117,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
         "compile" => compile_cmd(&args),
         "convert" => convert(&args),
         "trace" => crate::trace_cmd::trace_cmd(&args),
+        "runs" => crate::runs_cmd::runs_cmd(&args),
         other => Err(format!("unknown command \"{other}\"\n{USAGE}")),
     }
 }
@@ -468,6 +489,20 @@ fn run_coanalysis(
         trace: trace_sink.clone(),
     };
 
+    // run identity, taken while the netlist/program/config are all in hand
+    // (the config is consumed by CoAnalysis::new below)
+    let design_fp = symsim_core::fingerprint::design_fingerprint(netlist);
+    let program_fp = symsim_core::fingerprint::program_fingerprint(&setup.program);
+    let config_str = symsim_core::fingerprint::config_string(&config);
+    let label = format!(
+        "{}/{}",
+        netlist.name,
+        std::path::Path::new(args.get("program").unwrap_or("?"))
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("?")
+    );
+
     let heartbeat = start_heartbeat(args, &registry)?;
     let analysis = CoAnalysis::new(netlist, iface, config)?;
     let report = analysis.run(|sim| setup.apply(sim, true, tagged));
@@ -475,6 +510,17 @@ fn run_coanalysis(
         hb.stop();
     }
     finish_trace(args, trace_sink);
+
+    // append to the persistent run ledger (--ledger FILE|off, else
+    // $SYMSIM_LEDGER, else .symsim/ledger.ndjson); a ledger failure warns
+    // but never fails the analysis that just succeeded
+    if let Some(path) = symsim_obs::ledger::resolve_path(args.get("ledger")) {
+        let record = report.ledger_record("analyze", &label, design_fp, program_fp, &config_str);
+        match symsim_obs::ledger::append(&path, &record) {
+            Ok(()) => info!("ledger", "appended run record to {}", path.display()),
+            Err(e) => warn!("ledger", "cannot append run record: {e}"),
+        }
+    }
     Ok(report)
 }
 

@@ -15,6 +15,7 @@
 mod args;
 mod commands;
 mod files;
+mod runs_cmd;
 mod trace_cmd;
 
 use std::process::ExitCode;

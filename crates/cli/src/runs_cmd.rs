@@ -1,0 +1,403 @@
+//! `symsim runs` — the query side of the persistent run ledger: list and
+//! show recorded runs, diff a run against a baseline with noise-aware
+//! regression gating, and scan a whole ledger for drifts.
+
+use std::path::PathBuf;
+
+use symsim_obs::ledger::{self, DiffOpts, LedgerDiff, LedgerEntry};
+
+use crate::args::Args;
+
+const RUNS_USAGE: &str = "\
+usage: symsim runs list|show|diff|regressions [--ledger FILE]
+  runs list                  one line per recorded run
+  runs show [N|last]         full record N (1-based; default last)
+  runs diff [BASE] [CUR]     compare run CUR (default last) against run
+                             BASE, or — without BASE — against the median
+                             of all earlier runs with the same fingerprint;
+                             exits nonzero on verdict drift, a fingerprint
+                             mismatch, or a perf regression beyond the
+                             noise band
+       [--against FILE]      take the baseline population from FILE
+                             (same-fingerprint records) instead
+       [--mad-k K]           noise-band width in robust sigmas (default 3)
+       [--rel PCT]           relative band floor in percent (default 25)
+  runs regressions           diff every run against its same-fingerprint
+                             predecessors; exits nonzero on verdict drift";
+
+/// Entry point for `symsim runs`.
+pub fn runs_cmd(args: &Args) -> Result<(), String> {
+    let action = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .ok_or_else(|| RUNS_USAGE.to_string())?;
+    let path = ledger_path(args)?;
+    let entries = ledger::read(&path)?;
+    if entries.is_empty() {
+        return Err(format!("{}: ledger is empty", path.display()));
+    }
+    match action {
+        "list" => list(&entries),
+        "show" => show(args, &entries),
+        "diff" => diff(args, &entries),
+        "regressions" => regressions(args, &entries),
+        other => Err(format!("unknown runs action \"{other}\"\n{RUNS_USAGE}")),
+    }
+}
+
+/// The ledger file queries read: `--ledger` wins, then `$SYMSIM_LEDGER`,
+/// then the default. `off` is an error here — there is nothing to query.
+fn ledger_path(args: &Args) -> Result<PathBuf, String> {
+    let path = ledger::resolve_path(args.get("ledger"))
+        .ok_or("runs: the ledger is disabled (--ledger off); nothing to query")?;
+    if !path.exists() {
+        return Err(format!(
+            "no ledger at {} — run `symsim analyze` (or set $SYMSIM_LEDGER) first",
+            path.display()
+        ));
+    }
+    Ok(path)
+}
+
+/// Resolves a 1-based run index, `last`, or `prev`.
+fn parse_index(spec: &str, len: usize) -> Result<usize, String> {
+    match spec {
+        "last" => Ok(len - 1),
+        "prev" if len >= 2 => Ok(len - 2),
+        "prev" => Err("runs: \"prev\" needs at least two recorded runs".into()),
+        n => {
+            let i: usize = n
+                .parse()
+                .map_err(|_| format!("runs: bad run index \"{n}\" (1-based, or last/prev)"))?;
+            if i == 0 || i > len {
+                return Err(format!(
+                    "runs: index {i} out of range (ledger has {len} runs)"
+                ));
+            }
+            Ok(i - 1)
+        }
+    }
+}
+
+/// `ts_ms` as `YYYY-MM-DD HH:MM:SS` UTC (civil-from-days, Hinnant's
+/// algorithm) — the ledger is NDJSON, but humans read `runs list`.
+fn format_ts(ts_ms: u64) -> String {
+    let secs = (ts_ms / 1000) as i64;
+    let days = secs.div_euclid(86_400);
+    let rem = secs.rem_euclid(86_400);
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!(
+        "{y:04}-{m:02}-{d:02} {:02}:{:02}:{:02}",
+        rem / 3600,
+        (rem / 60) % 60,
+        rem % 60
+    )
+}
+
+fn list(entries: &[LedgerEntry]) -> Result<(), String> {
+    println!(
+        "{:>4}  {:19}  {:7}  {:24}  {:8}  {:>9}  {:>9}  {:>11}  {:16}",
+        "#", "when (UTC)", "kind", "label", "mode", "gates", "wall s", "cyc/s", "fingerprint"
+    );
+    for (i, e) in entries.iter().enumerate() {
+        println!(
+            "{:>4}  {:19}  {:7}  {:24}  {:8}  {:>9}  {:>9.3}  {:>11.0}  {:16}",
+            i + 1,
+            format_ts(e.ts_ms),
+            e.kind,
+            e.label,
+            e.eval_mode,
+            format!("{}/{}", e.exercisable_gates, e.total_gates),
+            e.wall_seconds,
+            e.cycles_per_sec,
+            e.fingerprint,
+        );
+    }
+    Ok(())
+}
+
+fn show(args: &Args, entries: &[LedgerEntry]) -> Result<(), String> {
+    let idx = match args.positional.get(1) {
+        Some(spec) => parse_index(spec, entries.len())?,
+        None => entries.len() - 1,
+    };
+    let e = &entries[idx];
+    println!(
+        "run #{} of {} ({})",
+        idx + 1,
+        entries.len(),
+        format_ts(e.ts_ms)
+    );
+    println!("  kind:           {}", e.kind);
+    println!("  label:          {}", e.label);
+    println!("  design:         {}", e.design);
+    println!("  fingerprint:    {}", e.fingerprint);
+    println!("  config:         {}", e.config);
+    println!("  eval mode:      {}", e.eval_mode);
+    println!("  verdict digest: {}", e.verdict_digest);
+    println!(
+        "  verdict:        {} / {} gates exercisable",
+        e.exercisable_gates, e.total_gates
+    );
+    println!(
+        "  throughput:     {} cycles in {:.3}s ({:.0} cyc/s)",
+        e.simulated_cycles, e.wall_seconds, e.cycles_per_sec
+    );
+    println!(
+        "  env:            {} | {} | {} | {} worker(s)",
+        e.env.git_commit, e.env.rustc, e.env.host, e.env.workers
+    );
+    let metrics = e.metric_values();
+    if !metrics.is_empty() {
+        println!("  metrics:");
+        for (name, v) in metrics {
+            println!("    {name:32} {v}");
+        }
+    }
+    let phases = e.phase_estimates_us();
+    if !phases.is_empty() {
+        println!("  phase estimates (us, from histogram midpoints):");
+        for (name, us) in phases {
+            println!("    {name:32} {us:.0}");
+        }
+    }
+    Ok(())
+}
+
+fn diff_opts(args: &Args) -> Result<DiffOpts, String> {
+    let mut opts = DiffOpts {
+        mad_k: args.get_f64("mad-k", 3.0)?,
+        ..DiffOpts::default()
+    };
+    let rel = args.get_f64("rel", opts.rel_floor * 100.0)? / 100.0;
+    opts.rel_floor = rel;
+    opts.phase_rel_floor = opts.phase_rel_floor.max(rel);
+    Ok(opts)
+}
+
+/// Prints a diff and converts it to the command's exit status.
+fn render_diff(current_name: &str, baseline_name: &str, diff: &LedgerDiff) -> Result<(), String> {
+    println!(
+        "diff: {current_name} vs {baseline_name} ({} baseline run{})",
+        diff.baseline_len,
+        if diff.baseline_len == 1 { "" } else { "s" }
+    );
+    if diff.fingerprint_mismatch {
+        println!(
+            "  FINGERPRINT MISMATCH: the runs executed under a different \
+             design, program, or config — the current run is not the \
+             configuration the baseline blessed"
+        );
+    }
+    match &diff.verdict_drift {
+        None => println!("  verdict: unchanged"),
+        Some(d) => println!(
+            "  VERDICT DRIFT: digest {} -> {} ({} -> {} exercisable gates)",
+            d.baseline_digest, d.current_digest, d.baseline_gates, d.current_gates
+        ),
+    }
+    for p in &diff.perf {
+        let status = if p.regressed {
+            "REGRESSED"
+        } else if p.improved {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {:32} {:>12.3} vs {:>12.3} +/- {:<12.3} {}",
+            p.metric, p.current, p.band.center, p.band.width, status
+        );
+    }
+    if !diff.counter_deltas.is_empty() {
+        println!("  counter deltas (current vs baseline median):");
+        for d in &diff.counter_deltas {
+            println!(
+                "    {:32} {} -> {} ({:+})",
+                d.name,
+                d.baseline,
+                d.current,
+                d.current - d.baseline
+            );
+        }
+    }
+    if diff.failed() {
+        let n = diff.regressions().len();
+        Err(if diff.verdict_drift.is_some() {
+            format!("runs diff: verdict drift ({n} perf regression(s))")
+        } else if diff.fingerprint_mismatch {
+            format!("runs diff: fingerprint mismatch ({n} perf regression(s))")
+        } else {
+            format!("runs diff: {n} perf regression(s) beyond the noise band")
+        })
+    } else {
+        println!("  result: no regressions");
+        Ok(())
+    }
+}
+
+fn diff(args: &Args, entries: &[LedgerEntry]) -> Result<(), String> {
+    let opts = diff_opts(args)?;
+    if let Some(baseline_file) = args.get("against") {
+        // current from this ledger, baseline population from the file
+        let idx = match args.positional.get(1) {
+            Some(spec) => parse_index(spec, entries.len())?,
+            None => entries.len() - 1,
+        };
+        let current = &entries[idx];
+        let baseline_entries = ledger::read(&PathBuf::from(baseline_file))?;
+        let same: Vec<&LedgerEntry> = baseline_entries
+            .iter()
+            .filter(|b| b.fingerprint == current.fingerprint)
+            .collect();
+        let population: Vec<&LedgerEntry> = if same.is_empty() {
+            println!(
+                "note: {baseline_file} has no runs with fingerprint {} — \
+                 falling back to label \"{}\"",
+                current.fingerprint, current.label
+            );
+            baseline_entries
+                .iter()
+                .filter(|b| b.label == current.label)
+                .collect()
+        } else {
+            same
+        };
+        if population.is_empty() {
+            return Err(format!(
+                "{baseline_file}: no baseline runs match fingerprint {} or label \"{}\"",
+                current.fingerprint, current.label
+            ));
+        }
+        let d = ledger::compare(current, &population, &opts);
+        return render_diff(&format!("run #{}", idx + 1), baseline_file, &d);
+    }
+    match (args.positional.get(1), args.positional.get(2)) {
+        (Some(base), Some(cur)) => {
+            // explicit pair: BASE then CUR
+            let b = parse_index(base, entries.len())?;
+            let c = parse_index(cur, entries.len())?;
+            let d = ledger::compare(&entries[c], &[&entries[b]], &opts);
+            render_diff(&format!("run #{}", c + 1), &format!("run #{}", b + 1), &d)
+        }
+        (spec, None) => {
+            // single run against the median of its same-fingerprint history
+            let c = match spec {
+                Some(s) => parse_index(s, entries.len())?,
+                None => entries.len() - 1,
+            };
+            let current = &entries[c];
+            let baseline: Vec<&LedgerEntry> = entries[..c]
+                .iter()
+                .filter(|b| b.fingerprint == current.fingerprint)
+                .collect();
+            if baseline.is_empty() {
+                return Err(format!(
+                    "run #{} has no earlier runs with fingerprint {} to compare against",
+                    c + 1,
+                    current.fingerprint
+                ));
+            }
+            let d = ledger::compare(current, &baseline, &opts);
+            render_diff(
+                &format!("run #{}", c + 1),
+                &format!("same-fingerprint history ({} runs)", baseline.len()),
+                &d,
+            )
+        }
+        (None, Some(_)) => unreachable!("positional 2 implies positional 1"),
+    }
+}
+
+/// Scans the whole ledger: every run is diffed against its
+/// same-fingerprint predecessors. Perf excursions are listed but only
+/// verdict drift fails the scan — historical wall times from other
+/// machines or debug builds are noise, a changed verdict never is.
+fn regressions(args: &Args, entries: &[LedgerEntry]) -> Result<(), String> {
+    let opts = diff_opts(args)?;
+    let mut drifts = 0usize;
+    let mut perf_flags = 0usize;
+    let mut compared = 0usize;
+    for (i, current) in entries.iter().enumerate().skip(1) {
+        let baseline: Vec<&LedgerEntry> = entries[..i]
+            .iter()
+            .filter(|b| b.fingerprint == current.fingerprint)
+            .collect();
+        if baseline.is_empty() {
+            continue;
+        }
+        compared += 1;
+        let d = ledger::compare(current, &baseline, &opts);
+        if let Some(drift) = &d.verdict_drift {
+            drifts += 1;
+            println!(
+                "run #{} ({}): VERDICT DRIFT {} -> {} ({} -> {} gates)",
+                i + 1,
+                current.label,
+                drift.baseline_digest,
+                drift.current_digest,
+                drift.baseline_gates,
+                drift.current_gates
+            );
+        }
+        for p in d.regressions() {
+            perf_flags += 1;
+            println!(
+                "run #{} ({}): {} {:.3} outside {:.3} +/- {:.3}",
+                i + 1,
+                current.label,
+                p.metric,
+                p.current,
+                p.band.center,
+                p.band.width
+            );
+        }
+    }
+    println!(
+        "scanned {} runs ({} with a comparable history): {} verdict drift(s), \
+         {} perf excursion(s)",
+        entries.len(),
+        compared,
+        drifts,
+        perf_flags
+    );
+    if drifts > 0 {
+        Err(format!("runs regressions: {drifts} verdict drift(s)"))
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_parsing() {
+        assert_eq!(parse_index("1", 3).unwrap(), 0);
+        assert_eq!(parse_index("3", 3).unwrap(), 2);
+        assert_eq!(parse_index("last", 3).unwrap(), 2);
+        assert_eq!(parse_index("prev", 3).unwrap(), 1);
+        assert!(parse_index("0", 3).is_err());
+        assert!(parse_index("4", 3).is_err());
+        assert!(parse_index("x", 3).is_err());
+        assert!(parse_index("prev", 1).is_err());
+    }
+
+    #[test]
+    fn timestamps_render_as_utc() {
+        assert_eq!(format_ts(0), "1970-01-01 00:00:00");
+        // 2022-03-14 15:09:26 UTC
+        assert_eq!(format_ts(1_647_270_566_000), "2022-03-14 15:09:26");
+    }
+}

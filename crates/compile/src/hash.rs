@@ -57,6 +57,16 @@ pub fn design_hash(netlist: &Netlist, rustc_version: &str) -> u64 {
     let mut h = Fnv::new();
     h.word(CODEGEN_VERSION);
     h.bytes(rustc_version.as_bytes());
+    h.word(structure_hash(netlist));
+    h.finish()
+}
+
+/// Content hash of the netlist structure alone — the toolchain-independent
+/// part of [`design_hash`], also the design identity the run ledger keys
+/// on (two runs of the same structure are comparable regardless of which
+/// rustc built the binary).
+pub fn structure_hash(netlist: &Netlist) -> u64 {
+    let mut h = Fnv::new();
     h.word(netlist.net_count() as u64);
     h.word(netlist.gate_count() as u64);
     for gate in netlist.gates() {

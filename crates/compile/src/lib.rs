@@ -39,7 +39,7 @@ use std::time::Instant;
 use symsim_netlist::Netlist;
 
 pub use codegen::{dirty_words, plane_bit, plane_word, MemReadRef};
-pub use hash::{design_hash, CODEGEN_VERSION};
+pub use hash::{design_hash, structure_hash, Fnv, CODEGEN_VERSION};
 
 /// How a kernel came to be, for logs and metrics.
 #[derive(Debug, Clone)]

@@ -404,6 +404,7 @@ impl<'n> CoAnalysis<'n> {
             provenance,
             eval_mode.name(),
             start.elapsed(),
+            workers,
         );
         info!(
             "analysis.done",

@@ -1,0 +1,108 @@
+//! Run identity for the persistent ledger (`symsim runs`).
+//!
+//! Two runs are comparable when three things match: the design structure,
+//! the program image, and the analysis configuration. Each gets its own
+//! FNV-1a content hash (the workspace standard, reused from
+//! [`symsim_compile`]); [`combined`] folds them into the single
+//! `fingerprint` the ledger keys baselines on.
+//!
+//! The config hash folds the *requested* evaluation mode, not the
+//! effective one: a `--eval-mode compiled` run that degrades to hybrid
+//! (no toolchain) keeps its identity, and the regression in its wall time
+//! is exactly what `symsim runs diff` exists to surface.
+
+use symsim_compile::{structure_hash, Fnv};
+use symsim_netlist::Netlist;
+
+use crate::CoAnalysisConfig;
+
+/// Content hash of the design structure (see
+/// [`symsim_compile::structure_hash`]) — toolchain-independent, stable
+/// across processes.
+pub fn design_fingerprint(netlist: &Netlist) -> u64 {
+    structure_hash(netlist)
+}
+
+/// Content hash of a program image.
+pub fn program_fingerprint(program: &[u32]) -> u64 {
+    let mut h = Fnv::new();
+    h.word(program.len() as u64);
+    for &w in program {
+        h.word(u64::from(w));
+    }
+    h.finish()
+}
+
+/// The canonical, human-readable configuration string the config hash is
+/// taken over. Key order is fixed; every field that changes analysis
+/// behavior (and therefore comparability) appears, and nothing else —
+/// metrics/trace sinks are observability plumbing, not identity.
+pub fn config_string(config: &CoAnalysisConfig) -> String {
+    let prop = match config.sim.policy {
+        symsim_logic::PropagationPolicy::Anonymous => "anonymous",
+        symsim_logic::PropagationPolicy::Tagged => "tagged",
+    };
+    format!(
+        "mode={},batch_pct={},prop={},attr={},policy={},constraints={},\
+         max_cycles={},max_paths={},max_split={},workers={}",
+        config.sim.eval_mode.name(),
+        config.sim.batch_threshold_pct,
+        prop,
+        config.sim.attribution,
+        config.policy.name(),
+        config.constraints.len(),
+        config.max_cycles_per_segment,
+        config.max_paths,
+        config.max_split_signals,
+        config.workers,
+    )
+}
+
+/// The combined run fingerprint: FNV over the design, program, and config
+/// hashes.
+pub fn combined(design: u64, program: u64, config_str: &str) -> u64 {
+    let mut h = Fnv::new();
+    h.word(design);
+    h.word(program);
+    h.bytes(config_str.as_bytes());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symsim_sim::EvalMode;
+
+    #[test]
+    fn program_hash_is_content_and_length_sensitive() {
+        assert_eq!(
+            program_fingerprint(&[1, 2, 3]),
+            program_fingerprint(&[1, 2, 3])
+        );
+        assert_ne!(
+            program_fingerprint(&[1, 2, 3]),
+            program_fingerprint(&[1, 2, 4])
+        );
+        assert_ne!(
+            program_fingerprint(&[1, 2]),
+            program_fingerprint(&[1, 2, 0])
+        );
+        assert_ne!(program_fingerprint(&[]), program_fingerprint(&[0]));
+    }
+
+    #[test]
+    fn config_string_tracks_behavioral_fields() {
+        let base = CoAnalysisConfig::default();
+        let s = config_string(&base);
+        assert!(s.contains("mode=hybrid"), "{s}");
+        assert!(s.contains("workers=1"), "{s}");
+        let mut other = CoAnalysisConfig::default();
+        other.sim.eval_mode = EvalMode::Event;
+        assert_ne!(s, config_string(&other));
+        assert_ne!(combined(1, 2, &s), combined(1, 2, &config_string(&other)));
+        // observability plumbing is not identity
+        let mut traced = CoAnalysisConfig::default();
+        traced.sim.profile_phases = true;
+        assert_eq!(s, config_string(&traced));
+    }
+}

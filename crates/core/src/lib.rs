@@ -32,6 +32,7 @@
 
 mod csm;
 mod explore;
+pub mod fingerprint;
 mod provenance;
 mod report;
 pub mod sched;

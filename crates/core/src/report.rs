@@ -1,9 +1,12 @@
 use std::time::Duration;
 
+use symsim_compile::Fnv;
 use symsim_netlist::Netlist;
-use symsim_obs::{JsonObject, MetricsSnapshot};
+use symsim_obs::ledger::LedgerRecord;
+use symsim_obs::{env_fingerprint, EnvFingerprint, JsonObject, MetricsSnapshot};
 use symsim_sim::{ActivityStats, ToggleProfile};
 
+use crate::fingerprint;
 use crate::provenance::ProvenanceMap;
 
 /// The output of a co-analysis run: the exercisable-gate dichotomy and the
@@ -62,6 +65,15 @@ pub struct CoAnalysisReport {
     /// effective mode: a `--eval-mode compiled` run that could not build a
     /// native kernel (no toolchain, codegen failure) reports `"hybrid"`.
     pub eval_mode: String,
+    /// Order-independent content hash of the verdict — the exercisable
+    /// gate set (combinational outputs and DFF `q`s that toggled), folded
+    /// with the total gate count. Eval modes and CSM policies may change
+    /// throughput; they must never change this digest, which is exactly
+    /// what `symsim runs diff` enforces.
+    pub verdict_digest: u64,
+    /// Environment fingerprint (git commit, rustc, host, workers) making
+    /// historical reports attributable.
+    pub env: EnvFingerprint,
     /// Wall-clock time of the analysis.
     pub wall_time: Duration,
     /// The merged per-net toggle profile (input to bespoke generation).
@@ -83,15 +95,19 @@ impl CoAnalysisReport {
     /// Assembles a report from an end-of-run metrics snapshot: every path
     /// and cycle statistic is read from `metrics`, making the report and
     /// the `--metrics-out` file consistent by construction.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         netlist: &Netlist,
         profile: ToggleProfile,
         activity: Option<ActivityStats>,
-        metrics: MetricsSnapshot,
+        mut metrics: MetricsSnapshot,
         provenance: Option<ProvenanceMap>,
         eval_mode: &str,
         wall_time: Duration,
+        workers: usize,
     ) -> CoAnalysisReport {
+        let env = env_fingerprint(workers);
+        metrics.env = Some(env.clone());
         CoAnalysisReport {
             design: netlist.name.clone(),
             total_gates: netlist.total_gate_count(),
@@ -112,11 +128,62 @@ impl CoAnalysisReport {
             event_evals: metrics.counter("event_evals"),
             compiled_evals: metrics.counter("compiled_evals"),
             eval_mode: eval_mode.to_string(),
+            verdict_digest: verdict_digest(netlist, &profile),
+            env,
             wall_time,
             profile,
             activity,
             provenance,
             metrics,
+        }
+    }
+
+    /// The verdict digest as the zero-padded hex the ledger records.
+    pub fn verdict_digest_hex(&self) -> String {
+        format!("{:016x}", self.verdict_digest)
+    }
+
+    /// Builds the persistent-ledger record for this run. `kind` is
+    /// `"analyze"` or `"bench"`, `label` names the run for humans, and the
+    /// fingerprint triple comes from [`crate::fingerprint`] — computed
+    /// where the netlist, program, and config are all still in hand.
+    pub fn ledger_record(
+        &self,
+        kind: &str,
+        label: &str,
+        design_hash: u64,
+        program_hash: u64,
+        config: &str,
+    ) -> LedgerRecord {
+        let wall_seconds = self.wall_time.as_secs_f64();
+        LedgerRecord {
+            kind: kind.to_string(),
+            label: label.to_string(),
+            design: self.design.clone(),
+            fingerprint: format!(
+                "{:016x}",
+                fingerprint::combined(design_hash, program_hash, config)
+            ),
+            design_hash: format!("{design_hash:016x}"),
+            program_hash: format!("{program_hash:016x}"),
+            config: config.to_string(),
+            eval_mode: self.eval_mode.clone(),
+            verdict_digest: self.verdict_digest_hex(),
+            total_gates: self.total_gates as u64,
+            exercisable_gates: self.exercisable_gates as u64,
+            paths_created: self.paths_created as u64,
+            paths_skipped: self.paths_skipped as u64,
+            paths_finished: self.paths_finished as u64,
+            paths_dropped: self.paths_dropped as u64,
+            simulated_cycles: self.simulated_cycles,
+            wall_seconds,
+            cycles_per_sec: if wall_seconds > 0.0 {
+                self.simulated_cycles as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            env: self.env.clone(),
+            metrics_json: self.metrics.to_json_compact(),
         }
     }
 
@@ -163,6 +230,8 @@ impl CoAnalysisReport {
             .u64("event_evals", self.event_evals)
             .u64("compiled_evals", self.compiled_evals)
             .str("eval_mode", &self.eval_mode)
+            .str("verdict_digest", &self.verdict_digest_hex())
+            .raw("env", &self.env.to_json())
             .f64("wall_time_s", self.wall_time.as_secs_f64());
         if let Some(p) = &self.provenance {
             let mut po = JsonObject::new();
@@ -182,6 +251,32 @@ impl CoAnalysisReport {
         o.raw("metrics", &self.metrics.to_json_compact());
         o.finish()
     }
+}
+
+/// Order-independent content hash of the exercisable-gate set: the sum
+/// (mod 2^64) of one FNV hash per exercised element — combinational gates
+/// by [`symsim_netlist::GateId`], sequential cells by DFF index — folded
+/// with the total gate count. Summation makes the digest independent of
+/// iteration order, so any evaluation mode producing the same verdict
+/// produces the same digest.
+fn verdict_digest(netlist: &Netlist, profile: &ToggleProfile) -> u64 {
+    let mut acc: u64 = 0;
+    for gate in profile.exercisable_gates(netlist) {
+        let mut h = Fnv::new();
+        h.bytes(b"gate").word(u64::from(gate.0));
+        acc = acc.wrapping_add(h.finish());
+    }
+    for (i, dff) in netlist.dffs().iter().enumerate() {
+        if profile.is_toggled(dff.q) {
+            let mut h = Fnv::new();
+            h.bytes(b"dff").word(i as u64);
+            acc = acc.wrapping_add(h.finish());
+        }
+    }
+    let mut h = Fnv::new();
+    h.word(netlist.total_gate_count() as u64);
+    h.word(acc);
+    h.finish()
 }
 
 impl std::fmt::Display for CoAnalysisReport {
@@ -235,6 +330,13 @@ mod tests {
             event_evals: 42,
             compiled_evals: 0,
             eval_mode: "hybrid".into(),
+            verdict_digest: 0xfeed,
+            env: EnvFingerprint {
+                git_commit: "unknown".into(),
+                rustc: "unknown".into(),
+                host: "test".into(),
+                workers: 1,
+            },
             wall_time: Duration::from_millis(5),
             profile,
             activity: None,
@@ -249,5 +351,16 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"paths_created\":3"));
         assert!(json.contains("\"metrics\":{"));
+        assert!(json.contains("\"verdict_digest\":\"000000000000feed\""));
+        assert!(json.contains("\"env\":{"));
+        let rec = report.ledger_record("analyze", "d/app", 1, 2, "mode=hybrid");
+        assert_eq!(rec.verdict_digest, "000000000000feed");
+        assert_eq!(rec.design_hash, format!("{:016x}", 1));
+        assert_eq!(rec.exercisable_gates, 150);
+        assert!((rec.cycles_per_sec - 99.0 / 0.005).abs() < 1e-6);
+        // the record parses back through the ledger reader
+        let entry = symsim_obs::LedgerEntry::from_json(&rec.to_json()).unwrap();
+        assert_eq!(entry.verdict_digest, rec.verdict_digest);
+        assert_eq!(entry.env, report.env);
     }
 }

@@ -30,6 +30,12 @@
 //!   and aggregation helpers ([`Trace`]) behind `symsim trace`; [`chrome`]
 //!   renders a parsed trace as Chrome Trace Event JSON for Perfetto, and
 //!   [`profile`] names the timed phases and their registry histograms.
+//! * [`ledger`] — the persistent run ledger: one self-contained NDJSON
+//!   record per run (fingerprints, environment, verdict digest, full
+//!   metrics snapshot) appended to `$SYMSIM_LEDGER`, plus the reader and
+//!   the MAD-noise-banded regression policy behind `symsim runs diff`;
+//!   [`stats`] holds the shared robust statistics (median/MAD bands and
+//!   the historic smoke noise allowance).
 //!
 //! The NDJSON record and metrics-snapshot schemas are checked in under
 //! `docs/schema/` and validated in CI by `scripts/validate_metrics.py`.
@@ -40,14 +46,17 @@
 pub mod chrome;
 mod heartbeat;
 mod json;
+pub mod ledger;
 mod metrics;
 pub mod profile;
+pub mod stats;
 pub mod trace;
 pub mod tracefile;
 
 pub use chrome::export_chrome;
 pub use heartbeat::{Heartbeat, HeartbeatOut};
 pub use json::{escape_json, JsonObject, JsonValue};
+pub use ledger::{env_fingerprint, EnvFingerprint, LedgerEntry, LedgerRecord};
 pub use metrics::{
     CounterId, GaugeId, HistogramId, HistogramSnapshot, MetricShard, MetricsRegistry,
     MetricsSnapshot, DIRTY_PCT_BUCKETS,

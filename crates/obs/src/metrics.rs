@@ -383,6 +383,7 @@ impl MetricsRegistry {
             counters,
             gauges,
             histograms,
+            env: None,
         }
     }
 }
@@ -410,6 +411,10 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(&'static str, i64)>,
     /// Every histogram, in [`HistogramId`] order.
     pub histograms: Vec<HistogramSnapshot>,
+    /// Environment fingerprint stamped at report assembly (absent on raw
+    /// registry snapshots), making historical `--metrics-out` files
+    /// attributable to a commit, toolchain, and host.
+    pub env: Option<crate::ledger::EnvFingerprint>,
 }
 
 impl MetricsSnapshot {
@@ -458,7 +463,11 @@ impl MetricsSnapshot {
                 },
             ));
         }
-        out.push_str("  }\n}\n");
+        out.push_str("  }");
+        if let Some(env) = &self.env {
+            out.push_str(&format!(",\n  \"env\": {}", env.to_json()));
+        }
+        out.push_str("\n}\n");
         out
     }
 
@@ -485,7 +494,11 @@ impl MetricsSnapshot {
                 h.samples,
             ));
         }
-        out.push_str("}}");
+        out.push('}');
+        if let Some(env) = &self.env {
+            out.push_str(&format!(",\"env\":{}", env.to_json()));
+        }
+        out.push('}');
         out
     }
 }

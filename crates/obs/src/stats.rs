@@ -1,0 +1,149 @@
+//! Robust statistics for noise-aware regression gating.
+//!
+//! Wall-clock measurements of the same run jitter; a regression gate that
+//! compares raw numbers flaps. Every comparison in the repo therefore goes
+//! through one of two shared bands:
+//!
+//! * the **smoke band** ([`within_smoke_noise`]) — the fixed
+//!   relative-plus-absolute allowance the bench `--smoke` overhead checks
+//!   have used since PR 4 (traced-vs-untraced) and PR 9 (attribution
+//!   off-vs-on), now defined once here, and
+//! * the **MAD band** ([`noise_band`]) — a median-absolute-deviation band
+//!   around the median of a baseline population, used by the run-ledger
+//!   diff (`symsim runs diff`) where several baseline samples exist. The
+//!   MAD is scaled by 1.4826 (the consistency constant that makes it
+//!   estimate a normal σ), widened by `k`, and floored by a relative and
+//!   an absolute allowance so a single-sample baseline (MAD = 0) still
+//!   yields the smoke band rather than a zero-width gate.
+
+/// Relative allowance of the smoke overhead checks: the candidate may be
+/// up to 25% slower than the reference before the check trips.
+pub const SMOKE_NOISE_REL: f64 = 0.25;
+
+/// Absolute allowance of the smoke overhead checks, in seconds — sub-100ms
+/// runs are dominated by scheduler jitter, not by the code under test.
+pub const SMOKE_NOISE_ABS_S: f64 = 0.1;
+
+/// Consistency constant: `1.4826 * MAD` estimates the standard deviation
+/// of normally distributed samples.
+pub const MAD_SIGMA: f64 = 1.4826;
+
+/// True when `candidate_s` is within the shared smoke noise band of
+/// `reference_s` (both wall-clock seconds, smaller is better): the
+/// candidate may exceed the reference by [`SMOKE_NOISE_REL`] relatively
+/// plus [`SMOKE_NOISE_ABS_S`] absolutely.
+pub fn within_smoke_noise(reference_s: f64, candidate_s: f64) -> bool {
+    candidate_s <= reference_s * (1.0 + SMOKE_NOISE_REL) + SMOKE_NOISE_ABS_S
+}
+
+/// Median of `values` (0 for an empty slice). Sorts a copy; ties average.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = v.len();
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    }
+}
+
+/// Median absolute deviation from the median of `values`.
+pub fn mad(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = median(values);
+    let dev: Vec<f64> = values.iter().map(|v| (v - m).abs()).collect();
+    median(&dev)
+}
+
+/// A noise band around the median of a baseline population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseBand {
+    /// Median of the baseline samples.
+    pub center: f64,
+    /// Half-width: a candidate within `center ± width` is "no change".
+    pub width: f64,
+}
+
+impl NoiseBand {
+    /// True when `value` exceeds the band upward (worse for
+    /// smaller-is-better metrics like wall time).
+    pub fn above(&self, value: f64) -> bool {
+        value > self.center + self.width
+    }
+
+    /// True when `value` falls below the band (worse for larger-is-better
+    /// metrics like throughput).
+    pub fn below(&self, value: f64) -> bool {
+        value < self.center - self.width
+    }
+}
+
+/// The MAD noise band of a baseline population: half-width
+/// `max(k · 1.4826 · MAD, rel_floor · |median|, abs_floor)`.
+///
+/// The floors keep the gate sane when the baseline is a single sample
+/// (MAD = 0) or the metric is tiny.
+pub fn noise_band(baseline: &[f64], k: f64, rel_floor: f64, abs_floor: f64) -> NoiseBand {
+    let center = median(baseline);
+    let sigma = MAD_SIGMA * mad(baseline);
+    let width = (k * sigma).max(rel_floor * center.abs()).max(abs_floor);
+    NoiseBand { center, width }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_odd_even_empty() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[5.0, 1.0, 3.0]), 3.0);
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), 2.5);
+    }
+
+    #[test]
+    fn mad_is_robust_to_one_outlier() {
+        // median 10, deviations [0, 1, 1, 90] -> MAD 1
+        assert_eq!(mad(&[9.0, 10.0, 11.0, 100.0]), 1.0);
+        assert_eq!(mad(&[7.0]), 0.0);
+    }
+
+    #[test]
+    fn band_floors_apply_on_tight_baselines() {
+        // single sample: MAD = 0, so the relative floor rules
+        let b = noise_band(&[2.0], 3.0, 0.25, 0.05);
+        assert_eq!(b.center, 2.0);
+        assert_eq!(b.width, 0.5);
+        assert!(!b.above(2.4));
+        assert!(b.above(2.6));
+        assert!(b.below(1.4));
+        // tiny metric: the absolute floor rules
+        let b = noise_band(&[0.01], 3.0, 0.25, 0.05);
+        assert_eq!(b.width, 0.05);
+    }
+
+    #[test]
+    fn band_widens_with_spread() {
+        let samples = [10.0, 12.0, 11.0, 9.0, 10.5];
+        let b = noise_band(&samples, 3.0, 0.0, 0.0);
+        // median 10.5, MAD = median([0.5, 1.5, 0.5, 1.5, 0]) = 0.5
+        assert_eq!(b.center, 10.5);
+        assert!((b.width - 3.0 * MAD_SIGMA * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smoke_band_matches_the_historic_check() {
+        assert!(within_smoke_noise(1.0, 1.0));
+        assert!(within_smoke_noise(1.0, 1.34));
+        assert!(!within_smoke_noise(1.0, 1.36));
+        // tiny runs are covered by the absolute allowance
+        assert!(within_smoke_noise(0.01, 0.1));
+    }
+}

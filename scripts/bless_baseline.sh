@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Re-bless the CI perf-gate baseline ledger.
+#
+# Rebuilds release, then records REPS runs of each gated smoke
+# configuration into ci/baseline-ledger.ndjson (replacing it). Run this
+# when a change legitimately moves the numbers — new default policy, a
+# real speedup, a soundness fix that changes the verdict — and commit
+# the regenerated file in the same PR, with the reason in the commit
+# message. The perf-gate job diffs every push against this file.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+REPS="${REPS:-3}"
+PAIR="${PAIR:-omsp16/div}"
+OUT="ci/baseline-ledger.ndjson"
+
+cargo build --release -p symsim-bench -p symsim-cli
+mkdir -p ci
+rm -f "$OUT"
+
+for _ in $(seq "$REPS"); do
+    ./target/release/bench_coanalysis --pair "$PAIR" --ledger "$OUT" > /dev/null
+done
+
+python3 scripts/validate_metrics.py docs/schema/ledger.schema.json "$OUT" --ndjson
+echo "blessed $OUT:"
+./target/release/symsim runs list --ledger "$OUT"

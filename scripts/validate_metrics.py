@@ -26,6 +26,7 @@ TYPES = {
     "integer": int,
     # bool is an int subclass in Python; excluded explicitly below
     "number": (int, float),
+    "null": type(None),
 }
 
 
